@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Cs_core Cs_machine Cs_regalloc Cs_sched Cs_sim Cs_util Cs_workloads List Printf Report

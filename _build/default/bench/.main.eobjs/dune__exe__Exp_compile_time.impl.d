@@ -1,0 +1,1 @@
+bench/exp_compile_time.ml: Cs_machine Cs_sim Cs_util List Printf Report

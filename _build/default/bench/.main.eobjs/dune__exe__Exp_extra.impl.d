@@ -1,0 +1,1 @@
+bench/exp_extra.ml: Cs_core Cs_machine Cs_sched Cs_sim Cs_util Cs_workloads List Option Printf Report

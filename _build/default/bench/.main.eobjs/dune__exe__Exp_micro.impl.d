@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Bechamel Benchmark Cs_machine Cs_sim Cs_workloads Hashtbl Instance Lazy List Measure Printf Report Staged Test Time Toolkit

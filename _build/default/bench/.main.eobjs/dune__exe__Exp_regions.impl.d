@@ -1,0 +1,1 @@
+bench/exp_regions.ml: Cs_cfg Cs_ddg Cs_machine Cs_sched Cs_sim Cs_util List Printf Report

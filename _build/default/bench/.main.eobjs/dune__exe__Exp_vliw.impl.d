@@ -1,0 +1,1 @@
+bench/exp_vliw.ml: Cs_core Cs_machine Cs_sim Cs_util Cs_workloads List Printf Report

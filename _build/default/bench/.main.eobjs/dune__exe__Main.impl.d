@@ -1,0 +1,1 @@
+bench/main.ml: Array Cs_core Exp_ablation Exp_compile_time Exp_extra Exp_micro Exp_raw Exp_regions Exp_vliw List Printf Report String Sys

@@ -1,0 +1,1 @@
+bench/report.ml: Cs_util Cs_workloads List Printf String

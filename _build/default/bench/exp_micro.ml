@@ -1,0 +1,68 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment driver, at a
+   reduced problem size so the statistics converge quickly. *)
+
+open Bechamel
+open Toolkit
+
+let jacobi16 = lazy (Cs_workloads.Jacobi.generate ~clusters:16 ())
+let yuv4 = lazy (Cs_workloads.Yuv.generate ~clusters:4 ())
+let layered400 =
+  lazy
+    (Cs_workloads.Shapes.layered ~n:400 ~seed:3
+       ~congruence:(Cs_workloads.Congruence.interleaved ~n_banks:4) ())
+
+let raw16 = lazy (Cs_machine.Raw.with_tiles 16)
+let vliw4 = lazy (Cs_machine.Vliw.create ~n_clusters:4 ())
+
+let run scheduler machine region () =
+  ignore
+    (Cs_sim.Pipeline.schedule ~scheduler ~machine:(Lazy.force machine) (Lazy.force region))
+
+let tests =
+  Test.make_grouped ~name:"csched"
+    [
+      (* Table 2 / Fig. 6 drivers *)
+      Test.make ~name:"table2:convergent/raw16/jacobi"
+        (Staged.stage (run Cs_sim.Pipeline.Convergent raw16 jacobi16));
+      Test.make ~name:"table2:rawcc/raw16/jacobi"
+        (Staged.stage (run Cs_sim.Pipeline.Rawcc raw16 jacobi16));
+      (* Fig. 8 drivers *)
+      Test.make ~name:"fig8:convergent/vliw4/yuv"
+        (Staged.stage (run Cs_sim.Pipeline.Convergent vliw4 yuv4));
+      Test.make ~name:"fig8:uas/vliw4/yuv"
+        (Staged.stage (run Cs_sim.Pipeline.Uas vliw4 yuv4));
+      Test.make ~name:"fig8:pcc/vliw4/yuv"
+        (Staged.stage (run Cs_sim.Pipeline.Pcc vliw4 yuv4));
+      (* Fig. 10 driver *)
+      Test.make ~name:"fig10:convergent/vliw4/layered400"
+        (Staged.stage (run Cs_sim.Pipeline.Convergent vliw4 layered400));
+      (* Fig. 7 / Fig. 9 driver: trace collection *)
+      Test.make ~name:"fig7:trace/raw16/jacobi"
+        (Staged.stage (fun () ->
+             ignore
+               (Cs_sim.Pipeline.convergent ~machine:(Lazy.force raw16) (Lazy.force jacobi16))));
+    ]
+
+let micro () =
+  Report.section "Bechamel micro-benchmarks (monotonic clock per run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.8) ~kde:(Some 500) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some (time_ns :: _) ->
+              Printf.printf "%-45s %12.0f ns/run\n" name time_ns
+            | Some [] | None -> Printf.printf "%-45s (no estimate)\n" name)
+          tbl)
+    results

@@ -1,0 +1,87 @@
+(* Table 2 / Fig. 6 / Fig. 7: the Raw-machine experiments. *)
+
+let tile_configs = [ 2; 4; 8; 16 ]
+
+let measure scheduler entry tiles =
+  Cs_sim.Speedup.on_raw ~scheduler ~tiles entry
+
+(* Table 2: Rawcc-baseline and convergent speedups on 2-16 tiles,
+   relative to one tile. *)
+let table2 () =
+  Report.section "Table 2: Rawcc speedup (Base vs Convergent), relative to one tile";
+  let header =
+    "Benchmark/Tiles"
+    :: (List.map (fun t -> Printf.sprintf "B%d" t) tile_configs
+       @ List.map (fun t -> Printf.sprintf "C%d" t) tile_configs)
+  in
+  let table = Cs_util.Table.create ~header in
+  let improvements = ref [] in
+  List.iter
+    (fun entry ->
+      let base = List.map (measure Cs_sim.Pipeline.Rawcc entry) tile_configs in
+      let conv = List.map (measure Cs_sim.Pipeline.Convergent entry) tile_configs in
+      let cells m = Report.fl m.Cs_sim.Speedup.speedup in
+      Cs_util.Table.add_row table
+        (entry.Cs_workloads.Suite.name :: (List.map cells base @ List.map cells conv));
+      let b16 = List.nth base 3 and c16 = List.nth conv 3 in
+      improvements := (c16.Cs_sim.Speedup.speedup, b16.Cs_sim.Speedup.speedup) :: !improvements)
+    Cs_workloads.Suite.raw_suite;
+  Cs_util.Table.print table;
+  Printf.printf
+    "Average convergent improvement over Rawcc baseline at 16 tiles: %+.1f%%\n(paper: +21%%; paper also reports convergent losing on fpppp-kernel and sha)\n"
+    (Report.average_improvement !improvements)
+
+(* Fig. 6: the 16-tile column as a bar chart. *)
+let fig6 () =
+  Report.section "Figure 6: Rawcc vs Convergent speedup on a 16-tile Raw machine";
+  let table = Cs_util.Table.create ~header:[ "benchmark"; "sched"; "speedup"; "" ] in
+  let max_speedup = ref 1.0 in
+  let rows =
+    List.concat_map
+      (fun entry ->
+        let b = measure Cs_sim.Pipeline.Rawcc entry 16 in
+        let c = measure Cs_sim.Pipeline.Convergent entry 16 in
+        max_speedup := max !max_speedup (max b.Cs_sim.Speedup.speedup c.Cs_sim.Speedup.speedup);
+        [ (entry.Cs_workloads.Suite.name, "rawcc", b.Cs_sim.Speedup.speedup);
+          ("", "convergent", c.Cs_sim.Speedup.speedup) ])
+      Cs_workloads.Suite.raw_suite
+  in
+  List.iter
+    (fun (name, sched, speedup) ->
+      Cs_util.Table.add_row table
+        [ name; sched; Report.fl speedup;
+          Cs_util.Table.bar ~width:40 ~max_value:!max_speedup speedup ])
+    rows;
+  Cs_util.Table.print table
+
+(* Fig. 7: percentage of instructions whose preferred tile changes per
+   space pass, per benchmark, on a 16-tile Raw machine. *)
+let fig7 () =
+  Report.section "Figure 7: convergence of spatial assignments on Raw (16 tiles)";
+  let machine = Cs_machine.Raw.with_tiles 16 in
+  let traces =
+    List.map
+      (fun entry ->
+        let region = entry.Cs_workloads.Suite.generate ~clusters:16 () in
+        let _sched, trace = Cs_sim.Pipeline.convergent ~machine region in
+        (entry.Cs_workloads.Suite.name, Cs_core.Trace.space_steps trace))
+      Cs_workloads.Suite.raw_suite
+  in
+  let pass_names =
+    match traces with
+    | (_, steps) :: _ -> List.map (fun s -> s.Cs_core.Trace.pass_name) steps
+    | [] -> []
+  in
+  let table = Cs_util.Table.create ~header:("pass" :: Report.raw_suite_names ()) in
+  List.iteri
+    (fun k pass ->
+      Cs_util.Table.add_row table
+        (pass
+        :: List.map
+             (fun (_, steps) ->
+               Report.fl (Cs_core.Trace.changed_fraction (List.nth steps k)))
+             traces))
+    pass_names;
+  Cs_util.Table.print table;
+  Printf.printf
+    "(paper: preplacement-rich benchmarks converge in the early placement passes;\n fpppp-kernel and sha keep moving until the parallelism/communication passes)\n"

@@ -1,0 +1,64 @@
+(* Region-formation experiment (extension): the paper schedules
+   whatever units the compiler forms (Sec. 3); bigger units expose more
+   ILP. Compare expected hot-path cycles when the same random structured
+   CFG is scheduled as basic blocks, Fisher traces, superblocks (tail
+   duplication), and one if-converted hyperblock. *)
+
+let machine = Cs_machine.Vliw.create ~n_clusters:4 ()
+
+let cycles_of region =
+  if Cs_ddg.Region.n_instrs region = 0 then 0
+  else begin
+    let sched, _ = Cs_sim.Pipeline.convergent ~machine region in
+    Cs_sched.Schedule.makespan sched
+  end
+
+(* Expected cycles per entry execution: each region's makespan weighted
+   by the frequency of its first block. *)
+let expected_cycles cfg unit_of_blocks units =
+  let freqs = Cs_cfg.Cfg.frequencies cfg in
+  List.fold_left
+    (fun acc unit ->
+      match unit with
+      | [] -> acc
+      | first :: _ ->
+        let weight = List.assoc first freqs in
+        acc +. (weight *. float_of_int (cycles_of (unit_of_blocks unit))))
+    0.0 units
+
+let regions () =
+  Report.section "Extension: scheduling-unit formation (blocks vs traces vs superblocks vs hyperblock)";
+  let table =
+    Cs_util.Table.create
+      ~header:[ "seed"; "blocks"; "basic-block"; "trace"; "superblock"; "hyperblock" ]
+  in
+  List.iter
+    (fun seed ->
+      let cfg = Cs_cfg.Generate.acyclic ~seed () in
+      let n_blocks = List.length cfg.Cs_cfg.Cfg.blocks in
+      let per_block =
+        expected_cycles cfg
+          (fun unit -> Cs_cfg.Trace.region_of_trace cfg unit)
+          (List.map (fun b -> [ b.Cs_cfg.Cfg.label ]) cfg.Cs_cfg.Cfg.blocks)
+      in
+      let traces =
+        expected_cycles cfg
+          (fun unit -> Cs_cfg.Trace.region_of_trace cfg unit)
+          (Cs_cfg.Trace.select cfg)
+      in
+      let cfg_sb, superblocks = Cs_cfg.Superblock.form cfg in
+      let sb =
+        expected_cycles cfg_sb
+          (fun unit -> Cs_cfg.Trace.region_of_trace cfg_sb unit)
+          superblocks
+      in
+      let hyper =
+        float_of_int (cycles_of (Cs_cfg.Hyperblock.region_of cfg ~entry:cfg.Cs_cfg.Cfg.entry))
+      in
+      Cs_util.Table.add_row table
+        [ string_of_int seed; string_of_int n_blocks; Report.fl per_block; Report.fl traces;
+          Report.fl sb; Report.fl hyper ])
+    [ 1; 2; 3; 4; 5 ];
+  Cs_util.Table.print table;
+  Printf.printf
+    "(expected cycles per entry execution, hot paths weighted by block frequency;\n larger units expose more ILP to the convergent scheduler, while the hyperblock\n pays for executing both arms of every diamond)\n"

@@ -1,0 +1,22 @@
+(* Shared reporting helpers for the benchmark harness. *)
+
+let section title =
+  let rule = String.make 78 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" rule title rule
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let fl = Cs_util.Table.cell_float
+
+let raw_suite_names () =
+  List.map (fun e -> e.Cs_workloads.Suite.name) Cs_workloads.Suite.raw_suite
+
+let vliw_suite_names () =
+  List.map (fun e -> e.Cs_workloads.Suite.name) Cs_workloads.Suite.vliw_suite
+
+(* Geometric-mean ratio of a/b speedups, reported as a percentage
+   improvement — the kind of "average improvement" number the paper
+   quotes (21% over Rawcc, 14% over UAS, 28% over PCC). *)
+let average_improvement pairs =
+  let ratios = List.map (fun (a, b) -> a /. b) pairs in
+  (Cs_util.Stats.geomean ratios -. 1.0) *. 100.0

@@ -1,0 +1,217 @@
+(* csched: command-line driver for the convergent-scheduling library.
+
+     csched list
+     csched run -b jacobi -m raw16 -s convergent [--scale N] [--verbose]
+     csched compare -b mxm -m vliw4
+     csched trace -b jacobi -m raw16
+     csched dot -b sha -m vliw4 -o sha.dot [-s uas]
+     csched passes *)
+
+open Cmdliner
+
+(* --- shared argument parsing --- *)
+
+let machine_of_string s =
+  match String.lowercase_ascii s with
+  | "vliw" | "vliw4" -> Ok (Cs_machine.Vliw.create ~n_clusters:4 ())
+  | "vliw1" -> Ok (Cs_machine.Vliw.single_cluster ())
+  | other ->
+    let parse_int prefix =
+      let plen = String.length prefix in
+      if String.length other > plen && String.sub other 0 plen = prefix then
+        int_of_string_opt (String.sub other plen (String.length other - plen))
+      else None
+    in
+    (match (parse_int "raw", parse_int "vliw") with
+    | Some n, _ when n > 0 -> Ok (Cs_machine.Raw.with_tiles n)
+    | _, Some n when n > 0 -> Ok (Cs_machine.Vliw.create ~n_clusters:n ())
+    | _ -> Error (`Msg (Printf.sprintf "unknown machine %S (try raw16, raw4, vliw4)" s)))
+
+let machine_conv =
+  let printer fmt m = Format.fprintf fmt "%s" m.Cs_machine.Machine.name in
+  Arg.conv (machine_of_string, printer)
+
+let benchmark_conv =
+  let parse s =
+    match Cs_workloads.Suite.find s with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown benchmark %S; try `csched list'" s))
+  in
+  let printer fmt e = Format.fprintf fmt "%s" e.Cs_workloads.Suite.name in
+  Arg.conv (parse, printer)
+
+let scheduler_conv =
+  let parse s =
+    match Cs_sim.Pipeline.scheduler_of_name s with
+    | Some sch -> Ok sch
+    | None -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  let printer fmt s = Format.fprintf fmt "%s" (Cs_sim.Pipeline.scheduler_name s) in
+  Arg.conv (parse, printer)
+
+let benchmark_arg =
+  Arg.(required & opt (some benchmark_conv) None & info [ "b"; "benchmark" ] ~doc:"Benchmark name.")
+
+let machine_arg =
+  Arg.(value & opt machine_conv (Cs_machine.Raw.with_tiles 16) & info [ "m"; "machine" ] ~doc:"Target machine (raw<N>, vliw<N>).")
+
+let scheduler_arg =
+  Arg.(value & opt scheduler_conv Cs_sim.Pipeline.Convergent & info [ "s"; "scheduler" ] ~doc:"Scheduler: convergent, rawcc, uas, pcc, bug.")
+
+let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Problem-size multiplier.")
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full schedule.")
+
+let region_of entry machine scale =
+  entry.Cs_workloads.Suite.generate ~scale
+    ~clusters:(Cs_machine.Machine.n_clusters machine) ()
+
+(* --- subcommands --- *)
+
+let list_cmd =
+  let doc = "List available benchmarks." in
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-14s %s\n" e.Cs_workloads.Suite.name e.Cs_workloads.Suite.description)
+      Cs_workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let passes_cmd =
+  let doc = "List available convergent passes and default sequences." in
+  let run () =
+    Printf.printf "passes: %s\n" (String.concat ", " Cs_core.Sequence.available);
+    Printf.printf "raw default:  %s\n"
+      (String.concat " " (Cs_core.Sequence.names (Cs_core.Sequence.raw_default ())));
+    Printf.printf "vliw default: %s\n"
+      (String.concat " " (Cs_core.Sequence.names (Cs_core.Sequence.vliw_default ())))
+  in
+  Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ const ())
+
+let passes_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p"; "passes" ]
+        ~doc:
+          "Comma-separated convergent pass sequence (e.g. \
+           INITTIME,PLACE,PLACEPROP,COMM); overrides the machine default and \
+           forces the convergent scheduler.")
+
+let parse_passes spec =
+  match Cs_core.Sequence.of_names (String.split_on_char ',' spec) with
+  | Ok passes -> passes
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+
+let run_cmd =
+  let doc = "Schedule one benchmark and report cycles." in
+  let run entry machine scheduler scale verbose passes_spec =
+    let region = region_of entry machine scale in
+    let sched =
+      match passes_spec with
+      | Some spec -> fst (Cs_sim.Pipeline.convergent ~passes:(parse_passes spec) ~machine region)
+      | None -> Cs_sim.Pipeline.schedule ~scheduler ~machine region
+    in
+    Printf.printf "%s on %s with %s: %d instructions, makespan %d cycles, %d transfers\n"
+      entry.Cs_workloads.Suite.name machine.Cs_machine.Machine.name
+      (Cs_sim.Pipeline.scheduler_name scheduler)
+      (Cs_ddg.Region.n_instrs region)
+      (Cs_sched.Schedule.makespan sched)
+      (Cs_sched.Schedule.n_comms sched);
+    let alloc = Cs_regalloc.Linear_scan.run sched in
+    Printf.printf "register pressure peak %d, spills (32 regs/cluster) %d\n"
+      (Cs_regalloc.Pressure.max_peak sched)
+      alloc.Cs_regalloc.Linear_scan.total_spills;
+    if verbose then Format.printf "%a@." Cs_sched.Schedule.pp sched
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ benchmark_arg $ machine_arg $ scheduler_arg $ scale_arg $ verbose_arg
+      $ passes_opt_arg)
+
+let run_file_cmd =
+  let doc = "Schedule a region from a text file (see lib/ddg/textual.mli for the format)." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Region description.")
+  in
+  let run path machine scheduler verbose passes_spec =
+    match Cs_ddg.Textual.load_file path with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 1
+    | Ok region ->
+      (match Cs_machine.Machine.validate_region machine region with
+      | Error msg ->
+        Printf.eprintf "%s does not fit %s: %s\n" path machine.Cs_machine.Machine.name msg;
+        exit 1
+      | Ok () ->
+        let sched =
+          match passes_spec with
+          | Some spec ->
+            fst (Cs_sim.Pipeline.convergent ~passes:(parse_passes spec) ~machine region)
+          | None -> Cs_sim.Pipeline.schedule ~scheduler ~machine region
+        in
+        Printf.printf "%s on %s with %s: %d instructions, makespan %d cycles, %d transfers\n"
+          path machine.Cs_machine.Machine.name
+          (Cs_sim.Pipeline.scheduler_name scheduler)
+          (Cs_ddg.Region.n_instrs region)
+          (Cs_sched.Schedule.makespan sched)
+          (Cs_sched.Schedule.n_comms sched);
+        if verbose then Format.printf "%a@." Cs_sched.Schedule.pp sched)
+  in
+  Cmd.v (Cmd.info "run-file" ~doc)
+    Term.(const run $ file_arg $ machine_arg $ scheduler_arg $ verbose_arg $ passes_opt_arg)
+
+let compare_cmd =
+  let doc = "Compare all schedulers on one benchmark." in
+  let run entry machine scale =
+    let region = region_of entry machine scale in
+    let table = Cs_util.Table.create ~header:[ "scheduler"; "cycles"; "transfers"; "util%" ] in
+    List.iter
+      (fun scheduler ->
+        let sched = Cs_sim.Pipeline.schedule ~scheduler ~machine region in
+        Cs_util.Table.add_row table
+          [ Cs_sim.Pipeline.scheduler_name scheduler;
+            string_of_int (Cs_sched.Schedule.makespan sched);
+            string_of_int (Cs_sched.Schedule.n_comms sched);
+            Cs_util.Table.cell_float (100.0 *. Cs_sched.Schedule.utilization sched) ])
+      Cs_sim.Pipeline.all_schedulers;
+    Cs_util.Table.print table
+  in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ benchmark_arg $ machine_arg $ scale_arg)
+
+let trace_cmd =
+  let doc = "Show the convergent scheduler's per-pass convergence trace." in
+  let run entry machine scale =
+    let region = region_of entry machine scale in
+    let _sched, trace = Cs_sim.Pipeline.convergent ~machine region in
+    Format.printf "%a@." Cs_core.Trace.pp trace
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ benchmark_arg $ machine_arg $ scale_arg)
+
+let dot_cmd =
+  let doc = "Export a benchmark's dependence graph (colored by assignment) to Graphviz." in
+  let output_arg =
+    Arg.(value & opt string "graph.dot" & info [ "o"; "output" ] ~doc:"Output path.")
+  in
+  let run entry machine scheduler scale path =
+    let region = region_of entry machine scale in
+    let sched = Cs_sim.Pipeline.schedule ~scheduler ~machine region in
+    Cs_ddg.Dot.write_file ~assignment:(Cs_sched.Schedule.assignment sched) ~path
+      region.Cs_ddg.Region.graph;
+    Printf.printf "wrote %s\n" path
+  in
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(const run $ benchmark_arg $ machine_arg $ scheduler_arg $ scale_arg $ output_arg)
+
+let () =
+  let doc = "convergent scheduling for spatial architectures (MICRO-35 reproduction)" in
+  let info = Cmd.info "csched" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; passes_cmd; run_cmd; run_file_cmd; compare_cmd; trace_cmd; dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_pass.ml: Array Cs_core Cs_ddg Cs_machine List Printf

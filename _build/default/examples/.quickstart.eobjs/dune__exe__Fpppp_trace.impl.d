@@ -1,0 +1,1 @@
+examples/fpppp_trace.ml: Array Cs_core Cs_ddg Cs_machine Cs_sched Format Hashtbl List String

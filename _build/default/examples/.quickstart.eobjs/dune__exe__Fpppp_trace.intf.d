@@ -1,0 +1,1 @@
+examples/fpppp_trace.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cs_core Cs_ddg Cs_machine Cs_sched Cs_sim Format

@@ -1,0 +1,1 @@
+examples/region_formation.ml: Cs_cfg Cs_ddg Cs_machine Cs_sched Cs_sim Format List Printf String

@@ -1,0 +1,1 @@
+examples/tradeoff.ml: Array Cs_ddg Cs_machine Cs_sched Cs_sim Format Printf

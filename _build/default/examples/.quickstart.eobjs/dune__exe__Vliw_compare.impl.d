@@ -1,0 +1,1 @@
+examples/vliw_compare.ml: Array Cs_machine Cs_regalloc Cs_sched Cs_sim Cs_util Cs_workloads List Printf String Sys

@@ -1,0 +1,1 @@
+examples/vliw_compare.mli:

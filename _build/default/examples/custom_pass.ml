@@ -1,0 +1,74 @@
+(* Writing a new heuristic: the paper (Sec. 2) argues that the weight
+   interface makes retargeting easy — e.g. "if an architecture is able
+   to exploit auto-increment on memory-access ..., one pass could try to
+   keep together memory-accesses and increments". This example
+   implements exactly that pass in ~20 lines and splices it into the
+   default sequence.
+
+     dune exec examples/custom_pass.exe *)
+
+(* AUTOINC: for every add that feeds a load/store address (an increment
+   that could fuse with the access), pull the two instructions onto the
+   same cluster by blending their preference matrices. *)
+let autoinc_pass =
+  Cs_core.Pass.make ~name:"AUTOINC" ~kind:Cs_core.Pass.Space (fun ctx w ->
+      let graph = Cs_core.Context.graph ctx in
+      for i = 0 to Cs_ddg.Graph.n graph - 1 do
+        let ins = Cs_ddg.Graph.instr graph i in
+        if ins.Cs_ddg.Instr.op = Cs_ddg.Opcode.Add then
+          List.iter
+            (fun s ->
+              let consumer = Cs_ddg.Graph.instr graph s in
+              if Cs_ddg.Opcode.is_memory consumer.Cs_ddg.Instr.op then
+                (* Pull the increment toward the access's preferences. *)
+                Cs_core.Weights.blend w ~dst:i ~src:s ~keep:0.3)
+            (Cs_ddg.Graph.succs graph i)
+      done)
+
+(* A pointer-chasing kernel with address increments feeding loads. *)
+let region =
+  let b = Cs_ddg.Builder.create ~name:"autoinc" () in
+  for lane = 0 to 7 do
+    let base = Cs_ddg.Builder.op0 b ~tag:(Printf.sprintf "base%d" lane) Cs_ddg.Opcode.Const in
+    let stride = Cs_ddg.Builder.op0 b ~tag:"stride" Cs_ddg.Opcode.Const in
+    let addr1 = Cs_ddg.Builder.op2 b ~tag:"inc" Cs_ddg.Opcode.Add base stride in
+    let v1 = Cs_ddg.Builder.load b ~preplace:(lane mod 4) ~tag:"v1" addr1 in
+    let addr2 = Cs_ddg.Builder.op2 b ~tag:"inc2" Cs_ddg.Opcode.Add addr1 stride in
+    (* The second access of the lane hits the next bank, so increments
+       sit between accesses with conflicting homes. *)
+    let v2 = Cs_ddg.Builder.load b ~preplace:((lane + 1) mod 4) ~tag:"v2" addr2 in
+    let s = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd v1 v2 in
+    Cs_ddg.Builder.mark_live_out b s
+  done;
+  Cs_ddg.Builder.finish b
+
+let count_split_increments assignment =
+  let graph = region.Cs_ddg.Region.graph in
+  let split = ref 0 in
+  for i = 0 to Cs_ddg.Graph.n graph - 1 do
+    let ins = Cs_ddg.Graph.instr graph i in
+    if ins.Cs_ddg.Instr.op = Cs_ddg.Opcode.Add then
+      List.iter
+        (fun s ->
+          if
+            Cs_ddg.Opcode.is_memory (Cs_ddg.Graph.instr graph s).Cs_ddg.Instr.op
+            && assignment.(i) <> assignment.(s)
+          then incr split)
+        (Cs_ddg.Graph.succs graph i)
+  done;
+  !split
+
+let () =
+  let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
+  let baseline = Cs_core.Sequence.vliw_default () in
+  let custom = baseline @ [ autoinc_pass ] in
+  let run passes =
+    let result = Cs_core.Driver.run ~machine region passes in
+    count_split_increments result.Cs_core.Driver.assignment
+  in
+  let without = run baseline and with_pass = run custom in
+  Printf.printf "increment/access pairs split across clusters:\n";
+  Printf.printf "  default sequence : %d\n" without;
+  Printf.printf "  + AUTOINC pass   : %d\n" with_pass;
+  assert (with_pass <= without);
+  print_endline "the custom pass kept increments with their memory accesses"

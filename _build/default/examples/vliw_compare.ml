@@ -1,0 +1,47 @@
+(* Compare every scheduler in the repository on one benchmark across
+   machines — a compact view of the whole evaluation.
+
+     dune exec examples/vliw_compare.exe [benchmark]   (default: tomcatv) *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "tomcatv" in
+  let entry =
+    match Cs_workloads.Suite.find name with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown benchmark %S; available: %s\n" name
+        (String.concat ", "
+           (List.map (fun e -> e.Cs_workloads.Suite.name) Cs_workloads.Suite.all));
+      exit 1
+  in
+  Printf.printf "benchmark: %s — %s\n\n" entry.Cs_workloads.Suite.name
+    entry.Cs_workloads.Suite.description;
+  let table =
+    Cs_util.Table.create
+      ~header:[ "machine"; "scheduler"; "cycles"; "speedup"; "transfers"; "spills(16r)" ]
+  in
+  let machines =
+    [ ("raw-4x4", Cs_machine.Raw.with_tiles 16, `Raw); ("vliw-4c", Cs_machine.Vliw.create (), `Vliw) ]
+  in
+  List.iter
+    (fun (mname, machine, kind) ->
+      List.iter
+        (fun scheduler ->
+          let n_clusters = Cs_machine.Machine.n_clusters machine in
+          let m =
+            match kind with
+            | `Raw -> Cs_sim.Speedup.on_raw ~scheduler ~tiles:n_clusters entry
+            | `Vliw -> Cs_sim.Speedup.on_vliw ~scheduler ~clusters:n_clusters entry
+          in
+          let region = entry.Cs_workloads.Suite.generate ~clusters:n_clusters () in
+          let sched = Cs_sim.Pipeline.schedule ~scheduler ~machine region in
+          let spills = (Cs_regalloc.Linear_scan.run ~registers:16 sched).Cs_regalloc.Linear_scan.total_spills in
+          Cs_util.Table.add_row table
+            [ mname; Cs_sim.Pipeline.scheduler_name scheduler;
+              string_of_int m.Cs_sim.Speedup.cycles;
+              Cs_util.Table.cell_float m.Cs_sim.Speedup.speedup;
+              string_of_int (Cs_sched.Schedule.n_comms sched); string_of_int spills ])
+        Cs_sim.Pipeline.all_schedulers;
+      Cs_util.Table.add_separator table)
+    machines;
+  Cs_util.Table.print table

@@ -1,0 +1,1 @@
+lib/baselines/bug.ml: Array Cs_ddg Cs_machine Cs_sched Estimator Int List Printf

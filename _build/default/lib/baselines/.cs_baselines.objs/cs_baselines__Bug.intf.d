@@ -1,0 +1,1 @@
+lib/baselines/bug.mli: Cs_ddg Cs_machine Cs_sched

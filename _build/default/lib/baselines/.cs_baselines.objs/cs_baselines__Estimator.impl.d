@@ -1,0 +1,1 @@
+lib/baselines/estimator.ml: Array Cs_ddg Cs_machine Cs_sched List

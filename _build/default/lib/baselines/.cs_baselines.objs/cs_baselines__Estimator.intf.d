@@ -1,0 +1,1 @@
+lib/baselines/estimator.mli: Cs_ddg Cs_machine

@@ -1,0 +1,1 @@
+lib/baselines/pcc.ml: Array Cs_ddg Cs_machine Cs_sched Estimator Int List

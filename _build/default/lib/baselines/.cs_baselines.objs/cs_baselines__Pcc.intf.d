@@ -1,0 +1,1 @@
+lib/baselines/pcc.mli: Cs_ddg Cs_machine Cs_sched

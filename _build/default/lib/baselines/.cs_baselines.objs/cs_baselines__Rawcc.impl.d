@@ -1,0 +1,1 @@
+lib/baselines/rawcc.ml: Array Cs_ddg Cs_machine Cs_sched Cs_util Estimator Hashtbl Int List

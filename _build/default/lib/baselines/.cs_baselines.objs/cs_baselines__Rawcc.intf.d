@@ -1,0 +1,1 @@
+lib/baselines/rawcc.mli: Cs_ddg Cs_machine Cs_sched

@@ -1,0 +1,1 @@
+lib/baselines/uas.mli: Cs_ddg Cs_machine Cs_sched

@@ -1,0 +1,65 @@
+let movable ~machine graph i =
+  match (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.preplace with
+  | Some _ -> machine.Cs_machine.Machine.remote_mem_penalty > 0
+  | None -> true
+
+let initial ~machine ~rng graph =
+  let nc = Cs_machine.Machine.n_clusters machine in
+  Array.init (Cs_ddg.Graph.n graph) (fun i ->
+      match (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.preplace with
+      | Some home when machine.Cs_machine.Machine.remote_mem_penalty = 0 -> home
+      | Some home -> home
+      | None -> Cs_util.Rng.int rng nc)
+
+let assign ?(seed = 99) ?(initial_temperature = 4.0) ?(cooling = 0.9)
+    ?(steps_per_level = 40) ~machine region =
+  let graph = region.Cs_ddg.Region.graph in
+  let n = Cs_ddg.Graph.n graph in
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let rng = Cs_util.Rng.create seed in
+  let analysis = Estimator.analysis_for ~machine region in
+  let assignment = initial ~machine ~rng graph in
+  if n = 0 || nc < 2 then assignment
+  else begin
+    let cost () = Estimator.approximate_length ~machine ~assignment ~analysis region in
+    let current = ref (cost ()) in
+    let best = Array.copy assignment in
+    let best_cost = ref !current in
+    let temperature = ref initial_temperature in
+    while !temperature > 0.05 do
+      for _ = 1 to steps_per_level do
+        let i = Cs_util.Rng.int rng n in
+        if movable ~machine graph i then begin
+          let old_cluster = assignment.(i) in
+          let candidate = Cs_util.Rng.int rng nc in
+          if candidate <> old_cluster
+             && Cs_machine.Machine.can_execute machine ~cluster:candidate
+                  (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.op
+          then begin
+            assignment.(i) <- candidate;
+            let next = cost () in
+            let delta = float_of_int (next - !current) in
+            let accept =
+              delta <= 0.0 || Cs_util.Rng.float rng 1.0 < exp (-.delta /. !temperature)
+            in
+            if accept then begin
+              current := next;
+              if next < !best_cost then begin
+                best_cost := next;
+                Array.blit assignment 0 best 0 n
+              end
+            end
+            else assignment.(i) <- old_cluster
+          end
+        end
+      done;
+      temperature := !temperature *. cooling
+    done;
+    best
+  end
+
+let schedule ?seed ~machine region =
+  let analysis = Estimator.analysis_for ~machine region in
+  let assignment = assign ?seed ~machine region in
+  let priority = Cs_sched.Priority.alap analysis in
+  Cs_sched.List_scheduler.run ~machine ~assignment ~priority ~analysis region

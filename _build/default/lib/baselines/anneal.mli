@@ -1,0 +1,17 @@
+(** Simulated-annealing assignment (Leupers, PACT 2000 — the paper's
+    related work cites it as the iterative combined partitioning/
+    scheduling approach for clustered VLIW DSPs). Starts from a
+    load-balanced random assignment and anneals single-instruction moves
+    under the approximate schedule-length estimator, with the real list
+    scheduler run once at the end. A fifth baseline for the comparison
+    benches; deterministic for a given seed. *)
+
+val assign :
+  ?seed:int -> ?initial_temperature:float -> ?cooling:float -> ?steps_per_level:int ->
+  machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> int array
+(** Defaults: temperature 4.0, cooling 0.9, 40 moves per level, floor
+    0.05. Preplaced instructions never move on machines without remote
+    memory access. *)
+
+val schedule :
+  ?seed:int -> machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Cs_sched.Schedule.t

@@ -1,0 +1,117 @@
+(* Bottom-up phase: each instruction inherits the majority preplacement
+   desire of its successors (its own preplacement dominates). *)
+let desires ~machine graph =
+  let n = Cs_ddg.Graph.n graph in
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let desire = Array.make n None in
+  let topo = Cs_ddg.Graph.topo_order graph in
+  for k = n - 1 downto 0 do
+    let i = topo.(k) in
+    match (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.preplace with
+    | Some c -> desire.(i) <- Some c
+    | None ->
+      let votes = Array.make nc 0 in
+      List.iter
+        (fun s -> match desire.(s) with Some c -> votes.(c) <- votes.(c) + 1 | None -> ())
+        (Cs_ddg.Graph.succs graph i);
+      let best = ref (-1) and best_votes = ref 0 in
+      for c = 0 to nc - 1 do
+        if votes.(c) > !best_votes then begin
+          best := c;
+          best_votes := votes.(c)
+        end
+      done;
+      if !best >= 0 then desire.(i) <- Some !best
+  done;
+  desire
+
+let assign ~machine region =
+  let graph = region.Cs_ddg.Region.graph in
+  let n = Cs_ddg.Graph.n graph in
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let desire = desires ~machine graph in
+  let fu_res =
+    Array.init nc (fun c ->
+        Array.init (Array.length machine.Cs_machine.Machine.fus.(c)) (fun _ ->
+            Cs_sched.Reservation.create ()))
+  in
+  let assignment = Array.make n (-1) in
+  let finish = Array.make n 0 in
+  let load = Array.make nc 0 in
+  Array.iter
+    (fun i ->
+      let ins = Cs_ddg.Graph.instr graph i in
+      let candidates =
+        match ins.Cs_ddg.Instr.preplace with
+        | Some home when machine.Cs_machine.Machine.remote_mem_penalty = 0 -> [ home ]
+        | Some _ | None ->
+          List.filter
+            (fun c -> Cs_machine.Machine.can_execute machine ~cluster:c ins.Cs_ddg.Instr.op)
+            (List.init nc (fun c -> c))
+      in
+      let evaluate c =
+        let est =
+          List.fold_left
+            (fun acc p ->
+              max acc
+                (finish.(p)
+                + Cs_machine.Machine.comm_latency machine ~src:assignment.(p) ~dst:c))
+            0 (Cs_ddg.Graph.preds graph i)
+        in
+        let units = Cs_machine.Machine.fus_for machine ~cluster:c ins.Cs_ddg.Instr.op in
+        let start =
+          List.fold_left
+            (fun acc u -> min acc (Cs_sched.Reservation.first_free_from fu_res.(c).(u) est))
+            max_int units
+        in
+        start + Cs_sched.List_scheduler.effective_latency ~machine ~cluster:c ins
+      in
+      let ranked =
+        List.sort
+          (fun a b ->
+            let c = Int.compare (evaluate a) (evaluate b) in
+            if c <> 0 then c
+            else
+              let bonus cl = if desire.(i) = Some cl then 0 else 1 in
+              let c = Int.compare (bonus a) (bonus b) in
+              if c <> 0 then c
+              else
+                let c = Int.compare load.(a) load.(b) in
+                if c <> 0 then c else Int.compare a b)
+          candidates
+      in
+      match ranked with
+      | [] ->
+        raise
+          (Cs_sched.List_scheduler.Unschedulable
+             (Printf.sprintf "BUG: no cluster can execute instr %d" i))
+      | c :: _ ->
+        assignment.(i) <- c;
+        let est =
+          List.fold_left
+            (fun acc p ->
+              max acc
+                (finish.(p)
+                + Cs_machine.Machine.comm_latency machine ~src:assignment.(p) ~dst:c))
+            0 (Cs_ddg.Graph.preds graph i)
+        in
+        let units = Cs_machine.Machine.fus_for machine ~cluster:c ins.Cs_ddg.Instr.op in
+        let cycle, fu =
+          List.fold_left
+            (fun (bc, bu) u ->
+              let cy = Cs_sched.Reservation.first_free_from fu_res.(c).(u) est in
+              if cy < bc then (cy, u) else (bc, bu))
+            (max_int, -1) units
+        in
+        Cs_sched.Reservation.book fu_res.(c).(fu) cycle;
+        let lat = Cs_sched.List_scheduler.effective_latency ~machine ~cluster:c ins in
+        finish.(i) <- cycle + lat;
+        load.(c) <- load.(c) + lat)
+    (Cs_ddg.Graph.topo_order graph);
+  assignment
+
+let schedule ~machine region =
+  let analysis = Estimator.analysis_for ~machine region in
+  let assignment = assign ~machine region in
+  let priority = Cs_sched.Priority.alap analysis in
+  Cs_sched.List_scheduler.run ~machine ~assignment ~priority ~analysis region

@@ -1,0 +1,11 @@
+(** BUG — the Bulldog assigner (Ellis, 1986; the pioneering cluster
+    assignment algorithm discussed in the paper's related work). Two
+    phases: a bottom-up traversal propagates preplacement desires from
+    anchored descendants; a top-down greedy traversal then maps each
+    instruction to the cluster that lets it complete earliest, breaking
+    ties toward the inherited desire and the lighter load. Included as
+    an extra baseline for the ablation benches. *)
+
+val assign : machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> int array
+
+val schedule : machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Cs_sched.Schedule.t

@@ -1,0 +1,65 @@
+let analysis_for ~machine region =
+  Cs_ddg.Analysis.make
+    ~latency:(Cs_machine.Machine.latency_of machine)
+    region.Cs_ddg.Region.graph
+
+let schedule_length ~machine ~assignment ?analysis region =
+  let analysis = match analysis with Some a -> a | None -> analysis_for ~machine region in
+  let priority = Cs_sched.Priority.alap analysis in
+  let sched = Cs_sched.List_scheduler.run ~machine ~assignment ~priority ~analysis region in
+  Cs_sched.Schedule.makespan sched
+
+let approximate_length ~machine ~assignment ?analysis region =
+  let graph = region.Cs_ddg.Region.graph in
+  let analysis = match analysis with Some a -> a | None -> analysis_for ~machine region in
+  let n = Cs_ddg.Graph.n graph in
+  let nc = Cs_machine.Machine.n_clusters machine in
+  (* Resource bound at cluster granularity: operations on a cluster over
+     its issue width, plus one cycle per distinct outgoing transfer.
+     Deliberately blind to functional-unit classes — a cluster-level
+     count cannot see that, e.g., all floating-point work funnels
+     through one FPU, which is the estimator inaccuracy the baseline is
+     known for. *)
+  let width = Cs_machine.Machine.issue_width machine in
+  let ops = Array.make nc 0 in
+  let transfers = Array.make nc 0 in
+  for i = 0 to n - 1 do
+    let c = assignment.(i) in
+    ops.(c) <- ops.(c) + 1;
+    let sends_to = Array.make nc false in
+    List.iter
+      (fun s -> if assignment.(s) <> c then sends_to.(assignment.(s)) <- true)
+      (Cs_ddg.Graph.succs graph i);
+    Array.iter (fun b -> if b then transfers.(c) <- transfers.(c) + 1) sends_to
+  done;
+  let resource_bound = ref 0 in
+  for c = 0 to nc - 1 do
+    resource_bound := max !resource_bound ((ops.(c) + transfers.(c) + width - 1) / width)
+  done;
+  (* Communication-aware critical path; effective latencies include the
+     remote-memory penalty, which is how the paper's PCC augmentation
+     accounts for preplacement on the clustered VLIW. (The [analysis]
+     parameter exists for signature parity with [schedule_length]; this
+     bound recomputes its own finish times under the assignment.) *)
+  ignore analysis;
+  let finish = Array.make n 0 in
+  let cp_bound = ref 0 in
+  Array.iter
+    (fun i ->
+      let start =
+        List.fold_left
+          (fun acc p ->
+            let comm =
+              Cs_machine.Machine.comm_latency machine ~src:assignment.(p) ~dst:assignment.(i)
+            in
+            max acc (finish.(p) + comm))
+          0 (Cs_ddg.Graph.preds graph i)
+      in
+      let lat =
+        Cs_sched.List_scheduler.effective_latency ~machine ~cluster:assignment.(i)
+          (Cs_ddg.Graph.instr graph i)
+      in
+      finish.(i) <- start + lat;
+      cp_bound := max !cp_bound finish.(i))
+    (Cs_ddg.Graph.topo_order graph);
+  max !resource_bound !cp_bound

@@ -1,0 +1,30 @@
+(** Schedule-length estimation for assignment algorithms that iterate
+    (PCC's descent step evaluates candidate moves by estimating the
+    resulting schedule; Desoli's estimator models communication and
+    resource costs — ours simply runs the real list scheduler, which has
+    the same asymptotic cost profile and is exact). *)
+
+val schedule_length :
+  machine:Cs_machine.Machine.t ->
+  assignment:int array ->
+  ?analysis:Cs_ddg.Analysis.t ->
+  Cs_ddg.Region.t ->
+  int
+(** Makespan of an ALAP-priority list schedule under the assignment —
+    exact, but costs a full scheduling run. *)
+
+val approximate_length :
+  machine:Cs_machine.Machine.t ->
+  assignment:int array ->
+  ?analysis:Cs_ddg.Analysis.t ->
+  Cs_ddg.Region.t ->
+  int
+(** Desoli-style closed-form estimate: the maximum of (a) the
+    communication-aware critical path (each cross-cluster dependence
+    pays the topology's latency) and (b) each cluster's resource bound
+    (operations per functional-unit class, plus outgoing transfers per
+    transfer unit). Cheap — O(V + E) — and deliberately inexact; this is
+    what the PCC baseline descends on, and its inaccuracy is part of why
+    PCC trails convergent scheduling in the paper's Fig. 8. *)
+
+val analysis_for : machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Cs_ddg.Analysis.t

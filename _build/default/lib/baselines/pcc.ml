@@ -1,0 +1,153 @@
+(* On machines with remote memory access (clustered VLIW), the paper's
+   PCC augmentation treats preplacement through the *estimator* — "by
+   modeling the extra costs incurred ... for a non-local memory access" —
+   rather than by pinning. Pinning remains mandatory on meshes, where a
+   preplaced instruction cannot legally run elsewhere. *)
+let pins_are_hard machine = machine.Cs_machine.Machine.remote_mem_penalty = 0
+
+let pin_of ~machine graph i =
+  if pins_are_hard machine then (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.preplace
+  else None
+
+let components ~machine ~theta region =
+  let graph = region.Cs_ddg.Region.graph in
+  let analysis = Estimator.analysis_for ~machine region in
+  let n = Cs_ddg.Graph.n graph in
+  let visited = Array.make n false in
+  (* Seeds in decreasing criticality: smallest slack first, deepest
+     remaining chain breaking ties — "bottom up, critical-path first". *)
+  let seeds =
+    List.sort
+      (fun a b ->
+        let c = Int.compare (Cs_ddg.Analysis.slack analysis a) (Cs_ddg.Analysis.slack analysis b) in
+        if c <> 0 then c
+        else
+          let c =
+            Int.compare (Cs_ddg.Analysis.height analysis b) (Cs_ddg.Analysis.height analysis a)
+          in
+          if c <> 0 then c else Int.compare a b)
+      (List.init n (fun i -> i))
+  in
+  let comps = ref [] in
+  List.iter
+    (fun seed ->
+      if not visited.(seed) then begin
+        visited.(seed) <- true;
+        let comp = ref [ seed ] in
+        let comp_pin = ref (pin_of ~machine graph seed) in
+        let size = ref 1 in
+        let compatible i =
+          match (!comp_pin, pin_of ~machine graph i) with
+          | Some a, Some b -> a = b
+          | _ -> true
+        in
+        let continue_growing = ref true in
+        while !size < theta && !continue_growing do
+          (* Frontier: unvisited, pin-compatible neighbors of the component. *)
+          let frontier =
+            List.concat_map (fun i -> Cs_ddg.Graph.neighbors graph i) !comp
+            |> List.filter (fun i -> (not visited.(i)) && compatible i)
+            |> List.sort_uniq Int.compare
+          in
+          let best =
+            List.fold_left
+              (fun acc i ->
+                let key =
+                  (Cs_ddg.Analysis.slack analysis i, -Cs_ddg.Analysis.height analysis i, i)
+                in
+                match acc with
+                | Some (bk, _) when bk <= key -> acc
+                | Some _ | None -> Some (key, i))
+              None frontier
+          in
+          match best with
+          | None -> continue_growing := false
+          | Some (_, i) ->
+            visited.(i) <- true;
+            comp := i :: !comp;
+            incr size;
+            (match (!comp_pin, pin_of ~machine graph i) with
+            | None, Some c -> comp_pin := Some c
+            | _ -> ())
+        done;
+        comps := List.rev !comp :: !comps
+      end)
+    seeds;
+  List.rev !comps
+
+let initial_assignment ~machine ~analysis graph comps =
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let n = Cs_ddg.Graph.n graph in
+  let assignment = Array.make n 0 in
+  let load = Array.make nc 0 in
+  let work comp =
+    List.fold_left (fun acc i -> acc + Cs_ddg.Analysis.latency analysis i) 0 comp
+  in
+  let sorted = List.sort (fun a b -> Int.compare (work b) (work a)) comps in
+  List.iter
+    (fun comp ->
+      let pin = List.find_map (pin_of ~machine graph) comp in
+      let c =
+        match pin with
+        | Some c -> c
+        | None ->
+          let best = ref 0 in
+          for cand = 1 to nc - 1 do
+            if load.(cand) < load.(!best) then best := cand
+          done;
+          !best
+      in
+      List.iter (fun i -> assignment.(i) <- c) comp;
+      load.(c) <- load.(c) + work comp)
+    sorted;
+  assignment
+
+(* Iterative descent over the *approximate* estimator (as in Desoli's
+   original: candidate moves are judged by an estimation of the schedule
+   length, never by scheduling). The estimate's blind spots — uniform
+   unit binding, no issue-slot contention — are why PCC's final
+   schedules trail UAS and convergent scheduling even after many
+   evaluations. *)
+let descent ~machine ~analysis ~max_rounds region comps assignment =
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let graph = region.Cs_ddg.Region.graph in
+  let movable = List.filter (fun comp -> List.for_all (fun i -> pin_of ~machine graph i = None) comp) comps in
+  let best_len = ref (Estimator.approximate_length ~machine ~assignment ~analysis region) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    List.iter
+      (fun comp ->
+        for c = 0 to nc - 1 do
+          if c <> assignment.(List.hd comp) then begin
+            let saved = List.map (fun i -> assignment.(i)) comp in
+            let len =
+              List.iter (fun i -> assignment.(i) <- c) comp;
+              Estimator.approximate_length ~machine ~assignment ~analysis region
+            in
+            if len < !best_len then begin
+              best_len := len;
+              improved := true
+            end
+            else
+              List.iter2 (fun i old -> assignment.(i) <- old) comp saved
+          end
+        done)
+      movable
+  done;
+  assignment
+
+let assign ?(theta = 4) ?(max_rounds = 10) ~machine region =
+  let graph = region.Cs_ddg.Region.graph in
+  let analysis = Estimator.analysis_for ~machine region in
+  let comps = components ~machine ~theta region in
+  let assignment = initial_assignment ~machine ~analysis graph comps in
+  descent ~machine ~analysis ~max_rounds region comps assignment
+
+let schedule ?theta ?max_rounds ~machine region =
+  let analysis = Estimator.analysis_for ~machine region in
+  let assignment = assign ?theta ?max_rounds ~machine region in
+  let priority = Cs_sched.Priority.alap analysis in
+  Cs_sched.List_scheduler.run ~machine ~assignment ~priority ~analysis region

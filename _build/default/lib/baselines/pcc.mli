@@ -1,0 +1,23 @@
+(** PCC — Partial Component Clustering (Desoli, HPL-98-13; the second
+    baseline of the paper's Fig. 8): build partial components of the
+    dependence graph bottom-up, critical-path first, capped at
+    [theta] nodes; assign components to clusters by load balancing
+    (preplaced components go home, per the paper's augmentation); then
+    improve by iterative descent, re-estimating the schedule length for
+    every candidate component move. The descent's repeated estimation is
+    what makes PCC orders of magnitude slower than UAS or convergent
+    scheduling (paper Fig. 10). *)
+
+val components : machine:Cs_machine.Machine.t -> theta:int -> Cs_ddg.Region.t -> int list list
+(** The partial components (each a list of instruction ids); exposed for
+    tests. Components never mix instructions preplaced on different
+    clusters. *)
+
+val assign :
+  ?theta:int -> ?max_rounds:int -> machine:Cs_machine.Machine.t -> Cs_ddg.Region.t ->
+  int array
+(** Default [theta] 4, [max_rounds] 10 descent sweeps over the approximate estimator. *)
+
+val schedule :
+  ?theta:int -> ?max_rounds:int -> machine:Cs_machine.Machine.t -> Cs_ddg.Region.t ->
+  Cs_sched.Schedule.t

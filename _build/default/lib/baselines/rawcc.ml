@@ -1,0 +1,161 @@
+(* Step 1: DSC-style clustering. Walk in topological order; merge each
+   instruction with the predecessor that determines its ASAP time (its
+   critical edge) — eliminating the communication that would otherwise
+   lengthen the critical path — unless the merge would join two groups
+   pinned to different home clusters. *)
+let clustering ~analysis graph =
+  let n = Cs_ddg.Graph.n graph in
+  let uf = Cs_util.Union_find.create n in
+  let pin = Array.make n None in
+  Array.iter
+    (fun ins ->
+      match ins.Cs_ddg.Instr.preplace with
+      | Some c -> pin.(ins.Cs_ddg.Instr.id) <- Some c
+      | None -> ())
+    (Cs_ddg.Graph.instrs graph);
+  let pin_of i = pin.(Cs_util.Union_find.find uf i) in
+  let merge a b =
+    let pa = pin_of a and pb = pin_of b in
+    match (pa, pb) with
+    | Some ca, Some cb when ca <> cb -> ()
+    | _ ->
+      let keep = match (pa, pb) with Some c, _ | _, Some c -> Some c | None, None -> None in
+      let root = Cs_util.Union_find.union uf a b in
+      pin.(root) <- keep
+  in
+  Array.iter
+    (fun i ->
+      let critical_pred =
+        List.fold_left
+          (fun acc p ->
+            let arrives = Cs_ddg.Analysis.earliest analysis p + Cs_ddg.Analysis.latency analysis p in
+            if arrives = Cs_ddg.Analysis.earliest analysis i then
+              match acc with
+              | Some q
+                when Cs_ddg.Analysis.height analysis q >= Cs_ddg.Analysis.height analysis p ->
+                acc
+              | Some _ | None -> Some p
+            else acc)
+          None (Cs_ddg.Graph.preds graph i)
+      in
+      match critical_pred with Some p -> merge p i | None -> ())
+    (Cs_ddg.Graph.topo_order graph);
+  (uf, pin_of)
+
+(* Steps 2+3: merge groups into one partition per cluster and place them.
+   Pinned groups go to their home cluster; the rest are packed in
+   decreasing-work order onto the cluster maximizing dependence affinity
+   (discounted by network hops) minus a load penalty. *)
+let pack ~machine ~analysis graph (uf, pin_of) =
+  let n = Cs_ddg.Graph.n graph in
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let assignment = Array.make n (-1) in
+  let load = Array.make nc 0 in
+  let groups = Cs_util.Union_find.groups uf in
+  let work members =
+    List.fold_left (fun acc i -> acc + Cs_ddg.Analysis.latency analysis i) 0 members
+  in
+  let place members c =
+    List.iter (fun i -> assignment.(i) <- c) members;
+    load.(c) <- load.(c) + work members
+  in
+  let unpinned = ref [] in
+  Hashtbl.iter
+    (fun root members ->
+      match pin_of root with
+      | Some c -> place members c
+      | None -> unpinned := (work members, members) :: !unpinned)
+    groups;
+  let unpinned =
+    List.sort (fun (wa, ma) (wb, mb) -> if wb <> wa then Int.compare wb wa else compare ma mb)
+      !unpinned
+  in
+  List.iter
+    (fun (w, members) ->
+      let affinity = Array.make nc 0.0 in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if assignment.(j) >= 0 then begin
+                let c = assignment.(j) in
+                for cand = 0 to nc - 1 do
+                  let hops = Cs_machine.Machine.hops machine cand c in
+                  affinity.(cand) <- affinity.(cand) +. (1.0 /. float_of_int (1 + hops))
+                done
+              end)
+            (Cs_ddg.Graph.neighbors graph i))
+        members;
+      let best = ref 0 and best_score = ref neg_infinity in
+      for c = 0 to nc - 1 do
+        let score = (2.0 *. affinity.(c)) -. float_of_int (load.(c) + w) in
+        if score > !best_score then begin
+          best := c;
+          best_score := score
+        end
+      done;
+      place members !best)
+    unpinned;
+  assignment
+
+(* Pairwise-swap refinement on mesh machines: swapping the unpinned
+   contents of two tiles keeps preplacement legal and can reduce
+   hop-weighted communication. *)
+let refine ~machine graph assignment =
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let comm_cost assignment =
+    let total = ref 0 in
+    for i = 0 to Cs_ddg.Graph.n graph - 1 do
+      List.iter
+        (fun j ->
+          total := !total + Cs_machine.Machine.hops machine assignment.(i) assignment.(j))
+        (Cs_ddg.Graph.succs graph i)
+    done;
+    !total
+  in
+  let pinned = Array.make (Cs_ddg.Graph.n graph) false in
+  Array.iter
+    (fun ins ->
+      if Cs_ddg.Instr.is_preplaced ins then pinned.(ins.Cs_ddg.Instr.id) <- true)
+    (Cs_ddg.Graph.instrs graph);
+  let swap a b =
+    Array.mapi
+      (fun i c ->
+        if pinned.(i) then c else if c = a then b else if c = b then a else c)
+      assignment
+  in
+  let best = ref (Array.copy assignment) in
+  let best_cost = ref (comm_cost assignment) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < 4 do
+    improved := false;
+    incr rounds;
+    for a = 0 to nc - 1 do
+      for b = a + 1 to nc - 1 do
+        let cand = swap a b in
+        let cost = comm_cost cand in
+        if cost < !best_cost then begin
+          best := cand;
+          best_cost := cost;
+          Array.blit cand 0 assignment 0 (Array.length assignment);
+          improved := true
+        end
+      done
+    done
+  done;
+  !best
+
+let assign ~machine region =
+  let graph = region.Cs_ddg.Region.graph in
+  let analysis = Estimator.analysis_for ~machine region in
+  let clusters = clustering ~analysis graph in
+  let assignment = pack ~machine ~analysis graph clusters in
+  if Cs_machine.Machine.is_mesh machine then refine ~machine graph assignment
+  else assignment
+
+let schedule ~machine region =
+  let analysis = Estimator.analysis_for ~machine region in
+  let assignment = assign ~machine region in
+  let priority = Cs_sched.Priority.alap analysis in
+  Cs_sched.List_scheduler.run ~machine ~assignment ~priority ~analysis region

@@ -1,0 +1,13 @@
+(** The Rawcc-style space-time scheduler baseline (Lee et al.,
+    ASPLOS'98; summarized in the paper's Secs. 5-6): assignment in three
+    steps — {e clustering} groups instructions with little mutual
+    parallelism (we merge along critical dependence edges, DSC-style);
+    {e merging} reduces the clusters to the number of tiles by affinity-
+    and load-aware bin packing; {e placement} maps partitions to tiles
+    honoring preplacement and greedily minimizing hop-weighted
+    communication with pairwise-swap refinement. Temporal scheduling is
+    the shared ALAP list scheduler. *)
+
+val assign : machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> int array
+
+val schedule : machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Cs_sched.Schedule.t

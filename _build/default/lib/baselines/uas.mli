@@ -1,0 +1,18 @@
+(** UAS — Unified Assign and Schedule (Ozer et al., MICRO-31; used as a
+    baseline in the paper's Fig. 8): cluster assignment is integrated
+    into the list scheduler, with each decision made once and never
+    revisited.
+
+    Ready instructions are taken in critical-path order; for each, the
+    candidate clusters are ranked and the first feasible one is taken,
+    booking functional units and operand transfers immediately. Per the
+    paper's augmentation, the home cluster of a preplaced instruction
+    gets the highest priority (and is mandatory on Raw, where memory
+    banks are not remotely accessible); other clusters are ranked by
+    estimated completion cycle (the CPSC flavor), breaking ties toward
+    lower load. *)
+
+val schedule : machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Cs_sched.Schedule.t
+
+val assign : machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> int array
+(** The assignment extracted from {!schedule}'s result. *)

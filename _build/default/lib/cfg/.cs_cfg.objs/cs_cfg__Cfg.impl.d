@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Cs_ddg Float Format Hashtbl List Printf String

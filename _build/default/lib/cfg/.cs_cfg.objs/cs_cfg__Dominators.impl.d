@@ -1,0 +1,1 @@
+lib/cfg/dominators.ml: Cfg Hashtbl List Option Set String

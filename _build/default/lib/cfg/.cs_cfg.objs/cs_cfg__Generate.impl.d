@@ -1,0 +1,1 @@
+lib/cfg/generate.ml: Cfg Cs_ddg Cs_util List Printf

@@ -1,0 +1,1 @@
+lib/cfg/generate.mli: Cfg

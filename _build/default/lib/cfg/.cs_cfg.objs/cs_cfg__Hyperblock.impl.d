@@ -1,0 +1,1 @@
+lib/cfg/hyperblock.ml: Cfg Cs_ddg Hashtbl List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/cfg/hyperblock.mli: Cfg Cs_ddg

@@ -1,0 +1,1 @@
+lib/cfg/superblock.ml: Cfg List Trace

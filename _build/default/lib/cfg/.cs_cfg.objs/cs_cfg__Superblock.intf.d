@@ -1,0 +1,1 @@
+lib/cfg/superblock.mli: Cfg

@@ -1,0 +1,1 @@
+lib/cfg/trace.ml: Cfg Cs_ddg Hashtbl List Printf String

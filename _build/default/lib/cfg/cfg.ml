@@ -1,0 +1,76 @@
+type pinstr = {
+  op : Cs_ddg.Opcode.t;
+  dst : Cs_ddg.Reg.t option;
+  srcs : Cs_ddg.Reg.t list;
+  preplace : int option;
+  tag : string;
+}
+
+let pinstr ?preplace ?(tag = "") op ?dst srcs = { op; dst; srcs; preplace; tag }
+
+type block = {
+  label : string;
+  body : pinstr list;
+  succs : (string * float) list;
+}
+
+type t = {
+  entry : string;
+  blocks : block list;
+}
+
+let find_block t label = List.find_opt (fun b -> b.label = label) t.blocks
+
+let validate t =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let labels = List.map (fun b -> b.label) t.blocks in
+  if List.length labels <> List.length (List.sort_uniq compare labels) then
+    fail "duplicate block labels";
+  if find_block t t.entry = None then fail "entry %S does not exist" t.entry;
+  List.iter
+    (fun b ->
+      let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 b.succs in
+      if b.succs <> [] && Float.abs (total -. 1.0) > 1e-6 then
+        fail "block %S branch probabilities sum to %g" b.label total;
+      List.iter
+        (fun (s, p) ->
+          if p < 0.0 || p > 1.0 then fail "block %S edge to %S has probability %g" b.label s p;
+          if find_block t s = None then fail "block %S branches to unknown %S" b.label s)
+        b.succs)
+    t.blocks;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " (List.rev ps))
+
+let frequencies ?(iterations = 64) t =
+  (* Damped fixed point: freq = entry-indicator + damping * inflow. The
+     damping bounds loop frequencies (a 0.9-probability self loop reads
+     as ~7x rather than diverging), which is all trace selection needs. *)
+  let damping = 0.85 in
+  let freq = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace freq b.label (if b.label = t.entry then 1.0 else 0.0)) t.blocks;
+  for _ = 1 to iterations do
+    List.iter
+      (fun b ->
+        let inflow =
+          List.fold_left
+            (fun acc pred ->
+              match List.assoc_opt b.label pred.succs with
+              | Some p -> acc +. (p *. Hashtbl.find freq pred.label)
+              | None -> acc)
+            0.0 t.blocks
+        in
+        let base = if b.label = t.entry then 1.0 else 0.0 in
+        Hashtbl.replace freq b.label (base +. (damping *. inflow)))
+      t.blocks
+  done;
+  List.map (fun b -> (b.label, Hashtbl.find freq b.label)) t.blocks
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>cfg (entry %s)@," t.entry;
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "%s: %d instrs -> %s@," b.label (List.length b.body)
+        (String.concat ", "
+           (List.map (fun (s, p) -> Printf.sprintf "%s(%.2f)" s p) b.succs)))
+    t.blocks;
+  Format.fprintf fmt "@]"

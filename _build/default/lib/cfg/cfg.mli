@@ -1,0 +1,45 @@
+(** A small control-flow-graph IR and block frequency estimation.
+
+    The paper's scheduler "operates on individual scheduling units,
+    which may be basic blocks, traces, superblocks, or hyperblocks"
+    (Sec. 3); Rawcc "divides each input program into one or more
+    scheduling traces" (Sec. 5). This module provides the program-level
+    IR those units are formed from: basic blocks of (non-SSA)
+    instructions over program variables, connected by probability-
+    weighted control edges. {!Trace} forms the scheduling units. *)
+
+type pinstr = {
+  op : Cs_ddg.Opcode.t;
+  dst : Cs_ddg.Reg.t option; (** program variable written *)
+  srcs : Cs_ddg.Reg.t list; (** program variables read *)
+  preplace : int option;
+  tag : string;
+}
+
+val pinstr :
+  ?preplace:int -> ?tag:string -> Cs_ddg.Opcode.t -> ?dst:Cs_ddg.Reg.t ->
+  Cs_ddg.Reg.t list -> pinstr
+
+type block = {
+  label : string;
+  body : pinstr list;
+  succs : (string * float) list;
+  (** successor labels with branch probabilities; empty for exits *)
+}
+
+type t = {
+  entry : string;
+  blocks : block list;
+}
+
+val find_block : t -> string -> block option
+
+val validate : t -> (unit, string) result
+(** Entry exists, successor labels resolve, probabilities are in
+    [\[0,1\]] and sum to ~1 per branching block, labels unique. *)
+
+val frequencies : ?iterations:int -> t -> (string * float) list
+(** Expected executions per entry execution, by damped fixed-point
+    propagation (handles loops); entry has frequency 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,125 @@
+module StringSet = Set.Make (String)
+
+let reachable cfg =
+  let seen = Hashtbl.create 16 in
+  let rec visit label =
+    if not (Hashtbl.mem seen label) then begin
+      Hashtbl.add seen label ();
+      match Cfg.find_block cfg label with
+      | Some b -> List.iter (fun (s, _) -> visit s) b.Cfg.succs
+      | None -> ()
+    end
+  in
+  visit cfg.Cfg.entry;
+  seen
+
+let predecessors cfg label =
+  List.filter_map
+    (fun b -> if List.mem_assoc label b.Cfg.succs then Some b.Cfg.label else None)
+    cfg.Cfg.blocks
+
+(* Iterative dominator sets: dom(entry) = {entry};
+   dom(b) = {b} ∪ ⋂ dom(preds). *)
+let dominator_sets cfg =
+  let live = reachable cfg in
+  let labels =
+    List.filter_map
+      (fun b -> if Hashtbl.mem live b.Cfg.label then Some b.Cfg.label else None)
+      cfg.Cfg.blocks
+  in
+  let all = StringSet.of_list labels in
+  let dom = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace dom l
+        (if l = cfg.Cfg.entry then StringSet.singleton l else all))
+    labels;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> cfg.Cfg.entry then begin
+          let preds = List.filter (Hashtbl.mem live) (predecessors cfg l) in
+          let inter =
+            match preds with
+            | [] -> StringSet.empty
+            | p :: ps ->
+              List.fold_left
+                (fun acc q -> StringSet.inter acc (Hashtbl.find dom q))
+                (Hashtbl.find dom p) ps
+          in
+          let next = StringSet.add l inter in
+          if not (StringSet.equal next (Hashtbl.find dom l)) then begin
+            Hashtbl.replace dom l next;
+            changed := true
+          end
+        end)
+      labels
+  done;
+  (labels, dom)
+
+let dominates cfg a b =
+  let _, dom = dominator_sets cfg in
+  match Hashtbl.find_opt dom b with
+  | Some set -> StringSet.mem a set
+  | None -> false
+
+let immediate_dominators cfg =
+  let labels, dom = dominator_sets cfg in
+  List.filter_map
+    (fun l ->
+      if l = cfg.Cfg.entry then None
+      else begin
+        let strict = StringSet.remove l (Hashtbl.find dom l) in
+        (* The idom is the strict dominator dominated by all others. *)
+        let idom =
+          StringSet.fold
+            (fun cand acc ->
+              let dominated_by_all =
+                StringSet.for_all
+                  (fun other -> StringSet.mem other (Hashtbl.find dom cand))
+                  strict
+              in
+              if dominated_by_all then Some cand else acc)
+            strict None
+        in
+        Option.map (fun d -> (l, d)) idom
+      end)
+    labels
+
+let back_edges cfg =
+  let _, dom = dominator_sets cfg in
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun (s, _) ->
+          match Hashtbl.find_opt dom b.Cfg.label with
+          | Some set when StringSet.mem s set -> Some (b.Cfg.label, s)
+          | Some _ | None -> None)
+        b.Cfg.succs)
+    cfg.Cfg.blocks
+
+let natural_loops cfg =
+  let loops = Hashtbl.create 8 in
+  List.iter
+    (fun (tail, head) ->
+      (* Walk predecessors backward from the tail until the header. *)
+      let body = ref (StringSet.of_list [ head; tail ]) in
+      let rec walk label =
+        List.iter
+          (fun p ->
+            if not (StringSet.mem p !body) then begin
+              body := StringSet.add p !body;
+              walk p
+            end)
+          (predecessors cfg label)
+      in
+      if tail <> head then walk tail;
+      let existing =
+        Option.value ~default:StringSet.empty (Hashtbl.find_opt loops head)
+      in
+      Hashtbl.replace loops head (StringSet.union existing !body))
+    (back_edges cfg);
+  Hashtbl.fold (fun head body acc -> (head, StringSet.elements body) :: acc) loops []
+  |> List.sort compare

@@ -1,0 +1,21 @@
+(** Dominator analysis and natural-loop detection over a CFG — the
+    standard infrastructure behind region formation (identifying loop
+    bodies to exclude from hyperblocks, join points for if-conversion,
+    back edges for frequency estimation). Iterative dataflow
+    formulation (Cooper-Harvey-Kennedy style, over label sets). *)
+
+val immediate_dominators : Cfg.t -> (string * string) list
+(** [(block, idom)] for every block reachable from the entry except the
+    entry itself. *)
+
+val dominates : Cfg.t -> string -> string -> bool
+(** [dominates cfg a b]: every path from the entry to [b] passes through
+    [a]. Reflexive. Unreachable blocks are dominated by nothing. *)
+
+val back_edges : Cfg.t -> (string * string) list
+(** Edges [(tail, head)] where [head] dominates [tail] — the loop back
+    edges. *)
+
+val natural_loops : Cfg.t -> (string * string list) list
+(** [(header, body)] per back edge; the body includes the header, sorted
+    ascending. Loops sharing a header are merged. *)

@@ -1,0 +1,63 @@
+let fp_ops = [| Cs_ddg.Opcode.Fadd; Fsub; Fmul; Add; Xor |]
+
+let block_body ~rng ~instrs_per_block ~variables ~mem_fraction ~banks =
+  List.init instrs_per_block (fun _ ->
+      let dst = Cs_util.Rng.int rng variables in
+      if Cs_util.Rng.float rng 1.0 < mem_fraction then begin
+        let addr = Cs_util.Rng.int rng variables in
+        let bank = Cs_util.Rng.int rng banks in
+        if Cs_util.Rng.bool rng then
+          Cfg.pinstr ~preplace:bank Cs_ddg.Opcode.Load ~dst [ addr ]
+        else Cfg.pinstr ~preplace:bank Cs_ddg.Opcode.Store [ addr; Cs_util.Rng.int rng variables ]
+      end
+      else begin
+        let a = Cs_util.Rng.int rng variables and b = Cs_util.Rng.int rng variables in
+        Cfg.pinstr (Cs_util.Rng.choose rng fp_ops) ~dst [ a; b ]
+      end)
+
+let acyclic ?(segments = 6) ?(instrs_per_block = 6) ?(variables = 8)
+    ?(hot_probability = 0.85) ?(mem_fraction = 0.25) ?(banks = 4) ~seed () =
+  if segments <= 0 then invalid_arg "Generate.acyclic: need positive segments";
+  let rng = Cs_util.Rng.create seed in
+  let body () = block_body ~rng ~instrs_per_block ~variables ~mem_fraction ~banks in
+  let blocks = ref [] in
+  let add label body succs = blocks := { Cfg.label; body; succs } :: !blocks in
+  (* Seed definitions so early uses are not all live-ins. *)
+  let preamble =
+    List.init variables (fun k -> Cfg.pinstr Cs_ddg.Opcode.Const ~dst:k [])
+  in
+  let rec build k =
+    let label = Printf.sprintf "s%d" k in
+    if k = segments then begin
+      add label (body ()) [];
+      label
+    end
+    else begin
+      let next = build (k + 1) in
+      if Cs_util.Rng.bool rng then begin
+        (* Straight segment. *)
+        add label (body ()) [ (next, 1.0) ];
+        label
+      end
+      else begin
+        (* Diamond: hot and cold arms rejoining at [next]. *)
+        let hot = label ^ ".hot" and cold = label ^ ".cold" in
+        add hot (body ()) [ (next, 1.0) ];
+        add cold (body ()) [ (next, 1.0) ];
+        add label (body ()) [ (hot, hot_probability); (cold, 1.0 -. hot_probability) ];
+        label
+      end
+    end
+  in
+  let entry = build 0 in
+  (* Prepend the preamble to the entry block. *)
+  let blocks =
+    List.map
+      (fun b ->
+        if b.Cfg.label = entry then { b with Cfg.body = preamble @ b.Cfg.body } else b)
+      !blocks
+  in
+  let cfg = { Cfg.entry; blocks } in
+  match Cfg.validate cfg with
+  | Ok () -> cfg
+  | Error msg -> invalid_arg ("Generate.acyclic: internal: " ^ msg)

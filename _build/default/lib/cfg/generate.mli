@@ -1,0 +1,11 @@
+(** Random structured acyclic CFGs for region-formation experiments:
+    a chain of segments, each either a straight block or a two-arm
+    diamond with a skewed branch, carrying dataflow through a small set
+    of program variables. Deterministic per seed. *)
+
+val acyclic :
+  ?segments:int -> ?instrs_per_block:int -> ?variables:int -> ?hot_probability:float ->
+  ?mem_fraction:float -> ?banks:int -> seed:int -> unit -> Cfg.t
+(** Defaults: 6 segments, 6 instructions per block, 8 variables, 0.85
+    hot-arm probability, 0.25 of instructions are banked memory
+    references over [banks] (default 4) clusters. *)

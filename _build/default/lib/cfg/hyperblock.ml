@@ -1,0 +1,129 @@
+module StringMap = Map.Make (String)
+
+(* Topological order of blocks reachable from [entry]; rejects cycles. *)
+let topo_reachable cfg ~entry =
+  let order = ref [] in
+  let state = Hashtbl.create 16 (* label -> `Visiting | `Done *) in
+  let rec visit label =
+    match Hashtbl.find_opt state label with
+    | Some `Done -> ()
+    | Some `Visiting -> invalid_arg "Hyperblock.region_of: region contains a cycle"
+    | None ->
+      Hashtbl.replace state label `Visiting;
+      (match Cfg.find_block cfg label with
+      | None -> invalid_arg (Printf.sprintf "Hyperblock.region_of: unknown block %S" label)
+      | Some b -> List.iter (fun (s, _) -> visit s) b.Cfg.succs);
+      Hashtbl.replace state label `Done;
+      order := label :: !order
+  in
+  visit entry;
+  !order
+
+let region_of cfg ~entry =
+  (match Cfg.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Hyperblock.region_of: " ^ msg));
+  let order = topo_reachable cfg ~entry in
+  let b = Cs_ddg.Builder.create ~name:("hyper:" ^ entry) () in
+  (* Per-block state after processing: variable environment and the
+     predicate guarding each outgoing edge (for branching blocks). *)
+  let exit_env : (string, Cs_ddg.Reg.t StringMap.t) Hashtbl.t = Hashtbl.create 16 in
+  let predicate_of : (string, Cs_ddg.Reg.t) Hashtbl.t = Hashtbl.create 16 in
+  let var_key v = string_of_int v in
+  let reachable_preds label =
+    List.filter
+      (fun blk ->
+        Hashtbl.mem exit_env blk.Cfg.label
+        && List.mem_assoc label blk.Cfg.succs)
+      cfg.Cfg.blocks
+  in
+  List.iter
+    (fun label ->
+      let block = Option.get (Cfg.find_block cfg label) in
+      let preds = reachable_preds label in
+      (* Entry environment: merge predecessors' exit environments,
+         select-merging variables whose definitions disagree. *)
+      let env =
+        match preds with
+        | [] -> StringMap.empty
+        | [ p ] -> Hashtbl.find exit_env p.Cfg.label
+        | first :: rest ->
+          let merged = ref (Hashtbl.find exit_env first.Cfg.label) in
+          List.iter
+            (fun p ->
+              let other = Hashtbl.find exit_env p.Cfg.label in
+              merged :=
+                StringMap.merge
+                  (fun _ a bv ->
+                    match (a, bv) with
+                    | Some ra, Some rb when Cs_ddg.Reg.equal ra rb -> Some ra
+                    | Some ra, Some rb ->
+                      (* Guard by the predicate of the branch that decides
+                         which path executed: [p]'s controlling branch. *)
+                      let guard =
+                        match Hashtbl.find_opt predicate_of p.Cfg.label with
+                        | Some g -> g
+                        | None ->
+                          (match Hashtbl.find_opt predicate_of first.Cfg.label with
+                          | Some g -> g
+                          | None ->
+                            invalid_arg
+                              "Hyperblock.region_of: join without a controlling predicate")
+                      in
+                      Some (Cs_ddg.Builder.op3 b ~tag:"phi" Cs_ddg.Opcode.Select guard rb ra)
+                    | Some _, None | None, Some _ ->
+                      invalid_arg
+                        (Printf.sprintf
+                           "Hyperblock.region_of: variable partially defined at join %S" label)
+                    | None, None -> None)
+                  !merged other)
+            rest;
+          !merged
+      in
+      let env = ref env in
+      let read var =
+        match StringMap.find_opt (var_key var) !env with
+        | Some r -> r
+        | None ->
+          let r = Cs_ddg.Builder.live_in b in
+          env := StringMap.add (var_key var) r !env;
+          r
+      in
+      List.iter
+        (fun (pi : Cfg.pinstr) ->
+          let srcs = List.map read pi.Cfg.srcs in
+          let dst =
+            Cs_ddg.Builder.emit b ?preplace:pi.Cfg.preplace ~tag:pi.Cfg.tag pi.Cfg.op
+              ~dst:(pi.Cfg.dst <> None) srcs
+          in
+          match (pi.Cfg.dst, dst) with
+          | Some var, Some r -> env := StringMap.add (var_key var) r !env
+          | _ -> ())
+        block.Cfg.body;
+      (* Branching block: synthesize the predicate its successors are
+         guarded by (a compare of the last value against a constant). *)
+      if List.length block.Cfg.succs > 1 then begin
+        let scrutinee =
+          match StringMap.choose_opt !env with
+          | Some (_, r) -> r
+          | None -> Cs_ddg.Builder.op0 b ~tag:"guard.src" Cs_ddg.Opcode.Const
+        in
+        let zero = Cs_ddg.Builder.op0 b ~tag:"0" Cs_ddg.Opcode.Const in
+        let p = Cs_ddg.Builder.op2 b ~tag:("p." ^ label) Cs_ddg.Opcode.Cmp scrutinee zero in
+        List.iter (fun (s, _) -> Hashtbl.replace predicate_of s p) block.Cfg.succs
+      end
+      else
+        (* Propagate the guard through straight-line successors. *)
+        (match Hashtbl.find_opt predicate_of label with
+        | Some p ->
+          List.iter (fun (s, _) -> Hashtbl.replace predicate_of s p) block.Cfg.succs
+        | None -> ());
+      Hashtbl.replace exit_env label !env)
+    order;
+  (* Values live at the hyperblock exit: last block's environment. *)
+  (match order with
+  | [] -> ()
+  | _ ->
+    let last = List.nth order (List.length order - 1) in
+    StringMap.iter (fun _ r -> Cs_ddg.Builder.mark_live_out b r) (Hashtbl.find exit_env last));
+  Cs_ddg.Builder.finish b

@@ -1,0 +1,19 @@
+(** Hyperblock formation by if-conversion (Mahlke et al., MICRO-25 —
+    cited by the paper as one source of large scheduling units).
+
+    A single-entry, acyclic CFG region is flattened into one scheduling
+    region: every block's instructions are emitted unconditionally, a
+    predicate (a synthesized compare) is created at each branching
+    block, and variables that reach a join with different definitions
+    are merged with [Select] instructions guarded by the controlling
+    predicate — the predicated-execution model, specialized to our IR.
+
+    Simplifications (documented, checked where possible): every variable
+    merged at a join must be defined on all joining paths or before the
+    branch (no partially-defined merges), and loops must be excluded
+    from the region ([region_of] rejects back edges). *)
+
+val region_of : Cfg.t -> entry:string -> Cs_ddg.Region.t
+(** Flattens every block reachable from [entry]. Raises
+    [Invalid_argument] on cycles, unknown labels, or partially-defined
+    join merges. *)

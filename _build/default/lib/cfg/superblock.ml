@@ -1,0 +1,77 @@
+let side_entrances cfg trace =
+  match trace with
+  | [] -> []
+  | _head :: tail ->
+    let on_trace = List.mapi (fun k l -> (l, k)) trace in
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (fun (s, _) ->
+            match (List.assoc_opt s on_trace, List.assoc_opt b.Cfg.label on_trace) with
+            | Some k, pred_pos when List.mem s tail ->
+              (* An edge into the middle of the trace is a side entrance
+                 unless it is the trace's own fallthrough. *)
+              let is_fallthrough =
+                match pred_pos with Some p -> p + 1 = k | None -> false
+              in
+              if is_fallthrough then None else Some (b.Cfg.label, s)
+            | _ -> None)
+          b.Cfg.succs)
+      cfg.Cfg.blocks
+
+let dup_label l = l ^ ".dup"
+
+let tail_duplicate cfg trace =
+  match side_entrances cfg trace with
+  | [] -> (cfg, trace)
+  | entrances ->
+    (* Duplicate the suffix of the trace starting at the earliest block
+       with a side entrance; retarget all offending edges to the clones. *)
+    let entered = List.map snd entrances in
+    let rec split prefix = function
+      | [] -> (List.rev prefix, [])
+      | l :: rest when List.mem l entered -> (List.rev prefix, l :: rest)
+      | l :: rest -> split (l :: prefix) rest
+    in
+    let _prefix, suffix = split [] trace in
+    let suffix_set = suffix in
+    let clone_of l = if List.mem l suffix_set then dup_label l else l in
+    let clones =
+      List.filter_map
+        (fun l ->
+          match Cfg.find_block cfg l with
+          | None -> None
+          | Some b ->
+            (* The clone branches wherever the original did; on-suffix
+               successors stay within the cloned suffix. *)
+            Some
+              { Cfg.label = dup_label l; body = b.Cfg.body;
+                succs = List.map (fun (s, p) -> (clone_of s, p)) b.Cfg.succs })
+        suffix_set
+    in
+    (* Retarget side entrances (edges from off-trace blocks into the
+       suffix) at the clones; the trace's own edges are untouched. *)
+    let blocks =
+      List.map
+        (fun b ->
+          if List.mem b.Cfg.label trace then b
+          else
+            { b with
+              Cfg.succs =
+                List.map
+                  (fun (s, p) -> if List.mem s suffix_set then (dup_label s, p) else (s, p))
+                  b.Cfg.succs })
+        cfg.Cfg.blocks
+    in
+    ({ cfg with Cfg.blocks = blocks @ clones }, trace)
+
+let form ?min_probability cfg =
+  let traces = Trace.select ?min_probability cfg in
+  let final_cfg, superblocks =
+    List.fold_left
+      (fun (acc_cfg, acc_sbs) trace ->
+        let next_cfg, sb = tail_duplicate acc_cfg trace in
+        (next_cfg, sb :: acc_sbs))
+      (cfg, []) traces
+  in
+  (final_cfg, List.rev superblocks)

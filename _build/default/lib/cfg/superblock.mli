@@ -1,0 +1,23 @@
+(** Superblock formation (Hwu et al. 1993, cited in the paper's Sec. 3):
+    a trace with no side entrances. Starting from Fisher traces, side
+    entrances are removed by {e tail duplication}: when an off-trace
+    block branches into the middle of a trace, the rest of the trace is
+    cloned and the offending edge retargeted to the clone. The result is
+    a transformed CFG whose hot paths are single-entry, so each
+    superblock converts to one scheduling region with no join
+    constraints. *)
+
+val side_entrances : Cfg.t -> string list -> (string * string) list
+(** Edges [(from_block, into_trace_block)] entering the trace anywhere
+    but its head. *)
+
+val tail_duplicate : Cfg.t -> string list -> Cfg.t * string list
+(** Removes every side entrance of the trace by duplicating the trace
+    suffix (cloned blocks get a [.dup] suffix); returns the transformed
+    CFG and the now-side-entrance-free superblock. The trace head keeps
+    its label, so entry traces stay entry traces. *)
+
+val form : ?min_probability:float -> Cfg.t -> Cfg.t * string list list
+(** Select traces, tail-duplicate each into a superblock, and return the
+    transformed CFG plus the superblocks (convert them with
+    {!Trace.region_of_trace} against the {e returned} CFG). *)

@@ -1,0 +1,120 @@
+let most_likely_succ cfg ~taken label =
+  match Cfg.find_block cfg label with
+  | None -> None
+  | Some b ->
+    List.fold_left
+      (fun acc (s, p) ->
+        if Hashtbl.mem taken s then acc
+        else
+          match acc with
+          | Some (_, bp) when bp >= p -> acc
+          | Some _ | None -> Some (s, p))
+      None b.Cfg.succs
+
+let most_likely_pred cfg ~taken label =
+  List.fold_left
+    (fun acc b ->
+      if Hashtbl.mem taken b.Cfg.label then acc
+      else
+        match List.assoc_opt label b.Cfg.succs with
+        | Some p ->
+          (match acc with
+          | Some (_, bp) when bp >= p -> acc
+          | Some _ | None -> Some (b.Cfg.label, p))
+        | None -> acc)
+    None cfg.Cfg.blocks
+
+let select ?(min_probability = 0.6) cfg =
+  (match Cfg.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Trace.select: " ^ msg));
+  let freqs = Cfg.frequencies cfg in
+  let taken = Hashtbl.create 16 in
+  let hottest_unvisited () =
+    List.fold_left
+      (fun acc (label, f) ->
+        if Hashtbl.mem taken label then acc
+        else
+          match acc with
+          | Some (_, bf) when bf >= f -> acc
+          | Some _ | None -> Some (label, f))
+      None freqs
+  in
+  let traces = ref [] in
+  let rec build () =
+    match hottest_unvisited () with
+    | None -> ()
+    | Some (seed, _) ->
+      Hashtbl.add taken seed ();
+      (* Grow forward along mutually-most-likely, sufficiently probable
+         edges. *)
+      let forward = ref [] in
+      let cur = ref seed in
+      let growing = ref true in
+      while !growing do
+        match most_likely_succ cfg ~taken !cur with
+        | Some (next, p)
+          when p >= min_probability
+               && (match most_likely_pred cfg ~taken:(Hashtbl.create 0) next with
+                  | Some (back, _) -> back = !cur
+                  | None -> false) ->
+          Hashtbl.add taken next ();
+          forward := next :: !forward;
+          cur := next
+        | Some _ | None -> growing := false
+      done;
+      (* Grow backward symmetrically. *)
+      let backward = ref [] in
+      let cur = ref seed in
+      let growing = ref true in
+      while !growing do
+        match most_likely_pred cfg ~taken !cur with
+        | Some (prev, p) when p >= min_probability ->
+          Hashtbl.add taken prev ();
+          backward := prev :: !backward;
+          cur := prev
+        | Some _ | None -> growing := false
+      done;
+      traces := (List.rev !backward @ [ seed ] @ List.rev !forward) :: !traces;
+      build ()
+  in
+  build ();
+  List.rev !traces
+
+let region_of_trace cfg labels =
+  if labels = [] then invalid_arg "Trace.region_of_trace: empty trace";
+  let name = String.concat "+" labels in
+  let b = Cs_ddg.Builder.create ~name () in
+  (* SSA renaming: program variable -> current region register. *)
+  let env = Hashtbl.create 32 in
+  let read var =
+    match Hashtbl.find_opt env var with
+    | Some r -> r
+    | None ->
+      let r = Cs_ddg.Builder.live_in b in
+      Hashtbl.replace env var r;
+      r
+  in
+  List.iter
+    (fun label ->
+      match Cfg.find_block cfg label with
+      | None -> invalid_arg (Printf.sprintf "Trace.region_of_trace: unknown block %S" label)
+      | Some block ->
+        List.iter
+          (fun (pi : Cfg.pinstr) ->
+            let srcs = List.map read pi.Cfg.srcs in
+            let dst =
+              Cs_ddg.Builder.emit b ?preplace:pi.Cfg.preplace ~tag:pi.Cfg.tag pi.Cfg.op
+                ~dst:(pi.Cfg.dst <> None) srcs
+            in
+            match (pi.Cfg.dst, dst) with
+            | Some var, Some r -> Hashtbl.replace env var r
+            | _ -> ())
+          block.Cfg.body)
+    labels;
+  (* Last definition of every variable is live at trace exit. *)
+  Hashtbl.iter (fun _ r -> Cs_ddg.Builder.mark_live_out b r) env;
+  Cs_ddg.Builder.finish b
+
+let regions ?min_probability cfg =
+  List.map (region_of_trace cfg) (select ?min_probability cfg)

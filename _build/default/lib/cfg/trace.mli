@@ -1,0 +1,20 @@
+(** Trace selection (Fisher 1981, cited by the paper as the classic
+    scheduling-unit former) and trace-to-region conversion.
+
+    Traces are grown greedily from the hottest unvisited block along
+    mutually-most-likely edges; the resulting block sequences are
+    mutually exclusive and cover the CFG. Each trace is converted to a
+    {!Cs_ddg.Region.t} scheduling unit by SSA renaming: the first read
+    of a program variable becomes a live-in, each write creates a fresh
+    register, and the last writes are the region's live-outs. *)
+
+val select : ?min_probability:float -> Cfg.t -> string list list
+(** Traces in decreasing seed-frequency order; every block appears in
+    exactly one trace. Growth stops at edges rarer than
+    [min_probability] (default 0.6) or at blocks already taken. *)
+
+val region_of_trace : Cfg.t -> string list -> Cs_ddg.Region.t
+(** Raises [Invalid_argument] on unknown labels or an empty trace. *)
+
+val regions : ?min_probability:float -> Cfg.t -> Cs_ddg.Region.t list
+(** [select] + [region_of_trace] for the whole program. *)

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Context Cs_ddg Cs_util Hashtbl List Pass Weights

@@ -1,0 +1,1 @@
+lib/core/comm.ml: Context Cs_ddg Hashtbl List Pass Weights

@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Cs_ddg Cs_machine Cs_util List

@@ -1,0 +1,1 @@
+lib/core/context.mli: Cs_ddg Cs_machine Cs_util

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Context Cs_ddg Float List Pass Trace Weights

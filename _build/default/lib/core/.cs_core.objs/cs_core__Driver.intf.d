@@ -1,0 +1,1 @@
+lib/core/driver.mli: Context Cs_ddg Cs_machine Pass Trace Weights

@@ -1,0 +1,1 @@
+lib/core/emphcp.ml: Context Cs_ddg Pass Weights

@@ -1,0 +1,1 @@
+lib/core/feasible.ml: Context Cs_ddg Cs_machine Pass Weights

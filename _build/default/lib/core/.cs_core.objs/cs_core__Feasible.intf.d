@@ -1,0 +1,1 @@
+lib/core/feasible.mli: Pass

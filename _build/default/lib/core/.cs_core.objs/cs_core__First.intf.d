@@ -1,0 +1,1 @@
+lib/core/first.mli: Pass

@@ -1,0 +1,1 @@
+lib/core/inittime.ml: Context Cs_ddg Pass Weights

@@ -1,0 +1,1 @@
+lib/core/level.ml: Array Context Cs_ddg List Pass Weights

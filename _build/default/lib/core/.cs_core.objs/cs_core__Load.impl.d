@@ -1,0 +1,1 @@
+lib/core/load.ml: Array Context Pass Weights

@@ -1,0 +1,1 @@
+lib/core/noise.ml: Context Cs_util Pass Weights

@@ -1,0 +1,1 @@
+lib/core/pass.ml: Context Weights

@@ -1,0 +1,1 @@
+lib/core/pass.mli: Context Weights

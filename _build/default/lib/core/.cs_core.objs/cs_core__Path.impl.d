@@ -1,0 +1,1 @@
+lib/core/path.ml: Array Context Cs_ddg Lazy List Option Pass Weights

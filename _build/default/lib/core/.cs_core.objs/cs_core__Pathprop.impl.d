@@ -1,0 +1,1 @@
+lib/core/pathprop.ml: Context Cs_ddg Float List Pass Weights

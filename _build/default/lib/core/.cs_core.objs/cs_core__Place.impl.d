@@ -1,0 +1,1 @@
+lib/core/place.ml: Context Cs_ddg Pass Weights

@@ -1,0 +1,1 @@
+lib/core/placeprop.ml: Array Context Cs_ddg List Pass Weights

@@ -1,0 +1,1 @@
+lib/core/placeprop.mli: Pass

@@ -1,0 +1,1 @@
+lib/core/regpress.ml: Array Context Cs_ddg List Pass Weights

@@ -1,0 +1,1 @@
+lib/core/regpress.mli: Pass

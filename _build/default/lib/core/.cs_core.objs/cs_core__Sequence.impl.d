@@ -1,0 +1,1 @@
+lib/core/sequence.ml: Cluster Comm Emphcp Feasible First Inittime Level List Load Noise Option Pass Path Pathprop Place Placeprop Printf Regpress String

@@ -1,0 +1,33 @@
+(** Everything a convergent pass may consult besides the weight matrix:
+    the dependence graph and its analyses, the machine model,
+    preplacement information, and the run's random stream (paper Fig. 3:
+    "Graph dependence / Preplaced instruction info / Machine model and
+    other constraints"). *)
+
+type t = {
+  region : Cs_ddg.Region.t;
+  machine : Cs_machine.Machine.t;
+  analysis : Cs_ddg.Analysis.t;
+  rng : Cs_util.Rng.t;
+  nt : int; (** number of time slots in the weight matrix *)
+  preplaced_on : int list array; (** instruction ids preplaced on each cluster *)
+}
+
+val make :
+  ?seed:int -> ?nt_cap:int -> machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> t
+(** Builds analyses with the machine's latency model. The time dimension
+    is [min (max cpl 1) nt_cap] (default cap 512), mirroring the paper's
+    "as many time slots as the critical-path length". Default seed 42. *)
+
+val graph : t -> Cs_ddg.Graph.t
+val n_instrs : t -> int
+val n_clusters : t -> int
+
+val clamp_slot : t -> int -> int
+(** Clamp a cycle to a valid slot index of the weight matrix. *)
+
+val home_of : t -> int -> int option
+(** The cluster an instruction is anchored to, if any: its own
+    preplacement, or the home of a homed live-in register it reads. *)
+
+val any_preplacement : t -> bool

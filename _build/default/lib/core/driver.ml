@@ -1,0 +1,109 @@
+type result = {
+  assignment : int array;
+  preferred_slot : int array;
+  trace : Trace.t;
+  weights : Weights.t;
+  context : Context.t;
+}
+
+let assignment_of_weights ?(cap_factor = 1.1) ctx w =
+  let n = Weights.n w and nc = Weights.nc w in
+  let assignment = Array.make n (-1) in
+  let load = Array.make nc 0 in
+  (* Hard constraints first: preplaced instructions go home and count
+     toward their cluster's load. *)
+  let movable = ref [] in
+  for i = n - 1 downto 0 do
+    match (Cs_ddg.Graph.instr (Context.graph ctx) i).Cs_ddg.Instr.preplace with
+    | Some c ->
+      assignment.(i) <- c;
+      load.(c) <- load.(c) + 1
+    | None -> movable := i :: !movable
+  done;
+  (* Balanced extraction: most-confident instructions claim their
+     preferred cluster first; once a cluster is at capacity the next
+     preference is used. This keeps the final schedule occupancy-bound
+     rather than letting one popular cluster serialize the region. *)
+  (* No schedule can beat max(n / clusters, CPL) cycles, so clusters may
+     hold up to ~CPL instructions of a serial region without cost; only
+     beyond that does a popular cluster become the bottleneck. *)
+  let floor_bound =
+    max
+      (float_of_int n /. float_of_int nc)
+      (float_of_int (Cs_ddg.Analysis.cpl ctx.Context.analysis))
+  in
+  let cap = max 1 (int_of_float (ceil (cap_factor *. floor_bound))) in
+  let by_confidence =
+    List.sort
+      (fun a b -> Float.compare (Weights.confidence w b) (Weights.confidence w a))
+      !movable
+  in
+  List.iter
+    (fun i ->
+      let ranked =
+        List.sort
+          (fun a b -> Float.compare (Weights.cluster_weight w i b) (Weights.cluster_weight w i a))
+          (List.init nc (fun c -> c))
+      in
+      let chosen =
+        match List.find_opt (fun c -> load.(c) < cap) ranked with
+        | Some c -> c
+        | None -> Weights.preferred_cluster w i
+      in
+      assignment.(i) <- chosen;
+      load.(chosen) <- load.(chosen) + 1)
+    by_confidence;
+  assignment
+
+(* Shared engine: applies [passes] once over an existing matrix,
+   returning the trace steps of this round (in order). *)
+let apply_round ?observe ctx w passes =
+  let n = Weights.n w in
+  let steps = ref [] in
+  let before = ref (Weights.preferred_clusters w) in
+  List.iter
+    (fun pass ->
+      pass.Pass.apply ctx w;
+      Weights.normalize_all w;
+      let after = Weights.preferred_clusters w in
+      let changed = ref 0 in
+      Array.iteri (fun i c -> if c <> !before.(i) then incr changed) after;
+      steps :=
+        { Trace.pass_name = pass.Pass.name; pass_kind = pass.Pass.kind;
+          changed = !changed; total = n }
+        :: !steps;
+      before := after;
+      match observe with None -> () | Some f -> f pass.Pass.name w)
+    passes;
+  List.rev !steps
+
+let finalize ctx w trace =
+  let assignment = assignment_of_weights ctx w in
+  let preferred_slot = Array.init (Weights.n w) (fun i -> Weights.preferred_time w i) in
+  { assignment; preferred_slot; trace; weights = w; context = ctx }
+
+let run_iterative ?seed ?nt_cap ?(max_rounds = 5) ?(epsilon = 0.02) ~machine region passes =
+  let ctx = Context.make ?seed ?nt_cap ~machine region in
+  let n = Context.n_instrs ctx in
+  let w = Weights.create ~n ~nc:(Context.n_clusters ctx) ~nt:ctx.Context.nt in
+  let trace = ref [] in
+  let rounds = ref 0 in
+  let continue_iterating = ref true in
+  while !continue_iterating && !rounds < max_rounds do
+    incr rounds;
+    let before = Weights.preferred_clusters w in
+    trace := !trace @ apply_round ctx w passes;
+    let after = Weights.preferred_clusters w in
+    let changed = ref 0 in
+    Array.iteri (fun i c -> if c <> before.(i) then incr changed) after;
+    let fraction = if n = 0 then 0.0 else float_of_int !changed /. float_of_int n in
+    if fraction < epsilon then continue_iterating := false
+  done;
+  (finalize ctx w !trace, !rounds)
+
+let run ?seed ?nt_cap ?observe ~machine region passes =
+  let ctx = Context.make ?seed ?nt_cap ~machine region in
+  let n = Context.n_instrs ctx in
+  let w = Weights.create ~n ~nc:(Context.n_clusters ctx) ~nt:ctx.Context.nt in
+  let trace = apply_round ?observe ctx w passes in
+  finalize ctx w trace

@@ -1,0 +1,47 @@
+(** The convergent-scheduler driver (paper Sec. 2): initializes the
+    preference matrix uniformly, applies the pass sequence, normalizes
+    after every pass, records the convergence trace, and extracts the
+    final space-time preferences.
+
+    The output is split exactly as in Sec. 5: a cluster assignment for
+    every instruction, and a temporal preference used as the priority of
+    an independent list scheduler. *)
+
+type result = {
+  assignment : int array; (** instruction -> cluster *)
+  preferred_slot : int array; (** instruction -> preferred time slot *)
+  trace : Trace.t;
+  weights : Weights.t; (** final matrix, for inspection *)
+  context : Context.t;
+}
+
+val run :
+  ?seed:int -> ?nt_cap:int ->
+  ?observe:(string -> Weights.t -> unit) ->
+  machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Pass.t list -> result
+(** [observe] is called after each pass with the (normalized) matrix —
+    used by the Fig. 4-style example to print map snapshots.
+    Preplaced instructions are always assigned to their home cluster,
+    whatever the final weights say (correctness). *)
+
+val run_iterative :
+  ?seed:int -> ?nt_cap:int -> ?max_rounds:int -> ?epsilon:float ->
+  machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Pass.t list ->
+  result * int
+(** Applies the whole sequence repeatedly on the same matrix until the
+    fraction of instructions changing their preferred cluster over a
+    full round drops below [epsilon] (default 0.02) or [max_rounds]
+    (default 5) is reached — the paper's feature 5: "the framework
+    allows a heuristic to be applied multiple times, either
+    independently or as part of an iterative process". Returns the
+    result and the number of rounds executed; the trace concatenates all
+    rounds. *)
+
+val assignment_of_weights : ?cap_factor:float -> Context.t -> Weights.t -> int array
+(** Extracts the assignment from the final matrix: preplaced
+    instructions are forced home; the rest claim clusters in descending
+    confidence order, falling back to their next-preferred cluster once
+    a cluster holds more than [cap_factor * max (n / clusters) CPL]
+    instructions (default factor 1.1) — the preference-map analogue of
+    Rawcc's merging step, preventing a popular cluster from serializing
+    the region while still letting serial graphs pack tightly. *)

@@ -1,0 +1,8 @@
+let apply ~factor ctx w =
+  let a = ctx.Context.analysis in
+  for i = 0 to Weights.n w - 1 do
+    let slot = Context.clamp_slot ctx (Cs_ddg.Analysis.earliest a i) in
+    Weights.scale_time w i slot factor
+  done
+
+let pass ?(factor = 1.2) () = Pass.make ~name:"EMPHCP" ~kind:Pass.Time (apply ~factor)

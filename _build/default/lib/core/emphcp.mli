@@ -1,0 +1,6 @@
+(** EMPHCP — emphasize critical-path distance (paper Sec. 4): reinforce
+    each instruction's weight at its level (its start time on a machine
+    with infinite resources, i.e. its ASAP cycle) to help temporal
+    convergence. *)
+
+val pass : ?factor:float -> unit -> Pass.t

@@ -1,0 +1,12 @@
+let apply ctx w =
+  let graph = Context.graph ctx in
+  let machine = ctx.Context.machine in
+  for i = 0 to Weights.n w - 1 do
+    let op = (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.op in
+    for c = 0 to Weights.nc w - 1 do
+      if not (Cs_machine.Machine.can_execute machine ~cluster:c op) then
+        Weights.scale_cluster w i c 0.0
+    done
+  done
+
+let pass () = Pass.make ~name:"FEASIBLE" ~kind:Pass.Space apply

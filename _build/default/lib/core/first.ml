@@ -1,0 +1,6 @@
+let apply ~factor (_ : Context.t) w =
+  for i = 0 to Weights.n w - 1 do
+    Weights.scale_cluster w i 0 factor
+  done
+
+let pass ?(factor = 1.2) () = Pass.make ~name:"FIRST" ~kind:Pass.Space (apply ~factor)

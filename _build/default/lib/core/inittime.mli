@@ -1,0 +1,7 @@
+(** INITTIME (paper Sec. 4): squash to zero every time slot outside an
+    instruction's feasible window [\[lp, CPL - ls\]] — before its longest
+    predecessor chain or after the latest start that still meets the
+    critical-path length. Critical instructions end up with exactly one
+    feasible slot. *)
+
+val pass : unit -> Pass.t

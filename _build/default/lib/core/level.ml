@@ -1,0 +1,71 @@
+let distance_to_bin a i = function
+  | [] -> max_int
+  | members ->
+    let row = Cs_ddg.Analysis.distance_row a i in
+    List.fold_left (fun acc m -> min acc row.(m)) max_int members
+
+let distribute_group ctx w ~granularity ~confidence_threshold ~boost group =
+  let a = ctx.Context.analysis in
+  let nc = Weights.nc w in
+  let bins = Array.make nc [] in
+  let unassigned = ref [] in
+  List.iter
+    (fun i ->
+      if Weights.confidence w i >= confidence_threshold then begin
+        let c = Weights.preferred_cluster w i in
+        bins.(c) <- i :: bins.(c)
+      end
+      else unassigned := i :: !unassigned)
+    group;
+  let unassigned = ref (List.rev !unassigned) in
+  let closest_bin_distance i =
+    let best = ref max_int in
+    Array.iter
+      (fun members ->
+        if members <> [] then best := min !best (distance_to_bin a i members))
+      bins;
+    !best
+  in
+  let next_bin = ref 0 in
+  while !unassigned <> [] do
+    let b = !next_bin in
+    next_bin := (!next_bin + 1) mod nc;
+    (* Candidates far from every existing bin get distributed first; when
+       none qualify, everything remaining is a candidate. *)
+    let far = List.filter (fun i -> closest_bin_distance i > granularity) !unassigned in
+    let candidates = if far = [] then !unassigned else far in
+    let chosen =
+      List.fold_left
+        (fun acc i ->
+          let d = distance_to_bin a i bins.(b) in
+          match acc with
+          | Some (bd, _) when bd >= d -> acc
+          | Some _ | None -> Some (d, i))
+        None candidates
+    in
+    match chosen with
+    | None -> unassigned := [] (* unreachable: candidates is non-empty *)
+    | Some (_, i) ->
+      bins.(b) <- i :: bins.(b);
+      unassigned := List.filter (fun j -> j <> i) !unassigned;
+      Weights.scale_cluster w i b boost
+  done
+
+let apply ~stride ~granularity ~confidence_threshold ~boost ctx w =
+  let a = ctx.Context.analysis in
+  let deepest = Cs_ddg.Analysis.max_depth a in
+  let lbase = ref 0 in
+  while !lbase <= deepest do
+    let group = ref [] in
+    for i = Weights.n w - 1 downto 0 do
+      let d = Cs_ddg.Analysis.depth a i in
+      if d >= !lbase && d < !lbase + stride then group := i :: !group
+    done;
+    if !group <> [] then
+      distribute_group ctx w ~granularity ~confidence_threshold ~boost !group;
+    lbase := !lbase + stride
+  done
+
+let pass ?(stride = 4) ?(granularity = 2) ?(confidence_threshold = 2.0) ?(boost = 2.5) () =
+  Pass.make ~name:"LEVEL" ~kind:Pass.Space
+    (apply ~stride ~granularity ~confidence_threshold ~boost)

@@ -1,0 +1,15 @@
+let apply (_ : Context.t) w =
+  let nc = Weights.nc w in
+  let load = Array.make nc 0.0 in
+  for i = 0 to Weights.n w - 1 do
+    for c = 0 to nc - 1 do
+      load.(c) <- load.(c) +. Weights.cluster_weight w i c
+    done
+  done;
+  for i = 0 to Weights.n w - 1 do
+    for c = 0 to nc - 1 do
+      if load.(c) > 0.0 then Weights.scale_cluster w i c (1.0 /. load.(c))
+    done
+  done
+
+let pass () = Pass.make ~name:"LOAD" ~kind:Pass.Space apply

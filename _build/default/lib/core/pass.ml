@@ -1,0 +1,14 @@
+type kind = Space | Time | Spacetime
+
+type t = {
+  name : string;
+  kind : kind;
+  apply : Context.t -> Weights.t -> unit;
+}
+
+let make ~name ~kind apply = { name; kind; apply }
+
+let kind_to_string = function
+  | Space -> "space"
+  | Time -> "time"
+  | Spacetime -> "space+time"

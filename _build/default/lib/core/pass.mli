@@ -1,0 +1,18 @@
+(** A convergent-scheduling pass: an independent heuristic that reads
+    the context and edits the preference matrix (paper Sec. 2). Passes
+    never communicate except through the matrix. The driver normalizes
+    after every pass, so passes may leave rows unnormalized. *)
+
+type kind =
+  | Space (** edits cluster preferences — tracked by Figs. 7/9 *)
+  | Time (** edits only temporal preferences *)
+  | Spacetime
+
+type t = {
+  name : string;
+  kind : kind;
+  apply : Context.t -> Weights.t -> unit;
+}
+
+val make : name:string -> kind:kind -> (Context.t -> Weights.t -> unit) -> t
+val kind_to_string : kind -> string

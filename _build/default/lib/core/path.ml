@@ -1,0 +1,58 @@
+let least_loaded_cluster w =
+  let best = ref 0 and best_load = ref infinity in
+  for c = 0 to Weights.nc w - 1 do
+    let load = ref 0.0 in
+    for i = 0 to Weights.n w - 1 do
+      load := !load +. Weights.cluster_weight w i c
+    done;
+    if !load < !best_load then begin
+      best := c;
+      best_load := !load
+    end
+  done;
+  !best
+
+let apply ~boost ~confidence_threshold ctx w =
+  let path = Array.of_list (Cs_ddg.Analysis.critical_path ctx.Context.analysis) in
+  let len = Array.length path in
+  if len > 0 then begin
+    (* Anchors: positions on the path with a hard home or a confident
+       existing preference. *)
+    let anchors = ref [] in
+    Array.iteri
+      (fun pos i ->
+        match Context.home_of ctx i with
+        | Some c -> anchors := (pos, c) :: !anchors
+        | None ->
+          if Weights.confidence w i >= confidence_threshold then
+            anchors := (pos, Weights.preferred_cluster w i) :: !anchors)
+      path;
+    let anchors = List.rev !anchors in
+    let cluster_for_pos pos =
+      match anchors with
+      | [] -> None
+      | _ ->
+        (* Nearest anchor by path-position distance; earlier anchor wins ties. *)
+        let best =
+          List.fold_left
+            (fun acc (apos, c) ->
+              let d = abs (apos - pos) in
+              match acc with
+              | Some (bd, _) when bd <= d -> acc
+              | Some _ | None -> Some (d, c))
+            None anchors
+        in
+        Option.map snd best
+    in
+    let fallback = lazy (least_loaded_cluster w) in
+    Array.iteri
+      (fun pos i ->
+        let target =
+          match cluster_for_pos pos with Some c -> c | None -> Lazy.force fallback
+        in
+        Weights.scale_cluster w i target boost)
+      path
+  end
+
+let pass ?(boost = 3.0) ?(confidence_threshold = 2.0) () =
+  Pass.make ~name:"PATH" ~kind:Pass.Space (apply ~boost ~confidence_threshold)

@@ -1,0 +1,40 @@
+let walk ctx w ~blend_keep ~source ~conf_source ~step_targets =
+  let graph = Context.graph ctx in
+  let rec go cur =
+    let next =
+      List.fold_left
+        (fun acc s ->
+          let conf_s = Weights.confidence w s in
+          if conf_s < conf_source then
+            match acc with
+            | Some (bc, _) when bc <= conf_s -> acc
+            | Some _ | None -> Some (conf_s, s)
+          else acc)
+        None (step_targets graph cur)
+    in
+    match next with
+    | None -> ()
+    | Some (_, s) ->
+      Weights.blend w ~dst:s ~src:source ~keep:(1.0 -. blend_keep);
+      go s
+  in
+  go source
+
+let apply ~confidence_threshold ~blend_keep ctx w =
+  (* Visit confident instructions from most to least confident. *)
+  let order =
+    List.init (Weights.n w) (fun i -> i)
+    |> List.filter (fun i ->
+           let c = Weights.confidence w i in
+           Float.is_finite c && c >= confidence_threshold)
+    |> List.sort (fun a b -> Float.compare (Weights.confidence w b) (Weights.confidence w a))
+  in
+  List.iter
+    (fun ih ->
+      let conf_source = Weights.confidence w ih in
+      walk ctx w ~blend_keep ~source:ih ~conf_source ~step_targets:Cs_ddg.Graph.succs;
+      walk ctx w ~blend_keep ~source:ih ~conf_source ~step_targets:Cs_ddg.Graph.preds)
+    order
+
+let pass ?(confidence_threshold = 1.5) ?(blend_keep = 0.5) () =
+  Pass.make ~name:"PATHPROP" ~kind:Pass.Space (apply ~confidence_threshold ~blend_keep)

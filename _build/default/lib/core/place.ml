@@ -1,0 +1,14 @@
+let apply ~factor ~live_in_factor ctx w =
+  let graph = Context.graph ctx in
+  for i = 0 to Weights.n w - 1 do
+    let ins = Cs_ddg.Graph.instr graph i in
+    match ins.Cs_ddg.Instr.preplace with
+    | Some c -> Weights.scale_cluster w i c factor
+    | None ->
+      (match Context.home_of ctx i with
+      | Some c -> Weights.scale_cluster w i c live_in_factor
+      | None -> ())
+  done
+
+let pass ?(factor = 100.0) ?(live_in_factor = 2.0) () =
+  Pass.make ~name:"PLACE" ~kind:Pass.Space (apply ~factor ~live_in_factor)

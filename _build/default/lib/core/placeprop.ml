@@ -1,0 +1,48 @@
+type mode =
+  | Nearest
+  | Weighted
+
+let apply ~mode ctx w =
+  let a = ctx.Context.analysis in
+  let graph = Context.graph ctx in
+  let far = Cs_ddg.Graph.n graph + 1 in
+  (* With no preplacement at all the pass carries no information; with
+     some, a cluster that owns no anchors behaves as if its closest
+     anchor were infinitely far (the paper's 1/dist with dist = inf),
+     which we clamp to [far]. *)
+  if Context.any_preplacement ctx then
+    Array.iteri
+      (fun c sources ->
+        match mode with
+        | Nearest ->
+          let dist =
+            if sources = [] then Array.make (Weights.n w) max_int
+            else Cs_ddg.Analysis.multi_source_distance a ~sources
+          in
+          for i = 0 to Weights.n w - 1 do
+            if not (Cs_ddg.Instr.is_preplaced (Cs_ddg.Graph.instr graph i)) then begin
+              let d = if dist.(i) = max_int then far else max 1 dist.(i) in
+              Weights.scale_cluster w i c (1.0 /. float_of_int d)
+            end
+          done
+        | Weighted ->
+          (* Sum of 1/d^2 over all of c's anchors: an instruction
+             surrounded by several bank-c anchors is pulled harder than
+             one merely adjacent to a single anchor, so stencil interior
+             nodes follow the majority bank instead of tying. *)
+          let pull = Array.make (Weights.n w) 0.0 in
+          List.iter
+            (fun anchor ->
+              let row = Cs_ddg.Analysis.distance_row a anchor in
+              for i = 0 to Weights.n w - 1 do
+                let d = if row.(i) = max_int then far else max 1 row.(i) in
+                pull.(i) <- pull.(i) +. (1.0 /. float_of_int (d * d))
+              done)
+            sources;
+          for i = 0 to Weights.n w - 1 do
+            if not (Cs_ddg.Instr.is_preplaced (Cs_ddg.Graph.instr graph i)) then
+              Weights.scale_cluster w i c (1e-6 +. pull.(i))
+          done)
+      ctx.Context.preplaced_on
+
+let pass ?(mode = Nearest) () = Pass.make ~name:"PLACEPROP" ~kind:Pass.Space (apply ~mode)

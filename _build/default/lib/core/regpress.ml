@@ -1,0 +1,47 @@
+(* Peak pressure estimate: a value defined by instruction [d] assigned to
+   cluster [c] is live from [d]'s preferred slot until the latest preferred
+   slot among its consumers; pressure(c, t) counts live values. *)
+let peak_pressure ctx w =
+  let graph = Context.graph ctx in
+  let nc = Weights.nc w and nt = Weights.nt w in
+  let pressure = Array.make_matrix nc nt 0 in
+  for d = 0 to Weights.n w - 1 do
+    let ins = Cs_ddg.Graph.instr graph d in
+    if ins.Cs_ddg.Instr.dst <> None then begin
+      let c = Weights.preferred_cluster w d in
+      let birth = Weights.preferred_time w d in
+      let death =
+        List.fold_left
+          (fun acc s -> max acc (Weights.preferred_time w s))
+          birth
+          (Cs_ddg.Graph.succs graph d)
+      in
+      for t = birth to min death (nt - 1) do
+        pressure.(c).(t) <- pressure.(c).(t) + 1
+      done
+    end
+  done;
+  Array.map (fun row -> Array.fold_left max 0 row) pressure
+
+let apply ~registers_per_cluster ~confidence_threshold ctx w =
+  let peaks = peak_pressure ctx w in
+  let cap = float_of_int registers_per_cluster in
+  Array.iteri
+    (fun c peak ->
+      let peak = float_of_int peak in
+      if peak > cap then begin
+        let relief = cap /. peak in
+        for i = 0 to Weights.n w - 1 do
+          let movable =
+            (not (Cs_ddg.Instr.is_preplaced (Cs_ddg.Graph.instr (Context.graph ctx) i)))
+            && Weights.confidence w i < confidence_threshold
+          in
+          if movable && Weights.preferred_cluster w i = c then
+            Weights.scale_cluster w i c relief
+        done
+      end)
+    peaks
+
+let pass ?(registers_per_cluster = 32) ?(confidence_threshold = 2.0) () =
+  Pass.make ~name:"REGPRESS" ~kind:Pass.Space
+    (apply ~registers_per_cluster ~confidence_threshold)

@@ -1,0 +1,37 @@
+let raw_default () =
+  [ Inittime.pass (); Placeprop.pass (); Load.pass (); Place.pass (); Path.pass ();
+    Pathprop.pass (); Level.pass ~stride:4 (); Pathprop.pass (); Comm.pass ();
+    Pathprop.pass (); Emphcp.pass () ]
+
+let vliw_default () =
+  [ Inittime.pass (); Noise.pass (); First.pass (); Path.pass (); Load.pass ();
+    Comm.pass (); Place.pass (); Placeprop.pass (); Load.pass (); Comm.pass ();
+    Emphcp.pass () ]
+
+let registry : (string * (unit -> Pass.t)) list =
+  [ ("INITTIME", Inittime.pass); ("NOISE", fun () -> Noise.pass ());
+    ("PLACE", fun () -> Place.pass ()); ("FIRST", fun () -> First.pass ());
+    ("PATH", fun () -> Path.pass ()); ("COMM", fun () -> Comm.pass ());
+    ("PLACEPROP", fun () -> Placeprop.pass ()); ("LOAD", Load.pass);
+    ("LEVEL", fun () -> Level.pass ()); ("PATHPROP", fun () -> Pathprop.pass ());
+    ("EMPHCP", fun () -> Emphcp.pass ()); ("FEASIBLE", Feasible.pass);
+    ("REGPRESS", fun () -> Regpress.pass ()); ("CLUSTER", fun () -> Cluster.pass ()) ]
+
+let available = List.map fst registry
+
+let of_name name =
+  let upper = String.uppercase_ascii name in
+  List.assoc_opt upper registry |> Option.map (fun mk -> mk ())
+
+let of_names names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest ->
+      (match of_name name with
+      | Some p -> go (p :: acc) rest
+      | None -> Error (Printf.sprintf "unknown pass %S (available: %s)" name
+                         (String.concat ", " available)))
+  in
+  go [] names
+
+let names passes = List.map (fun p -> p.Pass.name) passes

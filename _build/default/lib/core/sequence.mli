@@ -1,0 +1,28 @@
+(** Named pass sequences (paper Table 1) and a by-name pass registry so
+    sequences can be described on a command line. *)
+
+val raw_default : unit -> Pass.t list
+(** Table 1(a): INITTIME, PLACEPROP, LOAD, PLACE, PATH, PATHPROP, LEVEL,
+    PATHPROP, COMM, PATHPROP, EMPHCP — the sequence used for the Raw
+    machine. *)
+
+val vliw_default : unit -> Pass.t list
+(** Table 1(b) — INITTIME, NOISE, FIRST, PATH, COMM, PLACE, PLACEPROP,
+    COMM, EMPHCP — with a LOAD inserted after PATH and after PLACEPROP.
+    The paper selected its per-architecture pass parameters by
+    trial-and-error (Sec. 4); without the two LOADs our FIRST bias
+    snowballs through COMM and overloads cluster 0, and the paper's
+    Fig. 8 margins over UAS/PCC do not reproduce. See DESIGN.md. *)
+
+val available : string list
+(** Names accepted by {!of_names}, including the extension passes
+    FEASIBLE, REGPRESS, and CLUSTER (the paper's suggested clustering
+    integration, Sec. 5). *)
+
+val of_name : string -> Pass.t option
+(** Case-insensitive lookup with default parameters. *)
+
+val of_names : string list -> (Pass.t list, string) result
+(** All-or-nothing parse; the error names the unknown pass. *)
+
+val names : Pass.t list -> string list

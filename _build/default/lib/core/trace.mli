@@ -1,0 +1,21 @@
+(** Convergence traces: after every pass, the driver records which
+    fraction of instructions changed their preferred cluster — the data
+    behind the paper's Figs. 7 and 9. *)
+
+type step = {
+  pass_name : string;
+  pass_kind : Pass.kind;
+  changed : int; (** instructions whose preferred cluster changed *)
+  total : int;
+}
+
+type t = step list
+(** In application order. *)
+
+val changed_fraction : step -> float
+
+val space_steps : t -> step list
+(** Steps of space-editing passes only (the figures "exclude passes that
+    only modify temporal preferences"). *)
+
+val pp : Format.formatter -> t -> unit

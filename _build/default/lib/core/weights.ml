@@ -1,0 +1,216 @@
+type t = {
+  n : int;
+  nc : int;
+  nt : int;
+  w : float array; (* index: ((i * nc) + c) * nt + t *)
+  cluster_sum : float array; (* n * nc *)
+  time_sum : float array; (* n * nt *)
+}
+
+let n t = t.n
+let nc t = t.nc
+let nt t = t.nt
+
+let idx t i c tt = (((i * t.nc) + c) * t.nt) + tt
+
+let create ~n ~nc ~nt =
+  if n < 0 || nc <= 0 || nt <= 0 then invalid_arg "Weights.create: bad dimensions";
+  let v = 1.0 /. float_of_int (nc * nt) in
+  {
+    n;
+    nc;
+    nt;
+    w = Array.make (n * nc * nt) v;
+    cluster_sum = Array.make (n * nc) (v *. float_of_int nt);
+    time_sum = Array.make (n * nt) (v *. float_of_int nc);
+  }
+
+let check_index t i c tt =
+  if i < 0 || i >= t.n || c < 0 || c >= t.nc || tt < 0 || tt >= t.nt then
+    invalid_arg "Weights: index out of range"
+
+let get t i c tt =
+  check_index t i c tt;
+  t.w.(idx t i c tt)
+
+let set t i c tt v =
+  check_index t i c tt;
+  if not (Float.is_finite v) || v < 0.0 then invalid_arg "Weights.set: weight must be finite and >= 0";
+  let k = idx t i c tt in
+  let delta = v -. t.w.(k) in
+  t.w.(k) <- v;
+  t.cluster_sum.((i * t.nc) + c) <- t.cluster_sum.((i * t.nc) + c) +. delta;
+  t.time_sum.((i * t.nt) + tt) <- t.time_sum.((i * t.nt) + tt) +. delta
+
+let add t i c tt v = set t i c tt (get t i c tt +. v)
+let scale t i c tt f = set t i c tt (get t i c tt *. f)
+
+let scale_cluster t i c f =
+  for tt = 0 to t.nt - 1 do
+    scale t i c tt f
+  done
+
+let scale_time t i tt f =
+  for c = 0 to t.nc - 1 do
+    scale t i c tt f
+  done
+
+let cluster_weight t i c = t.cluster_sum.((i * t.nc) + c)
+let time_weight t i tt = t.time_sum.((i * t.nt) + tt)
+
+let recompute_sums t i =
+  for c = 0 to t.nc - 1 do
+    let s = ref 0.0 in
+    for tt = 0 to t.nt - 1 do
+      s := !s +. t.w.(idx t i c tt)
+    done;
+    t.cluster_sum.((i * t.nc) + c) <- !s
+  done;
+  for tt = 0 to t.nt - 1 do
+    let s = ref 0.0 in
+    for c = 0 to t.nc - 1 do
+      s := !s +. t.w.(idx t i c tt)
+    done;
+    t.time_sum.((i * t.nt) + tt) <- !s
+  done
+
+let row_total t i =
+  let s = ref 0.0 in
+  for c = 0 to t.nc - 1 do
+    s := !s +. cluster_weight t i c
+  done;
+  !s
+
+let normalize t i =
+  let total = row_total t i in
+  if total <= 0.0 || not (Float.is_finite total) then begin
+    let v = 1.0 /. float_of_int (t.nc * t.nt) in
+    for c = 0 to t.nc - 1 do
+      for tt = 0 to t.nt - 1 do
+        t.w.(idx t i c tt) <- v
+      done
+    done
+  end
+  else
+    for c = 0 to t.nc - 1 do
+      for tt = 0 to t.nt - 1 do
+        let k = idx t i c tt in
+        t.w.(k) <- t.w.(k) /. total
+      done
+    done;
+  recompute_sums t i
+
+let normalize_all t =
+  for i = 0 to t.n - 1 do
+    normalize t i
+  done
+
+let argmax_range count value =
+  let best = ref 0 and best_v = ref (value 0) in
+  for k = 1 to count - 1 do
+    let v = value k in
+    if v > !best_v +. 1e-12 then begin
+      best := k;
+      best_v := v
+    end
+  done;
+  !best
+
+let preferred_cluster t i = argmax_range t.nc (fun c -> cluster_weight t i c)
+let preferred_time t i = argmax_range t.nt (fun tt -> time_weight t i tt)
+
+let runnerup_cluster t i =
+  if t.nc < 2 then None
+  else begin
+    let pref = preferred_cluster t i in
+    let best = ref (if pref = 0 then 1 else 0) in
+    for c = 0 to t.nc - 1 do
+      if c <> pref && cluster_weight t i c > cluster_weight t i !best +. 1e-12 then best := c
+    done;
+    Some !best
+  end
+
+let confidence t i =
+  match runnerup_cluster t i with
+  | None -> infinity
+  | Some r ->
+    let top = cluster_weight t i (preferred_cluster t i) in
+    let second = cluster_weight t i r in
+    if second <= 0.0 then infinity else top /. second
+
+let blend t ~dst ~src ~keep =
+  if keep < 0.0 || keep > 1.0 then invalid_arg "Weights.blend: keep must be in [0,1]";
+  if dst = src then ()
+  else begin
+    for c = 0 to t.nc - 1 do
+      for tt = 0 to t.nt - 1 do
+        let kd = idx t dst c tt and ks = idx t src c tt in
+        t.w.(kd) <- (keep *. t.w.(kd)) +. ((1.0 -. keep) *. t.w.(ks))
+      done
+    done;
+    recompute_sums t dst
+  end
+
+let preferred_clusters t = Array.init t.n (fun i -> preferred_cluster t i)
+
+let copy t =
+  {
+    t with
+    w = Array.copy t.w;
+    cluster_sum = Array.copy t.cluster_sum;
+    time_sum = Array.copy t.time_sum;
+  }
+
+let check_invariants t =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  for i = 0 to t.n - 1 do
+    let total = ref 0.0 in
+    for c = 0 to t.nc - 1 do
+      for tt = 0 to t.nt - 1 do
+        let v = t.w.(idx t i c tt) in
+        if v < -.1e-9 || v > 1.0 +. 1e-9 then fail "W(%d,%d,%d)=%g out of [0,1]" i c tt v;
+        total := !total +. v
+      done
+    done;
+    if Float.abs (!total -. 1.0) > 1e-6 then fail "row %d sums to %g, expected 1" i !total;
+    for c = 0 to t.nc - 1 do
+      let s = ref 0.0 in
+      for tt = 0 to t.nt - 1 do
+        s := !s +. t.w.(idx t i c tt)
+      done;
+      if Float.abs (!s -. cluster_weight t i c) > 1e-6 then
+        fail "stale cluster sum at (%d,%d)" i c
+    done;
+    for tt = 0 to t.nt - 1 do
+      let s = ref 0.0 in
+      for c = 0 to t.nc - 1 do
+        s := !s +. t.w.(idx t i c tt)
+      done;
+      if Float.abs (!s -. time_weight t i tt) > 1e-6 then fail "stale time sum at (%d,%d)" i tt
+    done
+  done;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
+
+let pp_cluster_map fmt t =
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "instr";
+  for c = 0 to t.nc - 1 do
+    Format.fprintf fmt " c%-2d" c
+  done;
+  Format.fprintf fmt "@,";
+  for i = 0 to t.n - 1 do
+    Format.fprintf fmt "%5d" i;
+    let top = ref 0.0 in
+    for c = 0 to t.nc - 1 do
+      top := max !top (cluster_weight t i c)
+    done;
+    for c = 0 to t.nc - 1 do
+      let v = if !top <= 0.0 then 0.0 else cluster_weight t i c /. !top in
+      let g = glyphs.(min 9 (int_of_float (v *. 9.0))) in
+      Format.fprintf fmt "  %c " g
+    done;
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,79 @@
+(** The convergent-scheduling preference matrix [W(i, c, t)] (paper
+    Sec. 3).
+
+    For every instruction [i], cluster [c] and time slot [t], [W(i,c,t)]
+    is the scheduler's current preference for executing [i] on [c] at
+    [t]. The paper's invariants are maintained after [normalize]:
+
+    - [0 <= W(i,c,t) <= 1]
+    - for each [i], the entries sum to 1.
+
+    Marginal sums over time (per cluster) and over clusters (per time)
+    are cached incrementally so preferred slots and confidences are
+    O(clusters + slots), as the paper requires. *)
+
+type t
+
+val create : n:int -> nc:int -> nt:int -> t
+(** Uniform distribution [1 / (nc * nt)] everywhere. *)
+
+val n : t -> int
+val nc : t -> int
+val nt : t -> int
+
+val get : t -> int -> int -> int -> float
+(** [get w i c t]. *)
+
+val set : t -> int -> int -> int -> float -> unit
+val add : t -> int -> int -> int -> float -> unit
+val scale : t -> int -> int -> int -> float -> unit
+val scale_cluster : t -> int -> int -> float -> unit
+(** Scale all time slots of one (instruction, cluster). *)
+
+val scale_time : t -> int -> int -> float -> unit
+(** Scale all clusters of one (instruction, slot). *)
+
+val cluster_weight : t -> int -> int -> float
+(** Marginal [sum_t W(i,c,t)]. *)
+
+val time_weight : t -> int -> int -> float
+(** Marginal [sum_c W(i,c,t)]. *)
+
+val row_total : t -> int -> float
+
+val normalize : t -> int -> unit
+(** Rescale instruction [i]'s entries to sum to 1; a row that has been
+    squashed to all zeros is reset to uniform. *)
+
+val normalize_all : t -> unit
+
+val preferred_cluster : t -> int -> int
+(** Cluster maximizing the time-marginal; smallest id wins ties. *)
+
+val preferred_time : t -> int -> int
+
+val runnerup_cluster : t -> int -> int option
+(** Second-best cluster; [None] on single-cluster machines. *)
+
+val confidence : t -> int -> float
+(** Ratio of the top two cluster marginals (paper Sec. 3). [infinity]
+    when there is no runner-up or its weight is zero. *)
+
+val blend : t -> dst:int -> src:int -> keep:float -> unit
+(** [blend w ~dst ~src ~keep] sets [W(dst) <- keep * W(dst) +
+    (1 - keep) * W(src)] pointwise — the paper's linear combination with
+    [n = 2, i1 = j]. [keep] must be in [\[0, 1\]]. *)
+
+val preferred_clusters : t -> int array
+(** Snapshot of every instruction's preferred cluster. *)
+
+val copy : t -> t
+
+val check_invariants : t -> (unit, string) result
+(** Verifies range, row sums (post-normalization), and cache
+    consistency; used by tests and assertions. *)
+
+val pp_cluster_map : Format.formatter -> t -> unit
+(** ASCII rendering of the cluster-preference map in the style of the
+    paper's Fig. 4(b-g): one row per instruction, one column per
+    cluster, darker glyph = stronger preference. *)

@@ -1,0 +1,1 @@
+lib/ddg/analysis.mli: Graph Instr

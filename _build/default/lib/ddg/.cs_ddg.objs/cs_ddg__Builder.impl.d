@@ -1,0 +1,1 @@
+lib/ddg/builder.ml: Array Graph Instr List Opcode Reg Region

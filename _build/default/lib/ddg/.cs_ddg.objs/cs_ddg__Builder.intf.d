@@ -1,0 +1,1 @@
+lib/ddg/builder.mli: Opcode Reg Region

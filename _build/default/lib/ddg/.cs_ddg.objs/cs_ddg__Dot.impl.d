@@ -1,0 +1,1 @@
+lib/ddg/dot.ml: Array Buffer Fun Graph Instr List Opcode Printf

@@ -1,0 +1,1 @@
+lib/ddg/instr.ml: Format List Opcode Printf Reg String

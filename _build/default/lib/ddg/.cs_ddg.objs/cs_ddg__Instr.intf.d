@@ -1,0 +1,1 @@
+lib/ddg/instr.mli: Format Opcode Reg

@@ -1,0 +1,1 @@
+lib/ddg/reg.ml: Format Int Map Set

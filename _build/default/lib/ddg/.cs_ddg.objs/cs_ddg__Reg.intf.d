@@ -1,0 +1,1 @@
+lib/ddg/reg.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/ddg/region.ml: Format Graph List Reg

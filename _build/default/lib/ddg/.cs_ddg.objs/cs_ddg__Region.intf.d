@@ -1,0 +1,1 @@
+lib/ddg/region.mli: Format Graph Reg

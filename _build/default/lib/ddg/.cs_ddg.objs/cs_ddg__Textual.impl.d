@@ -1,0 +1,1 @@
+lib/ddg/textual.ml: Array Buffer Builder Fun Graph Hashtbl In_channel Instr List Opcode Printf Reg Region String

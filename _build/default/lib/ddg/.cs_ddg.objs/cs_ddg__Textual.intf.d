@@ -1,0 +1,1 @@
+lib/ddg/textual.mli: Region

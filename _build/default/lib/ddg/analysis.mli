@@ -1,0 +1,53 @@
+(** Static analyses over a dependence graph, parameterized by the
+    machine's latency model. These supply every quantity the paper's
+    passes consume: ASAP/ALAP slots (INITTIME), critical paths (PATH),
+    levels (LEVEL, EMPHCP), and undirected graph distances (PLACEPROP,
+    LEVEL's bin distances). *)
+
+type t
+
+val make : latency:(Instr.t -> int) -> Graph.t -> t
+(** Latencies must be >= 1 for every instruction. *)
+
+val graph : t -> Graph.t
+val latency : t -> int -> int
+
+val earliest : t -> int -> int
+(** ASAP start cycle (the paper's [lp], longest predecessor chain). *)
+
+val latest : t -> int -> int
+(** ALAP start cycle such that the critical-path length is met (the
+    paper's [CPL - ls]). *)
+
+val slack : t -> int -> int
+(** [latest - earliest]; 0 on critical instructions. *)
+
+val cpl : t -> int
+(** Critical-path length in cycles: the makespan on an idealized machine
+    with infinite resources and free communication. *)
+
+val depth : t -> int -> int
+(** Edge-count distance from the furthest root (the paper's
+    [level(i)]). *)
+
+val height : t -> int -> int
+(** Edge-count distance to the furthest leaf. *)
+
+val max_depth : t -> int
+
+val critical_instrs : t -> int list
+(** All instructions with zero slack, ascending. *)
+
+val critical_path : t -> int list
+(** One maximal root-to-leaf path of zero-slack instructions, in
+    dependence order (deterministic: smallest ids win ties). *)
+
+val distance_row : t -> int -> int array
+(** [distance_row t i] is the undirected BFS distance (in edges) from
+    [i] to every node; [max_int] when unreachable. Rows are memoized. *)
+
+val distance : t -> int -> int -> int
+
+val multi_source_distance : t -> sources:int list -> int array
+(** Undirected BFS from a set of sources; [max_int] when unreachable or
+    when [sources] is empty. *)

@@ -1,0 +1,61 @@
+type t = {
+  name : string;
+  mutable next_reg : Reg.t;
+  mutable rev_instrs : Instr.t list;
+  mutable n_instrs : int;
+  mutable live_in_homes : (Reg.t * int) list;
+  mutable live_ins : Reg.Set.t;
+  mutable live_outs : Reg.t list;
+  mutable extra_edges : (int * int) list;
+}
+
+let create ~name () =
+  { name; next_reg = 0; rev_instrs = []; n_instrs = 0; live_in_homes = [];
+    live_ins = Reg.Set.empty; live_outs = []; extra_edges = [] }
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let live_in ?home t =
+  let r = fresh_reg t in
+  t.live_ins <- Reg.Set.add r t.live_ins;
+  (match home with None -> () | Some c -> t.live_in_homes <- (r, c) :: t.live_in_homes);
+  r
+
+let emit t ?preplace ?tag op ?dst srcs =
+  let wants_dst = match dst with Some b -> b | None -> Opcode.writes_register op in
+  let dst = if wants_dst then Some (fresh_reg t) else None in
+  let id = t.n_instrs in
+  let ins = Instr.make ~id ~op ~dst ~srcs ?preplace ?tag () in
+  t.rev_instrs <- ins :: t.rev_instrs;
+  t.n_instrs <- id + 1;
+  dst
+
+let require = function
+  | Some r -> r
+  | None -> invalid_arg "Builder: opcode does not produce a value"
+
+let op0 t ?preplace ?tag op = require (emit t ?preplace ?tag op [])
+let op1 t ?preplace ?tag op a = require (emit t ?preplace ?tag op [ a ])
+let op2 t ?preplace ?tag op a b = require (emit t ?preplace ?tag op [ a; b ])
+let op3 t ?preplace ?tag op a b c = require (emit t ?preplace ?tag op [ a; b; c ])
+
+let load t ?preplace ?tag addr = require (emit t ?preplace ?tag Opcode.Load [ addr ])
+
+let store t ?preplace ?tag ~addr value =
+  ignore (emit t ?preplace ?tag Opcode.Store [ addr; value ])
+
+let mem_fence_edge t src dst = t.extra_edges <- (src, dst) :: t.extra_edges
+
+let last_id t =
+  if t.n_instrs = 0 then invalid_arg "Builder.last_id: no instructions";
+  t.n_instrs - 1
+
+let mark_live_out t r = t.live_outs <- r :: t.live_outs
+
+let finish t =
+  let instrs = Array.of_list (List.rev t.rev_instrs) in
+  let graph = Graph.of_instrs instrs ~extra_edges:t.extra_edges in
+  Region.make ~name:t.name ~graph ~live_in_homes:t.live_in_homes ~live_outs:t.live_outs ()

@@ -1,0 +1,37 @@
+let palette =
+  [| "lightblue"; "lightsalmon"; "palegreen"; "plum"; "khaki"; "lightcyan";
+     "mistyrose"; "lavender"; "wheat"; "honeydew"; "thistle"; "azure";
+     "beige"; "cornsilk"; "gainsboro"; "seashell" |]
+
+let color_of_cluster c = palette.(c mod Array.length palette)
+
+let to_string ?assignment graph =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph ddg {\n  node [style=filled];\n";
+  Array.iter
+    (fun ins ->
+      let i = ins.Instr.id in
+      let shape = if Instr.is_preplaced ins then "triangle" else "ellipse" in
+      let color =
+        match (ins.Instr.preplace, assignment) with
+        | Some c, _ -> color_of_cluster c
+        | None, Some a when i < Array.length a -> color_of_cluster a.(i)
+        | None, _ -> "white"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%d:%s\", shape=%s, fillcolor=%s];\n" i i
+           (Opcode.to_string ins.Instr.op) shape color))
+    (Graph.instrs graph);
+  for i = 0 to Graph.n graph - 1 do
+    List.iter
+      (fun j -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i j))
+      (Graph.succs graph i)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?assignment ~path graph =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?assignment graph))

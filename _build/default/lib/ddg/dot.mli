@@ -1,0 +1,8 @@
+(** Graphviz export of dependence graphs, for inspecting workloads the
+    way the paper draws them (Figs. 2 and 4a). Preplaced instructions
+    are drawn as triangles colored by home cluster, as in Fig. 4a. *)
+
+val to_string : ?assignment:int array -> Graph.t -> string
+(** [assignment], if given, colors every node by its assigned cluster. *)
+
+val write_file : ?assignment:int array -> path:string -> Graph.t -> unit

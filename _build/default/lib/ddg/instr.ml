@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  op : Opcode.t;
+  dst : Reg.t option;
+  srcs : Reg.t list;
+  preplace : int option;
+  tag : string;
+}
+
+let make ~id ~op ~dst ~srcs ?preplace ?(tag = "") () =
+  { id; op; dst; srcs; preplace; tag }
+
+let is_preplaced t = t.preplace <> None
+
+let to_string t =
+  let dst = match t.dst with None -> "-" | Some r -> Reg.to_string r in
+  let srcs = String.concat ", " (List.map Reg.to_string t.srcs) in
+  let pre = match t.preplace with None -> "" | Some c -> Printf.sprintf " @%d" c in
+  let tag = if t.tag = "" then "" else Printf.sprintf " (%s)" t.tag in
+  Printf.sprintf "i%d: %s %s <- [%s]%s%s" t.id (Opcode.to_string t.op) dst srcs pre tag
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,23 @@
+(** Instructions of a scheduling region.
+
+    [preplace] is the paper's *preplaced instruction* constraint: a
+    cluster/tile on which the instruction must execute, arising either
+    from congruence analysis of memory references or from values live
+    across scheduling regions (Sec. 1 and 5 of the paper). *)
+
+type t = {
+  id : int; (** dense index within the region, [0 .. n-1] *)
+  op : Opcode.t;
+  dst : Reg.t option; (** [None] for stores *)
+  srcs : Reg.t list;
+  preplace : int option; (** home cluster, if the instruction is preplaced *)
+  tag : string; (** free-form label for printing and debugging *)
+}
+
+val make :
+  id:int -> op:Opcode.t -> dst:Reg.t option -> srcs:Reg.t list ->
+  ?preplace:int -> ?tag:string -> unit -> t
+
+val is_preplaced : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

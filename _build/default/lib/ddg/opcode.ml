@@ -1,0 +1,83 @@
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Cmp
+  | Load
+  | Store
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fsqrt
+  | Fcmp
+  | Mov
+  | Const
+  | Select
+  | Transfer
+  | Recv
+
+type cls =
+  | Int_op
+  | Mul_op
+  | Mem_op
+  | Float_op
+  | Fdiv_op
+  | Move_op
+  | Comm_op
+
+let cls = function
+  | Add | Sub | And | Or | Xor | Shl | Shr | Cmp | Select -> Int_op
+  | Mul | Div -> Mul_op
+  | Load | Store -> Mem_op
+  | Fadd | Fsub | Fmul | Fcmp -> Float_op
+  | Fdiv | Fsqrt -> Fdiv_op
+  | Mov | Const -> Move_op
+  | Transfer | Recv -> Comm_op
+
+let is_memory = function
+  | Load | Store -> true
+  | Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr | Cmp | Fadd | Fsub
+  | Fmul | Fdiv | Fsqrt | Fcmp | Mov | Const | Select | Transfer | Recv -> false
+
+let writes_register = function
+  | Store -> false
+  | Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr | Cmp | Load | Fadd
+  | Fsub | Fmul | Fdiv | Fsqrt | Fcmp | Mov | Const | Select | Transfer | Recv -> true
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Cmp -> "cmp"
+  | Load -> "load"
+  | Store -> "store"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Fsqrt -> "fsqrt"
+  | Fcmp -> "fcmp"
+  | Mov -> "mov"
+  | Const -> "const"
+  | Select -> "select"
+  | Transfer -> "transfer"
+  | Recv -> "recv"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let all =
+  [ Add; Sub; Mul; Div; And; Or; Xor; Shl; Shr; Cmp; Load; Store; Fadd; Fsub;
+    Fmul; Fdiv; Fsqrt; Fcmp; Mov; Const; Select; Transfer; Recv ]

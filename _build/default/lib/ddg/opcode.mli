@@ -1,0 +1,57 @@
+(** Instruction opcodes of the target-neutral IR.
+
+    The IR is deliberately small: it carries exactly the information the
+    schedulers in the paper need — an operation class (which functional
+    units can execute it), a latency class (supplied by the machine
+    model), and whether the operation touches memory (so congruence
+    analysis can preplace it). *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Cmp
+  | Load
+  | Store
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fsqrt
+  | Fcmp
+  | Mov
+  | Const
+  | Select (** predicated select; models if-converted control flow *)
+  | Transfer (** inter-cluster register copy; synthesized by schedulers *)
+  | Recv (** network receive; synthesized on Raw *)
+
+(** Functional-unit class of an operation. Machine models map classes to
+    functional units and latencies. *)
+type cls =
+  | Int_op (** single-cycle integer ALU work *)
+  | Mul_op (** integer multiply/divide *)
+  | Mem_op (** loads and stores *)
+  | Float_op (** pipelined floating point *)
+  | Fdiv_op (** long-latency unpipelined floating point *)
+  | Move_op (** register moves and constants *)
+  | Comm_op (** communication, synthesized by the scheduler *)
+
+val cls : t -> cls
+
+val is_memory : t -> bool
+(** [Load] and [Store] only. *)
+
+val writes_register : t -> bool
+(** False for [Store] (and nothing else in this IR). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Every opcode, for exhaustive tests. *)

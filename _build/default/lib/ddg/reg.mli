@@ -1,0 +1,13 @@
+(** Virtual registers. The IR is in SSA form inside a scheduling region:
+    each register has exactly one definition (an instruction or a
+    region live-in). *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

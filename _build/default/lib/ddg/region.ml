@@ -1,0 +1,23 @@
+type t = {
+  name : string;
+  graph : Graph.t;
+  live_in_homes : int Reg.Map.t;
+  live_outs : Reg.Set.t;
+}
+
+let make ~name ~graph ?(live_in_homes = []) ?(live_outs = []) () =
+  let homes =
+    List.fold_left (fun acc (r, c) -> Reg.Map.add r c acc) Reg.Map.empty live_in_homes
+  in
+  { name; graph; live_in_homes = homes; live_outs = Reg.Set.of_list live_outs }
+
+let n_instrs t = Graph.n t.graph
+
+let n_preplaced t = List.length (Graph.preplaced t.graph)
+
+let preplacement_density t =
+  let n = n_instrs t in
+  if n = 0 then 0.0 else float_of_int (n_preplaced t) /. float_of_int n
+
+let pp fmt t =
+  Format.fprintf fmt "region %s: %d instrs, %d preplaced" t.name (n_instrs t) (n_preplaced t)

@@ -1,0 +1,29 @@
+(** A scheduling region (basic block, trace, superblock...): the unit on
+    which the convergent scheduler and all baselines operate.
+
+    Live-in registers may carry a *home cluster*: the paper requires that
+    values live across scheduling regions are produced/consumed on a
+    consistent cluster; consumers of a homed live-in become effectively
+    anchored (see PLACE/FIRST passes). *)
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  live_in_homes : int Reg.Map.t;
+  (** home cluster for live-in registers that have one *)
+  live_outs : Reg.Set.t;
+}
+
+val make :
+  name:string -> graph:Graph.t -> ?live_in_homes:(Reg.t * int) list ->
+  ?live_outs:Reg.t list -> unit -> t
+
+val n_instrs : t -> int
+val n_preplaced : t -> int
+
+val preplacement_density : t -> float
+(** Fraction of instructions that are preplaced — used in experiment
+    reporting: the paper's dense-matrix benchmarks have high density,
+    [fpppp-kernel]/[sha] nearly none. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/machine/fu.ml: Cs_ddg Format

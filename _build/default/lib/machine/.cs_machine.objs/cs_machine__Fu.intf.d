@@ -1,0 +1,1 @@
+lib/machine/fu.mli: Cs_ddg Format

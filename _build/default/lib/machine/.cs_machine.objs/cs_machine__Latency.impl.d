@@ -1,0 +1,1 @@
+lib/machine/latency.ml: Cs_ddg

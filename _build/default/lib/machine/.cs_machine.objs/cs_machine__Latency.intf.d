@@ -1,0 +1,1 @@
+lib/machine/latency.mli: Cs_ddg

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cs_ddg Format Fu Latency Printf String Topology

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cs_ddg Format Fu Topology

@@ -1,0 +1,1 @@
+lib/machine/raw.ml: Array Fu Machine Printf Topology

@@ -1,0 +1,1 @@
+lib/machine/vliw.ml: Array Fu Machine Printf Topology

@@ -1,0 +1,27 @@
+type kind =
+  | Universal
+  | Int_alu
+  | Int_mem
+  | Float_unit
+  | Transfer_unit
+
+let can_execute kind cls =
+  match (kind, cls) with
+  | Universal, _ -> true
+  | Int_alu, (Cs_ddg.Opcode.Int_op | Mul_op | Move_op) -> true
+  | Int_alu, (Mem_op | Float_op | Fdiv_op | Comm_op) -> false
+  | Int_mem, (Cs_ddg.Opcode.Int_op | Mem_op | Move_op) -> true
+  | Int_mem, (Mul_op | Float_op | Fdiv_op | Comm_op) -> false
+  | Float_unit, (Cs_ddg.Opcode.Float_op | Fdiv_op) -> true
+  | Float_unit, (Int_op | Mul_op | Mem_op | Move_op | Comm_op) -> false
+  | Transfer_unit, Cs_ddg.Opcode.Comm_op -> true
+  | Transfer_unit, (Int_op | Mul_op | Mem_op | Float_op | Fdiv_op | Move_op) -> false
+
+let to_string = function
+  | Universal -> "universal"
+  | Int_alu -> "int-alu"
+  | Int_mem -> "int-mem"
+  | Float_unit -> "fpu"
+  | Transfer_unit -> "xfer"
+
+let pp fmt k = Format.pp_print_string fmt (to_string k)

@@ -1,0 +1,18 @@
+(** Functional-unit kinds.
+
+    Raw tiles have a single in-order pipeline that executes everything
+    ([Universal]). The Chorus-style clustered VLIW has four units per
+    cluster (paper Sec. 5): one integer ALU, one integer ALU that can
+    also issue memory operations, one floating-point unit, and one
+    transfer unit that copies registers between clusters. *)
+
+type kind =
+  | Universal
+  | Int_alu
+  | Int_mem
+  | Float_unit
+  | Transfer_unit
+
+val can_execute : kind -> Cs_ddg.Opcode.cls -> bool
+val to_string : kind -> string
+val pp : Format.formatter -> kind -> unit

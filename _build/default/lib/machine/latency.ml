@@ -1,0 +1,17 @@
+let r4000 op =
+  match op with
+  | Cs_ddg.Opcode.Add | Sub | And | Or | Xor | Shl | Shr | Cmp | Select -> 1
+  | Mul -> 2
+  | Div -> 8
+  | Load -> 2
+  | Store -> 1
+  | Fadd | Fsub -> 4
+  | Fmul -> 4
+  | Fcmp -> 2
+  | Fdiv -> 12
+  | Fsqrt -> 14
+  | Mov | Const -> 1
+  | Transfer -> 1
+  | Recv -> 1
+
+let unit_latency (_ : Cs_ddg.Opcode.t) = 1

@@ -1,0 +1,9 @@
+(** MIPS R4000-style instruction latencies (both the Raw prototype and
+    the Chorus clustered VLIW base their ISAs on the R4000, paper
+    Sec. 5). Values are issue-to-use distances in cycles. *)
+
+val r4000 : Cs_ddg.Opcode.t -> int
+
+val unit_latency : Cs_ddg.Opcode.t -> int
+(** Every opcode takes one cycle — used by tests to make hand-checked
+    schedules easy to reason about. *)

@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  n_clusters : int;
+  fus : Fu.kind array array;
+  topology : Topology.t;
+  latency : Cs_ddg.Opcode.t -> int;
+  remote_mem_penalty : int;
+}
+
+let make ~name ~fus ~topology ?(latency = Latency.r4000) ?(remote_mem_penalty = 0) () =
+  let n_clusters = Array.length fus in
+  if n_clusters = 0 then invalid_arg "Machine.make: no clusters";
+  (match topology with
+  | Topology.Mesh { rows; cols; _ } ->
+    if rows * cols <> n_clusters then
+      invalid_arg "Machine.make: mesh size disagrees with cluster count"
+  | Topology.Crossbar _ -> ());
+  { name; n_clusters; fus; topology; latency; remote_mem_penalty }
+
+let n_clusters t = t.n_clusters
+let issue_width t = Array.length t.fus.(0)
+
+let latency_of t ins = t.latency ins.Cs_ddg.Instr.op
+
+let fus_for t ~cluster op =
+  let cls = Cs_ddg.Opcode.cls op in
+  let units = t.fus.(cluster) in
+  let acc = ref [] in
+  for u = Array.length units - 1 downto 0 do
+    if Fu.can_execute units.(u) cls then acc := u :: !acc
+  done;
+  !acc
+
+let can_execute t ~cluster op = fus_for t ~cluster op <> []
+
+let comm_latency t ~src ~dst = Topology.comm_latency t.topology ~src ~dst
+let hops t a b = Topology.hops t.topology a b
+
+let is_mesh t =
+  match t.topology with Topology.Mesh _ -> true | Topology.Crossbar _ -> false
+
+let validate_region t region =
+  let graph = region.Cs_ddg.Region.graph in
+  let problems = ref [] in
+  Array.iter
+    (fun ins ->
+      (match ins.Cs_ddg.Instr.preplace with
+      | Some c when c < 0 || c >= t.n_clusters ->
+        problems :=
+          Printf.sprintf "instr %d preplaced on cluster %d (machine has %d)"
+            ins.Cs_ddg.Instr.id c t.n_clusters
+          :: !problems
+      | Some _ | None -> ());
+      let executable =
+        let rec any c = c < t.n_clusters && (can_execute t ~cluster:c ins.Cs_ddg.Instr.op || any (c + 1)) in
+        any 0
+      in
+      if not executable then
+        problems :=
+          Printf.sprintf "opcode %s of instr %d not executable anywhere"
+            (Cs_ddg.Opcode.to_string ins.Cs_ddg.Instr.op)
+            ins.Cs_ddg.Instr.id
+          :: !problems)
+    (Cs_ddg.Graph.instrs graph);
+  Cs_ddg.Reg.Map.iter
+    (fun r c ->
+      if c < 0 || c >= t.n_clusters then
+        problems :=
+          Printf.sprintf "live-in %s homed on cluster %d (machine has %d)"
+            (Cs_ddg.Reg.to_string r) c t.n_clusters
+          :: !problems)
+    region.Cs_ddg.Region.live_in_homes;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d clusters x %d FUs, %a" t.name t.n_clusters (issue_width t)
+    Topology.pp t.topology

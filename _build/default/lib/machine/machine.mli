@@ -1,0 +1,44 @@
+(** A complete spatial-machine description: clusters with functional
+    units, an interconnect, a latency model, and a memory model. Both
+    target machines of the paper (Raw, clustered VLIW) and their
+    single-cluster baselines are instances. *)
+
+type t = {
+  name : string;
+  n_clusters : int;
+  fus : Fu.kind array array; (** functional units of each cluster *)
+  topology : Topology.t;
+  latency : Cs_ddg.Opcode.t -> int;
+  remote_mem_penalty : int;
+  (** extra cycles when a memory op's home bank is a different cluster
+      (clustered VLIW interleaved memory, paper Sec. 5) *)
+}
+
+val make :
+  name:string -> fus:Fu.kind array array -> topology:Topology.t ->
+  ?latency:(Cs_ddg.Opcode.t -> int) -> ?remote_mem_penalty:int -> unit -> t
+(** Default latency model is {!Latency.r4000}; default penalty 0.
+    Raises [Invalid_argument] if a mesh topology size disagrees with the
+    number of clusters. *)
+
+val n_clusters : t -> int
+val issue_width : t -> int
+(** Functional units per cluster (uniform machines only; all ours are). *)
+
+val latency_of : t -> Cs_ddg.Instr.t -> int
+
+val can_execute : t -> cluster:int -> Cs_ddg.Opcode.t -> bool
+(** Some functional unit of [cluster] accepts the opcode. *)
+
+val fus_for : t -> cluster:int -> Cs_ddg.Opcode.t -> int list
+(** Indices (within the cluster) of units that accept the opcode. *)
+
+val comm_latency : t -> src:int -> dst:int -> int
+val hops : t -> int -> int -> int
+val is_mesh : t -> bool
+
+val validate_region : t -> Cs_ddg.Region.t -> (unit, string) result
+(** Checks every preplacement and live-in home fits this machine and
+    every opcode is executable somewhere. *)
+
+val pp : Format.formatter -> t -> unit

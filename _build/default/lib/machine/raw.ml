@@ -1,0 +1,14 @@
+let create ?(rows = 4) ?(cols = 4) () =
+  let n = rows * cols in
+  Machine.make
+    ~name:(Printf.sprintf "raw-%dx%d" rows cols)
+    ~fus:(Array.make n [| Fu.Universal |])
+    ~topology:(Topology.Mesh { rows; cols; base_latency = 3; per_hop = 1 })
+    ()
+
+let with_tiles n =
+  if n <= 0 then invalid_arg "Raw.with_tiles: need a positive tile count";
+  (* Squarest factorization r * c = n with r <= c. *)
+  let rec best r = if r < 1 then invalid_arg "Raw.with_tiles" else if n mod r = 0 then r else best (r - 1) in
+  let r = best (int_of_float (sqrt (float_of_int n))) in
+  create ~rows:r ~cols:(n / r) ()

@@ -1,0 +1,13 @@
+(** The Raw machine (Taylor et al., IEEE Micro 2002): an [rows x cols]
+    mesh of single-issue tiles connected by a compiler-controlled static
+    network. Static-network latency is 3 cycles between neighbors plus
+    1 cycle per additional hop (paper Sec. 5). *)
+
+val create : ?rows:int -> ?cols:int -> unit -> Machine.t
+(** Default 4x4 (the Raw prototype). *)
+
+val with_tiles : int -> Machine.t
+(** [with_tiles n] builds the squarest mesh with [n] tiles. [n] must be
+    expressible as [r*c] with [r <= c] both powers of two for the
+    configurations of the paper (1, 2, 4, 8, 16); other products are
+    accepted when an exact factorization exists. *)

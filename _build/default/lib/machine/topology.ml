@@ -1,0 +1,63 @@
+type t =
+  | Mesh of { rows : int; cols : int; base_latency : int; per_hop : int }
+  | Crossbar of { latency : int }
+
+type link = { from_node : int; to_node : int }
+
+let n_nodes = function
+  | Mesh { rows; cols; _ } -> rows * cols
+  | Crossbar _ -> max_int (* unconstrained; the machine bounds clusters *)
+
+let coords t id =
+  match t with
+  | Mesh { cols; _ } -> (id / cols, id mod cols)
+  | Crossbar _ -> invalid_arg "Topology.coords: not a mesh"
+
+let hops t a b =
+  if a = b then 0
+  else
+    match t with
+    | Crossbar _ -> 1
+    | Mesh { cols; _ } ->
+      let ra = a / cols and ca = a mod cols in
+      let rb = b / cols and cb = b mod cols in
+      abs (ra - rb) + abs (ca - cb)
+
+let comm_latency t ~src ~dst =
+  if src = dst then 0
+  else
+    match t with
+    | Crossbar { latency } -> latency
+    | Mesh { base_latency; per_hop; _ } ->
+      base_latency + (per_hop * (hops t src dst - 1))
+
+let route t ~src ~dst =
+  if src = dst then []
+  else
+    match t with
+    | Crossbar _ -> []
+    | Mesh { cols; _ } ->
+      (* X (column) first, then Y (row). *)
+      let acc = ref [] in
+      let cur = ref src in
+      let step next =
+        acc := { from_node = !cur; to_node = next } :: !acc;
+        cur := next
+      in
+      let target_col = dst mod cols and target_row = dst / cols in
+      while !cur mod cols <> target_col do
+        let col = !cur mod cols in
+        let next_col = if col < target_col then col + 1 else col - 1 in
+        step ((!cur / cols * cols) + next_col)
+      done;
+      while !cur / cols <> target_row do
+        let row = !cur / cols in
+        let next_row = if row < target_row then row + 1 else row - 1 in
+        step ((next_row * cols) + (!cur mod cols))
+      done;
+      List.rev !acc
+
+let pp fmt = function
+  | Mesh { rows; cols; base_latency; per_hop } ->
+    Format.fprintf fmt "mesh %dx%d (lat %d + %d/hop)" rows cols base_latency per_hop
+  | Crossbar { latency } -> Format.fprintf fmt "crossbar (lat %d)" latency

@@ -1,0 +1,36 @@
+(** Interconnect models.
+
+    [Mesh] is Raw's compiler-routed static network: register-mapped
+    ports, three cycles of latency between neighboring tiles and one
+    extra cycle per additional hop (paper Sec. 5). Routes are dimension
+    ordered (X then Y) and each hop occupies a directed link for one
+    cycle, which the scheduler books in a reservation table.
+
+    [Crossbar] is the clustered-VLIW copy network: any-to-any, fixed
+    latency, bandwidth limited by each cluster's transfer unit rather
+    than by links. *)
+
+type t =
+  | Mesh of { rows : int; cols : int; base_latency : int; per_hop : int }
+  | Crossbar of { latency : int }
+
+val n_nodes : t -> int
+
+val coords : t -> int -> int * int
+(** Mesh only: [row, col] of a node id. *)
+
+val hops : t -> int -> int -> int
+(** Number of network hops between two nodes (0 when equal; 1 for any
+    distinct pair on a crossbar; Manhattan distance on a mesh). *)
+
+val comm_latency : t -> src:int -> dst:int -> int
+(** End-to-end latency of moving a register value; 0 when [src = dst]. *)
+
+type link = { from_node : int; to_node : int }
+(** A directed mesh link between adjacent tiles. *)
+
+val route : t -> src:int -> dst:int -> link list
+(** Dimension-ordered route as a list of directed links; empty when
+    [src = dst] or on a crossbar. *)
+
+val pp : Format.formatter -> t -> unit

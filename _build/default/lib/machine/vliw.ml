@@ -1,0 +1,11 @@
+let cluster_fus = [| Fu.Int_alu; Fu.Int_mem; Fu.Float_unit; Fu.Transfer_unit |]
+
+let create ?(n_clusters = 4) () =
+  if n_clusters <= 0 then invalid_arg "Vliw.create: need a positive cluster count";
+  Machine.make
+    ~name:(Printf.sprintf "vliw-%dc" n_clusters)
+    ~fus:(Array.init n_clusters (fun _ -> Array.copy cluster_fus))
+    ~topology:(Topology.Crossbar { latency = 1 })
+    ~remote_mem_penalty:1 ()
+
+let single_cluster () = create ~n_clusters:1 ()

@@ -1,0 +1,12 @@
+(** The Chorus-style clustered VLIW machine (paper Sec. 5): identical
+    clusters, each with one integer ALU, one integer ALU/memory unit,
+    one floating-point unit, and one transfer unit. Copying a register
+    between clusters takes one cycle (on the source cluster's transfer
+    unit). Memory is interleaved across clusters; accessing a remote
+    bank costs one extra cycle. *)
+
+val create : ?n_clusters:int -> unit -> Machine.t
+(** Default 4 clusters, the paper's evaluation machine. *)
+
+val single_cluster : unit -> Machine.t
+(** The speedup baseline machine of Fig. 8. *)

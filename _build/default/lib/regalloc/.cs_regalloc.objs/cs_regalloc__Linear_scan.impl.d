@@ -1,0 +1,1 @@
+lib/regalloc/linear_scan.ml: Array Cs_ddg Cs_machine Cs_sched Int List Pressure

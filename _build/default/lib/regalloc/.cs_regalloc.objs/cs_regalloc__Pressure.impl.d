@@ -1,0 +1,1 @@
+lib/regalloc/pressure.ml: Array Cs_ddg Cs_machine Cs_sched Hashtbl List Option

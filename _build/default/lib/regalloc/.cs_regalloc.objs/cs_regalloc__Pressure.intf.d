@@ -1,0 +1,1 @@
+lib/regalloc/pressure.mli: Cs_sched

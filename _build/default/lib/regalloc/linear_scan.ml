@@ -1,0 +1,44 @@
+type result = {
+  spills_per_cluster : int array;
+  total_spills : int;
+  spill_penalty_cycles : int;
+}
+
+let allocate_cluster ~registers intervals =
+  (* Standard linear scan: sweep by increasing birth; active set sorted by
+     death; spill the furthest death on overflow. *)
+  let sorted =
+    List.sort
+      (fun (a : Pressure.interval) b -> Int.compare a.birth b.birth)
+      intervals
+  in
+  let active = ref [] (* deaths, descending *) in
+  let spills = ref 0 in
+  List.iter
+    (fun (iv : Pressure.interval) ->
+      active := List.filter (fun death -> death >= iv.birth) !active;
+      if List.length !active < registers then
+        active := List.sort (fun a b -> Int.compare b a) (iv.death :: !active)
+      else begin
+        match !active with
+        | furthest :: rest when furthest > iv.death ->
+          incr spills;
+          active := List.sort (fun a b -> Int.compare b a) (iv.death :: rest)
+        | _ -> incr spills
+      end)
+    sorted;
+  !spills
+
+let run ?(registers = 32) sched =
+  let machine = sched.Cs_sched.Schedule.machine in
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let per_cluster = Array.make nc [] in
+  List.iter
+    (fun (iv : Pressure.interval) -> per_cluster.(iv.cluster) <- iv :: per_cluster.(iv.cluster))
+    (Pressure.intervals sched);
+  let spills_per_cluster = Array.map (allocate_cluster ~registers) per_cluster in
+  let total_spills = Array.fold_left ( + ) 0 spills_per_cluster in
+  let store_lat = machine.Cs_machine.Machine.latency Cs_ddg.Opcode.Store in
+  let load_lat = machine.Cs_machine.Machine.latency Cs_ddg.Opcode.Load in
+  { spills_per_cluster; total_spills;
+    spill_penalty_cycles = total_spills * (store_lat + load_lat) }

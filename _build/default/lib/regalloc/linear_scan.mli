@@ -1,0 +1,15 @@
+(** Per-cluster linear-scan register allocation over the live intervals
+    of a schedule (the paper runs a traditional single-cluster register
+    allocator after space-time scheduling; this is our stand-in, used to
+    report spill behaviour in the benches). *)
+
+type result = {
+  spills_per_cluster : int array;
+  total_spills : int;
+  spill_penalty_cycles : int;
+  (** estimated extra cycles: one store + one reload per spilled value *)
+}
+
+val run : ?registers:int -> Cs_sched.Schedule.t -> result
+(** Default 32 registers per cluster (the R4000 register file). Spills
+    pick the interval with the furthest death (Poletto-Sarkar). *)

@@ -1,0 +1,64 @@
+type interval = {
+  producer : int;
+  cluster : int;
+  birth : int;
+  death : int;
+}
+
+let intervals sched =
+  let graph = sched.Cs_sched.Schedule.graph in
+  let entries = sched.Cs_sched.Schedule.entries in
+  let acc = ref [] in
+  for p = 0 to Cs_ddg.Graph.n graph - 1 do
+    let ins = Cs_ddg.Graph.instr graph p in
+    if ins.Cs_ddg.Instr.dst <> None then begin
+      let ep = entries.(p) in
+      let home_death = ref ep.Cs_sched.Schedule.finish in
+      let remote_uses = Hashtbl.create 4 in
+      List.iter
+        (fun s ->
+          let es = entries.(s) in
+          if es.Cs_sched.Schedule.cluster = ep.Cs_sched.Schedule.cluster then
+            home_death := max !home_death es.Cs_sched.Schedule.start
+          else begin
+            let c = es.Cs_sched.Schedule.cluster in
+            let prev = Option.value ~default:0 (Hashtbl.find_opt remote_uses c) in
+            Hashtbl.replace remote_uses c (max prev es.Cs_sched.Schedule.start)
+          end)
+        (Cs_ddg.Graph.succs graph p);
+      (* Outgoing transfers keep the value alive at home until departure,
+         and create a copy interval at the destination. *)
+      List.iter
+        (fun (cm : Cs_sched.Schedule.comm) ->
+          if cm.producer = p then begin
+            home_death := max !home_death cm.depart;
+            let last_use =
+              Option.value ~default:cm.arrive (Hashtbl.find_opt remote_uses cm.dst)
+            in
+            acc :=
+              { producer = p; cluster = cm.dst; birth = cm.arrive;
+                death = max cm.arrive last_use }
+              :: !acc
+          end)
+        sched.Cs_sched.Schedule.comms;
+      acc :=
+        { producer = p; cluster = ep.Cs_sched.Schedule.cluster;
+          birth = ep.Cs_sched.Schedule.finish; death = !home_death }
+        :: !acc
+    end
+  done;
+  !acc
+
+let peak sched =
+  let nc = Cs_machine.Machine.n_clusters sched.Cs_sched.Schedule.machine in
+  let horizon = Cs_sched.Schedule.makespan sched + 1 in
+  let live = Array.make_matrix nc (horizon + 1) 0 in
+  List.iter
+    (fun iv ->
+      for t = iv.birth to min iv.death horizon do
+        live.(iv.cluster).(t) <- live.(iv.cluster).(t) + 1
+      done)
+    (intervals sched);
+  Array.map (fun row -> Array.fold_left max 0 row) live
+
+let max_peak sched = Array.fold_left max 0 (peak sched)

@@ -1,0 +1,18 @@
+(** Register-pressure analysis of a finished schedule. A value lives on
+    its producer's cluster from the producer's finish until its last
+    local use or outgoing transfer departure; a transferred copy lives on
+    the destination cluster from arrival until its last use there. *)
+
+type interval = {
+  producer : int; (** defining instruction *)
+  cluster : int;
+  birth : int;
+  death : int; (** inclusive; [death >= birth] *)
+}
+
+val intervals : Cs_sched.Schedule.t -> interval list
+
+val peak : Cs_sched.Schedule.t -> int array
+(** Maximum number of simultaneously live values per cluster. *)
+
+val max_peak : Cs_sched.Schedule.t -> int

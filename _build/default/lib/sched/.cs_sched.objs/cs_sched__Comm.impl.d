@@ -1,0 +1,1 @@
+lib/sched/comm.ml: Array Cs_machine Hashtbl List Option Printf Reservation Schedule

@@ -1,0 +1,1 @@
+lib/sched/comm.mli: Cs_machine Schedule

@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.ml: Array Comm Cs_ddg Cs_machine Cs_util List Printf Priority Reservation Schedule

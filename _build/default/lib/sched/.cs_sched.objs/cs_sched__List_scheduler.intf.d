@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.mli: Cs_ddg Cs_machine Schedule

@@ -1,0 +1,1 @@
+lib/sched/priority.ml: Array Cs_ddg Int

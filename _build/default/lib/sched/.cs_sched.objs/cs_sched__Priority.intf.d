@@ -1,0 +1,1 @@
+lib/sched/priority.mli: Cs_ddg

@@ -1,0 +1,1 @@
+lib/sched/reservation.ml: Bytes List

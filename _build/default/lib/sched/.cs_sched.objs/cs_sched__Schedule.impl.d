@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Cs_ddg Cs_machine Format Int List

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Cs_ddg Cs_machine Format

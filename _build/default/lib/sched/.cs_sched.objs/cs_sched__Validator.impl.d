@@ -1,0 +1,1 @@
+lib/sched/validator.ml: Array Comm Cs_ddg Cs_machine Hashtbl List List_scheduler Printf Schedule String

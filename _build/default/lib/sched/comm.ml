@@ -1,0 +1,158 @@
+type t = {
+  machine : Cs_machine.Machine.t;
+  xfer_units : Reservation.t array array; (* crossbar: per cluster, per transfer unit *)
+  links : (Cs_machine.Topology.link, Reservation.t) Hashtbl.t; (* mesh *)
+  memo : (int * int, int) Hashtbl.t; (* (producer, dst) -> arrival *)
+  mutable booked : Schedule.comm list;
+}
+
+let transfer_unit_count machine cluster =
+  Array.fold_left
+    (fun acc fu -> if fu = Cs_machine.Fu.Transfer_unit then acc + 1 else acc)
+    0 machine.Cs_machine.Machine.fus.(cluster)
+
+let create machine =
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let xfer_units =
+    Array.init nc (fun c ->
+        (* Raw tiles have no transfer units; sends are register-mapped and
+           free. Model that as unlimited capacity (empty array = skip). *)
+        Array.init (transfer_unit_count machine c) (fun _ -> Reservation.create ()))
+  in
+  { machine; xfer_units; links = Hashtbl.create 64; memo = Hashtbl.create 64; booked = [] }
+
+let link_table t link =
+  match Hashtbl.find_opt t.links link with
+  | Some r -> r
+  | None ->
+    let r = Reservation.create () in
+    Hashtbl.add t.links link r;
+    r
+
+(* Earliest depart >= ready with all route links free wormhole-style. *)
+let mesh_depart t route ready =
+  let rec try_at d =
+    let ok =
+      List.for_all2
+        (fun link k -> Reservation.is_free (link_table t link) (d + k))
+        route
+        (List.init (List.length route) (fun k -> k))
+    in
+    if ok then d else try_at (d + 1)
+  in
+  try_at ready
+
+let crossbar_depart t src ready =
+  match t.xfer_units.(src) with
+  | [||] ->
+    (* No transfer unit to contend for: depart as soon as ready. *)
+    (ready, None)
+  | units ->
+    let best = ref (Reservation.first_free_from units.(0) ready) in
+    let best_u = ref 0 in
+    Array.iteri
+      (fun u res ->
+        let c = Reservation.first_free_from res ready in
+        if c < !best then begin
+          best := c;
+          best_u := u
+        end)
+      units;
+    (!best, Some !best_u)
+
+(* Finds the earliest transfer departing at or after [ready]; commits the
+   booking (and memoizes) only when [accept arrive] holds. *)
+let attempt t ~producer ~src ~dst ~ready ~accept =
+  let latency = Cs_machine.Machine.comm_latency t.machine ~src ~dst in
+  let plan =
+    match t.machine.Cs_machine.Machine.topology with
+    | Cs_machine.Topology.Crossbar _ ->
+      let d, unit_idx = crossbar_depart t src ready in
+      let commit () =
+        match unit_idx with
+        | Some u -> Reservation.book t.xfer_units.(src).(u) d
+        | None -> ()
+      in
+      (d, commit)
+    | Cs_machine.Topology.Mesh _ ->
+      let route = Cs_machine.Topology.route t.machine.Cs_machine.Machine.topology ~src ~dst in
+      let d = mesh_depart t route ready in
+      let commit () =
+        List.iteri (fun k link -> Reservation.book (link_table t link) (d + k)) route
+      in
+      (d, commit)
+  in
+  let depart, commit = plan in
+  let arrive = depart + latency in
+  if accept arrive then begin
+    commit ();
+    Hashtbl.add t.memo (producer, dst) arrive;
+    t.booked <- { Schedule.producer; src; dst; depart; arrive } :: t.booked;
+    Some arrive
+  end
+  else None
+
+let deliver t ~producer ~src ~dst ~ready =
+  if src = dst then ready
+  else
+    match Hashtbl.find_opt t.memo (producer, dst) with
+    | Some arrival -> arrival
+    | None ->
+      (match attempt t ~producer ~src ~dst ~ready ~accept:(fun _ -> true) with
+      | Some arrive -> arrive
+      | None -> assert false)
+
+let deliver_by t ~producer ~src ~dst ~ready ~deadline =
+  if src = dst then if ready <= deadline then Some ready else None
+  else
+    match Hashtbl.find_opt t.memo (producer, dst) with
+    | Some arrival -> if arrival <= deadline then Some arrival else None
+    | None -> attempt t ~producer ~src ~dst ~ready ~accept:(fun arrive -> arrive <= deadline)
+
+let bookings t = t.booked
+
+let link_conflicts machine comms =
+  let problems = ref [] in
+  (match machine.Cs_machine.Machine.topology with
+  | Cs_machine.Topology.Crossbar _ ->
+    (* Transfers departing a cluster the same cycle must not exceed its
+       transfer units (unlimited when it has none, e.g. Raw-like). *)
+    let usage = Hashtbl.create 64 in
+    List.iter
+      (fun cm ->
+        let key = (cm.Schedule.src, cm.Schedule.depart) in
+        Hashtbl.replace usage key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt usage key)))
+      comms;
+    Hashtbl.iter
+      (fun (src, depart) count ->
+        let cap = transfer_unit_count machine src in
+        if cap > 0 && count > cap then
+          problems :=
+            Printf.sprintf "cluster %d issues %d transfers at cycle %d (capacity %d)" src
+              count depart cap
+            :: !problems)
+      usage
+  | Cs_machine.Topology.Mesh _ ->
+    let usage = Hashtbl.create 256 in
+    List.iter
+      (fun cm ->
+        let route =
+          Cs_machine.Topology.route machine.Cs_machine.Machine.topology
+            ~src:cm.Schedule.src ~dst:cm.Schedule.dst
+        in
+        List.iteri
+          (fun k link ->
+            let key = (link, cm.Schedule.depart + k) in
+            match Hashtbl.find_opt usage key with
+            | Some other ->
+              problems :=
+                Printf.sprintf
+                  "link %d->%d used at cycle %d by values of i%d and i%d"
+                  link.Cs_machine.Topology.from_node link.Cs_machine.Topology.to_node
+                  (cm.Schedule.depart + k) other cm.Schedule.producer
+                :: !problems
+            | None -> Hashtbl.add usage key cm.Schedule.producer)
+          route)
+      comms);
+  !problems

@@ -1,0 +1,124 @@
+exception Unschedulable of string
+
+let effective_latency ~machine ~cluster ins =
+  let base = Cs_machine.Machine.latency_of machine ins in
+  match ins.Cs_ddg.Instr.preplace with
+  | Some home
+    when home <> cluster
+         && Cs_ddg.Opcode.is_memory ins.Cs_ddg.Instr.op
+         && machine.Cs_machine.Machine.remote_mem_penalty > 0 ->
+    base + machine.Cs_machine.Machine.remote_mem_penalty
+  | Some _ | None -> base
+
+let check_placement ~machine ~assignment graph =
+  Array.iter
+    (fun ins ->
+      let i = ins.Cs_ddg.Instr.id in
+      let c = assignment.(i) in
+      if c < 0 || c >= Cs_machine.Machine.n_clusters machine then
+        raise (Unschedulable (Printf.sprintf "instr %d assigned to invalid cluster %d" i c));
+      if not (Cs_machine.Machine.can_execute machine ~cluster:c ins.Cs_ddg.Instr.op) then
+        raise
+          (Unschedulable
+             (Printf.sprintf "instr %d (%s) cannot execute on cluster %d" i
+                (Cs_ddg.Opcode.to_string ins.Cs_ddg.Instr.op)
+                c));
+      match ins.Cs_ddg.Instr.preplace with
+      | Some home
+        when home <> c && machine.Cs_machine.Machine.remote_mem_penalty = 0 ->
+        raise
+          (Unschedulable
+             (Printf.sprintf "preplaced instr %d must run on cluster %d, assigned %d" i home c))
+      | Some _ | None -> ())
+    (Cs_ddg.Graph.instrs graph)
+
+let run ~machine ~assignment ~priority ?analysis region =
+  let graph = region.Cs_ddg.Region.graph in
+  let n = Cs_ddg.Graph.n graph in
+  if Array.length assignment <> n then invalid_arg "List_scheduler.run: assignment size";
+  if Array.length priority <> n then invalid_arg "List_scheduler.run: priority size";
+  check_placement ~machine ~assignment graph;
+  let analysis =
+    match analysis with
+    | Some a -> a
+    | None -> Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of machine) graph
+  in
+  let fu_res =
+    Array.init (Cs_machine.Machine.n_clusters machine) (fun c ->
+        Array.init (Array.length machine.Cs_machine.Machine.fus.(c)) (fun _ ->
+            Reservation.create ()))
+  in
+  let comm = Comm.create machine in
+  let finish = Array.make n (-1) in
+  let entries =
+    Array.make n { Schedule.cluster = -1; fu = -1; start = -1; finish = -1 }
+  in
+  let cmp =
+    Priority.compare_with_tiebreak ~priority ~height:(Cs_ddg.Analysis.height analysis)
+  in
+  let ready = Cs_util.Heap.create ~cmp in
+  let pending = Array.make n 0 in
+  for i = 0 to n - 1 do
+    pending.(i) <- List.length (Cs_ddg.Graph.preds graph i);
+    if pending.(i) = 0 then Cs_util.Heap.push ready i
+  done;
+  let scheduled = ref 0 in
+  let live_in_homes = region.Cs_ddg.Region.live_in_homes in
+  (* A homed live-in read away from its home costs a real transfer. *)
+  let live_in_avail i c =
+    List.fold_left
+      (fun acc r ->
+        match Cs_ddg.Graph.defining_instr graph r with
+        | Some _ -> acc
+        | None ->
+          (match Cs_ddg.Reg.Map.find_opt r live_in_homes with
+          | Some home when home <> c ->
+            max acc
+              (Comm.deliver comm ~producer:(Schedule.live_in_producer r) ~src:home ~dst:c
+                 ~ready:0)
+          | Some _ | None -> acc))
+      0
+      (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.srcs
+  in
+  let rec drain () =
+    match Cs_util.Heap.pop ready with
+    | None -> ()
+    | Some i ->
+      let ins = Cs_ddg.Graph.instr graph i in
+      let c = assignment.(i) in
+      (* Operand availability, synthesizing transfers as needed. *)
+      let est =
+        List.fold_left
+          (fun acc p ->
+            let avail =
+              if assignment.(p) = c then finish.(p)
+              else Comm.deliver comm ~producer:p ~src:assignment.(p) ~dst:c ~ready:finish.(p)
+            in
+            max acc avail)
+          (live_in_avail i c)
+          (Cs_ddg.Graph.preds graph i)
+      in
+      (* Earliest issue slot on a compatible functional unit. *)
+      let candidates = Cs_machine.Machine.fus_for machine ~cluster:c ins.Cs_ddg.Instr.op in
+      let cycle, fu =
+        List.fold_left
+          (fun (best_cycle, best_fu) u ->
+            let cy = Reservation.first_free_from fu_res.(c).(u) est in
+            if cy < best_cycle then (cy, u) else (best_cycle, best_fu))
+          (max_int, -1) candidates
+      in
+      Reservation.book fu_res.(c).(fu) cycle;
+      let lat = effective_latency ~machine ~cluster:c ins in
+      finish.(i) <- cycle + lat;
+      entries.(i) <- { Schedule.cluster = c; fu; start = cycle; finish = finish.(i) };
+      incr scheduled;
+      List.iter
+        (fun s ->
+          pending.(s) <- pending.(s) - 1;
+          if pending.(s) = 0 then Cs_util.Heap.push ready s)
+        (Cs_ddg.Graph.succs graph i);
+      drain ()
+  in
+  drain ();
+  assert (!scheduled = n);
+  Schedule.make ~machine ~graph ~live_in_homes ~entries ~comms:(Comm.bookings comm) ()

@@ -1,0 +1,30 @@
+(** The space-time list scheduler shared by the convergent scheduler and
+    all baselines (paper Sec. 5: both Rawcc and Chorus run an
+    independent list scheduler after assignment).
+
+    Given a cluster assignment and a priority vector it produces a
+    validated, resource-accurate schedule: functional units are booked
+    per cycle, inter-cluster operands are moved by synthesized transfers
+    (transfer-unit bookings on a VLIW, wormhole link reservations on a
+    Raw mesh), and remote-memory penalties are applied on machines that
+    have them. *)
+
+exception Unschedulable of string
+
+val run :
+  machine:Cs_machine.Machine.t ->
+  assignment:int array ->
+  priority:int array ->
+  ?analysis:Cs_ddg.Analysis.t ->
+  Cs_ddg.Region.t ->
+  Schedule.t
+(** Raises {!Unschedulable} when an instruction's assigned cluster
+    cannot execute it, or when a preplaced instruction is assigned away
+    from its home on a machine without remote memory access.
+    [analysis] (used for tie-breaking heights and effective latencies)
+    is rebuilt from the machine's latency model when not supplied. *)
+
+val effective_latency :
+  machine:Cs_machine.Machine.t -> cluster:int -> Cs_ddg.Instr.t -> int
+(** Machine latency plus the remote-memory penalty when a memory
+    operation executes away from its home bank. *)

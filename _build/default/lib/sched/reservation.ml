@@ -1,0 +1,39 @@
+type t = {
+  mutable busy : Bytes.t; (* one byte per cycle; grown on demand *)
+  mutable horizon : int; (* max booked cycle + 1 *)
+}
+
+let create () = { busy = Bytes.make 64 '\000'; horizon = 0 }
+
+let ensure t cycle =
+  let len = Bytes.length t.busy in
+  if cycle >= len then begin
+    let grown = Bytes.make (max (cycle + 1) (2 * len)) '\000' in
+    Bytes.blit t.busy 0 grown 0 len;
+    t.busy <- grown
+  end
+
+let is_free t cycle =
+  if cycle < 0 then invalid_arg "Reservation: negative cycle";
+  cycle >= Bytes.length t.busy || Bytes.get t.busy cycle = '\000'
+
+let book t cycle =
+  if cycle < 0 then invalid_arg "Reservation: negative cycle";
+  ensure t cycle;
+  if Bytes.get t.busy cycle <> '\000' then invalid_arg "Reservation.book: cycle already booked";
+  Bytes.set t.busy cycle '\001';
+  t.horizon <- max t.horizon (cycle + 1)
+
+let first_free_from t cycle =
+  let cycle = max 0 cycle in
+  let rec go c = if is_free t c then c else go (c + 1) in
+  go cycle
+
+let booked_cycles t =
+  let acc = ref [] in
+  for c = t.horizon - 1 downto 0 do
+    if not (is_free t c) then acc := c :: !acc
+  done;
+  !acc
+
+let n_booked t = List.length (booked_cycles t)

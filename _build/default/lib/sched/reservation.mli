@@ -1,0 +1,18 @@
+(** A growable one-slot-per-cycle reservation table: the scheduler books
+    functional units and network links cycle by cycle. *)
+
+type t
+
+val create : unit -> t
+val is_free : t -> int -> bool
+val book : t -> int -> unit
+(** Raises [Invalid_argument] when the cycle is already booked or
+    negative. *)
+
+val first_free_from : t -> int -> int
+(** Earliest free cycle at or after the given cycle. *)
+
+val booked_cycles : t -> int list
+(** Ascending; for tests and utilization reporting. *)
+
+val n_booked : t -> int

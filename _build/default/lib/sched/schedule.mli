@@ -1,0 +1,59 @@
+(** A space-time schedule: the final product of every scheduler in this
+    repository. Records, per instruction, the cluster, functional unit
+    and issue cycle, plus every synthesized inter-cluster value
+    transfer. Cycle counts reported in the experiments are schedule
+    makespans. *)
+
+type entry = {
+  cluster : int;
+  fu : int;
+  start : int; (** issue cycle *)
+  finish : int; (** [start + effective latency]; result available then *)
+}
+
+type comm = {
+  producer : int;
+  (** instruction id whose value is moved; negative for region live-ins
+      (see {!live_in_producer}) *)
+  src : int;
+  dst : int;
+  depart : int; (** cycle the value leaves [src] *)
+  arrive : int; (** cycle the value is usable on [dst] *)
+}
+
+val live_in_producer : Cs_ddg.Reg.t -> int
+(** The pseudo-producer id used in {!comm} records for moving a homed
+    live-in register off its home cluster: [-1 - reg]. *)
+
+type t = {
+  machine : Cs_machine.Machine.t;
+  graph : Cs_ddg.Graph.t;
+  live_in_homes : int Cs_ddg.Reg.Map.t;
+  (** home cluster of live-in registers; values start the region there *)
+  entries : entry array; (** indexed by instruction id *)
+  comms : comm list;
+  makespan : int;
+}
+
+val make :
+  machine:Cs_machine.Machine.t -> graph:Cs_ddg.Graph.t ->
+  ?live_in_homes:int Cs_ddg.Reg.Map.t ->
+  entries:entry array -> comms:comm list -> unit -> t
+(** Computes the makespan (max finish / arrival). *)
+
+val makespan : t -> int
+val n_comms : t -> int
+
+val assignment : t -> int array
+(** Cluster of each instruction. *)
+
+val cluster_occupancy : t -> int array
+(** Instructions issued per cluster. *)
+
+val utilization : t -> float
+(** Issued instructions / (clusters * issue width * makespan). *)
+
+val comms_for : t -> producer:int -> dst:int -> comm option
+
+val pp : Format.formatter -> t -> unit
+(** Per-cluster timeline rendering. *)

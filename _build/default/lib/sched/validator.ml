@@ -1,0 +1,120 @@
+let check sched =
+  let machine = sched.Schedule.machine in
+  let graph = sched.Schedule.graph in
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let nc = Cs_machine.Machine.n_clusters machine in
+  (* Per-entry legality. *)
+  Array.iteri
+    (fun i (e : Schedule.entry) ->
+      let ins = Cs_ddg.Graph.instr graph i in
+      if e.cluster < 0 || e.cluster >= nc then fail "i%d on invalid cluster %d" i e.cluster
+      else begin
+        let fus = machine.Cs_machine.Machine.fus.(e.cluster) in
+        if e.fu < 0 || e.fu >= Array.length fus then fail "i%d on invalid unit %d" i e.fu
+        else if not (Cs_machine.Fu.can_execute fus.(e.fu) (Cs_ddg.Opcode.cls ins.Cs_ddg.Instr.op))
+        then
+          fail "i%d (%s) on incompatible unit %s" i
+            (Cs_ddg.Opcode.to_string ins.Cs_ddg.Instr.op)
+            (Cs_machine.Fu.to_string fus.(e.fu));
+        if e.start < 0 then fail "i%d starts at negative cycle %d" i e.start;
+        let lat = List_scheduler.effective_latency ~machine ~cluster:e.cluster ins in
+        if e.finish <> e.start + lat then
+          fail "i%d finish %d inconsistent with start %d + latency %d" i e.finish e.start lat;
+        match ins.Cs_ddg.Instr.preplace with
+        | Some home when home <> e.cluster ->
+          let remote_ok =
+            Cs_ddg.Opcode.is_memory ins.Cs_ddg.Instr.op
+            && machine.Cs_machine.Machine.remote_mem_penalty > 0
+          in
+          if not remote_ok then fail "preplaced i%d ran on cluster %d, home %d" i e.cluster home
+        | Some _ | None -> ()
+      end)
+    sched.Schedule.entries;
+  (* Issue-slot conflicts. *)
+  let slots = Hashtbl.create 256 in
+  Array.iteri
+    (fun i (e : Schedule.entry) ->
+      let key = (e.cluster, e.fu, e.start) in
+      (match Hashtbl.find_opt slots key with
+      | Some other ->
+        fail "i%d and i%d both issue on cluster %d unit %d at cycle %d" other i e.cluster e.fu
+          e.start
+      | None -> ());
+      Hashtbl.replace slots key i)
+    sched.Schedule.entries;
+  (* Dependences. *)
+  for p = 0 to Cs_ddg.Graph.n graph - 1 do
+    let ep = sched.Schedule.entries.(p) in
+    List.iter
+      (fun s ->
+        let es = sched.Schedule.entries.(s) in
+        if ep.cluster = es.cluster then begin
+          if es.start < ep.finish then
+            fail "i%d starts at %d before producer i%d finishes at %d" s es.start p ep.finish
+        end
+        else begin
+          match Schedule.comms_for sched ~producer:p ~dst:es.cluster with
+          | None -> fail "no transfer feeds i%d (cluster %d) with value of i%d" s es.cluster p
+          | Some cm ->
+            if cm.src <> ep.cluster then
+              fail "transfer of i%d departs cluster %d, producer on %d" p cm.src ep.cluster;
+            if cm.depart < ep.finish then
+              fail "transfer of i%d departs at %d before producer finishes at %d" p cm.depart
+                ep.finish;
+            let lat = Cs_machine.Machine.comm_latency machine ~src:cm.src ~dst:cm.dst in
+            if cm.arrive <> cm.depart + lat then
+              fail "transfer of i%d has latency %d, topology says %d" p (cm.arrive - cm.depart)
+                lat;
+            if es.start < cm.arrive then
+              fail "i%d starts at %d before value of i%d arrives at %d" s es.start p cm.arrive
+        end)
+      (Cs_ddg.Graph.succs graph p)
+  done;
+  (* Homed live-ins consumed off their home cluster need a recorded,
+     timely delivery. *)
+  Array.iter
+    (fun ins ->
+      let i = ins.Cs_ddg.Instr.id in
+      let ei = sched.Schedule.entries.(i) in
+      List.iter
+        (fun r ->
+          match Cs_ddg.Graph.defining_instr graph r with
+          | Some _ -> ()
+          | None ->
+            (match Cs_ddg.Reg.Map.find_opt r sched.Schedule.live_in_homes with
+            | Some home when home <> ei.cluster ->
+              let pseudo = Schedule.live_in_producer r in
+              (match
+                 List.find_opt
+                   (fun (cm : Schedule.comm) ->
+                     cm.producer = pseudo && cm.dst = ei.cluster)
+                   sched.Schedule.comms
+               with
+              | None ->
+                fail "no transfer delivers live-in %s to i%d on cluster %d"
+                  (Cs_ddg.Reg.to_string r) i ei.cluster
+              | Some cm ->
+                if cm.src <> home then
+                  fail "live-in %s departs cluster %d, home is %d" (Cs_ddg.Reg.to_string r)
+                    cm.src home;
+                if cm.depart < 0 then fail "live-in %s departs before cycle 0" (Cs_ddg.Reg.to_string r);
+                let lat = Cs_machine.Machine.comm_latency machine ~src:cm.src ~dst:cm.dst in
+                if cm.arrive <> cm.depart + lat then
+                  fail "live-in %s transfer latency %d, topology says %d"
+                    (Cs_ddg.Reg.to_string r) (cm.arrive - cm.depart) lat;
+                if ei.start < cm.arrive then
+                  fail "i%d reads live-in %s at %d before it arrives at %d" i
+                    (Cs_ddg.Reg.to_string r) ei.start cm.arrive)
+            | Some _ | None -> ()))
+        ins.Cs_ddg.Instr.srcs)
+    (Cs_ddg.Graph.instrs graph);
+  (* Communication resource conflicts. *)
+  List.iter (fun p -> problems := p :: !problems)
+    (Comm.link_conflicts machine sched.Schedule.comms);
+  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+
+let check_exn sched =
+  match check sched with
+  | Ok () -> ()
+  | Error ps -> failwith (String.concat "\n" ps)

@@ -1,0 +1,23 @@
+(** Independent re-verification of finished schedules. Every schedule
+    produced in tests and benches — by the convergent scheduler and by
+    every baseline — passes through this module, so reported cycle
+    counts are backed by checked resource and dependence legality. *)
+
+val check : Schedule.t -> (unit, string list) result
+(** Verifies:
+    - every instruction has a legal entry (cluster in range, functional
+      unit compatible, non-negative start, finish consistent with the
+      machine's effective latency);
+    - preplaced instructions run on their home cluster, except on
+      machines with remote memory access where memory operations may run
+      remotely (and then must carry the penalty);
+    - no two instructions issue on the same (cluster, unit, cycle);
+    - every dependence is satisfied: same-cluster consumers start no
+      earlier than the producer's finish; cross-cluster consumers are fed
+      by a recorded transfer with consistent endpoints, departure after
+      the producer's finish, latency matching the topology, and arrival
+      no later than the consumer's start;
+    - transfers do not oversubscribe transfer units or mesh links. *)
+
+val check_exn : Schedule.t -> unit
+(** Raises [Failure] with all problems joined when the check fails. *)

@@ -1,0 +1,1 @@
+lib/sim/compile_time.ml: Cs_baselines Cs_core Cs_ddg Cs_machine Cs_sched Cs_workloads List Pipeline Sys

@@ -1,0 +1,1 @@
+lib/sim/compile_time.mli: Cs_ddg Cs_machine Pipeline

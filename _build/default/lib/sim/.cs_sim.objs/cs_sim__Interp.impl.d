@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Cs_ddg Cs_sched Hashtbl Int64 List Option Printf

@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Cs_ddg Cs_sched

@@ -1,0 +1,1 @@
+lib/sim/pipeline.ml: Cs_baselines Cs_core Cs_machine Cs_sched String

@@ -1,0 +1,1 @@
+lib/sim/pipeline.mli: Cs_core Cs_ddg Cs_machine Cs_sched

@@ -1,0 +1,1 @@
+lib/sim/program.ml: Array Cs_ddg Cs_machine Cs_sched Hashtbl List Option Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/sim/program.mli: Cs_ddg Cs_machine Cs_sched Pipeline

@@ -1,0 +1,1 @@
+lib/sim/speedup.ml: Cs_ddg Cs_machine Cs_sched Cs_workloads Pipeline

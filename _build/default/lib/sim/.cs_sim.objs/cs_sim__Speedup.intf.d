@@ -1,0 +1,1 @@
+lib/sim/speedup.mli: Cs_workloads Pipeline

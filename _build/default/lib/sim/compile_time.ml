@@ -1,0 +1,40 @@
+type point = {
+  n_instrs : int;
+  seconds : float;
+}
+
+let raw_schedule ~scheduler ~machine region =
+  (* Unvalidated on purpose: we time the scheduler, not the checker. *)
+  match scheduler with
+  | Pipeline.Convergent ->
+    let passes = Pipeline.default_passes ~machine in
+    let result = Cs_core.Driver.run ~machine region passes in
+    let analysis = result.Cs_core.Driver.context.Cs_core.Context.analysis in
+    let priority = Cs_sched.Priority.of_slots result.Cs_core.Driver.preferred_slot in
+    ignore
+      (Cs_sched.List_scheduler.run ~machine
+         ~assignment:result.Cs_core.Driver.assignment ~priority ~analysis region)
+  | Pipeline.Rawcc -> ignore (Cs_baselines.Rawcc.schedule ~machine region)
+  | Pipeline.Uas -> ignore (Cs_baselines.Uas.schedule ~machine region)
+  | Pipeline.Pcc -> ignore (Cs_baselines.Pcc.schedule ~machine region)
+  | Pipeline.Bug -> ignore (Cs_baselines.Bug.schedule ~machine region)
+  | Pipeline.Anneal -> ignore (Cs_baselines.Anneal.schedule ~machine region)
+
+let time_scheduler ~scheduler ~machine region =
+  let t0 = Sys.time () in
+  raw_schedule ~scheduler ~machine region;
+  Sys.time () -. t0
+
+let default_sizes = [ 50; 100; 200; 400; 800; 1200; 1600; 2000 ]
+
+let sweep ?(sizes = default_sizes) ?(seed = 11) ~scheduler ~machine () =
+  let congruence =
+    Cs_workloads.Congruence.interleaved
+      ~n_banks:(Cs_machine.Machine.n_clusters machine)
+  in
+  List.map
+    (fun n ->
+      let region = Cs_workloads.Shapes.layered ~n ~congruence ~seed:(seed + n) () in
+      let seconds = time_scheduler ~scheduler ~machine region in
+      { n_instrs = Cs_ddg.Region.n_instrs region; seconds })
+    sizes

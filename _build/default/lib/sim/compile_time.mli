@@ -1,0 +1,21 @@
+(** Compile-time scalability measurement (paper Fig. 10): wall-clock
+    scheduling time as a function of region size, for convergent
+    scheduling, UAS, and PCC, on the clustered VLIW. Timing includes the
+    post-assignment list scheduler for convergent and PCC, as in the
+    paper ("our measurements include time spent in the scheduler"). *)
+
+type point = {
+  n_instrs : int;
+  seconds : float;
+}
+
+val time_scheduler :
+  scheduler:Pipeline.scheduler -> machine:Cs_machine.Machine.t ->
+  Cs_ddg.Region.t -> float
+(** CPU seconds for one scheduling run (no validation overhead). *)
+
+val sweep :
+  ?sizes:int list -> ?seed:int -> scheduler:Pipeline.scheduler ->
+  machine:Cs_machine.Machine.t -> unit -> point list
+(** Times random layered regions of the given sizes
+    (default 50-2000, mem-banked for the machine's cluster count). *)

@@ -1,0 +1,139 @@
+(* Deterministic 64-bit denotations. The only property that matters is
+   that the value of an instruction is a function of its opcode and its
+   operand values (plus identity for value sources), so any evaluation
+   order consistent with the dataflow produces the same values. *)
+
+let mix seed v =
+  let open Int64 in
+  let z = add (logxor seed v) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  logxor z (shift_right_logical z 27)
+
+let opcode_seed op = Int64.of_int (Hashtbl.hash (Cs_ddg.Opcode.to_string op))
+
+let denote op args =
+  List.fold_left mix (opcode_seed op) args
+
+let live_in_value r = mix 0x5EEDL (Int64.of_int r)
+
+let eval_instr ~lookup ins =
+  let args = List.map lookup ins.Cs_ddg.Instr.srcs in
+  denote ins.Cs_ddg.Instr.op args
+
+let reference region =
+  let graph = region.Cs_ddg.Region.graph in
+  let env = ref Cs_ddg.Reg.Map.empty in
+  Cs_ddg.Reg.Set.iter
+    (fun r -> env := Cs_ddg.Reg.Map.add r (live_in_value r) !env)
+    (Cs_ddg.Graph.live_in_regs graph);
+  let lookup r =
+    match Cs_ddg.Reg.Map.find_opt r !env with
+    | Some v -> v
+    | None -> invalid_arg "Interp.reference: operand evaluated before definition"
+  in
+  Array.iter
+    (fun i ->
+      let ins = Cs_ddg.Graph.instr graph i in
+      let v = eval_instr ~lookup ins in
+      match ins.Cs_ddg.Instr.dst with
+      | Some r -> env := Cs_ddg.Reg.Map.add r v !env
+      | None -> ())
+    (Cs_ddg.Graph.topo_order graph);
+  !env
+
+let of_schedule sched =
+  let graph = sched.Cs_sched.Schedule.graph in
+  let entries = sched.Cs_sched.Schedule.entries in
+  let n = Cs_ddg.Graph.n graph in
+  (* Execute by increasing issue cycle (ties by cluster then id: ties are
+     independent instructions, so any order works). *)
+  let order = List.init n (fun i -> i) in
+  let order =
+    List.sort
+      (fun a b ->
+        compare
+          (entries.(a).Cs_sched.Schedule.start, entries.(a).Cs_sched.Schedule.cluster, a)
+          (entries.(b).Cs_sched.Schedule.start, entries.(b).Cs_sched.Schedule.cluster, b))
+      order
+  in
+  let env = ref Cs_ddg.Reg.Map.empty in
+  Cs_ddg.Reg.Set.iter
+    (fun r -> env := Cs_ddg.Reg.Map.add r (live_in_value r) !env)
+    (Cs_ddg.Graph.live_in_regs graph);
+  let problem = ref None in
+  let availability consumer r =
+    (* When does register [r]'s value become readable on the consumer's
+       cluster? Un-homed live-ins are available everywhere at cycle 0;
+       homed live-ins must be delivered off their home cluster. *)
+    match Cs_ddg.Graph.defining_instr graph r with
+    | None ->
+      let cluster = entries.(consumer).Cs_sched.Schedule.cluster in
+      (match Cs_ddg.Reg.Map.find_opt r sched.Cs_sched.Schedule.live_in_homes with
+      | Some home when home <> cluster ->
+        let pseudo = Cs_sched.Schedule.live_in_producer r in
+        List.find_opt
+          (fun (cm : Cs_sched.Schedule.comm) -> cm.producer = pseudo && cm.dst = cluster)
+          sched.Cs_sched.Schedule.comms
+        |> Option.map (fun (cm : Cs_sched.Schedule.comm) -> cm.arrive)
+      | Some _ | None -> Some 0)
+    | Some p ->
+      let ep = entries.(p) and ec = entries.(consumer) in
+      if ep.Cs_sched.Schedule.cluster = ec.Cs_sched.Schedule.cluster then
+        Some ep.Cs_sched.Schedule.finish
+      else
+        Option.map
+          (fun (cm : Cs_sched.Schedule.comm) -> cm.arrive)
+          (Cs_sched.Schedule.comms_for sched ~producer:p ~dst:ec.Cs_sched.Schedule.cluster)
+  in
+  List.iter
+    (fun i ->
+      if !problem = None then begin
+        let ins = Cs_ddg.Graph.instr graph i in
+        let issue = entries.(i).Cs_sched.Schedule.start in
+        List.iter
+          (fun r ->
+            match availability i r with
+            | Some t when t <= issue -> ()
+            | Some t ->
+              problem :=
+                Some
+                  (Printf.sprintf "i%d reads %s at cycle %d but it arrives at %d" i
+                     (Cs_ddg.Reg.to_string r) issue t)
+            | None ->
+              problem :=
+                Some
+                  (Printf.sprintf "i%d reads %s but no delivery to its cluster exists" i
+                     (Cs_ddg.Reg.to_string r)))
+          ins.Cs_ddg.Instr.srcs;
+        if !problem = None then begin
+          let lookup r =
+            match Cs_ddg.Reg.Map.find_opt r !env with
+            | Some v -> v
+            | None -> 0L (* unreachable: availability checked above *)
+          in
+          let v = eval_instr ~lookup ins in
+          match ins.Cs_ddg.Instr.dst with
+          | Some r -> env := Cs_ddg.Reg.Map.add r v !env
+          | None -> ()
+        end
+      end)
+    order;
+  match !problem with Some msg -> Error msg | None -> Ok !env
+
+let equivalent region sched =
+  let expected = reference region in
+  match of_schedule sched with
+  | Error msg -> Error msg
+  | Ok actual ->
+    let mismatch = ref None in
+    Cs_ddg.Reg.Map.iter
+      (fun r v ->
+        if !mismatch = None then
+          match Cs_ddg.Reg.Map.find_opt r actual with
+          | Some v' when Int64.equal v v' -> ()
+          | Some _ ->
+            mismatch := Some (Printf.sprintf "value of %s differs" (Cs_ddg.Reg.to_string r))
+          | None ->
+            mismatch := Some (Printf.sprintf "%s never computed" (Cs_ddg.Reg.to_string r)))
+      expected;
+    (match !mismatch with Some msg -> Error msg | None -> Ok ())

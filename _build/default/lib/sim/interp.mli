@@ -1,0 +1,27 @@
+(** Functional dataflow interpretation: a semantic check that a schedule
+    computes exactly what the original region computes.
+
+    Every opcode is given a deterministic 64-bit denotation (a mixing
+    function of its operand values; live-ins and constants derive their
+    value from their identity). Evaluating the region in program order
+    and re-evaluating it in schedule order — consuming each operand at
+    the consumer's issue cycle, only accepting values that have actually
+    arrived on the consumer's cluster — must produce identical values
+    for every register and every store. Together with
+    {!Cs_sched.Validator} this closes the loop: schedules are not just
+    resource-legal, they are observationally equivalent to the source.
+
+    Used by integration tests and property tests over every scheduler. *)
+
+val reference : Cs_ddg.Region.t -> int64 Cs_ddg.Reg.Map.t
+(** Program-order evaluation: value of every register defined in the
+    region (live-ins included). *)
+
+val of_schedule : Cs_sched.Schedule.t -> (int64 Cs_ddg.Reg.Map.t, string) result
+(** Schedule-order evaluation. Instructions are executed by increasing
+    issue cycle; an operand read fails (returning [Error]) if its value
+    has not been produced and delivered to the executing cluster by the
+    consumer's issue cycle. *)
+
+val equivalent : Cs_ddg.Region.t -> Cs_sched.Schedule.t -> (unit, string) result
+(** [reference] and [of_schedule] agree on every defined register. *)

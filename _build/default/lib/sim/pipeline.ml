@@ -1,0 +1,52 @@
+type scheduler = Convergent | Rawcc | Uas | Pcc | Bug | Anneal
+
+let all_schedulers = [ Convergent; Rawcc; Uas; Pcc; Bug; Anneal ]
+
+let scheduler_name = function
+  | Convergent -> "convergent"
+  | Rawcc -> "rawcc"
+  | Uas -> "uas"
+  | Pcc -> "pcc"
+  | Bug -> "bug"
+  | Anneal -> "anneal"
+
+let scheduler_of_name name =
+  match String.lowercase_ascii name with
+  | "convergent" -> Some Convergent
+  | "rawcc" -> Some Rawcc
+  | "uas" -> Some Uas
+  | "pcc" -> Some Pcc
+  | "bug" -> Some Bug
+  | "anneal" | "sa" -> Some Anneal
+  | _ -> None
+
+let default_passes ~machine =
+  if Cs_machine.Machine.is_mesh machine then Cs_core.Sequence.raw_default ()
+  else Cs_core.Sequence.vliw_default ()
+
+let validated sched =
+  Cs_sched.Validator.check_exn sched;
+  sched
+
+let convergent ?seed ?passes ~machine region =
+  let passes = match passes with Some p -> p | None -> default_passes ~machine in
+  let result = Cs_core.Driver.run ?seed ~machine region passes in
+  let analysis = result.Cs_core.Driver.context.Cs_core.Context.analysis in
+  let priority =
+    if Cs_machine.Machine.is_mesh machine then Cs_sched.Priority.alap analysis
+    else Cs_sched.Priority.of_slots result.Cs_core.Driver.preferred_slot
+  in
+  let sched =
+    Cs_sched.List_scheduler.run ~machine
+      ~assignment:result.Cs_core.Driver.assignment ~priority ~analysis region
+  in
+  (validated sched, result.Cs_core.Driver.trace)
+
+let schedule ?seed ~scheduler ~machine region =
+  match scheduler with
+  | Convergent -> fst (convergent ?seed ~machine region)
+  | Rawcc -> validated (Cs_baselines.Rawcc.schedule ~machine region)
+  | Uas -> validated (Cs_baselines.Uas.schedule ~machine region)
+  | Pcc -> validated (Cs_baselines.Pcc.schedule ~machine region)
+  | Bug -> validated (Cs_baselines.Bug.schedule ~machine region)
+  | Anneal -> validated (Cs_baselines.Anneal.schedule ?seed ~machine region)

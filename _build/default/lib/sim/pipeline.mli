@@ -1,0 +1,35 @@
+(** End-to-end scheduling pipelines: region in, validated schedule out.
+    One entry point per scheduler compared in the paper's evaluation.
+
+    Every schedule returned by this module has passed
+    {!Cs_sched.Validator}, so experiment cycle counts are legality-
+    checked, not trusted. *)
+
+type scheduler =
+  | Convergent (** the paper's contribution, with the machine's default sequence *)
+  | Rawcc (** the Rawcc-style three-phase baseline (Table 2 "Base") *)
+  | Uas (** unified assign-and-schedule (Fig. 8) *)
+  | Pcc (** partial component clustering (Fig. 8) *)
+  | Bug (** the Bulldog assigner (extra baseline) *)
+  | Anneal (** Leupers-style simulated annealing (extra baseline) *)
+
+val all_schedulers : scheduler list
+val scheduler_name : scheduler -> string
+val scheduler_of_name : string -> scheduler option
+
+val schedule :
+  ?seed:int -> scheduler:scheduler -> machine:Cs_machine.Machine.t ->
+  Cs_ddg.Region.t -> Cs_sched.Schedule.t
+(** Runs the chosen pipeline and validates the result. For [Convergent],
+    the pass sequence is the machine's default (Table 1) and — mirroring
+    Sec. 5 — the list-scheduling priority is the convergent temporal
+    preference on clustered VLIWs but the native ALAP priority on Raw
+    meshes (Rawcc "computes temporal assignments independently"). *)
+
+val convergent :
+  ?seed:int -> ?passes:Cs_core.Pass.t list -> machine:Cs_machine.Machine.t ->
+  Cs_ddg.Region.t -> Cs_sched.Schedule.t * Cs_core.Trace.t
+(** Convergent pipeline that also returns the convergence trace
+    (Figs. 7/9) and accepts a custom pass sequence (ablations). *)
+
+val default_passes : machine:Cs_machine.Machine.t -> Cs_core.Pass.t list

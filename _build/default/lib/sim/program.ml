@@ -1,0 +1,148 @@
+type block = {
+  label : string;
+  region : Cs_ddg.Region.t;
+  exports : (string * Cs_ddg.Reg.t) list;
+  imports : (string * Cs_ddg.Reg.t) list;
+}
+
+type t = {
+  name : string;
+  blocks : block list;
+}
+
+let validate t =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let exported = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let graph = b.region.Cs_ddg.Region.graph in
+      List.iter
+        (fun (name, r) ->
+          if Hashtbl.mem exported name then fail "%s: name %S exported twice" b.label name;
+          (* An export is either defined in the block or passed through
+             from a live-in (a value the block leaves untouched). *)
+          if
+            Cs_ddg.Graph.defining_instr graph r = None
+            && not (Cs_ddg.Reg.Set.mem r (Cs_ddg.Graph.live_in_regs graph))
+          then
+            fail "%s: export %S register %s neither defined nor live-in" b.label name
+              (Cs_ddg.Reg.to_string r);
+          Hashtbl.replace exported name ())
+        b.exports;
+      List.iter
+        (fun (name, r) ->
+          if not (Hashtbl.mem exported name) then
+            fail "%s: import %S not exported by an earlier block" b.label name;
+          if not (Cs_ddg.Reg.Set.mem r (Cs_ddg.Graph.live_in_regs graph)) then
+            fail "%s: import %S register %s is not a live-in" b.label name
+              (Cs_ddg.Reg.to_string r))
+        b.imports)
+    t.blocks;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " (List.rev ps))
+
+type scheduled = {
+  schedules : Cs_sched.Schedule.t list;
+  total_cycles : int;
+  homes : (string * int) list;
+}
+
+let schedule ?seed ~scheduler ~machine t =
+  (match validate t with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Program.schedule: " ^ msg));
+  let chorus_rule = not (Cs_machine.Machine.is_mesh machine) in
+  let homes = Hashtbl.create 16 in
+  let schedules = ref [] in
+  List.iter
+    (fun b ->
+      (* Re-home this block's imports from already-decided value homes. *)
+      let live_in_homes =
+        List.fold_left
+          (fun acc (name, r) ->
+            match Hashtbl.find_opt homes name with
+            | Some home -> Cs_ddg.Reg.Map.add r home acc
+            | None -> acc)
+          b.region.Cs_ddg.Region.live_in_homes b.imports
+      in
+      let region = { b.region with Cs_ddg.Region.live_in_homes } in
+      let sched = Pipeline.schedule ?seed ~scheduler ~machine region in
+      schedules := sched :: !schedules;
+      (* Decide homes of this block's exports. *)
+      List.iter
+        (fun (name, r) ->
+          let home =
+            if chorus_rule then 0
+            else begin
+              match Cs_ddg.Graph.defining_instr region.Cs_ddg.Region.graph r with
+              | Some d ->
+                sched.Cs_sched.Schedule.entries.(d).Cs_sched.Schedule.cluster
+              | None ->
+                (* Pass-through export: the value keeps living wherever it
+                   already was. *)
+                Option.value ~default:0 (Cs_ddg.Reg.Map.find_opt r live_in_homes)
+            end
+          in
+          Hashtbl.replace homes name home)
+        b.exports)
+    t.blocks;
+  let schedules = List.rev !schedules in
+  {
+    schedules;
+    total_cycles = List.fold_left (fun acc s -> acc + Cs_sched.Schedule.makespan s) 0 schedules;
+    homes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) homes [] |> List.sort compare;
+  }
+
+(* A multi-block sha: each block runs [rounds/blocks] compression rounds
+   and hands the five chaining variables to the next block. *)
+let sha_rounds ?(blocks = 4) ?(scale = 1) () =
+  if blocks <= 0 then invalid_arg "Program.sha_rounds: need positive blocks";
+  let rounds_per_block = max 1 (scale * 20 / blocks) in
+  let chain_names = [ "a"; "b"; "c"; "d"; "e" ] in
+  let make_block index =
+    let b = Cs_ddg.Builder.create ~name:(Printf.sprintf "sha.%d" index) () in
+    let mk_var name =
+      if index = 0 then Cs_ddg.Builder.op0 b ~tag:name Cs_ddg.Opcode.Const
+      else Cs_ddg.Builder.live_in b
+    in
+    let vars = List.map (fun n -> (n, ref (mk_var n))) chain_names in
+    let imports =
+      if index = 0 then [] else List.map (fun (n, r) -> (Printf.sprintf "%s%d" n index, !r)) vars
+    in
+    let get n = !(List.assoc n vars) in
+    let set n v = List.assoc n vars := v in
+    let op2 = Cs_ddg.Builder.op2 b in
+    for t = 0 to rounds_per_block - 1 do
+      let bc = op2 Cs_ddg.Opcode.And (get "b") (get "c") in
+      let bd = op2 Cs_ddg.Opcode.Xor (get "b") (get "d") in
+      let f = op2 Cs_ddg.Opcode.Or bc bd in
+      let five = Cs_ddg.Builder.op0 b ~tag:"5" Cs_ddg.Opcode.Const in
+      let hi = op2 Cs_ddg.Opcode.Shl (get "a") five in
+      let lo = op2 Cs_ddg.Opcode.Shr (get "a") five in
+      let rot_a = op2 Cs_ddg.Opcode.Or hi lo in
+      let w_addr =
+        Cs_ddg.Builder.op0 b ~tag:(Printf.sprintf "w%d.%d.addr" index t) Cs_ddg.Opcode.Const
+      in
+      let w = Cs_ddg.Builder.load b ~tag:(Printf.sprintf "w[%d.%d]" index t) w_addr in
+      let k = Cs_ddg.Builder.op0 b ~tag:"k" Cs_ddg.Opcode.Const in
+      let sum = op2 Cs_ddg.Opcode.Add rot_a f in
+      let sum = op2 Cs_ddg.Opcode.Add sum (get "e") in
+      let sum = op2 Cs_ddg.Opcode.Add sum w in
+      let temp = op2 Cs_ddg.Opcode.Add sum k in
+      let thirty = Cs_ddg.Builder.op0 b ~tag:"30" Cs_ddg.Opcode.Const in
+      let bhi = op2 Cs_ddg.Opcode.Shl (get "b") thirty in
+      let blo = op2 Cs_ddg.Opcode.Shr (get "b") thirty in
+      let rot_b = op2 Cs_ddg.Opcode.Or bhi blo in
+      set "e" (get "d");
+      set "d" (get "c");
+      set "c" rot_b;
+      set "b" (get "a");
+      set "a" temp
+    done;
+    List.iter (fun (_, r) -> Cs_ddg.Builder.mark_live_out b !r) vars;
+    let exports =
+      List.map (fun (n, r) -> (Printf.sprintf "%s%d" n (index + 1), !r)) vars
+    in
+    { label = Printf.sprintf "sha.%d" index; region = Cs_ddg.Builder.finish b; exports; imports }
+  in
+  { name = "sha-multiblock"; blocks = List.init blocks make_block }

@@ -1,0 +1,57 @@
+(** Multi-region compilation: values live across scheduling regions.
+
+    The paper (Secs. 1 and 5) requires that "when a value is live across
+    multiple scheduling regions, its definitions and uses must be mapped
+    to a consistent cluster". This module models a program as a sequence
+    of blocks passing named values forward and implements both home
+    policies the paper describes:
+
+    - {e Raw rule}: a value's home is the cluster of the first
+      definition encountered; later regions see it as a homed live-in.
+    - {e Chorus rule}: "all values that are live across multiple
+      scheduling regions are mapped to the first cluster."
+
+    The home policy is selected by the machine: meshes use the Raw rule,
+    crossbars the Chorus rule. Every block's schedule pays real
+    transfers for reading homed live-ins away from their home (see
+    {!Cs_sched.Comm}). *)
+
+type block = {
+  label : string;
+  region : Cs_ddg.Region.t;
+  exports : (string * Cs_ddg.Reg.t) list;
+  (** values this block defines that later blocks read, by name *)
+  imports : (string * Cs_ddg.Reg.t) list;
+  (** live-in registers of this block's region, bound to earlier
+      exports by name *)
+}
+
+type t = {
+  name : string;
+  blocks : block list;
+}
+
+val validate : t -> (unit, string) result
+(** Checks that every import is exported by an earlier block, every
+    export register is defined in its block, every import register is a
+    live-in of its block, and no name is exported twice. *)
+
+type scheduled = {
+  schedules : Cs_sched.Schedule.t list; (** one per block, in order *)
+  total_cycles : int; (** blocks execute back-to-back *)
+  homes : (string * int) list; (** value name -> home cluster *)
+}
+
+val schedule :
+  ?seed:int -> scheduler:Pipeline.scheduler -> machine:Cs_machine.Machine.t ->
+  t -> scheduled
+(** Schedules blocks in order, assigning each exported value's home per
+    the machine's rule and re-homing later blocks' imports accordingly.
+    Every block schedule is validated. Raises [Invalid_argument] when
+    {!validate} fails. *)
+
+val sha_rounds : ?blocks:int -> ?scale:int -> unit -> t
+(** A multi-region version of the [sha] benchmark: the compression
+    rounds split across regions, the five chaining variables exported
+    from each block to the next — the paper's canonical example of
+    values live across scheduling regions. *)

@@ -1,0 +1,47 @@
+type measurement = {
+  benchmark : string;
+  scheduler : Pipeline.scheduler;
+  n_clusters : int;
+  cycles : int;
+  baseline_cycles : int;
+  speedup : float;
+  n_instrs : int;
+}
+
+(* On one cluster every scheduler degenerates to plain list scheduling,
+   so the baseline is scheduler-independent. *)
+let baseline_cycles ~machine entry ~scale =
+  let region = entry.Cs_workloads.Suite.generate ~scale ~clusters:1 () in
+  let sched = Pipeline.schedule ~scheduler:Pipeline.Rawcc ~machine region in
+  Cs_sched.Schedule.makespan sched
+
+let baseline_cycles_raw ?(scale = 1) entry =
+  baseline_cycles ~machine:(Cs_machine.Raw.with_tiles 1) entry ~scale
+
+let baseline_cycles_vliw ?(scale = 1) entry =
+  baseline_cycles ~machine:(Cs_machine.Vliw.single_cluster ()) entry ~scale
+
+let measure ?seed ~scale ~scheduler ~machine ~baseline entry =
+  let n_clusters = Cs_machine.Machine.n_clusters machine in
+  let region = entry.Cs_workloads.Suite.generate ~scale ~clusters:n_clusters () in
+  let sched = Pipeline.schedule ?seed ~scheduler ~machine region in
+  let cycles = Cs_sched.Schedule.makespan sched in
+  {
+    benchmark = entry.Cs_workloads.Suite.name;
+    scheduler;
+    n_clusters;
+    cycles;
+    baseline_cycles = baseline;
+    speedup = float_of_int baseline /. float_of_int (max 1 cycles);
+    n_instrs = Cs_ddg.Region.n_instrs region;
+  }
+
+let on_raw ?seed ?(scale = 1) ~scheduler ~tiles entry =
+  let machine = Cs_machine.Raw.with_tiles tiles in
+  let baseline = baseline_cycles_raw ~scale entry in
+  measure ?seed ~scale ~scheduler ~machine ~baseline entry
+
+let on_vliw ?seed ?(scale = 1) ~scheduler ~clusters entry =
+  let machine = Cs_machine.Vliw.create ~n_clusters:clusters () in
+  let baseline = baseline_cycles_vliw ~scale entry in
+  measure ?seed ~scale ~scheduler ~machine ~baseline entry

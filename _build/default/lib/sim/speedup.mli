@@ -1,0 +1,27 @@
+(** Speedup measurement exactly as the paper reports it: cycles of the
+    benchmark compiled for a single-cluster machine divided by cycles on
+    the target machine (Table 2: "Speedup is relative to performance on
+    one tile"; Fig. 8: "relative to a single-cluster machine"). The
+    benchmark is regenerated per configuration because the congruence
+    pass unrolls by the cluster count. *)
+
+type measurement = {
+  benchmark : string;
+  scheduler : Pipeline.scheduler;
+  n_clusters : int;
+  cycles : int;
+  baseline_cycles : int; (** single-cluster cycles *)
+  speedup : float;
+  n_instrs : int;
+}
+
+val on_raw :
+  ?seed:int -> ?scale:int -> scheduler:Pipeline.scheduler -> tiles:int ->
+  Cs_workloads.Suite.entry -> measurement
+
+val on_vliw :
+  ?seed:int -> ?scale:int -> scheduler:Pipeline.scheduler -> clusters:int ->
+  Cs_workloads.Suite.entry -> measurement
+
+val baseline_cycles_raw : ?scale:int -> Cs_workloads.Suite.entry -> int
+val baseline_cycles_vliw : ?scale:int -> Cs_workloads.Suite.entry -> int

@@ -1,0 +1,50 @@
+type t = {
+  bits : Bytes.t;
+  n : int;
+  mutable count : int;
+}
+
+let create n = { bits = Bytes.make ((n / 8) + 1 ) '\000'; n; count = 0 }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let add t i =
+  check t i;
+  if not (mem t i) then begin
+    let byte = Char.code (Bytes.get t.bits (i / 8)) in
+    Bytes.set t.bits (i / 8) (Char.chr (byte lor (1 lsl (i mod 8))));
+    t.count <- t.count + 1
+  end
+
+let remove t i =
+  check t i;
+  if mem t i then begin
+    let byte = Char.code (Bytes.get t.bits (i / 8)) in
+    Bytes.set t.bits (i / 8) (Char.chr (byte land lnot (1 lsl (i mod 8)) land 0xff));
+    t.count <- t.count - 1
+  end
+
+let cardinal t = t.count
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.count <- 0
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,16 @@
+(** Dense fixed-capacity bitsets over integer keys. *)
+
+type t
+
+val create : int -> t
+(** [create n] supports members in [\[0, n)], all initially absent. *)
+
+val capacity : t -> int
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+(** Ascending order. *)

@@ -1,0 +1,23 @@
+(** Mutable binary min-heap with a user-supplied ordering.
+
+    Used by the list schedulers for ready queues keyed by priority. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] makes an empty heap; the minimum element under [cmp]
+    is popped first. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val peek : 'a t -> 'a option
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the heap; ascending order. *)

@@ -1,0 +1,56 @@
+type row = Cells of string list | Separator
+
+type t = {
+  header : string list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ~header = { header; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_separator t = t.rows <- Separator :: t.rows
+
+let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.header :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all_cell_rows in
+  let widths = Array.make (max n_cols 1) 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter measure all_cell_rows;
+  let buf = Buffer.create 1024 in
+  let pad s w =
+    let n = String.length s in
+    if n >= w then s else s ^ String.make (w - n) ' '
+  in
+  let emit_cells cells =
+    let cells = Array.of_list cells in
+    for i = 0 to n_cols - 1 do
+      let c = if i < Array.length cells then cells.(i) else "" in
+      Buffer.add_string buf (pad c widths.(i));
+      if i < n_cols - 1 then Buffer.add_string buf "  "
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (max n_cols 1 - 1))
+  in
+  let rule () = Buffer.add_string buf (String.make total_width '-'); Buffer.add_char buf '\n' in
+  emit_cells t.header;
+  rule ();
+  List.iter (function Cells c -> emit_cells c | Separator -> rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let bar ~width ~max_value value =
+  if max_value <= 0.0 then ""
+  else begin
+    let n = int_of_float (Float.round (float_of_int width *. value /. max_value)) in
+    let n = max 0 (min width n) in
+    String.make n '#'
+  end

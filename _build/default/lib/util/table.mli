@@ -1,0 +1,25 @@
+(** ASCII table rendering for the benchmark harness: the bench binary
+    prints each paper table/figure as rows of a fixed-width table. *)
+
+type t
+
+val create : header:string list -> t
+(** Column titles. *)
+
+val add_row : t -> string list -> unit
+(** Rows may be ragged; missing cells render empty. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+(** Render with column widths fitted to contents. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point cell formatting (default 2 decimals). *)
+
+val bar : width:int -> max_value:float -> float -> string
+(** Horizontal ASCII bar proportional to [value /. max_value] — used to
+    render the paper's bar charts (Figs. 6, 8) in a terminal. *)

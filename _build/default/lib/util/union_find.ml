@@ -1,0 +1,48 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  mutable count : int;
+}
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    t.count <- t.count - 1;
+    if t.rank.(ra) < t.rank.(rb) then begin
+      t.parent.(ra) <- rb;
+      rb
+    end
+    else if t.rank.(ra) > t.rank.(rb) then begin
+      t.parent.(rb) <- ra;
+      ra
+    end
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1;
+      ra
+    end
+  end
+
+let same t a b = find t a = find t b
+let n_sets t = t.count
+
+let groups t =
+  let tbl = Hashtbl.create 16 in
+  for i = Array.length t.parent - 1 downto 0 do
+    let r = find t i in
+    let existing = match Hashtbl.find_opt tbl r with None -> [] | Some l -> l in
+    Hashtbl.replace tbl r (i :: existing)
+  done;
+  tbl

@@ -1,0 +1,19 @@
+(** Union-find over dense integer keys, with union by rank and path
+    compression. Used by the Rawcc-style clustering baseline. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> int
+(** Merges the two sets; returns the representative of the result. *)
+
+val same : t -> int -> int -> bool
+val n_sets : t -> int
+
+val groups : t -> (int, int list) Hashtbl.t
+(** Representative -> members (each list in ascending order). *)

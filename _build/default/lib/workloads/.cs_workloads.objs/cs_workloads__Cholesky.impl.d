@@ -1,0 +1,1 @@
+lib/workloads/cholesky.ml: Cs_ddg Dense List Printf Prog

@@ -1,0 +1,1 @@
+lib/workloads/cholesky.mli: Cs_ddg

@@ -1,0 +1,1 @@
+lib/workloads/dense.ml: Congruence

@@ -1,0 +1,1 @@
+lib/workloads/fir.ml: Cs_ddg Dense List Printf Prog

@@ -1,0 +1,1 @@
+lib/workloads/fpppp.ml: Array Cs_ddg Cs_util Printf

@@ -1,0 +1,1 @@
+lib/workloads/fpppp.mli: Cs_ddg

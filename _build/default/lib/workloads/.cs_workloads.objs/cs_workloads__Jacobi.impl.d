@@ -1,0 +1,1 @@
+lib/workloads/jacobi.ml: Cs_ddg Dense Printf Prog

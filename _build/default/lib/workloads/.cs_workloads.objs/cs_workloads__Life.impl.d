@@ -1,0 +1,1 @@
+lib/workloads/life.ml: Cs_ddg Dense Printf Prog

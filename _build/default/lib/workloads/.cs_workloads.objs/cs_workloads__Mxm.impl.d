@@ -1,0 +1,1 @@
+lib/workloads/mxm.ml: Cs_ddg Dense List Printf Prog

@@ -1,0 +1,1 @@
+lib/workloads/mxm.mli: Cs_ddg

@@ -1,0 +1,1 @@
+lib/workloads/prog.ml: Congruence Cs_ddg List

@@ -1,0 +1,1 @@
+lib/workloads/prog.mli: Congruence Cs_ddg

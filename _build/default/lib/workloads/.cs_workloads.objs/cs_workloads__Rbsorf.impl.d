@@ -1,0 +1,1 @@
+lib/workloads/rbsorf.ml: Cs_ddg Dense Printf Prog

@@ -1,0 +1,1 @@
+lib/workloads/rbsorf.mli: Cs_ddg

@@ -1,0 +1,1 @@
+lib/workloads/sha.ml: Cs_ddg List Printf

@@ -1,0 +1,1 @@
+lib/workloads/sha.mli: Cs_ddg

@@ -1,0 +1,1 @@
+lib/workloads/shapes.ml: Array Congruence Cs_ddg Cs_util List Printf Prog

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Cholesky Cs_ddg Fir Fpppp Jacobi Life List Mxm Rbsorf Sha String Swim Tomcatv Vpenta Vvmul Yuv

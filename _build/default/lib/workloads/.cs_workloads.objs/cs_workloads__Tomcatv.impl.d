@@ -1,0 +1,1 @@
+lib/workloads/tomcatv.ml: Cs_ddg Dense Printf Prog

@@ -1,0 +1,1 @@
+lib/workloads/tomcatv.mli: Cs_ddg

@@ -1,0 +1,1 @@
+lib/workloads/vpenta.ml: Congruence Cs_ddg Printf Prog

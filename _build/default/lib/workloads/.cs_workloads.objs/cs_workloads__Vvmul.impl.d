@@ -1,0 +1,1 @@
+lib/workloads/vvmul.ml: Cs_ddg Dense Printf Prog

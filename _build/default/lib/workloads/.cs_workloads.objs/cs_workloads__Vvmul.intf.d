@@ -1,0 +1,1 @@
+lib/workloads/vvmul.mli: Cs_ddg

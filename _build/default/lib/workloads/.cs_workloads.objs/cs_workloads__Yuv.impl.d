@@ -1,0 +1,1 @@
+lib/workloads/yuv.ml: Cs_ddg Dense List Printf Prog

@@ -1,0 +1,1 @@
+lib/workloads/yuv.mli: Cs_ddg

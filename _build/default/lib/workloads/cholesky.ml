@@ -1,0 +1,42 @@
+let name = "cholesky"
+let description = "Cholesky factorization column step"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let rows = scale * 16 in
+  let columns = 2 * scale in
+  let carried = ref None in
+  for col = 0 to columns - 1 do
+    let tag s r = Printf.sprintf "%s[%d][%d]" s col r in
+    (* Pivot: load the diagonal, fold in the previous column's pivot (the
+       loop-carried critical chain), take the square root. *)
+    let diag = Prog.banked_load b ~congruence ~index:col ~tag:(tag "diag" col) () in
+    let diag =
+      match !carried with
+      | None -> diag
+      | Some prev -> Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub diag prev
+    in
+    let pivot = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fsqrt diag in
+    carried := Some pivot;
+    (* Parallel column scaling: a[r][col] /= pivot, then the rank-1
+       update against the freshly scaled column head. *)
+    let scaled =
+      List.init rows (fun r ->
+          let v = Prog.banked_load b ~congruence ~index:r ~tag:(tag "a" r) () in
+          let q = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fdiv v pivot in
+          Prog.banked_store b ~congruence ~index:r ~tag:(tag "a'" r) q;
+          q)
+    in
+    match scaled with
+    | [] -> ()
+    | head :: _ ->
+      List.iteri
+        (fun r q ->
+          let u = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul q head in
+          let prev = Prog.banked_load b ~congruence ~index:r ~tag:(tag "u" r) () in
+          let upd = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub prev u in
+          Prog.banked_store b ~congruence ~index:r ~tag:(tag "u'" r) upd)
+        scaled
+  done;
+  Cs_ddg.Builder.finish b

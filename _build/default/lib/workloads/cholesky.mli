@@ -1,0 +1,8 @@
+(** [cholesky] (Nasa7 kernel, both targets): Cholesky factorization
+    column step. A serial [fsqrt]/[fdiv] pivot chain gates parallel
+    banked column scalings and a rank-1 update — a mix of one heavy
+    critical path and banked data parallelism. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

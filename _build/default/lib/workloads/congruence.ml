@@ -1,0 +1,25 @@
+type t =
+  | Interleaved of int
+  | Blocked of int * int
+  | Unanalyzable
+
+let interleaved ~n_banks =
+  if n_banks <= 0 then invalid_arg "Congruence.interleaved: need positive banks";
+  Interleaved n_banks
+
+let blocked ~n_banks ~block =
+  if n_banks <= 0 || block <= 0 then invalid_arg "Congruence.blocked: bad parameters";
+  Blocked (n_banks, block)
+
+let unanalyzable = Unanalyzable
+
+let bank t index =
+  let index = abs index in
+  match t with
+  | Interleaved n -> Some (index mod n)
+  | Blocked (n, block) -> Some (index / block mod n)
+  | Unanalyzable -> None
+
+let n_banks = function
+  | Interleaved n | Blocked (n, _) -> Some n
+  | Unanalyzable -> None

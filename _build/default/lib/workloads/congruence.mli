@@ -1,0 +1,24 @@
+(** Congruence-style memory-bank mapping (Larsen & Amarasinghe, PACT'02;
+    paper Sec. 5). Both compilers of the paper run a congruence pass
+    that proves which cluster's memory bank each load/store touches and
+    *preplaces* that instruction there. Our workload generators model
+    the result: every memory reference carries an abstract element
+    index, and this module maps indices to home banks. *)
+
+type t
+
+val interleaved : n_banks:int -> t
+(** Element [i] lives on bank [i mod n_banks] — the paper's "memory
+    addresses are interleaved across clusters". *)
+
+val blocked : n_banks:int -> block:int -> t
+(** Element [i] lives on bank [(i / block) mod n_banks]. *)
+
+val unanalyzable : t
+(** The congruence pass failed (paper: [fpppp-kernel], [sha]); no
+    preplacement is generated. *)
+
+val bank : t -> int -> int option
+(** Home bank of an element index, if known. *)
+
+val n_banks : t -> int option

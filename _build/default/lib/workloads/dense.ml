@@ -1,0 +1,7 @@
+(* Shared shape vocabulary for the dense-matrix benchmark generators.
+   Each generator below mimics the dependence-graph shape the paper's
+   compilers see after congruence analysis and unroll-by-clusters:
+   banked memory anchors spread across all clusters, with per-element
+   arithmetic between them. *)
+
+let interleave ~clusters = Congruence.interleaved ~n_banks:clusters

@@ -1,0 +1,23 @@
+let name = "fir"
+let description = "FIR filter, unrolled output samples"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let outputs = scale * 16 in
+  let taps = 8 in
+  for o = 0 to outputs - 1 do
+    let terms =
+      List.init taps (fun k ->
+          let x =
+            Prog.banked_load b ~congruence ~index:(o + k)
+              ~tag:(Printf.sprintf "x[%d]" (o + k))
+              ()
+          in
+          let c = Prog.constant b ~tag:(Printf.sprintf "c[%d]" k) () in
+          Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul c x)
+    in
+    let y = Prog.reduce b Cs_ddg.Opcode.Fadd terms in
+    Prog.banked_store b ~congruence ~index:o ~tag:(Printf.sprintf "y[%d]" o) y
+  done;
+  Cs_ddg.Builder.finish b

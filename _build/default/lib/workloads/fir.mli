@@ -1,0 +1,8 @@
+(** [fir] (VLIW suite): finite impulse response filter. Per output
+    sample: eight banked tap loads, coefficient multiplies and an add
+    reduction — multiply-accumulate parallelism with overlapping
+    (reused) input windows. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

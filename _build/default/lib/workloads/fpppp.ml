@@ -1,0 +1,33 @@
+let name = "fpppp-kernel"
+let description = "fpppp inner loop: long cross-linked fp chains"
+
+let generate ?(scale = 1) ~clusters:_ () =
+  let rng = Cs_util.Rng.create 7001 in
+  let b = Cs_ddg.Builder.create ~name () in
+  let chains = 8 in
+  let length = scale * 16 in
+  let ops = [| Cs_ddg.Opcode.Fadd; Fsub; Fmul; Fmul; Fadd |] in
+  (* A small pool of unbanked inputs loaded once and reused. *)
+  let inputs =
+    Array.init 8 (fun k ->
+        let addr = Cs_ddg.Builder.op0 b ~tag:(Printf.sprintf "in%d.addr" k) Cs_ddg.Opcode.Const in
+        Cs_ddg.Builder.load b ~tag:(Printf.sprintf "in%d" k) addr)
+  in
+  let tips = Array.map (fun _ -> Cs_util.Rng.choose rng inputs) (Array.make chains ()) in
+  for step = 1 to length do
+    for ch = 0 to chains - 1 do
+      let op = Cs_util.Rng.choose rng ops in
+      (* Mostly local progress; occasionally consume another chain's tip,
+         creating the irregular cross links fpppp is known for. *)
+      let other =
+        if Cs_util.Rng.int rng 100 < 15 then tips.((ch + 1 + Cs_util.Rng.int rng (chains - 1)) mod chains)
+        else Cs_util.Rng.choose rng inputs
+      in
+      tips.(ch) <- Cs_ddg.Builder.op2 b op tips.(ch) other;
+      (* Rare long-latency operation deep in a chain. *)
+      if step mod 16 = 8 && ch = 0 then
+        tips.(ch) <- Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fsqrt tips.(ch)
+    done
+  done;
+  Array.iter (fun tip -> Cs_ddg.Builder.mark_live_out b tip) tips;
+  Cs_ddg.Builder.finish b

@@ -1,0 +1,9 @@
+(** [fpppp-kernel] (Spec95, Raw suite): the inner loop of fpppp —
+    hundreds of floating-point operations forming a handful of long,
+    irregularly cross-linked chains, the thin graph of the paper's
+    Fig. 2(a). Almost no preplacement; good schedules require the
+    parallelism/communication heuristics rather than PLACEPROP. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

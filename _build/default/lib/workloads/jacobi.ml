@@ -1,0 +1,19 @@
+let name = "jacobi"
+let description = "5-point Jacobi relaxation, unrolled row sweep"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let cells = scale * 32 in
+  for j = 0 to cells - 1 do
+    let tag s = Printf.sprintf "%s[%d]" s j in
+    let north = Prog.banked_load b ~congruence ~index:j ~tag:(tag "n") () in
+    let south = Prog.banked_load b ~congruence ~index:j ~tag:(tag "s") () in
+    let west = Prog.banked_load b ~congruence ~index:(j - 1) ~tag:(tag "w") () in
+    let east = Prog.banked_load b ~congruence ~index:(j + 1) ~tag:(tag "e") () in
+    let sum = Prog.reduce b Cs_ddg.Opcode.Fadd [ north; south; west; east ] in
+    let quarter = Prog.constant b ~tag:"0.25" () in
+    let relaxed = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul sum quarter in
+    Prog.banked_store b ~congruence ~index:j ~tag:(tag "out") relaxed
+  done;
+  Cs_ddg.Builder.finish b

@@ -1,0 +1,8 @@
+(** [jacobi] (Raw benchmark suite): 5-point Jacobi relaxation. One
+    region models an unrolled row sweep: per cell, four neighbor loads
+    (column-interleaved banks), an add tree and a scale, then a banked
+    store. Dense preplacement, wide parallelism. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

@@ -1,0 +1,29 @@
+let name = "life"
+let description = "Game of Life generation step, unrolled row sweep"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let cells = scale * 32 in
+  for j = 0 to cells - 1 do
+    let tag s = Printf.sprintf "%s[%d]" s j in
+    let neighbor dx =
+      Prog.banked_load b ~congruence ~index:(j + dx) ~tag:(tag "nb") ()
+    in
+    (* Three rows of three neighbors, minus the cell itself. *)
+    let neighbors =
+      [ neighbor (-1); neighbor 0; neighbor 1; neighbor (-1); neighbor 1;
+        neighbor (-1); neighbor 0; neighbor 1 ]
+    in
+    let count = Prog.reduce b Cs_ddg.Opcode.Add neighbors in
+    let self = Prog.banked_load b ~congruence ~index:j ~tag:(tag "self") () in
+    let three = Prog.constant b ~tag:"3" () in
+    let two = Prog.constant b ~tag:"2" () in
+    let born = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Cmp count three in
+    let stays = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Cmp count two in
+    let alive_rule = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.And stays self in
+    let next = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Or born alive_rule in
+    let next = Cs_ddg.Builder.op3 b Cs_ddg.Opcode.Select next self born in
+    Prog.banked_store b ~congruence ~index:j ~tag:(tag "out") next
+  done;
+  Cs_ddg.Builder.finish b

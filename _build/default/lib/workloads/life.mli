@@ -1,0 +1,8 @@
+(** [life] (Raw benchmark suite): Conway's Game of Life generation
+    step. Per cell: eight neighbor loads (column-interleaved banks), an
+    integer add tree for the population count, the birth/survival rule
+    as compares and a select, and a banked store. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

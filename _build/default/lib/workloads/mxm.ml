@@ -1,0 +1,20 @@
+let name = "mxm"
+let description = "dense matrix multiply, unrolled dot products"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let outputs = scale * 16 in
+  let depth = 8 (* dot-product length per output *) in
+  for o = 0 to outputs - 1 do
+    let tag s k = Printf.sprintf "%s[%d][%d]" s o k in
+    let products =
+      List.init depth (fun k ->
+          let a = Prog.banked_load b ~congruence ~index:k ~tag:(tag "a" k) () in
+          let v = Prog.banked_load b ~congruence ~index:o ~tag:(tag "b" k) () in
+          Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul a v)
+    in
+    let dot = Prog.reduce b Cs_ddg.Opcode.Fadd products in
+    Prog.banked_store b ~congruence ~index:o ~tag:(Printf.sprintf "c[%d]" o) dot
+  done;
+  Cs_ddg.Builder.finish b

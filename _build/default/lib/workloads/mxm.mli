@@ -1,0 +1,10 @@
+(** [mxm] (Nasa7 kernel, used on both targets): dense matrix multiply.
+    The congruence pass unrolls by the number of clusters, so a region
+    holds [clusters] independent dot products: per output, banked loads
+    of a row/column pair, a multiply per element, an add reduction tree
+    and a banked store — the archetypal fat, parallel graph of the
+    paper's Fig. 2(b). *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

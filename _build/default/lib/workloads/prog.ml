@@ -1,0 +1,35 @@
+let constant b ?(tag = "k") () = Cs_ddg.Builder.op0 b ~tag Cs_ddg.Opcode.Const
+
+let banked_load b ~congruence ~index ?(tag = "") () =
+  let addr = Cs_ddg.Builder.op0 b ~tag:(tag ^ ".addr") Cs_ddg.Opcode.Const in
+  match Congruence.bank congruence index with
+  | Some bank -> Cs_ddg.Builder.load b ~preplace:bank ~tag addr
+  | None -> Cs_ddg.Builder.load b ~tag addr
+
+let banked_store b ~congruence ~index ?(tag = "") value =
+  let addr = Cs_ddg.Builder.op0 b ~tag:(tag ^ ".addr") Cs_ddg.Opcode.Const in
+  match Congruence.bank congruence index with
+  | Some bank -> Cs_ddg.Builder.store b ~preplace:bank ~tag ~addr value
+  | None -> Cs_ddg.Builder.store b ~tag ~addr value
+
+let rec reduce b op values =
+  match values with
+  | [] -> invalid_arg "Prog.reduce: empty list"
+  | [ v ] -> v
+  | values ->
+    let rec pair acc = function
+      | [] -> List.rev acc
+      | [ v ] -> List.rev (v :: acc)
+      | a :: b' :: rest -> pair (Cs_ddg.Builder.op2 b op a b' :: acc) rest
+    in
+    reduce b op (pair [] values)
+
+let chain b op ~length seed =
+  let rec go acc k =
+    if k = 0 then acc
+    else begin
+      let other = Cs_ddg.Builder.op0 b ~tag:"link" Cs_ddg.Opcode.Const in
+      go (Cs_ddg.Builder.op2 b op acc other) (k - 1)
+    end
+  in
+  go seed length

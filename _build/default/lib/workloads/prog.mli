@@ -1,0 +1,23 @@
+(** Kernel-building helpers shared by the benchmark generators: banked
+    memory references (address constant + preplaced load/store, the way
+    congruence-analyzed code looks after lowering) and balanced
+    reduction trees. *)
+
+val banked_load :
+  Cs_ddg.Builder.t -> congruence:Congruence.t -> index:int -> ?tag:string -> unit -> Cs_ddg.Reg.t
+(** Emits the address constant and a load preplaced on the element's
+    home bank (no preplacement when the congruence is unanalyzable). *)
+
+val banked_store :
+  Cs_ddg.Builder.t -> congruence:Congruence.t -> index:int -> ?tag:string ->
+  Cs_ddg.Reg.t -> unit
+
+val reduce : Cs_ddg.Builder.t -> Cs_ddg.Opcode.t -> Cs_ddg.Reg.t list -> Cs_ddg.Reg.t
+(** Balanced binary reduction; raises [Invalid_argument] on []. *)
+
+val chain :
+  Cs_ddg.Builder.t -> Cs_ddg.Opcode.t -> length:int -> Cs_ddg.Reg.t -> Cs_ddg.Reg.t
+(** Serial dependence chain [x -> op x k -> ...] of the given length;
+    the second operand of each link is a fresh constant. *)
+
+val constant : Cs_ddg.Builder.t -> ?tag:string -> unit -> Cs_ddg.Reg.t

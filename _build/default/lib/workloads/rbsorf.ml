@@ -1,0 +1,25 @@
+let name = "rbsorf"
+let description = "red-black SOR relaxation, red half-sweep"
+
+(* Red and black cells are packed into separate arrays (the standard
+   layout for red-black codes), so both colors span all banks. Red cell
+   [k] reads black cells [k-1], [k], [k+1] and its own previous value. *)
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let red_cells = scale * 24 in
+  for k = 0 to red_cells - 1 do
+    let tag s = Printf.sprintf "%s[%d]" s k in
+    let ld s dx = Prog.banked_load b ~congruence ~index:(k + dx) ~tag:(tag s) () in
+    let west = ld "bw" 0 and east = ld "be" 1 and north = ld "bn" (-1) and south = ld "bs" 0 in
+    let sum = Prog.reduce b Cs_ddg.Opcode.Fadd [ west; east; north; south ] in
+    let quarter = Prog.constant b ~tag:"0.25" () in
+    let gauss = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul sum quarter in
+    let self = Prog.banked_load b ~congruence ~index:k ~tag:(tag "self") () in
+    let delta = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub gauss self in
+    let omega = Prog.constant b ~tag:"omega" () in
+    let step = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul omega delta in
+    let next = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd self step in
+    Prog.banked_store b ~congruence ~index:k ~tag:(tag "out") next
+  done;
+  Cs_ddg.Builder.finish b

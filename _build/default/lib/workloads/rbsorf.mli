@@ -1,0 +1,7 @@
+(** [rbsorf] (VLIW suite): red-black successive over-relaxation. The
+    red half-sweep: per red cell, four black-neighbor loads, an add
+    tree, the over-relaxation blend, and a banked store. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

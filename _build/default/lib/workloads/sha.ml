@@ -1,0 +1,43 @@
+let name = "sha"
+let description = "SHA-1 compression rounds (serial chaining)"
+
+let generate ?(scale = 1) ~clusters:_ () =
+  let b = Cs_ddg.Builder.create ~name () in
+  let rounds = scale * 20 in
+  let op2 = Cs_ddg.Builder.op2 b in
+  let a = ref (Cs_ddg.Builder.op0 b ~tag:"h0" Cs_ddg.Opcode.Const) in
+  let b' = ref (Cs_ddg.Builder.op0 b ~tag:"h1" Cs_ddg.Opcode.Const) in
+  let c = ref (Cs_ddg.Builder.op0 b ~tag:"h2" Cs_ddg.Opcode.Const) in
+  let d = ref (Cs_ddg.Builder.op0 b ~tag:"h3" Cs_ddg.Opcode.Const) in
+  let e = ref (Cs_ddg.Builder.op0 b ~tag:"h4" Cs_ddg.Opcode.Const) in
+  for t = 0 to rounds - 1 do
+    (* f = (b & c) | (~b & d), approximated in our IR's bitwise ops. *)
+    let bc = op2 Cs_ddg.Opcode.And !b' !c in
+    let bd = op2 Cs_ddg.Opcode.Xor !b' !d in
+    let f = op2 Cs_ddg.Opcode.Or bc bd in
+    (* rotl5(a) *)
+    let five = Cs_ddg.Builder.op0 b ~tag:"5" Cs_ddg.Opcode.Const in
+    let hi = op2 Cs_ddg.Opcode.Shl !a five in
+    let lo = op2 Cs_ddg.Opcode.Shr !a five in
+    let rot_a = op2 Cs_ddg.Opcode.Or hi lo in
+    (* The round's message word: unanalyzable load (no preplacement). *)
+    let w_addr = Cs_ddg.Builder.op0 b ~tag:(Printf.sprintf "w%d.addr" t) Cs_ddg.Opcode.Const in
+    let w = Cs_ddg.Builder.load b ~tag:(Printf.sprintf "w[%d]" t) w_addr in
+    let k = Cs_ddg.Builder.op0 b ~tag:"k" Cs_ddg.Opcode.Const in
+    let sum = op2 Cs_ddg.Opcode.Add rot_a f in
+    let sum = op2 Cs_ddg.Opcode.Add sum !e in
+    let sum = op2 Cs_ddg.Opcode.Add sum w in
+    let temp = op2 Cs_ddg.Opcode.Add sum k in
+    (* rotl30(b) *)
+    let thirty = Cs_ddg.Builder.op0 b ~tag:"30" Cs_ddg.Opcode.Const in
+    let bhi = op2 Cs_ddg.Opcode.Shl !b' thirty in
+    let blo = op2 Cs_ddg.Opcode.Shr !b' thirty in
+    let rot_b = op2 Cs_ddg.Opcode.Or bhi blo in
+    e := !d;
+    d := !c;
+    c := rot_b;
+    b' := !a;
+    a := temp
+  done;
+  List.iter (fun r -> Cs_ddg.Builder.mark_live_out b !r) [ a; b'; c; d; e ];
+  Cs_ddg.Builder.finish b

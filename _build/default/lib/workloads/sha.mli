@@ -1,0 +1,10 @@
+(** [sha] (Raw suite): Secure Hash Algorithm compression rounds. Five
+    chaining variables updated by rotations, bitwise mixing and adds —
+    one long serial dependence chain with almost no exploitable
+    parallelism and {e no} preplacement (the congruence pass has nothing
+    to say). The paper's hard case: convergent scheduling loses to
+    Rawcc here. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

@@ -1,0 +1,99 @@
+let fp_ops = [| Cs_ddg.Opcode.Fadd; Fsub; Fmul |]
+let int_ops = [| Cs_ddg.Opcode.Add; Sub; And; Or; Xor; Shl; Cmp |]
+
+let thin ?(chains = 3) ?(length = 40) ?(cross_links = 8) ~seed () =
+  let rng = Cs_util.Rng.create seed in
+  let b = Cs_ddg.Builder.create ~name:"shape-thin" () in
+  let chain_regs =
+    Array.init chains (fun _ ->
+        let seed_reg = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+        let regs = Array.make length seed_reg in
+        let cur = ref seed_reg in
+        for k = 1 to length - 1 do
+          let op = Cs_util.Rng.choose rng fp_ops in
+          let other = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+          cur := Cs_ddg.Builder.op2 b op !cur other;
+          regs.(k) <- !cur
+        done;
+        regs)
+  in
+  (* Sparse cross links: a value from one chain feeds another chain. *)
+  for _ = 1 to cross_links do
+    let ca = Cs_util.Rng.int rng chains and cb = Cs_util.Rng.int rng chains in
+    if ca <> cb then begin
+      let pos = Cs_util.Rng.int rng (length - 1) in
+      let from_reg = chain_regs.(ca).(pos) in
+      let into = chain_regs.(cb).(length - 1) in
+      ignore (Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd from_reg into)
+    end
+  done;
+  Array.iter (fun regs -> Cs_ddg.Builder.mark_live_out b regs.(length - 1)) chain_regs;
+  Cs_ddg.Builder.finish b
+
+let fat ?(width = 32) ?(depth = 4) ~seed () =
+  let rng = Cs_util.Rng.create seed in
+  let b = Cs_ddg.Builder.create ~name:"shape-fat" () in
+  for _ = 1 to width do
+    let seed_reg = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+    let cur = ref seed_reg in
+    for _ = 1 to depth do
+      let op = Cs_util.Rng.choose rng fp_ops in
+      let other = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+      cur := Cs_ddg.Builder.op2 b op !cur other
+    done;
+    Cs_ddg.Builder.mark_live_out b !cur
+  done;
+  Cs_ddg.Builder.finish b
+
+let layered ~n ?(width = 16) ?(edge_density = 1.5) ?(mem_fraction = 0.2)
+    ?(congruence = Congruence.unanalyzable) ~seed () =
+  if n <= 0 then invalid_arg "Shapes.layered: need positive size";
+  let rng = Cs_util.Rng.create seed in
+  let b = Cs_ddg.Builder.create ~name:(Printf.sprintf "layered-%d" n) () in
+  (* Seed values so operand selection never has to emit extra
+     (unbudgeted) constants mid-layer. *)
+  let seeds = min n 4 in
+  let values = ref (List.init seeds (fun _ -> Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const)) in
+  let n_values = ref seeds in
+  let emitted = ref seeds in
+  let pick_operand () = List.nth !values (Cs_util.Rng.int rng !n_values) in
+  while !emitted < n do
+    let layer_size = min (n - !emitted) (1 + Cs_util.Rng.int rng width) in
+    let fresh = ref [] in
+    let produced = ref 0 in
+    for _ = 1 to layer_size do
+      if !emitted + !produced < n then begin
+        let r =
+          if Cs_util.Rng.float rng 1.0 < mem_fraction then begin
+            let index = Cs_util.Rng.int rng 4096 in
+            if Cs_util.Rng.bool rng || !values = [] then begin
+              produced := !produced + 2 (* address const + load *);
+              Prog.banked_load b ~congruence ~index ~tag:"m" ()
+            end
+            else begin
+              Prog.banked_store b ~congruence ~index ~tag:"m" (pick_operand ());
+              produced := !produced + 3 (* address const + store + const *);
+              Prog.constant b ()
+            end
+          end
+          else begin
+            let op =
+              if Cs_util.Rng.bool rng then Cs_util.Rng.choose rng fp_ops
+              else Cs_util.Rng.choose rng int_ops
+            in
+            produced := !produced + 1;
+            let n_srcs = 1 + min 1 (int_of_float edge_density) in
+            if n_srcs = 1 then Cs_ddg.Builder.op1 b op (pick_operand ())
+            else Cs_ddg.Builder.op2 b op (pick_operand ()) (pick_operand ())
+          end
+        in
+        fresh := r :: !fresh
+      end
+    done;
+    emitted := !emitted + !produced;
+    (* Count every instruction emitted this layer, not just the value
+       producers we track for operand selection. *)
+    values := !fresh @ !values;
+    n_values := List.length !values
+  done;
+  Cs_ddg.Builder.finish b

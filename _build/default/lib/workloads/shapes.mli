@@ -1,0 +1,20 @@
+(** Parametric graph shapes: the two archetypes of the paper's Fig. 2
+    (thin/critical-path-dominated vs fat/parallel) and random layered
+    DAGs used for the compile-time scalability experiment (Fig. 10). *)
+
+val thin :
+  ?chains:int -> ?length:int -> ?cross_links:int -> seed:int -> unit -> Cs_ddg.Region.t
+(** A few long dependence chains with sparse random cross links —
+    non-numeric-code shape (Fig. 2a). No preplacement. *)
+
+val fat : ?width:int -> ?depth:int -> seed:int -> unit -> Cs_ddg.Region.t
+(** Many short independent chains — unrolled-numeric shape (Fig. 2b). *)
+
+val layered :
+  n:int -> ?width:int -> ?edge_density:float -> ?mem_fraction:float ->
+  ?congruence:Congruence.t -> seed:int -> unit -> Cs_ddg.Region.t
+(** Random layered DAG with approximately [n] instructions (never more;
+    memory references cost several instructions each, so the final count
+    can fall slightly short): layer [k] draws operands
+    from layers [< k]. [mem_fraction] of instructions are loads/stores,
+    banked by [congruence]. Used to sweep input sizes in Fig. 10. *)

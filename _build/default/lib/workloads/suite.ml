@@ -1,0 +1,32 @@
+type entry = {
+  name : string;
+  description : string;
+  generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t;
+}
+
+let entry name description generate = { name; description; generate }
+
+let cholesky = entry Cholesky.name Cholesky.description Cholesky.generate
+let tomcatv = entry Tomcatv.name Tomcatv.description Tomcatv.generate
+let vpenta = entry Vpenta.name Vpenta.description Vpenta.generate
+let mxm = entry Mxm.name Mxm.description Mxm.generate
+let fpppp = entry Fpppp.name Fpppp.description Fpppp.generate
+let sha = entry Sha.name Sha.description Sha.generate
+let swim = entry Swim.name Swim.description Swim.generate
+let jacobi = entry Jacobi.name Jacobi.description Jacobi.generate
+let life = entry Life.name Life.description Life.generate
+let vvmul = entry Vvmul.name Vvmul.description Vvmul.generate
+let rbsorf = entry Rbsorf.name Rbsorf.description Rbsorf.generate
+let yuv = entry Yuv.name Yuv.description Yuv.generate
+let fir = entry Fir.name Fir.description Fir.generate
+
+let raw_suite = [ cholesky; tomcatv; vpenta; mxm; fpppp; sha; swim; jacobi; life ]
+let vliw_suite = [ vvmul; rbsorf; yuv; tomcatv; mxm; fir; cholesky ]
+
+let all =
+  raw_suite
+  @ List.filter (fun e -> not (List.exists (fun r -> r.name = e.name) raw_suite)) vliw_suite
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = lower) all

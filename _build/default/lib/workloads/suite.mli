@@ -1,0 +1,22 @@
+(** Benchmark registry mirroring the paper's two evaluation suites
+    (Sec. 5, "Benchmarks"). *)
+
+type entry = {
+  name : string;
+  description : string;
+  generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t;
+}
+
+val raw_suite : entry list
+(** The nine benchmarks of Table 2 / Figs. 6-7: cholesky, tomcatv,
+    vpenta, mxm, fpppp-kernel, sha, swim, jacobi, life. *)
+
+val vliw_suite : entry list
+(** The seven benchmarks of Figs. 8-9: vvmul, rbsorf, yuv, tomcatv,
+    mxm, fir, cholesky. *)
+
+val all : entry list
+(** Union, without duplicates. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by name. *)

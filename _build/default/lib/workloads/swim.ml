@@ -1,0 +1,31 @@
+let name = "swim"
+let description = "shallow-water model finite-difference step"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let columns = scale * 16 in
+  for j = 0 to columns - 1 do
+    let tag s = Printf.sprintf "%s[%d]" s j in
+    let ld s dx = Prog.banked_load b ~congruence ~index:(j + dx) ~tag:(tag s) () in
+    (* CU/CV/Z-style coupled stencils. *)
+    let p0 = ld "p" 0 and p1 = ld "p+" 1 in
+    let u0 = ld "u" 0 and u1 = ld "u+" 1 in
+    let v0 = ld "v" 0 and v1 = ld "v+" 1 in
+    let psum = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd p0 p1 in
+    let cu = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul psum u1 in
+    let cv = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul psum v1 in
+    let du = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub u1 u0 in
+    let dv = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub v1 v0 in
+    let vort = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub dv du in
+    let z = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fdiv vort psum in
+    let h0 = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul u0 u0 in
+    let h1 = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul v0 v0 in
+    let h = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd h0 h1 in
+    let h = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd h p0 in
+    Prog.banked_store b ~congruence ~index:j ~tag:(tag "cu") cu;
+    Prog.banked_store b ~congruence ~index:j ~tag:(tag "cv") cv;
+    Prog.banked_store b ~congruence ~index:j ~tag:(tag "z") z;
+    Prog.banked_store b ~congruence ~index:j ~tag:(tag "h") h
+  done;
+  Cs_ddg.Builder.finish b

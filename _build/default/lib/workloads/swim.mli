@@ -1,0 +1,7 @@
+(** [swim] (Spec, Raw suite): shallow-water finite differences. Three
+    coupled stencils per column (U, V, P arrays) with banked loads and
+    stores — fat, parallel, heavily preplaced. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

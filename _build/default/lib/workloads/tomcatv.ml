@@ -1,0 +1,30 @@
+let name = "tomcatv"
+let description = "vectorized mesh generation point update"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let points = scale * 16 in
+  for j = 0 to points - 1 do
+    let tag s = Printf.sprintf "%s[%d]" s j in
+    let ld s dx = Prog.banked_load b ~congruence ~index:(j + dx) ~tag:(tag s) () in
+    let xe = ld "xe" 1 and xw = ld "xw" (-1) and xn = ld "xn" 0 and xs = ld "xs" 0 in
+    let ye = ld "ye" 1 and yw = ld "yw" (-1) and yn = ld "yn" 0 and ys = ld "ys" 0 in
+    let dxx = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub xe xw in
+    let dxy = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub xn xs in
+    let dyx = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub ye yw in
+    let dyy = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub yn ys in
+    let a = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul dxy dxy in
+    let a' = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul dyy dyy in
+    let alpha = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd a a' in
+    let g = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul dxx dxy in
+    let g' = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul dyx dyy in
+    let gamma = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd g g' in
+    let rx = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul alpha dxx in
+    let rx = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub rx gamma in
+    let ry = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul alpha dyx in
+    let ry = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fdiv ry alpha in
+    Prog.banked_store b ~congruence ~index:j ~tag:(tag "rx") rx;
+    Prog.banked_store b ~congruence ~index:j ~tag:(tag "ry") ry
+  done;
+  Cs_ddg.Builder.finish b

@@ -1,0 +1,9 @@
+(** [tomcatv] (Spec95, both targets): vectorized mesh generation. Per
+    mesh point: eight banked neighbor loads of the two coordinate
+    arrays, difference/cross-term floating-point arithmetic including a
+    divide, and two banked stores of the residuals. Moderate
+    parallelism with realistic per-point work. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

@@ -1,0 +1,25 @@
+let name = "vpenta"
+let description = "simultaneous pentadiagonal inversions"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Congruence.blocked ~n_banks:clusters ~block:64 in
+  let b = Cs_ddg.Builder.create ~name () in
+  let systems = 16 in
+  let steps = 3 * scale in
+  for s = 0 to systems - 1 do
+    (* System s's rows all live in block s: indices s*64 + k. *)
+    let index k = (s * 64) + k in
+    let tag name k = Printf.sprintf "%s[%d][%d]" name s k in
+    let carry = ref (Prog.banked_load b ~congruence ~index:(index 0) ~tag:(tag "x" 0) ()) in
+    for k = 1 to steps do
+      let a = Prog.banked_load b ~congruence ~index:(index k) ~tag:(tag "a" k) () in
+      let c = Prog.banked_load b ~congruence ~index:(index (k + 1)) ~tag:(tag "c" k) () in
+      let num = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul a !carry in
+      let num = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fsub c num in
+      let den = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul a a in
+      let x = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fdiv num den in
+      Prog.banked_store b ~congruence ~index:(index k) ~tag:(tag "x" k) x;
+      carry := x
+    done
+  done;
+  Cs_ddg.Builder.finish b

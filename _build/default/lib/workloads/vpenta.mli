@@ -1,0 +1,9 @@
+(** [vpenta] (Nasa7 kernel, Raw suite): simultaneous pentadiagonal
+    matrix inversions. Each of the [clusters] independent systems is a
+    serial elimination recurrence over banked rows — many medium-length
+    chains whose memory lives on distinct banks, so preplacement alone
+    nearly dictates a perfect partition. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

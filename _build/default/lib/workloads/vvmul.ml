@@ -1,0 +1,15 @@
+let name = "vvmul"
+let description = "elementwise vector multiply c[i] = a[i] * b[i]"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let elements = scale * 48 in
+  for i = 0 to elements - 1 do
+    let tag s = Printf.sprintf "%s[%d]" s i in
+    let a = Prog.banked_load b ~congruence ~index:i ~tag:(tag "a") () in
+    let v = Prog.banked_load b ~congruence ~index:i ~tag:(tag "b") () in
+    let p = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul a v in
+    Prog.banked_store b ~congruence ~index:i ~tag:(tag "c") p
+  done;
+  Cs_ddg.Builder.finish b

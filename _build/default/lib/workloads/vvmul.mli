@@ -1,0 +1,7 @@
+(** [vvmul] (VLIW suite): elementwise vector multiply
+    [c\[i\] = a\[i\] * b\[i\]] — embarrassingly parallel with perfectly
+    banked references; the easiest case for every assigner. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

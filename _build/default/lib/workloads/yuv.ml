@@ -1,0 +1,27 @@
+let name = "yuv"
+let description = "RGB to YUV color conversion, unrolled pixel loop"
+
+let generate ?(scale = 1) ~clusters () =
+  let congruence = Dense.interleave ~clusters in
+  let b = Cs_ddg.Builder.create ~name () in
+  let pixels = scale * 16 in
+  for p = 0 to pixels - 1 do
+    let tag s = Printf.sprintf "%s[%d]" s p in
+    let r = Prog.banked_load b ~congruence ~index:p ~tag:(tag "r") () in
+    let g = Prog.banked_load b ~congruence ~index:p ~tag:(tag "g") () in
+    let bl = Prog.banked_load b ~congruence ~index:p ~tag:(tag "b") () in
+    let dot () =
+      let terms =
+        List.map
+          (fun v ->
+            let k = Prog.constant b ~tag:"coef" () in
+            Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fmul k v)
+          [ r; g; bl ]
+      in
+      Prog.reduce b Cs_ddg.Opcode.Fadd terms
+    in
+    Prog.banked_store b ~congruence ~index:p ~tag:(tag "y") (dot ());
+    Prog.banked_store b ~congruence ~index:p ~tag:(tag "u") (dot ());
+    Prog.banked_store b ~congruence ~index:p ~tag:(tag "v") (dot ())
+  done;
+  Cs_ddg.Builder.finish b

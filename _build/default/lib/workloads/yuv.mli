@@ -1,0 +1,8 @@
+(** [yuv] (VLIW suite): RGB to YUV color conversion. Per pixel: three
+    banked loads, a 3x3 constant matrix of multiplies with add trees,
+    three banked stores. Wide, regular parallelism with moderate
+    per-pixel work. *)
+
+val name : string
+val description : string
+val generate : ?scale:int -> clusters:int -> unit -> Cs_ddg.Region.t

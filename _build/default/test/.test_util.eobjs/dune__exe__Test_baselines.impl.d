@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Cs_baselines Cs_ddg Cs_machine Cs_sched Cs_sim Cs_util Cs_workloads Int List

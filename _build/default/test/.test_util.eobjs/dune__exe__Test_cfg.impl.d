@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cs_cfg Cs_ddg Cs_machine Cs_sim Float List Option

@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Analysis Array Builder Cs_ddg Cs_machine Cs_workloads Dot Graph Instr Int List Opcode Reg Region String Textual

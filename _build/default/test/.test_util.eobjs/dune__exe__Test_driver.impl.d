@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Array Context Cs_core Cs_ddg Cs_machine Cs_workloads Driver List Option Pass Sequence Trace Weights

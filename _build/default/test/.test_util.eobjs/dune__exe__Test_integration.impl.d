@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cs_core Cs_machine Cs_sched Cs_sim Cs_util Cs_workloads List Option

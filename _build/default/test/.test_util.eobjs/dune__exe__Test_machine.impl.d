@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cs_ddg Cs_machine Fu Latency List Machine Raw Topology Vliw

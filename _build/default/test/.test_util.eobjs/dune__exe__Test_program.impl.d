@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Cs_core Cs_ddg Cs_machine Cs_sched Cs_sim Cs_workloads Int64 List

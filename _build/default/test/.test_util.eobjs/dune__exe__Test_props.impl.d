@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Cs_baselines Cs_core Cs_ddg Cs_machine Cs_regalloc Cs_sched Cs_sim Cs_workloads Int List Printf QCheck QCheck_alcotest

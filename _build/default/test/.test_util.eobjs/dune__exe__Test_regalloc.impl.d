@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array Cs_ddg Cs_machine Cs_regalloc Cs_sched Cs_workloads Int List

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Cs_ddg Cs_machine Cs_sched Format Int List String

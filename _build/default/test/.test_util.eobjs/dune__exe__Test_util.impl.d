@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cs_util Float Hashtbl Int List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_validator.ml: Alcotest Array Cs_ddg Cs_machine Cs_sched List String

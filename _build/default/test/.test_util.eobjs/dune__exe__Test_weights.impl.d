@@ -1,0 +1,1 @@
+test/test_weights.ml: Alcotest Cs_core Format List Printf QCheck QCheck_alcotest String Weights

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cs_ddg Cs_machine Cs_workloads Format Int List Option

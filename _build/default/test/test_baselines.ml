@@ -1,0 +1,259 @@
+(* Tests for the baseline schedulers: Rawcc, UAS, PCC, BUG. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let vliw4 = Cs_machine.Vliw.create ~n_clusters:4 ()
+let raw4 = Cs_machine.Raw.with_tiles 4
+
+let jacobi clusters = Cs_workloads.Jacobi.generate ~clusters ()
+let mxm clusters = Cs_workloads.Mxm.generate ~clusters ()
+let sha () = Cs_workloads.Sha.generate ~clusters:4 ()
+
+let preplaced_respected region assignment =
+  List.for_all
+    (fun (i, home) -> assignment.(i) = home)
+    (Cs_ddg.Graph.preplaced region.Cs_ddg.Region.graph)
+
+(* --- Rawcc --- *)
+
+let test_rawcc_schedule_valid () =
+  let region = jacobi 4 in
+  let sched = Cs_baselines.Rawcc.schedule ~machine:raw4 region in
+  Cs_sched.Validator.check_exn sched
+
+let test_rawcc_respects_preplacement () =
+  let region = jacobi 4 in
+  let assignment = Cs_baselines.Rawcc.assign ~machine:raw4 region in
+  check_bool "homes kept" true (preplaced_respected region assignment)
+
+let test_rawcc_uses_multiple_tiles () =
+  let region = mxm 4 in
+  let assignment = Cs_baselines.Rawcc.assign ~machine:raw4 region in
+  let used = List.sort_uniq Int.compare (Array.to_list assignment) in
+  check_bool "parallel work spread" true (List.length used >= 3)
+
+let test_rawcc_single_cluster () =
+  let region = jacobi 1 in
+  let machine = Cs_machine.Raw.with_tiles 1 in
+  let sched = Cs_baselines.Rawcc.schedule ~machine region in
+  Cs_sched.Validator.check_exn sched;
+  check_bool "at least n cycles" true
+    (Cs_sched.Schedule.makespan sched >= Cs_ddg.Region.n_instrs region)
+
+(* --- UAS --- *)
+
+let test_uas_schedule_valid_vliw () =
+  let sched = Cs_baselines.Uas.schedule ~machine:vliw4 (jacobi 4) in
+  Cs_sched.Validator.check_exn sched
+
+let test_uas_schedule_valid_raw () =
+  let sched = Cs_baselines.Uas.schedule ~machine:raw4 (jacobi 4) in
+  Cs_sched.Validator.check_exn sched
+
+let test_uas_respects_preplacement_on_mesh () =
+  let region = jacobi 4 in
+  let assignment = Cs_baselines.Uas.assign ~machine:raw4 region in
+  check_bool "homes kept" true (preplaced_respected region assignment)
+
+let test_uas_spreads_parallel_work () =
+  let assignment = Cs_baselines.Uas.assign ~machine:vliw4 (mxm 4) in
+  let used = List.sort_uniq Int.compare (Array.to_list assignment) in
+  check_int "all clusters used" 4 (List.length used)
+
+(* --- PCC --- *)
+
+let test_pcc_components_cover_all () =
+  let region = jacobi 4 in
+  let comps = Cs_baselines.Pcc.components ~machine:vliw4 ~theta:4 region in
+  let members = List.concat comps |> List.sort Int.compare in
+  Alcotest.(check (list int)) "partition"
+    (List.init (Cs_ddg.Region.n_instrs region) (fun i -> i))
+    members
+
+let test_pcc_components_capped () =
+  let comps = Cs_baselines.Pcc.components ~machine:vliw4 ~theta:4 (jacobi 4) in
+  List.iter (fun c -> check_bool "size <= theta" true (List.length c <= 4)) comps
+
+let test_pcc_components_pin_consistent () =
+  (* On a mesh pins are hard, so components must never mix homes. *)
+  let region = jacobi 4 in
+  let graph = region.Cs_ddg.Region.graph in
+  let comps = Cs_baselines.Pcc.components ~machine:raw4 ~theta:6 region in
+  List.iter
+    (fun comp ->
+      let pins =
+        List.filter_map
+          (fun i -> (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.preplace)
+          comp
+        |> List.sort_uniq Int.compare
+      in
+      check_bool "at most one pin per component" true (List.length pins <= 1))
+    comps
+
+let test_pcc_schedule_valid () =
+  let sched = Cs_baselines.Pcc.schedule ~machine:vliw4 (jacobi 4) in
+  Cs_sched.Validator.check_exn sched
+
+let test_pcc_descent_does_not_regress () =
+  let region = mxm 4 in
+  let analysis = Cs_baselines.Estimator.analysis_for ~machine:vliw4 region in
+  ignore analysis;
+  let quick = Cs_baselines.Pcc.schedule ~max_rounds:0 ~machine:vliw4 region in
+  let refined = Cs_baselines.Pcc.schedule ~max_rounds:3 ~machine:vliw4 region in
+  check_bool "descent no worse" true
+    (Cs_sched.Schedule.makespan refined <= Cs_sched.Schedule.makespan quick)
+
+let test_pcc_respects_preplacement_on_mesh () =
+  (* On meshes pinning is hard; on the VLIW the paper's PCC handles
+     preplacement through the estimator's remote-access penalty instead,
+     so only the mesh case guarantees home placement. *)
+  let region = jacobi 4 in
+  let assignment = Cs_baselines.Pcc.assign ~machine:raw4 region in
+  check_bool "homes kept" true (preplaced_respected region assignment)
+
+let test_pcc_vliw_schedule_still_legal_with_remote_memory () =
+  let region = jacobi 4 in
+  let sched = Cs_baselines.Pcc.schedule ~machine:vliw4 region in
+  Cs_sched.Validator.check_exn sched
+
+(* --- BUG --- *)
+
+let test_bug_schedule_valid () =
+  let sched = Cs_baselines.Bug.schedule ~machine:vliw4 (jacobi 4) in
+  Cs_sched.Validator.check_exn sched
+
+let test_bug_respects_preplacement_on_mesh () =
+  let region = jacobi 4 in
+  let assignment = Cs_baselines.Bug.assign ~machine:raw4 region in
+  check_bool "homes kept" true (preplaced_respected region assignment)
+
+let test_bug_desire_propagates () =
+  (* A chain ending in a preplaced store should be drawn to its bank. *)
+  let b = Cs_ddg.Builder.create ~name:"desire" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let x = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Add k in
+  let addr = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  Cs_ddg.Builder.store b ~preplace:2 ~addr x;
+  let region = Cs_ddg.Builder.finish b in
+  let assignment = Cs_baselines.Bug.assign ~machine:raw4 region in
+  check_int "store home" 2 assignment.(3);
+  check_int "producer follows" 2 assignment.(1)
+
+(* --- Anneal --- *)
+
+let test_anneal_schedule_valid () =
+  let sched = Cs_baselines.Anneal.schedule ~machine:vliw4 (jacobi 4) in
+  Cs_sched.Validator.check_exn sched
+
+let test_anneal_deterministic_per_seed () =
+  let region = mxm 4 in
+  let a1 = Cs_baselines.Anneal.assign ~seed:5 ~machine:vliw4 region in
+  let a2 = Cs_baselines.Anneal.assign ~seed:5 ~machine:vliw4 region in
+  Alcotest.(check (array int)) "same seed same result" a1 a2
+
+let test_anneal_respects_preplacement_on_mesh () =
+  let region = jacobi 4 in
+  let assignment = Cs_baselines.Anneal.assign ~machine:raw4 region in
+  check_bool "homes kept" true (preplaced_respected region assignment);
+  Cs_sched.Validator.check_exn (Cs_baselines.Anneal.schedule ~machine:raw4 region)
+
+let test_anneal_beats_random_start () =
+  (* The annealed assignment must not be worse than a fresh random one. *)
+  let region = mxm 4 in
+  let annealed =
+    Cs_sched.Schedule.makespan (Cs_baselines.Anneal.schedule ~machine:vliw4 region)
+  in
+  let rng = Cs_util.Rng.create 123 in
+  let random =
+    Array.init (Cs_ddg.Region.n_instrs region) (fun _ -> Cs_util.Rng.int rng 4)
+  in
+  let baseline =
+    Cs_baselines.Estimator.schedule_length ~machine:vliw4 ~assignment:random region
+  in
+  check_bool "annealing helps" true (annealed <= baseline)
+
+(* --- Estimator --- *)
+
+let test_estimator_approximate_lower_bounds () =
+  let region = jacobi 4 in
+  let assignment = Cs_baselines.Rawcc.assign ~machine:vliw4 region in
+  let approx =
+    Cs_baselines.Estimator.approximate_length ~machine:vliw4 ~assignment region
+  in
+  let exact = Cs_baselines.Estimator.schedule_length ~machine:vliw4 ~assignment region in
+  let analysis = Cs_baselines.Estimator.analysis_for ~machine:vliw4 region in
+  check_bool "approx >= cpl" true (approx >= Cs_ddg.Analysis.cpl analysis);
+  check_bool "approx positive" true (approx > 0);
+  check_bool "approx cheap but not wild" true (approx <= 4 * exact)
+
+let test_estimator_matches_list_schedule () =
+  let region = jacobi 4 in
+  let assignment = Cs_baselines.Rawcc.assign ~machine:vliw4 region in
+  let est = Cs_baselines.Estimator.schedule_length ~machine:vliw4 ~assignment region in
+  let analysis = Cs_baselines.Estimator.analysis_for ~machine:vliw4 region in
+  let sched =
+    Cs_sched.List_scheduler.run ~machine:vliw4 ~assignment
+      ~priority:(Cs_sched.Priority.alap analysis) ~analysis region
+  in
+  check_int "estimate exact" (Cs_sched.Schedule.makespan sched) est
+
+(* --- Serial-code sanity: baselines behave on sha --- *)
+
+let test_all_baselines_on_sha () =
+  List.iter
+    (fun (name, machine) ->
+      List.iter
+        (fun sch ->
+          let sched = Cs_sim.Pipeline.schedule ~scheduler:sch ~machine (sha ()) in
+          check_bool (name ^ " valid") true (Cs_sched.Validator.check sched = Ok ()))
+        [ Cs_sim.Pipeline.Rawcc; Cs_sim.Pipeline.Uas; Cs_sim.Pipeline.Bug ])
+    [ ("vliw", vliw4); ("raw", raw4) ]
+
+let () =
+  Alcotest.run "cs_baselines"
+    [
+      ( "rawcc",
+        [
+          Alcotest.test_case "valid" `Quick test_rawcc_schedule_valid;
+          Alcotest.test_case "preplacement" `Quick test_rawcc_respects_preplacement;
+          Alcotest.test_case "spreads" `Quick test_rawcc_uses_multiple_tiles;
+          Alcotest.test_case "single cluster" `Quick test_rawcc_single_cluster;
+        ] );
+      ( "uas",
+        [
+          Alcotest.test_case "valid vliw" `Quick test_uas_schedule_valid_vliw;
+          Alcotest.test_case "valid raw" `Quick test_uas_schedule_valid_raw;
+          Alcotest.test_case "preplacement" `Quick test_uas_respects_preplacement_on_mesh;
+          Alcotest.test_case "spreads" `Quick test_uas_spreads_parallel_work;
+        ] );
+      ( "pcc",
+        [
+          Alcotest.test_case "components cover" `Quick test_pcc_components_cover_all;
+          Alcotest.test_case "components capped" `Quick test_pcc_components_capped;
+          Alcotest.test_case "pin consistent" `Quick test_pcc_components_pin_consistent;
+          Alcotest.test_case "valid" `Quick test_pcc_schedule_valid;
+          Alcotest.test_case "descent no worse" `Slow test_pcc_descent_does_not_regress;
+          Alcotest.test_case "preplacement mesh" `Quick test_pcc_respects_preplacement_on_mesh;
+          Alcotest.test_case "vliw remote legal" `Quick test_pcc_vliw_schedule_still_legal_with_remote_memory;
+        ] );
+      ( "bug",
+        [
+          Alcotest.test_case "valid" `Quick test_bug_schedule_valid;
+          Alcotest.test_case "preplacement" `Quick test_bug_respects_preplacement_on_mesh;
+          Alcotest.test_case "desire propagates" `Quick test_bug_desire_propagates;
+        ] );
+      ( "anneal",
+        [
+          Alcotest.test_case "valid" `Slow test_anneal_schedule_valid;
+          Alcotest.test_case "deterministic" `Slow test_anneal_deterministic_per_seed;
+          Alcotest.test_case "preplacement" `Slow test_anneal_respects_preplacement_on_mesh;
+          Alcotest.test_case "beats random" `Slow test_anneal_beats_random_start;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "matches schedule" `Quick test_estimator_matches_list_schedule;
+          Alcotest.test_case "approximate bounds" `Quick test_estimator_approximate_lower_bounds;
+        ] );
+      ("serial", [ Alcotest.test_case "sha all baselines" `Slow test_all_baselines_on_sha ]);
+    ]

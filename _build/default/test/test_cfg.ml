@@ -1,0 +1,410 @@
+(* Tests for the CFG IR, frequency estimation, and trace selection. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let v n = n (* program variable = int register name *)
+
+let simple_instr ?dst op srcs = Cs_cfg.Cfg.pinstr op ?dst srcs
+
+(* A diamond with a hot left arm and a cold right arm, joining into an
+   exit:      entry -> (0.9) hot | (0.1) cold -> join -> exit *)
+let diamond =
+  {
+    Cs_cfg.Cfg.entry = "entry";
+    blocks =
+      [
+        { Cs_cfg.Cfg.label = "entry";
+          body = [ simple_instr Cs_ddg.Opcode.Const ~dst:(v 0) [] ];
+          succs = [ ("hot", 0.9); ("cold", 0.1) ] };
+        { Cs_cfg.Cfg.label = "hot";
+          body = [ simple_instr Cs_ddg.Opcode.Add ~dst:(v 1) [ v 0; v 0 ] ];
+          succs = [ ("join", 1.0) ] };
+        { Cs_cfg.Cfg.label = "cold";
+          body = [ simple_instr Cs_ddg.Opcode.Sub ~dst:(v 1) [ v 0; v 0 ] ];
+          succs = [ ("join", 1.0) ] };
+        { Cs_cfg.Cfg.label = "join";
+          body = [ simple_instr Cs_ddg.Opcode.Mul ~dst:(v 2) [ v 1; v 0 ] ];
+          succs = [] };
+      ];
+  }
+
+let loop =
+  {
+    Cs_cfg.Cfg.entry = "head";
+    blocks =
+      [
+        { Cs_cfg.Cfg.label = "head";
+          body = [ simple_instr Cs_ddg.Opcode.Const ~dst:(v 0) [] ];
+          succs = [ ("body", 0.95); ("exit", 0.05) ] };
+        { Cs_cfg.Cfg.label = "body";
+          body = [ simple_instr Cs_ddg.Opcode.Add ~dst:(v 0) [ v 0; v 0 ] ];
+          succs = [ ("head", 1.0) ] };
+        { Cs_cfg.Cfg.label = "exit"; body = []; succs = [] };
+      ];
+  }
+
+let test_validate_ok () =
+  check_bool "diamond valid" true (Cs_cfg.Cfg.validate diamond = Ok ());
+  check_bool "loop valid" true (Cs_cfg.Cfg.validate loop = Ok ())
+
+let test_validate_bad_probabilities () =
+  let bad =
+    { diamond with
+      Cs_cfg.Cfg.blocks =
+        List.map
+          (fun b ->
+            if b.Cs_cfg.Cfg.label = "entry" then
+              { b with Cs_cfg.Cfg.succs = [ ("hot", 0.5); ("cold", 0.1) ] }
+            else b)
+          diamond.Cs_cfg.Cfg.blocks }
+  in
+  check_bool "rejected" true (match Cs_cfg.Cfg.validate bad with Error _ -> true | Ok () -> false)
+
+let test_validate_unknown_target () =
+  let bad =
+    { diamond with
+      Cs_cfg.Cfg.blocks =
+        List.map
+          (fun b ->
+            if b.Cs_cfg.Cfg.label = "hot" then { b with Cs_cfg.Cfg.succs = [ ("ghost", 1.0) ] }
+            else b)
+          diamond.Cs_cfg.Cfg.blocks }
+  in
+  check_bool "rejected" true (match Cs_cfg.Cfg.validate bad with Error _ -> true | Ok () -> false)
+
+let test_frequencies_diamond () =
+  let f = Cs_cfg.Cfg.frequencies diamond in
+  let get l = List.assoc l f in
+  check_bool "entry is 1" true (Float.abs (get "entry" -. 1.0) < 1e-9);
+  check_bool "hot beats cold" true (get "hot" > get "cold");
+  (* Damping discounts depth, so compare against the arms, not entry. *)
+  check_bool "join collects both arms" true (get "join" > get "cold");
+  check_bool "join substantial" true (get "join" > 0.5)
+
+let test_frequencies_loop_bounded () =
+  let f = Cs_cfg.Cfg.frequencies loop in
+  let body = List.assoc "body" f in
+  check_bool "loop amplified" true (body > 1.5);
+  check_bool "loop bounded" true (body < 50.0)
+
+let test_trace_selection_covers_blocks () =
+  let traces = Cs_cfg.Trace.select diamond in
+  let members = List.concat traces |> List.sort compare in
+  Alcotest.(check (list string)) "partition" [ "cold"; "entry"; "hot"; "join" ] members
+
+let test_trace_selection_follows_hot_path () =
+  let traces = Cs_cfg.Trace.select diamond in
+  let first = List.hd traces in
+  check_bool "hot path together" true
+    (first = [ "entry"; "hot"; "join" ] || first = [ "entry"; "hot" ]);
+  check_bool "cold apart" true (not (List.mem "cold" first))
+
+let test_trace_selection_loop () =
+  let traces = Cs_cfg.Trace.select loop in
+  let members = List.concat traces |> List.sort compare in
+  Alcotest.(check (list string)) "partition" [ "body"; "exit"; "head" ] members
+
+let test_region_of_trace_ssa () =
+  let region = Cs_cfg.Trace.region_of_trace diamond [ "entry"; "hot"; "join" ] in
+  let graph = region.Cs_ddg.Region.graph in
+  check_int "three instrs" 3 (Cs_ddg.Graph.n graph);
+  (* const -> add -> mul is a chain through the renamed variables. *)
+  check_bool "const feeds add" true (List.mem 1 (Cs_ddg.Graph.succs graph 0));
+  check_bool "add feeds mul" true (List.mem 2 (Cs_ddg.Graph.succs graph 1));
+  check_bool "no live-ins needed" true
+    (Cs_ddg.Reg.Set.is_empty (Cs_ddg.Graph.live_in_regs graph))
+
+let test_region_of_trace_live_in () =
+  (* A trace starting at "join" reads v1/v0 before any definition: both
+     become live-ins. *)
+  let region = Cs_cfg.Trace.region_of_trace diamond [ "join" ] in
+  check_int "two live-ins" 2
+    (Cs_ddg.Reg.Set.cardinal (Cs_ddg.Graph.live_in_regs region.Cs_ddg.Region.graph))
+
+let test_region_of_trace_redefinition () =
+  (* head;body redefines v0: SSA renaming must create a fresh register
+     and chain the add onto the const. *)
+  let region = Cs_cfg.Trace.region_of_trace loop [ "head"; "body" ] in
+  let graph = region.Cs_ddg.Region.graph in
+  check_int "two instrs" 2 (Cs_ddg.Graph.n graph);
+  check_bool "chained" true (List.mem 1 (Cs_ddg.Graph.succs graph 0))
+
+let test_regions_schedule_end_to_end () =
+  let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
+  List.iter
+    (fun region ->
+      let sched, _ = Cs_sim.Pipeline.convergent ~machine region in
+      match Cs_sim.Interp.equivalent region sched with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    (List.filter
+       (fun r -> Cs_ddg.Region.n_instrs r > 0)
+       (Cs_cfg.Trace.regions diamond))
+
+let test_rejects_empty_trace () =
+  check_bool "raises" true
+    (try
+       ignore (Cs_cfg.Trace.region_of_trace diamond []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_preplacement_carried_through () =
+  let cfg =
+    {
+      Cs_cfg.Cfg.entry = "b";
+      blocks =
+        [
+          { Cs_cfg.Cfg.label = "b";
+            body =
+              [ Cs_cfg.Cfg.pinstr Cs_ddg.Opcode.Const ~dst:(v 0) [];
+                Cs_cfg.Cfg.pinstr ~preplace:2 Cs_ddg.Opcode.Load ~dst:(v 1) [ v 0 ] ];
+            succs = [] };
+        ];
+    }
+  in
+  let region = Cs_cfg.Trace.region_of_trace cfg [ "b" ] in
+  Alcotest.(check (list (pair int int))) "preplaced survives" [ (1, 2) ]
+    (Cs_ddg.Graph.preplaced region.Cs_ddg.Region.graph)
+
+(* --- Dominators --- *)
+
+let test_dominators_diamond () =
+  check_bool "entry dominates join" true (Cs_cfg.Dominators.dominates diamond "entry" "join");
+  check_bool "hot does not dominate join" false
+    (Cs_cfg.Dominators.dominates diamond "hot" "join");
+  check_bool "reflexive" true (Cs_cfg.Dominators.dominates diamond "hot" "hot")
+
+let test_idoms_diamond () =
+  let idoms = Cs_cfg.Dominators.immediate_dominators diamond in
+  Alcotest.(check (option string)) "join idom" (Some "entry") (List.assoc_opt "join" idoms);
+  Alcotest.(check (option string)) "hot idom" (Some "entry") (List.assoc_opt "hot" idoms);
+  check_bool "entry has no idom" true (List.assoc_opt "entry" idoms = None)
+
+let test_back_edges () =
+  Alcotest.(check (list (pair string string))) "loop back edge" [ ("body", "head") ]
+    (Cs_cfg.Dominators.back_edges loop);
+  Alcotest.(check (list (pair string string))) "diamond has none" []
+    (Cs_cfg.Dominators.back_edges diamond)
+
+let test_natural_loops () =
+  match Cs_cfg.Dominators.natural_loops loop with
+  | [ (header, body) ] ->
+    Alcotest.(check string) "header" "head" header;
+    Alcotest.(check (list string)) "body" [ "body"; "head" ] body
+  | other -> Alcotest.failf "expected one loop, got %d" (List.length other)
+
+(* --- Superblock --- *)
+
+(* A trace with a side entrance: cold re-enters the hot path at "mid". *)
+let side_entry_cfg =
+  {
+    Cs_cfg.Cfg.entry = "entry";
+    blocks =
+      [
+        { Cs_cfg.Cfg.label = "entry";
+          body = [ simple_instr Cs_ddg.Opcode.Const ~dst:(v 0) [] ];
+          succs = [ ("mid", 0.9); ("cold", 0.1) ] };
+        { Cs_cfg.Cfg.label = "cold";
+          body = [ simple_instr Cs_ddg.Opcode.Sub ~dst:(v 0) [ v 0; v 0 ] ];
+          succs = [ ("mid", 1.0) ] };
+        { Cs_cfg.Cfg.label = "mid";
+          body = [ simple_instr Cs_ddg.Opcode.Add ~dst:(v 1) [ v 0; v 0 ] ];
+          succs = [ ("out", 1.0) ] };
+        { Cs_cfg.Cfg.label = "out";
+          body = [ simple_instr Cs_ddg.Opcode.Mul ~dst:(v 2) [ v 1; v 1 ] ];
+          succs = [] };
+      ];
+  }
+
+let test_side_entrances_detected () =
+  Alcotest.(check (list (pair string string))) "cold->mid is a side entrance"
+    [ ("cold", "mid") ]
+    (Cs_cfg.Superblock.side_entrances side_entry_cfg [ "entry"; "mid"; "out" ]);
+  (* In the diamond, the cold arm re-enters the hot trace at the join. *)
+  Alcotest.(check (list (pair string string))) "diamond join is a side entrance"
+    [ ("cold", "join") ]
+    (Cs_cfg.Superblock.side_entrances diamond [ "entry"; "hot"; "join" ]);
+  (* The trace's own fallthrough edges are not side entrances. *)
+  Alcotest.(check (list (pair string string))) "fallthrough is not" []
+    (Cs_cfg.Superblock.side_entrances side_entry_cfg [ "mid"; "out" ])
+
+let test_tail_duplication_removes_side_entrances () =
+  let cfg', sb = Cs_cfg.Superblock.tail_duplicate side_entry_cfg [ "entry"; "mid"; "out" ] in
+  check_bool "still valid" true (Cs_cfg.Cfg.validate cfg' = Ok ());
+  Alcotest.(check (list (pair string string))) "no side entrances left" []
+    (Cs_cfg.Superblock.side_entrances cfg' sb);
+  check_bool "clone exists" true (Cs_cfg.Cfg.find_block cfg' "mid.dup" <> None);
+  (* Cold now branches into the duplicated tail. *)
+  let cold = Option.get (Cs_cfg.Cfg.find_block cfg' "cold") in
+  check_bool "cold retargeted" true (List.mem_assoc "mid.dup" cold.Cs_cfg.Cfg.succs)
+
+let test_superblock_form_schedules () =
+  let cfg', superblocks = Cs_cfg.Superblock.form side_entry_cfg in
+  check_bool "valid cfg" true (Cs_cfg.Cfg.validate cfg' = Ok ());
+  let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
+  List.iter
+    (fun sb ->
+      let region = Cs_cfg.Trace.region_of_trace cfg' sb in
+      if Cs_ddg.Region.n_instrs region > 0 then begin
+        let sched, _ = Cs_sim.Pipeline.convergent ~machine region in
+        check_bool "equivalent" true (Cs_sim.Interp.equivalent region sched = Ok ())
+      end)
+    superblocks
+
+let test_superblock_noop_without_side_entrances () =
+  (* A trace that nothing re-enters needs no duplication. *)
+  let cfg', sb = Cs_cfg.Superblock.tail_duplicate side_entry_cfg [ "entry" ] in
+  check_int "no new blocks"
+    (List.length side_entry_cfg.Cs_cfg.Cfg.blocks)
+    (List.length cfg'.Cs_cfg.Cfg.blocks);
+  Alcotest.(check (list string)) "trace unchanged" [ "entry" ] sb
+
+(* --- Hyperblock --- *)
+
+let test_hyperblock_diamond () =
+  let region = Cs_cfg.Hyperblock.region_of diamond ~entry:"entry" in
+  let graph = region.Cs_ddg.Region.graph in
+  (* const, guard const+cmp(+zero), add, sub, select, mul at least. *)
+  check_bool "select present" true
+    (Array.exists (fun i -> i.Cs_ddg.Instr.op = Cs_ddg.Opcode.Select) (Cs_ddg.Graph.instrs graph));
+  check_bool "both arms emitted" true
+    (Array.exists (fun i -> i.Cs_ddg.Instr.op = Cs_ddg.Opcode.Add) (Cs_ddg.Graph.instrs graph)
+    && Array.exists (fun i -> i.Cs_ddg.Instr.op = Cs_ddg.Opcode.Sub) (Cs_ddg.Graph.instrs graph));
+  check_bool "no live-ins" true
+    (Cs_ddg.Reg.Set.is_empty (Cs_ddg.Graph.live_in_regs graph))
+
+let test_hyperblock_schedules () =
+  let region = Cs_cfg.Hyperblock.region_of diamond ~entry:"entry" in
+  let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
+  let sched, _ = Cs_sim.Pipeline.convergent ~machine region in
+  check_bool "equivalent" true (Cs_sim.Interp.equivalent region sched = Ok ())
+
+let test_hyperblock_rejects_loop () =
+  check_bool "raises on cycle" true
+    (try
+       ignore (Cs_cfg.Hyperblock.region_of loop ~entry:"head");
+       false
+     with Invalid_argument _ -> true)
+
+let test_hyperblock_straightline () =
+  let cfg =
+    {
+      Cs_cfg.Cfg.entry = "a";
+      blocks =
+        [
+          { Cs_cfg.Cfg.label = "a";
+            body = [ simple_instr Cs_ddg.Opcode.Const ~dst:(v 0) [] ];
+            succs = [ ("b", 1.0) ] };
+          { Cs_cfg.Cfg.label = "b";
+            body = [ simple_instr Cs_ddg.Opcode.Add ~dst:(v 1) [ v 0; v 0 ] ];
+            succs = [] };
+        ];
+    }
+  in
+  let region = Cs_cfg.Hyperblock.region_of cfg ~entry:"a" in
+  (* No branch: no predicate, no select. *)
+  check_int "two instrs" 2 (Cs_ddg.Region.n_instrs region);
+  check_bool "no select" true
+    (not
+       (Array.exists
+          (fun i -> i.Cs_ddg.Instr.op = Cs_ddg.Opcode.Select)
+          (Cs_ddg.Graph.instrs region.Cs_ddg.Region.graph)))
+
+let test_hyperblock_agreeing_join_needs_no_select () =
+  (* Both arms pass v0 through untouched: the join should not merge. *)
+  let cfg =
+    {
+      Cs_cfg.Cfg.entry = "e";
+      blocks =
+        [
+          { Cs_cfg.Cfg.label = "e";
+            body = [ simple_instr Cs_ddg.Opcode.Const ~dst:(v 0) [] ];
+            succs = [ ("l", 0.5); ("r", 0.5) ] };
+          { Cs_cfg.Cfg.label = "l"; body = []; succs = [ ("j", 1.0) ] };
+          { Cs_cfg.Cfg.label = "r"; body = []; succs = [ ("j", 1.0) ] };
+          { Cs_cfg.Cfg.label = "j";
+            body = [ simple_instr Cs_ddg.Opcode.Mul ~dst:(v 1) [ v 0; v 0 ] ];
+            succs = [] };
+        ];
+    }
+  in
+  let region = Cs_cfg.Hyperblock.region_of cfg ~entry:"e" in
+  check_bool "no select for agreeing defs" true
+    (not
+       (Array.exists
+          (fun i -> i.Cs_ddg.Instr.op = Cs_ddg.Opcode.Select)
+          (Cs_ddg.Graph.instrs region.Cs_ddg.Region.graph)))
+
+let () =
+  Alcotest.run "cs_cfg"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "bad probabilities" `Quick test_validate_bad_probabilities;
+          Alcotest.test_case "unknown target" `Quick test_validate_unknown_target;
+          Alcotest.test_case "frequencies diamond" `Quick test_frequencies_diamond;
+          Alcotest.test_case "frequencies loop" `Quick test_frequencies_loop_bounded;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "covers blocks" `Quick test_trace_selection_covers_blocks;
+          Alcotest.test_case "follows hot path" `Quick test_trace_selection_follows_hot_path;
+          Alcotest.test_case "loop" `Quick test_trace_selection_loop;
+          Alcotest.test_case "ssa conversion" `Quick test_region_of_trace_ssa;
+          Alcotest.test_case "live-ins" `Quick test_region_of_trace_live_in;
+          Alcotest.test_case "redefinition" `Quick test_region_of_trace_redefinition;
+          Alcotest.test_case "end to end" `Quick test_regions_schedule_end_to_end;
+          Alcotest.test_case "empty trace" `Quick test_rejects_empty_trace;
+          Alcotest.test_case "preplacement" `Quick test_preplacement_carried_through;
+        ] );
+      ( "dominators",
+        [
+          Alcotest.test_case "diamond" `Quick test_dominators_diamond;
+          Alcotest.test_case "idoms" `Quick test_idoms_diamond;
+          Alcotest.test_case "back edges" `Quick test_back_edges;
+          Alcotest.test_case "natural loops" `Quick test_natural_loops;
+        ] );
+      ( "superblock",
+        [
+          Alcotest.test_case "side entrances" `Quick test_side_entrances_detected;
+          Alcotest.test_case "tail duplication" `Quick test_tail_duplication_removes_side_entrances;
+          Alcotest.test_case "form + schedule" `Quick test_superblock_form_schedules;
+          Alcotest.test_case "noop without entrances" `Quick test_superblock_noop_without_side_entrances;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "valid" `Quick (fun () ->
+              for seed = 1 to 10 do
+                let cfg = Cs_cfg.Generate.acyclic ~seed () in
+                check_bool "valid" true (Cs_cfg.Cfg.validate cfg = Ok ());
+                Alcotest.(check (list (pair string string))) "acyclic" []
+                  (Cs_cfg.Dominators.back_edges cfg)
+              done);
+          Alcotest.test_case "deterministic" `Quick (fun () ->
+              let a = Cs_cfg.Generate.acyclic ~seed:7 () in
+              let b = Cs_cfg.Generate.acyclic ~seed:7 () in
+              check_int "same size" (List.length a.Cs_cfg.Cfg.blocks)
+                (List.length b.Cs_cfg.Cfg.blocks));
+          Alcotest.test_case "schedulable end to end" `Quick (fun () ->
+              let cfg = Cs_cfg.Generate.acyclic ~seed:3 () in
+              let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
+              List.iter
+                (fun region ->
+                  if Cs_ddg.Region.n_instrs region > 0 then begin
+                    let sched, _ = Cs_sim.Pipeline.convergent ~machine region in
+                    check_bool "equivalent" true
+                      (Cs_sim.Interp.equivalent region sched = Ok ())
+                  end)
+                (Cs_cfg.Trace.regions cfg));
+        ] );
+      ( "hyperblock",
+        [
+          Alcotest.test_case "diamond" `Quick test_hyperblock_diamond;
+          Alcotest.test_case "schedules" `Quick test_hyperblock_schedules;
+          Alcotest.test_case "rejects loop" `Quick test_hyperblock_rejects_loop;
+          Alcotest.test_case "straight line" `Quick test_hyperblock_straightline;
+          Alcotest.test_case "agreeing join" `Quick test_hyperblock_agreeing_join_needs_no_select;
+        ] );
+    ]

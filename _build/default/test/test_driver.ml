@@ -1,0 +1,167 @@
+(* Tests for the convergent driver, sequences and traces. *)
+
+open Cs_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let vliw4 = Cs_machine.Vliw.create ~n_clusters:4 ()
+let raw16 = Cs_machine.Raw.with_tiles 16
+
+let jacobi4 = (Option.get (Cs_workloads.Suite.find "jacobi")).Cs_workloads.Suite.generate ~clusters:4 ()
+
+let test_trace_matches_passes () =
+  let passes = Sequence.vliw_default () in
+  let result = Driver.run ~machine:vliw4 jacobi4 passes in
+  check_int "one step per pass" (List.length passes) (List.length result.Driver.trace);
+  List.iter2
+    (fun p s -> Alcotest.(check string) "names line up" p.Pass.name s.Trace.pass_name)
+    passes result.Driver.trace
+
+let test_preplaced_forced_home () =
+  let result = Driver.run ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  List.iter
+    (fun (i, home) -> check_int "home" home result.Driver.assignment.(i))
+    (Cs_ddg.Graph.preplaced jacobi4.Cs_ddg.Region.graph)
+
+let test_assignment_in_range () =
+  let result = Driver.run ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  Array.iter (fun c -> check_bool "cluster valid" true (c >= 0 && c < 4)) result.Driver.assignment
+
+let test_preferred_slot_in_range () =
+  let result = Driver.run ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  Array.iter
+    (fun t -> check_bool "slot valid" true (t >= 0 && t < result.Driver.context.Context.nt))
+    result.Driver.preferred_slot
+
+let test_deterministic_same_seed () =
+  let r1 = Driver.run ~seed:17 ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  let r2 = Driver.run ~seed:17 ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  Alcotest.(check (array int)) "same assignment" r1.Driver.assignment r2.Driver.assignment
+
+let test_weights_normalized_at_end () =
+  let result = Driver.run ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  check_bool "invariants hold" true (Weights.check_invariants result.Driver.weights = Ok ())
+
+let test_observe_called_per_pass () =
+  let count = ref 0 in
+  let passes = Sequence.vliw_default () in
+  ignore (Driver.run ~observe:(fun _ _ -> incr count) ~machine:vliw4 jacobi4 passes);
+  check_int "observe per pass" (List.length passes) !count
+
+let test_cap_bounds_occupancy () =
+  let result = Driver.run ~machine:raw16 (Cs_workloads.Life.generate ~clusters:16 ())
+      (Sequence.raw_default ()) in
+  let n = Array.length result.Driver.assignment in
+  let cpl = Cs_ddg.Analysis.cpl result.Driver.context.Context.analysis in
+  let cap =
+    int_of_float (ceil (1.1 *. max (float_of_int n /. 16.0) (float_of_int cpl)))
+  in
+  let occ = Array.make 16 0 in
+  Array.iter (fun c -> occ.(c) <- occ.(c) + 1) result.Driver.assignment;
+  (* Preplaced instructions are exempt from the cap; bound is cap plus
+     the largest per-cluster preplacement count. *)
+  let pre = Array.make 16 0 in
+  List.iter (fun (_, c) -> pre.(c) <- pre.(c) + 1)
+    (Cs_ddg.Graph.preplaced (Cs_ddg.Analysis.graph result.Driver.context.Context.analysis));
+  Array.iteri
+    (fun c o -> check_bool "occupancy bounded" true (o <= cap + pre.(c)))
+    occ
+
+let test_empty_pass_list () =
+  let result = Driver.run ~machine:vliw4 jacobi4 [] in
+  check_int "no trace" 0 (List.length result.Driver.trace);
+  check_int "assignment sized" (Cs_ddg.Region.n_instrs jacobi4)
+    (Array.length result.Driver.assignment)
+
+let test_context_rejects_invalid_region () =
+  let b = Cs_ddg.Builder.create ~name:"bad" () in
+  let addr = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let _l = Cs_ddg.Builder.load b ~preplace:11 addr in
+  let region = Cs_ddg.Builder.finish b in
+  check_bool "raises" true
+    (try
+       ignore (Context.make ~machine:vliw4 region);
+       false
+     with Invalid_argument _ -> true)
+
+let test_context_nt_is_cpl () =
+  let ctx = Context.make ~machine:vliw4 jacobi4 in
+  check_int "nt = min cpl cap" (min (Cs_ddg.Analysis.cpl ctx.Context.analysis) 512)
+    ctx.Context.nt
+
+let test_context_nt_cap () =
+  let region = Cs_workloads.Sha.generate ~scale:4 ~clusters:4 () in
+  let ctx = Context.make ~nt_cap:64 ~machine:vliw4 region in
+  check_int "capped" 64 ctx.Context.nt
+
+let test_trace_space_steps_filter () =
+  let result = Driver.run ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  let space = Trace.space_steps result.Driver.trace in
+  check_bool "fewer than all" true (List.length space < List.length result.Driver.trace);
+  List.iter
+    (fun s -> check_bool "no time-only" true (s.Trace.pass_kind <> Pass.Time))
+    space
+
+(* --- Sequence registry --- *)
+
+let test_sequence_raw_default_names () =
+  Alcotest.(check (list string)) "Table 1a"
+    [ "INITTIME"; "PLACEPROP"; "LOAD"; "PLACE"; "PATH"; "PATHPROP"; "LEVEL"; "PATHPROP";
+      "COMM"; "PATHPROP"; "EMPHCP" ]
+    (Sequence.names (Sequence.raw_default ()))
+
+let test_sequence_vliw_default_names () =
+  Alcotest.(check (list string)) "Table 1b + LOADs"
+    [ "INITTIME"; "NOISE"; "FIRST"; "PATH"; "LOAD"; "COMM"; "PLACE"; "PLACEPROP"; "LOAD";
+      "COMM"; "EMPHCP" ]
+    (Sequence.names (Sequence.vliw_default ()))
+
+let test_sequence_of_names_roundtrip () =
+  match Sequence.of_names [ "inittime"; "Place"; "COMM" ] with
+  | Ok passes ->
+    Alcotest.(check (list string)) "parsed" [ "INITTIME"; "PLACE"; "COMM" ]
+      (Sequence.names passes)
+  | Error e -> Alcotest.fail e
+
+let test_sequence_of_names_unknown () =
+  check_bool "unknown rejected" true
+    (match Sequence.of_names [ "BOGUS" ] with Error _ -> true | Ok _ -> false)
+
+let test_sequence_available_covers_registry () =
+  List.iter
+    (fun name -> check_bool name true (Sequence.of_name name <> None))
+    Sequence.available
+
+let () =
+  Alcotest.run "cs_core.driver"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "trace matches passes" `Quick test_trace_matches_passes;
+          Alcotest.test_case "preplaced forced" `Quick test_preplaced_forced_home;
+          Alcotest.test_case "assignment range" `Quick test_assignment_in_range;
+          Alcotest.test_case "slot range" `Quick test_preferred_slot_in_range;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_same_seed;
+          Alcotest.test_case "normalized at end" `Quick test_weights_normalized_at_end;
+          Alcotest.test_case "observe hook" `Quick test_observe_called_per_pass;
+          Alcotest.test_case "cap bounds occupancy" `Quick test_cap_bounds_occupancy;
+          Alcotest.test_case "empty pass list" `Quick test_empty_pass_list;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "rejects invalid region" `Quick test_context_rejects_invalid_region;
+          Alcotest.test_case "nt = cpl" `Quick test_context_nt_is_cpl;
+          Alcotest.test_case "nt cap" `Quick test_context_nt_cap;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "space filter" `Quick test_trace_space_steps_filter ] );
+      ( "sequence",
+        [
+          Alcotest.test_case "raw names" `Quick test_sequence_raw_default_names;
+          Alcotest.test_case "vliw names" `Quick test_sequence_vliw_default_names;
+          Alcotest.test_case "of_names roundtrip" `Quick test_sequence_of_names_roundtrip;
+          Alcotest.test_case "of_names unknown" `Quick test_sequence_of_names_unknown;
+          Alcotest.test_case "available consistent" `Quick test_sequence_available_covers_registry;
+        ] );
+    ]

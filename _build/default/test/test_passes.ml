@@ -1,0 +1,448 @@
+(* Behavioural tests for every convergent pass. Each test constructs a
+   small region where the pass's effect is unambiguous. *)
+
+open Cs_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let vliw4 = Cs_machine.Vliw.create ~n_clusters:4 ()
+
+(* const -> fadd -> fadd chain, plus a preplaced load feeding the tail. *)
+let anchored_chain ?(home = 2) () =
+  let b = Cs_ddg.Builder.create ~name:"chain" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let x = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd k in
+  let addr = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let v = Cs_ddg.Builder.load b ~preplace:home addr in
+  let _tail = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd x v in
+  Cs_ddg.Builder.finish b
+
+let fresh region machine =
+  let ctx = Context.make ~machine region in
+  let w =
+    Weights.create ~n:(Context.n_instrs ctx) ~nc:(Context.n_clusters ctx) ~nt:ctx.Context.nt
+  in
+  (ctx, w)
+
+let run_pass pass ctx w =
+  pass.Pass.apply ctx w;
+  Weights.normalize_all w
+
+(* --- INITTIME --- *)
+
+let test_inittime_squashes_infeasible () =
+  let region = anchored_chain () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Inittime.pass ()) ctx w;
+  let a = ctx.Context.analysis in
+  for i = 0 to Weights.n w - 1 do
+    let lo = Context.clamp_slot ctx (Cs_ddg.Analysis.earliest a i) in
+    let hi = Context.clamp_slot ctx (Cs_ddg.Analysis.latest a i) in
+    for t = 0 to Weights.nt w - 1 do
+      if t < lo || t > hi then
+        Alcotest.(check (float 1e-12)) "squashed" 0.0 (Weights.time_weight w i t)
+    done;
+    check_bool "feasible window kept" true (Weights.time_weight w i lo > 0.0)
+  done
+
+let test_inittime_critical_single_slot () =
+  let b = Cs_ddg.Builder.create ~name:"serial" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let x = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Add k in
+  let _y = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Add x in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Inittime.pass ()) ctx w;
+  (* Every instruction of a pure chain is critical: one feasible slot. *)
+  for i = 0 to 2 do
+    let feasible = ref 0 in
+    for t = 0 to Weights.nt w - 1 do
+      if Weights.time_weight w i t > 0.0 then incr feasible
+    done;
+    check_int "single slot" 1 !feasible
+  done
+
+(* --- NOISE --- *)
+
+let test_noise_breaks_symmetry () =
+  let region = anchored_chain () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Noise.pass ()) ctx w;
+  let distinct = ref false in
+  for c = 0 to 3 do
+    if Float.abs (Weights.cluster_weight w 0 c -. 0.25) > 1e-9 then distinct := true
+  done;
+  check_bool "weights perturbed" true !distinct;
+  check_bool "invariants" true (Weights.check_invariants w = Ok ())
+
+let test_noise_preserves_zeros () =
+  let region = anchored_chain () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Inittime.pass ()) ctx w;
+  let a = ctx.Context.analysis in
+  run_pass (Noise.pass ()) ctx w;
+  let i = 4 (* tail instruction, earliest > 0 *) in
+  check_bool "tail starts late" true (Cs_ddg.Analysis.earliest a i > 0);
+  Alcotest.(check (float 1e-12)) "slot 0 still zero" 0.0 (Weights.time_weight w i 0)
+
+let test_noise_deterministic_per_seed () =
+  let region = anchored_chain () in
+  let run seed =
+    let ctx = Context.make ~seed ~machine:vliw4 region in
+    let w = Weights.create ~n:(Context.n_instrs ctx) ~nc:4 ~nt:ctx.Context.nt in
+    run_pass (Noise.pass ()) ctx w;
+    Weights.get w 0 0 0
+  in
+  Alcotest.(check (float 1e-15)) "same seed same noise" (run 5) (run 5);
+  check_bool "different seed different noise" true (run 5 <> run 6)
+
+(* --- PLACE --- *)
+
+let test_place_boosts_home () =
+  let region = anchored_chain ~home:2 () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Place.pass ()) ctx w;
+  check_int "load prefers home" 2 (Weights.preferred_cluster w 3);
+  check_bool "strong confidence" true (Weights.confidence w 3 > 10.0)
+
+let test_place_leaves_others_uniform () =
+  let region = anchored_chain () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Place.pass ()) ctx w;
+  (* Instruction 0 (const) is unanchored: stays uniform. *)
+  Alcotest.(check (float 1e-9)) "uniform" 0.25 (Weights.cluster_weight w 0 0)
+
+let test_place_live_in_soft_boost () =
+  let b = Cs_ddg.Builder.create ~name:"li" () in
+  let x = Cs_ddg.Builder.live_in ~home:1 b in
+  let _y = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd x in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Place.pass ()) ctx w;
+  check_int "consumer leans home" 1 (Weights.preferred_cluster w 0)
+
+(* --- FIRST --- *)
+
+let test_first_prefers_cluster_zero () =
+  let region = anchored_chain () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (First.pass ()) ctx w;
+  for i = 0 to Weights.n w - 1 do
+    check_int "cluster 0 preferred" 0 (Weights.preferred_cluster w i)
+  done
+
+(* --- PATH --- *)
+
+let test_path_keeps_critical_path_together () =
+  let b = Cs_ddg.Builder.create ~name:"cp" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let c1 = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fmul k in
+  let c2 = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fmul c1 in
+  let _c3 = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fmul c2 in
+  let _side = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Mov k in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Path.pass ()) ctx w;
+  let cp = Cs_ddg.Analysis.critical_path ctx.Context.analysis in
+  check_bool "path nonempty" true (cp <> []);
+  let target = Weights.preferred_cluster w (List.hd cp) in
+  List.iter (fun i -> check_int "same cluster" target (Weights.preferred_cluster w i)) cp
+
+let test_path_follows_anchor () =
+  let region = anchored_chain ~home:3 () in
+  let ctx, w = fresh region vliw4 in
+  (* PLACE + PLACEPROP establish a confident bias toward the anchor;
+     PATH then moves the whole critical path there. *)
+  run_pass (Place.pass ()) ctx w;
+  run_pass (Placeprop.pass ()) ctx w;
+  run_pass (Path.pass ()) ctx w;
+  let cp = Cs_ddg.Analysis.critical_path ctx.Context.analysis in
+  List.iter
+    (fun i -> check_int "path on anchor cluster" 3 (Weights.preferred_cluster w i))
+    cp
+
+(* --- COMM --- *)
+
+let test_comm_pulls_toward_neighbors () =
+  let region = anchored_chain ~home:1 () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Place.pass ()) ctx w;
+  run_pass (Comm.pass ()) ctx w;
+  (* Tail (4) consumes the anchored load (3): should lean to cluster 1. *)
+  check_int "tail follows neighbor" 1 (Weights.preferred_cluster w 4)
+
+let test_comm_grand_reaches_two_hops () =
+  let b = Cs_ddg.Builder.create ~name:"2hop" () in
+  let addr = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let v = Cs_ddg.Builder.load b ~preplace:2 addr in
+  let m = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd v in
+  let _f = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd m in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Place.pass ()) ctx w;
+  run_pass (Comm.pass ~grand:true ()) ctx w;
+  check_int "grandchild pulled" 2 (Weights.preferred_cluster w 3)
+
+let test_comm_per_slot_variant_runs () =
+  let region = anchored_chain () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Comm.pass ~per_slot:true ()) ctx w;
+  check_bool "invariants" true (Weights.check_invariants w = Ok ())
+
+(* --- PLACEPROP --- *)
+
+let test_placeprop_pulls_to_anchor_cluster () =
+  let region = anchored_chain ~home:2 () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Placeprop.pass ()) ctx w;
+  (* Tail (4) is at distance 1 of the anchor; its weight on cluster 2 is
+     divided by 1, on others left alone only if they have no anchors —
+     here only cluster 2 has anchors so the tail must lean to 2. *)
+  check_int "tail pulled" 2 (Weights.preferred_cluster w 4)
+
+let test_placeprop_weighted_majority () =
+  (* One node between one anchor on cluster 0 and two anchors on 1. *)
+  let b = Cs_ddg.Builder.create ~name:"maj" () in
+  let a0 = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let l0 = Cs_ddg.Builder.load b ~preplace:0 a0 in
+  let a1 = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let l1 = Cs_ddg.Builder.load b ~preplace:1 a1 in
+  let a2 = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let l2 = Cs_ddg.Builder.load b ~preplace:1 a2 in
+  let _sum = Cs_ddg.Builder.op3 b Cs_ddg.Opcode.Select l0 l1 l2 in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Placeprop.pass ~mode:Placeprop.Weighted ()) ctx w;
+  check_int "majority bank wins" 1 (Weights.preferred_cluster w 6)
+
+let test_placeprop_no_anchors_noop () =
+  let b = Cs_ddg.Builder.create ~name:"none" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let _x = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd k in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Placeprop.pass ()) ctx w;
+  Alcotest.(check (float 1e-9)) "still uniform" 0.25 (Weights.cluster_weight w 0 0)
+
+(* --- LOAD --- *)
+
+let test_load_rebalances () =
+  let region = anchored_chain () in
+  let ctx, w = fresh region vliw4 in
+  (* Pile everything on cluster 0 softly. *)
+  for i = 0 to Weights.n w - 1 do
+    Weights.scale_cluster w i 0 3.0
+  done;
+  Weights.normalize_all w;
+  let before = Weights.cluster_weight w 0 0 in
+  run_pass (Load.pass ()) ctx w;
+  check_bool "cluster 0 deflated" true (Weights.cluster_weight w 0 0 < before)
+
+(* --- LEVEL --- *)
+
+let test_level_distributes_wide_layer () =
+  let b = Cs_ddg.Builder.create ~name:"wide" () in
+  for _ = 1 to 8 do
+    let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+    ignore (Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd k)
+  done;
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Level.pass ~stride:4 ()) ctx w;
+  let used = Array.make 4 false in
+  for i = 0 to Weights.n w - 1 do
+    used.(Weights.preferred_cluster w i) <- true
+  done;
+  check_bool "several clusters used" true (Array.to_list used |> List.filter Fun.id |> List.length >= 3)
+
+let test_level_respects_confident_bins () =
+  let region = anchored_chain ~home:1 () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Place.pass ()) ctx w;
+  let before = Weights.preferred_cluster w 3 in
+  run_pass (Level.pass ()) ctx w;
+  check_int "confident instr keeps bin" before (Weights.preferred_cluster w 3)
+
+(* --- PATHPROP --- *)
+
+let test_pathprop_propagates_downward () =
+  let b = Cs_ddg.Builder.create ~name:"pp" () in
+  let addr = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let v = Cs_ddg.Builder.load b ~preplace:3 addr in
+  let d1 = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd v in
+  let _d2 = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd d1 in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Place.pass ()) ctx w;
+  run_pass (Pathprop.pass ~confidence_threshold:1.5 ()) ctx w;
+  check_int "child pulled" 3 (Weights.preferred_cluster w 2);
+  check_int "grandchild pulled" 3 (Weights.preferred_cluster w 3)
+
+let test_pathprop_noop_without_confidence () =
+  let region = anchored_chain () in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Pathprop.pass ()) ctx w;
+  Alcotest.(check (float 1e-9)) "uniform stays" 0.25 (Weights.cluster_weight w 0 0)
+
+(* --- EMPHCP --- *)
+
+let test_emphcp_prefers_asap_slot () =
+  let b = Cs_ddg.Builder.create ~name:"em" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let x = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Add k in
+  let _y = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Add x in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Emphcp.pass ()) ctx w;
+  check_int "instr 1 at its level" (Cs_ddg.Analysis.earliest ctx.Context.analysis 1)
+    (Weights.preferred_time w 1)
+
+(* --- FEASIBLE --- *)
+
+let test_feasible_squashes_incapable_clusters () =
+  (* A heterogeneous machine: cluster 0 integer-only, cluster 1 fp-only. *)
+  let machine =
+    Cs_machine.Machine.make ~name:"hetero"
+      ~fus:[| [| Cs_machine.Fu.Int_alu; Cs_machine.Fu.Int_mem |];
+              [| Cs_machine.Fu.Float_unit; Cs_machine.Fu.Int_mem |] |]
+      ~topology:(Cs_machine.Topology.Crossbar { latency = 1 })
+      ()
+  in
+  let b = Cs_ddg.Builder.create ~name:"het" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let _f = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd k in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region machine in
+  run_pass (Feasible.pass ()) ctx w;
+  check_int "fadd forced to fp cluster" 1 (Weights.preferred_cluster w 1);
+  Alcotest.(check (float 1e-12)) "cluster 0 squashed" 0.0 (Weights.cluster_weight w 1 0)
+
+(* --- REGPRESS --- *)
+
+let test_regpress_relieves_overloaded_cluster () =
+  (* Many values defined and consumed late: pressure on one cluster. *)
+  let b = Cs_ddg.Builder.create ~name:"rp" () in
+  let defs = List.init 12 (fun _ -> Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const) in
+  let _sum = Cs_workloads.Prog.reduce b Cs_ddg.Opcode.Fadd defs in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  (* Pile all defs on cluster 0 with moderate confidence. *)
+  for i = 0 to 11 do
+    Weights.scale_cluster w i 0 1.5
+  done;
+  Weights.normalize_all w;
+  run_pass (Regpress.pass ~registers_per_cluster:4 ()) ctx w;
+  let still_on_zero = ref 0 in
+  for i = 0 to 11 do
+    if Weights.preferred_cluster w i = 0 then incr still_on_zero
+  done;
+  check_bool "some moved off" true (!still_on_zero < 12)
+
+(* --- CLUSTER (the paper's future-work clustering integration) --- *)
+
+let test_cluster_groups_chains () =
+  (* Two independent chains: each becomes one group. *)
+  let b = Cs_ddg.Builder.create ~name:"chains" () in
+  let mk () =
+    let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+    let x = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd k in
+    ignore (Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd x)
+  in
+  mk (); mk ();
+  let region = Cs_ddg.Builder.finish b in
+  let ctx = Context.make ~machine:vliw4 region in
+  let groups = Cluster.groups ctx in
+  check_int "two groups" 2 (List.length groups);
+  List.iter (fun g -> check_int "chain of three" 3 (List.length g)) groups
+
+let test_cluster_pulls_group_to_consensus () =
+  let b = Cs_ddg.Builder.create ~name:"pull" () in
+  let addr = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let v = Cs_ddg.Builder.load b ~preplace:2 addr in
+  let x = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd v in
+  let _y = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd x in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx, w = fresh region vliw4 in
+  run_pass (Place.pass ()) ctx w;
+  run_pass (Cluster.pass ()) ctx w;
+  (* The whole chain (load + both adds) converges on the anchor's bank. *)
+  check_int "x follows" 2 (Weights.preferred_cluster w 2);
+  check_int "y follows" 2 (Weights.preferred_cluster w 3)
+
+let test_cluster_never_merges_conflicting_homes () =
+  let b = Cs_ddg.Builder.create ~name:"conf" () in
+  let a0 = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let l0 = Cs_ddg.Builder.load b ~preplace:0 a0 in
+  let a1 = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let l1 = Cs_ddg.Builder.load b ~preplace:1 a1 in
+  let _sum = Cs_ddg.Builder.op2 b Cs_ddg.Opcode.Fadd l0 l1 in
+  let region = Cs_ddg.Builder.finish b in
+  let ctx = Context.make ~machine:vliw4 region in
+  List.iter
+    (fun group ->
+      let homes =
+        List.filter_map (fun i -> Context.home_of ctx i) group |> List.sort_uniq Int.compare
+      in
+      check_bool "single home per group" true (List.length homes <= 1))
+    (Cluster.groups ctx)
+
+let () =
+  Alcotest.run "cs_core.passes"
+    [
+      ( "inittime",
+        [
+          Alcotest.test_case "squashes infeasible" `Quick test_inittime_squashes_infeasible;
+          Alcotest.test_case "critical single slot" `Quick test_inittime_critical_single_slot;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "breaks symmetry" `Quick test_noise_breaks_symmetry;
+          Alcotest.test_case "preserves zeros" `Quick test_noise_preserves_zeros;
+          Alcotest.test_case "deterministic" `Quick test_noise_deterministic_per_seed;
+        ] );
+      ( "place",
+        [
+          Alcotest.test_case "boosts home" `Quick test_place_boosts_home;
+          Alcotest.test_case "others uniform" `Quick test_place_leaves_others_uniform;
+          Alcotest.test_case "live-in soft boost" `Quick test_place_live_in_soft_boost;
+        ] );
+      ("first", [ Alcotest.test_case "prefers cluster 0" `Quick test_first_prefers_cluster_zero ]);
+      ( "path",
+        [
+          Alcotest.test_case "keeps path together" `Quick test_path_keeps_critical_path_together;
+          Alcotest.test_case "follows anchor" `Quick test_path_follows_anchor;
+        ] );
+      ( "comm",
+        [
+          Alcotest.test_case "pulls to neighbors" `Quick test_comm_pulls_toward_neighbors;
+          Alcotest.test_case "grand two hops" `Quick test_comm_grand_reaches_two_hops;
+          Alcotest.test_case "per-slot variant" `Quick test_comm_per_slot_variant_runs;
+        ] );
+      ( "placeprop",
+        [
+          Alcotest.test_case "pulls to anchor" `Quick test_placeprop_pulls_to_anchor_cluster;
+          Alcotest.test_case "weighted majority" `Quick test_placeprop_weighted_majority;
+          Alcotest.test_case "no anchors noop" `Quick test_placeprop_no_anchors_noop;
+        ] );
+      ("load", [ Alcotest.test_case "rebalances" `Quick test_load_rebalances ]);
+      ( "level",
+        [
+          Alcotest.test_case "distributes layer" `Quick test_level_distributes_wide_layer;
+          Alcotest.test_case "respects bins" `Quick test_level_respects_confident_bins;
+        ] );
+      ( "pathprop",
+        [
+          Alcotest.test_case "propagates down" `Quick test_pathprop_propagates_downward;
+          Alcotest.test_case "noop without confidence" `Quick test_pathprop_noop_without_confidence;
+        ] );
+      ("emphcp", [ Alcotest.test_case "asap slot" `Quick test_emphcp_prefers_asap_slot ]);
+      ("feasible", [ Alcotest.test_case "squashes incapable" `Quick test_feasible_squashes_incapable_clusters ]);
+      ("regpress", [ Alcotest.test_case "relieves pressure" `Quick test_regpress_relieves_overloaded_cluster ]);
+      ( "cluster",
+        [
+          Alcotest.test_case "groups chains" `Quick test_cluster_groups_chains;
+          Alcotest.test_case "pulls to consensus" `Quick test_cluster_pulls_group_to_consensus;
+          Alcotest.test_case "no conflicting homes" `Quick test_cluster_never_merges_conflicting_homes;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the semantic interpreter, iterative driver, and multi-region
+   program compilation. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let vliw4 = Cs_machine.Vliw.create ~n_clusters:4 ()
+let raw4 = Cs_machine.Raw.with_tiles 4
+
+(* --- Interp --- *)
+
+let jacobi4 = Cs_workloads.Jacobi.generate ~clusters:4 ()
+
+let test_reference_covers_all_defs () =
+  let env = Cs_sim.Interp.reference jacobi4 in
+  Array.iter
+    (fun ins ->
+      match ins.Cs_ddg.Instr.dst with
+      | Some r -> check_bool "defined" true (Cs_ddg.Reg.Map.mem r env)
+      | None -> ())
+    (Cs_ddg.Graph.instrs jacobi4.Cs_ddg.Region.graph)
+
+let test_reference_deterministic () =
+  let a = Cs_sim.Interp.reference jacobi4 and b = Cs_sim.Interp.reference jacobi4 in
+  check_bool "equal" true (Cs_ddg.Reg.Map.equal Int64.equal a b)
+
+let test_schedules_semantically_equivalent () =
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun scheduler ->
+          let sched = Cs_sim.Pipeline.schedule ~scheduler ~machine jacobi4 in
+          match Cs_sim.Interp.equivalent jacobi4 sched with
+          | Ok () -> ()
+          | Error msg ->
+            Alcotest.failf "%s on %s: %s"
+              (Cs_sim.Pipeline.scheduler_name scheduler)
+              machine.Cs_machine.Machine.name msg)
+        Cs_sim.Pipeline.all_schedulers)
+    [ raw4; vliw4 ]
+
+let test_interp_catches_tampered_schedule () =
+  let sched = Cs_sim.Pipeline.schedule ~scheduler:Cs_sim.Pipeline.Uas ~machine:vliw4 jacobi4 in
+  (* Strip all transfers: cross-cluster reads become undeliverable. *)
+  let bad = { sched with Cs_sched.Schedule.comms = [] } in
+  check_bool "detected" true
+    (match Cs_sim.Interp.of_schedule bad with
+    | Error _ -> true
+    | Ok _ -> Cs_sched.Schedule.n_comms sched = 0)
+
+let test_interp_live_in_homes_respected () =
+  let b = Cs_ddg.Builder.create ~name:"li" () in
+  let x = Cs_ddg.Builder.live_in ~home:1 b in
+  let _y = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd x in
+  let region = Cs_ddg.Builder.finish b in
+  let analysis =
+    Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of vliw4)
+      region.Cs_ddg.Region.graph
+  in
+  (* Consumer away from the live-in's home: transfer synthesized. *)
+  let sched =
+    Cs_sched.List_scheduler.run ~machine:vliw4 ~assignment:[| 3 |]
+      ~priority:(Cs_sched.Priority.alap analysis) ~analysis region
+  in
+  check_int "one transfer" 1 (Cs_sched.Schedule.n_comms sched);
+  check_bool "valid" true (Cs_sched.Validator.check sched = Ok ());
+  check_bool "equivalent" true (Cs_sim.Interp.equivalent region sched = Ok ());
+  (* Consumer starts no earlier than the crossbar latency. *)
+  check_bool "waits for arrival" true
+    (sched.Cs_sched.Schedule.entries.(0).Cs_sched.Schedule.start >= 1)
+
+let test_validator_rejects_missing_live_in_delivery () =
+  let b = Cs_ddg.Builder.create ~name:"li2" () in
+  let x = Cs_ddg.Builder.live_in ~home:0 b in
+  let _y = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd x in
+  let region = Cs_ddg.Builder.finish b in
+  let analysis =
+    Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of vliw4)
+      region.Cs_ddg.Region.graph
+  in
+  let sched =
+    Cs_sched.List_scheduler.run ~machine:vliw4 ~assignment:[| 2 |]
+      ~priority:(Cs_sched.Priority.alap analysis) ~analysis region
+  in
+  let bad = { sched with Cs_sched.Schedule.comms = [] } in
+  check_bool "rejected" true
+    (match Cs_sched.Validator.check bad with Error _ -> true | Ok () -> false)
+
+(* --- run_iterative --- *)
+
+let test_iterative_terminates_and_converges () =
+  let result, rounds =
+    Cs_core.Driver.run_iterative ~machine:vliw4 jacobi4 (Cs_core.Sequence.vliw_default ())
+  in
+  check_bool "at least one round" true (rounds >= 1);
+  check_bool "bounded" true (rounds <= 5);
+  check_int "trace covers all rounds"
+    (rounds * List.length (Cs_core.Sequence.vliw_default ()))
+    (List.length result.Cs_core.Driver.trace)
+
+let test_iterative_no_worse_than_single () =
+  let machine = vliw4 in
+  let run f =
+    let result = f () in
+    let analysis = result.Cs_core.Driver.context.Cs_core.Context.analysis in
+    let sched =
+      Cs_sched.List_scheduler.run ~machine ~assignment:result.Cs_core.Driver.assignment
+        ~priority:(Cs_sched.Priority.of_slots result.Cs_core.Driver.preferred_slot)
+        ~analysis jacobi4
+    in
+    Cs_sched.Schedule.makespan sched
+  in
+  let single = run (fun () -> Cs_core.Driver.run ~machine jacobi4 (Cs_core.Sequence.vliw_default ())) in
+  let iterated =
+    run (fun () ->
+        fst (Cs_core.Driver.run_iterative ~machine jacobi4 (Cs_core.Sequence.vliw_default ())))
+  in
+  (* Iteration is allowed to change the result but must stay sane. *)
+  check_bool "within 25% of single run" true
+    (float_of_int iterated <= 1.25 *. float_of_int single)
+
+let test_iterative_epsilon_one_stops_after_first_round () =
+  let _result, rounds =
+    Cs_core.Driver.run_iterative ~epsilon:1.1 ~machine:vliw4 jacobi4
+      (Cs_core.Sequence.vliw_default ())
+  in
+  check_int "one round" 1 rounds
+
+(* --- Program (multi-region) --- *)
+
+let test_program_validate_ok () =
+  let program = Cs_sim.Program.sha_rounds ~blocks:3 () in
+  check_bool "valid" true (Cs_sim.Program.validate program = Ok ())
+
+let test_program_validate_rejects_unknown_import () =
+  let b = Cs_ddg.Builder.create ~name:"b0" () in
+  let x = Cs_ddg.Builder.live_in b in
+  let _y = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd x in
+  let region = Cs_ddg.Builder.finish b in
+  let program =
+    { Cs_sim.Program.name = "bad";
+      blocks = [ { Cs_sim.Program.label = "b0"; region; exports = []; imports = [ ("ghost", x) ] } ] }
+  in
+  check_bool "rejected" true
+    (match Cs_sim.Program.validate program with Error _ -> true | Ok () -> false)
+
+let test_program_blocks_share_instruction_total () =
+  let one = Cs_sim.Program.sha_rounds ~blocks:1 () in
+  let four = Cs_sim.Program.sha_rounds ~blocks:4 () in
+  let count p =
+    List.fold_left
+      (fun acc b -> acc + Cs_ddg.Region.n_instrs b.Cs_sim.Program.region)
+      0 p.Cs_sim.Program.blocks
+  in
+  check_int "same computation" (count one) (count four)
+
+let test_program_chorus_homes_on_cluster_zero () =
+  let program = Cs_sim.Program.sha_rounds ~blocks:3 () in
+  let result =
+    Cs_sim.Program.schedule ~scheduler:Cs_sim.Pipeline.Convergent ~machine:vliw4 program
+  in
+  check_int "three schedules" 3 (List.length result.Cs_sim.Program.schedules);
+  List.iter (fun (_, home) -> check_int "cluster 0" 0 home) result.Cs_sim.Program.homes;
+  check_bool "cycles positive" true (result.Cs_sim.Program.total_cycles > 0)
+
+let test_program_raw_homes_follow_definitions () =
+  let program = Cs_sim.Program.sha_rounds ~blocks:3 () in
+  let result =
+    Cs_sim.Program.schedule ~scheduler:Cs_sim.Pipeline.Rawcc ~machine:raw4 program
+  in
+  (* Homes must be actual clusters of the defining instructions. *)
+  List.iteri
+    (fun k sched ->
+      let block = List.nth program.Cs_sim.Program.blocks k in
+      List.iter
+        (fun (name, r) ->
+          match Cs_ddg.Graph.defining_instr sched.Cs_sched.Schedule.graph r with
+          | Some d ->
+            let cluster = sched.Cs_sched.Schedule.entries.(d).Cs_sched.Schedule.cluster in
+            check_int (name ^ " home") cluster (List.assoc name result.Cs_sim.Program.homes)
+          | None -> Alcotest.fail "export without definition")
+        block.Cs_sim.Program.exports)
+    result.Cs_sim.Program.schedules
+
+let test_program_every_block_validated_and_equivalent () =
+  let program = Cs_sim.Program.sha_rounds ~blocks:4 () in
+  let result =
+    Cs_sim.Program.schedule ~scheduler:Cs_sim.Pipeline.Uas ~machine:vliw4 program
+  in
+  List.iteri
+    (fun k sched ->
+      let block = List.nth program.Cs_sim.Program.blocks k in
+      (* Rebuild the homed region the scheduler saw for the semantic check. *)
+      let region =
+        { block.Cs_sim.Program.region with
+          Cs_ddg.Region.live_in_homes = sched.Cs_sched.Schedule.live_in_homes }
+      in
+      match Cs_sim.Interp.equivalent region sched with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "block %d: %s" k msg)
+    result.Cs_sim.Program.schedules
+
+let () =
+  Alcotest.run "cs_sim.program"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "reference covers defs" `Quick test_reference_covers_all_defs;
+          Alcotest.test_case "reference deterministic" `Quick test_reference_deterministic;
+          Alcotest.test_case "all schedulers equivalent" `Slow test_schedules_semantically_equivalent;
+          Alcotest.test_case "catches tampering" `Quick test_interp_catches_tampered_schedule;
+          Alcotest.test_case "live-in homes" `Quick test_interp_live_in_homes_respected;
+          Alcotest.test_case "validator live-in" `Quick test_validator_rejects_missing_live_in_delivery;
+        ] );
+      ( "iterative",
+        [
+          Alcotest.test_case "terminates" `Quick test_iterative_terminates_and_converges;
+          Alcotest.test_case "no worse than single" `Quick test_iterative_no_worse_than_single;
+          Alcotest.test_case "epsilon stops" `Quick test_iterative_epsilon_one_stops_after_first_round;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "validate ok" `Quick test_program_validate_ok;
+          Alcotest.test_case "rejects unknown import" `Quick test_program_validate_rejects_unknown_import;
+          Alcotest.test_case "same computation" `Quick test_program_blocks_share_instruction_total;
+          Alcotest.test_case "chorus homes" `Quick test_program_chorus_homes_on_cluster_zero;
+          Alcotest.test_case "raw homes" `Quick test_program_raw_homes_follow_definitions;
+          Alcotest.test_case "blocks equivalent" `Quick test_program_every_block_validated_and_equivalent;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* Property-based tests over random regions: every scheduler produces a
+   validator-clean schedule whose makespan respects lower bounds. *)
+
+let vliw4 = Cs_machine.Vliw.create ~n_clusters:4 ()
+let raw4 = Cs_machine.Raw.with_tiles 4
+
+let region_gen =
+  (* Seeds and sizes drive the deterministic layered generator. *)
+  QCheck.Gen.(
+    map2
+      (fun seed n -> (seed, 20 + n))
+      (int_bound 10_000) (int_bound 120))
+
+let make_region ~banks (seed, n) =
+  Cs_workloads.Shapes.layered ~n
+    ~congruence:(Cs_workloads.Congruence.interleaved ~n_banks:banks)
+    ~seed ()
+
+let print_region (seed, n) = Printf.sprintf "seed=%d n=%d" seed n
+let arbitrary_region = QCheck.make ~print:print_region region_gen
+
+let schedules_validate name machine scheduler =
+  QCheck.Test.make ~count:40 ~name arbitrary_region (fun params ->
+      let region = make_region ~banks:(Cs_machine.Machine.n_clusters machine) params in
+      let sched = Cs_sim.Pipeline.schedule ~scheduler ~machine region in
+      (* Pipeline.schedule already validates; re-check and test bounds. *)
+      match Cs_sched.Validator.check sched with
+      | Error _ -> false
+      | Ok () ->
+        let a =
+          Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of machine)
+            region.Cs_ddg.Region.graph
+        in
+        Cs_sched.Schedule.makespan sched >= Cs_ddg.Analysis.cpl a)
+
+let prop_convergent_vliw = schedules_validate "convergent/vliw valid + cpl bound" vliw4 Cs_sim.Pipeline.Convergent
+let prop_convergent_raw = schedules_validate "convergent/raw valid + cpl bound" raw4 Cs_sim.Pipeline.Convergent
+let prop_uas_vliw = schedules_validate "uas/vliw valid + cpl bound" vliw4 Cs_sim.Pipeline.Uas
+let prop_rawcc_raw = schedules_validate "rawcc/raw valid + cpl bound" raw4 Cs_sim.Pipeline.Rawcc
+let prop_bug_vliw = schedules_validate "bug/vliw valid + cpl bound" vliw4 Cs_sim.Pipeline.Bug
+
+let prop_single_tile_serializes =
+  QCheck.Test.make ~count:25 ~name:"single tile >= instruction count" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:1 params in
+      let machine = Cs_machine.Raw.with_tiles 1 in
+      let sched = Cs_sim.Pipeline.schedule ~scheduler:Cs_sim.Pipeline.Rawcc ~machine region in
+      Cs_sched.Schedule.makespan sched >= Cs_ddg.Region.n_instrs region)
+
+let prop_assignment_respects_preplacement =
+  QCheck.Test.make ~count:40 ~name:"convergent assignment respects preplacement"
+    arbitrary_region (fun params ->
+      let region = make_region ~banks:4 params in
+      let result =
+        Cs_core.Driver.run ~machine:raw4 region (Cs_core.Sequence.raw_default ())
+      in
+      List.for_all
+        (fun (i, home) -> result.Cs_core.Driver.assignment.(i) = home)
+        (Cs_ddg.Graph.preplaced region.Cs_ddg.Region.graph))
+
+let prop_driver_weights_invariant =
+  QCheck.Test.make ~count:25 ~name:"driver leaves matrix normalized" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:4 params in
+      let result =
+        Cs_core.Driver.run ~machine:vliw4 region (Cs_core.Sequence.vliw_default ())
+      in
+      Cs_core.Weights.check_invariants result.Cs_core.Driver.weights = Ok ())
+
+let prop_more_tiles_never_catastrophic =
+  (* Adding tiles should never make the convergent schedule dramatically
+     worse: 4 tiles within 3x of 1 tile (communication can cost, but a
+     sane scheduler does not blow up). *)
+  QCheck.Test.make ~count:15 ~name:"more tiles not catastrophic" arbitrary_region
+    (fun params ->
+      let region1 = make_region ~banks:1 params in
+      let region4 = make_region ~banks:4 params in
+      let m1 = Cs_machine.Raw.with_tiles 1 in
+      let s1 = Cs_sim.Pipeline.schedule ~scheduler:Cs_sim.Pipeline.Convergent ~machine:m1 region1 in
+      let s4 = Cs_sim.Pipeline.schedule ~scheduler:Cs_sim.Pipeline.Convergent ~machine:raw4 region4 in
+      Cs_sched.Schedule.makespan s4 <= 3 * Cs_sched.Schedule.makespan s1)
+
+let prop_estimator_positive =
+  QCheck.Test.make ~count:25 ~name:"estimator positive and >= cpl" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:4 params in
+      let assignment = Cs_baselines.Rawcc.assign ~machine:vliw4 region in
+      let a =
+        Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of vliw4)
+          region.Cs_ddg.Region.graph
+      in
+      Cs_baselines.Estimator.schedule_length ~machine:vliw4 ~assignment region
+      >= Cs_ddg.Analysis.cpl a)
+
+let prop_pcc_components_partition =
+  QCheck.Test.make ~count:25 ~name:"pcc components partition nodes" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:4 params in
+      let comps = Cs_baselines.Pcc.components ~machine:vliw4 ~theta:5 region in
+      let members = List.concat comps |> List.sort Int.compare in
+      members = List.init (Cs_ddg.Region.n_instrs region) (fun i -> i)
+      && List.for_all (fun c -> List.length c <= 5) comps)
+
+let prop_analysis_invariants =
+  QCheck.Test.make ~count:50 ~name:"analysis invariants on random regions" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:4 params in
+      let graph = region.Cs_ddg.Region.graph in
+      let a = Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of vliw4) graph in
+      let ok = ref true in
+      for i = 0 to Cs_ddg.Graph.n graph - 1 do
+        if Cs_ddg.Analysis.earliest a i > Cs_ddg.Analysis.latest a i then ok := false;
+        if Cs_ddg.Analysis.slack a i < 0 then ok := false;
+        (* depth counts edges; earliest sums latencies >= 1 per edge *)
+        if Cs_ddg.Analysis.depth a i > Cs_ddg.Analysis.earliest a i then ok := false;
+        if Cs_ddg.Analysis.earliest a i + Cs_ddg.Analysis.latency a i > Cs_ddg.Analysis.cpl a
+        then ok := false;
+        (* every predecessor finishes before the ASAP start *)
+        List.iter
+          (fun p ->
+            if Cs_ddg.Analysis.earliest a p + Cs_ddg.Analysis.latency a p
+               > Cs_ddg.Analysis.earliest a i
+            then ok := false)
+          (Cs_ddg.Graph.preds graph i)
+      done;
+      !ok)
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~count:30 ~name:"undirected distances symmetric" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:4 params in
+      let graph = region.Cs_ddg.Region.graph in
+      let a = Cs_ddg.Analysis.make ~latency:(fun _ -> 1) graph in
+      let n = Cs_ddg.Graph.n graph in
+      let ok = ref true in
+      for k = 0 to min 20 (n - 1) do
+        let i = k and j = n - 1 - k in
+        if Cs_ddg.Analysis.distance a i j <> Cs_ddg.Analysis.distance a j i then ok := false
+      done;
+      !ok)
+
+let prop_semantic_equivalence =
+  (* The strongest property in the suite: for random regions, every
+     scheduler's output computes exactly the same dataflow values as
+     program-order execution (see Cs_sim.Interp). *)
+  QCheck.Test.make ~count:25 ~name:"schedules semantically equivalent" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:4 params in
+      List.for_all
+        (fun (machine, scheduler) ->
+          let sched = Cs_sim.Pipeline.schedule ~scheduler ~machine region in
+          Cs_sim.Interp.equivalent region sched = Ok ())
+        [ (raw4, Cs_sim.Pipeline.Convergent); (raw4, Cs_sim.Pipeline.Rawcc);
+          (vliw4, Cs_sim.Pipeline.Convergent); (vliw4, Cs_sim.Pipeline.Uas);
+          (vliw4, Cs_sim.Pipeline.Bug) ])
+
+let prop_iterative_terminates =
+  QCheck.Test.make ~count:15 ~name:"iterative driver terminates within bound" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:4 params in
+      let result, rounds =
+        Cs_core.Driver.run_iterative ~max_rounds:4 ~machine:vliw4 region
+          (Cs_core.Sequence.vliw_default ())
+      in
+      rounds >= 1 && rounds <= 4
+      && Cs_core.Weights.check_invariants result.Cs_core.Driver.weights = Ok ())
+
+let prop_textual_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"textual format round-trips" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:4 params in
+      match Cs_ddg.Textual.of_string (Cs_ddg.Textual.to_string region) with
+      | Error _ -> false
+      | Ok region2 ->
+        let g1 = region.Cs_ddg.Region.graph and g2 = region2.Cs_ddg.Region.graph in
+        Cs_ddg.Graph.n g1 = Cs_ddg.Graph.n g2
+        && Cs_ddg.Graph.n_edges g1 = Cs_ddg.Graph.n_edges g2
+        && Cs_ddg.Graph.preplaced g1 = Cs_ddg.Graph.preplaced g2
+        && Array.for_all2
+             (fun (a : Cs_ddg.Instr.t) (b : Cs_ddg.Instr.t) -> a.op = b.op)
+             (Cs_ddg.Graph.instrs g1) (Cs_ddg.Graph.instrs g2))
+
+let prop_pressure_nonnegative =
+  QCheck.Test.make ~count:25 ~name:"register pressure sane" arbitrary_region
+    (fun params ->
+      let region = make_region ~banks:4 params in
+      let sched = Cs_sim.Pipeline.schedule ~scheduler:Cs_sim.Pipeline.Uas ~machine:vliw4 region in
+      let peaks = Cs_regalloc.Pressure.peak sched in
+      Array.for_all (fun p -> p >= 0) peaks
+      && Cs_regalloc.Pressure.max_peak sched
+         <= List.length (Cs_regalloc.Pressure.intervals sched))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "schedulers",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_convergent_vliw; prop_convergent_raw; prop_uas_vliw; prop_rawcc_raw;
+            prop_bug_vliw; prop_single_tile_serializes ] );
+      ( "framework",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_assignment_respects_preplacement; prop_driver_weights_invariant;
+            prop_more_tiles_never_catastrophic; prop_semantic_equivalence;
+            prop_iterative_terminates ] );
+      ( "analysis",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_analysis_invariants; prop_distance_symmetric; prop_textual_roundtrip ] );
+      ( "baselines",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_estimator_positive; prop_pcc_components_partition; prop_pressure_nonnegative ] );
+    ]

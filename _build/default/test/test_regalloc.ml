@@ -1,0 +1,107 @@
+(* Tests for register pressure analysis and linear scan. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let vliw2 = Cs_machine.Vliw.create ~n_clusters:2 ()
+
+let schedule ?assignment region =
+  let a =
+    Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of vliw2)
+      region.Cs_ddg.Region.graph
+  in
+  let n = Cs_ddg.Graph.n region.Cs_ddg.Region.graph in
+  let assignment = match assignment with Some x -> x | None -> Array.make n 0 in
+  Cs_sched.List_scheduler.run ~machine:vliw2 ~assignment
+    ~priority:(Cs_sched.Priority.alap a) ~analysis:a region
+
+(* k parallel consts all consumed by one reduction at the end: pressure
+   grows to ~k on the defining cluster. *)
+let wide_region k =
+  let b = Cs_ddg.Builder.create ~name:"wide" () in
+  let defs = List.init k (fun _ -> Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const) in
+  let _sum = Cs_workloads.Prog.reduce b Cs_ddg.Opcode.Add defs in
+  Cs_ddg.Builder.finish b
+
+let test_intervals_cover_defs () =
+  let sched = schedule (wide_region 4) in
+  let ivs = Cs_regalloc.Pressure.intervals sched in
+  (* Every value-producing instruction has at least one interval. *)
+  let producers = List.sort_uniq Int.compare (List.map (fun iv -> iv.Cs_regalloc.Pressure.producer) ivs) in
+  let expected =
+    Array.to_list (Cs_ddg.Graph.instrs sched.Cs_sched.Schedule.graph)
+    |> List.filter (fun i -> i.Cs_ddg.Instr.dst <> None)
+    |> List.map (fun i -> i.Cs_ddg.Instr.id)
+  in
+  Alcotest.(check (list int)) "all producers" expected producers
+
+let test_interval_order () =
+  let sched = schedule (wide_region 4) in
+  List.iter
+    (fun iv ->
+      check_bool "death >= birth" true Cs_regalloc.Pressure.(iv.death >= iv.birth))
+    (Cs_regalloc.Pressure.intervals sched)
+
+let test_peak_grows_with_width () =
+  let narrow = Cs_regalloc.Pressure.max_peak (schedule (wide_region 2)) in
+  let wide = Cs_regalloc.Pressure.max_peak (schedule (wide_region 12)) in
+  check_bool "wider = more pressure" true (wide > narrow)
+
+let test_peak_on_unused_cluster_zero () =
+  let sched = schedule (wide_region 4) in
+  let peaks = Cs_regalloc.Pressure.peak sched in
+  check_int "cluster 1 idle" 0 peaks.(1)
+
+let test_transfer_creates_remote_interval () =
+  let b = Cs_ddg.Builder.create ~name:"xfer" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let _u = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Add k in
+  let region = Cs_ddg.Builder.finish b in
+  let sched = schedule ~assignment:[| 0; 1 |] region in
+  let ivs = Cs_regalloc.Pressure.intervals sched in
+  check_bool "interval on cluster 1" true
+    (List.exists (fun iv -> iv.Cs_regalloc.Pressure.cluster = 1) ivs)
+
+let test_no_spills_with_ample_registers () =
+  let result = Cs_regalloc.Linear_scan.run ~registers:64 (schedule (wide_region 8)) in
+  check_int "no spills" 0 result.Cs_regalloc.Linear_scan.total_spills
+
+let test_spills_when_registers_scarce () =
+  let result = Cs_regalloc.Linear_scan.run ~registers:2 (schedule (wide_region 12)) in
+  check_bool "spills occur" true (result.Cs_regalloc.Linear_scan.total_spills > 0);
+  check_bool "penalty positive" true (result.Cs_regalloc.Linear_scan.spill_penalty_cycles > 0)
+
+let test_spill_penalty_formula () =
+  let result = Cs_regalloc.Linear_scan.run ~registers:1 (schedule (wide_region 6)) in
+  let per_spill =
+    Cs_machine.Latency.r4000 Cs_ddg.Opcode.Store + Cs_machine.Latency.r4000 Cs_ddg.Opcode.Load
+  in
+  check_int "penalty = spills * (st+ld)"
+    (result.Cs_regalloc.Linear_scan.total_spills * per_spill)
+    result.Cs_regalloc.Linear_scan.spill_penalty_cycles
+
+let test_spills_per_cluster_sums () =
+  let result = Cs_regalloc.Linear_scan.run ~registers:2 (schedule (wide_region 10)) in
+  check_int "sum matches"
+    result.Cs_regalloc.Linear_scan.total_spills
+    (Array.fold_left ( + ) 0 result.Cs_regalloc.Linear_scan.spills_per_cluster)
+
+let () =
+  Alcotest.run "cs_regalloc"
+    [
+      ( "pressure",
+        [
+          Alcotest.test_case "intervals cover defs" `Quick test_intervals_cover_defs;
+          Alcotest.test_case "interval order" `Quick test_interval_order;
+          Alcotest.test_case "peak grows" `Quick test_peak_grows_with_width;
+          Alcotest.test_case "idle cluster zero" `Quick test_peak_on_unused_cluster_zero;
+          Alcotest.test_case "remote interval" `Quick test_transfer_creates_remote_interval;
+        ] );
+      ( "linear_scan",
+        [
+          Alcotest.test_case "ample registers" `Quick test_no_spills_with_ample_registers;
+          Alcotest.test_case "scarce registers" `Quick test_spills_when_registers_scarce;
+          Alcotest.test_case "penalty formula" `Quick test_spill_penalty_formula;
+          Alcotest.test_case "per-cluster sums" `Quick test_spills_per_cluster_sums;
+        ] );
+    ]

@@ -1,0 +1,300 @@
+(* Unit tests for Cs_util: RNG, heap, union-find, stats, table, bitset. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Cs_util.Rng.create 7 and b = Cs_util.Rng.create 7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Cs_util.Rng.bits64 a = Cs_util.Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Cs_util.Rng.create 1 and b = Cs_util.Rng.create 2 in
+  check_bool "different seeds differ" false (Cs_util.Rng.bits64 a = Cs_util.Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Cs_util.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Cs_util.Rng.int rng 17 in
+    check_bool "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Cs_util.Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Cs_util.Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Cs_util.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Cs_util.Rng.float rng 2.5 in
+    check_bool "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_range () =
+  let rng = Cs_util.Rng.create 11 in
+  for _ = 1 to 200 do
+    let v = Cs_util.Rng.range rng 5 9 in
+    check_bool "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_range_covers_endpoints () =
+  let rng = Cs_util.Rng.create 13 in
+  let seen = Array.make 3 false in
+  for _ = 1 to 300 do
+    seen.(Cs_util.Rng.range rng 0 2) <- true
+  done;
+  Array.iter (fun b -> check_bool "endpoint hit" true b) seen
+
+let test_rng_split_independent () =
+  let parent = Cs_util.Rng.create 21 in
+  let child = Cs_util.Rng.split parent in
+  check_bool "split streams differ" false
+    (Cs_util.Rng.bits64 parent = Cs_util.Rng.bits64 child)
+
+let test_rng_copy () =
+  let a = Cs_util.Rng.create 9 in
+  ignore (Cs_util.Rng.bits64 a);
+  let b = Cs_util.Rng.copy a in
+  check_bool "copy replays" true (Cs_util.Rng.bits64 a = Cs_util.Rng.bits64 b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Cs_util.Rng.create 31 in
+  let arr = Array.init 20 (fun i -> i) in
+  Cs_util.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_rng_gaussian_moments () =
+  let rng = Cs_util.Rng.create 43 in
+  let n = 20000 in
+  let samples = List.init n (fun _ -> Cs_util.Rng.gaussian rng) in
+  let mean = Cs_util.Stats.mean samples in
+  let sd = Cs_util.Stats.stddev samples in
+  check_bool "mean near 0" true (Float.abs mean < 0.05);
+  check_bool "sd near 1" true (Float.abs (sd -. 1.0) < 0.05)
+
+(* --- Heap --- *)
+
+let test_heap_sorted_drain () =
+  let h = Cs_util.Heap.of_list ~cmp:Int.compare [ 5; 3; 8; 1; 9; 2; 7 ] in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 5; 7; 8; 9 ]
+    (Cs_util.Heap.to_sorted_list h)
+
+let test_heap_empty () =
+  let h = Cs_util.Heap.create ~cmp:Int.compare in
+  check_bool "is_empty" true (Cs_util.Heap.is_empty h);
+  check_bool "pop none" true (Cs_util.Heap.pop h = None);
+  check_bool "peek none" true (Cs_util.Heap.peek h = None)
+
+let test_heap_peek_does_not_remove () =
+  let h = Cs_util.Heap.of_list ~cmp:Int.compare [ 4; 2 ] in
+  check_bool "peek min" true (Cs_util.Heap.peek h = Some 2);
+  check_int "length unchanged" 2 (Cs_util.Heap.length h)
+
+let test_heap_duplicates () =
+  let h = Cs_util.Heap.of_list ~cmp:Int.compare [ 3; 3; 1; 3 ] in
+  Alcotest.(check (list int)) "dups kept" [ 1; 3; 3; 3 ] (Cs_util.Heap.to_sorted_list h)
+
+let test_heap_custom_order () =
+  let h = Cs_util.Heap.of_list ~cmp:(fun a b -> Int.compare b a) [ 1; 5; 3 ] in
+  check_bool "max-heap via cmp" true (Cs_util.Heap.pop h = Some 5)
+
+let test_heap_random_qcheck =
+  let prop =
+    QCheck.Test.make ~count:200 ~name:"heap drains sorted"
+      QCheck.(list int)
+      (fun xs ->
+        let h = Cs_util.Heap.of_list ~cmp:Int.compare xs in
+        Cs_util.Heap.to_sorted_list h = List.sort Int.compare xs)
+  in
+  QCheck_alcotest.to_alcotest prop
+
+(* --- Union-find --- *)
+
+let test_uf_initial () =
+  let uf = Cs_util.Union_find.create 5 in
+  check_int "five sets" 5 (Cs_util.Union_find.n_sets uf);
+  check_bool "not same" false (Cs_util.Union_find.same uf 0 1)
+
+let test_uf_union () =
+  let uf = Cs_util.Union_find.create 5 in
+  ignore (Cs_util.Union_find.union uf 0 1);
+  ignore (Cs_util.Union_find.union uf 1 2);
+  check_bool "transitively same" true (Cs_util.Union_find.same uf 0 2);
+  check_int "three sets" 3 (Cs_util.Union_find.n_sets uf)
+
+let test_uf_idempotent_union () =
+  let uf = Cs_util.Union_find.create 3 in
+  ignore (Cs_util.Union_find.union uf 0 1);
+  ignore (Cs_util.Union_find.union uf 0 1);
+  check_int "two sets" 2 (Cs_util.Union_find.n_sets uf)
+
+let test_uf_groups () =
+  let uf = Cs_util.Union_find.create 4 in
+  ignore (Cs_util.Union_find.union uf 0 2);
+  let groups = Cs_util.Union_find.groups uf in
+  check_int "three groups" 3 (Hashtbl.length groups);
+  let r = Cs_util.Union_find.find uf 0 in
+  Alcotest.(check (list int)) "members ascending" [ 0; 2 ] (Hashtbl.find groups r)
+
+(* --- Stats --- *)
+
+let test_stats_mean () = check_float "mean" 2.0 (Cs_util.Stats.mean [ 1.0; 2.0; 3.0 ])
+let test_stats_mean_empty () = check_float "empty mean" 0.0 (Cs_util.Stats.mean [])
+
+let test_stats_geomean () =
+  check_float "geomean of 4,1" 2.0 (Cs_util.Stats.geomean [ 4.0; 1.0 ]);
+  check_float "geomean of 2,2,2" 2.0 (Cs_util.Stats.geomean [ 2.0; 2.0; 2.0 ])
+
+let test_stats_geomean_rejects_nonpositive () =
+  Alcotest.check_raises "geomean <= 0"
+    (Invalid_argument "Stats.geomean: non-positive input") (fun () ->
+      ignore (Cs_util.Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_median_odd () = check_float "median odd" 2.0 (Cs_util.Stats.median [ 3.0; 1.0; 2.0 ])
+let test_stats_median_even () =
+  check_float "median even" 2.5 (Cs_util.Stats.median [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_stats_stddev () =
+  check_float "stddev" 2.0 (Cs_util.Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_percent_change () =
+  check_float "+21%" 21.0 (Cs_util.Stats.percent_change ~baseline:100.0 121.0)
+
+let test_stats_ratio_summary () =
+  check_float "avg ratio" 1.5 (Cs_util.Stats.ratio_summary [ (3.0, 2.0); (3.0, 3.0); (4.0, 2.0) ])
+
+(* --- Table --- *)
+
+let test_table_renders_cells () =
+  let t = Cs_util.Table.create ~header:[ "a"; "b" ] in
+  Cs_util.Table.add_row t [ "hello"; "1" ];
+  let s = Cs_util.Table.render t in
+  check_bool "has header" true (String.length s > 0);
+  check_bool "contains hello" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l >= 5 && String.sub l 0 5 = "hello"))
+
+let test_table_ragged_rows () =
+  let t = Cs_util.Table.create ~header:[ "x"; "y"; "z" ] in
+  Cs_util.Table.add_row t [ "1" ];
+  let s = Cs_util.Table.render t in
+  check_bool "renders" true (String.length s > 0)
+
+let test_table_cell_float () =
+  Alcotest.(check string) "two decimals" "3.14" (Cs_util.Table.cell_float 3.14159);
+  Alcotest.(check string) "zero decimals" "3" (Cs_util.Table.cell_float ~decimals:0 3.14159)
+
+let test_table_bar () =
+  Alcotest.(check string) "full bar" "##########"
+    (Cs_util.Table.bar ~width:10 ~max_value:2.0 2.0);
+  Alcotest.(check string) "half bar" "#####" (Cs_util.Table.bar ~width:10 ~max_value:2.0 1.0);
+  Alcotest.(check string) "empty on zero max" "" (Cs_util.Table.bar ~width:10 ~max_value:0.0 1.0)
+
+(* --- Bitset --- *)
+
+let test_bitset_add_mem () =
+  let s = Cs_util.Bitset.create 100 in
+  Cs_util.Bitset.add s 0;
+  Cs_util.Bitset.add s 99;
+  check_bool "mem 0" true (Cs_util.Bitset.mem s 0);
+  check_bool "mem 99" true (Cs_util.Bitset.mem s 99);
+  check_bool "not mem 50" false (Cs_util.Bitset.mem s 50);
+  check_int "cardinal" 2 (Cs_util.Bitset.cardinal s)
+
+let test_bitset_remove () =
+  let s = Cs_util.Bitset.create 10 in
+  Cs_util.Bitset.add s 3;
+  Cs_util.Bitset.remove s 3;
+  check_bool "removed" false (Cs_util.Bitset.mem s 3);
+  check_int "cardinal 0" 0 (Cs_util.Bitset.cardinal s)
+
+let test_bitset_double_add () =
+  let s = Cs_util.Bitset.create 10 in
+  Cs_util.Bitset.add s 4;
+  Cs_util.Bitset.add s 4;
+  check_int "counted once" 1 (Cs_util.Bitset.cardinal s)
+
+let test_bitset_to_list () =
+  let s = Cs_util.Bitset.create 16 in
+  List.iter (Cs_util.Bitset.add s) [ 9; 1; 4 ];
+  Alcotest.(check (list int)) "ascending" [ 1; 4; 9 ] (Cs_util.Bitset.to_list s)
+
+let test_bitset_bounds () =
+  let s = Cs_util.Bitset.create 4 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Cs_util.Bitset.add s 4)
+
+let test_bitset_clear () =
+  let s = Cs_util.Bitset.create 8 in
+  List.iter (Cs_util.Bitset.add s) [ 0; 1; 2 ];
+  Cs_util.Bitset.clear s;
+  check_int "cleared" 0 (Cs_util.Bitset.cardinal s)
+
+let () =
+  Alcotest.run "cs_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects <= 0" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "range bounds" `Quick test_rng_range;
+          Alcotest.test_case "range endpoints" `Quick test_rng_range_covers_endpoints;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorted drain" `Quick test_heap_sorted_drain;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "peek keeps" `Quick test_heap_peek_does_not_remove;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "custom order" `Quick test_heap_custom_order;
+          test_heap_random_qcheck;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "initial" `Quick test_uf_initial;
+          Alcotest.test_case "union" `Quick test_uf_union;
+          Alcotest.test_case "idempotent" `Quick test_uf_idempotent_union;
+          Alcotest.test_case "groups" `Quick test_uf_groups;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "geomean rejects" `Quick test_stats_geomean_rejects_nonpositive;
+          Alcotest.test_case "median odd" `Quick test_stats_median_odd;
+          Alcotest.test_case "median even" `Quick test_stats_median_even;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percent change" `Quick test_stats_percent_change;
+          Alcotest.test_case "ratio summary" `Quick test_stats_ratio_summary;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders_cells;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+          Alcotest.test_case "cell float" `Quick test_table_cell_float;
+          Alcotest.test_case "bar" `Quick test_table_bar;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "add/mem" `Quick test_bitset_add_mem;
+          Alcotest.test_case "remove" `Quick test_bitset_remove;
+          Alcotest.test_case "double add" `Quick test_bitset_double_add;
+          Alcotest.test_case "to_list" `Quick test_bitset_to_list;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "clear" `Quick test_bitset_clear;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+(* Tests for the schedule validator: a known-good schedule passes; each
+   kind of corruption is caught. *)
+
+let check_bool = Alcotest.(check bool)
+
+let vliw2 = Cs_machine.Vliw.create ~n_clusters:2 ()
+
+let base_region () =
+  let b = Cs_ddg.Builder.create ~name:"v" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let x = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Add k in
+  let _y = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd x in
+  Cs_ddg.Builder.finish b
+
+let good_schedule ?(assignment = [| 0; 0; 1 |]) () =
+  let region = base_region () in
+  let a =
+    Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of vliw2)
+      region.Cs_ddg.Region.graph
+  in
+  Cs_sched.List_scheduler.run ~machine:vliw2 ~assignment
+    ~priority:(Cs_sched.Priority.alap a) ~analysis:a region
+
+let rejects what tamper =
+  let sched = good_schedule () in
+  let entries = Array.copy sched.Cs_sched.Schedule.entries in
+  let comms = ref sched.Cs_sched.Schedule.comms in
+  tamper entries comms;
+  let bad = { sched with Cs_sched.Schedule.entries; comms = !comms } in
+  check_bool what true (match Cs_sched.Validator.check bad with Error _ -> true | Ok () -> false)
+
+let test_good_passes () =
+  check_bool "valid" true (Cs_sched.Validator.check (good_schedule ()) = Ok ())
+
+let test_good_single_cluster_passes () =
+  check_bool "valid" true
+    (Cs_sched.Validator.check (good_schedule ~assignment:[| 0; 0; 0 |] ()) = Ok ())
+
+let test_rejects_bad_cluster () =
+  rejects "cluster out of range" (fun entries _ ->
+      entries.(0) <- { entries.(0) with Cs_sched.Schedule.cluster = 7 })
+
+let test_rejects_incompatible_unit () =
+  rejects "fadd on int alu" (fun entries _ ->
+      (* Unit 0 is Int_alu on the VLIW; instruction 2 is Fadd. *)
+      entries.(2) <- { entries.(2) with Cs_sched.Schedule.fu = 0 })
+
+let test_rejects_negative_start () =
+  rejects "negative start" (fun entries _ ->
+      entries.(0) <- { entries.(0) with Cs_sched.Schedule.start = -1; finish = 0 })
+
+let test_rejects_wrong_latency () =
+  rejects "finish != start + latency" (fun entries _ ->
+      entries.(1) <- { entries.(1) with Cs_sched.Schedule.finish = entries.(1).Cs_sched.Schedule.finish + 3 })
+
+let test_rejects_issue_conflict () =
+  rejects "same slot twice" (fun entries _ ->
+      entries.(1) <-
+        { entries.(0) with Cs_sched.Schedule.finish = entries.(0).Cs_sched.Schedule.finish })
+
+let test_rejects_dependence_violation () =
+  rejects "consumer before producer" (fun entries _ ->
+      entries.(1) <- { entries.(1) with Cs_sched.Schedule.start = 0; finish = 1 })
+
+let test_rejects_missing_transfer () =
+  rejects "no transfer" (fun _ comms -> comms := [])
+
+let test_rejects_transfer_wrong_latency () =
+  rejects "transfer latency" (fun _ comms ->
+      comms := List.map (fun c -> { c with Cs_sched.Schedule.arrive = c.Cs_sched.Schedule.arrive + 1 }) !comms)
+
+let test_rejects_transfer_before_producer () =
+  rejects "early departure" (fun _ comms ->
+      comms :=
+        List.map
+          (fun c -> { c with Cs_sched.Schedule.depart = 0; arrive = Cs_machine.Machine.comm_latency vliw2 ~src:c.Cs_sched.Schedule.src ~dst:c.Cs_sched.Schedule.dst }) !comms)
+
+let test_rejects_preplaced_nonmem_off_home () =
+  (* A preplaced *load* may run remotely on the VLIW, but check the mesh
+     rule: any preplaced instruction off home is rejected. *)
+  let machine = Cs_machine.Raw.create ~rows:1 ~cols:2 () in
+  let b = Cs_ddg.Builder.create ~name:"pre" () in
+  let addr = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let _l = Cs_ddg.Builder.load b ~preplace:1 addr in
+  let region = Cs_ddg.Builder.finish b in
+  let a =
+    Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of machine)
+      region.Cs_ddg.Region.graph
+  in
+  let sched =
+    Cs_sched.List_scheduler.run ~machine ~assignment:[| 1; 1 |]
+      ~priority:(Cs_sched.Priority.alap a) ~analysis:a region
+  in
+  let entries = Array.copy sched.Cs_sched.Schedule.entries in
+  entries.(1) <- { entries.(1) with Cs_sched.Schedule.cluster = 0 };
+  let bad = { sched with Cs_sched.Schedule.entries } in
+  check_bool "off-home rejected" true
+    (match Cs_sched.Validator.check bad with Error _ -> true | Ok () -> false)
+
+let test_check_exn_raises () =
+  let sched = good_schedule () in
+  let entries = Array.copy sched.Cs_sched.Schedule.entries in
+  entries.(0) <- { entries.(0) with Cs_sched.Schedule.cluster = 9 };
+  let bad = { sched with Cs_sched.Schedule.entries } in
+  check_bool "raises Failure" true
+    (try
+       Cs_sched.Validator.check_exn bad;
+       false
+     with Failure _ -> true)
+
+let test_error_messages_name_instruction () =
+  let sched = good_schedule () in
+  let entries = Array.copy sched.Cs_sched.Schedule.entries in
+  entries.(1) <- { entries.(1) with Cs_sched.Schedule.start = 0; finish = 1 } ;
+  let bad = { sched with Cs_sched.Schedule.entries } in
+  match Cs_sched.Validator.check bad with
+  | Ok () -> Alcotest.fail "should reject"
+  | Error msgs ->
+    check_bool "mentions i1" true
+      (List.exists
+         (fun m ->
+           let rec has i =
+             i + 2 <= String.length m && (String.sub m i 2 = "i1" || has (i + 1))
+           in
+           has 0)
+         msgs)
+
+let () =
+  Alcotest.run "cs_sched.validator"
+    [
+      ( "validator",
+        [
+          Alcotest.test_case "good passes" `Quick test_good_passes;
+          Alcotest.test_case "single cluster passes" `Quick test_good_single_cluster_passes;
+          Alcotest.test_case "bad cluster" `Quick test_rejects_bad_cluster;
+          Alcotest.test_case "incompatible unit" `Quick test_rejects_incompatible_unit;
+          Alcotest.test_case "negative start" `Quick test_rejects_negative_start;
+          Alcotest.test_case "wrong latency" `Quick test_rejects_wrong_latency;
+          Alcotest.test_case "issue conflict" `Quick test_rejects_issue_conflict;
+          Alcotest.test_case "dependence violation" `Quick test_rejects_dependence_violation;
+          Alcotest.test_case "missing transfer" `Quick test_rejects_missing_transfer;
+          Alcotest.test_case "transfer latency" `Quick test_rejects_transfer_wrong_latency;
+          Alcotest.test_case "early departure" `Quick test_rejects_transfer_before_producer;
+          Alcotest.test_case "preplaced off home" `Quick test_rejects_preplaced_nonmem_off_home;
+          Alcotest.test_case "check_exn raises" `Quick test_check_exn_raises;
+          Alcotest.test_case "messages name instr" `Quick test_error_messages_name_instruction;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* Tests for the preference matrix, including qcheck invariants. *)
+
+open Cs_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let ok_invariants w =
+  match Weights.check_invariants w with
+  | Ok () -> true
+  | Error msg ->
+    Printf.eprintf "invariant failure: %s\n" msg;
+    false
+
+let test_create_uniform () =
+  let w = Weights.create ~n:2 ~nc:3 ~nt:4 in
+  check_float "uniform entry" (1.0 /. 12.0) (Weights.get w 0 1 2);
+  check_float "cluster marginal" (1.0 /. 3.0) (Weights.cluster_weight w 0 0);
+  check_float "time marginal" (1.0 /. 4.0) (Weights.time_weight w 1 3);
+  check_bool "invariants" true (ok_invariants w)
+
+let test_set_updates_marginals () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:2 in
+  Weights.set w 0 1 0 0.5;
+  check_float "cluster sum" 0.75 (Weights.cluster_weight w 0 1);
+  check_float "time sum" 0.75 (Weights.time_weight w 0 0)
+
+let test_set_rejects_negative () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:2 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Weights.set: weight must be finite and >= 0") (fun () ->
+      Weights.set w 0 0 0 (-0.1))
+
+let test_index_bounds () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:2 in
+  Alcotest.check_raises "oob" (Invalid_argument "Weights: index out of range") (fun () ->
+      ignore (Weights.get w 0 2 0))
+
+let test_scale_cluster () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:3 in
+  Weights.scale_cluster w 0 1 2.0;
+  Weights.normalize w 0;
+  check_bool "cluster 1 preferred" true (Weights.preferred_cluster w 0 = 1);
+  check_bool "invariants" true (ok_invariants w)
+
+let test_scale_time () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:3 in
+  Weights.scale_time w 0 2 3.0;
+  Weights.normalize w 0;
+  check_int "slot 2 preferred" 2 (Weights.preferred_time w 0)
+
+let test_normalize_restores_sum () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:2 in
+  Weights.scale w 0 0 0 7.0;
+  Weights.normalize w 0;
+  check_bool "invariants" true (ok_invariants w);
+  check_float "total 1" 1.0 (Weights.row_total w 0)
+
+let test_normalize_zero_row_resets_uniform () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:2 in
+  for c = 0 to 1 do
+    for t = 0 to 1 do
+      Weights.set w 0 c t 0.0
+    done
+  done;
+  Weights.normalize w 0;
+  check_float "uniform again" 0.25 (Weights.get w 0 1 1);
+  check_bool "invariants" true (ok_invariants w)
+
+let test_preferred_tie_break () =
+  let w = Weights.create ~n:1 ~nc:3 ~nt:1 in
+  check_int "smallest cluster on tie" 0 (Weights.preferred_cluster w 0);
+  check_int "smallest slot on tie" 0 (Weights.preferred_time w 0)
+
+let test_runnerup () =
+  let w = Weights.create ~n:1 ~nc:3 ~nt:1 in
+  Weights.set w 0 0 0 0.5;
+  Weights.set w 0 1 0 0.3;
+  Weights.set w 0 2 0 0.2;
+  check_bool "runner-up is 1" true (Weights.runnerup_cluster w 0 = Some 1);
+  let single = Weights.create ~n:1 ~nc:1 ~nt:2 in
+  check_bool "no runner-up" true (Weights.runnerup_cluster single 0 = None)
+
+let test_confidence () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:1 in
+  Weights.set w 0 0 0 0.8;
+  Weights.set w 0 1 0 0.2;
+  check_float "ratio 4" 4.0 (Weights.confidence w 0);
+  Weights.set w 0 1 0 0.0;
+  check_bool "infinite when runner-up zero" true (Weights.confidence w 0 = infinity)
+
+let test_blend () =
+  let w = Weights.create ~n:2 ~nc:2 ~nt:1 in
+  Weights.set w 0 0 0 1.0;
+  Weights.set w 0 1 0 0.0;
+  Weights.set w 1 0 0 0.0;
+  Weights.set w 1 1 0 1.0;
+  Weights.blend w ~dst:1 ~src:0 ~keep:0.25;
+  check_float "blended" 0.75 (Weights.get w 1 0 0);
+  check_float "blended other" 0.25 (Weights.get w 1 1 0);
+  check_bool "src untouched" true (Weights.get w 0 0 0 = 1.0)
+
+let test_blend_self_noop () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:1 in
+  Weights.blend w ~dst:0 ~src:0 ~keep:0.5;
+  check_float "unchanged" 0.5 (Weights.get w 0 0 0)
+
+let test_blend_rejects_bad_keep () =
+  let w = Weights.create ~n:2 ~nc:2 ~nt:1 in
+  Alcotest.check_raises "keep > 1" (Invalid_argument "Weights.blend: keep must be in [0,1]")
+    (fun () -> Weights.blend w ~dst:0 ~src:1 ~keep:1.5)
+
+let test_copy_is_deep () =
+  let w = Weights.create ~n:1 ~nc:2 ~nt:1 in
+  let c = Weights.copy w in
+  Weights.set w 0 0 0 0.9;
+  check_float "copy unchanged" 0.5 (Weights.get c 0 0 0)
+
+let test_preferred_clusters_snapshot () =
+  let w = Weights.create ~n:3 ~nc:2 ~nt:1 in
+  Weights.set w 1 1 0 0.9;
+  Alcotest.(check (array int)) "snapshot" [| 0; 1; 0 |] (Weights.preferred_clusters w)
+
+let test_pp_cluster_map () =
+  let w = Weights.create ~n:2 ~nc:2 ~nt:1 in
+  let s = Format.asprintf "%a" Weights.pp_cluster_map w in
+  check_bool "non-empty" true (String.length s > 10)
+
+(* qcheck: random edit sequences + normalize preserve invariants. *)
+let edit_gen =
+  QCheck.Gen.(
+    list_size (int_bound 60)
+      (tup4 (int_bound 3) (int_bound 2) (int_bound 4) (float_bound_inclusive 5.0)))
+
+let test_random_edits_qcheck =
+  let prop =
+    QCheck.Test.make ~count:300 ~name:"edits + normalize keep invariants"
+      (QCheck.make edit_gen)
+      (fun edits ->
+        let w = Weights.create ~n:4 ~nc:3 ~nt:5 in
+        List.iter
+          (fun (i, c, t, v) ->
+            match (i + c + t) mod 3 with
+            | 0 -> Weights.set w i c t v
+            | 1 -> Weights.add w i c t v
+            | _ -> Weights.scale w i c t v)
+          edits;
+        Weights.normalize_all w;
+        match Weights.check_invariants w with Ok () -> true | Error _ -> false)
+  in
+  QCheck_alcotest.to_alcotest prop
+
+let test_random_blends_qcheck =
+  let gen = QCheck.Gen.(list_size (int_bound 40) (tup3 (int_bound 3) (int_bound 3) (float_bound_inclusive 1.0))) in
+  let prop =
+    QCheck.Test.make ~count:200 ~name:"blends keep invariants" (QCheck.make gen)
+      (fun blends ->
+        let w = Weights.create ~n:4 ~nc:2 ~nt:3 in
+        List.iter (fun (d, s, keep) -> Weights.blend w ~dst:d ~src:s ~keep) blends;
+        Weights.normalize_all w;
+        match Weights.check_invariants w with Ok () -> true | Error _ -> false)
+  in
+  QCheck_alcotest.to_alcotest prop
+
+let test_marginal_consistency_qcheck =
+  let prop =
+    QCheck.Test.make ~count:200 ~name:"preferred cluster maximizes marginal"
+      (QCheck.make edit_gen)
+      (fun edits ->
+        let w = Weights.create ~n:4 ~nc:3 ~nt:5 in
+        List.iter (fun (i, c, t, v) -> Weights.set w i c t v) edits;
+        Weights.normalize_all w;
+        let ok = ref true in
+        for i = 0 to 3 do
+          let p = Weights.preferred_cluster w i in
+          for c = 0 to 2 do
+            if Weights.cluster_weight w i c > Weights.cluster_weight w i p +. 1e-9 then
+              ok := false
+          done
+        done;
+        !ok)
+  in
+  QCheck_alcotest.to_alcotest prop
+
+let () =
+  Alcotest.run "cs_core.weights"
+    [
+      ( "weights",
+        [
+          Alcotest.test_case "create uniform" `Quick test_create_uniform;
+          Alcotest.test_case "set updates marginals" `Quick test_set_updates_marginals;
+          Alcotest.test_case "set rejects negative" `Quick test_set_rejects_negative;
+          Alcotest.test_case "index bounds" `Quick test_index_bounds;
+          Alcotest.test_case "scale cluster" `Quick test_scale_cluster;
+          Alcotest.test_case "scale time" `Quick test_scale_time;
+          Alcotest.test_case "normalize" `Quick test_normalize_restores_sum;
+          Alcotest.test_case "normalize zero row" `Quick test_normalize_zero_row_resets_uniform;
+          Alcotest.test_case "tie break" `Quick test_preferred_tie_break;
+          Alcotest.test_case "runner-up" `Quick test_runnerup;
+          Alcotest.test_case "confidence" `Quick test_confidence;
+          Alcotest.test_case "blend" `Quick test_blend;
+          Alcotest.test_case "blend self noop" `Quick test_blend_self_noop;
+          Alcotest.test_case "blend bad keep" `Quick test_blend_rejects_bad_keep;
+          Alcotest.test_case "copy deep" `Quick test_copy_is_deep;
+          Alcotest.test_case "snapshot" `Quick test_preferred_clusters_snapshot;
+          Alcotest.test_case "cluster map render" `Quick test_pp_cluster_map;
+        ] );
+      ( "properties",
+        [ test_random_edits_qcheck; test_random_blends_qcheck; test_marginal_consistency_qcheck ] );
+    ]

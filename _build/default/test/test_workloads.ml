@@ -1,0 +1,219 @@
+(* Tests for the benchmark generators and congruence mapping. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Congruence --- *)
+
+let test_congruence_interleaved () =
+  let c = Cs_workloads.Congruence.interleaved ~n_banks:4 in
+  check_bool "0 -> 0" true (Cs_workloads.Congruence.bank c 0 = Some 0);
+  check_bool "5 -> 1" true (Cs_workloads.Congruence.bank c 5 = Some 1);
+  check_bool "negative folded" true (Cs_workloads.Congruence.bank c (-3) = Some 3)
+
+let test_congruence_blocked () =
+  let c = Cs_workloads.Congruence.blocked ~n_banks:4 ~block:64 in
+  check_bool "0 -> 0" true (Cs_workloads.Congruence.bank c 0 = Some 0);
+  check_bool "64 -> 1" true (Cs_workloads.Congruence.bank c 64 = Some 1);
+  check_bool "wraps" true (Cs_workloads.Congruence.bank c 256 = Some 0)
+
+let test_congruence_unanalyzable () =
+  check_bool "no bank" true
+    (Cs_workloads.Congruence.bank Cs_workloads.Congruence.unanalyzable 42 = None);
+  check_bool "no banks" true
+    (Cs_workloads.Congruence.n_banks Cs_workloads.Congruence.unanalyzable = None)
+
+let test_congruence_rejects_bad () =
+  Alcotest.check_raises "zero banks"
+    (Invalid_argument "Congruence.interleaved: need positive banks") (fun () ->
+      ignore (Cs_workloads.Congruence.interleaved ~n_banks:0))
+
+(* --- Prog helpers --- *)
+
+let test_prog_reduce_balanced () =
+  let b = Cs_ddg.Builder.create ~name:"r" () in
+  let vs = List.init 8 (fun _ -> Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const) in
+  let _sum = Cs_workloads.Prog.reduce b Cs_ddg.Opcode.Fadd vs in
+  let region = Cs_ddg.Builder.finish b in
+  let a = Cs_ddg.Analysis.make ~latency:(fun _ -> 1) region.Cs_ddg.Region.graph in
+  (* Balanced tree over 8 leaves: const + 3 levels of adds -> CPL 4. *)
+  check_int "15 instrs" 15 (Cs_ddg.Region.n_instrs region);
+  check_int "log depth" 4 (Cs_ddg.Analysis.cpl a)
+
+let test_prog_reduce_empty_rejected () =
+  let b = Cs_ddg.Builder.create ~name:"r0" () in
+  Alcotest.check_raises "empty" (Invalid_argument "Prog.reduce: empty list") (fun () ->
+      ignore (Cs_workloads.Prog.reduce b Cs_ddg.Opcode.Add []))
+
+let test_prog_chain_length () =
+  let b = Cs_ddg.Builder.create ~name:"c" () in
+  let seed = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  let _tip = Cs_workloads.Prog.chain b Cs_ddg.Opcode.Add ~length:5 seed in
+  let region = Cs_ddg.Builder.finish b in
+  (* seed + 5 * (const + add) = 11 instructions, CPL 6 with unit latency. *)
+  check_int "instrs" 11 (Cs_ddg.Region.n_instrs region);
+  let a = Cs_ddg.Analysis.make ~latency:(fun _ -> 1) region.Cs_ddg.Region.graph in
+  check_int "cpl" 6 (Cs_ddg.Analysis.cpl a)
+
+let test_prog_banked_load_preplaces () =
+  let b = Cs_ddg.Builder.create ~name:"bl" () in
+  let congruence = Cs_workloads.Congruence.interleaved ~n_banks:4 in
+  let _v = Cs_workloads.Prog.banked_load b ~congruence ~index:6 () in
+  let region = Cs_ddg.Builder.finish b in
+  Alcotest.(check (list (pair int int))) "load on bank 2" [ (1, 2) ]
+    (Cs_ddg.Graph.preplaced region.Cs_ddg.Region.graph)
+
+(* --- Suites --- *)
+
+let test_suites_membership () =
+  check_int "raw suite size" 9 (List.length Cs_workloads.Suite.raw_suite);
+  check_int "vliw suite size" 7 (List.length Cs_workloads.Suite.vliw_suite);
+  check_bool "find jacobi" true (Cs_workloads.Suite.find "jacobi" <> None);
+  check_bool "find case-insensitive" true (Cs_workloads.Suite.find "JACOBI" <> None);
+  check_bool "find missing" true (Cs_workloads.Suite.find "nonesuch" = None)
+
+let test_all_no_duplicates () =
+  let names = List.map (fun e -> e.Cs_workloads.Suite.name) Cs_workloads.Suite.all in
+  check_int "unique" (List.length names) (List.length (List.sort_uniq compare names))
+
+let machines_of clusters =
+  if clusters = 1 then Cs_machine.Raw.with_tiles 1
+  else Cs_machine.Raw.with_tiles clusters
+
+let test_every_benchmark_validates () =
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun clusters ->
+          let region = entry.Cs_workloads.Suite.generate ~clusters () in
+          match Cs_machine.Machine.validate_region (machines_of clusters) region with
+          | Ok () -> ()
+          | Error msg ->
+            Alcotest.failf "%s @ %d clusters: %s" entry.Cs_workloads.Suite.name clusters msg)
+        [ 1; 2; 4; 16 ])
+    Cs_workloads.Suite.all
+
+let test_generators_deterministic () =
+  List.iter
+    (fun entry ->
+      let r1 = entry.Cs_workloads.Suite.generate ~clusters:4 () in
+      let r2 = entry.Cs_workloads.Suite.generate ~clusters:4 () in
+      check_int (entry.Cs_workloads.Suite.name ^ " same size")
+        (Cs_ddg.Region.n_instrs r1) (Cs_ddg.Region.n_instrs r2);
+      let s1 = Format.asprintf "%a" Cs_ddg.Graph.pp r1.Cs_ddg.Region.graph in
+      let s2 = Format.asprintf "%a" Cs_ddg.Graph.pp r2.Cs_ddg.Region.graph in
+      check_bool (entry.Cs_workloads.Suite.name ^ " identical") true (s1 = s2))
+    Cs_workloads.Suite.all
+
+let test_size_independent_of_clusters () =
+  List.iter
+    (fun entry ->
+      let n1 = Cs_ddg.Region.n_instrs (entry.Cs_workloads.Suite.generate ~clusters:1 ()) in
+      let n16 = Cs_ddg.Region.n_instrs (entry.Cs_workloads.Suite.generate ~clusters:16 ()) in
+      check_int (entry.Cs_workloads.Suite.name ^ " same program") n1 n16)
+    Cs_workloads.Suite.all
+
+let test_scale_grows () =
+  List.iter
+    (fun entry ->
+      let n1 = Cs_ddg.Region.n_instrs (entry.Cs_workloads.Suite.generate ~scale:1 ~clusters:4 ()) in
+      let n2 = Cs_ddg.Region.n_instrs (entry.Cs_workloads.Suite.generate ~scale:2 ~clusters:4 ()) in
+      check_bool (entry.Cs_workloads.Suite.name ^ " scales") true (n2 > n1))
+    Cs_workloads.Suite.all
+
+let density name clusters =
+  Cs_ddg.Region.preplacement_density
+    ((Option.get (Cs_workloads.Suite.find name)).Cs_workloads.Suite.generate ~clusters ())
+
+let test_preplacement_density_profile () =
+  (* Paper Sec. 5: dense-matrix benchmarks carry congruence preplacement;
+     fpppp-kernel and sha effectively none. *)
+  check_bool "jacobi dense" true (density "jacobi" 16 > 0.3);
+  check_bool "vvmul dense" true (density "vvmul" 4 > 0.3);
+  check_bool "mxm dense" true (density "mxm" 4 > 0.3);
+  Alcotest.(check (float 1e-9)) "fpppp none" 0.0 (density "fpppp-kernel" 16);
+  Alcotest.(check (float 1e-9)) "sha none" 0.0 (density "sha" 16)
+
+let test_banks_span_all_clusters () =
+  List.iter
+    (fun name ->
+      let entry = Option.get (Cs_workloads.Suite.find name) in
+      let region = entry.Cs_workloads.Suite.generate ~clusters:4 () in
+      let banks =
+        Cs_ddg.Graph.preplaced region.Cs_ddg.Region.graph
+        |> List.map snd |> List.sort_uniq Int.compare
+      in
+      check_int (name ^ " all banks used") 4 (List.length banks))
+    [ "jacobi"; "mxm"; "vvmul"; "swim"; "tomcatv"; "life"; "vpenta" ]
+
+(* --- Shapes --- *)
+
+let test_shape_thin_is_narrow () =
+  let region = Cs_workloads.Shapes.thin ~seed:3 () in
+  let a = Cs_ddg.Analysis.make ~latency:(fun _ -> 1) region.Cs_ddg.Region.graph in
+  let n = Cs_ddg.Region.n_instrs region in
+  (* CPL comparable to n / chains: long and narrow. *)
+  check_bool "narrow" true (Cs_ddg.Analysis.cpl a * 6 > n)
+
+let test_shape_fat_is_wide () =
+  let region = Cs_workloads.Shapes.fat ~seed:3 () in
+  let a = Cs_ddg.Analysis.make ~latency:(fun _ -> 1) region.Cs_ddg.Region.graph in
+  check_bool "wide" true (Cs_ddg.Analysis.cpl a < 8)
+
+let test_shape_layered_size () =
+  List.iter
+    (fun n ->
+      let region = Cs_workloads.Shapes.layered ~n ~seed:5 () in
+      let got = Cs_ddg.Region.n_instrs region in
+      check_bool "close to target" true (got <= n + 2 && got >= (n * 7) / 10))
+    [ 50; 200; 800 ]
+
+let test_shape_layered_acyclic_and_valid () =
+  let congruence = Cs_workloads.Congruence.interleaved ~n_banks:4 in
+  let region = Cs_workloads.Shapes.layered ~n:300 ~congruence ~seed:9 () in
+  match Cs_machine.Machine.validate_region (Cs_machine.Vliw.create ()) region with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_shape_layered_deterministic () =
+  let r1 = Cs_workloads.Shapes.layered ~n:100 ~seed:4 () in
+  let r2 = Cs_workloads.Shapes.layered ~n:100 ~seed:4 () in
+  check_int "same" (Cs_ddg.Region.n_instrs r1) (Cs_ddg.Region.n_instrs r2)
+
+let () =
+  Alcotest.run "cs_workloads"
+    [
+      ( "congruence",
+        [
+          Alcotest.test_case "interleaved" `Quick test_congruence_interleaved;
+          Alcotest.test_case "blocked" `Quick test_congruence_blocked;
+          Alcotest.test_case "unanalyzable" `Quick test_congruence_unanalyzable;
+          Alcotest.test_case "rejects bad" `Quick test_congruence_rejects_bad;
+        ] );
+      ( "prog",
+        [
+          Alcotest.test_case "reduce balanced" `Quick test_prog_reduce_balanced;
+          Alcotest.test_case "reduce empty" `Quick test_prog_reduce_empty_rejected;
+          Alcotest.test_case "chain length" `Quick test_prog_chain_length;
+          Alcotest.test_case "banked load" `Quick test_prog_banked_load_preplaces;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "membership" `Quick test_suites_membership;
+          Alcotest.test_case "no duplicates" `Quick test_all_no_duplicates;
+          Alcotest.test_case "all validate" `Quick test_every_benchmark_validates;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "size cluster-independent" `Quick test_size_independent_of_clusters;
+          Alcotest.test_case "scale grows" `Quick test_scale_grows;
+          Alcotest.test_case "density profile" `Quick test_preplacement_density_profile;
+          Alcotest.test_case "banks span clusters" `Quick test_banks_span_all_clusters;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "thin narrow" `Quick test_shape_thin_is_narrow;
+          Alcotest.test_case "fat wide" `Quick test_shape_fat_is_wide;
+          Alcotest.test_case "layered size" `Quick test_shape_layered_size;
+          Alcotest.test_case "layered valid" `Quick test_shape_layered_acyclic_and_valid;
+          Alcotest.test_case "layered deterministic" `Quick test_shape_layered_deterministic;
+        ] );
+    ]
