@@ -1,0 +1,44 @@
+(* Autotuner experiment (extension): evolve pass sequences for both
+   target machines and record the evolved-vs-default margin — the
+   automated version of the paper's Sec. 4 trial-and-error that produced
+   Table 1. Small fixed budget so the bench run stays quick; see
+   `csched tune` for real searches. *)
+
+let budget ~generations =
+  { Cs_tuner.Ga.default_params with population = 8; generations; seed = 42; domains = 1 }
+
+let tune_machine ~name ~machine ~suite ~generations =
+  Report.subsection (Printf.sprintf "%s (pop 8 x %d generations, seed 42)" name generations);
+  let fit = Cs_tuner.Fitness.make ~machine suite in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Cs_tuner.Ga.run (budget ~generations) fit in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let open Cs_tuner.Ga in
+  let table =
+    Cs_util.Table.create ~header:[ "sequence"; "geomean speedup"; "vs default" ]
+  in
+  let seq_names g =
+    match Cs_tuner.Genome.to_passes g with
+    | Ok p -> String.concat "," (Cs_core.Sequence.names p)
+    | Error msg -> "<error: " ^ msg ^ ">"
+  in
+  Cs_util.Table.add_row table
+    [ "Table 1 default"; Report.fl outcome.default_fitness; "--" ];
+  Cs_util.Table.add_row table
+    [ "evolved"; Report.fl outcome.best_fitness;
+      Printf.sprintf "%+.1f%%"
+        ((outcome.best_fitness /. outcome.default_fitness -. 1.0) *. 100.0) ];
+  Cs_util.Table.print table;
+  Printf.printf "evolved: %s\n" (seq_names outcome.best);
+  Printf.printf "%d candidates simulated, %d cache hits, %.1fs\n" outcome.evaluations
+    outcome.cache_hits elapsed
+
+let tune () =
+  Report.section
+    "Autotuner: evolved pass sequences vs Table 1 (paper Sec. 4's trial-and-error, automated)";
+  tune_machine ~name:"VLIW (4 clusters), Fig. 8 suite"
+    ~machine:(Cs_machine.Vliw.create ~n_clusters:4 ())
+    ~suite:Cs_workloads.Suite.vliw_suite ~generations:4;
+  tune_machine ~name:"Raw (16 tiles), Table 2 suite"
+    ~machine:(Cs_machine.Raw.with_tiles 16)
+    ~suite:Cs_workloads.Suite.raw_suite ~generations:3

@@ -24,6 +24,7 @@ let experiments =
     ("scaling", "convergent scaling to 64 tiles (extension)", Exp_extra.scaling);
     ("iterate", "iterated convergence (extension)", Exp_extra.iterate);
     ("regions", "scheduling-unit formation comparison (extension)", Exp_regions.regions);
+    ("tune", "evolutionary pass-sequence autotuner vs Table 1 (extension)", Exp_tune.tune);
     ("micro", "bechamel micro-benchmarks", Exp_micro.micro);
   ]
 

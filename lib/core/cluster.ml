@@ -62,4 +62,5 @@ let apply ~boost ctx w =
       List.iter (fun m -> Weights.scale_cluster w m !best boost) members)
     (build_groups ctx)
 
-let pass ?(boost = 2.0) () = Pass.make ~name:"CLUSTER" ~kind:Pass.Space (apply ~boost)
+let pass ?(boost = 2.0) () =
+  Pass.make ~params:[ ("boost", boost) ] ~name:"CLUSTER" ~kind:Pass.Space (apply ~boost)

@@ -57,5 +57,10 @@ let apply ~eps ~grand ~grand_weight ~per_slot ~strengthen_preferred ctx w =
 
 let pass ?(eps = 1e-4) ?(grand = true) ?(grand_weight = 0.5) ?(per_slot = false)
     ?(strengthen_preferred = 2.0) () =
-  Pass.make ~name:"COMM" ~kind:Pass.Space
+  Pass.make
+    ~params:
+      [ ("eps", eps); ("grand", if grand then 1.0 else 0.0);
+        ("grand_weight", grand_weight); ("per_slot", if per_slot then 1.0 else 0.0);
+        ("strengthen_preferred", strengthen_preferred) ]
+    ~name:"COMM" ~kind:Pass.Space
     (apply ~eps ~grand ~grand_weight ~per_slot ~strengthen_preferred)

@@ -5,4 +5,5 @@ let apply ~factor ctx w =
     Weights.scale_time w i slot factor
   done
 
-let pass ?(factor = 1.2) () = Pass.make ~name:"EMPHCP" ~kind:Pass.Time (apply ~factor)
+let pass ?(factor = 1.2) () =
+  Pass.make ~params:[ ("factor", factor) ] ~name:"EMPHCP" ~kind:Pass.Time (apply ~factor)

@@ -3,4 +3,5 @@ let apply ~factor (_ : Context.t) w =
     Weights.scale_cluster w i 0 factor
   done
 
-let pass ?(factor = 1.2) () = Pass.make ~name:"FIRST" ~kind:Pass.Space (apply ~factor)
+let pass ?(factor = 1.2) () =
+  Pass.make ~params:[ ("factor", factor) ] ~name:"FIRST" ~kind:Pass.Space (apply ~factor)

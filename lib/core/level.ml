@@ -67,5 +67,9 @@ let apply ~stride ~granularity ~confidence_threshold ~boost ctx w =
   done
 
 let pass ?(stride = 4) ?(granularity = 2) ?(confidence_threshold = 2.0) ?(boost = 2.5) () =
-  Pass.make ~name:"LEVEL" ~kind:Pass.Space
+  Pass.make
+    ~params:
+      [ ("stride", float_of_int stride); ("granularity", float_of_int granularity);
+        ("confidence_threshold", confidence_threshold); ("boost", boost) ]
+    ~name:"LEVEL" ~kind:Pass.Space
     (apply ~stride ~granularity ~confidence_threshold ~boost)

@@ -13,4 +13,5 @@ let apply ~amplitude ctx w =
   done
 
 let pass ?(amplitude = 1.0) () =
-  Pass.make ~name:"NOISE" ~kind:Pass.Space (apply ~amplitude)
+  Pass.make ~params:[ ("amplitude", amplitude) ] ~name:"NOISE" ~kind:Pass.Space
+    (apply ~amplitude)

@@ -3,10 +3,15 @@ type kind = Space | Time | Spacetime
 type t = {
   name : string;
   kind : kind;
+  params : (string * float) list;
   apply : Context.t -> Weights.t -> unit;
 }
 
-let make ~name ~kind apply = { name; kind; apply }
+let make ?(params = []) ~name ~kind apply = { name; kind; params; apply }
+
+let param_names t = List.map fst t.params
+
+let param t key = List.assoc_opt key t.params
 
 let kind_to_string = function
   | Space -> "space"

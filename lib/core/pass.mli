@@ -11,8 +11,18 @@ type kind =
 type t = {
   name : string;
   kind : kind;
+  params : (string * float) list;
+  (** the numeric parameters this instance was built with, in the
+      constructor's declaration order. Booleans are encoded 0/1,
+      integers exactly. [Sequence.names] uses these to serialize a
+      tuned pass so it can be replayed from the command line. *)
   apply : Context.t -> Weights.t -> unit;
 }
 
-val make : name:string -> kind:kind -> (Context.t -> Weights.t -> unit) -> t
+val make :
+  ?params:(string * float) list -> name:string -> kind:kind ->
+  (Context.t -> Weights.t -> unit) -> t
+
+val param_names : t -> string list
+val param : t -> string -> float option
 val kind_to_string : kind -> string

@@ -55,4 +55,7 @@ let apply ~boost ~confidence_threshold ctx w =
   end
 
 let pass ?(boost = 3.0) ?(confidence_threshold = 2.0) () =
-  Pass.make ~name:"PATH" ~kind:Pass.Space (apply ~boost ~confidence_threshold)
+  Pass.make
+    ~params:[ ("boost", boost); ("confidence_threshold", confidence_threshold) ]
+    ~name:"PATH" ~kind:Pass.Space
+    (apply ~boost ~confidence_threshold)

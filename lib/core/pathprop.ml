@@ -37,4 +37,8 @@ let apply ~confidence_threshold ~blend_keep ctx w =
     order
 
 let pass ?(confidence_threshold = 1.5) ?(blend_keep = 0.5) () =
-  Pass.make ~name:"PATHPROP" ~kind:Pass.Space (apply ~confidence_threshold ~blend_keep)
+  Pass.make
+    ~params:
+      [ ("confidence_threshold", confidence_threshold); ("blend_keep", blend_keep) ]
+    ~name:"PATHPROP" ~kind:Pass.Space
+    (apply ~confidence_threshold ~blend_keep)

@@ -11,4 +11,7 @@ let apply ~factor ~live_in_factor ctx w =
   done
 
 let pass ?(factor = 100.0) ?(live_in_factor = 2.0) () =
-  Pass.make ~name:"PLACE" ~kind:Pass.Space (apply ~factor ~live_in_factor)
+  Pass.make
+    ~params:[ ("factor", factor); ("live_in_factor", live_in_factor) ]
+    ~name:"PLACE" ~kind:Pass.Space
+    (apply ~factor ~live_in_factor)

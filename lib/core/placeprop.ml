@@ -45,4 +45,7 @@ let apply ~mode ctx w =
           done)
       ctx.Context.preplaced_on
 
-let pass ?(mode = Nearest) () = Pass.make ~name:"PLACEPROP" ~kind:Pass.Space (apply ~mode)
+let pass ?(mode = Nearest) () =
+  Pass.make
+    ~params:[ ("weighted", match mode with Nearest -> 0.0 | Weighted -> 1.0) ]
+    ~name:"PLACEPROP" ~kind:Pass.Space (apply ~mode)

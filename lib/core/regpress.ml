@@ -43,5 +43,9 @@ let apply ~registers_per_cluster ~confidence_threshold ctx w =
     peaks
 
 let pass ?(registers_per_cluster = 32) ?(confidence_threshold = 2.0) () =
-  Pass.make ~name:"REGPRESS" ~kind:Pass.Space
+  Pass.make
+    ~params:
+      [ ("registers_per_cluster", float_of_int registers_per_cluster);
+        ("confidence_threshold", confidence_threshold) ]
+    ~name:"REGPRESS" ~kind:Pass.Space
     (apply ~registers_per_cluster ~confidence_threshold)

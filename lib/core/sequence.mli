@@ -1,5 +1,13 @@
 (** Named pass sequences (paper Table 1) and a by-name pass registry so
-    sequences can be described on a command line. *)
+    sequences — including tuned, parameterized ones — can be described
+    on a command line and round-tripped losslessly.
+
+    The textual form of one pass is [NAME] or
+    [NAME=key=value:key=value:...], e.g. [LEVEL=stride=2:boost=3.5].
+    Keys are the parameter names of the pass constructor (booleans
+    encoded 0/1, integers exact); omitted keys keep the constructor
+    default. {!names} emits only non-default parameters, so default
+    sequences still print as plain pass names. *)
 
 val raw_default : unit -> Pass.t list
 (** Table 1(a): INITTIME, PLACEPROP, LOAD, PLACE, PATH, PATHPROP, LEVEL,
@@ -19,10 +27,27 @@ val available : string list
     FEASIBLE, REGPRESS, and CLUSTER (the paper's suggested clustering
     integration, Sec. 5). *)
 
+val default_params : string -> (string * float) list option
+(** [default_params name] is the parameter list (keys and default
+    values, in declaration order) of the named pass, or [None] for an
+    unknown pass. Passes without parameters return [Some []]. *)
+
 val of_name : string -> Pass.t option
 (** Case-insensitive lookup with default parameters. *)
 
+val of_spec : string -> (Pass.t, string) result
+(** Parse one [NAME] or [NAME=key=value:...] token. Errors name the
+    unknown pass, unknown parameter key, or malformed value. *)
+
 val of_names : string list -> (Pass.t list, string) result
-(** All-or-nothing parse; the error names the unknown pass. *)
+(** All-or-nothing parse of {!of_spec} tokens; the error names the
+    offending token. *)
+
+val to_spec : ?full:bool -> Pass.t -> string
+(** Serialize one pass. By default only non-default parameters are
+    emitted; [~full:true] emits every parameter (canonical form used as
+    the autotuner's fitness-cache key). *)
 
 val names : Pass.t list -> string list
+(** [List.map (to_spec ~full:false)] — feeding the result back through
+    {!of_names} reconstructs the sequence exactly, parameters included. *)

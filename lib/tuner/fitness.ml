@@ -1,0 +1,101 @@
+type t = {
+  machine : Cs_machine.Machine.t;
+  seed : int;
+  cases : (string * Cs_ddg.Region.t * int) array; (* name, region, baseline cycles *)
+  tbl : (string, float) Hashtbl.t;
+  mutable evals : int;
+  mutable hits : int;
+}
+
+let make ?(scale = 1) ?(seed = 0) ~machine suite =
+  let baseline_machine =
+    if Cs_machine.Machine.is_mesh machine then Cs_machine.Raw.with_tiles 1
+    else Cs_machine.Vliw.single_cluster ()
+  in
+  let n_clusters = Cs_machine.Machine.n_clusters machine in
+  let cases =
+    List.map
+      (fun entry ->
+        let region = entry.Cs_workloads.Suite.generate ~scale ~clusters:n_clusters () in
+        let baseline_region = entry.Cs_workloads.Suite.generate ~scale ~clusters:1 () in
+        let baseline_sched =
+          Cs_sim.Pipeline.schedule ~scheduler:Cs_sim.Pipeline.Rawcc
+            ~machine:baseline_machine baseline_region
+        in
+        ( entry.Cs_workloads.Suite.name,
+          region,
+          Cs_sched.Schedule.makespan baseline_sched ))
+      suite
+  in
+  { machine; seed; cases = Array.of_list cases;
+    tbl = Hashtbl.create 256; evals = 0; hits = 0 }
+
+let machine t = t.machine
+let n_cases t = Array.length t.cases
+let evaluations t = t.evals
+let cache_hits t = t.hits
+
+let fitness_of_passes t passes =
+  let ratios =
+    Array.to_list t.cases
+    |> List.map (fun (_, region, baseline) ->
+           match
+             Cs_sim.Pipeline.convergent ~seed:t.seed ~passes ~machine:t.machine region
+           with
+           | sched, _ ->
+             float_of_int baseline /. float_of_int (max 1 (Cs_sched.Schedule.makespan sched))
+           | exception _ -> 0.0)
+  in
+  if List.exists (fun r -> r <= 0.0) ratios then 0.0 else Cs_util.Stats.geomean ratios
+
+let fitness_of_genome t genome =
+  match Genome.to_passes genome with
+  | Error _ -> 0.0
+  | Ok passes -> fitness_of_passes t passes
+
+(* Chunked work queue over domains: workers grab index ranges with an
+   atomic counter and write results by index, so the output (unlike the
+   completion order) is deterministic. *)
+let parallel_map ~domains f jobs =
+  let n = Array.length jobs in
+  let results = Array.make n 0.0 in
+  let d = max 1 (min domains n) in
+  if d = 1 then Array.iteri (fun i j -> results.(i) <- f j) jobs
+  else begin
+    let next = Atomic.make 0 in
+    let chunk = max 1 (n / (d * 4)) in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          for i = start to min n (start + chunk) - 1 do
+            results.(i) <- f jobs.(i)
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let others = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join others
+  end;
+  results
+
+let eval ?(domains = 1) t genomes =
+  let keyed = List.map (fun g -> (Genome.to_string g, g)) genomes in
+  (* unique cache misses, first-occurrence order *)
+  let seen = Hashtbl.create 64 in
+  let misses =
+    List.filter
+      (fun (key, _) ->
+        if Hashtbl.mem t.tbl key || Hashtbl.mem seen key then false
+        else (Hashtbl.add seen key (); true))
+      keyed
+  in
+  let miss_arr = Array.of_list misses in
+  let results = parallel_map ~domains (fun (_, g) -> fitness_of_genome t g) miss_arr in
+  Array.iteri (fun i (key, _) -> Hashtbl.replace t.tbl key results.(i)) miss_arr;
+  t.evals <- t.evals + Array.length miss_arr;
+  t.hits <- t.hits + (List.length keyed - Array.length miss_arr);
+  Array.of_list (List.map (fun (key, _) -> Hashtbl.find t.tbl key) keyed)

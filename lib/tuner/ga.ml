@@ -1,0 +1,119 @@
+type params = {
+  population : int;
+  generations : int;
+  elite : int;
+  tournament : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  seed : int;
+  domains : int;
+}
+
+let default_params =
+  { population = 16; generations = 10; elite = 2; tournament = 3;
+    crossover_rate = 0.7; mutation_rate = 0.9; seed = 42; domains = 1 }
+
+type progress = {
+  generation : int;
+  gen_best : Genome.t;
+  gen_best_fitness : float;
+  evaluations : int;
+  cache_hits : int;
+}
+
+type outcome = {
+  best : Genome.t;
+  best_fitness : float;
+  default_genome : Genome.t;
+  default_fitness : float;
+  history : float array;
+  evaluations : int;
+  cache_hits : int;
+}
+
+(* Higher fitness first; canonical-string order breaks ties so the
+   ranking never depends on evaluation or insertion order. *)
+let better (fa, ga) (fb, gb) =
+  if fa <> fb then fa > fb else Genome.compare_canonical ga gb < 0
+
+let rank pop fitness =
+  let idx = Array.init (Array.length pop) Fun.id in
+  Array.sort
+    (fun i j ->
+      if fitness.(i) <> fitness.(j) then compare fitness.(j) fitness.(i)
+      else Genome.compare_canonical pop.(i) pop.(j))
+    idx;
+  idx
+
+let tournament_pick rng ~size pop fitness =
+  let n = Array.length pop in
+  let best = ref (Cs_util.Rng.int rng n) in
+  for _ = 2 to size do
+    let c = Cs_util.Rng.int rng n in
+    if better (fitness.(c), pop.(c)) (fitness.(!best), pop.(!best)) then best := c
+  done;
+  pop.(!best)
+
+let run ?on_generation p fit =
+  if p.population <= 0 then invalid_arg "Ga.run: population must be positive";
+  if p.generations <= 0 then invalid_arg "Ga.run: generations must be positive";
+  let rng = Cs_util.Rng.create p.seed in
+  let default_genome = Genome.of_machine (Fitness.machine fit) in
+  let seed_variant () =
+    let g = ref default_genome in
+    for _ = 1 to 1 + Cs_util.Rng.int rng 3 do
+      g := Genome.mutate rng !g
+    done;
+    !g
+  in
+  let pop =
+    Array.init p.population (fun i -> if i = 0 then default_genome else seed_variant ())
+  in
+  let history = Array.make p.generations 0.0 in
+  let best = ref default_genome and best_fitness = ref neg_infinity in
+  let default_fitness = ref nan in
+  for gen = 0 to p.generations - 1 do
+    let fitness = Fitness.eval ~domains:p.domains fit (Array.to_list pop) in
+    if Float.is_nan !default_fitness then
+      (* generation 0 always contains the untouched default at index 0 *)
+      default_fitness := fitness.(0);
+    let order = rank pop fitness in
+    let top = order.(0) in
+    if better (fitness.(top), pop.(top)) (!best_fitness, !best) then begin
+      best := pop.(top);
+      best_fitness := fitness.(top)
+    end;
+    history.(gen) <- !best_fitness;
+    Option.iter
+      (fun f ->
+        f
+          { generation = gen; gen_best = pop.(top); gen_best_fitness = fitness.(top);
+            evaluations = Fitness.evaluations fit; cache_hits = Fitness.cache_hits fit })
+      on_generation;
+    if gen < p.generations - 1 then begin
+      let next = Array.make p.population default_genome in
+      let elite = min p.elite p.population in
+      for i = 0 to elite - 1 do
+        next.(i) <- pop.(order.(i))
+      done;
+      for i = elite to p.population - 1 do
+        let a = tournament_pick rng ~size:p.tournament pop fitness in
+        let child =
+          if Cs_util.Rng.float rng 1.0 < p.crossover_rate then
+            Genome.crossover rng a (tournament_pick rng ~size:p.tournament pop fitness)
+          else a
+        in
+        let child =
+          if Cs_util.Rng.float rng 1.0 < p.mutation_rate then Genome.mutate rng child
+          else child
+        in
+        next.(i) <- child
+      done;
+      Array.blit next 0 pop 0 p.population
+    end
+  done;
+  { best = !best; best_fitness = !best_fitness;
+    default_genome; default_fitness = !default_fitness;
+    history;
+    evaluations = Fitness.evaluations fit;
+    cache_hits = Fitness.cache_hits fit }

@@ -1,0 +1,49 @@
+(** Deterministic, seeded genetic algorithm over pass-sequence genomes.
+
+    Tournament selection with elitism. The initial population is the
+    machine's Table 1 default plus mutated variants of it, and elites
+    survive unchanged, so the final best is never worse than the
+    hand-tuned default on the training suite.
+
+    Determinism: all stochastic choices flow through one
+    {!Cs_util.Rng.t} seeded from [params.seed], fitness evaluation is
+    order-independent (see {!Fitness.eval}), and every ranking
+    tie-break falls back to the canonical genome string — so the same
+    seed yields the same best genome regardless of [domains]. *)
+
+type params = {
+  population : int;
+  generations : int;
+  elite : int; (** individuals copied unchanged each generation *)
+  tournament : int; (** tournament size for parent selection *)
+  crossover_rate : float;
+  mutation_rate : float;
+  seed : int;
+  domains : int; (** worker domains for fitness evaluation *)
+}
+
+val default_params : params
+(** population 16, generations 10, elite 2, tournament 3,
+    crossover 0.7, mutation 0.9, seed 42, domains 1. *)
+
+type progress = {
+  generation : int;
+  gen_best : Genome.t;
+  gen_best_fitness : float;
+  evaluations : int;
+  cache_hits : int;
+}
+
+type outcome = {
+  best : Genome.t;
+  best_fitness : float;
+  default_genome : Genome.t;
+  default_fitness : float;
+  history : float array; (** best-so-far fitness after each generation *)
+  evaluations : int; (** simulated candidates (cache misses) *)
+  cache_hits : int;
+}
+
+val run : ?on_generation:(progress -> unit) -> params -> Fitness.t -> outcome
+(** Raises [Invalid_argument] on a non-positive population or
+    generation count. *)

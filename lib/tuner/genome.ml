@@ -1,0 +1,201 @@
+type gene = { pass : string; params : (string * float) list }
+type t = gene list
+
+let min_length = 2
+let max_length = 16
+
+let gene_pool =
+  List.filter (fun n -> n <> "INITTIME") Cs_core.Sequence.available
+
+let default_gene name =
+  let upper = String.uppercase_ascii name in
+  match Cs_core.Sequence.default_params upper with
+  | Some params -> { pass = upper; params }
+  | None -> invalid_arg (Printf.sprintf "Genome.default_gene: unknown pass %S" name)
+
+let of_passes passes =
+  List.map (fun p -> { pass = p.Cs_core.Pass.name; params = p.Cs_core.Pass.params }) passes
+
+let of_machine machine =
+  of_passes
+    (if Cs_machine.Machine.is_mesh machine then Cs_core.Sequence.raw_default ()
+     else Cs_core.Sequence.vliw_default ())
+
+let gene_to_string g =
+  if g.params = [] then g.pass
+  else
+    g.pass ^ "="
+    ^ String.concat ":"
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%.12g" k v) g.params)
+
+let to_string t = String.concat "," (List.map gene_to_string t)
+
+let to_passes t =
+  Cs_core.Sequence.of_names (List.map gene_to_string t)
+
+let of_string s =
+  let tokens = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest ->
+      (match Cs_core.Sequence.of_spec tok with
+      | Ok p -> go ({ pass = p.Cs_core.Pass.name; params = p.Cs_core.Pass.params } :: acc) rest
+      | Error _ as e -> e)
+  in
+  match go [] tokens with
+  | Error _ as e -> e
+  | Ok genes ->
+    let n = List.length genes in
+    if n < min_length || n > max_length then
+      Error
+        (Printf.sprintf "genome length %d outside tuner bounds [%d, %d]" n min_length
+           max_length)
+    else Ok genes
+
+let equal a b = to_string a = to_string b
+let compare_canonical a b = String.compare (to_string a) (to_string b)
+
+(* --- parameter tuning ranges --- *)
+
+type range = Bool | Int of int * int | Float of float * float | Log of float * float
+
+let range_of ~pass ~key ~default =
+  match (pass, key) with
+  | _, ("grand" | "per_slot" | "weighted") -> Bool
+  | "LEVEL", "stride" -> Int (1, 8)
+  | "LEVEL", "granularity" -> Int (1, 6)
+  | "REGPRESS", "registers_per_cluster" -> Int (4, 64)
+  | "COMM", "eps" -> Log (1e-6, 1e-2)
+  | "PLACE", "factor" -> Float (5.0, 500.0)
+  | _, "confidence_threshold" -> Float (1.0, 4.0)
+  | _, "blend_keep" -> Float (0.05, 0.95)
+  | _, "grand_weight" -> Float (0.1, 1.0)
+  | _, "strengthen_preferred" -> Float (1.0, 4.0)
+  | _, "amplitude" -> Float (0.1, 4.0)
+  | _, "live_in_factor" -> Float (0.5, 8.0)
+  | _, ("factor" | "boost") -> Float (1.0, 8.0)
+  | _ -> Float (max 1e-6 (default /. 4.0), (default *. 4.0) +. 1e-6)
+
+(* Quantize to 6 significant digits so canonical strings round-trip
+   exactly (%.12g then prints every stored value losslessly). *)
+let quantize v = float_of_string (Printf.sprintf "%.6g" v)
+
+let clampf lo hi v = Float.min hi (Float.max lo v)
+
+let perturb_value rng ~pass ~key ~default v =
+  match range_of ~pass ~key ~default with
+  | Bool -> if v <> 0.0 then 0.0 else 1.0
+  | Int (lo, hi) ->
+    let step = Cs_util.Rng.choose rng [| -2; -1; 1; 2 |] in
+    float_of_int (max lo (min hi (int_of_float v + step)))
+  | Float (lo, hi) ->
+    (* multiplicative jitter in [0.6, 1.6], occasionally a fresh draw *)
+    if Cs_util.Rng.float rng 1.0 < 0.15 then
+      quantize (lo +. Cs_util.Rng.float rng (hi -. lo))
+    else quantize (clampf lo hi (v *. (0.6 +. Cs_util.Rng.float rng 1.0)))
+  | Log (lo, hi) ->
+    let scale = Float.pow 10.0 (Cs_util.Rng.float rng 2.0 -. 1.0) in
+    quantize (clampf lo hi (v *. scale))
+
+let jitter_gene rng g =
+  let defaults =
+    match Cs_core.Sequence.default_params g.pass with Some d -> d | None -> []
+  in
+  let params =
+    List.map
+      (fun (k, v) ->
+        if Cs_util.Rng.bool rng then
+          let default = try List.assoc k defaults with Not_found -> v in
+          (k, perturb_value rng ~pass:g.pass ~key:k ~default v)
+        else (k, v))
+      g.params
+  in
+  { g with params }
+
+let random_gene rng =
+  let name = Cs_util.Rng.choose rng (Array.of_list gene_pool) in
+  jitter_gene rng (default_gene name)
+
+(* --- mutation --- *)
+
+(* The leading INITTIME (when present) is pinned: every Table 1 sequence
+   starts with it and removing it leaves the time axis unconverged. *)
+let head_start t = match t with { pass = "INITTIME"; _ } :: _ -> 1 | _ -> 0
+
+let mutate rng t =
+  let arr = Array.of_list t in
+  let n = Array.length arr in
+  let start = head_start t in
+  let movable = n - start in
+  let with_params =
+    List.filter (fun i -> arr.(i).params <> []) (List.init movable (fun i -> i + start))
+  in
+  let ops =
+    List.concat
+      [ (if with_params <> [] then [ `Perturb ] else []);
+        (if n < max_length then [ `Insert ] else []);
+        (if movable > 1 && n > min_length then [ `Delete ] else []);
+        (if movable > 1 then [ `Swap ] else []) ]
+  in
+  if ops = [] then t
+  else
+    match Cs_util.Rng.choose rng (Array.of_list ops) with
+    | `Perturb ->
+      let i = List.nth with_params (Cs_util.Rng.int rng (List.length with_params)) in
+      let g = arr.(i) in
+      let pi = Cs_util.Rng.int rng (List.length g.params) in
+      let defaults =
+        match Cs_core.Sequence.default_params g.pass with Some d -> d | None -> []
+      in
+      let params =
+        List.mapi
+          (fun j (k, v) ->
+            if j = pi then
+              let default = try List.assoc k defaults with Not_found -> v in
+              (k, perturb_value rng ~pass:g.pass ~key:k ~default v)
+            else (k, v))
+          g.params
+      in
+      arr.(i) <- { g with params };
+      Array.to_list arr
+    | `Insert ->
+      let pos = start + Cs_util.Rng.int rng (movable + 1) in
+      let g = random_gene rng in
+      let l = Array.to_list arr in
+      let rec ins i = function
+        | rest when i = 0 -> g :: rest
+        | x :: rest -> x :: ins (i - 1) rest
+        | [] -> [ g ]
+      in
+      ins pos l
+    | `Delete ->
+      let pos = start + Cs_util.Rng.int rng movable in
+      List.filteri (fun i _ -> i <> pos) (Array.to_list arr)
+    | `Swap ->
+      let i = start + Cs_util.Rng.int rng movable in
+      let j = start + Cs_util.Rng.int rng movable in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp;
+      Array.to_list arr
+
+(* --- crossover --- *)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+let drop n l = List.filteri (fun i _ -> i >= n) l
+
+let crossover rng a b =
+  let la = List.length a and lb = List.length b in
+  let start = max (head_start a) (head_start b) in
+  if la <= start || lb <= start then a
+  else
+    let rec attempt tries =
+      if tries = 0 then a
+      else
+        let cut1 = start + Cs_util.Rng.int rng (la - start + 1) in
+        let cut2 = start + Cs_util.Rng.int rng (lb - start + 1) in
+        let len = cut1 + (lb - cut2) in
+        if len >= min_length && len <= max_length then take cut1 a @ drop cut2 b
+        else attempt (tries - 1)
+    in
+    attempt 8
