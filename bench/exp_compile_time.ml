@@ -4,7 +4,7 @@
 let sizes = [ 50; 100; 200; 400; 800; 1200; 1600; 2000 ]
 
 let fig10 () =
-  Report.section "Figure 10: compile time vs input size on Chorus (seconds, CPU time)";
+  Report.section "Figure 10: compile time vs input size on Chorus (seconds, wall time)";
   let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
   let schedulers = [ Cs_sim.Pipeline.Pcc; Cs_sim.Pipeline.Uas; Cs_sim.Pipeline.Convergent ] in
   let sweeps =

@@ -1,9 +1,10 @@
 (* csched: command-line driver for the convergent-scheduling library.
 
      csched list
-     csched run -b jacobi -m raw16 -s convergent [--scale N] [--verbose]
+     csched run -b jacobi -m raw16 -s convergent [--scale N] [--verbose] [--trace-out t.json]
      csched compare -b mxm -m vliw4
      csched trace -b jacobi -m raw16
+     csched profile -b jacobi -m raw16 [--rounds 3] [--trace-out t.json] [--jsonl t.jsonl]
      csched dot -b sha -m vliw4 -o sha.dot [-s uas]
      csched passes *)
 
@@ -64,6 +65,49 @@ let scheduler_arg =
 let scale_arg = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Problem-size multiplier.")
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full schedule.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the observability sink and write the collected events as a Chrome \
+           Trace Event file (load in chrome://tracing or ui.perfetto.dev).")
+
+let jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ] ~docv:"FILE"
+        ~doc:"Also write the collected events as JSON Lines (one event per line).")
+
+(* Enable the sink around [f]; write the requested export files when it
+   returns (or raises), so partial traces survive scheduler crashes. *)
+let with_trace ?jsonl ~trace_out f =
+  let active = trace_out <> None || jsonl <> None in
+  if active then begin
+    Cs_obs.Obs.reset ();
+    Cs_obs.Obs.enable ()
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      if active then begin
+        Cs_obs.Obs.disable ();
+        let events = Cs_obs.Obs.events () in
+        Option.iter
+          (fun path ->
+            Cs_obs.Export.write_chrome path events;
+            Printf.printf "wrote %s (%d events, Chrome Trace Event Format)\n" path
+              (List.length events))
+          trace_out;
+        Option.iter
+          (fun path ->
+            Cs_obs.Export.write_jsonl path events;
+            Printf.printf "wrote %s (%d events, JSON Lines)\n" path (List.length events))
+          jsonl
+      end)
+    f
+
 let region_of entry machine scale =
   entry.Cs_workloads.Suite.generate ~scale
     ~clusters:(Cs_machine.Machine.n_clusters machine) ()
@@ -109,29 +153,31 @@ let parse_passes spec =
 
 let run_cmd =
   let doc = "Schedule one benchmark and report cycles." in
-  let run entry machine scheduler scale verbose passes_spec =
-    let region = region_of entry machine scale in
-    let sched =
-      match passes_spec with
-      | Some spec -> fst (Cs_sim.Pipeline.convergent ~passes:(parse_passes spec) ~machine region)
-      | None -> Cs_sim.Pipeline.schedule ~scheduler ~machine region
-    in
-    Printf.printf "%s on %s with %s: %d instructions, makespan %d cycles, %d transfers\n"
-      entry.Cs_workloads.Suite.name machine.Cs_machine.Machine.name
-      (Cs_sim.Pipeline.scheduler_name scheduler)
-      (Cs_ddg.Region.n_instrs region)
-      (Cs_sched.Schedule.makespan sched)
-      (Cs_sched.Schedule.n_comms sched);
-    let alloc = Cs_regalloc.Linear_scan.run sched in
-    Printf.printf "register pressure peak %d, spills (32 regs/cluster) %d\n"
-      (Cs_regalloc.Pressure.max_peak sched)
-      alloc.Cs_regalloc.Linear_scan.total_spills;
-    if verbose then Format.printf "%a@." Cs_sched.Schedule.pp sched
+  let run entry machine scheduler scale verbose passes_spec trace_out =
+    with_trace ~trace_out (fun () ->
+        let region = region_of entry machine scale in
+        let sched =
+          match passes_spec with
+          | Some spec ->
+            fst (Cs_sim.Pipeline.convergent ~passes:(parse_passes spec) ~machine region)
+          | None -> Cs_sim.Pipeline.schedule ~scheduler ~machine region
+        in
+        Printf.printf "%s on %s with %s: %d instructions, makespan %d cycles, %d transfers\n"
+          entry.Cs_workloads.Suite.name machine.Cs_machine.Machine.name
+          (Cs_sim.Pipeline.scheduler_name scheduler)
+          (Cs_ddg.Region.n_instrs region)
+          (Cs_sched.Schedule.makespan sched)
+          (Cs_sched.Schedule.n_comms sched);
+        let alloc = Cs_regalloc.Linear_scan.run sched in
+        Printf.printf "register pressure peak %d, spills (32 regs/cluster) %d\n"
+          (Cs_regalloc.Pressure.max_peak sched)
+          alloc.Cs_regalloc.Linear_scan.total_spills;
+        if verbose then Format.printf "%a@." Cs_sched.Schedule.pp sched)
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ benchmark_arg $ machine_arg $ scheduler_arg $ scale_arg $ verbose_arg
-      $ passes_opt_arg)
+      $ passes_opt_arg $ trace_out_arg)
 
 let run_file_cmd =
   let doc = "Schedule a region from a text file (see lib/ddg/textual.mli for the format)." in
@@ -208,6 +254,120 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc)
     Term.(const run $ benchmark_arg $ machine_arg $ scheduler_arg $ scale_arg $ output_arg)
 
+let profile_cmd =
+  let doc =
+    "Profile the convergent scheduler: per-pass wall time plus convergence telemetry \
+     (preferred-cluster churn, mean confidence, weight-row entropy) for every pass of \
+     every round, then the list-scheduler and simulator counters. The per-round series \
+     reproduce the paper's Fig. 4/7-style convergence curves; --trace-out dumps the \
+     underlying events for chrome://tracing."
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "rounds" ]
+          ~doc:"Apply the whole pass sequence this many times (iterative driver).")
+  in
+  let run entry machine scale passes_spec rounds trace_out jsonl =
+    if rounds <= 0 then begin
+      Printf.eprintf "profile: --rounds must be positive\n";
+      exit 1
+    end;
+    let region = region_of entry machine scale in
+    let passes =
+      match passes_spec with
+      | Some spec -> parse_passes spec
+      | None -> Cs_sim.Pipeline.default_passes ~machine
+    in
+    (* The sink is always on for profiling; export files are optional. *)
+    Cs_obs.Obs.reset ();
+    Cs_obs.Obs.enable ();
+    with_trace ?jsonl ~trace_out @@ fun () ->
+    let result, rounds_run =
+      (* epsilon 0 never triggers early exit, so exactly [rounds] rounds run
+         and every round's telemetry is comparable. *)
+      Cs_core.Driver.run_iterative ~max_rounds:rounds ~epsilon:0.0 ~machine region passes
+    in
+    let analysis = result.Cs_core.Driver.context.Cs_core.Context.analysis in
+    let priority =
+      if Cs_machine.Machine.is_mesh machine then Cs_sched.Priority.alap analysis
+      else Cs_sched.Priority.of_slots result.Cs_core.Driver.preferred_slot
+    in
+    let sched =
+      Cs_sched.List_scheduler.run ~machine ~assignment:result.Cs_core.Driver.assignment
+        ~priority ~analysis region
+    in
+    let events = Cs_obs.Obs.events () in
+    let float_arg key ev =
+      List.fold_left
+        (fun acc (k, v) ->
+          match v with Cs_obs.Obs.Float f when k = key -> Some f | _ -> acc)
+        None ev.Cs_obs.Obs.args
+    in
+    (* apply_round records, per pass, a "pass" span then its "converge"
+       counter; zipping the two filtered streams pairs them in order. *)
+    let pass_spans =
+      List.filter
+        (fun e ->
+          e.Cs_obs.Obs.cat = "pass"
+          && match e.Cs_obs.Obs.ph with Cs_obs.Obs.Complete _ -> true | _ -> false)
+        events
+    in
+    let converge =
+      List.filter
+        (fun e ->
+          e.Cs_obs.Obs.cat = "converge" && e.Cs_obs.Obs.name <> "converge:round")
+        events
+    in
+    Printf.printf "%s on %s: %d instructions, %d round%s of %d passes\n\n"
+      entry.Cs_workloads.Suite.name machine.Cs_machine.Machine.name
+      (Cs_ddg.Region.n_instrs region) rounds_run
+      (if rounds_run = 1 then "" else "s")
+      (List.length passes);
+    let table =
+      Cs_util.Table.create
+        ~header:[ "round"; "pass"; "ms"; "churn"; "churn%"; "confidence"; "entropy" ]
+    in
+    List.iter2
+      (fun span conv ->
+        let dur =
+          match span.Cs_obs.Obs.ph with Cs_obs.Obs.Complete d -> d | _ -> 0.0
+        in
+        let get key = Option.value ~default:0.0 (float_arg key conv) in
+        Cs_util.Table.add_row table
+          [ string_of_int (int_of_float (get "round"));
+            span.Cs_obs.Obs.name;
+            Printf.sprintf "%.3f" (1000.0 *. dur);
+            string_of_int (int_of_float (get "churn"));
+            Printf.sprintf "%.1f" (100.0 *. get "churn_fraction");
+            Cs_util.Table.cell_float (get "mean_confidence");
+            Cs_util.Table.cell_float (get "mean_entropy") ])
+      pass_spans converge;
+    Cs_util.Table.print table;
+    Printf.printf "\n";
+    List.iter
+      (fun e ->
+        if e.Cs_obs.Obs.cat = "sched" && e.Cs_obs.Obs.ph = Cs_obs.Obs.Counter then begin
+          Printf.printf "list scheduler:";
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | Cs_obs.Obs.Float f -> Printf.printf " %s %.0f" k f
+              | _ -> ())
+            e.Cs_obs.Obs.args;
+          Printf.printf "\n"
+        end)
+      events;
+    Printf.printf "schedule: makespan %d cycles, %d transfers, utilization %.1f%%\n"
+      (Cs_sched.Schedule.makespan sched)
+      (Cs_sched.Schedule.n_comms sched)
+      (100.0 *. Cs_sched.Schedule.utilization sched)
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ benchmark_arg $ machine_arg $ scale_arg $ passes_opt_arg $ rounds_arg
+      $ trace_out_arg $ jsonl_arg)
+
 let tune_cmd =
   let doc =
     "Evolve a pass sequence for a machine (parallel genetic autotuner). The paper picked \
@@ -233,11 +393,12 @@ let tune_cmd =
       & info [ "b"; "benchmarks" ]
           ~doc:"Comma-separated benchmark subset to tune on (default: the machine's suite).")
   in
-  let run machine population generations seed domains scale bench_spec =
+  let run machine population generations seed domains scale bench_spec trace_out =
     if population <= 0 || generations <= 0 || domains <= 0 then begin
       Printf.eprintf "tune: --population, --generations, and --domains must be positive\n";
       exit 1
     end;
+    with_trace ~trace_out @@ fun () ->
     let suite =
       match bench_spec with
       | None ->
@@ -296,7 +457,7 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ machine_arg $ population_arg $ generations_arg $ seed_arg $ domains_arg
-      $ scale_arg $ bench_arg)
+      $ scale_arg $ bench_arg $ trace_out_arg)
 
 let () =
   let doc = "convergent scheduling for spatial architectures (MICRO-35 reproduction)" in
@@ -304,5 +465,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; passes_cmd; run_cmd; run_file_cmd; compare_cmd; trace_cmd; dot_cmd;
-            tune_cmd ]))
+          [ list_cmd; passes_cmd; run_cmd; run_file_cmd; compare_cmd; trace_cmd;
+            profile_cmd; dot_cmd; tune_cmd ]))

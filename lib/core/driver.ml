@@ -56,15 +56,22 @@ let assignment_of_weights ?(cap_factor = 1.1) ctx w =
   assignment
 
 (* Shared engine: applies [passes] once over an existing matrix,
-   returning the trace steps of this round (in order). *)
-let apply_round ?observe ctx w passes =
+   returning the trace steps of this round (in order). When the Cs_obs
+   sink is enabled, each pass is wrapped in a timed span (cat "pass")
+   and followed by a convergence-metrics counter (cat "converge"); both
+   are single-flag-check no-ops otherwise. *)
+let apply_round ?(round = 1) ?observe ctx w passes =
   let n = Weights.n w in
   let steps = ref [] in
   let before = ref (Weights.preferred_clusters w) in
   List.iter
     (fun pass ->
-      pass.Pass.apply ctx w;
-      Weights.normalize_all w;
+      Cs_obs.Obs.span ~cat:"pass"
+        ~args:[ ("round", Cs_obs.Obs.Int round) ]
+        pass.Pass.name
+        (fun () ->
+          pass.Pass.apply ctx w;
+          Weights.normalize_all w);
       let after = Weights.preferred_clusters w in
       let changed = ref 0 in
       Array.iteri (fun i c -> if c <> !before.(i) then incr changed) after;
@@ -72,6 +79,8 @@ let apply_round ?observe ctx w passes =
         { Trace.pass_name = pass.Pass.name; pass_kind = pass.Pass.kind;
           changed = !changed; total = n }
         :: !steps;
+      if Cs_obs.Obs.enabled () then
+        Telemetry.emit ~round ~pass:pass.Pass.name (Telemetry.measure ~prev:!before w);
       before := after;
       match observe with None -> () | Some f -> f pass.Pass.name w)
     passes;
@@ -82,24 +91,38 @@ let finalize ctx w trace =
   let preferred_slot = Array.init (Weights.n w) (fun i -> Weights.preferred_time w i) in
   { assignment; preferred_slot; trace; weights = w; context = ctx }
 
-let run_iterative ?seed ?nt_cap ?(max_rounds = 5) ?(epsilon = 0.02) ~machine region passes =
+let run_iterative ?seed ?nt_cap ?observe ?(max_rounds = 5) ?(epsilon = 0.02) ~machine region
+    passes =
   let ctx = Context.make ?seed ?nt_cap ~machine region in
   let n = Context.n_instrs ctx in
   let w = Weights.create ~n ~nc:(Context.n_clusters ctx) ~nt:ctx.Context.nt in
-  let trace = ref [] in
+  (* Accumulate rounds newest-first and reverse once at the end: the old
+     [!trace @ round_steps] rescanned the whole prefix every round. *)
+  let rev_trace = ref [] in
   let rounds = ref 0 in
   let continue_iterating = ref true in
   while !continue_iterating && !rounds < max_rounds do
     incr rounds;
     let before = Weights.preferred_clusters w in
-    trace := !trace @ apply_round ctx w passes;
+    let steps =
+      Cs_obs.Obs.span ~cat:"round"
+        ~args:[ ("round", Cs_obs.Obs.Int !rounds) ]
+        "round"
+        (fun () -> apply_round ~round:!rounds ?observe ctx w passes)
+    in
+    rev_trace := List.rev_append steps !rev_trace;
     let after = Weights.preferred_clusters w in
     let changed = ref 0 in
     Array.iteri (fun i c -> if c <> before.(i) then incr changed) after;
     let fraction = if n = 0 then 0.0 else float_of_int !changed /. float_of_int n in
+    if Cs_obs.Obs.enabled () then
+      Cs_obs.Obs.counter ~cat:"converge" "converge:round"
+        [ ("round", float_of_int !rounds);
+          ("churn", float_of_int !changed);
+          ("churn_fraction", fraction) ];
     if fraction < epsilon then continue_iterating := false
   done;
-  (finalize ctx w !trace, !rounds)
+  (finalize ctx w (List.rev !rev_trace), !rounds)
 
 let run ?seed ?nt_cap ?observe ~machine region passes =
   let ctx = Context.make ?seed ?nt_cap ~machine region in

@@ -25,7 +25,9 @@ val run :
     whatever the final weights say (correctness). *)
 
 val run_iterative :
-  ?seed:int -> ?nt_cap:int -> ?max_rounds:int -> ?epsilon:float ->
+  ?seed:int -> ?nt_cap:int ->
+  ?observe:(string -> Weights.t -> unit) ->
+  ?max_rounds:int -> ?epsilon:float ->
   machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Pass.t list ->
   result * int
 (** Applies the whole sequence repeatedly on the same matrix until the
@@ -33,9 +35,15 @@ val run_iterative :
     full round drops below [epsilon] (default 0.02) or [max_rounds]
     (default 5) is reached — the paper's feature 5: "the framework
     allows a heuristic to be applied multiple times, either
-    independently or as part of an iterative process". Returns the
-    result and the number of rounds executed; the trace concatenates all
-    rounds. *)
+    independently or as part of an iterative process". [observe] fires
+    once per pass per round, as in {!run}. Returns the result and the
+    number of rounds executed; the trace concatenates all rounds.
+
+    When the {!Cs_obs.Obs} sink is enabled, both entry points also
+    record per-pass timed spans ([cat = "pass"], with the 1-based round
+    in [args]) and per-pass convergence counters (see {!Telemetry});
+    [run_iterative] additionally wraps each round in a [cat = "round"]
+    span and emits a round-level churn counter. *)
 
 val assignment_of_weights : ?cap_factor:float -> Context.t -> Weights.t -> int array
 (** Extracts the assignment from the final matrix: preplaced

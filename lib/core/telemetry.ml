@@ -1,0 +1,59 @@
+let confidence_cap = 1000.0
+
+type metrics = {
+  churn : int;
+  total : int;
+  mean_confidence : float;
+  mean_entropy : float;
+}
+
+let churn_fraction m =
+  if m.total = 0 then 0.0 else float_of_int m.churn /. float_of_int m.total
+
+let mean_confidence w =
+  let n = Weights.n w in
+  if n = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to n - 1 do
+      sum := !sum +. Float.min (Weights.confidence w i) confidence_cap
+    done;
+    !sum /. float_of_int n
+  end
+
+let mean_row_entropy w =
+  let n = Weights.n w and nc = Weights.nc w in
+  if n = 0 then 0.0
+  else begin
+    let log2 x = log x /. log 2.0 in
+    let sum = ref 0.0 in
+    for i = 0 to n - 1 do
+      let total = Weights.row_total w i in
+      if total > 0.0 then begin
+        let h = ref 0.0 in
+        for c = 0 to nc - 1 do
+          let p = Weights.cluster_weight w i c /. total in
+          if p > 0.0 then h := !h -. (p *. log2 p)
+        done;
+        sum := !sum +. !h
+      end
+    done;
+    !sum /. float_of_int n
+  end
+
+let measure ~prev w =
+  let after = Weights.preferred_clusters w in
+  let churn = ref 0 in
+  Array.iteri (fun i c -> if c <> prev.(i) then incr churn) after;
+  { churn = !churn; total = Weights.n w;
+    mean_confidence = mean_confidence w;
+    mean_entropy = mean_row_entropy w }
+
+let emit ?(round = 1) ~pass m =
+  if Cs_obs.Obs.enabled () then
+    Cs_obs.Obs.counter ~cat:"converge" ("converge:" ^ pass)
+      [ ("round", float_of_int round);
+        ("churn", float_of_int m.churn);
+        ("churn_fraction", churn_fraction m);
+        ("mean_confidence", m.mean_confidence);
+        ("mean_entropy", m.mean_entropy) ]

@@ -1,0 +1,40 @@
+(** Convergence telemetry (the paper's Sec. 4-5 story, made measurable).
+
+    Each convergent pass nudges the preference matrix; convergence shows
+    up as the preferred assignment stabilizing (falling churn), the
+    scheduler growing more certain (rising confidence), and the weight
+    rows sharpening (falling entropy). {!measure} computes all three
+    from a {!Weights.t} snapshot so the driver can emit a
+    Fig. 4 / Fig. 7-style convergence curve per pass per round through
+    {!Cs_obs}. *)
+
+type metrics = {
+  churn : int;  (** instructions whose preferred cluster changed *)
+  total : int;  (** instructions measured *)
+  mean_confidence : float;
+  (** mean over instructions of {!Weights.confidence} (top-two cluster
+      ratio), clamped at {!confidence_cap} so fully converged rows stay
+      finite and exportable *)
+  mean_entropy : float;
+  (** mean over instructions of the Shannon entropy (bits) of the
+      cluster-marginal distribution; [log2 clusters] when uniform, 0
+      when fully converged *)
+}
+
+val confidence_cap : float
+(** Clamp applied to per-instruction confidence (1000.0): [infinity]
+    means "no runner-up", which JSON cannot carry. *)
+
+val churn_fraction : metrics -> float
+
+val measure : prev:int array -> Weights.t -> metrics
+(** [measure ~prev w] compares [w]'s current preferred clusters against
+    the snapshot [prev] (from {!Weights.preferred_clusters}). *)
+
+val mean_confidence : Weights.t -> float
+val mean_row_entropy : Weights.t -> float
+
+val emit : ?round:int -> pass:string -> metrics -> unit
+(** Record the metrics as a [cat = "converge"] counter event named
+    ["converge:PASS"]; a no-op when the {!Cs_obs.Obs} sink is
+    disabled. *)

@@ -1,0 +1,16 @@
+(* Wall clock with a monotonic clamp: gettimeofday can step backwards
+   under NTP adjustment, and per-domain reads can interleave; a CAS loop
+   on the last observed value keeps the reported time non-decreasing
+   process-wide. *)
+
+let last = Atomic.make 0.0
+
+let rec clamp t =
+  let prev = Atomic.get last in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last prev t then t
+  else clamp t
+
+let now () = clamp (Unix.gettimeofday ())
+
+let since t0 = now () -. t0

@@ -1,0 +1,16 @@
+(** Monotonic wall-clock time.
+
+    [Sys.time] measures CPU seconds of the whole process, which both
+    undercounts a single scheduler run when other work shares the
+    process and *over*counts wall time under the Domain-parallel tuner
+    (all domains' CPU time accumulates). Every timestamp in this
+    repository — trace events, compile-time sweeps, tuner utilization —
+    goes through this module instead: wall-clock time clamped to be
+    non-decreasing across all domains. *)
+
+val now : unit -> float
+(** Seconds since the Unix epoch, guaranteed non-decreasing across
+    successive calls from any domain of this process. *)
+
+val since : float -> float
+(** [since t0] is [now () -. t0] (>= 0 for [t0] from {!now}). *)

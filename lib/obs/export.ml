@@ -1,0 +1,73 @@
+let value_json = function
+  | Obs.Int i -> Json.Num (float_of_int i)
+  | Obs.Float f -> Json.Num f
+  | Obs.Str s -> Json.Str s
+  | Obs.Bool b -> Json.Bool b
+
+let phase_letter = function
+  | Obs.Begin -> "B"
+  | Obs.End -> "E"
+  | Obs.Complete _ -> "X"
+  | Obs.Instant -> "i"
+  | Obs.Counter -> "C"
+
+let args_json args = Json.Obj (List.map (fun (k, v) -> (k, value_json v)) args)
+
+let event_json (e : Obs.event) =
+  let base =
+    [ ("name", Json.Str e.name);
+      ("cat", Json.Str e.cat);
+      ("ph", Json.Str (phase_letter e.ph));
+      ("ts", Json.Num e.ts);
+      ("tid", Json.Num (float_of_int e.tid)) ]
+  in
+  let dur = match e.ph with Obs.Complete d -> [ ("dur", Json.Num d) ] | _ -> [] in
+  let args = if e.args = [] then [] else [ ("args", args_json e.args) ] in
+  Json.Obj (base @ dur @ args)
+
+let us seconds = seconds *. 1e6
+
+let chrome_event_json ~t0 ~pid (e : Obs.event) =
+  let base =
+    [ ("name", Json.Str e.name);
+      ("cat", Json.Str (if e.cat = "" then "default" else e.cat));
+      ("ph", Json.Str (phase_letter e.ph));
+      ("ts", Json.Num (us (e.ts -. t0)));
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int e.tid)) ]
+  in
+  let extra =
+    match e.ph with
+    | Obs.Complete d -> [ ("dur", Json.Num (us d)) ]
+    | Obs.Instant -> [ ("s", Json.Str "t") ]
+    | _ -> []
+  in
+  let args = if e.args = [] then [] else [ ("args", args_json e.args) ] in
+  Json.Obj (base @ extra @ args)
+
+let jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Json.to_buffer buf (event_json e);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let chrome events =
+  let t0 =
+    List.fold_left (fun acc (e : Obs.event) -> Float.min acc e.ts) infinity events
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let pid = Unix.getpid () in
+  Json.to_string
+    (Json.Obj
+       [ ("traceEvents", Json.List (List.map (chrome_event_json ~t0 ~pid) events));
+         ("displayTimeUnit", Json.Str "ms") ])
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write_jsonl path events = write_string path (jsonl events)
+let write_chrome path events = write_string path (chrome events)

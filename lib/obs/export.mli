@@ -1,0 +1,28 @@
+(** Export sinks for collected {!Obs} events.
+
+    Two formats:
+
+    - {b JSON Lines}: one self-contained JSON object per event, per
+      line — timestamps in absolute seconds. Suited to ad-hoc analysis
+      ([jq], pandas).
+    - {b Chrome Trace Event Format}: a single JSON object
+      [{"traceEvents": [...]}] loadable in [chrome://tracing] or
+      Perfetto — timestamps in microseconds relative to the earliest
+      event, durations attached to complete ("X") spans, counters as
+      "C" events rendered as stacked series. *)
+
+val event_json : Obs.event -> Json.t
+(** The JSONL rendering of one event. *)
+
+val chrome_event_json : t0:float -> pid:int -> Obs.event -> Json.t
+(** The Chrome Trace rendering of one event; [t0] is the capture start
+    time subtracted from every timestamp. *)
+
+val jsonl : Obs.event list -> string
+(** One line per event, each line a JSON object, trailing newline. *)
+
+val chrome : Obs.event list -> string
+(** The complete Chrome Trace JSON document. *)
+
+val write_jsonl : string -> Obs.event list -> unit
+val write_chrome : string -> Obs.event list -> unit

@@ -1,0 +1,74 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type phase =
+  | Begin
+  | End
+  | Complete of float
+  | Instant
+  | Counter
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : float;
+  tid : int;
+  args : (string * value) list;
+}
+
+(* The single flag every instrumentation site checks before doing any
+   work; the buffer mutex is only ever taken when the flag is set. *)
+let on = Atomic.make false
+let lock = Mutex.create ()
+let buffer = ref [] (* newest first *)
+
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+let reset () =
+  Mutex.lock lock;
+  buffer := [];
+  Mutex.unlock lock
+
+let events () =
+  Mutex.lock lock;
+  let evs = List.rev !buffer in
+  Mutex.unlock lock;
+  evs
+
+let tid () = (Domain.self () :> int)
+
+let record ev =
+  Mutex.lock lock;
+  buffer := ev :: !buffer;
+  Mutex.unlock lock
+
+let span ?(cat = "") ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Clock.now () -. t0 in
+        record { name; cat; ph = Complete dur; ts = t0; tid = tid (); args })
+      f
+  end
+
+let begin_span ?(cat = "") ?(args = []) name =
+  if Atomic.get on then
+    record { name; cat; ph = Begin; ts = Clock.now (); tid = tid (); args }
+
+let end_span ?(cat = "") ?(args = []) name =
+  if Atomic.get on then
+    record { name; cat; ph = End; ts = Clock.now (); tid = tid (); args }
+
+let instant ?(cat = "") ?(args = []) name =
+  if Atomic.get on then
+    record { name; cat; ph = Instant; ts = Clock.now (); tid = tid (); args }
+
+let counter ?(cat = "") name series =
+  if Atomic.get on then
+    record
+      { name; cat; ph = Counter; ts = Clock.now (); tid = tid ();
+        args = List.map (fun (k, v) -> (k, Float v)) series }

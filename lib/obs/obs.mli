@@ -1,0 +1,62 @@
+(** Structured events and metrics for the scheduling pipeline.
+
+    A process-global sink collects timestamped events — spans (timed
+    intervals), instants, and counters — from every layer: convergent
+    passes ([cat = "pass"], with convergence metrics under
+    [cat = "converge"]), the list scheduler ([cat = "sched"]), the
+    simulator ([cat = "sim"]), and the autotuner ([cat = "tune"]).
+    {!Export} renders the collected events as JSON Lines or Chrome
+    Trace Event Format.
+
+    The sink is disabled by default and every entry point checks a
+    single atomic flag first, so instrumented hot paths pay one load
+    and a branch when tracing is off (< 2% on the compile-time sweep).
+    Recording is domain-safe: a mutex guards the buffer, and
+    timestamps come from {!Clock}, so events from tuner worker domains
+    interleave correctly. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type phase =
+  | Begin  (** opening half of a manually delimited span *)
+  | End  (** closing half; pairs with the most recent [Begin] of the name *)
+  | Complete of float  (** a finished span; the payload is its duration in seconds *)
+  | Instant  (** a point event *)
+  | Counter  (** numeric series sample; all [args] are [Float] *)
+
+type event = {
+  name : string;
+  cat : string;  (** category: "pass", "converge", "sched", "sim", "tune", ... *)
+  ph : phase;
+  ts : float;  (** {!Clock.now} seconds; for [Complete], the span's start *)
+  tid : int;  (** recording domain's id *)
+  args : (string * value) list;
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all collected events (does not change the enabled flag). *)
+
+val events : unit -> event list
+(** Collected events in recording order. A [Complete] span is recorded
+    when it finishes, so nested spans appear innermost-first; sort by
+    [ts] for start order. *)
+
+val span : ?cat:string -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and records a [Complete] event with its
+    wall-clock duration; the event is recorded even when [f] raises.
+    When the sink is disabled this is exactly [f ()]. *)
+
+val begin_span : ?cat:string -> ?args:(string * value) list -> string -> unit
+val end_span : ?cat:string -> ?args:(string * value) list -> string -> unit
+(** Manual span halves for intervals that do not nest lexically. Every
+    [begin_span] must be matched by an [end_span] of the same name on
+    the same domain. *)
+
+val instant : ?cat:string -> ?args:(string * value) list -> string -> unit
+val counter : ?cat:string -> string -> (string * float) list -> unit
+(** [counter name series] samples one or more numeric series, e.g.
+    [counter ~cat:"sched" "list_scheduler" [("ready_peak", 12.0)]]. *)

@@ -32,7 +32,7 @@ let check_placement ~machine ~assignment graph =
       | Some _ | None -> ())
     (Cs_ddg.Graph.instrs graph)
 
-let run ~machine ~assignment ~priority ?analysis region =
+let schedule_region ~machine ~assignment ~priority ?analysis region =
   let graph = region.Cs_ddg.Region.graph in
   let n = Cs_ddg.Graph.n graph in
   if Array.length assignment <> n then invalid_arg "List_scheduler.run: assignment size";
@@ -62,6 +62,12 @@ let run ~machine ~assignment ~priority ?analysis region =
     pending.(i) <- List.length (Cs_ddg.Graph.preds graph i);
     if pending.(i) = 0 then Cs_util.Heap.push ready i
   done;
+  (* Counters are only tracked when the sink is enabled; the flag is
+     read once so the drain loop stays branch-predictable. *)
+  let obs = Cs_obs.Obs.enabled () in
+  let ready_peak = ref (if obs then Cs_util.Heap.length ready else 0) in
+  let fu_stalls = ref 0 in
+  let operand_waits = ref 0 in
   let scheduled = ref 0 in
   let live_in_homes = region.Cs_ddg.Region.live_in_homes in
   (* A homed live-in read away from its home costs a real transfer. *)
@@ -92,7 +98,10 @@ let run ~machine ~assignment ~priority ?analysis region =
           (fun acc p ->
             let avail =
               if assignment.(p) = c then finish.(p)
-              else Comm.deliver comm ~producer:p ~src:assignment.(p) ~dst:c ~ready:finish.(p)
+              else begin
+                if obs then incr operand_waits;
+                Comm.deliver comm ~producer:p ~src:assignment.(p) ~dst:c ~ready:finish.(p)
+              end
             in
             max acc avail)
           (live_in_avail i c)
@@ -108,6 +117,7 @@ let run ~machine ~assignment ~priority ?analysis region =
           (max_int, -1) candidates
       in
       Reservation.book fu_res.(c).(fu) cycle;
+      if obs && cycle > est then incr fu_stalls;
       let lat = effective_latency ~machine ~cluster:c ins in
       finish.(i) <- cycle + lat;
       entries.(i) <- { Schedule.cluster = c; fu; start = cycle; finish = finish.(i) };
@@ -117,8 +127,23 @@ let run ~machine ~assignment ~priority ?analysis region =
           pending.(s) <- pending.(s) - 1;
           if pending.(s) = 0 then Cs_util.Heap.push ready s)
         (Cs_ddg.Graph.succs graph i);
+      if obs then ready_peak := max !ready_peak (Cs_util.Heap.length ready);
       drain ()
   in
   drain ();
   assert (!scheduled = n);
-  Schedule.make ~machine ~graph ~live_in_homes ~entries ~comms:(Comm.bookings comm) ()
+  let comms = Comm.bookings comm in
+  let sched = Schedule.make ~machine ~graph ~live_in_homes ~entries ~comms () in
+  if obs then
+    Cs_obs.Obs.counter ~cat:"sched" "list_scheduler"
+      [ ("instructions", float_of_int n);
+        ("ready_peak", float_of_int !ready_peak);
+        ("fu_stalls", float_of_int !fu_stalls);
+        ("operand_waits", float_of_int !operand_waits);
+        ("comms_inserted", float_of_int (List.length comms));
+        ("makespan", float_of_int (Schedule.makespan sched)) ];
+  sched
+
+let run ~machine ~assignment ~priority ?analysis region =
+  Cs_obs.Obs.span ~cat:"sched" "list_scheduler" (fun () ->
+      schedule_region ~machine ~assignment ~priority ?analysis region)

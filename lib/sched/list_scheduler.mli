@@ -22,7 +22,14 @@ val run :
     cannot execute it, or when a preplaced instruction is assigned away
     from its home on a machine without remote memory access.
     [analysis] (used for tie-breaking heights and effective latencies)
-    is rebuilt from the machine's latency model when not supplied. *)
+    is rebuilt from the machine's latency model when not supplied.
+
+    When the {!Cs_obs.Obs} sink is enabled the run is wrapped in a
+    [cat = "sched"] span and emits a ["list_scheduler"] counter event:
+    instructions scheduled, peak ready-queue length, functional-unit
+    stalls (issue delayed past operand readiness by FU contention),
+    operand waits (cross-cluster operand deliveries requested), comm
+    ops inserted, and the resulting makespan. *)
 
 val effective_latency :
   machine:Cs_machine.Machine.t -> cluster:int -> Cs_ddg.Instr.t -> int

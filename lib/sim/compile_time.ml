@@ -20,10 +20,13 @@ let raw_schedule ~scheduler ~machine region =
   | Pipeline.Bug -> ignore (Cs_baselines.Bug.schedule ~machine region)
   | Pipeline.Anneal -> ignore (Cs_baselines.Anneal.schedule ~machine region)
 
+(* Monotonic wall clock, not [Sys.time]: CPU time accumulates across
+   all domains (so it overcounts under the Domain-parallel tuner) and
+   undercounts any wait time in a sweep. *)
 let time_scheduler ~scheduler ~machine region =
-  let t0 = Sys.time () in
+  let t0 = Cs_obs.Clock.now () in
   raw_schedule ~scheduler ~machine region;
-  Sys.time () -. t0
+  Cs_obs.Clock.since t0
 
 let default_sizes = [ 50; 100; 200; 400; 800; 1200; 1600; 2000 ]
 

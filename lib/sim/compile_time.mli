@@ -12,7 +12,8 @@ type point = {
 val time_scheduler :
   scheduler:Pipeline.scheduler -> machine:Cs_machine.Machine.t ->
   Cs_ddg.Region.t -> float
-(** CPU seconds for one scheduling run (no validation overhead). *)
+(** Monotonic wall-clock seconds ({!Cs_obs.Clock}) for one scheduling
+    run (no validation overhead). *)
 
 val sweep :
   ?sizes:int list -> ?seed:int -> scheduler:Pipeline.scheduler ->

@@ -28,6 +28,15 @@ let validated sched =
   Cs_sched.Validator.check_exn sched;
   sched
 
+(* Simulator-level counters: the cycles and transfers the machine model
+   charges a finished schedule. One event per scheduling run. *)
+let emit_sim_counters ~scheduler sched =
+  if Cs_obs.Obs.enabled () then
+    Cs_obs.Obs.counter ~cat:"sim" ("sim:" ^ scheduler_name scheduler)
+      [ ("cycles", float_of_int (Cs_sched.Schedule.makespan sched));
+        ("transfers", float_of_int (Cs_sched.Schedule.n_comms sched));
+        ("utilization", Cs_sched.Schedule.utilization sched) ]
+
 let convergent ?seed ?passes ~machine region =
   let passes = match passes with Some p -> p | None -> default_passes ~machine in
   let result = Cs_core.Driver.run ?seed ~machine region passes in
@@ -40,13 +49,22 @@ let convergent ?seed ?passes ~machine region =
     Cs_sched.List_scheduler.run ~machine
       ~assignment:result.Cs_core.Driver.assignment ~priority ~analysis region
   in
+  emit_sim_counters ~scheduler:Convergent sched;
   (validated sched, result.Cs_core.Driver.trace)
 
 let schedule ?seed ~scheduler ~machine region =
   match scheduler with
   | Convergent -> fst (convergent ?seed ~machine region)
-  | Rawcc -> validated (Cs_baselines.Rawcc.schedule ~machine region)
-  | Uas -> validated (Cs_baselines.Uas.schedule ~machine region)
-  | Pcc -> validated (Cs_baselines.Pcc.schedule ~machine region)
-  | Bug -> validated (Cs_baselines.Bug.schedule ~machine region)
-  | Anneal -> validated (Cs_baselines.Anneal.schedule ?seed ~machine region)
+  | _ ->
+    let sched =
+      Cs_obs.Obs.span ~cat:"sim" ("schedule:" ^ scheduler_name scheduler) (fun () ->
+          match scheduler with
+          | Convergent -> assert false
+          | Rawcc -> Cs_baselines.Rawcc.schedule ~machine region
+          | Uas -> Cs_baselines.Uas.schedule ~machine region
+          | Pcc -> Cs_baselines.Pcc.schedule ~machine region
+          | Bug -> Cs_baselines.Bug.schedule ~machine region
+          | Anneal -> Cs_baselines.Anneal.schedule ?seed ~machine region)
+    in
+    emit_sim_counters ~scheduler sched;
+    validated sched

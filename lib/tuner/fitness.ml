@@ -55,30 +55,59 @@ let fitness_of_genome t genome =
 
 (* Chunked work queue over domains: workers grab index ranges with an
    atomic counter and write results by index, so the output (unlike the
-   completion order) is deterministic. *)
+   completion order) is deterministic. When the Cs_obs sink is enabled,
+   each worker accumulates its busy time per chunk and a per-domain
+   utilization counter (busy / wall) is emitted after the join. *)
 let parallel_map ~domains f jobs =
   let n = Array.length jobs in
   let results = Array.make n 0.0 in
   let d = max 1 (min domains n) in
-  if d = 1 then Array.iteri (fun i j -> results.(i) <- f j) jobs
+  let obs = Cs_obs.Obs.enabled () in
+  let wall0 = if obs then Cs_obs.Clock.now () else 0.0 in
+  let busy = Array.make d 0.0 in
+  let completed = Array.make d 0 in
+  if d = 1 then begin
+    Array.iteri (fun i j -> results.(i) <- f j) jobs;
+    if obs then begin
+      busy.(0) <- Cs_obs.Clock.since wall0;
+      completed.(0) <- n
+    end
+  end
   else begin
     let next = Atomic.make 0 in
     let chunk = max 1 (n / (d * 4)) in
-    let worker () =
+    let worker k () =
       let rec loop () =
         let start = Atomic.fetch_and_add next chunk in
         if start < n then begin
-          for i = start to min n (start + chunk) - 1 do
+          let t0 = if obs then Cs_obs.Clock.now () else 0.0 in
+          let stop = min n (start + chunk) - 1 in
+          for i = start to stop do
             results.(i) <- f jobs.(i)
           done;
+          if obs then begin
+            busy.(k) <- busy.(k) +. Cs_obs.Clock.since t0;
+            completed.(k) <- completed.(k) + (stop - start + 1)
+          end;
           loop ()
         end
       in
       loop ()
     in
-    let others = List.init (d - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let others = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
     List.iter Domain.join others
+  end;
+  if obs && n > 0 then begin
+    let wall = Float.max (Cs_obs.Clock.since wall0) 1e-9 in
+    Array.iteri
+      (fun k b ->
+        Cs_obs.Obs.counter ~cat:"tune"
+          (Printf.sprintf "tuner:domain%d" k)
+          [ ("busy_s", b);
+            ("utilization", if d = 1 then 1.0 else b /. wall);
+            ("jobs", float_of_int completed.(k)) ])
+      busy
   end;
   results
 

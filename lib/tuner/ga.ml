@@ -73,7 +73,12 @@ let run ?on_generation p fit =
   let best = ref default_genome and best_fitness = ref neg_infinity in
   let default_fitness = ref nan in
   for gen = 0 to p.generations - 1 do
-    let fitness = Fitness.eval ~domains:p.domains fit (Array.to_list pop) in
+    let fitness =
+      Cs_obs.Obs.span ~cat:"tune"
+        ~args:[ ("generation", Cs_obs.Obs.Int gen) ]
+        "ga:generation"
+        (fun () -> Fitness.eval ~domains:p.domains fit (Array.to_list pop))
+    in
     if Float.is_nan !default_fitness then
       (* generation 0 always contains the untouched default at index 0 *)
       default_fitness := fitness.(0);
@@ -84,6 +89,18 @@ let run ?on_generation p fit =
       best_fitness := fitness.(top)
     end;
     history.(gen) <- !best_fitness;
+    if Cs_obs.Obs.enabled () then begin
+      let mean =
+        Array.fold_left ( +. ) 0.0 fitness /. float_of_int (Array.length fitness)
+      in
+      Cs_obs.Obs.counter ~cat:"tune" "ga:fitness"
+        [ ("generation", float_of_int gen);
+          ("gen_best", fitness.(top));
+          ("gen_mean", mean);
+          ("best_so_far", !best_fitness);
+          ("evaluations", float_of_int (Fitness.evaluations fit));
+          ("cache_hits", float_of_int (Fitness.cache_hits fit)) ]
+    end;
     Option.iter
       (fun f ->
         f

@@ -68,6 +68,32 @@ let test_cap_bounds_occupancy () =
     (fun c o -> check_bool "occupancy bounded" true (o <= cap + pre.(c)))
     occ
 
+let test_iterative_observe_fires_per_pass_per_round () =
+  let count = ref 0 in
+  let passes = Sequence.vliw_default () in
+  let _, rounds =
+    Driver.run_iterative
+      ~observe:(fun _ _ -> incr count)
+      ~max_rounds:3 ~epsilon:0.0 ~machine:vliw4 jacobi4 passes
+  in
+  check_int "epsilon 0 never converges early" 3 rounds;
+  check_int "observe once per pass per round" (3 * List.length passes) !count
+
+let test_iterative_trace_concatenates_rounds_in_order () =
+  let passes = Sequence.vliw_default () in
+  let result, rounds =
+    Driver.run_iterative ~max_rounds:3 ~epsilon:0.0 ~machine:vliw4 jacobi4 passes
+  in
+  let names = List.map (fun p -> p.Pass.name) passes in
+  check_int "trace covers every round" (rounds * List.length passes)
+    (List.length result.Driver.trace);
+  List.iteri
+    (fun k s ->
+      Alcotest.(check string) "round-major pass order"
+        (List.nth names (k mod List.length names))
+        s.Trace.pass_name)
+    result.Driver.trace
+
 let test_empty_pass_list () =
   let result = Driver.run ~machine:vliw4 jacobi4 [] in
   check_int "no trace" 0 (List.length result.Driver.trace);
@@ -145,6 +171,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_deterministic_same_seed;
           Alcotest.test_case "normalized at end" `Quick test_weights_normalized_at_end;
           Alcotest.test_case "observe hook" `Quick test_observe_called_per_pass;
+          Alcotest.test_case "iterative observe hook" `Quick
+            test_iterative_observe_fires_per_pass_per_round;
+          Alcotest.test_case "iterative trace order" `Quick
+            test_iterative_trace_concatenates_rounds_in_order;
           Alcotest.test_case "cap bounds occupancy" `Quick test_cap_bounds_occupancy;
           Alcotest.test_case "empty pass list" `Quick test_empty_pass_list;
         ] );
