@@ -25,6 +25,7 @@ let experiments =
     ("iterate", "iterated convergence (extension)", Exp_extra.iterate);
     ("regions", "scheduling-unit formation comparison (extension)", Exp_regions.regions);
     ("tune", "evolutionary pass-sequence autotuner vs Table 1 (extension)", Exp_tune.tune);
+    ("fuzz", "differential fuzzing throughput (extension)", Exp_fuzz.fuzz);
     ("micro", "bechamel micro-benchmarks", Exp_micro.micro);
   ]
 

@@ -459,6 +459,156 @@ let tune_cmd =
       const run $ machine_arg $ population_arg $ generations_arg $ seed_arg $ domains_arg
       $ scale_arg $ bench_arg $ trace_out_arg)
 
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: generate random regions (DAG shapes and CFG-derived \
+     traces/superblocks/hyperblocks), schedule each with a randomly chosen scheduler or \
+     pass sequence on a randomly chosen machine, and cross-check the result against the \
+     validator, the semantic interpreter, analytic makespan bounds, and a \
+     cluster-relabeling metamorphic invariant. Violations are minimized by delta \
+     debugging and written as replayable repro files. Exits non-zero when any seed \
+     produces a violation."
+  in
+  let seeds_conv =
+    let parse s =
+      match String.index_opt s '.' with
+      | None ->
+        (match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok (n, n)
+        | _ -> Error (`Msg (Printf.sprintf "bad seed range %S (want N or LO..HI)" s)))
+      | Some i ->
+        let lo = String.sub s 0 i in
+        let rest = String.sub s i (String.length s - i) in
+        if String.length rest < 3 || String.sub rest 0 2 <> ".." then
+          Error (`Msg (Printf.sprintf "bad seed range %S (want N or LO..HI)" s))
+        else
+          let hi = String.sub rest 2 (String.length rest - 2) in
+          (match (int_of_string_opt lo, int_of_string_opt hi) with
+          | Some lo, Some hi when 0 <= lo && lo <= hi -> Ok (lo, hi)
+          | _ -> Error (`Msg (Printf.sprintf "bad seed range %S (want N or LO..HI)" s)))
+    in
+    let printer fmt (lo, hi) = Format.fprintf fmt "%d..%d" lo hi in
+    Arg.conv (parse, printer)
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt seeds_conv (0, 200)
+      & info [ "seeds" ] ~docv:"LO..HI" ~doc:"Inclusive seed range to fuzz.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Worker domains for the search.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Stop claiming new seeds after this much wall-clock time.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Write one minimized repro file per finding into $(docv).")
+  in
+  let findings_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "findings" ] ~docv:"FILE"
+          ~doc:"Write findings as JSON Lines to $(docv).")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report findings without minimizing them.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:
+            "Instead of fuzzing, replay a repro file (or every *.repro in a directory) \
+             and report which still fail.")
+  in
+  let replay path =
+    let repros =
+      if Sys.file_exists path && Sys.is_directory path then Cs_check.Repro.load_dir path
+      else [ (path, Cs_check.Repro.load path) ]
+    in
+    if repros = [] then begin
+      Printf.eprintf "fuzz: no .repro files under %s\n" path;
+      exit 1
+    end;
+    let failures =
+      List.fold_left
+        (fun acc (file, repro) ->
+          match repro with
+          | Error msg ->
+            Printf.printf "ERROR %s: %s\n" file msg;
+            acc + 1
+          | Ok r ->
+            (match Cs_check.Repro.replay r with
+            | Ok () ->
+              Printf.printf "ok    %s\n" file;
+              acc
+            | Error v ->
+              Printf.printf "FAIL  %s: %s: %s\n" file v.Cs_check.Oracle.check
+                v.Cs_check.Oracle.detail;
+              acc + 1))
+        0 repros
+    in
+    Printf.printf "%d repro%s, %d failing\n" (List.length repros)
+      (if List.length repros = 1 then "" else "s")
+      failures;
+    if failures > 0 then exit 1
+  in
+  let run seeds domains budget corpus findings_file no_shrink replay_path trace_out =
+    if domains <= 0 then begin
+      Printf.eprintf "fuzz: --domains must be positive\n";
+      exit 1
+    end;
+    with_trace ~trace_out @@ fun () ->
+    match replay_path with
+    | Some path -> replay path
+    | None ->
+      let lo, hi = seeds in
+      Printf.printf "fuzzing seeds %d..%d (%d domain%s%s)\n%!" lo hi domains
+        (if domains = 1 then "" else "s")
+        (match budget with
+        | None -> ""
+        | Some b -> Printf.sprintf ", budget %.0fs" b);
+      let stats, found =
+        Cs_check.Fuzz.run ~domains ?time_budget_s:budget ?corpus_dir:corpus
+          ~shrink:(not no_shrink)
+          ~on_finding:(fun f ->
+            Printf.printf "  seed %d (%s): %s: %s [%d -> %d instrs]%s\n%!"
+              f.Cs_check.Fuzz.seed f.Cs_check.Fuzz.label f.Cs_check.Fuzz.check
+              f.Cs_check.Fuzz.detail f.Cs_check.Fuzz.n_instrs
+              f.Cs_check.Fuzz.shrunk_instrs
+              (match f.Cs_check.Fuzz.repro_path with
+              | None -> ""
+              | Some p -> " -> " ^ p))
+          ~seeds ()
+      in
+      Option.iter
+        (fun path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Cs_check.Fuzz.findings_jsonl found));
+          Printf.printf "wrote %s (%d findings, JSON Lines)\n" path (List.length found))
+        findings_file;
+      Printf.printf "%d case%s in %.1fs: %d violation%s\n" stats.Cs_check.Fuzz.cases
+        (if stats.Cs_check.Fuzz.cases = 1 then "" else "s")
+        stats.Cs_check.Fuzz.elapsed_s stats.Cs_check.Fuzz.violations
+        (if stats.Cs_check.Fuzz.violations = 1 then "" else "s");
+      if stats.Cs_check.Fuzz.violations > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seeds_arg $ domains_arg $ budget_arg $ corpus_arg $ findings_arg
+      $ no_shrink_arg $ replay_arg $ trace_out_arg)
+
 let () =
   let doc = "convergent scheduling for spatial architectures (MICRO-35 reproduction)" in
   let info = Cmd.info "csched" ~version:"1.0.0" ~doc in
@@ -466,4 +616,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; passes_cmd; run_cmd; run_file_cmd; compare_cmd; trace_cmd;
-            profile_cmd; dot_cmd; tune_cmd ]))
+            profile_cmd; dot_cmd; tune_cmd; fuzz_cmd ]))

@@ -1,0 +1,150 @@
+type finding = {
+  seed : int;
+  label : string;
+  check : string;
+  detail : string;
+  n_instrs : int;
+  shrunk_instrs : int;
+  repro_path : string option;
+}
+
+type stats = {
+  cases : int;
+  violations : int;
+  elapsed_s : float;
+}
+
+(* Re-run the oracle and ask whether the same judge still rejects; the
+   shrinker minimizes against this predicate so a reduction cannot
+   "succeed" by tripping an unrelated check. *)
+let still_fails ?transform check scenario =
+  match Oracle.run ?transform scenario with
+  | Error v -> v.Oracle.check = check
+  | Ok () -> false
+
+let to_repro scenario violation =
+  {
+    Repro.scenario;
+    check = Some violation.Oracle.check;
+    note = Some violation.Oracle.detail;
+  }
+
+(* Chunked atomic work queue over seeds, same shape as the tuner's
+   parallel fitness map: workers grab index ranges and write results by
+   index, so findings come out in seed order regardless of which domain
+   ran what. Workers stop taking new chunks once the time budget is
+   spent; chunks already claimed run to completion. *)
+let search ?(domains = 1) ?time_budget_s ?transform ~seeds:(lo, hi) () =
+  let n = max 0 (hi - lo + 1) in
+  let results = Array.make n None in
+  let ran = Array.make n false in
+  let t0 = Cs_obs.Clock.now () in
+  let out_of_time () =
+    match time_budget_s with
+    | None -> false
+    | Some budget -> Cs_obs.Clock.since t0 >= budget
+  in
+  let run_one i =
+    let seed = lo + i in
+    let scenario = Gen.case ~seed in
+    ran.(i) <- true;
+    match Oracle.run ?transform scenario with
+    | Ok () -> ()
+    | Error v -> results.(i) <- Some (scenario, v)
+  in
+  let d = max 1 (min domains n) in
+  if d = 1 then begin
+    let i = ref 0 in
+    while !i < n && not (out_of_time ()) do
+      run_one !i;
+      incr i
+    done
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let chunk = max 1 (n / (d * 8)) in
+    let worker () =
+      let rec loop () =
+        if not (out_of_time ()) then begin
+          let start = Atomic.fetch_and_add next chunk in
+          if start < n then begin
+            for i = start to min n (start + chunk) - 1 do
+              run_one i
+            done;
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let others = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join others
+  end;
+  let cases = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 ran in
+  (cases, results, Cs_obs.Clock.since t0)
+
+let run ?domains ?time_budget_s ?corpus_dir ?(shrink = true) ?shrink_budget
+    ?transform ?on_finding ~seeds () =
+  let cases, results, search_s = search ?domains ?time_budget_s ?transform ~seeds () in
+  (* Shrinking and reporting are sequential and in seed order, so a
+     given seed range always yields the same findings in the same
+     order, whatever [domains] was. *)
+  let findings =
+    Array.to_list results
+    |> List.filter_map (fun r -> r)
+    |> List.map (fun (scenario, v) ->
+           let n_instrs = Cs_ddg.Region.n_instrs scenario.Scenario.region in
+           let minimized =
+             if shrink then
+               (Shrink.minimize ?budget:shrink_budget
+                  ~test:(still_fails ?transform v.Oracle.check)
+                  scenario)
+                 .Shrink.scenario
+             else scenario
+           in
+           let shrunk_instrs = Cs_ddg.Region.n_instrs minimized.Scenario.region in
+           let repro_path =
+             Option.map (fun dir -> Repro.save ~dir (to_repro minimized v)) corpus_dir
+           in
+           let finding =
+             {
+               seed = scenario.Scenario.seed;
+               label = scenario.Scenario.label;
+               check = v.Oracle.check;
+               detail = v.Oracle.detail;
+               n_instrs;
+               shrunk_instrs;
+               repro_path;
+             }
+           in
+           Cs_obs.Obs.instant ~cat:"fuzz"
+             ~args:
+               [ ("seed", Cs_obs.Obs.Int finding.seed);
+                 ("check", Cs_obs.Obs.Str finding.check);
+                 ("shrunk_instrs", Cs_obs.Obs.Int finding.shrunk_instrs) ]
+             "finding";
+           Option.iter (fun f -> f finding) on_finding;
+           finding)
+  in
+  Cs_obs.Obs.counter ~cat:"fuzz" "fuzz:run"
+    [ ("cases", float_of_int cases);
+      ("violations", float_of_int (List.length findings)) ];
+  ( { cases; violations = List.length findings; elapsed_s = search_s },
+    findings )
+
+let finding_to_json f =
+  let open Cs_obs.Json in
+  Obj
+    [ ("seed", Num (float_of_int f.seed));
+      ("label", Str f.label);
+      ("check", Str f.check);
+      ("detail", Str f.detail);
+      ("n_instrs", Num (float_of_int f.n_instrs));
+      ("shrunk_instrs", Num (float_of_int f.shrunk_instrs));
+      ("repro",
+       match f.repro_path with None -> Null | Some p -> Str p) ]
+
+let findings_jsonl findings =
+  String.concat ""
+    (List.map (fun f -> Cs_obs.Json.to_string (finding_to_json f) ^ "\n") findings)

@@ -1,0 +1,47 @@
+(** The differential fuzzing driver: generate a scenario per seed, run
+    it through {!Oracle}, minimize any violation with {!Shrink}, and
+    report findings as replayable {!Repro} files plus JSON Lines.
+
+    The search fans out across domains with the same chunked atomic
+    work queue as the tuner's fitness evaluator; shrinking and
+    reporting then run sequentially in seed order, so a seed range
+    always produces the same findings in the same order regardless of
+    [domains]. *)
+
+type finding = {
+  seed : int;
+  label : string; (** generator shape ("layered", "trace", ...) *)
+  check : string; (** failing oracle judge *)
+  detail : string;
+  n_instrs : int; (** region size as generated *)
+  shrunk_instrs : int; (** region size after minimization *)
+  repro_path : string option; (** where the repro was written, if anywhere *)
+}
+
+type stats = {
+  cases : int; (** scenarios actually executed (≤ seed range under a time budget) *)
+  violations : int;
+  elapsed_s : float; (** search phase wall-clock, excluding shrinking *)
+}
+
+val run :
+  ?domains:int ->
+  ?time_budget_s:float ->
+  ?corpus_dir:string ->
+  ?shrink:bool ->
+  ?shrink_budget:int ->
+  ?transform:(Cs_sched.Schedule.t -> Cs_sched.Schedule.t) ->
+  ?on_finding:(finding -> unit) ->
+  seeds:int * int ->
+  unit ->
+  stats * finding list
+(** [run ~seeds:(lo, hi) ()] fuzzes seeds [lo..hi] inclusive.
+    [time_budget_s] stops workers from claiming new seeds once spent.
+    [corpus_dir] writes one repro file per (minimized) finding.
+    [shrink] (default true) minimizes each failing scenario against
+    "the same judge still rejects". [transform] is the bug-injection
+    hook forwarded to {!Oracle.run}. [on_finding] fires after each
+    finding is minimized. *)
+
+val findings_jsonl : finding list -> string
+(** One JSON object per line; empty string for no findings. *)

@@ -1,0 +1,20 @@
+(** Unified random-input generation for the differential fuzzer.
+
+    One seed determines one complete scenario: a machine drawn from the
+    paper's configuration space (Raw meshes 1-16 tiles, clustered VLIWs
+    1-8 clusters), a region drawn from every generator family in the
+    repository — layered / thin / fat DDGs ({!Cs_workloads.Shapes}, with
+    congruence-class and preplacement sweeps) and full CFG → trace /
+    superblock / hyperblock region formation ({!Cs_cfg.Generate}) — plus
+    an optional homed-live-in sweep, and a scheduler configuration:
+    any baseline pipeline or the convergent scheduler under a randomized
+    pass sequence drawn from {!Cs_tuner.Genome.random}.
+
+    Every emitted case satisfies
+    [Cs_machine.Machine.validate_region machine region = Ok ()]. *)
+
+val shapes : string list
+(** The region-shape families the generator draws from. *)
+
+val case : seed:int -> Scenario.t
+(** Deterministic: equal seeds yield structurally equal scenarios. *)

@@ -1,0 +1,101 @@
+type violation = { check : string; detail : string }
+
+let violation check detail = { check; detail }
+
+let build scenario =
+  let { Scenario.machine; region; spec; seed; _ } = scenario in
+  try
+    Ok
+      (match spec with
+      | Scenario.Baseline scheduler ->
+        Cs_sim.Pipeline.schedule_raw ~seed ~scheduler ~machine region
+      | Scenario.Passes passes ->
+        Cs_sim.Pipeline.schedule_raw ~seed ~passes
+          ~scheduler:Cs_sim.Pipeline.Convergent ~machine region)
+  with
+  | Cs_sched.List_scheduler.Unschedulable msg ->
+    Error (violation "schedule" ("unschedulable: " ^ msg))
+  | Failure msg -> Error (violation "schedule" ("failure: " ^ msg))
+  | Invalid_argument msg -> Error (violation "schedule" ("invalid argument: " ^ msg))
+
+let check_validator sched =
+  match Cs_sched.Validator.check sched with
+  | Ok () -> Ok ()
+  | Error problems ->
+    Error (violation "validator" (String.concat "; " problems))
+
+let check_interp region sched =
+  match Cs_sim.Interp.equivalent region sched with
+  | Ok () -> Ok ()
+  | Error msg -> Error (violation "interp" msg)
+
+let check_bounds machine region sched =
+  let n = Cs_ddg.Region.n_instrs region in
+  let makespan = Cs_sched.Schedule.makespan sched in
+  let analysis =
+    Cs_ddg.Analysis.make
+      ~latency:(Cs_machine.Machine.latency_of machine)
+      region.Cs_ddg.Region.graph
+  in
+  let cpl = Cs_ddg.Analysis.cpl analysis in
+  if n > 0 && makespan < cpl then
+    Error
+      (violation "cpl-bound"
+         (Printf.sprintf "makespan %d below critical-path bound %d" makespan cpl))
+  else begin
+    let slots =
+      makespan * Cs_machine.Machine.n_clusters machine
+      * Cs_machine.Machine.issue_width machine
+    in
+    if n > 0 && slots < n then
+      Error
+        (violation "resource-bound"
+           (Printf.sprintf "%d instructions in %d issue slots (makespan %d)" n slots
+              makespan))
+    else Ok ()
+  end
+
+(* Cluster-permutation metamorphic invariant: on a symmetric machine
+   (identical clusters behind a crossbar) with nothing pinning a value
+   to a particular cluster, relabeling the clusters of a legal schedule
+   must yield another legal, semantically equivalent schedule of the
+   same makespan. Catches hidden cluster-identity assumptions in the
+   validator and the semantic oracle. *)
+let permutable machine region =
+  (not (Cs_machine.Machine.is_mesh machine))
+  && Cs_machine.Machine.n_clusters machine > 1
+  && Cs_ddg.Graph.preplaced region.Cs_ddg.Region.graph = []
+
+let check_permutation machine region sched =
+  if not (permutable machine region) then Ok ()
+  else begin
+    let nc = Cs_machine.Machine.n_clusters machine in
+    let rotated = Cs_sched.Schedule.map_clusters (fun c -> (c + 1) mod nc) sched in
+    if Cs_sched.Schedule.makespan rotated <> Cs_sched.Schedule.makespan sched then
+      Error (violation "permute" "cluster rotation changed the makespan")
+    else
+      match Cs_sched.Validator.check rotated with
+      | Error problems ->
+        Error
+          (violation "permute"
+             ("rotated schedule rejected: " ^ String.concat "; " problems))
+      | Ok () ->
+        (match Cs_sim.Interp.equivalent region rotated with
+        | Ok () -> Ok ()
+        | Error msg -> Error (violation "permute" ("rotated schedule inequivalent: " ^ msg)))
+  end
+
+let check_schedule scenario sched =
+  let { Scenario.machine; region; _ } = scenario in
+  let ( let* ) = Result.bind in
+  let* () = check_validator sched in
+  let* () = check_interp region sched in
+  let* () = check_bounds machine region sched in
+  check_permutation machine region sched
+
+let run ?transform scenario =
+  match build scenario with
+  | Error v -> Error v
+  | Ok sched ->
+    let sched = match transform with Some f -> f sched | None -> sched in
+    check_schedule scenario sched

@@ -1,0 +1,33 @@
+(** The differential-testing oracle: runs a scenario's scheduler and
+    cross-checks the result against every independent judge in the
+    repository —
+
+    - {!Cs_sched.Validator}: resource and dependence legality;
+    - {!Cs_sim.Interp}: observational equivalence to program-order
+      execution (the executable semantic oracle);
+    - analytic bounds: makespan at or above the critical-path lower
+      bound and enough issue slots for every instruction;
+    - a metamorphic invariant: on symmetric (crossbar) machines with no
+      preplacement, relabeling clusters preserves legality, semantics,
+      and makespan.
+
+    A scheduler crash ([Unschedulable], [Failure], [Invalid_argument])
+    is itself a reported violation, not a fuzzer error. *)
+
+type violation = { check : string; detail : string }
+(** [check] is the failing judge: ["schedule"], ["validator"],
+    ["interp"], ["cpl-bound"], ["resource-bound"], or ["permute"]. *)
+
+val build : Scenario.t -> (Cs_sched.Schedule.t, violation) result
+(** Run the scenario's scheduler {e without} the pipeline's internal
+    validation, converting crashes into ["schedule"] violations. *)
+
+val check_schedule : Scenario.t -> Cs_sched.Schedule.t -> (unit, violation) result
+(** All checks, first failure wins (ordered as listed above). *)
+
+val run :
+  ?transform:(Cs_sched.Schedule.t -> Cs_sched.Schedule.t) ->
+  Scenario.t -> (unit, violation) result
+(** [build] then [check_schedule]. [transform] is applied to the built
+    schedule first — the bug-injection hook used by tests to prove the
+    oracle and shrinker catch corrupted schedules. *)

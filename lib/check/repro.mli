@@ -1,0 +1,35 @@
+(** Replayable repro files: a minimized failing scenario serialized as
+    plain text, checked into [test/corpus/] once the underlying bug is
+    fixed and replayed by [dune runtest] as a permanent regression.
+
+    Format: a [cs-check-repro v1] magic line, [key value] headers
+    ([machine], [scheduler], [seed], [label], optional [check]/[note]),
+    then a [region] line followed by the region in
+    {!Cs_ddg.Textual} format. *)
+
+type t = {
+  scenario : Scenario.t;
+  check : string option; (** the oracle check that failed when found *)
+  note : string option;
+}
+
+val to_string : t -> string
+(** Round-trips through {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Also re-validates that the region fits the machine. *)
+
+val load : string -> (t, string) result
+
+val save : dir:string -> t -> string
+(** Writes to [dir] (created if missing) under a
+    [seed<N>-<label>-<check>.repro] name, suffixed if taken; returns the
+    path. *)
+
+val load_dir : string -> (string * (t, string) result) list
+(** Every [*.repro] file in [dir], sorted by name; missing directories
+    yield []. *)
+
+val replay : t -> (unit, Oracle.violation) result
+(** Run the stored scenario through the full oracle. A corpus repro
+    whose bug is fixed replays [Ok ()]. *)

@@ -1,0 +1,55 @@
+type spec =
+  | Baseline of Cs_sim.Pipeline.scheduler
+  | Passes of Cs_core.Pass.t list
+
+type t = {
+  label : string;
+  seed : int;
+  machine : Cs_machine.Machine.t;
+  region : Cs_ddg.Region.t;
+  spec : spec;
+}
+
+let machine_name m = m.Cs_machine.Machine.name
+
+let machine_of_name name =
+  let fail () = Error (Printf.sprintf "unknown machine %S (want raw-RxC or vliw-Nc)" name) in
+  match String.split_on_char '-' (String.lowercase_ascii (String.trim name)) with
+  | [ "raw"; dims ] ->
+    (match String.split_on_char 'x' dims with
+    | [ r; c ] ->
+      (match (int_of_string_opt r, int_of_string_opt c) with
+      | Some rows, Some cols when rows > 0 && cols > 0 ->
+        Ok (Cs_machine.Raw.create ~rows ~cols ())
+      | _ -> fail ())
+    | _ -> fail ())
+  | [ "vliw"; nc ] when String.length nc > 1 && nc.[String.length nc - 1] = 'c' ->
+    (match int_of_string_opt (String.sub nc 0 (String.length nc - 1)) with
+    | Some n when n > 0 -> Ok (Cs_machine.Vliw.create ~n_clusters:n ())
+    | _ -> fail ())
+  | _ -> fail ()
+
+let spec_to_string = function
+  | Baseline s -> "baseline:" ^ Cs_sim.Pipeline.scheduler_name s
+  | Passes l -> "passes:" ^ String.concat "," (Cs_core.Sequence.names l)
+
+let spec_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "malformed scheduler spec %S" s)
+  | Some i ->
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match kind with
+    | "baseline" ->
+      (match Cs_sim.Pipeline.scheduler_of_name rest with
+      | Some sch -> Ok (Baseline sch)
+      | None -> Error (Printf.sprintf "unknown baseline scheduler %S" rest))
+    | "passes" ->
+      (match Cs_core.Sequence.of_names (String.split_on_char ',' rest) with
+      | Ok passes -> Ok (Passes passes)
+      | Error msg -> Error msg)
+    | _ -> Error (Printf.sprintf "malformed scheduler spec %S" s))
+
+let pp fmt t =
+  Format.fprintf fmt "%s (seed %d): %d instrs on %s via %s" t.label t.seed
+    (Cs_ddg.Region.n_instrs t.region) (machine_name t.machine) (spec_to_string t.spec)

@@ -1,0 +1,220 @@
+(* Delta-debugging minimizer for failing scenarios (Zeller-style ddmin
+   over the region's instructions, then structural cleanups). Dropping
+   an instruction rewires its consumers automatically: a register whose
+   definition is removed becomes a region live-in, so every reduction
+   step yields a well-formed region by construction. *)
+
+type outcome = {
+  scenario : Scenario.t;
+  tests : int; (* predicate evaluations spent *)
+}
+
+(* Rebuild the region keeping only [keep] (sorted old instruction ids).
+   Ordering (memory) edges between kept instructions survive: def-use
+   edges are re-derived from operands and every other graph edge is
+   passed back explicitly (Graph.of_instrs ignores duplicates). *)
+let restrict_region region keep =
+  let graph = region.Cs_ddg.Region.graph in
+  let keep_arr = Array.of_list keep in
+  let remap = Hashtbl.create (Array.length keep_arr) in
+  Array.iteri (fun ni oi -> Hashtbl.add remap oi ni) keep_arr;
+  let instrs =
+    Array.mapi
+      (fun ni oi ->
+        let ins = Cs_ddg.Graph.instr graph oi in
+        Cs_ddg.Instr.make ~id:ni ~op:ins.Cs_ddg.Instr.op ~dst:ins.Cs_ddg.Instr.dst
+          ~srcs:ins.Cs_ddg.Instr.srcs ?preplace:ins.Cs_ddg.Instr.preplace
+          ~tag:ins.Cs_ddg.Instr.tag ())
+      keep_arr
+  in
+  let extra_edges =
+    Array.to_list keep_arr
+    |> List.concat_map (fun oi ->
+           Cs_ddg.Graph.succs graph oi
+           |> List.filter_map (fun oj ->
+                  match (Hashtbl.find_opt remap oi, Hashtbl.find_opt remap oj) with
+                  | Some ni, Some nj -> Some (ni, nj)
+                  | _ -> None))
+  in
+  let graph' = Cs_ddg.Graph.of_instrs instrs ~extra_edges in
+  let live_ins' = Cs_ddg.Graph.live_in_regs graph' in
+  let live_in_homes =
+    Cs_ddg.Reg.Map.fold
+      (fun r home acc -> if Cs_ddg.Reg.Set.mem r live_ins' then (r, home) :: acc else acc)
+      region.Cs_ddg.Region.live_in_homes []
+  in
+  let defined r = Cs_ddg.Graph.defining_instr graph' r <> None in
+  let live_outs =
+    Cs_ddg.Reg.Set.elements region.Cs_ddg.Region.live_outs
+    |> List.filter (fun r -> defined r || Cs_ddg.Reg.Set.mem r live_ins')
+  in
+  Cs_ddg.Region.make ~name:region.Cs_ddg.Region.name ~graph:graph' ~live_in_homes
+    ~live_outs ()
+
+let with_region scenario region = { scenario with Scenario.region }
+
+let try_restrict scenario keep =
+  if keep = [] then None
+  else
+    (* Keep the surviving instructions in their original program order. *)
+    let keep = List.sort_uniq Int.compare keep in
+    try Some (with_region scenario (restrict_region scenario.Scenario.region keep))
+    with Invalid_argument _ -> None
+
+(* Classic ddmin on the kept-instruction list. *)
+let ddmin ~test ~budget scenario =
+  let tests = ref 0 in
+  let check keep =
+    match try_restrict scenario keep with
+    | Some candidate when !tests < budget ->
+      incr tests;
+      if test candidate then Some candidate else None
+    | _ -> None
+  in
+  let rec split_into k l =
+    if k <= 1 then [ l ]
+    else begin
+      let n = List.length l in
+      let size = max 1 (n / k) in
+      let chunk = List.filteri (fun i _ -> i < size) l in
+      let rest = List.filteri (fun i _ -> i >= size) l in
+      chunk :: split_into (k - 1) rest
+    end
+  in
+  let rec go keep k best =
+    let n = List.length keep in
+    if n < 2 || k > n || !tests >= budget then (keep, best)
+    else begin
+      let chunks = split_into k keep in
+      let try_chunks candidates next_k =
+        List.fold_left
+          (fun acc cand ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              (match check cand with Some s -> Some (cand, s) | None -> None))
+          None candidates
+        |> function
+        | Some (cand, s) -> go cand (max 2 next_k) s
+        | None ->
+          if k >= n then (keep, best) else go keep (min (2 * k) n) best
+      in
+      (* Prefer single chunks (fast shrinking), then complements. *)
+      let complements =
+        List.mapi (fun i _ -> List.concat (List.filteri (fun j _ -> j <> i) chunks)) chunks
+      in
+      match
+        List.fold_left
+          (fun acc cand ->
+            match acc with
+            | Some _ -> acc
+            | None -> (match check cand with Some s -> Some (cand, s) | None -> None))
+          None chunks
+      with
+      | Some (cand, s) -> go cand 2 s
+      | None -> try_chunks complements (k - 1)
+    end
+  in
+  let all = List.init (Cs_ddg.Region.n_instrs scenario.Scenario.region) (fun i -> i) in
+  let keep, best = go all 2 scenario in
+  (* Final sweep: drop instructions one at a time until a fixpoint. *)
+  let rec sweep keep best =
+    if !tests >= budget then (keep, best)
+    else begin
+      let rec try_each prefix = function
+        | [] -> None
+        | i :: rest ->
+          let cand = List.rev_append prefix rest in
+          (match check cand with
+          | Some s -> Some (cand, s)
+          | None -> try_each (i :: prefix) rest)
+      in
+      match try_each [] keep with
+      | Some (cand, s) -> sweep cand s
+      | None -> (keep, best)
+    end
+  in
+  let _, best = sweep keep best in
+  (best, !tests)
+
+(* Structural cleanups beyond instruction deletion. *)
+let strip_preplacement scenario =
+  let region = scenario.Scenario.region in
+  let graph = region.Cs_ddg.Region.graph in
+  if Cs_ddg.Graph.preplaced graph = [] then None
+  else begin
+    let instrs =
+      Array.map
+        (fun ins ->
+          Cs_ddg.Instr.make ~id:ins.Cs_ddg.Instr.id ~op:ins.Cs_ddg.Instr.op
+            ~dst:ins.Cs_ddg.Instr.dst ~srcs:ins.Cs_ddg.Instr.srcs
+            ~tag:ins.Cs_ddg.Instr.tag ())
+        (Cs_ddg.Graph.instrs graph)
+    in
+    let n = Array.length instrs in
+    let extra_edges =
+      List.init n (fun i -> List.map (fun j -> (i, j)) (Cs_ddg.Graph.succs graph i))
+      |> List.concat
+    in
+    let graph' = Cs_ddg.Graph.of_instrs instrs ~extra_edges in
+    let live_in_homes =
+      Cs_ddg.Reg.Map.bindings region.Cs_ddg.Region.live_in_homes
+    in
+    Some
+      (with_region scenario
+         (Cs_ddg.Region.make ~name:region.Cs_ddg.Region.name ~graph:graph'
+            ~live_in_homes
+            ~live_outs:(Cs_ddg.Reg.Set.elements region.Cs_ddg.Region.live_outs)
+            ()))
+  end
+
+let strip_live_in_homes scenario =
+  let region = scenario.Scenario.region in
+  if Cs_ddg.Reg.Map.is_empty region.Cs_ddg.Region.live_in_homes then None
+  else
+    Some
+      (with_region scenario
+         (Cs_ddg.Region.make ~name:region.Cs_ddg.Region.name
+            ~graph:region.Cs_ddg.Region.graph
+            ~live_outs:(Cs_ddg.Reg.Set.elements region.Cs_ddg.Region.live_outs)
+            ()))
+
+(* Shorten a custom pass sequence one pass at a time. *)
+let shrink_passes ~test ~budget tests scenario =
+  match scenario.Scenario.spec with
+  | Scenario.Baseline _ -> scenario
+  | Scenario.Passes passes ->
+    let rec go passes scenario =
+      if List.length passes <= 1 || !tests >= budget then scenario
+      else begin
+        let rec try_each prefix = function
+          | [] -> None
+          | p :: rest ->
+            let cand =
+              { scenario with Scenario.spec = Scenario.Passes (List.rev_append prefix rest) }
+            in
+            incr tests;
+            if test cand then Some (List.rev_append prefix rest, cand)
+            else try_each (p :: prefix) rest
+        in
+        match try_each [] passes with
+        | Some (passes', scenario') -> go passes' scenario'
+        | None -> scenario
+      end
+    in
+    go passes scenario
+
+let minimize ?(budget = 500) ~test scenario =
+  let keep_if_fails tests candidate scenario =
+    match candidate with
+    | Some c when !tests < budget ->
+      incr tests;
+      if test c then c else scenario
+    | _ -> scenario
+  in
+  let best, used = ddmin ~test ~budget scenario in
+  let tests = ref used in
+  let best = keep_if_fails tests (strip_preplacement best) best in
+  let best = keep_if_fails tests (strip_live_in_homes best) best in
+  let best = shrink_passes ~test ~budget tests best in
+  { scenario = best; tests = !tests }

@@ -1,0 +1,24 @@
+(** Delta-debugging minimization of failing scenarios.
+
+    The reducer is semantics-preserving at the representation level:
+    dropping instructions keeps a well-formed SSA region (registers
+    whose definitions are removed become live-ins; ordering edges
+    between surviving instructions are preserved), so the predicate is
+    always evaluated on valid inputs. Reductions applied, in order:
+
+    - ddmin over the instruction set (chunk and complement deletion),
+    - a one-instruction-at-a-time elimination sweep to a fixpoint,
+    - clearing preplacements, clearing live-in homes,
+    - dropping passes from an explicit pass sequence one at a time.
+
+    Deterministic: same scenario and predicate, same result. *)
+
+type outcome = {
+  scenario : Scenario.t; (** the smallest failing scenario found *)
+  tests : int; (** predicate evaluations spent *)
+}
+
+val minimize : ?budget:int -> test:(Scenario.t -> bool) -> Scenario.t -> outcome
+(** [minimize ~test scenario] assumes [test scenario = true] ("still
+    fails") and greedily reduces while the predicate holds, evaluating
+    it at most [budget] (default 500) times. *)

@@ -51,6 +51,14 @@ let utilization t =
 let comms_for t ~producer ~dst =
   List.find_opt (fun c -> c.producer = producer && c.dst = dst) t.comms
 
+let map_clusters f t =
+  {
+    t with
+    entries = Array.map (fun e -> { e with cluster = f e.cluster }) t.entries;
+    comms = List.map (fun c -> { c with src = f c.src; dst = f c.dst }) t.comms;
+    live_in_homes = Cs_ddg.Reg.Map.map f t.live_in_homes;
+  }
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>schedule on %s: makespan %d, %d comms@,"
     t.machine.Cs_machine.Machine.name t.makespan (n_comms t);

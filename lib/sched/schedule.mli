@@ -55,5 +55,12 @@ val utilization : t -> float
 
 val comms_for : t -> producer:int -> dst:int -> comm option
 
+val map_clusters : (int -> int) -> t -> t
+(** Relabel clusters everywhere a cluster id appears: entries, transfer
+    endpoints, and live-in homes. Functional-unit indices and cycles are
+    untouched, so the result is only meaningful under a permutation of
+    identical clusters (e.g. the symmetric crossbar VLIW) — used by the
+    fuzzing oracle's cluster-permutation metamorphic check. *)
+
 val pp : Format.formatter -> t -> unit
 (** Per-cluster timeline rendering. *)

@@ -37,7 +37,7 @@ let emit_sim_counters ~scheduler sched =
         ("transfers", float_of_int (Cs_sched.Schedule.n_comms sched));
         ("utilization", Cs_sched.Schedule.utilization sched) ]
 
-let convergent ?seed ?passes ~machine region =
+let convergent_traced ?seed ?passes ~machine region =
   let passes = match passes with Some p -> p | None -> default_passes ~machine in
   let result = Cs_core.Driver.run ?seed ~machine region passes in
   let analysis = result.Cs_core.Driver.context.Cs_core.Context.analysis in
@@ -49,22 +49,30 @@ let convergent ?seed ?passes ~machine region =
     Cs_sched.List_scheduler.run ~machine
       ~assignment:result.Cs_core.Driver.assignment ~priority ~analysis region
   in
+  (sched, result.Cs_core.Driver.trace)
+
+let convergent ?seed ?passes ~machine region =
+  let sched, trace = convergent_traced ?seed ?passes ~machine region in
   emit_sim_counters ~scheduler:Convergent sched;
-  (validated sched, result.Cs_core.Driver.trace)
+  (validated sched, trace)
+
+let schedule_raw ?seed ?passes ~scheduler ~machine region =
+  match scheduler with
+  | Convergent -> fst (convergent_traced ?seed ?passes ~machine region)
+  | _ ->
+    Cs_obs.Obs.span ~cat:"sim" ("schedule:" ^ scheduler_name scheduler) (fun () ->
+        match scheduler with
+        | Convergent -> assert false
+        | Rawcc -> Cs_baselines.Rawcc.schedule ~machine region
+        | Uas -> Cs_baselines.Uas.schedule ~machine region
+        | Pcc -> Cs_baselines.Pcc.schedule ~machine region
+        | Bug -> Cs_baselines.Bug.schedule ~machine region
+        | Anneal -> Cs_baselines.Anneal.schedule ?seed ~machine region)
 
 let schedule ?seed ~scheduler ~machine region =
   match scheduler with
   | Convergent -> fst (convergent ?seed ~machine region)
   | _ ->
-    let sched =
-      Cs_obs.Obs.span ~cat:"sim" ("schedule:" ^ scheduler_name scheduler) (fun () ->
-          match scheduler with
-          | Convergent -> assert false
-          | Rawcc -> Cs_baselines.Rawcc.schedule ~machine region
-          | Uas -> Cs_baselines.Uas.schedule ~machine region
-          | Pcc -> Cs_baselines.Pcc.schedule ~machine region
-          | Bug -> Cs_baselines.Bug.schedule ~machine region
-          | Anneal -> Cs_baselines.Anneal.schedule ?seed ~machine region)
-    in
+    let sched = schedule_raw ?seed ~scheduler ~machine region in
     emit_sim_counters ~scheduler sched;
     validated sched

@@ -32,4 +32,15 @@ val convergent :
 (** Convergent pipeline that also returns the convergence trace
     (Figs. 7/9) and accepts a custom pass sequence (ablations). *)
 
+val schedule_raw :
+  ?seed:int -> ?passes:Cs_core.Pass.t list -> scheduler:scheduler ->
+  machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Cs_sched.Schedule.t
+(** Like {!schedule}, but the result is returned {e without} passing
+    through {!Cs_sched.Validator} (and without emitting simulator
+    counters). This is the entry point for the differential-fuzzing
+    oracle in [lib/check], which must observe illegal schedules rather
+    than die on the pipeline's internal [check_exn]; everything else
+    should use {!schedule}. [passes] is only meaningful for
+    [Convergent]. *)
+
 val default_passes : machine:Cs_machine.Machine.t -> Cs_core.Pass.t list

@@ -199,3 +199,12 @@ let crossover rng a b =
         else attempt (tries - 1)
     in
     attempt 8
+
+(* --- random genomes (fuzzing) --- *)
+
+let random ?(max_mutations = 8) rng machine =
+  let g = ref (of_machine machine) in
+  for _ = 1 to Cs_util.Rng.int rng (max_mutations + 1) do
+    g := mutate rng !g
+  done;
+  !g

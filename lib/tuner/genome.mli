@@ -64,3 +64,9 @@ val crossover : Cs_util.Rng.t -> t -> t -> t
 val equal : t -> t -> bool
 val compare_canonical : t -> t -> int
 (** Total order on canonical strings — deterministic tie-breaking. *)
+
+val random : ?max_mutations:int -> Cs_util.Rng.t -> Cs_machine.Machine.t -> t
+(** The machine's default genome after 0..[max_mutations] (default 8)
+    random {!mutate} steps — a validity-preserving sample of the pass
+    sequence space centered on Table 1. Used by the differential fuzzer
+    to draw randomized convergent pass sequences. *)

@@ -1,0 +1,32 @@
+(* Regression corpus replay: every checked-in repro under test/corpus/
+   is a minimized scenario that once exposed a (deliberately injected or
+   since-fixed) bug. Each must parse and replay violation-free at HEAD;
+   a failure here means a regression the fuzzer already knows how to
+   find. Run by `dune runtest` from _build/default/test. *)
+
+let corpus_dir = "corpus"
+
+let () =
+  let repros = Cs_check.Repro.load_dir corpus_dir in
+  let cases =
+    List.map
+      (fun (path, loaded) ->
+        Alcotest.test_case (Filename.basename path) `Quick (fun () ->
+            match loaded with
+            | Error msg -> Alcotest.failf "%s does not parse: %s" path msg
+            | Ok r ->
+              (match Cs_check.Repro.replay r with
+              | Ok () -> ()
+              | Error v ->
+                Alcotest.failf "%s regressed: %s: %s" path v.Cs_check.Oracle.check
+                  v.Cs_check.Oracle.detail)))
+      repros
+  in
+  let cases =
+    if cases <> [] then cases
+    else
+      [ Alcotest.test_case "corpus directory present" `Quick (fun () ->
+            Alcotest.failf "no .repro files found under %s"
+              (Filename.concat (Sys.getcwd ()) corpus_dir)) ]
+  in
+  Alcotest.run "corpus" [ ("replay", cases) ]

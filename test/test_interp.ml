@@ -1,0 +1,159 @@
+(* Error-path tests for Cs_sim.Interp.of_schedule: the semantic oracle
+   must reject schedules that read a value before the producer finishes,
+   read on a cluster the value was never delivered to, or read a homed
+   live-in away from its home without a transfer — and must accept the
+   corrected schedule in each case. *)
+
+open Cs_sched
+
+let vliw2 = Cs_machine.Vliw.create ~n_clusters:2 ()
+
+(* i0: a = mov x (x an un-homed live-in); i1: c = mov a. *)
+let producer_consumer () =
+  let b = Cs_ddg.Builder.create ~name:"interp-pc" () in
+  let x = Cs_ddg.Builder.live_in b in
+  let a = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Mov x in
+  let c = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Mov a in
+  Cs_ddg.Builder.mark_live_out b c;
+  Cs_ddg.Builder.finish b
+
+(* c = mov x, with x a live-in homed on cluster 0. *)
+let homed_consumer () =
+  let b = Cs_ddg.Builder.create ~name:"interp-homed" () in
+  let x = Cs_ddg.Builder.live_in ~home:0 b in
+  let c = Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Mov x in
+  Cs_ddg.Builder.mark_live_out b c;
+  (Cs_ddg.Builder.finish b, x)
+
+let entry ~cluster ~start ~finish = { Schedule.cluster; fu = 0; start; finish }
+
+let make_sched region ?live_in_homes ~entries ~comms () =
+  Schedule.make ~machine:vliw2 ~graph:region.Cs_ddg.Region.graph ?live_in_homes
+    ~entries:(Array.of_list entries) ~comms ()
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let expect_error part result =
+  match result with
+  | Ok _ -> Alcotest.failf "expected an error mentioning %S, got Ok" part
+  | Error msg ->
+    if not (contains ~sub:part msg) then
+      Alcotest.failf "error %S does not mention %S" msg part
+
+let test_same_cluster_ok () =
+  let region = producer_consumer () in
+  let sched =
+    make_sched region
+      ~entries:
+        [ entry ~cluster:0 ~start:0 ~finish:1; entry ~cluster:0 ~start:1 ~finish:2 ]
+      ~comms:[] ()
+  in
+  Alcotest.(check bool)
+    "equivalent" true
+    (Cs_sim.Interp.equivalent region sched = Ok ())
+
+let test_operand_not_arrived () =
+  let region = producer_consumer () in
+  (* Consumer issues at cycle 0, before the producer's finish at 1. *)
+  let sched =
+    make_sched region
+      ~entries:
+        [ entry ~cluster:0 ~start:0 ~finish:1; entry ~cluster:0 ~start:0 ~finish:1 ]
+      ~comms:[] ()
+  in
+  expect_error "arrives at" (Cs_sim.Interp.of_schedule sched)
+
+let test_missing_comm () =
+  let region = producer_consumer () in
+  (* Consumer on the other cluster with no transfer at all. *)
+  let sched =
+    make_sched region
+      ~entries:
+        [ entry ~cluster:0 ~start:0 ~finish:1; entry ~cluster:1 ~start:2 ~finish:3 ]
+      ~comms:[] ()
+  in
+  expect_error "no delivery" (Cs_sim.Interp.of_schedule sched)
+
+let test_late_comm () =
+  let region = producer_consumer () in
+  (* Transfer exists but lands after the consumer's issue cycle. *)
+  let sched =
+    make_sched region
+      ~entries:
+        [ entry ~cluster:0 ~start:0 ~finish:1; entry ~cluster:1 ~start:2 ~finish:3 ]
+      ~comms:[ { Schedule.producer = 0; src = 0; dst = 1; depart = 3; arrive = 4 } ]
+      ()
+  in
+  expect_error "arrives at" (Cs_sim.Interp.of_schedule sched)
+
+let test_timely_comm_ok () =
+  let region = producer_consumer () in
+  let sched =
+    make_sched region
+      ~entries:
+        [ entry ~cluster:0 ~start:0 ~finish:1; entry ~cluster:1 ~start:2 ~finish:3 ]
+      ~comms:[ { Schedule.producer = 0; src = 0; dst = 1; depart = 1; arrive = 2 } ]
+      ()
+  in
+  Alcotest.(check bool)
+    "equivalent" true
+    (Cs_sim.Interp.equivalent region sched = Ok ())
+
+let test_homed_live_in_missing_delivery () =
+  let region, _x = homed_consumer () in
+  (* The consumer runs on cluster 1 but x lives on cluster 0. *)
+  let sched =
+    make_sched region ~live_in_homes:region.Cs_ddg.Region.live_in_homes
+      ~entries:[ entry ~cluster:1 ~start:0 ~finish:1 ]
+      ~comms:[] ()
+  in
+  expect_error "no delivery" (Cs_sim.Interp.of_schedule sched)
+
+let test_homed_live_in_delivered_ok () =
+  let region, x = homed_consumer () in
+  let sched =
+    make_sched region ~live_in_homes:region.Cs_ddg.Region.live_in_homes
+      ~entries:[ entry ~cluster:1 ~start:1 ~finish:2 ]
+      ~comms:
+        [ { Schedule.producer = Schedule.live_in_producer x;
+            src = 0; dst = 1; depart = 0; arrive = 1 } ]
+      ()
+  in
+  Alcotest.(check bool)
+    "equivalent" true
+    (Cs_sim.Interp.equivalent region sched = Ok ())
+
+let test_homed_live_in_on_home_ok () =
+  let region, _x = homed_consumer () in
+  (* On the home cluster, no delivery is needed. *)
+  let sched =
+    make_sched region ~live_in_homes:region.Cs_ddg.Region.live_in_homes
+      ~entries:[ entry ~cluster:0 ~start:0 ~finish:1 ]
+      ~comms:[] ()
+  in
+  Alcotest.(check bool)
+    "equivalent" true
+    (Cs_sim.Interp.equivalent region sched = Ok ())
+
+let () =
+  Alcotest.run "cs_sim.interp"
+    [
+      ( "of_schedule",
+        [ Alcotest.test_case "same-cluster dataflow accepted" `Quick test_same_cluster_ok;
+          Alcotest.test_case "read before producer finish rejected" `Quick
+            test_operand_not_arrived;
+          Alcotest.test_case "cross-cluster read without comm rejected" `Quick
+            test_missing_comm;
+          Alcotest.test_case "late transfer rejected" `Quick test_late_comm;
+          Alcotest.test_case "timely transfer accepted" `Quick test_timely_comm_ok ] );
+      ( "homed live-ins",
+        [ Alcotest.test_case "missing delivery off home rejected" `Quick
+            test_homed_live_in_missing_delivery;
+          Alcotest.test_case "delivered off home accepted" `Quick
+            test_homed_live_in_delivered_ok;
+          Alcotest.test_case "consumer on home accepted" `Quick
+            test_homed_live_in_on_home_ok ] );
+    ]

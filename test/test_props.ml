@@ -1,6 +1,15 @@
 (* Property-based tests over random regions: every scheduler produces a
    validator-clean schedule whose makespan respects lower bounds. *)
 
+(* QCheck draws shrinking candidates from a Random.State; seeding it
+   from Cs_util.Rng (instead of to_alcotest's Random.self_init default)
+   makes `dune runtest` bit-reproducible. *)
+let to_alcotest test =
+  let rng = Cs_util.Rng.create 0xB17_5EED in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make (Array.init 8 (fun _ -> Cs_util.Rng.int rng 0x3FFFFFFF)))
+    test
+
 let vliw4 = Cs_machine.Vliw.create ~n_clusters:4 ()
 let raw4 = Cs_machine.Raw.with_tiles 4
 
@@ -18,6 +27,49 @@ let make_region ~banks (seed, n) =
 
 let print_region (seed, n) = Printf.sprintf "seed=%d n=%d" seed n
 let arbitrary_region = QCheck.make ~print:print_region region_gen
+
+(* Shape-diverse generator: the paper's thin and fat archetypes and
+   CFG-derived trace regions alongside the layered DAGs above. *)
+type shape = Layered | Thin | Fat | Cfg
+
+let shape_name = function
+  | Layered -> "layered"
+  | Thin -> "thin"
+  | Fat -> "fat"
+  | Cfg -> "cfg"
+
+let shaped_gen =
+  QCheck.Gen.(
+    map2 (fun shape seed -> (shape, seed))
+      (oneofl [ Layered; Thin; Fat; Cfg ])
+      (int_bound 10_000))
+
+let print_shaped (shape, seed) = Printf.sprintf "shape=%s seed=%d" (shape_name shape) seed
+
+let arbitrary_shaped = QCheck.make ~print:print_shaped shaped_gen
+
+(* Sizes are kept modest so the full scheduler matrix (including
+   simulated annealing) stays fast. *)
+let make_shaped ~banks (shape, seed) =
+  match shape with
+  | Layered ->
+    Cs_workloads.Shapes.layered ~n:40
+      ~congruence:(Cs_workloads.Congruence.interleaved ~n_banks:banks)
+      ~seed ()
+  | Thin -> Cs_workloads.Shapes.thin ~chains:4 ~length:8 ~cross_links:3 ~seed ()
+  | Fat -> Cs_workloads.Shapes.fat ~width:6 ~depth:4 ~seed ()
+  | Cfg ->
+    let cfg =
+      Cs_cfg.Generate.acyclic ~segments:3 ~instrs_per_block:4 ~variables:6 ~banks ~seed ()
+    in
+    (match
+       List.filter (fun r -> Cs_ddg.Region.n_instrs r > 0) (Cs_cfg.Trace.regions cfg)
+     with
+    | r :: _ -> r
+    | [] ->
+      Cs_workloads.Shapes.layered ~n:20
+        ~congruence:(Cs_workloads.Congruence.interleaved ~n_banks:banks)
+        ~seed ())
 
 let schedules_validate name machine scheduler =
   QCheck.Test.make ~count:40 ~name arbitrary_region (fun params ->
@@ -38,6 +90,29 @@ let prop_convergent_raw = schedules_validate "convergent/raw valid + cpl bound" 
 let prop_uas_vliw = schedules_validate "uas/vliw valid + cpl bound" vliw4 Cs_sim.Pipeline.Uas
 let prop_rawcc_raw = schedules_validate "rawcc/raw valid + cpl bound" raw4 Cs_sim.Pipeline.Rawcc
 let prop_bug_vliw = schedules_validate "bug/vliw valid + cpl bound" vliw4 Cs_sim.Pipeline.Bug
+
+(* The full differential matrix: every scheduler on both machine
+   families, judged by the validator, the critical-path bound, and the
+   semantic interpreter. This is the in-tree slice of what `csched
+   fuzz` sweeps at scale. *)
+let prop_scheduler_matrix =
+  QCheck.Test.make ~count:10 ~name:"all schedulers x both machines: valid + bounds + semantics"
+    arbitrary_shaped (fun params ->
+      List.for_all
+        (fun machine ->
+          let region = make_shaped ~banks:(Cs_machine.Machine.n_clusters machine) params in
+          let a =
+            Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of machine)
+              region.Cs_ddg.Region.graph
+          in
+          List.for_all
+            (fun scheduler ->
+              let sched = Cs_sim.Pipeline.schedule ~seed:7 ~scheduler ~machine region in
+              Cs_sched.Validator.check sched = Ok ()
+              && Cs_sched.Schedule.makespan sched >= Cs_ddg.Analysis.cpl a
+              && Cs_sim.Interp.equivalent region sched = Ok ())
+            Cs_sim.Pipeline.all_schedulers)
+        [ vliw4; raw4 ])
 
 let prop_single_tile_serializes =
   QCheck.Test.make ~count:25 ~name:"single tile >= instruction count" arbitrary_region
@@ -194,18 +269,18 @@ let () =
   Alcotest.run "properties"
     [
       ( "schedulers",
-        List.map QCheck_alcotest.to_alcotest
+        List.map to_alcotest
           [ prop_convergent_vliw; prop_convergent_raw; prop_uas_vliw; prop_rawcc_raw;
-            prop_bug_vliw; prop_single_tile_serializes ] );
+            prop_bug_vliw; prop_scheduler_matrix; prop_single_tile_serializes ] );
       ( "framework",
-        List.map QCheck_alcotest.to_alcotest
+        List.map to_alcotest
           [ prop_assignment_respects_preplacement; prop_driver_weights_invariant;
             prop_more_tiles_never_catastrophic; prop_semantic_equivalence;
             prop_iterative_terminates ] );
       ( "analysis",
-        List.map QCheck_alcotest.to_alcotest
+        List.map to_alcotest
           [ prop_analysis_invariants; prop_distance_symmetric; prop_textual_roundtrip ] );
       ( "baselines",
-        List.map QCheck_alcotest.to_alcotest
+        List.map to_alcotest
           [ prop_estimator_positive; prop_pcc_components_partition; prop_pressure_nonnegative ] );
     ]

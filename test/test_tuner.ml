@@ -3,6 +3,14 @@
    prevents re-simulation, and parameterized sequences round-trip
    through their textual form. *)
 
+(* Seed QCheck's Random.State from Cs_util.Rng so `dune runtest` is
+   bit-reproducible (to_alcotest's default state is self_init'd). *)
+let to_alcotest test =
+  let rng = Cs_util.Rng.create 0xB17_5EED in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make (Array.init 8 (fun _ -> Cs_util.Rng.int rng 0x3FFFFFFF)))
+    test
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_string = Alcotest.(check string)
@@ -156,7 +164,7 @@ let () =
             test_sequence_default_emits_bare_names;
           Alcotest.test_case "bad specs rejected" `Quick test_sequence_rejects_bad_specs ] );
       ( "genome",
-        List.map QCheck_alcotest.to_alcotest
+        List.map to_alcotest
           [ prop_mutation_valid; prop_crossover_valid; prop_genome_string_roundtrip ] );
       ( "fitness",
         [ Alcotest.test_case "cache prevents re-evaluation" `Quick

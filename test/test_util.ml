@@ -1,5 +1,13 @@
 (* Unit tests for Cs_util: RNG, heap, union-find, stats, table, bitset. *)
 
+(* Seed QCheck's Random.State from Cs_util.Rng so `dune runtest` is
+   bit-reproducible (to_alcotest's default state is self_init'd). *)
+let to_alcotest test =
+  let rng = Cs_util.Rng.create 0xB17_5EED in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make (Array.init 8 (fun _ -> Cs_util.Rng.int rng 0x3FFFFFFF)))
+    test
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_float = Alcotest.(check (float 1e-9))
@@ -113,7 +121,7 @@ let test_heap_random_qcheck =
         let h = Cs_util.Heap.of_list ~cmp:Int.compare xs in
         Cs_util.Heap.to_sorted_list h = List.sort Int.compare xs)
   in
-  QCheck_alcotest.to_alcotest prop
+  to_alcotest prop
 
 (* --- Union-find --- *)
 

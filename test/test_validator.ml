@@ -97,6 +97,66 @@ let test_rejects_preplaced_nonmem_off_home () =
   check_bool "off-home rejected" true
     (match Cs_sched.Validator.check bad with Error _ -> true | Ok () -> false)
 
+(* Mesh route corruption: producer chain on tile 0 of a 1x4 Raw row,
+   consumer on tile 3, so the good schedule carries one multi-hop
+   transfer whose route the validator re-derives and re-times. *)
+let raw1x4 = Cs_machine.Raw.create ~rows:1 ~cols:4 ()
+
+let mesh_schedule () =
+  let region = base_region () in
+  let a =
+    Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of raw1x4)
+      region.Cs_ddg.Region.graph
+  in
+  Cs_sched.List_scheduler.run ~machine:raw1x4 ~assignment:[| 0; 0; 3 |]
+    ~priority:(Cs_sched.Priority.alap a) ~analysis:a region
+
+let mesh_rejects what tamper =
+  let sched = mesh_schedule () in
+  let bad = { sched with Cs_sched.Schedule.comms = tamper sched.Cs_sched.Schedule.comms } in
+  check_bool what true
+    (match Cs_sched.Validator.check bad with Error _ -> true | Ok () -> false)
+
+let test_mesh_good_passes () =
+  check_bool "valid" true (Cs_sched.Validator.check (mesh_schedule ()) = Ok ())
+
+let test_mesh_rejects_skipped_hop () =
+  (* Arriving one cycle early is exactly a route with one hop dropped. *)
+  mesh_rejects "skipped hop" (fun comms ->
+      List.map
+        (fun c -> { c with Cs_sched.Schedule.arrive = c.Cs_sched.Schedule.arrive - 1 })
+        comms)
+
+let test_mesh_rejects_wrong_direction () =
+  (* The transfer claims to run 3 -> 0: its source is no longer the
+     producer's tile. *)
+  mesh_rejects "wrong direction" (fun comms ->
+      List.map
+        (fun c ->
+          { c with Cs_sched.Schedule.src = c.Cs_sched.Schedule.dst;
+            dst = c.Cs_sched.Schedule.src })
+        comms)
+
+let test_mesh_rejects_wrong_destination () =
+  (* Rerouting the value to tile 1 leaves the consumer on tile 3 with no
+     delivery. *)
+  mesh_rejects "wrong destination" (fun comms ->
+      List.map (fun c -> { c with Cs_sched.Schedule.dst = 1 }) comms)
+
+let test_mesh_rejects_link_collision () =
+  (* A second, otherwise-legal transfer that grabs the 0->1 link on the
+     cycle the real transfer's head flit occupies it. *)
+  mesh_rejects "link collision" (fun comms ->
+      match comms with
+      | main :: _ ->
+        { Cs_sched.Schedule.producer = 0; src = 0; dst = 1;
+          depart = main.Cs_sched.Schedule.depart;
+          arrive =
+            main.Cs_sched.Schedule.depart
+            + Cs_machine.Machine.comm_latency raw1x4 ~src:0 ~dst:1 }
+        :: comms
+      | [] -> Alcotest.fail "mesh schedule has no transfer")
+
 let test_check_exn_raises () =
   let sched = good_schedule () in
   let entries = Array.copy sched.Cs_sched.Schedule.entries in
@@ -142,6 +202,11 @@ let () =
           Alcotest.test_case "transfer latency" `Quick test_rejects_transfer_wrong_latency;
           Alcotest.test_case "early departure" `Quick test_rejects_transfer_before_producer;
           Alcotest.test_case "preplaced off home" `Quick test_rejects_preplaced_nonmem_off_home;
+          Alcotest.test_case "mesh good passes" `Quick test_mesh_good_passes;
+          Alcotest.test_case "mesh skipped hop" `Quick test_mesh_rejects_skipped_hop;
+          Alcotest.test_case "mesh wrong direction" `Quick test_mesh_rejects_wrong_direction;
+          Alcotest.test_case "mesh wrong destination" `Quick test_mesh_rejects_wrong_destination;
+          Alcotest.test_case "mesh link collision" `Quick test_mesh_rejects_link_collision;
           Alcotest.test_case "check_exn raises" `Quick test_check_exn_raises;
           Alcotest.test_case "messages name instr" `Quick test_error_messages_name_instruction;
         ] );

@@ -1,5 +1,13 @@
 (* Tests for the preference matrix, including qcheck invariants. *)
 
+(* Seed QCheck's Random.State from Cs_util.Rng so `dune runtest` is
+   bit-reproducible (to_alcotest's default state is self_init'd). *)
+let to_alcotest test =
+  let rng = Cs_util.Rng.create 0xB17_5EED in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make (Array.init 8 (fun _ -> Cs_util.Rng.int rng 0x3FFFFFFF)))
+    test
+
 open Cs_core
 
 let check_int = Alcotest.(check int)
@@ -149,7 +157,7 @@ let test_random_edits_qcheck =
         Weights.normalize_all w;
         match Weights.check_invariants w with Ok () -> true | Error _ -> false)
   in
-  QCheck_alcotest.to_alcotest prop
+  to_alcotest prop
 
 let test_random_blends_qcheck =
   let gen = QCheck.Gen.(list_size (int_bound 40) (tup3 (int_bound 3) (int_bound 3) (float_bound_inclusive 1.0))) in
@@ -161,7 +169,7 @@ let test_random_blends_qcheck =
         Weights.normalize_all w;
         match Weights.check_invariants w with Ok () -> true | Error _ -> false)
   in
-  QCheck_alcotest.to_alcotest prop
+  to_alcotest prop
 
 let test_marginal_consistency_qcheck =
   let prop =
@@ -181,7 +189,7 @@ let test_marginal_consistency_qcheck =
         done;
         !ok)
   in
-  QCheck_alcotest.to_alcotest prop
+  to_alcotest prop
 
 let () =
   Alcotest.run "cs_core.weights"
