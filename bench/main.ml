@@ -26,6 +26,7 @@ let experiments =
     ("regions", "scheduling-unit formation comparison (extension)", Exp_regions.regions);
     ("tune", "evolutionary pass-sequence autotuner vs Table 1 (extension)", Exp_tune.tune);
     ("fuzz", "differential fuzzing throughput (extension)", Exp_fuzz.fuzz);
+    ("faults", "fault injection and graceful degradation (extension)", Exp_resil.faults);
     ("micro", "bechamel micro-benchmarks", Exp_micro.micro);
   ]
 

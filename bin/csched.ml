@@ -6,6 +6,8 @@
      csched trace -b jacobi -m raw16
      csched profile -b jacobi -m raw16 [--rounds 3] [--trace-out t.json] [--jsonl t.jsonl]
      csched dot -b sha -m vliw4 -o sha.dot [-s uas]
+     csched faults -b sha -m raw16 [--plans 'tile=5;link=1-2'] [-o sweep.jsonl]
+     csched fuzz [--seeds LO..HI] [--degraded] [--corpus DIR]
      csched passes *)
 
 open Cmdliner
@@ -112,6 +114,59 @@ let region_of entry machine scale =
   entry.Cs_workloads.Suite.generate ~scale
     ~clusters:(Cs_machine.Machine.n_clusters machine) ()
 
+(* --- fault plans --- *)
+
+let faults_conv =
+  let parse s =
+    match Cs_resil.Fault.parse s with
+    | Ok plan -> Ok plan
+    | Error msg -> Error (`Msg msg)
+  in
+  let printer fmt plan = Format.fprintf fmt "%s" (Cs_resil.Fault.to_string plan) in
+  Arg.conv (parse, printer)
+
+let faults_opt_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Degrade the machine with a fault plan before scheduling (e.g. \
+           'tile=5,link=2-3,fu=1:0,slow-link=4-8:x3') and schedule through the \
+           resilient fallback chain.")
+
+(* The stock sweep grids for the paper's two evaluation machines; other
+   geometries get a small generic set derived from their shape. *)
+let raw4x4_plans =
+  [ "tile=5"; "link=1-2"; "slow-link=4-8:x3"; "fu=0:0"; "tile=0,tile=15";
+    "link=0-1,link=4-5"; "slow-link=0-4:x2,slow-link=1-5:x4";
+    "tile=5,link=9-10,slow-link=2-6:x3" ]
+
+let vliw4_plans =
+  [ "tile=1"; "fu=0:3"; "fu=0:0,fu=0:1"; "tile=2,tile=3"; "fu=1:2"; "tile=0,fu=1:3";
+    "fu=3:0,fu=3:1,fu=3:2,fu=3:3"; "tile=1,tile=2" ]
+
+let default_plans (machine : Cs_machine.Machine.t) =
+  let n = Cs_machine.Machine.n_clusters machine in
+  match machine.Cs_machine.Machine.topology with
+  | Cs_machine.Topology.Mesh { rows = 4; cols = 4; _ } -> raw4x4_plans
+  | Cs_machine.Topology.Mesh { cols; _ } ->
+    let b = if cols > 1 then 1 else n / 2 in
+    List.concat
+      [ (if n > 1 then [ Printf.sprintf "tile=%d" (n - 1); "fu=0:0" ] else []);
+        (if n > 1 then
+           [ Printf.sprintf "link=0-%d" b;
+             Printf.sprintf "slow-link=0-%d:x2" b;
+             Printf.sprintf "slow-link=0-%d:x3" b ]
+         else []) ]
+  | Cs_machine.Topology.Crossbar _
+    when n = 4 && Cs_machine.Machine.issue_width machine = 4 ->
+    vliw4_plans
+  | Cs_machine.Topology.Crossbar _ ->
+    List.concat
+      [ (if n > 1 then [ "tile=0"; Printf.sprintf "tile=%d" (n - 1) ] else []);
+        (if Cs_machine.Machine.issue_width machine > 1 then [ "fu=0:0" ] else []) ]
+
 (* --- subcommands --- *)
 
 let list_cmd =
@@ -153,14 +208,38 @@ let parse_passes spec =
 
 let run_cmd =
   let doc = "Schedule one benchmark and report cycles." in
-  let run entry machine scheduler scale verbose passes_spec trace_out =
+  let run entry machine scheduler scale verbose passes_spec faults trace_out =
     with_trace ~trace_out (fun () ->
+        let machine =
+          match faults with
+          | None -> machine
+          | Some plan ->
+            (match Cs_machine.Machine.degrade machine plan with
+            | degraded -> degraded
+            | exception Cs_resil.Error.Error e ->
+              Printf.eprintf "bad fault plan for %s: %s\n"
+                machine.Cs_machine.Machine.name (Cs_resil.Error.to_string e);
+              exit 1)
+        in
         let region = region_of entry machine scale in
+        let passes = Option.map parse_passes passes_spec in
         let sched =
-          match passes_spec with
-          | Some spec ->
-            fst (Cs_sim.Pipeline.convergent ~passes:(parse_passes spec) ~machine region)
-          | None -> Cs_sim.Pipeline.schedule ~scheduler ~machine region
+          match faults with
+          | Some _ ->
+            (* A degraded machine can defeat the requested scheduler, so
+               route through the fallback chain and report the outcome. *)
+            (match Cs_sim.Pipeline.schedule_resilient ?passes ~scheduler ~machine region with
+            | Ok (sched, outcome) ->
+              Printf.printf "resilience: %s\n" (Cs_resil.Outcome.to_string outcome);
+              sched
+            | Error e ->
+              Printf.eprintf "unschedulable on %s: %s\n" machine.Cs_machine.Machine.name
+                (Cs_resil.Error.to_string e);
+              exit 1)
+          | None ->
+            (match passes with
+            | Some passes -> fst (Cs_sim.Pipeline.convergent ~passes ~machine region)
+            | None -> Cs_sim.Pipeline.schedule ~scheduler ~machine region)
         in
         Printf.printf "%s on %s with %s: %d instructions, makespan %d cycles, %d transfers\n"
           entry.Cs_workloads.Suite.name machine.Cs_machine.Machine.name
@@ -177,7 +256,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ benchmark_arg $ machine_arg $ scheduler_arg $ scale_arg $ verbose_arg
-      $ passes_opt_arg $ trace_out_arg)
+      $ passes_opt_arg $ faults_opt_arg $ trace_out_arg)
 
 let run_file_cmd =
   let doc = "Schedule a region from a text file (see lib/ddg/textual.mli for the format)." in
@@ -459,6 +538,143 @@ let tune_cmd =
       const run $ machine_arg $ population_arg $ generations_arg $ seed_arg $ domains_arg
       $ scale_arg $ bench_arg $ trace_out_arg)
 
+let faults_cmd =
+  let doc =
+    "Fault-injection sweep: schedule one benchmark healthy, then re-schedule it on the \
+     machine degraded by each fault plan in a grid (dead tiles, dead links, dead \
+     functional units, slow links), routing every degraded attempt through the \
+     resilient fallback chain. Reports the winning rung and slowdown versus the \
+     healthy machine per plan; exits non-zero if any plan is unschedulable."
+  in
+  let plans_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plans" ] ~docv:"P1;P2;..."
+          ~doc:
+            "Semicolon-separated fault plans to sweep (default: a stock grid for the \
+             machine's geometry).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write one JSON object per plan (JSON Lines) to $(docv).")
+  in
+  let run entry machine scheduler scale plans_spec out trace_out jsonl =
+    let plans =
+      let specs =
+        match plans_spec with
+        | Some s ->
+          List.filter (fun p -> String.trim p <> "") (String.split_on_char ';' s)
+        | None -> default_plans machine
+      in
+      if specs = [] then begin
+        Printf.eprintf "faults: no plans to sweep (single-cluster machine? pass --plans)\n";
+        exit 1
+      end;
+      List.map
+        (fun spec ->
+          match Cs_resil.Fault.parse (String.trim spec) with
+          | Ok plan -> plan
+          | Error msg ->
+            Printf.eprintf "faults: bad plan %S: %s\n" spec msg;
+            exit 1)
+        specs
+    in
+    with_trace ?jsonl ~trace_out @@ fun () ->
+    let region = region_of entry machine scale in
+    let healthy = Cs_sim.Pipeline.schedule ~scheduler ~machine region in
+    let healthy_cycles = Cs_sched.Schedule.makespan healthy in
+    Printf.printf "%s on %s with %s: healthy makespan %d cycles\n\n"
+      entry.Cs_workloads.Suite.name machine.Cs_machine.Machine.name
+      (Cs_sim.Pipeline.scheduler_name scheduler)
+      healthy_cycles;
+    let table =
+      Cs_util.Table.create
+        ~header:[ "plan"; "rung"; "cycles"; "slowdown"; "transfers"; "quarantined" ]
+    in
+    let records, failures =
+      List.fold_left
+        (fun (records, failures) plan ->
+          let spec = Cs_resil.Fault.to_string plan in
+          match Cs_machine.Machine.degrade machine plan with
+          | exception Cs_resil.Error.Error e ->
+            Cs_util.Table.add_row table
+              [ spec; "-"; "-"; "-"; "-"; Cs_resil.Error.kind e ];
+            let record =
+              Cs_obs.Json.Obj
+                [ ("machine", Cs_obs.Json.Str machine.Cs_machine.Machine.name);
+                  ("plan", Cs_obs.Json.Str spec);
+                  ("error", Cs_obs.Json.Str (Cs_resil.Error.to_string e)) ]
+            in
+            (record :: records, failures + 1)
+          | degraded ->
+            (match Cs_sim.Pipeline.schedule_resilient ~scheduler ~machine:degraded region with
+            | Ok (sched, outcome) ->
+              let cycles = Cs_sched.Schedule.makespan sched in
+              let slowdown = float_of_int cycles /. float_of_int healthy_cycles in
+              Cs_util.Table.add_row table
+                [ spec;
+                  Cs_resil.Outcome.rung_to_string outcome.Cs_resil.Outcome.rung;
+                  string_of_int cycles;
+                  Printf.sprintf "%.2fx" slowdown;
+                  string_of_int (Cs_sched.Schedule.n_comms sched);
+                  string_of_int (List.length outcome.Cs_resil.Outcome.quarantined) ];
+              let record =
+                Cs_obs.Json.Obj
+                  [ ("machine", Cs_obs.Json.Str machine.Cs_machine.Machine.name);
+                    ("plan", Cs_obs.Json.Str spec);
+                    ("rung",
+                     Cs_obs.Json.Str
+                       (Cs_resil.Outcome.rung_to_string outcome.Cs_resil.Outcome.rung));
+                    ("cycles", Cs_obs.Json.Num (float_of_int cycles));
+                    ("healthy_cycles", Cs_obs.Json.Num (float_of_int healthy_cycles));
+                    ("slowdown", Cs_obs.Json.Num slowdown);
+                    ("transfers",
+                     Cs_obs.Json.Num (float_of_int (Cs_sched.Schedule.n_comms sched)));
+                    ("attempts",
+                     Cs_obs.Json.Num
+                       (float_of_int (List.length outcome.Cs_resil.Outcome.attempts)));
+                    ("quarantined",
+                     Cs_obs.Json.Num
+                       (float_of_int (List.length outcome.Cs_resil.Outcome.quarantined))) ]
+              in
+              (record :: records, failures)
+            | Error e ->
+              Cs_util.Table.add_row table
+                [ spec; "FAILED"; "-"; "-"; "-"; Cs_resil.Error.kind e ];
+              let record =
+                Cs_obs.Json.Obj
+                  [ ("machine", Cs_obs.Json.Str machine.Cs_machine.Machine.name);
+                    ("plan", Cs_obs.Json.Str spec);
+                    ("error", Cs_obs.Json.Str (Cs_resil.Error.to_string e)) ]
+              in
+              (record :: records, failures + 1)))
+        ([], 0) plans
+    in
+    Cs_util.Table.print table;
+    Option.iter
+      (fun path ->
+        Out_channel.with_open_text path (fun oc ->
+            List.iter
+              (fun record ->
+                Out_channel.output_string oc (Cs_obs.Json.to_string record);
+                Out_channel.output_char oc '\n')
+              (List.rev records));
+        Printf.printf "wrote %s (%d plans, JSON Lines)\n" path (List.length records))
+      out;
+    if failures > 0 then begin
+      Printf.eprintf "%d plan%s unschedulable\n" failures (if failures = 1 then "" else "s");
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ benchmark_arg $ machine_arg $ scheduler_arg $ scale_arg $ plans_arg
+      $ out_arg $ trace_out_arg $ jsonl_arg)
+
 let fuzz_cmd =
   let doc =
     "Differential fuzzing: generate random regions (DAG shapes and CFG-derived \
@@ -523,6 +739,16 @@ let fuzz_cmd =
   let no_shrink_arg =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report findings without minimizing them.")
   in
+  let degraded_arg =
+    Arg.(
+      value & flag
+      & info [ "degraded" ]
+          ~doc:
+            "Fuzz fault-injected scenarios: most cases additionally damage the machine \
+             with a random fault plan (and sometimes sabotage the pass sequence), and \
+             the oracle checks that the resilient fallback chain either refuses with a \
+             typed error or returns a schedule passing every judge.")
+  in
   let replay_arg =
     Arg.(
       value
@@ -564,7 +790,7 @@ let fuzz_cmd =
       failures;
     if failures > 0 then exit 1
   in
-  let run seeds domains budget corpus findings_file no_shrink replay_path trace_out =
+  let run seeds domains budget corpus findings_file no_shrink degraded replay_path trace_out =
     if domains <= 0 then begin
       Printf.eprintf "fuzz: --domains must be positive\n";
       exit 1
@@ -574,14 +800,15 @@ let fuzz_cmd =
     | Some path -> replay path
     | None ->
       let lo, hi = seeds in
-      Printf.printf "fuzzing seeds %d..%d (%d domain%s%s)\n%!" lo hi domains
+      Printf.printf "fuzzing seeds %d..%d (%d domain%s%s%s)\n%!" lo hi domains
         (if domains = 1 then "" else "s")
         (match budget with
         | None -> ""
-        | Some b -> Printf.sprintf ", budget %.0fs" b);
+        | Some b -> Printf.sprintf ", budget %.0fs" b)
+        (if degraded then ", degraded machines" else "");
       let stats, found =
         Cs_check.Fuzz.run ~domains ?time_budget_s:budget ?corpus_dir:corpus
-          ~shrink:(not no_shrink)
+          ~shrink:(not no_shrink) ~degraded
           ~on_finding:(fun f ->
             Printf.printf "  seed %d (%s): %s: %s [%d -> %d instrs]%s\n%!"
               f.Cs_check.Fuzz.seed f.Cs_check.Fuzz.label f.Cs_check.Fuzz.check
@@ -607,7 +834,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seeds_arg $ domains_arg $ budget_arg $ corpus_arg $ findings_arg
-      $ no_shrink_arg $ replay_arg $ trace_out_arg)
+      $ no_shrink_arg $ degraded_arg $ replay_arg $ trace_out_arg)
 
 let () =
   let doc = "convergent scheduling for spatial architectures (MICRO-35 reproduction)" in
@@ -616,4 +843,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; passes_cmd; run_cmd; run_file_cmd; compare_cmd; trace_cmd;
-            profile_cmd; dot_cmd; tune_cmd; fuzz_cmd ]))
+            profile_cmd; dot_cmd; tune_cmd; faults_cmd; fuzz_cmd ]))

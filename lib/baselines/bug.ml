@@ -82,9 +82,8 @@ let assign ~machine region =
       in
       match ranked with
       | [] ->
-        raise
-          (Cs_sched.List_scheduler.Unschedulable
-             (Printf.sprintf "BUG: no cluster can execute instr %d" i))
+        Cs_resil.Error.infeasible
+          (Printf.sprintf "BUG: no cluster can execute instr %d" i)
       | c :: _ ->
         assignment.(i) <- c;
         let est =

@@ -120,9 +120,8 @@ let schedule ~machine region =
       in
       (match viable with
       | [] ->
-        raise
-          (Cs_sched.List_scheduler.Unschedulable
-             (Printf.sprintf "UAS: no cluster can execute instr %d" i))
+        Cs_resil.Error.infeasible
+          (Printf.sprintf "UAS: no cluster can execute instr %d" i)
       | c :: _ -> commit i c);
       List.iter
         (fun s ->

@@ -34,7 +34,8 @@ let to_repro scenario violation =
    index, so findings come out in seed order regardless of which domain
    ran what. Workers stop taking new chunks once the time budget is
    spent; chunks already claimed run to completion. *)
-let search ?(domains = 1) ?time_budget_s ?transform ~seeds:(lo, hi) () =
+let search ?(domains = 1) ?time_budget_s ?(degraded = false) ?transform
+    ~seeds:(lo, hi) () =
   let n = max 0 (hi - lo + 1) in
   let results = Array.make n None in
   let ran = Array.make n false in
@@ -46,7 +47,7 @@ let search ?(domains = 1) ?time_budget_s ?transform ~seeds:(lo, hi) () =
   in
   let run_one i =
     let seed = lo + i in
-    let scenario = Gen.case ~seed in
+    let scenario = if degraded then Gen.case_degraded ~seed else Gen.case ~seed in
     ran.(i) <- true;
     match Oracle.run ?transform scenario with
     | Ok () -> ()
@@ -85,8 +86,10 @@ let search ?(domains = 1) ?time_budget_s ?transform ~seeds:(lo, hi) () =
   (cases, results, Cs_obs.Clock.since t0)
 
 let run ?domains ?time_budget_s ?corpus_dir ?(shrink = true) ?shrink_budget
-    ?transform ?on_finding ~seeds () =
-  let cases, results, search_s = search ?domains ?time_budget_s ?transform ~seeds () in
+    ?degraded ?transform ?on_finding ~seeds () =
+  let cases, results, search_s =
+    search ?domains ?time_budget_s ?degraded ?transform ~seeds ()
+  in
   (* Shrinking and reporting are sequential and in seed order, so a
      given seed range always yields the same findings in the same
      order, whatever [domains] was. *)

@@ -30,6 +30,7 @@ val run :
   ?corpus_dir:string ->
   ?shrink:bool ->
   ?shrink_budget:int ->
+  ?degraded:bool ->
   ?transform:(Cs_sched.Schedule.t -> Cs_sched.Schedule.t) ->
   ?on_finding:(finding -> unit) ->
   seeds:int * int ->
@@ -39,9 +40,11 @@ val run :
     [time_budget_s] stops workers from claiming new seeds once spent.
     [corpus_dir] writes one repro file per (minimized) finding.
     [shrink] (default true) minimizes each failing scenario against
-    "the same judge still rejects". [transform] is the bug-injection
-    hook forwarded to {!Oracle.run}. [on_finding] fires after each
-    finding is minimized. *)
+    "the same judge still rejects". [degraded] (default false) draws
+    fault-injected cases ({!Gen.case}); the oracle then accepts typed
+    refusals but holds every returned schedule to the same judges.
+    [transform] is the bug-injection hook forwarded to {!Oracle.run}.
+    [on_finding] fires after each finding is minimized. *)
 
 val findings_jsonl : finding list -> string
 (** One JSON object per line; empty string for no findings. *)

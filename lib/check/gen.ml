@@ -118,7 +118,54 @@ let spec_of rng ~machine =
     | Ok passes -> Scenario.Passes passes
     | Error _ -> Scenario.Baseline Cs_sim.Pipeline.Convergent)
 
-let case ~seed =
+let shape_of_machine (machine : Cs_machine.Machine.t) =
+  {
+    Cs_resil.Fault.n_clusters = Cs_machine.Machine.n_clusters machine;
+    issue_width = Cs_machine.Machine.issue_width machine;
+    mesh =
+      (match machine.Cs_machine.Machine.topology with
+      | Cs_machine.Topology.Mesh { rows; cols; _ } -> Some (rows, cols)
+      | Cs_machine.Topology.Crossbar _ -> None);
+  }
+
+(* Degraded mode draws faults (and pass corruption) from a sub-stream
+   derived from the seed, after the base scenario is fully drawn: the
+   degraded case is exactly the healthy case plus damage, so a finding
+   on seed S can be A/B'd against the healthy seed S. *)
+let maybe_faults ~seed ~machine region spec =
+  let rng = Cs_util.Rng.create (seed lxor 0x0FA_0175) in
+  let faults =
+    if Cs_util.Rng.int rng 4 = 0 then []
+    else begin
+      let plan = Cs_resil.Fault.random rng ~shape:(shape_of_machine machine) in
+      (* Keep the generator contract on the degraded machine too: a plan
+         that strands a preplaced op (or every FU for some opcode) is
+         dropped, not emitted as a guaranteed refusal. *)
+      match Cs_machine.Machine.degrade machine plan with
+      | degraded ->
+        (match Cs_machine.Machine.validate_region degraded region with
+        | Ok () -> plan
+        | Error _ -> [])
+      | exception Cs_resil.Error.Error _ -> []
+    end
+  in
+  let spec =
+    match spec with
+    | Scenario.Passes passes when Cs_util.Rng.int rng 4 = 0 ->
+      (* Sabotage the sequence with a CHAOS pass: the driver must
+         quarantine it and the oracle must see no difference. *)
+      let mode = Cs_util.Rng.int rng 5 in
+      let at = Cs_util.Rng.int rng (List.length passes + 1) in
+      let chaos = Cs_core.Chaos.pass ~mode () in
+      Scenario.Passes
+        (List.concat
+           [ List.filteri (fun i _ -> i < at) passes; [ chaos ];
+             List.filteri (fun i _ -> i >= at) passes ])
+    | other -> other
+  in
+  (faults, spec)
+
+let case_gen ~degraded ~seed =
   let rng = Cs_util.Rng.create seed in
   let machine = (Cs_util.Rng.choose rng machine_pool) () in
   let n_clusters = Cs_machine.Machine.n_clusters machine in
@@ -139,4 +186,10 @@ let case ~seed =
         "layered" )
   in
   let spec = spec_of rng ~machine in
-  { Scenario.label = shape; seed; machine; region; spec }
+  let faults, spec =
+    if degraded then maybe_faults ~seed ~machine region spec else ([], spec)
+  in
+  { Scenario.label = shape; seed; machine; faults; region; spec }
+
+let case ~seed = case_gen ~degraded:false ~seed
+let case_degraded ~seed = case_gen ~degraded:true ~seed

@@ -18,3 +18,13 @@ val shapes : string list
 
 val case : seed:int -> Scenario.t
 (** Deterministic: equal seeds yield structurally equal scenarios. *)
+
+val case_degraded : seed:int -> Scenario.t
+(** Fault-injected variant of {!case}: a sub-stream derived from the
+    seed additionally damages ~3/4 of cases with a random
+    {!Cs_resil.Fault} plan (dropped again if it would strand the region,
+    e.g. a preplaced op on a machine with no remote memory path) and
+    splices a {!Cs_core.Chaos} pass into ~1/4 of custom pass sequences.
+    The underlying (machine, region, sequence) draw is bit-identical to
+    the healthy case for the same seed, so degraded findings can be
+    A/B'd against their healthy twin. *)

@@ -3,20 +3,43 @@ type violation = { check : string; detail : string }
 let violation check detail = { check; detail }
 
 let build scenario =
-  let { Scenario.machine; region; spec; seed; _ } = scenario in
-  try
-    Ok
-      (match spec with
+  let { Scenario.machine; faults; region; spec; seed; _ } = scenario in
+  if faults = [] then begin
+    try
+      Ok
+        (Some
+           (match spec with
+           | Scenario.Baseline scheduler ->
+             Cs_sim.Pipeline.schedule_raw ~seed ~scheduler ~machine region
+           | Scenario.Passes passes ->
+             Cs_sim.Pipeline.schedule_raw ~seed ~passes
+               ~scheduler:Cs_sim.Pipeline.Convergent ~machine region))
+    with
+    | Cs_resil.Error.Error e ->
+      Error (violation "schedule" (Cs_resil.Error.to_string e))
+    | Failure msg -> Error (violation "schedule" ("failure: " ^ msg))
+    | Invalid_argument msg -> Error (violation "schedule" ("invalid argument: " ^ msg))
+  end
+  else begin
+    (* Degraded machine: the contract is schedule_resilient's — either a
+       validated schedule or a classified refusal. A refusal is a
+       legitimate outcome ([Ok None]); an escaped exception is not. *)
+    let machine = Scenario.scheduling_machine scenario in
+    try
+      match spec with
       | Scenario.Baseline scheduler ->
-        Cs_sim.Pipeline.schedule_raw ~seed ~scheduler ~machine region
+        (match Cs_sim.Pipeline.schedule_resilient ~seed ~scheduler ~machine region with
+        | Ok (sched, _) -> Ok (Some sched)
+        | Error _ -> Ok None)
       | Scenario.Passes passes ->
-        Cs_sim.Pipeline.schedule_raw ~seed ~passes
-          ~scheduler:Cs_sim.Pipeline.Convergent ~machine region)
-  with
-  | Cs_sched.List_scheduler.Unschedulable msg ->
-    Error (violation "schedule" ("unschedulable: " ^ msg))
-  | Failure msg -> Error (violation "schedule" ("failure: " ^ msg))
-  | Invalid_argument msg -> Error (violation "schedule" ("invalid argument: " ^ msg))
+        (match Cs_sim.Pipeline.schedule_resilient ~seed ~passes ~machine region with
+        | Ok (sched, _) -> Ok (Some sched)
+        | Error _ -> Ok None)
+    with
+    | Failure msg -> Error (violation "schedule" ("escaped failure: " ^ msg))
+    | Invalid_argument msg ->
+      Error (violation "schedule" ("escaped invalid argument: " ^ msg))
+  end
 
 let check_validator sched =
   match Cs_sched.Validator.check sched with
@@ -60,15 +83,19 @@ let check_bounds machine region sched =
    to a particular cluster, relabeling the clusters of a legal schedule
    must yield another legal, semantically equivalent schedule of the
    same makespan. Catches hidden cluster-identity assumptions in the
-   validator and the semantic oracle. *)
-let permutable machine region =
-  (not (Cs_machine.Machine.is_mesh machine))
+   validator and the semantic oracle. Fault plans break the symmetry,
+   so degraded scenarios are never permutable. *)
+let permutable scenario =
+  let { Scenario.machine; faults; region; _ } = scenario in
+  faults = []
+  && (not (Cs_machine.Machine.is_mesh machine))
   && Cs_machine.Machine.n_clusters machine > 1
   && Cs_ddg.Graph.preplaced region.Cs_ddg.Region.graph = []
 
-let check_permutation machine region sched =
-  if not (permutable machine region) then Ok ()
+let check_permutation scenario sched =
+  if not (permutable scenario) then Ok ()
   else begin
+    let { Scenario.machine; region; _ } = scenario in
     let nc = Cs_machine.Machine.n_clusters machine in
     let rotated = Cs_sched.Schedule.map_clusters (fun c -> (c + 1) mod nc) sched in
     if Cs_sched.Schedule.makespan rotated <> Cs_sched.Schedule.makespan sched then
@@ -86,16 +113,18 @@ let check_permutation machine region sched =
   end
 
 let check_schedule scenario sched =
-  let { Scenario.machine; region; _ } = scenario in
+  let { Scenario.region; _ } = scenario in
+  let machine = Scenario.scheduling_machine scenario in
   let ( let* ) = Result.bind in
   let* () = check_validator sched in
   let* () = check_interp region sched in
   let* () = check_bounds machine region sched in
-  check_permutation machine region sched
+  check_permutation scenario sched
 
 let run ?transform scenario =
   match build scenario with
   | Error v -> Error v
-  | Ok sched ->
+  | Ok None -> Ok ()
+  | Ok (Some sched) ->
     let sched = match transform with Some f -> f sched | None -> sched in
     check_schedule scenario sched

@@ -11,16 +11,25 @@
       preplacement, relabeling clusters preserves legality, semantics,
       and makespan.
 
-    A scheduler crash ([Unschedulable], [Failure], [Invalid_argument])
-    is itself a reported violation, not a fuzzer error. *)
+    A scheduler crash (a typed {!Cs_resil.Error}, [Failure],
+    [Invalid_argument]) is itself a reported violation, not a fuzzer
+    error.
+
+    Scenarios with a non-empty fault plan run on the degraded machine
+    through {!Cs_sim.Pipeline.schedule_resilient}: a classified refusal
+    is a legitimate outcome (not a violation), but any schedule the
+    fallback chain does return must satisfy every judge, and symmetric-
+    machine permutation is off (damage breaks the symmetry). *)
 
 type violation = { check : string; detail : string }
 (** [check] is the failing judge: ["schedule"], ["validator"],
     ["interp"], ["cpl-bound"], ["resource-bound"], or ["permute"]. *)
 
-val build : Scenario.t -> (Cs_sched.Schedule.t, violation) result
+val build : Scenario.t -> (Cs_sched.Schedule.t option, violation) result
 (** Run the scenario's scheduler {e without} the pipeline's internal
-    validation, converting crashes into ["schedule"] violations. *)
+    validation, converting crashes into ["schedule"] violations.
+    [Ok None] is a graceful typed refusal, possible only on degraded
+    scenarios. *)
 
 val check_schedule : Scenario.t -> Cs_sched.Schedule.t -> (unit, violation) result
 (** All checks, first failure wins (ordered as listed above). *)

@@ -12,6 +12,9 @@ let to_string t =
   Buffer.add_string b (header_line "machine" (Scenario.machine_name t.scenario.Scenario.machine));
   Buffer.add_string b (header_line "scheduler" (Scenario.spec_to_string t.scenario.Scenario.spec));
   Buffer.add_string b (header_line "seed" (string_of_int t.scenario.Scenario.seed));
+  if t.scenario.Scenario.faults <> [] then
+    Buffer.add_string b
+      (header_line "faults" (Cs_resil.Fault.to_string t.scenario.Scenario.faults));
   Buffer.add_string b (header_line "label" t.scenario.Scenario.label);
   Option.iter (fun c -> Buffer.add_string b (header_line "check" c)) t.check;
   Option.iter (fun n -> Buffer.add_string b (header_line "note" n)) t.note;
@@ -29,11 +32,11 @@ let of_string s =
   let lines = String.split_on_char '\n' s in
   match lines with
   | magic :: rest when String.trim magic = "cs-check-repro v1" ->
-    let rec parse_headers machine spec seed label check note = function
+    let rec parse_headers machine spec seed faults label check note = function
       | [] -> Error "missing 'region' section"
       | line :: rest ->
         let line = String.trim line in
-        if line = "" then parse_headers machine spec seed label check note rest
+        if line = "" then parse_headers machine spec seed faults label check note rest
         else if line = "region" then begin
           let region_text = String.concat "\n" rest in
           let ( let* ) = Result.bind in
@@ -46,6 +49,15 @@ let of_string s =
             match spec with Some s -> Ok s | None -> Error "missing 'scheduler' header"
           in
           let* region = Cs_ddg.Textual.of_string region_text in
+          let faults = Option.value ~default:[] faults in
+          let* () =
+            (* The plan must apply to the named machine, or the repro is
+               corrupt. *)
+            match Cs_machine.Machine.degrade machine faults with
+            | _ -> Ok ()
+            | exception Cs_resil.Error.Error e ->
+              Error ("fault plan does not fit machine: " ^ Cs_resil.Error.message e)
+          in
           (match Cs_machine.Machine.validate_region machine region with
           | Error msg -> Error ("region does not fit machine: " ^ msg)
           | Ok () ->
@@ -56,6 +68,7 @@ let of_string s =
                     Scenario.label = Option.value ~default:"repro" label;
                     seed = Option.value ~default:0 seed;
                     machine;
+                    faults;
                     region;
                     spec;
                   };
@@ -68,23 +81,27 @@ let of_string s =
           match key with
           | "machine" ->
             (match Scenario.machine_of_name value with
-            | Ok m -> parse_headers (Some m) spec seed label check note rest
+            | Ok m -> parse_headers (Some m) spec seed faults label check note rest
             | Error msg -> Error msg)
           | "scheduler" ->
             (match Scenario.spec_of_string value with
-            | Ok sp -> parse_headers machine (Some sp) seed label check note rest
+            | Ok sp -> parse_headers machine (Some sp) seed faults label check note rest
             | Error msg -> Error msg)
           | "seed" ->
             (match int_of_string_opt value with
-            | Some n -> parse_headers machine spec (Some n) label check note rest
+            | Some n -> parse_headers machine spec (Some n) faults label check note rest
             | None -> Error (Printf.sprintf "bad seed %S" value))
-          | "label" -> parse_headers machine spec seed (Some value) check note rest
-          | "check" -> parse_headers machine spec seed label (Some value) note rest
-          | "note" -> parse_headers machine spec seed label check (Some value) rest
+          | "faults" ->
+            (match Cs_resil.Fault.parse value with
+            | Ok plan -> parse_headers machine spec seed (Some plan) label check note rest
+            | Error msg -> Error msg)
+          | "label" -> parse_headers machine spec seed faults (Some value) check note rest
+          | "check" -> parse_headers machine spec seed faults label (Some value) note rest
+          | "note" -> parse_headers machine spec seed faults label check (Some value) rest
           | _ -> Error (Printf.sprintf "unknown header %S" key)
         end
     in
-    parse_headers None None None None None None rest
+    parse_headers None None None None None None None rest
   | _ -> Error "not a cs-check-repro file (missing magic line)"
 
 let load path =

@@ -6,11 +6,14 @@ type t = {
   label : string;
   seed : int;
   machine : Cs_machine.Machine.t;
+  faults : Cs_resil.Fault.plan;
   region : Cs_ddg.Region.t;
   spec : spec;
 }
 
 let machine_name m = m.Cs_machine.Machine.name
+
+let scheduling_machine t = Cs_machine.Machine.degrade t.machine t.faults
 
 let machine_of_name name =
   let fail () = Error (Printf.sprintf "unknown machine %S (want raw-RxC or vliw-Nc)" name) in
@@ -51,5 +54,8 @@ let spec_of_string s =
     | _ -> Error (Printf.sprintf "malformed scheduler spec %S" s))
 
 let pp fmt t =
-  Format.fprintf fmt "%s (seed %d): %d instrs on %s via %s" t.label t.seed
-    (Cs_ddg.Region.n_instrs t.region) (machine_name t.machine) (spec_to_string t.spec)
+  Format.fprintf fmt "%s (seed %d): %d instrs on %s%s via %s" t.label t.seed
+    (Cs_ddg.Region.n_instrs t.region) (machine_name t.machine)
+    (if t.faults = [] then ""
+     else Printf.sprintf " [%s]" (Cs_resil.Fault.to_string t.faults))
+    (spec_to_string t.spec)

@@ -15,10 +15,16 @@ type spec =
 type t = {
   label : string;  (** human-readable shape/provenance tag, e.g. ["thin"] *)
   seed : int;  (** the generator seed this case was derived from *)
-  machine : Cs_machine.Machine.t;
+  machine : Cs_machine.Machine.t;  (** the healthy machine *)
+  faults : Cs_resil.Fault.plan;
+      (** fault plan applied before scheduling; [[]] for a healthy run *)
   region : Cs_ddg.Region.t;
   spec : spec;
 }
+
+val scheduling_machine : t -> Cs_machine.Machine.t
+(** [machine] degraded by [faults] — what the scheduler actually
+    targets. Identical to [machine] when the plan is empty. *)
 
 val machine_name : Cs_machine.Machine.t -> string
 (** The machine's canonical name ([raw-RxC] / [vliw-Nc]); inverse of

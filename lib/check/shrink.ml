@@ -138,6 +138,32 @@ let ddmin ~test ~budget scenario =
   (best, !tests)
 
 (* Structural cleanups beyond instruction deletion. *)
+(* Healthy machines are simpler to reason about than degraded ones:
+   try clearing the fault plan entirely, then dropping one fault at a
+   time. *)
+let strip_faults scenario =
+  if scenario.Scenario.faults = [] then None
+  else Some { scenario with Scenario.faults = [] }
+
+let shrink_faults ~test ~budget tests scenario =
+  let rec go scenario =
+    let faults = scenario.Scenario.faults in
+    if List.length faults <= 1 || !tests >= budget then scenario
+    else begin
+      let rec try_each prefix = function
+        | [] -> None
+        | f :: rest ->
+          let cand =
+            { scenario with Scenario.faults = List.rev_append prefix rest }
+          in
+          incr tests;
+          if test cand then Some cand else try_each (f :: prefix) rest
+      in
+      match try_each [] faults with Some s -> go s | None -> scenario
+    end
+  in
+  go scenario
+
 let strip_preplacement scenario =
   let region = scenario.Scenario.region in
   let graph = region.Cs_ddg.Region.graph in
@@ -214,6 +240,8 @@ let minimize ?(budget = 500) ~test scenario =
   in
   let best, used = ddmin ~test ~budget scenario in
   let tests = ref used in
+  let best = keep_if_fails tests (strip_faults best) best in
+  let best = shrink_faults ~test ~budget tests best in
   let best = keep_if_fails tests (strip_preplacement best) best in
   let best = keep_if_fails tests (strip_live_in_homes best) best in
   let best = shrink_passes ~test ~budget tests best in

@@ -1,0 +1,31 @@
+let default_mode = 4
+
+let apply ~mode ctx w =
+  match mode with
+  | 0 ->
+    (* Weights.set rejects non-finite values, so this dies mid-pass. *)
+    Weights.set w 0 0 0 Float.nan
+  | 1 -> Weights.set w 0 0 0 (-1.0)
+  | 2 ->
+    (* Soft corruption: squash everything to zero. Normalization resets
+       the rows to uniform, so this only destroys information. *)
+    for i = 0 to Weights.n w - 1 do
+      for c = 0 to Weights.nc w - 1 do
+        Weights.scale_cluster w i c 0.0
+      done
+    done
+  | 3 ->
+    (* Clobber preplaced rows: erase every preplaced instruction's
+       preference for its home cluster, violating the pinning invariant
+       the driver checks after each pass. *)
+    Array.iteri
+      (fun home instrs ->
+        List.iter (fun i -> Weights.scale_cluster w i home 0.0) instrs)
+      ctx.Context.preplaced_on
+  | _ -> failwith "CHAOS: injected pass failure"
+
+let pass ?(mode = default_mode) () =
+  Pass.make
+    ~params:[ ("mode", float_of_int mode) ]
+    ~name:"CHAOS" ~kind:Pass.Spacetime
+    (fun ctx w -> apply ~mode ctx w)

@@ -1,0 +1,15 @@
+(** CHAOS — a deliberately misbehaving pass for fault-injection tests
+    and fuzzing. Never part of a default or tuned sequence; it exists to
+    exercise the driver's pass quarantine. Modes ([mode] parameter,
+    default 4):
+
+    - [0] writes NaN into the matrix (raises inside the pass)
+    - [1] writes a negative weight (raises inside the pass)
+    - [2] squashes every row to zero (soft: normalization recovers)
+    - [3] clobbers preplaced rows' home-cluster weights (invariant
+      violation detected after the pass)
+    - [4] (and anything else) raises [Failure] outright *)
+
+val default_mode : int
+
+val pass : ?mode:int -> unit -> Pass.t

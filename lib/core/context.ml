@@ -14,7 +14,7 @@ let n_clusters t = Cs_machine.Machine.n_clusters t.machine
 let make ?(seed = 42) ?(nt_cap = 512) ~machine region =
   (match Cs_machine.Machine.validate_region machine region with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("Context.make: " ^ msg));
+  | Error msg -> Cs_resil.Error.invalid_input ("Context.make: " ^ msg));
   let graph = region.Cs_ddg.Region.graph in
   let analysis =
     Cs_ddg.Analysis.make ~latency:(Cs_machine.Machine.latency_of machine) graph

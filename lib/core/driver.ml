@@ -1,23 +1,38 @@
+type quarantine = { pass_name : string; round : int; reason : string }
+
 type result = {
   assignment : int array;
   preferred_slot : int array;
   trace : Trace.t;
   weights : Weights.t;
+  quarantined : quarantine list;
   context : Context.t;
 }
 
 let assignment_of_weights ?(cap_factor = 1.1) ctx w =
   let n = Weights.n w and nc = Weights.nc w in
+  let machine = ctx.Context.machine in
+  let graph = Context.graph ctx in
   let assignment = Array.make n (-1) in
   let load = Array.make nc 0 in
   (* Hard constraints first: preplaced instructions go home and count
      toward their cluster's load. *)
   let movable = ref [] in
   for i = n - 1 downto 0 do
-    match (Cs_ddg.Graph.instr (Context.graph ctx) i).Cs_ddg.Instr.preplace with
-    | Some c ->
+    let ins = Cs_ddg.Graph.instr graph i in
+    match ins.Cs_ddg.Instr.preplace with
+    | Some c
+      when Cs_machine.Machine.can_execute machine ~cluster:c ins.Cs_ddg.Instr.op
+           || not
+                (Cs_ddg.Opcode.is_memory ins.Cs_ddg.Instr.op
+                && machine.Cs_machine.Machine.remote_mem_penalty > 0) ->
       assignment.(i) <- c;
       load.(c) <- load.(c) + 1
+    | Some _ ->
+      (* Home cluster lost the FUs for this memory op but the machine
+         supports remote access: let it claim a surviving cluster like
+         a movable instruction (the scheduler charges the penalty). *)
+      movable := i :: !movable
     | None -> movable := i :: !movable
   done;
   (* Balanced extraction: most-confident instructions claim their
@@ -26,10 +41,19 @@ let assignment_of_weights ?(cap_factor = 1.1) ctx w =
      rather than letting one popular cluster serialize the region. *)
   (* No schedule can beat max(n / clusters, CPL) cycles, so clusters may
      hold up to ~CPL instructions of a serial region without cost; only
-     beyond that does a popular cluster become the bottleneck. *)
+     beyond that does a popular cluster become the bottleneck. The
+     per-cluster floor divides by the clusters that still have live
+     functional units, so a degraded machine doesn't under-cap. *)
+  let usable =
+    let k = ref 0 in
+    for c = 0 to nc - 1 do
+      if Cs_machine.Machine.is_cluster_alive machine c then incr k
+    done;
+    max 1 !k
+  in
   let floor_bound =
     max
-      (float_of_int n /. float_of_int nc)
+      (float_of_int n /. float_of_int usable)
       (float_of_int (Cs_ddg.Analysis.cpl ctx.Context.analysis))
   in
   let cap = max 1 (int_of_float (ceil (cap_factor *. floor_bound))) in
@@ -40,38 +64,111 @@ let assignment_of_weights ?(cap_factor = 1.1) ctx w =
   in
   List.iter
     (fun i ->
+      let op = (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.op in
+      (* Feasibility is a hard constraint: a cluster whose surviving FUs
+         cannot execute the opcode is never a candidate, however strong
+         its weights. *)
+      let feasible =
+        List.filter
+          (fun c -> Cs_machine.Machine.can_execute machine ~cluster:c op)
+          (List.init nc (fun c -> c))
+      in
+      (match feasible with
+      | [] ->
+        Cs_resil.Error.infeasible
+          (Printf.sprintf "instr %d (%s): no cluster can execute it" i
+             (Cs_ddg.Opcode.to_string op))
+      | _ -> ());
       let ranked =
         List.sort
           (fun a b -> Float.compare (Weights.cluster_weight w i b) (Weights.cluster_weight w i a))
-          (List.init nc (fun c -> c))
+          feasible
       in
       let chosen =
         match List.find_opt (fun c -> load.(c) < cap) ranked with
         | Some c -> c
-        | None -> Weights.preferred_cluster w i
+        | None ->
+          (* Every feasible cluster is saturated; spill onto the least
+             loaded one rather than an infeasible favourite. *)
+          List.fold_left
+            (fun best c -> if load.(c) < load.(best) then c else best)
+            (List.hd feasible) feasible
       in
       assignment.(i) <- chosen;
       load.(chosen) <- load.(chosen) + 1)
     by_confidence;
   assignment
 
+(* Quarantine gate, run after a pass and its renormalization: the matrix
+   must still be a sane preference distribution, and preplaced rows must
+   keep non-zero mass on their home cluster (extraction forces them home,
+   but a pass erasing that mass has destroyed the hard constraint and is
+   misbehaving). *)
+let weights_violation ctx w =
+  match Weights.validate w with
+  | Error e -> Some e
+  | Ok () ->
+    let bad = ref None in
+    Array.iteri
+      (fun home instrs ->
+        if !bad = None then
+          List.iter
+            (fun i ->
+              if !bad = None && Weights.cluster_weight w i home <= 0.0 then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "preplaced instr %d lost all weight on home cluster %d" i
+                       home))
+            instrs)
+      ctx.Context.preplaced_on;
+    !bad
+
 (* Shared engine: applies [passes] once over an existing matrix,
-   returning the trace steps of this round (in order). When the Cs_obs
-   sink is enabled, each pass is wrapped in a timed span (cat "pass")
-   and followed by a convergence-metrics counter (cat "converge"); both
-   are single-flag-check no-ops otherwise. *)
+   returning the trace steps of this round (in order) and any
+   quarantines. Each pass runs against a snapshot: if it raises a
+   classifiable exception or leaves the matrix violating invariants, the
+   snapshot is restored and the sequence continues — a misbehaving pass
+   degrades quality, never correctness. When the Cs_obs sink is enabled,
+   each pass is wrapped in a timed span (cat "pass") and followed by a
+   convergence-metrics counter (cat "converge"); quarantines emit a
+   cat "resil" instant and counter. *)
 let apply_round ?(round = 1) ?observe ctx w passes =
   let n = Weights.n w in
   let steps = ref [] in
+  let quarantined = ref [] in
+  let snapshot = Weights.copy w in
   let before = ref (Weights.preferred_clusters w) in
   List.iter
     (fun pass ->
-      Cs_obs.Obs.span ~cat:"pass"
-        ~args:[ ("round", Cs_obs.Obs.Int round) ]
-        pass.Pass.name
-        (fun () ->
-          pass.Pass.apply ctx w;
-          Weights.normalize_all w);
+      Weights.blit ~src:w ~dst:snapshot;
+      let outcome =
+        Cs_obs.Obs.span ~cat:"pass"
+          ~args:[ ("round", Cs_obs.Obs.Int round) ]
+          pass.Pass.name
+          (fun () ->
+            match
+              Cs_resil.Error.protect (fun () ->
+                  pass.Pass.apply ctx w;
+                  Weights.normalize_all w)
+            with
+            | Error e -> Some (Cs_resil.Error.to_string e)
+            | Ok () -> weights_violation ctx w)
+      in
+      (match outcome with
+      | Some reason ->
+        Weights.blit ~src:snapshot ~dst:w;
+        quarantined := { pass_name = pass.Pass.name; round; reason } :: !quarantined;
+        if Cs_obs.Obs.enabled () then begin
+          Cs_obs.Obs.instant ~cat:"resil" "quarantine"
+            ~args:
+              [ ("pass", Cs_obs.Obs.Str pass.Pass.name);
+                ("round", Cs_obs.Obs.Int round);
+                ("reason", Cs_obs.Obs.Str reason) ];
+          Cs_obs.Obs.counter ~cat:"resil" "quarantine"
+            [ ("quarantined", 1.0) ]
+        end
+      | None -> ());
       let after = Weights.preferred_clusters w in
       let changed = ref 0 in
       Array.iteri (fun i c -> if c <> !before.(i) then incr changed) after;
@@ -84,12 +181,12 @@ let apply_round ?(round = 1) ?observe ctx w passes =
       before := after;
       match observe with None -> () | Some f -> f pass.Pass.name w)
     passes;
-  List.rev !steps
+  (List.rev !steps, List.rev !quarantined)
 
-let finalize ctx w trace =
+let finalize ctx w trace quarantined =
   let assignment = assignment_of_weights ctx w in
   let preferred_slot = Array.init (Weights.n w) (fun i -> Weights.preferred_time w i) in
-  { assignment; preferred_slot; trace; weights = w; context = ctx }
+  { assignment; preferred_slot; trace; weights = w; quarantined; context = ctx }
 
 let run_iterative ?seed ?nt_cap ?observe ?(max_rounds = 5) ?(epsilon = 0.02) ~machine region
     passes =
@@ -99,18 +196,20 @@ let run_iterative ?seed ?nt_cap ?observe ?(max_rounds = 5) ?(epsilon = 0.02) ~ma
   (* Accumulate rounds newest-first and reverse once at the end: the old
      [!trace @ round_steps] rescanned the whole prefix every round. *)
   let rev_trace = ref [] in
+  let rev_quarantined = ref [] in
   let rounds = ref 0 in
   let continue_iterating = ref true in
   while !continue_iterating && !rounds < max_rounds do
     incr rounds;
     let before = Weights.preferred_clusters w in
-    let steps =
+    let steps, quarantines =
       Cs_obs.Obs.span ~cat:"round"
         ~args:[ ("round", Cs_obs.Obs.Int !rounds) ]
         "round"
         (fun () -> apply_round ~round:!rounds ?observe ctx w passes)
     in
     rev_trace := List.rev_append steps !rev_trace;
+    rev_quarantined := List.rev_append quarantines !rev_quarantined;
     let after = Weights.preferred_clusters w in
     let changed = ref 0 in
     Array.iteri (fun i c -> if c <> before.(i) then incr changed) after;
@@ -122,11 +221,11 @@ let run_iterative ?seed ?nt_cap ?observe ?(max_rounds = 5) ?(epsilon = 0.02) ~ma
           ("churn_fraction", fraction) ];
     if fraction < epsilon then continue_iterating := false
   done;
-  (finalize ctx w (List.rev !rev_trace), !rounds)
+  (finalize ctx w (List.rev !rev_trace) (List.rev !rev_quarantined), !rounds)
 
 let run ?seed ?nt_cap ?observe ~machine region passes =
   let ctx = Context.make ?seed ?nt_cap ~machine region in
   let n = Context.n_instrs ctx in
   let w = Weights.create ~n ~nc:(Context.n_clusters ctx) ~nt:ctx.Context.nt in
-  let trace = apply_round ?observe ctx w passes in
-  finalize ctx w trace
+  let trace, quarantined = apply_round ?observe ctx w passes in
+  finalize ctx w trace quarantined

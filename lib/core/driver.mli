@@ -7,11 +7,24 @@
     every instruction, and a temporal preference used as the priority of
     an independent list scheduler. *)
 
+type quarantine = {
+  pass_name : string;
+  round : int;  (** 1-based *)
+  reason : string;
+}
+(** One pass application that was rolled back: it raised a classifiable
+    exception or left the matrix violating invariants (non-finite or
+    negative weights, rows not summing to 1, a preplaced row stripped of
+    its home-cluster mass). *)
+
 type result = {
   assignment : int array; (** instruction -> cluster *)
   preferred_slot : int array; (** instruction -> preferred time slot *)
   trace : Trace.t;
   weights : Weights.t; (** final matrix, for inspection *)
+  quarantined : quarantine list;
+      (** rolled-back pass applications, in execution order; a
+          misbehaving pass degrades quality, never correctness *)
   context : Context.t;
 }
 
@@ -22,7 +35,14 @@ val run :
 (** [observe] is called after each pass with the (normalized) matrix —
     used by the Fig. 4-style example to print map snapshots.
     Preplaced instructions are always assigned to their home cluster,
-    whatever the final weights say (correctness). *)
+    whatever the final weights say (correctness).
+
+    Every pass runs inside a quarantine gate: the matrix is snapshotted
+    before the pass, checked after it (and its renormalization), and
+    rolled back on violation; the violation is recorded in
+    [quarantined] and, when the {!Cs_obs.Obs} sink is enabled, emitted
+    as a [cat = "resil"] instant + counter. The rest of the sequence
+    continues on the restored matrix. *)
 
 val run_iterative :
   ?seed:int -> ?nt_cap:int ->
@@ -49,7 +69,13 @@ val assignment_of_weights : ?cap_factor:float -> Context.t -> Weights.t -> int a
 (** Extracts the assignment from the final matrix: preplaced
     instructions are forced home; the rest claim clusters in descending
     confidence order, falling back to their next-preferred cluster once
-    a cluster holds more than [cap_factor * max (n / clusters) CPL]
-    instructions (default factor 1.1) — the preference-map analogue of
-    Rawcc's merging step, preventing a popular cluster from serializing
-    the region while still letting serial graphs pack tightly. *)
+    a cluster holds more than [cap_factor * max (n / usable clusters)
+    CPL] instructions (default factor 1.1) — the preference-map analogue
+    of Rawcc's merging step, preventing a popular cluster from
+    serializing the region while still letting serial graphs pack
+    tightly. Only clusters whose surviving functional units can execute
+    an instruction's opcode are candidates ([Machine.can_execute] is a
+    hard constraint), which is what makes degraded machines with
+    heterogeneous surviving FUs schedulable; raises
+    [Cs_resil.Error.Error (Infeasible _)] if some opcode is executable
+    nowhere. *)

@@ -52,7 +52,10 @@ let registry : (string * ((string * float) list -> Pass.t)) list =
        Regpress.pass
          ?registers_per_cluster:(fi ps "registers_per_cluster")
          ?confidence_threshold:(f ps "confidence_threshold") ());
-    ("CLUSTER", fun ps -> Cluster.pass ?boost:(f ps "boost") ()) ]
+    ("CLUSTER", fun ps -> Cluster.pass ?boost:(f ps "boost") ());
+    (* Fault-injection pass; registered so repro files carrying it round
+       trip, but excluded from the autotuner's search space. *)
+    ("CHAOS", fun ps -> Chaos.pass ?mode:(fi ps "mode") ()) ]
 
 let available = List.map fst registry
 

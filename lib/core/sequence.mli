@@ -24,8 +24,8 @@ val vliw_default : unit -> Pass.t list
 
 val available : string list
 (** Names accepted by {!of_names}, including the extension passes
-    FEASIBLE, REGPRESS, and CLUSTER (the paper's suggested clustering
-    integration, Sec. 5). *)
+    FEASIBLE, REGPRESS, CLUSTER (the paper's suggested clustering
+    integration, Sec. 5), and the fault-injection pass CHAOS. *)
 
 val default_params : string -> (string * float) list option
 (** [default_params name] is the parameter list (keys and default

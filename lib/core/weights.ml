@@ -82,7 +82,17 @@ let row_total t i =
   !s
 
 let normalize t i =
-  let total = row_total t i in
+  (* Total from the entries themselves, not the incrementally maintained
+     caches: floating-point drift can leave a cached total tiny-positive
+     while the row has decayed to all zeros, and dividing by that would
+     produce a row that still sums to ~0 (or worse, NaN). *)
+  let total = ref 0.0 in
+  for c = 0 to t.nc - 1 do
+    for tt = 0 to t.nt - 1 do
+      total := !total +. t.w.(idx t i c tt)
+    done
+  done;
+  let total = !total in
   if total <= 0.0 || not (Float.is_finite total) then begin
     let v = 1.0 /. float_of_int (t.nc * t.nt) in
     for c = 0 to t.nc - 1 do
@@ -160,6 +170,42 @@ let copy t =
     cluster_sum = Array.copy t.cluster_sum;
     time_sum = Array.copy t.time_sum;
   }
+
+let blit ~src ~dst =
+  if src.n <> dst.n || src.nc <> dst.nc || src.nt <> dst.nt then
+    invalid_arg "Weights.blit: dimension mismatch";
+  Array.blit src.w 0 dst.w 0 (Array.length src.w);
+  Array.blit src.cluster_sum 0 dst.cluster_sum 0 (Array.length src.cluster_sum);
+  Array.blit src.time_sum 0 dst.time_sum 0 (Array.length src.time_sum)
+
+let validate t =
+  (* Single sweep over the raw entries; cheap enough to run after every
+     pass (quarantine gate), unlike the triple-pass [check_invariants]. *)
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (try
+     for i = 0 to t.n - 1 do
+       let total = ref 0.0 in
+       let base = i * t.nc * t.nt in
+       for k = base to base + (t.nc * t.nt) - 1 do
+         let v = t.w.(k) in
+         if not (Float.is_finite v) then begin
+           fail "row %d has non-finite weight %g" i v;
+           raise Exit
+         end;
+         if v < -.1e-9 then begin
+           fail "row %d has negative weight %g" i v;
+           raise Exit
+         end;
+         total := !total +. v
+       done;
+       if Float.abs (!total -. 1.0) > 1e-6 then begin
+         fail "row %d sums to %g, expected 1" i !total;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !err with None -> Ok () | Some e -> Error e
 
 let check_invariants t =
   let problems = ref [] in

@@ -69,6 +69,18 @@ val preferred_clusters : t -> int array
 
 val copy : t -> t
 
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] in place with [src]'s contents (entries and cached
+    marginals). Dimensions must match. Used to roll back a quarantined
+    pass without reallocating. *)
+
+val validate : t -> (unit, string) result
+(** Fast single-sweep check used as the pass-quarantine gate: every
+    entry finite and non-negative, every row summing to 1 (i.e. the
+    matrix is post-normalization sane). Returns the first problem
+    found. See {!check_invariants} for the exhaustive variant that also
+    audits the marginal caches. *)
+
 val check_invariants : t -> (unit, string) result
 (** Verifies range, row sums (post-normalization), and cache
     consistency; used by tests and assertions. *)

@@ -4,9 +4,15 @@ type kind =
   | Int_mem
   | Float_unit
   | Transfer_unit
+  | Dead of kind
+
+let rec base_kind = function Dead k -> base_kind k | k -> k
+let is_dead = function Dead _ -> true | _ -> false
+let kill k = if is_dead k then k else Dead k
 
 let can_execute kind cls =
   match (kind, cls) with
+  | Dead _, _ -> false
   | Universal, _ -> true
   | Int_alu, (Cs_ddg.Opcode.Int_op | Mul_op | Move_op) -> true
   | Int_alu, (Mem_op | Float_op | Fdiv_op | Comm_op) -> false
@@ -17,11 +23,12 @@ let can_execute kind cls =
   | Transfer_unit, Cs_ddg.Opcode.Comm_op -> true
   | Transfer_unit, (Int_op | Mul_op | Mem_op | Float_op | Fdiv_op | Move_op) -> false
 
-let to_string = function
+let rec to_string = function
   | Universal -> "universal"
   | Int_alu -> "int-alu"
   | Int_mem -> "int-mem"
   | Float_unit -> "fpu"
   | Transfer_unit -> "xfer"
+  | Dead k -> "dead:" ^ to_string (base_kind k)
 
 let pp fmt k = Format.pp_print_string fmt (to_string k)

@@ -12,6 +12,19 @@ type kind =
   | Int_mem
   | Float_unit
   | Transfer_unit
+  | Dead of kind
+      (** A unit killed by a fault plan. Remembers what it used to be so
+          consumers can distinguish, e.g., a cluster whose transfer unit
+          died (sends impossible) from a Raw tile that never had one
+          (sends free). Executes nothing. *)
+
+val base_kind : kind -> kind
+(** Strip any [Dead] wrapper. *)
+
+val is_dead : kind -> bool
+
+val kill : kind -> kind
+(** Wrap in [Dead] (idempotent). *)
 
 val can_execute : kind -> Cs_ddg.Opcode.cls -> bool
 val to_string : kind -> string

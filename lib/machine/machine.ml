@@ -39,6 +39,77 @@ let hops t a b = Topology.hops t.topology a b
 let is_mesh t =
   match t.topology with Topology.Mesh _ -> true | Topology.Crossbar _ -> false
 
+let is_cluster_alive t c =
+  c >= 0 && c < t.n_clusters && Array.exists (fun u -> not (Fu.is_dead u)) t.fus.(c)
+
+let is_degraded t =
+  Topology.is_degraded t.topology
+  || Array.exists (fun units -> Array.exists Fu.is_dead units) t.fus
+
+let degrade t plan =
+  if Cs_resil.Fault.is_empty plan then t
+  else begin
+    let fus = Array.map Array.copy t.fus in
+    let check_cluster what c =
+      if c < 0 || c >= t.n_clusters then
+        Cs_resil.Error.invalid_input
+          (Printf.sprintf "fault plan: %s %d out of range (machine has %d clusters)"
+             what c t.n_clusters)
+    in
+    let dead_tiles = ref [] in
+    let dead_links = ref [] in
+    let slow_links = ref [] in
+    List.iter
+      (fun f ->
+        match (f : Cs_resil.Fault.fault) with
+        | Dead_tile c ->
+          check_cluster "tile" c;
+          dead_tiles := c :: !dead_tiles;
+          fus.(c) <- Array.map Fu.kill fus.(c)
+        | Dead_fu { cluster; fu } ->
+          check_cluster "fu cluster" cluster;
+          if fu < 0 || fu >= Array.length fus.(cluster) then
+            Cs_resil.Error.invalid_input
+              (Printf.sprintf "fault plan: fu %d:%d out of range (cluster has %d units)"
+                 cluster fu
+                 (Array.length fus.(cluster)));
+          fus.(cluster).(fu) <- Fu.kill fus.(cluster).(fu)
+        | Dead_link (a, b) ->
+          if not (is_mesh t) then
+            Cs_resil.Error.invalid_input
+              (Printf.sprintf "fault plan: link=%d-%d needs a mesh topology" a b);
+          dead_links := (a, b) :: !dead_links
+        | Slow_link { a; b; factor } ->
+          if not (is_mesh t) then
+            Cs_resil.Error.invalid_input
+              (Printf.sprintf "fault plan: slow-link=%d-%d needs a mesh topology" a b);
+          slow_links := ((a, b), factor) :: !slow_links)
+      plan;
+    if not (Array.exists (fun units -> Array.exists (fun u -> not (Fu.is_dead u)) units) fus)
+    then Cs_resil.Error.invalid_input "fault plan kills every cluster";
+    let topology =
+      match t.topology with
+      | Topology.Crossbar _ as cb -> cb
+      | Topology.Mesh m -> (
+        match
+          Topology.mesh ~rows:m.rows ~cols:m.cols ~base_latency:m.base_latency
+            ~per_hop:m.per_hop
+            ~dead_nodes:(m.dead_nodes @ !dead_tiles)
+            ~dead_links:(m.dead_links @ !dead_links)
+            ~slow_links:(m.slow_links @ !slow_links)
+            ()
+        with
+        | topo -> topo
+        | exception Invalid_argument msg -> Cs_resil.Error.invalid_input msg)
+    in
+    {
+      t with
+      name = Printf.sprintf "%s!%s" t.name (Cs_resil.Fault.to_string plan);
+      fus;
+      topology;
+    }
+  end
+
 let validate_region t region =
   let graph = region.Cs_ddg.Region.graph in
   let problems = ref [] in
@@ -49,6 +120,19 @@ let validate_region t region =
         problems :=
           Printf.sprintf "instr %d preplaced on cluster %d (machine has %d)"
             ins.Cs_ddg.Instr.id c t.n_clusters
+          :: !problems
+      | Some c
+        when (not (can_execute t ~cluster:c ins.Cs_ddg.Instr.op))
+             && not
+                  (Cs_ddg.Opcode.is_memory ins.Cs_ddg.Instr.op
+                  && t.remote_mem_penalty > 0) ->
+        (* A dead home cluster is tolerable for memory ops on machines
+           with remote memory access; anything else is stuck. *)
+        problems :=
+          Printf.sprintf
+            "instr %d preplaced on cluster %d which cannot execute %s"
+            ins.Cs_ddg.Instr.id c
+            (Cs_ddg.Opcode.to_string ins.Cs_ddg.Instr.op)
           :: !problems
       | Some _ | None -> ());
       let executable =

@@ -37,6 +37,24 @@ val comm_latency : t -> src:int -> dst:int -> int
 val hops : t -> int -> int -> int
 val is_mesh : t -> bool
 
+val degrade : t -> Cs_resil.Fault.plan -> t
+(** [degrade t plan] applies a fault plan: dead tiles lose all their
+    functional units (wrapped in {!Fu.Dead}) and, on a mesh, their
+    routing node; dead FUs are masked individually; dead/slow links
+    reshape mesh routing (see {!Topology}). Array shapes and
+    [n_clusters] are preserved so cluster ids stay stable. The name is
+    suffixed with ["!<plan>"]. Degrading an already-degraded machine
+    composes. Raises [Cs_resil.Error.Error (Invalid_input _)] on plans
+    that do not fit the machine (out-of-range ids, link faults on a
+    crossbar, non-adjacent mesh links, or a plan killing every
+    cluster). The empty plan returns [t] unchanged. *)
+
+val is_degraded : t -> bool
+(** Any dead FU or degraded topology. *)
+
+val is_cluster_alive : t -> int -> bool
+(** In-range and at least one surviving functional unit. *)
+
 val validate_region : t -> Cs_ddg.Region.t -> (unit, string) result
 (** Checks every preplacement and live-in home fits this machine and
     every opcode is executable somewhere. *)

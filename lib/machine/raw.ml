@@ -3,7 +3,7 @@ let create ?(rows = 4) ?(cols = 4) () =
   Machine.make
     ~name:(Printf.sprintf "raw-%dx%d" rows cols)
     ~fus:(Array.make n [| Fu.Universal |])
-    ~topology:(Topology.Mesh { rows; cols; base_latency = 3; per_hop = 1 })
+    ~topology:(Topology.mesh ~rows ~cols ())
     ()
 
 let with_tiles n =

@@ -1,0 +1,155 @@
+type fault =
+  | Dead_tile of int
+  | Dead_fu of { cluster : int; fu : int }
+  | Dead_link of int * int
+  | Slow_link of { a : int; b : int; factor : int }
+
+type plan = fault list
+
+let norm_link a b = if a <= b then (a, b) else (b, a)
+
+let fault_to_string = function
+  | Dead_tile c -> Printf.sprintf "tile=%d" c
+  | Dead_fu { cluster; fu } -> Printf.sprintf "fu=%d:%d" cluster fu
+  | Dead_link (a, b) -> Printf.sprintf "link=%d-%d" a b
+  | Slow_link { a; b; factor } -> Printf.sprintf "slow-link=%d-%d:x%d" a b factor
+
+let to_string plan = String.concat "," (List.map fault_to_string plan)
+let is_empty plan = plan = []
+
+let int_of ~what s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 0 -> Ok n
+  | _ -> Error (Printf.sprintf "bad %s %S (expected a non-negative integer)" what s)
+
+let ( let* ) = Result.bind
+
+let parse_fault item =
+  match String.index_opt item '=' with
+  | None -> Error (Printf.sprintf "bad fault %S (expected key=value)" item)
+  | Some i -> (
+    let key = String.trim (String.sub item 0 i) in
+    let v = String.sub item (i + 1) (String.length item - i - 1) in
+    let pair ~what sep s =
+      match String.split_on_char sep s with
+      | [ a; b ] ->
+        let* a = int_of ~what a in
+        let* b = int_of ~what b in
+        Ok (a, b)
+      | _ -> Error (Printf.sprintf "bad %s %S" what s)
+    in
+    match key with
+    | "tile" ->
+      let* c = int_of ~what:"tile" v in
+      Ok (Dead_tile c)
+    | "fu" ->
+      let* cluster, fu = pair ~what:"fu spec" ':' v in
+      Ok (Dead_fu { cluster; fu })
+    | "link" ->
+      let* a, b = pair ~what:"link" '-' v in
+      if a = b then Error (Printf.sprintf "bad link %S (self-loop)" v)
+      else
+        let a, b = norm_link a b in
+        Ok (Dead_link (a, b))
+    | "slow-link" -> (
+      match String.split_on_char ':' v with
+      | [ ends; f ] ->
+        let* a, b = pair ~what:"slow-link" '-' ends in
+        if a = b then Error (Printf.sprintf "bad slow-link %S (self-loop)" v)
+        else
+          let a, b = norm_link a b in
+          let f = String.trim f in
+          let* factor =
+            if String.length f >= 2 && f.[0] = 'x' then
+              int_of ~what:"slow-link factor"
+                (String.sub f 1 (String.length f - 1))
+            else Error (Printf.sprintf "bad slow-link factor %S (expected xN)" f)
+          in
+          if factor < 2 then
+            Error
+              (Printf.sprintf "bad slow-link factor x%d (must be >= 2)" factor)
+          else Ok (Slow_link { a; b; factor })
+      | _ -> Error (Printf.sprintf "bad slow-link %S (expected A-B:xN)" v))
+    | _ -> Error (Printf.sprintf "unknown fault kind %S" key))
+
+let parse s =
+  let items =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest -> (
+      match parse_fault item with
+      | Error _ as e -> e
+      | Ok f -> go (if List.mem f acc then acc else f :: acc) rest)
+  in
+  go [] items
+
+let parse_exn s =
+  match parse s with
+  | Ok p -> p
+  | Error msg -> Error.invalid_input (Printf.sprintf "fault plan: %s" msg)
+
+type shape = {
+  n_clusters : int;
+  issue_width : int;
+  mesh : (int * int) option;
+}
+
+let random rng ~shape =
+  let n = max 1 shape.n_clusters in
+  let count = 1 + Cs_util.Rng.int rng 3 in
+  let adjacent rows cols =
+    (* pick a random mesh edge between adjacent nodes *)
+    let node = Cs_util.Rng.int rng (rows * cols) in
+    let r = node / cols and c = node mod cols in
+    let neighbours =
+      List.filter_map
+        (fun (dr, dc) ->
+          let r' = r + dr and c' = c + dc in
+          if r' >= 0 && r' < rows && c' >= 0 && c' < cols then
+            Some ((r' * cols) + c')
+          else None)
+        [ (0, 1); (1, 0); (0, -1); (-1, 0) ]
+    in
+    match neighbours with
+    | [] -> None
+    | l -> Some (norm_link node (List.nth l (Cs_util.Rng.int rng (List.length l))))
+  in
+  let draw () =
+    match shape.mesh with
+    | Some (rows, cols) when Cs_util.Rng.int rng 3 > 0 -> (
+      match adjacent rows cols with
+      | Some (a, b) ->
+        if Cs_util.Rng.bool rng then Some (Dead_link (a, b))
+        else Some (Slow_link { a; b; factor = 2 + Cs_util.Rng.int rng 3 })
+      | None -> None)
+    | _ ->
+      if shape.issue_width > 1 && Cs_util.Rng.bool rng then
+        Some
+          (Dead_fu
+             {
+               cluster = Cs_util.Rng.int rng n;
+               fu = Cs_util.Rng.int rng shape.issue_width;
+             })
+      else if n > 1 then Some (Dead_tile (Cs_util.Rng.int rng n))
+      else None
+  in
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match draw () with
+      | None -> go acc (k - 1)
+      | Some f ->
+        let acc = if List.mem f acc then acc else f :: acc in
+        (* never kill every cluster *)
+        let dead =
+          List.fold_left
+            (fun s -> function Dead_tile _ -> s + 1 | _ -> s)
+            0 acc
+        in
+        let acc = if dead >= n then List.tl acc else acc in
+        go acc (k - 1)
+  in
+  go [] count

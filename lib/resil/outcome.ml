@@ -1,0 +1,29 @@
+type rung = Requested | Default_sequence | Single_cluster
+
+type t = {
+  rung : rung;
+  attempts : (rung * string * Error.t) list;
+  quarantined : (string * string) list;
+}
+
+let rung_to_string = function
+  | Requested -> "requested"
+  | Default_sequence -> "default-sequence"
+  | Single_cluster -> "single-cluster"
+
+let healthy t = t.rung = Requested && t.attempts = [] && t.quarantined = []
+
+let to_string t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b ("rung=" ^ rung_to_string t.rung);
+  List.iter
+    (fun (r, label, e) ->
+      Buffer.add_string b
+        (Printf.sprintf " failed[%s/%s: %s]" (rung_to_string r) label
+           (Error.to_string e)))
+    t.attempts;
+  List.iter
+    (fun (pass, reason) ->
+      Buffer.add_string b (Printf.sprintf " quarantined[%s: %s]" pass reason))
+    t.quarantined;
+  Buffer.contents b

@@ -1,0 +1,23 @@
+(** Record of how a resilient scheduling attempt was satisfied. *)
+
+type rung =
+  | Requested  (** the scheduler the caller asked for worked *)
+  | Default_sequence  (** fell back to the default convergent sequence *)
+  | Single_cluster  (** last resort: critical-path list schedule on one cluster *)
+
+type t = {
+  rung : rung;  (** the rung that produced the returned schedule *)
+  attempts : (rung * string * Error.t) list;
+      (** failed rungs before the winner, in order, with a label for the
+          attempt and the classified error *)
+  quarantined : (string * string) list;
+      (** passes quarantined while producing the winning schedule:
+          [(pass name, reason)] *)
+}
+
+val rung_to_string : rung -> string
+val healthy : t -> bool
+(** [true] iff the requested scheduler won with no quarantines. *)
+
+val to_string : t -> string
+(** One-line summary for logs. *)

@@ -11,6 +11,21 @@ let transfer_unit_count machine cluster =
     (fun acc fu -> if fu = Cs_machine.Fu.Transfer_unit then acc + 1 else acc)
     0 machine.Cs_machine.Machine.fus.(cluster)
 
+(* Transfer units the cluster was built with, dead or alive. A cluster
+   that *had* transfer units but lost them all to a fault plan cannot
+   send at all -- unlike a Raw tile that never had any, whose sends are
+   register-mapped and free. *)
+let built_transfer_unit_count machine cluster =
+  Array.fold_left
+    (fun acc fu ->
+      if Cs_machine.Fu.base_kind fu = Cs_machine.Fu.Transfer_unit then acc + 1
+      else acc)
+    0 machine.Cs_machine.Machine.fus.(cluster)
+
+let sends_impossible machine cluster =
+  transfer_unit_count machine cluster = 0
+  && built_transfer_unit_count machine cluster > 0
+
 let create machine =
   let nc = Cs_machine.Machine.n_clusters machine in
   let xfer_units =
@@ -44,8 +59,12 @@ let mesh_depart t route ready =
 
 let crossbar_depart t src ready =
   match t.xfer_units.(src) with
+  | [||] when sends_impossible t.machine src ->
+    Cs_resil.Error.infeasible
+      (Printf.sprintf "cluster %d cannot send: all transfer units dead" src)
   | [||] ->
-    (* No transfer unit to contend for: depart as soon as ready. *)
+    (* Never had a transfer unit to contend for (Raw-like): depart as
+       soon as ready. *)
     (ready, None)
   | units ->
     let best = ref (Reservation.first_free_from units.(0) ready) in
@@ -127,7 +146,13 @@ let link_conflicts machine comms =
     Hashtbl.iter
       (fun (src, depart) count ->
         let cap = transfer_unit_count machine src in
-        if cap > 0 && count > cap then
+        if sends_impossible machine src then
+          problems :=
+            Printf.sprintf
+              "cluster %d issues %d transfers at cycle %d but all its transfer units are dead"
+              src count depart
+            :: !problems
+        else if cap > 0 && count > cap then
           problems :=
             Printf.sprintf "cluster %d issues %d transfers at cycle %d (capacity %d)" src
               count depart cap
@@ -137,22 +162,32 @@ let link_conflicts machine comms =
     let usage = Hashtbl.create 256 in
     List.iter
       (fun cm ->
-        let route =
-          Cs_machine.Topology.route machine.Cs_machine.Machine.topology
-            ~src:cm.Schedule.src ~dst:cm.Schedule.dst
-        in
-        List.iteri
-          (fun k link ->
-            let key = (link, cm.Schedule.depart + k) in
-            match Hashtbl.find_opt usage key with
-            | Some other ->
-              problems :=
-                Printf.sprintf
-                  "link %d->%d used at cycle %d by values of i%d and i%d"
-                  link.Cs_machine.Topology.from_node link.Cs_machine.Topology.to_node
-                  (cm.Schedule.depart + k) other cm.Schedule.producer
-                :: !problems
-            | None -> Hashtbl.add usage key cm.Schedule.producer)
-          route)
+        (* A corrupt schedule may record transfers with no surviving
+           route; report rather than crash (the validator must be total). *)
+        match
+          Cs_resil.Error.protect (fun () ->
+              Cs_machine.Topology.route machine.Cs_machine.Machine.topology
+                ~src:cm.Schedule.src ~dst:cm.Schedule.dst)
+        with
+        | Error e ->
+          problems :=
+            Printf.sprintf "transfer of i%d (%d->%d) has no route: %s"
+              cm.Schedule.producer cm.Schedule.src cm.Schedule.dst
+              (Cs_resil.Error.to_string e)
+            :: !problems
+        | Ok route ->
+          List.iteri
+            (fun k link ->
+              let key = (link, cm.Schedule.depart + k) in
+              match Hashtbl.find_opt usage key with
+              | Some other ->
+                problems :=
+                  Printf.sprintf
+                    "link %d->%d used at cycle %d by values of i%d and i%d"
+                    link.Cs_machine.Topology.from_node link.Cs_machine.Topology.to_node
+                    (cm.Schedule.depart + k) other cm.Schedule.producer
+                  :: !problems
+              | None -> Hashtbl.add usage key cm.Schedule.producer)
+            route)
       comms);
   !problems

@@ -1,5 +1,3 @@
-exception Unschedulable of string
-
 let effective_latency ~machine ~cluster ins =
   let base = Cs_machine.Machine.latency_of machine ins in
   match ins.Cs_ddg.Instr.preplace with
@@ -16,27 +14,28 @@ let check_placement ~machine ~assignment graph =
       let i = ins.Cs_ddg.Instr.id in
       let c = assignment.(i) in
       if c < 0 || c >= Cs_machine.Machine.n_clusters machine then
-        raise (Unschedulable (Printf.sprintf "instr %d assigned to invalid cluster %d" i c));
+        Cs_resil.Error.invalid_input
+          (Printf.sprintf "instr %d assigned to invalid cluster %d" i c);
       if not (Cs_machine.Machine.can_execute machine ~cluster:c ins.Cs_ddg.Instr.op) then
-        raise
-          (Unschedulable
-             (Printf.sprintf "instr %d (%s) cannot execute on cluster %d" i
-                (Cs_ddg.Opcode.to_string ins.Cs_ddg.Instr.op)
-                c));
+        Cs_resil.Error.infeasible
+          (Printf.sprintf "instr %d (%s) cannot execute on cluster %d" i
+             (Cs_ddg.Opcode.to_string ins.Cs_ddg.Instr.op)
+             c);
       match ins.Cs_ddg.Instr.preplace with
       | Some home
         when home <> c && machine.Cs_machine.Machine.remote_mem_penalty = 0 ->
-        raise
-          (Unschedulable
-             (Printf.sprintf "preplaced instr %d must run on cluster %d, assigned %d" i home c))
+        Cs_resil.Error.infeasible
+          (Printf.sprintf "preplaced instr %d must run on cluster %d, assigned %d" i home c)
       | Some _ | None -> ())
     (Cs_ddg.Graph.instrs graph)
 
 let schedule_region ~machine ~assignment ~priority ?analysis region =
   let graph = region.Cs_ddg.Region.graph in
   let n = Cs_ddg.Graph.n graph in
-  if Array.length assignment <> n then invalid_arg "List_scheduler.run: assignment size";
-  if Array.length priority <> n then invalid_arg "List_scheduler.run: priority size";
+  if Array.length assignment <> n then
+    Cs_resil.Error.invalid_input "List_scheduler.run: assignment size";
+  if Array.length priority <> n then
+    Cs_resil.Error.invalid_input "List_scheduler.run: priority size";
   check_placement ~machine ~assignment graph;
   let analysis =
     match analysis with

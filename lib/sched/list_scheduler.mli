@@ -9,8 +9,6 @@
     Raw mesh), and remote-memory penalties are applied on machines that
     have them. *)
 
-exception Unschedulable of string
-
 val run :
   machine:Cs_machine.Machine.t ->
   assignment:int array ->
@@ -18,9 +16,12 @@ val run :
   ?analysis:Cs_ddg.Analysis.t ->
   Cs_ddg.Region.t ->
   Schedule.t
-(** Raises {!Unschedulable} when an instruction's assigned cluster
-    cannot execute it, or when a preplaced instruction is assigned away
-    from its home on a machine without remote memory access.
+(** Raises [Cs_resil.Error.Error (Infeasible _)] when an instruction's
+    assigned cluster cannot execute it, or when a preplaced instruction
+    is assigned away from its home on a machine without remote memory
+    access; [Error (Invalid_input _)] on malformed inputs (wrong array
+    sizes, out-of-range clusters); and [Error (Unreachable _)] when a
+    degraded mesh has no route for a required transfer.
     [analysis] (used for tie-breaking heights and effective latencies)
     is rebuilt from the machine's latency model when not supplied.
 

@@ -14,13 +14,17 @@ let ensure t cycle =
   end
 
 let is_free t cycle =
-  if cycle < 0 then invalid_arg "Reservation: negative cycle";
+  if cycle < 0 then
+    Cs_resil.Error.invalid_input "Reservation: negative cycle";
   cycle >= Bytes.length t.busy || Bytes.get t.busy cycle = '\000'
 
 let book t cycle =
-  if cycle < 0 then invalid_arg "Reservation: negative cycle";
+  if cycle < 0 then
+    Cs_resil.Error.invalid_input "Reservation: negative cycle";
   ensure t cycle;
-  if Bytes.get t.busy cycle <> '\000' then invalid_arg "Reservation.book: cycle already booked";
+  if Bytes.get t.busy cycle <> '\000' then
+    Cs_resil.Error.resource_conflict
+      (Printf.sprintf "Reservation.book: cycle %d already booked" cycle);
   Bytes.set t.busy cycle '\001';
   t.horizon <- max t.horizon (cycle + 1)
 

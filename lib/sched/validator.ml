@@ -3,6 +3,19 @@ let check sched =
   let graph = sched.Schedule.graph in
   let problems = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (* Total even on degraded meshes: a corrupt schedule may pair
+     unreachable clusters, which must become a reported problem, not a
+     raised [Unreachable]. *)
+  let latency_between ~what ~src ~dst =
+    match
+      Cs_resil.Error.protect (fun () ->
+          Cs_machine.Machine.comm_latency machine ~src ~dst)
+    with
+    | Ok lat -> Some lat
+    | Error e ->
+      fail "%s %d->%d has no route: %s" what src dst (Cs_resil.Error.to_string e);
+      None
+  in
   let nc = Cs_machine.Machine.n_clusters machine in
   (* Per-entry legality. *)
   Array.iteri
@@ -62,10 +75,11 @@ let check sched =
             if cm.depart < ep.finish then
               fail "transfer of i%d departs at %d before producer finishes at %d" p cm.depart
                 ep.finish;
-            let lat = Cs_machine.Machine.comm_latency machine ~src:cm.src ~dst:cm.dst in
-            if cm.arrive <> cm.depart + lat then
+            (match latency_between ~what:"transfer" ~src:cm.src ~dst:cm.dst with
+            | Some lat when cm.arrive <> cm.depart + lat ->
               fail "transfer of i%d has latency %d, topology says %d" p (cm.arrive - cm.depart)
-                lat;
+                lat
+            | Some _ | None -> ());
             if es.start < cm.arrive then
               fail "i%d starts at %d before value of i%d arrives at %d" s es.start p cm.arrive
         end)
@@ -99,10 +113,11 @@ let check sched =
                   fail "live-in %s departs cluster %d, home is %d" (Cs_ddg.Reg.to_string r)
                     cm.src home;
                 if cm.depart < 0 then fail "live-in %s departs before cycle 0" (Cs_ddg.Reg.to_string r);
-                let lat = Cs_machine.Machine.comm_latency machine ~src:cm.src ~dst:cm.dst in
-                if cm.arrive <> cm.depart + lat then
+                (match latency_between ~what:"live-in transfer" ~src:cm.src ~dst:cm.dst with
+                | Some lat when cm.arrive <> cm.depart + lat ->
                   fail "live-in %s transfer latency %d, topology says %d"
-                    (Cs_ddg.Reg.to_string r) (cm.arrive - cm.depart) lat;
+                    (Cs_ddg.Reg.to_string r) (cm.arrive - cm.depart) lat
+                | Some _ | None -> ());
                 if ei.start < cm.arrive then
                   fail "i%d reads live-in %s at %d before it arrives at %d" i
                     (Cs_ddg.Reg.to_string r) ei.start cm.arrive)

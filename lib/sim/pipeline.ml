@@ -76,3 +76,125 @@ let schedule ?seed ~scheduler ~machine region =
     let sched = schedule_raw ?seed ~scheduler ~machine region in
     emit_sim_counters ~scheduler sched;
     validated sched
+
+(* ---- Resilient fallback chain ------------------------------------- *)
+
+(* Like [convergent_traced] but surfacing the driver result, so the
+   fallback chain can report pass quarantines. *)
+let convergent_with_result ?seed ?passes ~machine region =
+  let passes = match passes with Some p -> p | None -> default_passes ~machine in
+  let result = Cs_core.Driver.run ?seed ~machine region passes in
+  let analysis = result.Cs_core.Driver.context.Cs_core.Context.analysis in
+  let priority =
+    if Cs_machine.Machine.is_mesh machine then Cs_sched.Priority.alap analysis
+    else Cs_sched.Priority.of_slots result.Cs_core.Driver.preferred_slot
+  in
+  let sched =
+    Cs_sched.List_scheduler.run ~machine
+      ~assignment:result.Cs_core.Driver.assignment ~priority ~analysis region
+  in
+  (sched, result)
+
+(* Last-resort rung: the whole region on one surviving cluster, ALAP
+   critical-path priority. With no inter-cluster dependences there are
+   no transfers to route, so this validates on any machine that still
+   has one cluster able to execute every opcode (and hosts or can
+   remotely serve every preplacement). Clusters are tried in order. *)
+let single_cluster ~machine region =
+  let nc = Cs_machine.Machine.n_clusters machine in
+  let n = Cs_ddg.Region.n_instrs region in
+  let analysis =
+    Cs_ddg.Analysis.make
+      ~latency:(Cs_machine.Machine.latency_of machine)
+      region.Cs_ddg.Region.graph
+  in
+  let priority = Cs_sched.Priority.alap analysis in
+  let rec try_cluster c last_err =
+    if c >= nc then
+      Error
+        (Option.value last_err
+           ~default:
+             (Cs_resil.Error.Infeasible "no cluster can host the whole region"))
+    else if not (Cs_machine.Machine.is_cluster_alive machine c) then
+      try_cluster (c + 1) last_err
+    else
+      match
+        Cs_resil.Error.protect (fun () ->
+            Cs_sched.List_scheduler.run ~machine ~assignment:(Array.make n c)
+              ~priority ~analysis region)
+      with
+      | Ok sched -> Ok sched
+      | Error e -> try_cluster (c + 1) (Some e)
+  in
+  try_cluster 0 None
+
+let schedule_resilient ?seed ?passes ?(scheduler = Convergent) ~machine region =
+  let try_build label build =
+    match Cs_resil.Error.protect build with
+    | Error e -> Error e
+    | Ok (sched, quarantined) -> (
+      match Cs_sched.Validator.check sched with
+      | Ok () -> Ok (sched, quarantined)
+      | Error problems ->
+        Error
+          (Cs_resil.Error.Invalid_schedule
+             (Printf.sprintf "%s: %s" label (String.concat "; " problems))))
+  in
+  let quarantines_of result =
+    List.map
+      (fun (q : Cs_core.Driver.quarantine) -> (q.pass_name, q.reason))
+      result.Cs_core.Driver.quarantined
+  in
+  let rungs =
+    [ ( Cs_resil.Outcome.Requested,
+        scheduler_name scheduler,
+        fun () ->
+          match scheduler with
+          | Convergent ->
+            let sched, result = convergent_with_result ?seed ?passes ~machine region in
+            (sched, quarantines_of result)
+          | _ -> (schedule_raw ?seed ~scheduler ~machine region, []) ) ]
+    @ (* Rung 2 adds nothing when rung 1 already was the default
+         convergent sequence. *)
+    (if scheduler = Convergent && passes = None then []
+     else
+       [ ( Cs_resil.Outcome.Default_sequence,
+           "convergent-default",
+           fun () ->
+             let sched, result = convergent_with_result ?seed ~machine region in
+             (sched, quarantines_of result) ) ])
+    @ [ ( Cs_resil.Outcome.Single_cluster,
+          "single-cluster",
+          fun () ->
+            match single_cluster ~machine region with
+            | Ok sched -> (sched, [])
+            | Error e -> Cs_resil.Error.error e ) ]
+  in
+  let rec climb attempts = function
+    | [] -> (
+      match attempts with
+      | (_, _, e) :: _ -> Error e
+      | [] -> Error (Cs_resil.Error.Infeasible "no fallback rung available"))
+    | (rung, label, build) :: rest -> (
+      match try_build label build with
+      | Ok (sched, quarantined) ->
+        let outcome =
+          { Cs_resil.Outcome.rung; attempts = List.rev attempts; quarantined }
+        in
+        if Cs_obs.Obs.enabled () && rung <> Cs_resil.Outcome.Requested then
+          Cs_obs.Obs.instant ~cat:"resil" "fallback"
+            ~args:
+              [ ("rung", Cs_obs.Obs.Str (Cs_resil.Outcome.rung_to_string rung));
+                ("attempts", Cs_obs.Obs.Int (List.length outcome.attempts)) ];
+        emit_sim_counters ~scheduler sched;
+        Ok (sched, outcome)
+      | Error e ->
+        if Cs_obs.Obs.enabled () then
+          Cs_obs.Obs.instant ~cat:"resil" "rung-failed"
+            ~args:
+              [ ("rung", Cs_obs.Obs.Str (Cs_resil.Outcome.rung_to_string rung));
+                ("label", Cs_obs.Obs.Str label);
+                ("error", Cs_obs.Obs.Str (Cs_resil.Error.to_string e)) ];
+        climb ((rung, label, e) :: attempts) rest)
+  in
+  Cs_obs.Obs.span ~cat:"resil" "schedule_resilient" (fun () -> climb [] rungs)

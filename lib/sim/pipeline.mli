@@ -44,3 +44,29 @@ val schedule_raw :
     [Convergent]. *)
 
 val default_passes : machine:Cs_machine.Machine.t -> Cs_core.Pass.t list
+
+val schedule_resilient :
+  ?seed:int ->
+  ?passes:Cs_core.Pass.t list ->
+  ?scheduler:scheduler ->
+  machine:Cs_machine.Machine.t ->
+  Cs_ddg.Region.t ->
+  (Cs_sched.Schedule.t * Cs_resil.Outcome.t, Cs_resil.Error.t) result
+(** Graceful-degradation entry point: climbs a fallback chain until a
+    rung produces a schedule that passes {!Cs_sched.Validator}:
+
+    + the requested [scheduler] (default [Convergent]; [passes] applies
+      to a convergent request);
+    + the machine's default convergent sequence (skipped when that is
+      exactly what rung 1 ran);
+    + a single-cluster critical-path list schedule, trying each
+      surviving cluster in order — no transfers, so it validates on any
+      machine with one cluster able to execute every opcode.
+
+    The returned {!Cs_resil.Outcome.t} names the winning rung, the
+    classified error of every rung that failed before it, and any pass
+    quarantines recorded while producing the winning schedule. All
+    rungs failing returns the last error. Rung failures and fallbacks
+    are emitted as [cat = "resil"] events when the {!Cs_obs.Obs} sink
+    is enabled. Never raises on scheduler failures classifiable by
+    {!Cs_resil.Error.of_exn}. *)

@@ -5,7 +5,9 @@ let min_length = 2
 let max_length = 16
 
 let gene_pool =
-  List.filter (fun n -> n <> "INITTIME") Cs_core.Sequence.available
+  (* CHAOS is the fault-injection pass: valid to parse and replay, but
+     never worth searching over. *)
+  List.filter (fun n -> n <> "INITTIME" && n <> "CHAOS") Cs_core.Sequence.available
 
 let default_gene name =
   let upper = String.uppercase_ascii name in

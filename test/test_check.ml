@@ -45,6 +45,34 @@ let test_gen_covers_shapes_and_machines () =
   check_bool "several shapes" true (Hashtbl.length labels >= 4);
   check_bool "several machines" true (Hashtbl.length machines >= 5)
 
+let test_gen_degraded_extends_healthy () =
+  let damaged = ref 0 and chaotic = ref 0 in
+  for seed = 0 to 60 do
+    let h = Cs_check.Gen.case ~seed and d = Cs_check.Gen.case_degraded ~seed in
+    (* Same base draw: only faults and (possibly) a CHAOS pass differ. *)
+    check_bool "same machine" true
+      (Cs_check.Scenario.machine_name h.Cs_check.Scenario.machine
+      = Cs_check.Scenario.machine_name d.Cs_check.Scenario.machine);
+    check_int "same region"
+      (Cs_ddg.Region.n_instrs h.Cs_check.Scenario.region)
+      (Cs_ddg.Region.n_instrs d.Cs_check.Scenario.region);
+    check_bool "healthy has no faults" true (h.Cs_check.Scenario.faults = []);
+    if d.Cs_check.Scenario.faults <> [] then begin
+      incr damaged;
+      (* The plan applies, and the degraded machine still fits the region. *)
+      let dm = Cs_check.Scenario.scheduling_machine d in
+      check_bool "degraded machine valid" true
+        (Cs_machine.Machine.validate_region dm d.Cs_check.Scenario.region = Ok ())
+    end;
+    (match d.Cs_check.Scenario.spec with
+    | Cs_check.Scenario.Passes passes
+      when List.exists (fun p -> p.Cs_core.Pass.name = "CHAOS") passes ->
+      incr chaotic
+    | _ -> ())
+  done;
+  check_bool "fault plans drawn" true (!damaged >= 20);
+  check_bool "chaos spliced sometimes" true (!chaotic >= 1)
+
 (* --- oracle at HEAD --- *)
 
 let test_oracle_clean_at_head () =
@@ -54,6 +82,21 @@ let test_oracle_clean_at_head () =
   | [] -> ()
   | f :: _ ->
     Alcotest.failf "seed %d (%s) violated %s: %s" f.Cs_check.Fuzz.seed
+      f.Cs_check.Fuzz.label f.Cs_check.Fuzz.check f.Cs_check.Fuzz.detail);
+  check_int "violations" 0 stats.Cs_check.Fuzz.violations
+
+let test_oracle_clean_degraded () =
+  (* The fallback chain's promise, fuzzed: over degraded machines and
+     sabotaged pass sequences, every schedule that comes back satisfies
+     every judge (typed refusals are allowed, crashes are not). *)
+  let stats, findings =
+    Cs_check.Fuzz.run ~shrink:false ~degraded:true ~seeds:(0, 80) ()
+  in
+  check_int "cases" 81 stats.Cs_check.Fuzz.cases;
+  (match findings with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "degraded seed %d (%s) violated %s: %s" f.Cs_check.Fuzz.seed
       f.Cs_check.Fuzz.label f.Cs_check.Fuzz.check f.Cs_check.Fuzz.detail);
   check_int "violations" 0 stats.Cs_check.Fuzz.violations
 
@@ -180,6 +223,38 @@ let test_repro_roundtrip () =
       check_bool "check" true (r'.Cs_check.Repro.check = Some "validator")
   done
 
+let test_repro_roundtrips_faults () =
+  (* A degraded scenario's plan survives serialization; a healthy one
+     writes no faults header (backward-compatible format). *)
+  let rec degraded_seed seed =
+    let s = Cs_check.Gen.case_degraded ~seed in
+    if s.Cs_check.Scenario.faults <> [] then s else degraded_seed (seed + 1)
+  in
+  let scenario = degraded_seed 0 in
+  let r = { Cs_check.Repro.scenario; check = None; note = None } in
+  (match Cs_check.Repro.of_string (Cs_check.Repro.to_string r) with
+  | Error msg -> Alcotest.failf "degraded round trip: %s" msg
+  | Ok r' ->
+    check_bool "faults preserved" true
+      (Cs_resil.Fault.to_string r'.Cs_check.Repro.scenario.Cs_check.Scenario.faults
+      = Cs_resil.Fault.to_string scenario.Cs_check.Scenario.faults));
+  let healthy = Cs_check.Gen.case ~seed:5 in
+  let text =
+    Cs_check.Repro.to_string
+      { Cs_check.Repro.scenario = healthy; check = None; note = None }
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "no faults header when healthy" false (contains text "faults ");
+  (* A plan that does not fit the named machine is rejected. *)
+  check_bool "bad plan rejected" true
+    (Result.is_error
+       (Cs_check.Repro.of_string
+          "cs-check-repro v1\nmachine vliw-4c\nscheduler baseline:uas\nfaults link=0-1\nseed 0\nregion\nregion r\n"))
+
 let test_repro_rejects_garbage () =
   check_bool "bad magic" true (Result.is_error (Cs_check.Repro.of_string "nonsense"));
   check_bool "bad machine" true
@@ -208,14 +283,18 @@ let () =
         [ Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
           Alcotest.test_case "regions fit machines" `Quick test_gen_regions_fit_machines;
           Alcotest.test_case "covers shapes and machines" `Quick
-            test_gen_covers_shapes_and_machines ] );
+            test_gen_covers_shapes_and_machines;
+          Alcotest.test_case "degraded extends healthy" `Quick
+            test_gen_degraded_extends_healthy ] );
       ( "oracle",
         [ Alcotest.test_case "clean at HEAD (seeds 0..80)" `Slow test_oracle_clean_at_head;
           Alcotest.test_case "deterministic across domains" `Slow
             test_fuzz_deterministic_across_domains;
           Alcotest.test_case "dropped comms caught + minimized" `Slow
             test_injected_bug_caught_and_minimized;
-          Alcotest.test_case "late arrival caught" `Slow test_oracle_catches_late_arrival ] );
+          Alcotest.test_case "late arrival caught" `Slow test_oracle_catches_late_arrival;
+          Alcotest.test_case "clean on degraded machines (seeds 0..80)" `Slow
+            test_oracle_clean_degraded ] );
       ( "shrink",
         [ Alcotest.test_case "isolates marked instruction" `Quick
             test_shrink_isolates_marked_instruction;
@@ -223,6 +302,7 @@ let () =
             test_shrink_keeps_regions_well_formed ] );
       ( "repro",
         [ Alcotest.test_case "round-trips" `Quick test_repro_roundtrip;
+          Alcotest.test_case "round-trips fault plans" `Quick test_repro_roundtrips_faults;
           Alcotest.test_case "rejects garbage" `Quick test_repro_rejects_garbage;
           Alcotest.test_case "findings export as JSONL" `Quick test_findings_jsonl_parses ] );
     ]

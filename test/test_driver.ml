@@ -100,6 +100,71 @@ let test_empty_pass_list () =
   check_int "assignment sized" (Cs_ddg.Region.n_instrs jacobi4)
     (Array.length result.Driver.assignment)
 
+(* --- Pass quarantine --- *)
+
+let quarantine_names result =
+  List.map (fun (q : Driver.quarantine) -> q.Driver.pass_name) result.Driver.quarantined
+
+let test_quarantine_raising_pass () =
+  (* CHAOS mode 4 raises Failure mid-sequence: the driver must roll the
+     matrix back, record the quarantine, and finish the run as if the
+     pass had never existed. *)
+  let clean = Driver.run ~seed:3 ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  let passes = Sequence.vliw_default () @ [ Chaos.pass ~mode:4 () ] in
+  let result = Driver.run ~seed:3 ~machine:vliw4 jacobi4 passes in
+  Alcotest.(check (list string)) "one quarantine" [ "CHAOS" ] (quarantine_names result);
+  check_int "trace still covers every pass" (List.length passes)
+    (List.length result.Driver.trace);
+  Alcotest.(check (array int)) "assignment as if absent" clean.Driver.assignment
+    result.Driver.assignment
+
+let test_quarantine_invariant_violation () =
+  (* Mode 3 clobbers preplaced rows' home-cluster mass: it returns
+     normally but the post-pass gate must catch and roll it back. *)
+  let passes = Sequence.vliw_default () @ [ Chaos.pass ~mode:3 () ] in
+  let result = Driver.run ~machine:vliw4 jacobi4 passes in
+  (match result.Driver.quarantined with
+  | [ q ] ->
+    Alcotest.(check string) "pass name" "CHAOS" q.Driver.pass_name;
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+      at 0
+    in
+    check_bool "reason names the broken invariant" true
+      (contains q.Driver.reason "preplaced")
+  | qs -> Alcotest.failf "expected one quarantine, got %d" (List.length qs));
+  (* The hard constraint survived the attack. *)
+  List.iter
+    (fun (i, c) -> check_int "preplaced home" c result.Driver.assignment.(i))
+    (Cs_ddg.Graph.preplaced jacobi4.Cs_ddg.Region.graph)
+
+let test_quarantine_soft_corruption_recovers () =
+  (* Mode 2 zeroes every row: normalization resets rows to uniform, so
+     the matrix stays valid and no quarantine fires — corruption that
+     renormalization absorbs is degradation, not misbehavior. *)
+  let passes = [ Chaos.pass ~mode:2 () ] in
+  let result = Driver.run ~machine:vliw4 jacobi4 passes in
+  check_int "no quarantine" 0 (List.length result.Driver.quarantined);
+  check_bool "matrix valid" true (Weights.validate result.Driver.weights = Ok ())
+
+let test_quarantine_per_round () =
+  let passes = Sequence.vliw_default () @ [ Chaos.pass ~mode:0 () ] in
+  let result, rounds =
+    Driver.run_iterative ~max_rounds:3 ~epsilon:0.0 ~machine:vliw4 jacobi4 passes
+  in
+  check_int "one quarantine per round" rounds (List.length result.Driver.quarantined);
+  List.iteri
+    (fun k (q : Driver.quarantine) -> check_int "round recorded" (k + 1) q.Driver.round)
+    result.Driver.quarantined
+
+let test_no_quarantines_on_default_sequences () =
+  let r1 = Driver.run ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  let r2 = Driver.run ~machine:raw16 (Cs_workloads.Life.generate ~clusters:16 ())
+      (Sequence.raw_default ()) in
+  check_int "vliw clean" 0 (List.length r1.Driver.quarantined);
+  check_int "raw clean" 0 (List.length r2.Driver.quarantined)
+
 let test_context_rejects_invalid_region () =
   let b = Cs_ddg.Builder.create ~name:"bad" () in
   let addr = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
@@ -109,7 +174,7 @@ let test_context_rejects_invalid_region () =
     (try
        ignore (Context.make ~machine:vliw4 region);
        false
-     with Invalid_argument _ -> true)
+     with Cs_resil.Error.Error (Cs_resil.Error.Invalid_input _) -> true)
 
 let test_context_nt_is_cpl () =
   let ctx = Context.make ~machine:vliw4 jacobi4 in
@@ -177,6 +242,14 @@ let () =
             test_iterative_trace_concatenates_rounds_in_order;
           Alcotest.test_case "cap bounds occupancy" `Quick test_cap_bounds_occupancy;
           Alcotest.test_case "empty pass list" `Quick test_empty_pass_list;
+          Alcotest.test_case "quarantine raising pass" `Quick test_quarantine_raising_pass;
+          Alcotest.test_case "quarantine invariant violation" `Quick
+            test_quarantine_invariant_violation;
+          Alcotest.test_case "soft corruption recovers" `Quick
+            test_quarantine_soft_corruption_recovers;
+          Alcotest.test_case "quarantine per round" `Quick test_quarantine_per_round;
+          Alcotest.test_case "defaults never quarantined" `Quick
+            test_no_quarantines_on_default_sequences;
         ] );
       ( "context",
         [

@@ -34,7 +34,7 @@ let test_fu_transfer () =
 
 (* --- Topology --- *)
 
-let mesh44 = Topology.Mesh { rows = 4; cols = 4; base_latency = 3; per_hop = 1 }
+let mesh44 = Topology.mesh ~rows:4 ~cols:4 ()
 let xbar = Topology.Crossbar { latency = 1 }
 
 let test_mesh_hops () =
@@ -129,7 +129,7 @@ let test_machine_rejects_bad_mesh () =
     (Invalid_argument "Machine.make: mesh size disagrees with cluster count") (fun () ->
       ignore
         (Machine.make ~name:"bad" ~fus:(Array.make 3 [| Fu.Universal |])
-           ~topology:(Topology.Mesh { rows = 2; cols = 2; base_latency = 3; per_hop = 1 })
+           ~topology:(Topology.mesh ~rows:2 ~cols:2 ())
            ()))
 
 let test_latency_model () =

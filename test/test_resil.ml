@@ -1,0 +1,370 @@
+(* Tests for lib/resil: fault plans, degraded machines, rerouting,
+   the typed error taxonomy, and the fallback chain. *)
+
+open Cs_resil
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- Fault plans --- *)
+
+let test_plan_round_trip () =
+  let spec = "tile=5,link=2-3,fu=1:0,slow-link=4-8:x3" in
+  match Fault.parse spec with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok plan ->
+    check_string "canonical" spec (Fault.to_string plan);
+    (match Fault.parse (Fault.to_string plan) with
+    | Ok plan2 -> check_bool "round trips" true (plan = plan2)
+    | Error e -> Alcotest.failf "re-parse failed: %s" e)
+
+let test_plan_normalizes_links () =
+  match Fault.parse "link=3-2, slow-link=8-4:x2" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok plan -> check_string "lo-hi order" "link=2-3,slow-link=4-8:x2" (Fault.to_string plan)
+
+let test_plan_dedups () =
+  match Fault.parse "tile=1,tile=1,link=0-1,link=1-0" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok plan -> check_int "two faults" 2 (List.length plan)
+
+let test_plan_empty () =
+  check_bool "empty string" true (Fault.parse "" = Ok []);
+  check_bool "whitespace" true (Fault.parse "  " = Ok []);
+  check_string "prints empty" "" (Fault.to_string [])
+
+let test_plan_rejects_garbage () =
+  let bad s = match Fault.parse s with Error _ -> true | Ok _ -> false in
+  check_bool "unknown key" true (bad "core=3");
+  check_bool "no value" true (bad "tile");
+  check_bool "negative" true (bad "tile=-1");
+  check_bool "self loop" true (bad "link=2-2");
+  check_bool "slow factor 1" true (bad "slow-link=0-1:x1");
+  check_bool "slow factor junk" true (bad "slow-link=0-1:fast");
+  check_bool "parse_exn raises typed" true
+    (try
+       ignore (Fault.parse_exn "core=3");
+       false
+     with Error.Error (Error.Invalid_input _) -> true)
+
+let test_plan_random_valid () =
+  (* Random plans for a raw4x4 shape parse back and apply cleanly. *)
+  let machine = Cs_machine.Raw.create ~rows:4 ~cols:4 () in
+  let shape = { Fault.n_clusters = 16; issue_width = 1; mesh = Some (4, 4) } in
+  let rng = Cs_util.Rng.create 7 in
+  for _ = 1 to 50 do
+    let plan = Fault.random rng ~shape in
+    (match Fault.parse (Fault.to_string plan) with
+    | Ok p -> check_bool "round trips" true (p = plan)
+    | Error e -> Alcotest.failf "random plan %S: %s" (Fault.to_string plan) e);
+    ignore (Cs_machine.Machine.degrade machine plan)
+  done
+
+(* --- Machine.degrade --- *)
+
+let raw22 () = Cs_machine.Raw.create ~rows:2 ~cols:2 ()
+let vliw4 () = Cs_machine.Vliw.create ~n_clusters:4 ()
+
+let test_degrade_dead_tile () =
+  let m = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "tile=1") in
+  check_bool "degraded" true (Cs_machine.Machine.is_degraded m);
+  check_bool "tile 1 dead" false (Cs_machine.Machine.is_cluster_alive m 1);
+  check_bool "tile 0 alive" true (Cs_machine.Machine.is_cluster_alive m 0);
+  check_int "cluster count stable" 4 (Cs_machine.Machine.n_clusters m);
+  check_int "issue width stable" 1 (Cs_machine.Machine.issue_width m);
+  check_bool "cannot execute" false
+    (Cs_machine.Machine.can_execute m ~cluster:1 Cs_ddg.Opcode.Add);
+  check_string "name suffixed" "raw-2x2!tile=1" m.Cs_machine.Machine.name
+
+let test_degrade_dead_fu () =
+  (* Kill the VLIW cluster 0 transfer unit: the cluster stays alive but
+     can no longer execute communication ops. *)
+  let m = Cs_machine.Machine.degrade (vliw4 ()) (Fault.parse_exn "fu=0:3") in
+  check_bool "cluster alive" true (Cs_machine.Machine.is_cluster_alive m 0);
+  check_bool "no comm op" false
+    (Cs_machine.Machine.can_execute m ~cluster:0 Cs_ddg.Opcode.Transfer);
+  check_bool "still adds" true
+    (Cs_machine.Machine.can_execute m ~cluster:0 Cs_ddg.Opcode.Add)
+
+let test_degrade_empty_plan_is_identity () =
+  let m = raw22 () in
+  check_bool "same machine" true (Cs_machine.Machine.degrade m [] == m)
+
+let test_degrade_rejects_bad_plans () =
+  let typed f =
+    try
+      ignore (f ());
+      false
+    with Error.Error (Error.Invalid_input _) -> true
+  in
+  check_bool "tile out of range" true
+    (typed (fun () ->
+         Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "tile=9")));
+  check_bool "link on crossbar" true
+    (typed (fun () ->
+         Cs_machine.Machine.degrade (vliw4 ()) (Fault.parse_exn "link=0-1")));
+  check_bool "non-adjacent link" true
+    (typed (fun () ->
+         Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "link=0-3")));
+  check_bool "killing every tile" true
+    (typed (fun () ->
+         Cs_machine.Machine.degrade (raw22 ())
+           (Fault.parse_exn "tile=0,tile=1,tile=2,tile=3")))
+
+let test_degrade_composes () =
+  let m = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "tile=1") in
+  let m2 = Cs_machine.Machine.degrade m (Fault.parse_exn "link=2-3") in
+  check_bool "tile still dead" false (Cs_machine.Machine.is_cluster_alive m2 1);
+  check_bool "now unreachable" false
+    (Cs_machine.Topology.reachable m2.Cs_machine.Machine.topology 2 3)
+
+(* --- Degraded-mesh routing --- *)
+
+(* 2x2 mesh: nodes 0 1 / 2 3. *)
+
+let test_reroute_around_dead_link () =
+  let m = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "link=0-1") in
+  (* 0 -> 1 must detour 0 -> 2 -> 3 -> 1. *)
+  check_int "hops" 3 (Cs_machine.Machine.hops m 0 1);
+  check_int "latency" 5 (Cs_machine.Machine.comm_latency m ~src:0 ~dst:1);
+  let route = Cs_machine.Topology.route m.Cs_machine.Machine.topology ~src:0 ~dst:1 in
+  check_bool "detour route" true
+    (List.map
+       (fun (l : Cs_machine.Topology.link) -> (l.from_node, l.to_node))
+       route
+    = [ (0, 2); (2, 3); (3, 1) ]);
+  (* Unaffected pairs keep the healthy closed form. *)
+  check_int "other pair" 3 (Cs_machine.Machine.comm_latency m ~src:2 ~dst:3)
+
+let test_reroute_around_dead_node () =
+  let m = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "tile=0") in
+  (* 1 -> 2 cannot cut through dead node 0: go 1 -> 3 -> 2. *)
+  check_int "hops" 2 (Cs_machine.Machine.hops m 1 2);
+  check_int "latency" 4 (Cs_machine.Machine.comm_latency m ~src:1 ~dst:2)
+
+let test_slow_link_latency () =
+  (* Direct link at x3 costs weight 3, same as the 3-hop detour; the
+     direct route wins the tie deterministically. *)
+  let m = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "slow-link=0-1:x3") in
+  check_int "hops still direct" 1 (Cs_machine.Machine.hops m 0 1);
+  check_int "latency x3" 5 (Cs_machine.Machine.comm_latency m ~src:0 ~dst:1);
+  let m2 = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "slow-link=0-1:x2") in
+  check_int "latency x2" 4 (Cs_machine.Machine.comm_latency m2 ~src:0 ~dst:1);
+  (* Occupancy model is unchanged: slow links only add latency. *)
+  check_int "reverse symmetric" 4 (Cs_machine.Machine.comm_latency m2 ~src:1 ~dst:0)
+
+let test_partition_is_typed_unreachable () =
+  (* Cutting 0-1 and 2-3 separates {0,2} from {1,3}. *)
+  let m = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "link=0-1,link=2-3") in
+  let topo = m.Cs_machine.Machine.topology in
+  check_bool "same side ok" true (Cs_machine.Topology.reachable topo 0 2);
+  check_bool "cross side dead" false (Cs_machine.Topology.reachable topo 0 1);
+  check_bool "raises typed" true
+    (try
+       ignore (Cs_machine.Machine.comm_latency m ~src:0 ~dst:1);
+       false
+     with Error.Error (Error.Unreachable { src = 0; dst = 1 }) -> true)
+
+let test_degraded_routing_deterministic () =
+  let m =
+    Cs_machine.Machine.degrade
+      (Cs_machine.Raw.create ~rows:4 ~cols:4 ())
+      (Fault.parse_exn "link=5-6,tile=10,slow-link=1-2:x2")
+  in
+  let topo = m.Cs_machine.Machine.topology in
+  for src = 0 to 15 do
+    for dst = 0 to 15 do
+      if
+        src <> dst && src <> 10 && dst <> 10
+        && Cs_machine.Topology.reachable topo src dst
+      then begin
+        let r1 = Cs_machine.Topology.route topo ~src ~dst in
+        let r2 = Cs_machine.Topology.route topo ~src ~dst in
+        check_bool "stable route" true (r1 = r2);
+        check_int "route length is hops"
+          (Cs_machine.Topology.hops topo src dst)
+          (List.length r1);
+        (* Each hop is a real surviving mesh edge. *)
+        List.iter
+          (fun (l : Cs_machine.Topology.link) ->
+            let a = l.from_node and b = l.to_node in
+            check_bool "adjacent" true (abs (a - b) = 1 || abs (a - b) = 4);
+            check_bool "avoids dead node" true (a <> 10 && b <> 10);
+            check_bool "avoids dead link" true
+              (not ((min a b, max a b) = (5, 6))))
+          r1
+      end
+    done
+  done
+
+(* --- End-to-end on degraded machines --- *)
+
+let reduce_region ~name k =
+  let b = Cs_ddg.Builder.create ~name () in
+  let leaves = List.init k (fun _ -> Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const) in
+  ignore (Cs_workloads.Prog.reduce b Cs_ddg.Opcode.Add leaves);
+  Cs_ddg.Builder.finish b
+
+let test_degraded_mesh_schedule_validates () =
+  let m = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "tile=2") in
+  let region = reduce_region ~name:"reduce16" 16 in
+  (* Pipeline.schedule runs the validator internally (check_exn). *)
+  let sched = Cs_sim.Pipeline.schedule ~scheduler:Cs_sim.Pipeline.Convergent ~machine:m region in
+  check_bool "nonempty" true (Cs_sched.Schedule.makespan sched > 0);
+  Array.iter
+    (fun (e : Cs_sched.Schedule.entry) -> check_bool "off dead tile" true (e.cluster <> 2))
+    sched.Cs_sched.Schedule.entries
+
+(* --- Fallback chain --- *)
+
+let test_resilient_requested_rung_on_healthy_machine () =
+  let region = reduce_region ~name:"reduce16" 16 in
+  match Cs_sim.Pipeline.schedule_resilient ~machine:(vliw4 ()) region with
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Error.to_string e)
+  | Ok (sched, outcome) ->
+    check_bool "requested rung" true (outcome.Outcome.rung = Outcome.Requested);
+    check_bool "healthy" true (Outcome.healthy outcome);
+    check_bool "validates" true (Cs_sched.Validator.check sched = Ok ())
+
+let test_resilient_falls_back_to_default_sequence () =
+  (* Rawcc places by affinity with no feasibility check, so a dead tile
+     sinks rung 1 deterministically; the default convergent sequence
+     (feasibility-aware since the claiming fix) wins rung 2. *)
+  let m = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "tile=0") in
+  let region = reduce_region ~name:"reduce16" 16 in
+  match Cs_sim.Pipeline.schedule_resilient ~scheduler:Cs_sim.Pipeline.Rawcc ~machine:m region with
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Error.to_string e)
+  | Ok (sched, outcome) ->
+    check_bool "default rung" true (outcome.Outcome.rung = Outcome.Default_sequence);
+    (match outcome.Outcome.attempts with
+    | [ (Outcome.Requested, "rawcc", _) ] -> ()
+    | _ -> Alcotest.fail "unexpected attempt record");
+    check_bool "validates" true (Cs_sched.Validator.check sched = Ok ())
+
+let test_resilient_falls_back_to_single_cluster () =
+  (* A partitioned mesh: the convergent driver's balanced extraction
+     spreads a 31-instruction reduction over all four tiles (per-cluster
+     cap), so some tree edge crosses the cut and scheduling hits a typed
+     Unreachable; only the single-cluster rung survives. *)
+  let m = Cs_machine.Machine.degrade (raw22 ()) (Fault.parse_exn "link=0-1,link=2-3") in
+  let region = reduce_region ~name:"reduce16" 16 in
+  match Cs_sim.Pipeline.schedule_resilient ~machine:m region with
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Error.to_string e)
+  | Ok (sched, outcome) ->
+    check_bool "single-cluster rung" true (outcome.Outcome.rung = Outcome.Single_cluster);
+    check_bool "validates" true (Cs_sched.Validator.check sched = Ok ());
+    check_int "no transfers" 0 (Cs_sched.Schedule.n_comms sched);
+    let c0 = sched.Cs_sched.Schedule.entries.(0).Cs_sched.Schedule.cluster in
+    Array.iter
+      (fun (e : Cs_sched.Schedule.entry) -> check_int "one cluster" c0 e.cluster)
+      sched.Cs_sched.Schedule.entries
+
+let test_resilient_reports_chaos_quarantine () =
+  let region = reduce_region ~name:"reduce16" 16 in
+  let passes = Cs_core.Sequence.vliw_default () @ [ Cs_core.Chaos.pass ~mode:4 () ] in
+  match Cs_sim.Pipeline.schedule_resilient ~passes ~machine:(vliw4 ()) region with
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Error.to_string e)
+  | Ok (_, outcome) ->
+    check_bool "requested rung still wins" true (outcome.Outcome.rung = Outcome.Requested);
+    check_bool "not healthy" false (Outcome.healthy outcome);
+    (match outcome.Outcome.quarantined with
+    | [ ("CHAOS", _) ] -> ()
+    | q -> Alcotest.failf "expected one CHAOS quarantine, got %d" (List.length q))
+
+let test_resilient_error_when_nothing_fits () =
+  (* A float op on a machine whose surviving FUs are integer-only. *)
+  let m =
+    Cs_machine.Machine.make ~name:"intfp"
+      ~fus:[| [| Cs_machine.Fu.Int_alu |]; [| Cs_machine.Fu.Float_unit |] |]
+      ~topology:(Cs_machine.Topology.Crossbar { latency = 1 })
+      ()
+  in
+  let m = Cs_machine.Machine.degrade m (Fault.parse_exn "tile=1") in
+  let b = Cs_ddg.Builder.create ~name:"fp" () in
+  let k = Cs_ddg.Builder.op0 b Cs_ddg.Opcode.Const in
+  ignore (Cs_ddg.Builder.op1 b Cs_ddg.Opcode.Fadd k);
+  let region = Cs_ddg.Builder.finish b in
+  match Cs_sim.Pipeline.schedule_resilient ~machine:m region with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error _ -> ()
+
+(* --- Fault sweep: the acceptance-criteria grid --- *)
+
+let raw_plans =
+  [ "tile=5"; "link=1-2"; "slow-link=4-8:x3"; "fu=0:0"; "tile=0,tile=15";
+    "link=0-1,link=4-5"; "slow-link=0-4:x2,slow-link=1-5:x4";
+    "tile=5,link=9-10,slow-link=2-6:x3" ]
+
+let vliw_plans =
+  [ "tile=1"; "fu=0:3"; "fu=0:0,fu=0:1"; "tile=2,tile=3"; "fu=1:2";
+    "tile=0,fu=1:3"; "fu=3:0,fu=3:1,fu=3:2,fu=3:3"; "tile=1,tile=2" ]
+
+let test_fault_sweep_always_schedules () =
+  let region = reduce_region ~name:"reduce32" 32 in
+  let machines =
+    [ (Cs_machine.Raw.create ~rows:4 ~cols:4 (), raw_plans);
+      (Cs_machine.Vliw.create ~n_clusters:4 (), vliw_plans) ]
+  in
+  List.iter
+    (fun ((machine : Cs_machine.Machine.t), plans) ->
+      List.iter
+        (fun spec ->
+          let m = Cs_machine.Machine.degrade machine (Fault.parse_exn spec) in
+          match Cs_sim.Pipeline.schedule_resilient ~machine:m region with
+          | Error e ->
+            Alcotest.failf "%s + %s: %s" machine.name spec (Error.to_string e)
+          | Ok (sched, _) ->
+            (match Cs_sched.Validator.check sched with
+            | Ok () -> ()
+            | Error problems ->
+              Alcotest.failf "%s + %s: invalid schedule: %s" machine.name spec
+                (String.concat "; " problems)))
+        plans)
+    machines
+
+let () =
+  Alcotest.run "cs_resil"
+    [
+      ( "fault-plan",
+        [
+          Alcotest.test_case "round trip" `Quick test_plan_round_trip;
+          Alcotest.test_case "normalizes links" `Quick test_plan_normalizes_links;
+          Alcotest.test_case "dedups" `Quick test_plan_dedups;
+          Alcotest.test_case "empty" `Quick test_plan_empty;
+          Alcotest.test_case "rejects garbage" `Quick test_plan_rejects_garbage;
+          Alcotest.test_case "random plans valid" `Quick test_plan_random_valid;
+        ] );
+      ( "degrade",
+        [
+          Alcotest.test_case "dead tile" `Quick test_degrade_dead_tile;
+          Alcotest.test_case "dead fu" `Quick test_degrade_dead_fu;
+          Alcotest.test_case "empty plan" `Quick test_degrade_empty_plan_is_identity;
+          Alcotest.test_case "rejects bad plans" `Quick test_degrade_rejects_bad_plans;
+          Alcotest.test_case "composes" `Quick test_degrade_composes;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "dead link detour" `Quick test_reroute_around_dead_link;
+          Alcotest.test_case "dead node detour" `Quick test_reroute_around_dead_node;
+          Alcotest.test_case "slow link" `Quick test_slow_link_latency;
+          Alcotest.test_case "partition typed" `Quick test_partition_is_typed_unreachable;
+          Alcotest.test_case "deterministic" `Quick test_degraded_routing_deterministic;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "degraded mesh validates" `Quick
+            test_degraded_mesh_schedule_validates;
+          Alcotest.test_case "requested rung" `Quick
+            test_resilient_requested_rung_on_healthy_machine;
+          Alcotest.test_case "default-sequence rung" `Quick
+            test_resilient_falls_back_to_default_sequence;
+          Alcotest.test_case "single-cluster rung" `Quick
+            test_resilient_falls_back_to_single_cluster;
+          Alcotest.test_case "chaos quarantine surfaces" `Quick
+            test_resilient_reports_chaos_quarantine;
+          Alcotest.test_case "typed error when stuck" `Quick
+            test_resilient_error_when_nothing_fits;
+          Alcotest.test_case "fault sweep" `Quick test_fault_sweep_always_schedules;
+        ] );
+    ]

@@ -19,8 +19,11 @@ let test_reservation_basics () =
 let test_reservation_double_book () =
   let r = Cs_sched.Reservation.create () in
   Cs_sched.Reservation.book r 2;
-  Alcotest.check_raises "double" (Invalid_argument "Reservation.book: cycle already booked")
-    (fun () -> Cs_sched.Reservation.book r 2)
+  check_bool "double raises resource conflict" true
+    (try
+       Cs_sched.Reservation.book r 2;
+       false
+     with Cs_resil.Error.Error (Cs_resil.Error.Resource_conflict _) -> true)
 
 let test_reservation_growth () =
   let r = Cs_sched.Reservation.create () in
@@ -30,8 +33,11 @@ let test_reservation_growth () =
 
 let test_reservation_negative () =
   let r = Cs_sched.Reservation.create () in
-  Alcotest.check_raises "negative" (Invalid_argument "Reservation: negative cycle") (fun () ->
-      Cs_sched.Reservation.book r (-1))
+  check_bool "negative raises invalid input" true
+    (try
+       Cs_sched.Reservation.book r (-1);
+       false
+     with Cs_resil.Error.Error (Cs_resil.Error.Invalid_input _) -> true)
 
 (* --- Comm.deliver_by --- *)
 
@@ -188,7 +194,7 @@ let test_unschedulable_preplaced_off_home_on_mesh () =
     (try
        ignore (schedule ~assignment:[| 0; 0 |] raw22 region);
        false
-     with Cs_sched.List_scheduler.Unschedulable _ -> true)
+     with Cs_resil.Error.Error (Cs_resil.Error.Infeasible _) -> true)
 
 let test_unschedulable_incapable_cluster () =
   let machine =
@@ -205,7 +211,7 @@ let test_unschedulable_incapable_cluster () =
     (try
        ignore (schedule machine region);
        false
-     with Cs_sched.List_scheduler.Unschedulable _ -> true)
+     with Cs_resil.Error.Error (Cs_resil.Error.Infeasible _) -> true)
 
 let test_issue_width_respected () =
   (* Five independent consts on one Raw tile (1 FU): five cycles. *)

@@ -125,6 +125,36 @@ let test_copy_is_deep () =
   Weights.set w 0 0 0 0.9;
   check_float "copy unchanged" 0.5 (Weights.get c 0 0 0)
 
+let test_blit_restores () =
+  let w = Weights.create ~n:2 ~nc:2 ~nt:2 in
+  Weights.scale_cluster w 0 1 4.0;
+  Weights.normalize_all w;
+  let snapshot = Weights.copy w in
+  Weights.scale_cluster w 0 0 9.0;
+  Weights.normalize_all w;
+  Weights.blit ~src:snapshot ~dst:w;
+  check_float "entry restored" (Weights.get snapshot 0 1 0) (Weights.get w 0 1 0);
+  check_int "preference restored" 1 (Weights.preferred_cluster w 0);
+  check_bool "caches restored too" true (ok_invariants w);
+  let small = Weights.create ~n:1 ~nc:2 ~nt:2 in
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Weights.blit: dimension mismatch") (fun () ->
+      Weights.blit ~src:small ~dst:w)
+
+let test_validate_gate () =
+  let w = Weights.create ~n:2 ~nc:2 ~nt:2 in
+  check_bool "fresh matrix sane" true (Weights.validate w = Ok ());
+  (* An un-normalized row is exactly what a misbehaving pass leaves. *)
+  Weights.set w 0 0 0 5.0;
+  check_bool "row sum off" true (Result.is_error (Weights.validate w));
+  Weights.normalize w 0;
+  check_bool "normalize repairs" true (Weights.validate w = Ok ());
+  (* Non-finite weights cannot enter through the API at all; validate's
+     finiteness arm is defense in depth behind this gate. *)
+  Alcotest.check_raises "set rejects nan"
+    (Invalid_argument "Weights.set: weight must be finite and >= 0") (fun () ->
+      Weights.set w 1 0 0 Float.nan)
+
 let test_preferred_clusters_snapshot () =
   let w = Weights.create ~n:3 ~nc:2 ~nt:1 in
   Weights.set w 1 1 0 0.9;
@@ -211,6 +241,8 @@ let () =
           Alcotest.test_case "blend self noop" `Quick test_blend_self_noop;
           Alcotest.test_case "blend bad keep" `Quick test_blend_rejects_bad_keep;
           Alcotest.test_case "copy deep" `Quick test_copy_is_deep;
+          Alcotest.test_case "blit restores" `Quick test_blit_restores;
+          Alcotest.test_case "validate gate" `Quick test_validate_gate;
           Alcotest.test_case "snapshot" `Quick test_preferred_clusters_snapshot;
           Alcotest.test_case "cluster map render" `Quick test_pp_cluster_map;
         ] );
