@@ -1,0 +1,131 @@
+(* Latency-SLO experiment (extension): what service level can the
+   anytime scheduler sustain? Every benchmark of each evaluation
+   machine's suite is run as a service job under a sweep of per-job
+   deadlines, in-process through the same Job runner `csched serve`
+   uses. Reported per (machine, SLO): p50/p95/p99 job latency and the
+   deadline-hit rate — the fraction of jobs that came back with a
+   schedule inside their deadline. The anytime property is what keeps
+   tight-SLO hit rates non-zero: on expiry the driver stops between
+   passes and list-schedules the best-so-far matrix instead of either
+   overshooting or refusing.
+
+   Machine-readable output lands in BENCH_slo.json (written atomically;
+   CI parses it). *)
+
+let repeats = 5
+let slos_ms = [ 2.0; 10.0; 50.0; 1000.0 ]
+
+type cell = {
+  slo_ms : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  hit_rate : float;
+  anytime_exits : int;
+  jobs : int;
+}
+
+let run_machine ~machine_name ~suite =
+  Report.subsection machine_name;
+  let table =
+    Cs_util.Table.create
+      ~header:[ "slo_ms"; "p50_ms"; "p95_ms"; "p99_ms"; "hit%"; "anytime"; "jobs" ]
+  in
+  let cells =
+    List.map
+      (fun slo ->
+        let replies =
+          List.concat_map
+            (fun entry ->
+              List.init repeats (fun i ->
+                  let req =
+                    Cs_svc.Proto.request
+                      ~id:(Printf.sprintf "%s-%d" entry.Cs_workloads.Suite.name i)
+                      ~machine:machine_name ~deadline_ms:slo
+                      entry.Cs_workloads.Suite.name
+                  in
+                  Cs_svc.Job.run (Cs_svc.Job.admit req)))
+            suite
+        in
+        let latencies = List.map (fun r -> r.Cs_svc.Proto.elapsed_ms) replies in
+        let scheduled_in_time, anytime_exits =
+          List.fold_left
+            (fun (hits, anytime) r ->
+              match r.Cs_svc.Proto.verdict with
+              | Cs_svc.Proto.Scheduled s ->
+                ( (if r.Cs_svc.Proto.elapsed_ms <= slo then hits + 1 else hits),
+                  if s.timed_out then anytime + 1 else anytime )
+              | Cs_svc.Proto.Refused _ -> (hits, anytime))
+            (0, 0) replies
+        in
+        let jobs = List.length replies in
+        let cell =
+          { slo_ms = slo;
+            p50 = Cs_util.Stats.percentile 50.0 latencies;
+            p95 = Cs_util.Stats.percentile 95.0 latencies;
+            p99 = Cs_util.Stats.percentile 99.0 latencies;
+            hit_rate = float_of_int scheduled_in_time /. float_of_int jobs;
+            anytime_exits; jobs }
+        in
+        Cs_util.Table.add_row table
+          [ Printf.sprintf "%.0f" cell.slo_ms;
+            Report.fl cell.p50; Report.fl cell.p95; Report.fl cell.p99;
+            Printf.sprintf "%.1f" (100.0 *. cell.hit_rate);
+            string_of_int cell.anytime_exits;
+            string_of_int cell.jobs ];
+        cell)
+      slos_ms
+  in
+  Cs_util.Table.print table;
+  cells
+
+let cell_to_json c =
+  let open Cs_obs.Json in
+  Obj
+    [ ("slo_ms", Num c.slo_ms); ("p50_ms", Num c.p50); ("p95_ms", Num c.p95);
+      ("p99_ms", Num c.p99); ("hit_rate", Num c.hit_rate);
+      ("anytime_exits", Num (float_of_int c.anytime_exits));
+      ("jobs", Num (float_of_int c.jobs)) ]
+
+let slo () =
+  Report.section
+    "Latency SLO: anytime scheduling under per-job deadlines (extension)";
+  Printf.printf
+    "each suite benchmark submitted %d times per SLO through the service job \
+     runner;\nhit%% = schedule returned within the deadline (anytime exits count \
+     when on time)\n"
+    repeats;
+  let machines =
+    [ ("raw16", Cs_workloads.Suite.raw_suite); ("vliw4", Cs_workloads.Suite.vliw_suite) ]
+  in
+  let results =
+    List.map
+      (fun (machine_name, suite) ->
+        (machine_name, run_machine ~machine_name ~suite))
+      machines
+  in
+  let json =
+    Cs_obs.Json.Obj
+      [ ("experiment", Cs_obs.Json.Str "slo");
+        ("repeats", Cs_obs.Json.Num (float_of_int repeats));
+        ("machines",
+         Cs_obs.Json.List
+           (List.map
+              (fun (name, cells) ->
+                Cs_obs.Json.Obj
+                  [ ("machine", Cs_obs.Json.Str name);
+                    ("cells", Cs_obs.Json.List (List.map cell_to_json cells)) ])
+              results)) ]
+  in
+  Cs_util.Fsio.write_atomic ~path:"BENCH_slo.json" (Cs_obs.Json.to_string json ^ "\n");
+  Printf.printf "\nwrote BENCH_slo.json\n";
+  (* The loosest SLO must be essentially always hit — if it is not, the
+     service path itself regressed, not the scheduler. *)
+  List.iter
+    (fun (name, cells) ->
+      match List.rev cells with
+      | loosest :: _ when loosest.hit_rate < 0.99 ->
+        Printf.printf "WARNING %s: hit rate %.2f at %.0f ms SLO\n" name
+          loosest.hit_rate loosest.slo_ms
+      | _ -> ())
+    results

@@ -27,6 +27,7 @@ let experiments =
     ("tune", "evolutionary pass-sequence autotuner vs Table 1 (extension)", Exp_tune.tune);
     ("fuzz", "differential fuzzing throughput (extension)", Exp_fuzz.fuzz);
     ("faults", "fault injection and graceful degradation (extension)", Exp_resil.faults);
+    ("slo", "latency SLO under per-job deadlines (extension)", Exp_slo.slo);
     ("micro", "bechamel micro-benchmarks", Exp_micro.micro);
   ]
 

@@ -472,9 +472,50 @@ let tune_cmd =
       & info [ "b"; "benchmarks" ]
           ~doc:"Comma-separated benchmark subset to tune on (default: the machine's suite).")
   in
-  let run machine population generations seed domains scale bench_spec trace_out =
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget: stop starting new generations once $(docv) have \
+             elapsed and report the best sequence so far (the summary records \
+             budget_exhausted instead of completed).")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Save a crash-safe snapshot to $(docv) after every generation; a run \
+             killed at any moment can continue with --resume.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the --checkpoint file if it exists. The continued run is \
+             bit-identical to one that was never interrupted.")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Append-free JSON Lines run summary: status (completed or \
+             budget_exhausted), generations run, best genome and fitness.")
+  in
+  let run machine population generations seed domains scale bench_spec budget checkpoint
+      resume summary trace_out =
     if population <= 0 || generations <= 0 || domains <= 0 then begin
       Printf.eprintf "tune: --population, --generations, and --domains must be positive\n";
+      exit 1
+    end;
+    if resume && checkpoint = None then begin
+      Printf.eprintf "tune: --resume needs --checkpoint FILE\n";
       exit 1
     end;
     with_trace ~trace_out @@ fun () ->
@@ -500,6 +541,23 @@ let tune_cmd =
     Printf.printf "tuning %s over %d benchmarks (pop %d x %d generations, seed %d, %d domain%s)\n%!"
       machine.Cs_machine.Machine.name (Cs_tuner.Fitness.n_cases fit) population generations
       seed domains (if domains = 1 then "" else "s");
+    let deadline = Option.map (fun b -> Cs_obs.Clock.now () +. b) budget in
+    let resume_snapshot =
+      if not resume then None
+      else
+        Option.bind checkpoint (fun path ->
+            match Cs_tuner.Checkpoint.load path with
+            | Ok s ->
+              Printf.printf "resuming from %s (generation %d done)\n%!" path
+                s.Cs_tuner.Ga.gen_done;
+              Some s
+            | Error msg ->
+              Printf.printf "fresh start: %s\n%!" msg;
+              None)
+    in
+    let save_checkpoint =
+      Option.map (fun path s -> Cs_tuner.Checkpoint.save ~path s) checkpoint
+    in
     let t0 = Unix.gettimeofday () in
     let outcome =
       Cs_tuner.Ga.run
@@ -507,10 +565,33 @@ let tune_cmd =
           Printf.printf "  gen %2d: best %.4f  (%d evals, %d cache hits)\n%!"
             p.Cs_tuner.Ga.generation p.Cs_tuner.Ga.gen_best_fitness
             p.Cs_tuner.Ga.evaluations p.Cs_tuner.Ga.cache_hits)
-        params fit
+        ?checkpoint:save_checkpoint ?resume:resume_snapshot ?deadline params fit
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     let open Cs_tuner.Ga in
+    Option.iter
+      (fun path ->
+        let json =
+          Cs_obs.Json.Obj
+            [ ("tool", Cs_obs.Json.Str "tune");
+              ("status",
+               Cs_obs.Json.Str
+                 (if outcome.completed then "completed" else "budget_exhausted"));
+              ("machine", Cs_obs.Json.Str machine.Cs_machine.Machine.name);
+              ("generations_run", Cs_obs.Json.Num (float_of_int outcome.generations_run));
+              ("generations_wanted", Cs_obs.Json.Num (float_of_int generations));
+              ("best", Cs_obs.Json.Str (Cs_tuner.Genome.to_string outcome.best));
+              ("best_fitness", Cs_obs.Json.Num outcome.best_fitness);
+              ("default_fitness", Cs_obs.Json.Num outcome.default_fitness);
+              ("evaluations", Cs_obs.Json.Num (float_of_int outcome.evaluations));
+              ("elapsed_s", Cs_obs.Json.Num elapsed) ]
+        in
+        Cs_util.Fsio.write_atomic ~path (Cs_obs.Json.to_string json ^ "\n");
+        Printf.printf "wrote %s\n" path)
+      summary;
+    if not outcome.completed then
+      Printf.printf "budget exhausted after %d of %d generations\n"
+        outcome.generations_run generations;
     Printf.printf "\ndefault (Table 1): %.4f geomean speedup\n" outcome.default_fitness;
     Printf.printf "  %s\n"
       (String.concat "," (Cs_core.Sequence.names
@@ -536,7 +617,8 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ machine_arg $ population_arg $ generations_arg $ seed_arg $ domains_arg
-      $ scale_arg $ bench_arg $ trace_out_arg)
+      $ scale_arg $ bench_arg $ budget_arg $ checkpoint_arg $ resume_arg $ summary_arg
+      $ trace_out_arg)
 
 let faults_cmd =
   let doc =
@@ -749,6 +831,33 @@ let fuzz_cmd =
              the oracle checks that the resilient fallback chain either refuses with a \
              typed error or returns a schedule passing every judge.")
   in
+  let fuzz_checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Journal completed seed chunks to $(docv) (crash-safe); a run killed \
+             mid-search can continue with --resume and produce bit-identical \
+             findings.")
+  in
+  let fuzz_resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Skip the seeds already covered by the --checkpoint journal (falls back \
+             to a fresh run when the journal does not match the seed range).")
+  in
+  let fuzz_summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "JSON Lines run summary: status (completed or budget_exhausted), cases, \
+             violations, elapsed seconds.")
+  in
   let replay_arg =
     Arg.(
       value
@@ -790,9 +899,14 @@ let fuzz_cmd =
       failures;
     if failures > 0 then exit 1
   in
-  let run seeds domains budget corpus findings_file no_shrink degraded replay_path trace_out =
+  let run seeds domains budget corpus findings_file no_shrink degraded checkpoint resume
+      summary replay_path trace_out =
     if domains <= 0 then begin
       Printf.eprintf "fuzz: --domains must be positive\n";
+      exit 1
+    end;
+    if resume && checkpoint = None then begin
+      Printf.eprintf "fuzz: --resume needs --checkpoint FILE\n";
       exit 1
     end;
     with_trace ~trace_out @@ fun () ->
@@ -800,6 +914,13 @@ let fuzz_cmd =
     | Some path -> replay path
     | None ->
       let lo, hi = seeds in
+      let journal =
+        Option.map
+          (fun path ->
+            if resume then Cs_check.Journal.resume ~path ~degraded ~seeds ()
+            else Cs_check.Journal.create ~path ~degraded ~seeds ())
+          checkpoint
+      in
       Printf.printf "fuzzing seeds %d..%d (%d domain%s%s%s)\n%!" lo hi domains
         (if domains = 1 then "" else "s")
         (match budget with
@@ -808,7 +929,7 @@ let fuzz_cmd =
         (if degraded then ", degraded machines" else "");
       let stats, found =
         Cs_check.Fuzz.run ~domains ?time_budget_s:budget ?corpus_dir:corpus
-          ~shrink:(not no_shrink) ~degraded
+          ~shrink:(not no_shrink) ~degraded ?journal
           ~on_finding:(fun f ->
             Printf.printf "  seed %d (%s): %s: %s [%d -> %d instrs]%s\n%!"
               f.Cs_check.Fuzz.seed f.Cs_check.Fuzz.label f.Cs_check.Fuzz.check
@@ -825,16 +946,268 @@ let fuzz_cmd =
               Out_channel.output_string oc (Cs_check.Fuzz.findings_jsonl found));
           Printf.printf "wrote %s (%d findings, JSON Lines)\n" path (List.length found))
         findings_file;
-      Printf.printf "%d case%s in %.1fs: %d violation%s\n" stats.Cs_check.Fuzz.cases
+      Option.iter
+        (fun path ->
+          let json =
+            Cs_obs.Json.Obj
+              [ ("tool", Cs_obs.Json.Str "fuzz");
+                ("status",
+                 Cs_obs.Json.Str
+                   (if stats.Cs_check.Fuzz.completed then "completed"
+                    else "budget_exhausted"));
+                ("seed_lo", Cs_obs.Json.Num (float_of_int lo));
+                ("seed_hi", Cs_obs.Json.Num (float_of_int hi));
+                ("cases", Cs_obs.Json.Num (float_of_int stats.Cs_check.Fuzz.cases));
+                ("violations",
+                 Cs_obs.Json.Num (float_of_int stats.Cs_check.Fuzz.violations));
+                ("elapsed_s", Cs_obs.Json.Num stats.Cs_check.Fuzz.elapsed_s) ]
+          in
+          Cs_util.Fsio.write_atomic ~path (Cs_obs.Json.to_string json ^ "\n");
+          Printf.printf "wrote %s\n" path)
+        summary;
+      Printf.printf "%d case%s in %.1fs: %d violation%s%s\n" stats.Cs_check.Fuzz.cases
         (if stats.Cs_check.Fuzz.cases = 1 then "" else "s")
         stats.Cs_check.Fuzz.elapsed_s stats.Cs_check.Fuzz.violations
-        (if stats.Cs_check.Fuzz.violations = 1 then "" else "s");
+        (if stats.Cs_check.Fuzz.violations = 1 then "" else "s")
+        (if stats.Cs_check.Fuzz.completed then "" else " (budget exhausted)");
       if stats.Cs_check.Fuzz.violations > 0 then exit 1
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seeds_arg $ domains_arg $ budget_arg $ corpus_arg $ findings_arg
-      $ no_shrink_arg $ degraded_arg $ replay_arg $ trace_out_arg)
+      $ no_shrink_arg $ degraded_arg $ fuzz_checkpoint_arg $ fuzz_resume_arg
+      $ fuzz_summary_arg $ replay_arg $ trace_out_arg)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/csched.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let doc =
+    "Run the batch scheduling service: accept jobs over a Unix-domain socket (one JSON \
+     request per line), execute them on a worker-domain pool behind a bounded admission \
+     queue, and answer every request with a schedule or a typed refusal. Per-job \
+     deadlines are enforced end to end via the anytime driver; SIGTERM/SIGINT drain \
+     gracefully (every admitted job is still answered)."
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~doc:"Worker domains executing jobs.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ]
+          ~doc:"Admission-queue bound; excess jobs are shed with a typed overloaded reply.")
+  in
+  let default_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:"Deadline applied to jobs that do not carry one.")
+  in
+  let pass_budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "pass-budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-pass time budget inside the convergent driver; overrunning passes are \
+             rolled back and quarantined.")
+  in
+  let chaos_slow_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "chaos-slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Fault drill: append a CHAOS pass stalling $(docv) ms to every convergent \
+             job, to exercise deadlines and per-pass budgets under load.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ]
+          ~doc:
+            "Retry transient job failures up to this many extra attempts (exponential \
+             backoff with deterministic jitter); 0 disables.")
+  in
+  let run socket workers queue default_deadline_ms pass_budget_ms chaos_slow_ms retries
+      trace_out jsonl =
+    if workers <= 0 || queue <= 0 then begin
+      Printf.eprintf "serve: --workers and --queue must be positive\n";
+      exit 1
+    end;
+    with_trace ?jsonl ~trace_out @@ fun () ->
+    let retry =
+      if retries <= 0 then None
+      else Some { Cs_svc.Retry.default with max_attempts = retries + 1 }
+    in
+    let cfg =
+      Cs_svc.Server.config ~workers ~queue_capacity:queue ?default_deadline_ms
+        ?pass_budget_s:(Option.map (fun ms -> ms /. 1000.0) pass_budget_ms)
+        ?chaos_slow_ms ?retry socket
+    in
+    let server =
+      try Cs_svc.Server.create cfg
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "serve: cannot listen on %s: %s\n" socket (Unix.error_message e);
+        exit 1
+    in
+    let stop _ = Cs_svc.Server.stop server in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    Printf.printf "csched serve: listening on %s (%d workers, queue %d)\n%!" socket
+      workers queue;
+    Cs_svc.Server.run server;
+    let s = Cs_svc.Server.stats server in
+    Printf.printf
+      "drained: %d admitted, %d scheduled, %d refused (%d shed by admission)\n"
+      s.Cs_svc.Server.admitted s.Cs_svc.Server.completed s.Cs_svc.Server.refused
+      s.Cs_svc.Server.shed
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ workers_arg $ queue_arg $ default_deadline_arg
+      $ pass_budget_arg $ chaos_slow_arg $ retries_arg $ trace_out_arg $ jsonl_arg)
+
+let submit_cmd =
+  let doc =
+    "Submit a batch of jobs to a running `csched serve' and print one line per reply. \
+     Exits non-zero on transport errors or when --strict is set and any job was \
+     refused."
+  in
+  let bench_list_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "benchmarks" ] ~docv:"B1,B2,..."
+          ~doc:"Comma-separated benchmarks to submit (one job each).")
+  in
+  let machine_name_arg =
+    Arg.(
+      value & opt string "raw16"
+      & info [ "m"; "machine" ] ~doc:"Target machine name sent with each job.")
+  in
+  let scheduler_name_arg =
+    Arg.(
+      value & opt string "convergent"
+      & info [ "s"; "scheduler" ] ~doc:"Scheduler name sent with each job.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-job deadline sent with each job.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~doc:"Submit each job this many times.")
+  in
+  let jobs_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jobs" ] ~docv:"FILE"
+          ~doc:
+            "Read requests from $(docv) (JSON Lines, same format as the wire protocol) \
+             instead of building them from flags.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-read socket timeout.")
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero if any job was refused.")
+  in
+  let run socket bench_spec machine scheduler scale deadline_ms repeat jobs_file timeout
+      strict =
+    let from_flags () =
+      match bench_spec with
+      | None ->
+        Printf.eprintf "submit: pass --benchmarks or --jobs FILE\n";
+        exit 1
+      | Some spec ->
+        let benches =
+          List.filter (fun b -> String.trim b <> "") (String.split_on_char ',' spec)
+        in
+        List.concat_map
+          (fun bench ->
+            List.init (max 1 repeat) (fun i ->
+                Cs_svc.Proto.request
+                  ~id:(Printf.sprintf "%s-%d" bench i)
+                  ~machine ~scheduler ~scale ?deadline_ms bench))
+          benches
+    in
+    let requests =
+      match jobs_file with
+      | None -> from_flags ()
+      | Some path ->
+        (match Cs_util.Fsio.read_opt path with
+        | None ->
+          Printf.eprintf "submit: cannot read %s\n" path;
+          exit 1
+        | Some text ->
+          String.split_on_char '\n' text
+          |> List.filter (fun l -> String.trim l <> "")
+          |> List.mapi (fun i line ->
+                 match Cs_svc.Proto.request_of_line line with
+                 | Ok r -> r
+                 | Error e ->
+                   Printf.eprintf "submit: %s line %d: %s\n" path (i + 1) e;
+                   exit 1))
+    in
+    if requests = [] then begin
+      Printf.eprintf "submit: nothing to submit\n";
+      exit 1
+    end;
+    let print_reply (r : Cs_svc.Proto.reply) =
+      match r.Cs_svc.Proto.verdict with
+      | Cs_svc.Proto.Scheduled s ->
+        Printf.printf "ok      %-16s %5d cycles, %3d transfers, rung %s%s (%.1f ms)\n%!"
+          r.Cs_svc.Proto.reply_id s.cycles s.transfers s.rung
+          (if s.timed_out then " [anytime]" else "")
+          r.Cs_svc.Proto.elapsed_ms
+      | Cs_svc.Proto.Refused e ->
+        Printf.printf "refused %-16s %s: %s (%.1f ms)\n%!" r.Cs_svc.Proto.reply_id e.kind
+          e.message r.Cs_svc.Proto.elapsed_ms
+    in
+    match
+      Cs_svc.Client.submit ~timeout_s:timeout ~on_reply:print_reply
+        ~socket_path:socket requests
+    with
+    | Error msg ->
+      Printf.eprintf "submit: %s\n" msg;
+      exit 1
+    | Ok replies ->
+      let refused =
+        List.length
+          (List.filter
+             (fun r ->
+               match r.Cs_svc.Proto.verdict with
+               | Cs_svc.Proto.Refused _ -> true
+               | _ -> false)
+             replies)
+      in
+      Printf.printf "%d job%s: %d scheduled, %d refused\n" (List.length replies)
+        (if List.length replies = 1 then "" else "s")
+        (List.length replies - refused)
+        refused;
+      if List.length replies <> List.length requests then begin
+        Printf.eprintf "submit: %d request%s went unanswered\n"
+          (List.length requests - List.length replies)
+          (if List.length requests - List.length replies = 1 then "" else "s");
+        exit 1
+      end;
+      if strict && refused > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ socket_arg $ bench_list_arg $ machine_name_arg $ scheduler_name_arg
+      $ scale_arg $ deadline_arg $ repeat_arg $ jobs_file_arg $ timeout_arg $ strict_arg)
 
 let () =
   let doc = "convergent scheduling for spatial architectures (MICRO-35 reproduction)" in
@@ -843,4 +1216,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; passes_cmd; run_cmd; run_file_cmd; compare_cmd; trace_cmd;
-            profile_cmd; dot_cmd; tune_cmd; faults_cmd; fuzz_cmd ]))
+            profile_cmd; dot_cmd; tune_cmd; faults_cmd; fuzz_cmd; serve_cmd; submit_cmd ]))

@@ -12,6 +12,7 @@ type stats = {
   cases : int;
   violations : int;
   elapsed_s : float;
+  completed : bool;
 }
 
 (* Re-run the oracle and ask whether the same judge still rejects; the
@@ -33,18 +34,17 @@ let to_repro scenario violation =
    parallel fitness map: workers grab index ranges and write results by
    index, so findings come out in seed order regardless of which domain
    ran what. Workers stop taking new chunks once the time budget is
-   spent; chunks already claimed run to completion. *)
-let search ?(domains = 1) ?time_budget_s ?(degraded = false) ?transform
+   spent; chunks already claimed run to completion.
+
+   With a [journal], every completed chunk is recorded crash-safely
+   (seed range + violation seeds), and seeds the journal already covers
+   are skipped — scenarios are deterministic in their seed, so recorded
+   violations are regenerated rather than stored. *)
+let search ?(domains = 1) ?time_budget_s ?(degraded = false) ?transform ?journal
     ~seeds:(lo, hi) () =
   let n = max 0 (hi - lo + 1) in
   let results = Array.make n None in
   let ran = Array.make n false in
-  let t0 = Cs_obs.Clock.now () in
-  let out_of_time () =
-    match time_budget_s with
-    | None -> false
-    | Some budget -> Cs_obs.Clock.since t0 >= budget
-  in
   let run_one i =
     let seed = lo + i in
     let scenario = if degraded then Gen.case_degraded ~seed else Gen.case ~seed in
@@ -53,15 +53,37 @@ let search ?(domains = 1) ?time_budget_s ?(degraded = false) ?transform
     | Ok () -> ()
     | Error v -> results.(i) <- Some (scenario, v)
   in
-  let d = max 1 (min domains n) in
-  if d = 1 then begin
-    let i = ref 0 in
-    while !i < n && not (out_of_time ()) do
-      run_one !i;
-      incr i
-    done
-  end
-  else begin
+  (* Resume: mark journaled chunks done and regenerate their recorded
+     violations before the timed search starts. *)
+  (match journal with
+  | None -> ()
+  | Some j ->
+    for i = 0 to n - 1 do
+      if Journal.is_done j (lo + i) then ran.(i) <- true
+    done;
+    List.iter
+      (fun seed -> if lo <= seed && seed <= hi then run_one (seed - lo))
+      (Journal.violation_seeds j));
+  let t0 = Cs_obs.Clock.now () in
+  let out_of_time () =
+    match time_budget_s with
+    | None -> false
+    | Some budget -> Cs_obs.Clock.since t0 >= budget
+  in
+  let run_chunk start stop =
+    let violations = ref [] in
+    for i = start to stop do
+      if not ran.(i) then begin
+        run_one i;
+        if results.(i) <> None then violations := (lo + i) :: !violations
+      end
+    done;
+    match journal with
+    | None -> ()
+    | Some j -> Journal.record j ~chunk:(lo + start, lo + stop) ~violations:!violations
+  in
+  let d = max 1 (min domains (max 1 n)) in
+  if n > 0 then begin
     let next = Atomic.make 0 in
     let chunk = max 1 (n / (d * 8)) in
     let worker () =
@@ -69,9 +91,7 @@ let search ?(domains = 1) ?time_budget_s ?(degraded = false) ?transform
         if not (out_of_time ()) then begin
           let start = Atomic.fetch_and_add next chunk in
           if start < n then begin
-            for i = start to min n (start + chunk) - 1 do
-              run_one i
-            done;
+            run_chunk start (min n (start + chunk) - 1);
             loop ()
           end
         end
@@ -83,12 +103,12 @@ let search ?(domains = 1) ?time_budget_s ?(degraded = false) ?transform
     List.iter Domain.join others
   end;
   let cases = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 ran in
-  (cases, results, Cs_obs.Clock.since t0)
+  (cases, results, Cs_obs.Clock.since t0, cases = n)
 
 let run ?domains ?time_budget_s ?corpus_dir ?(shrink = true) ?shrink_budget
-    ?degraded ?transform ?on_finding ~seeds () =
-  let cases, results, search_s =
-    search ?domains ?time_budget_s ?degraded ?transform ~seeds ()
+    ?degraded ?transform ?on_finding ?journal ~seeds () =
+  let cases, results, search_s, completed =
+    search ?domains ?time_budget_s ?degraded ?transform ?journal ~seeds ()
   in
   (* Shrinking and reporting are sequential and in seed order, so a
      given seed range always yields the same findings in the same
@@ -132,8 +152,9 @@ let run ?domains ?time_budget_s ?corpus_dir ?(shrink = true) ?shrink_budget
   in
   Cs_obs.Obs.counter ~cat:"fuzz" "fuzz:run"
     [ ("cases", float_of_int cases);
-      ("violations", float_of_int (List.length findings)) ];
-  ( { cases; violations = List.length findings; elapsed_s = search_s },
+      ("violations", float_of_int (List.length findings));
+      ("completed", if completed then 1.0 else 0.0) ];
+  ( { cases; violations = List.length findings; elapsed_s = search_s; completed },
     findings )
 
 let finding_to_json f =

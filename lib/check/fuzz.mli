@@ -19,9 +19,14 @@ type finding = {
 }
 
 type stats = {
-  cases : int; (** scenarios actually executed (≤ seed range under a time budget) *)
+  cases : int;
+      (** seeds covered — executed this run or restored from a resumed
+          journal (≤ seed range under a time budget) *)
   violations : int;
   elapsed_s : float; (** search phase wall-clock, excluding shrinking *)
+  completed : bool;
+      (** every seed in the range was covered; [false] means the time
+          budget expired first (report [budget_exhausted]) *)
 }
 
 val run :
@@ -33,6 +38,7 @@ val run :
   ?degraded:bool ->
   ?transform:(Cs_sched.Schedule.t -> Cs_sched.Schedule.t) ->
   ?on_finding:(finding -> unit) ->
+  ?journal:Journal.t ->
   seeds:int * int ->
   unit ->
   stats * finding list
@@ -44,7 +50,13 @@ val run :
     fault-injected cases ({!Gen.case}); the oracle then accepts typed
     refusals but holds every returned schedule to the same judges.
     [transform] is the bug-injection hook forwarded to {!Oracle.run}.
-    [on_finding] fires after each finding is minimized. *)
+    [on_finding] fires after each finding is minimized.
+
+    [journal] makes the search phase crash-safe and resumable: every
+    completed chunk is recorded (see {!Journal}), seeds the journal
+    already covers are skipped, and their recorded violations are
+    regenerated deterministically — a run killed mid-search and resumed
+    produces findings bit-identical to an uninterrupted run. *)
 
 val findings_jsonl : finding list -> string
 (** One JSON object per line; empty string for no findings. *)

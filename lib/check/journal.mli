@@ -1,0 +1,33 @@
+(** Crash-safe fuzz-run journal for [csched fuzz --resume].
+
+    The fuzzer's search phase records every completed seed chunk (and
+    the seeds that produced violations) through
+    {!Cs_util.Fsio.write_atomic}; a process killed mid-run can resume
+    and skip the recorded chunks. Because scenarios are deterministic
+    functions of their seed, violations are re-derived from their
+    recorded seeds on resume, so the combined findings are
+    bit-identical to an uninterrupted run's. *)
+
+type t
+
+val create : path:string -> ?degraded:bool -> seeds:int * int -> unit -> t
+(** Fresh journal for the given inclusive seed range; overwrites any
+    existing file at [path]. *)
+
+val load : path:string -> (t, string) result
+
+val resume : path:string -> ?degraded:bool -> seeds:int * int -> unit -> t
+(** {!load} if the file exists and its seed range and degraded flag
+    match; otherwise a fresh {!create} (a journal for a different
+    configuration is not resumable). *)
+
+val record : t -> chunk:int * int -> violations:int list -> unit
+(** Mark an inclusive seed range complete and append its violation
+    seeds; rewrites the journal atomically. Safe to call from multiple
+    domains. *)
+
+val is_done : t -> int -> bool
+(** Seed covered by a recorded chunk. *)
+
+val violation_seeds : t -> int list
+(** Recorded violation seeds, deduplicated, ascending. *)

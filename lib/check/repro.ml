@@ -123,7 +123,7 @@ let save ~dir t =
     if Sys.file_exists path then fresh (k + 1) else path
   in
   let path = fresh 0 in
-  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string t));
+  Cs_util.Fsio.write_atomic ~path (to_string t);
   path
 
 let load_dir dir =

@@ -1,6 +1,16 @@
 let default_mode = 4
+let default_delay_ms = 100.0
 
-let apply ~mode ctx w =
+(* Spin on the monotonic clock rather than sleeping: a blocked sleep
+   can be interrupted by signals, and the point of this mode is to
+   charge wall-clock time against the driver's per-pass budget. *)
+let stall ms =
+  let t0 = Cs_obs.Clock.now () in
+  while Cs_obs.Clock.since t0 < ms /. 1000.0 do
+    ignore (Sys.opaque_identity ())
+  done
+
+let apply ~mode ~delay_ms ctx w =
   match mode with
   | 0 ->
     (* Weights.set rejects non-finite values, so this dies mid-pass. *)
@@ -22,10 +32,18 @@ let apply ~mode ctx w =
       (fun home instrs ->
         List.iter (fun i -> Weights.scale_cluster w i home 0.0) instrs)
       ctx.Context.preplaced_on
+  | 5 ->
+    (* Slow pass: burn [delay_ms] of wall clock without touching the
+       matrix. Harmless to quality; exists to overrun the driver's
+       per-pass budget and trip the Pass_timeout quarantine, and to
+       stretch rounds past request deadlines in the batch service. *)
+    stall delay_ms
   | _ -> failwith "CHAOS: injected pass failure"
 
-let pass ?(mode = default_mode) () =
+let pass ?(mode = default_mode) ?(delay_ms = default_delay_ms) () =
   Pass.make
-    ~params:[ ("mode", float_of_int mode) ]
+    ~params:[ ("mode", float_of_int mode); ("delay_ms", delay_ms) ]
     ~name:"CHAOS" ~kind:Pass.Spacetime
-    (fun ctx w -> apply ~mode ctx w)
+    (fun ctx w -> apply ~mode ~delay_ms ctx w)
+
+let slow_pass ?(delay_ms = default_delay_ms) () = pass ~mode:5 ~delay_ms ()

@@ -8,8 +8,19 @@
     - [2] squashes every row to zero (soft: normalization recovers)
     - [3] clobbers preplaced rows' home-cluster weights (invariant
       violation detected after the pass)
-    - [4] (and anything else) raises [Failure] outright *)
+    - [4] raises [Failure] outright
+    - [5] burns [delay_ms] of wall clock without touching the matrix —
+      the slow-pass mode used to exercise the driver's per-pass time
+      budget ([Pass_timeout] quarantine) and service deadlines
+
+    Anything else behaves like [4]. *)
 
 val default_mode : int
 
-val pass : ?mode:int -> unit -> Pass.t
+val default_delay_ms : float
+(** 100 ms. *)
+
+val pass : ?mode:int -> ?delay_ms:float -> unit -> Pass.t
+
+val slow_pass : ?delay_ms:float -> unit -> Pass.t
+(** [pass ~mode:5 ~delay_ms ()]. *)

@@ -7,6 +7,7 @@ type result = {
   weights : Weights.t;
   quarantined : quarantine list;
   context : Context.t;
+  timed_out : bool;
 }
 
 let assignment_of_weights ?(cap_factor = 1.1) ctx w =
@@ -133,15 +134,30 @@ let weights_violation ctx w =
    each pass is wrapped in a timed span (cat "pass") and followed by a
    convergence-metrics counter (cat "converge"); quarantines emit a
    cat "resil" instant and counter. *)
-let apply_round ?(round = 1) ?observe ctx w passes =
+let deadline_expired = function
+  | None -> false
+  | Some t -> Cs_obs.Clock.now () >= t
+
+let apply_round ?(round = 1) ?observe ?deadline ?pass_budget_s ctx w passes =
   let n = Weights.n w in
   let steps = ref [] in
   let quarantined = ref [] in
   let snapshot = Weights.copy w in
   let before = ref (Weights.preferred_clusters w) in
-  List.iter
-    (fun pass ->
+  let timed_out = ref false in
+  let rec loop = function
+    | [] -> ()
+    | _ :: _ when deadline_expired deadline ->
+      (* Anytime early exit: W is a valid preference matrix after every
+         pass, so stopping here still yields an extractable schedule.
+         The skipped suffix is simply not recorded in the trace. *)
+      timed_out := true;
+      if Cs_obs.Obs.enabled () then
+        Cs_obs.Obs.instant ~cat:"resil" "deadline"
+          ~args:[ ("round", Cs_obs.Obs.Int round) ]
+    | pass :: rest ->
       Weights.blit ~src:w ~dst:snapshot;
+      let t0 = Cs_obs.Clock.now () in
       let outcome =
         Cs_obs.Obs.span ~cat:"pass"
           ~args:[ ("round", Cs_obs.Obs.Int round) ]
@@ -154,6 +170,23 @@ let apply_round ?(round = 1) ?observe ctx w passes =
             with
             | Error e -> Some (Cs_resil.Error.to_string e)
             | Ok () -> weights_violation ctx w)
+      in
+      let elapsed = Cs_obs.Clock.since t0 in
+      let outcome =
+        (* A pass cannot be preempted mid-flight, so budget enforcement
+           is post-hoc: an overrun beyond the per-pass budget is treated
+           exactly like a corrupting pass — rolled back and quarantined —
+           so a pathologically slow heuristic degrades quality, never
+           latency beyond one overrun. *)
+        match (outcome, pass_budget_s) with
+        | Some _, _ | _, None -> outcome
+        | None, Some budget when elapsed > budget ->
+          Some
+            (Cs_resil.Error.to_string
+               (Cs_resil.Error.Pass_timeout
+                  (Printf.sprintf "%s ran %.1f ms (budget %.1f ms)" pass.Pass.name
+                     (1000.0 *. elapsed) (1000.0 *. budget))))
+        | None, Some _ -> None
       in
       (match outcome with
       | Some reason ->
@@ -179,17 +212,20 @@ let apply_round ?(round = 1) ?observe ctx w passes =
       if Cs_obs.Obs.enabled () then
         Telemetry.emit ~round ~pass:pass.Pass.name (Telemetry.measure ~prev:!before w);
       before := after;
-      match observe with None -> () | Some f -> f pass.Pass.name w)
-    passes;
-  (List.rev !steps, List.rev !quarantined)
+      (match observe with None -> () | Some f -> f pass.Pass.name w);
+      loop rest
+  in
+  loop passes;
+  (List.rev !steps, List.rev !quarantined, !timed_out)
 
-let finalize ctx w trace quarantined =
+let finalize ?(timed_out = false) ctx w trace quarantined =
   let assignment = assignment_of_weights ctx w in
   let preferred_slot = Array.init (Weights.n w) (fun i -> Weights.preferred_time w i) in
-  { assignment; preferred_slot; trace; weights = w; quarantined; context = ctx }
+  { assignment; preferred_slot; trace; weights = w; quarantined; context = ctx;
+    timed_out }
 
-let run_iterative ?seed ?nt_cap ?observe ?(max_rounds = 5) ?(epsilon = 0.02) ~machine region
-    passes =
+let run_iterative ?seed ?nt_cap ?observe ?deadline ?pass_budget_s ?(max_rounds = 5)
+    ?(epsilon = 0.02) ~machine region passes =
   let ctx = Context.make ?seed ?nt_cap ~machine region in
   let n = Context.n_instrs ctx in
   let w = Weights.create ~n ~nc:(Context.n_clusters ctx) ~nt:ctx.Context.nt in
@@ -198,15 +234,17 @@ let run_iterative ?seed ?nt_cap ?observe ?(max_rounds = 5) ?(epsilon = 0.02) ~ma
   let rev_trace = ref [] in
   let rev_quarantined = ref [] in
   let rounds = ref 0 in
+  let timed_out = ref false in
   let continue_iterating = ref true in
   while !continue_iterating && !rounds < max_rounds do
     incr rounds;
     let before = Weights.preferred_clusters w in
-    let steps, quarantines =
+    let steps, quarantines, round_timed_out =
       Cs_obs.Obs.span ~cat:"round"
         ~args:[ ("round", Cs_obs.Obs.Int !rounds) ]
         "round"
-        (fun () -> apply_round ~round:!rounds ?observe ctx w passes)
+        (fun () ->
+          apply_round ~round:!rounds ?observe ?deadline ?pass_budget_s ctx w passes)
     in
     rev_trace := List.rev_append steps !rev_trace;
     rev_quarantined := List.rev_append quarantines !rev_quarantined;
@@ -219,13 +257,21 @@ let run_iterative ?seed ?nt_cap ?observe ?(max_rounds = 5) ?(epsilon = 0.02) ~ma
         [ ("round", float_of_int !rounds);
           ("churn", float_of_int !changed);
           ("churn_fraction", fraction) ];
-    if fraction < epsilon then continue_iterating := false
+    if round_timed_out then begin
+      timed_out := true;
+      continue_iterating := false
+    end
+    else if fraction < epsilon then continue_iterating := false
   done;
-  (finalize ctx w (List.rev !rev_trace) (List.rev !rev_quarantined), !rounds)
+  ( finalize ~timed_out:!timed_out ctx w (List.rev !rev_trace)
+      (List.rev !rev_quarantined),
+    !rounds )
 
-let run ?seed ?nt_cap ?observe ~machine region passes =
+let run ?seed ?nt_cap ?observe ?deadline ?pass_budget_s ~machine region passes =
   let ctx = Context.make ?seed ?nt_cap ~machine region in
   let n = Context.n_instrs ctx in
   let w = Weights.create ~n ~nc:(Context.n_clusters ctx) ~nt:ctx.Context.nt in
-  let trace, quarantined = apply_round ?observe ctx w passes in
-  finalize ctx w trace quarantined
+  let trace, quarantined, timed_out =
+    apply_round ?observe ?deadline ?pass_budget_s ctx w passes
+  in
+  finalize ~timed_out ctx w trace quarantined

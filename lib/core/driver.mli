@@ -26,11 +26,15 @@ type result = {
       (** rolled-back pass applications, in execution order; a
           misbehaving pass degrades quality, never correctness *)
   context : Context.t;
+  timed_out : bool;
+      (** the [deadline] expired before the sequence completed; the
+          result extracts the best-so-far matrix (anytime property) *)
 }
 
 val run :
   ?seed:int -> ?nt_cap:int ->
   ?observe:(string -> Weights.t -> unit) ->
+  ?deadline:float -> ?pass_budget_s:float ->
   machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Pass.t list -> result
 (** [observe] is called after each pass with the (normalized) matrix —
     used by the Fig. 4-style example to print map snapshots.
@@ -42,11 +46,24 @@ val run :
     rolled back on violation; the violation is recorded in
     [quarantined] and, when the {!Cs_obs.Obs} sink is enabled, emitted
     as a [cat = "resil"] instant + counter. The rest of the sequence
-    continues on the restored matrix. *)
+    continues on the restored matrix.
+
+    Time robustness (the driver as an anytime algorithm — W is a valid
+    preference matrix after every pass):
+
+    - [deadline] is an absolute {!Cs_obs.Clock} time. It is checked
+      between passes; on expiry the remaining passes are skipped, the
+      best-so-far matrix is extracted, and [timed_out] is set. The
+      driver never hangs waiting for a slow sequence.
+    - [pass_budget_s] is a per-pass wall-clock budget. A pass cannot be
+      preempted, so enforcement is post-hoc: a pass that overruns is
+      rolled back and quarantined with a [Pass_timeout] reason, feeding
+      the same quarantine/telemetry machinery as a corrupting pass. *)
 
 val run_iterative :
   ?seed:int -> ?nt_cap:int ->
   ?observe:(string -> Weights.t -> unit) ->
+  ?deadline:float -> ?pass_budget_s:float ->
   ?max_rounds:int -> ?epsilon:float ->
   machine:Cs_machine.Machine.t -> Cs_ddg.Region.t -> Pass.t list ->
   result * int

@@ -55,7 +55,7 @@ let registry : (string * ((string * float) list -> Pass.t)) list =
     ("CLUSTER", fun ps -> Cluster.pass ?boost:(f ps "boost") ());
     (* Fault-injection pass; registered so repro files carrying it round
        trip, but excluded from the autotuner's search space. *)
-    ("CHAOS", fun ps -> Chaos.pass ?mode:(fi ps "mode") ()) ]
+    ("CHAOS", fun ps -> Chaos.pass ?mode:(fi ps "mode") ?delay_ms:(f ps "delay_ms") ()) ]
 
 let available = List.map fst registry
 

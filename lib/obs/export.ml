@@ -65,9 +65,7 @@ let chrome events =
        [ ("traceEvents", Json.List (List.map (chrome_event_json ~t0 ~pid) events));
          ("displayTimeUnit", Json.Str "ms") ])
 
-let write_string path s =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
-
-let write_jsonl path events = write_string path (jsonl events)
-let write_chrome path events = write_string path (chrome events)
+(* Crash-safe: a killed process leaves either the previous export or
+   the new one, never a truncated JSON document. *)
+let write_jsonl path events = Cs_util.Fsio.write_atomic ~path (jsonl events)
+let write_chrome path events = Cs_util.Fsio.write_atomic ~path (chrome events)

@@ -5,6 +5,9 @@ type t =
   | Unreachable of { src : int; dst : int }
   | Invalid_schedule of string
   | Pass_failure of string
+  | Pass_timeout of string
+  | Deadline_exceeded of string
+  | Overloaded of string
 
 exception Error of t
 
@@ -13,6 +16,8 @@ let invalid_input msg = error (Invalid_input msg)
 let infeasible msg = error (Infeasible msg)
 let resource_conflict msg = error (Resource_conflict msg)
 let unreachable ~src ~dst = error (Unreachable { src; dst })
+let deadline_exceeded msg = error (Deadline_exceeded msg)
+let overloaded msg = error (Overloaded msg)
 
 let kind = function
   | Invalid_input _ -> "invalid-input"
@@ -21,10 +26,14 @@ let kind = function
   | Unreachable _ -> "unreachable"
   | Invalid_schedule _ -> "invalid-schedule"
   | Pass_failure _ -> "pass-failure"
+  | Pass_timeout _ -> "pass-timeout"
+  | Deadline_exceeded _ -> "deadline-exceeded"
+  | Overloaded _ -> "overloaded"
 
 let message = function
   | Invalid_input m | Infeasible m | Resource_conflict m
-  | Invalid_schedule m | Pass_failure m ->
+  | Invalid_schedule m | Pass_failure m | Pass_timeout m
+  | Deadline_exceeded m | Overloaded m ->
     m
   | Unreachable { src; dst } -> Printf.sprintf "no route from %d to %d" src dst
 

@@ -24,6 +24,15 @@ type t =
       (** A produced schedule failed validation. *)
   | Pass_failure of string
       (** A weight pass crashed or corrupted the weight matrix. *)
+  | Pass_timeout of string
+      (** A weight pass overran its per-pass time budget; its effect was
+          rolled back and the pass quarantined. *)
+  | Deadline_exceeded of string
+      (** A request's absolute deadline expired before any fallback rung
+          produced a schedule — a typed refusal, never a hang. *)
+  | Overloaded of string
+      (** The batch service's bounded admission queue was full and the
+          job was shed instead of being queued unboundedly. *)
 
 exception Error of t
 (** The single exception carrying typed scheduling errors. *)
@@ -35,6 +44,8 @@ val invalid_input : string -> 'a
 val infeasible : string -> 'a
 val resource_conflict : string -> 'a
 val unreachable : src:int -> dst:int -> 'a
+val deadline_exceeded : string -> 'a
+val overloaded : string -> 'a
 
 val kind : t -> string
 (** Short stable tag, e.g. ["infeasible"]; used in telemetry/JSONL. *)

@@ -4,6 +4,7 @@ type t = {
   rung : rung;
   attempts : (rung * string * Error.t) list;
   quarantined : (string * string) list;
+  timed_out : bool;
 }
 
 let rung_to_string = function
@@ -11,11 +12,13 @@ let rung_to_string = function
   | Default_sequence -> "default-sequence"
   | Single_cluster -> "single-cluster"
 
-let healthy t = t.rung = Requested && t.attempts = [] && t.quarantined = []
+let healthy t =
+  t.rung = Requested && t.attempts = [] && t.quarantined = [] && not t.timed_out
 
 let to_string t =
   let b = Buffer.create 64 in
   Buffer.add_string b ("rung=" ^ rung_to_string t.rung);
+  if t.timed_out then Buffer.add_string b " anytime-early-exit";
   List.iter
     (fun (r, label, e) ->
       Buffer.add_string b

@@ -13,11 +13,16 @@ type t = {
   quarantined : (string * string) list;
       (** passes quarantined while producing the winning schedule:
           [(pass name, reason)] *)
+  timed_out : bool;
+      (** the winning schedule was extracted by an anytime early exit:
+          the request deadline expired mid-sequence and the driver
+          returned the best-so-far matrix *)
 }
 
 val rung_to_string : rung -> string
 val healthy : t -> bool
-(** [true] iff the requested scheduler won with no quarantines. *)
+(** [true] iff the requested scheduler won with no quarantines and no
+    anytime early exit. *)
 
 val to_string : t -> string
 (** One-line summary for logs. *)

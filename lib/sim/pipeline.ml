@@ -80,10 +80,10 @@ let schedule ?seed ~scheduler ~machine region =
 (* ---- Resilient fallback chain ------------------------------------- *)
 
 (* Like [convergent_traced] but surfacing the driver result, so the
-   fallback chain can report pass quarantines. *)
-let convergent_with_result ?seed ?passes ~machine region =
+   fallback chain can report pass quarantines and anytime early exits. *)
+let convergent_with_result ?seed ?passes ?deadline ?pass_budget_s ~machine region =
   let passes = match passes with Some p -> p | None -> default_passes ~machine in
-  let result = Cs_core.Driver.run ?seed ~machine region passes in
+  let result = Cs_core.Driver.run ?seed ?deadline ?pass_budget_s ~machine region passes in
   let analysis = result.Cs_core.Driver.context.Cs_core.Context.analysis in
   let priority =
     if Cs_machine.Machine.is_mesh machine then Cs_sched.Priority.alap analysis
@@ -128,13 +128,17 @@ let single_cluster ~machine region =
   in
   try_cluster 0 None
 
-let schedule_resilient ?seed ?passes ?(scheduler = Convergent) ~machine region =
+let schedule_resilient ?seed ?passes ?deadline ?pass_budget_s ?(scheduler = Convergent)
+    ~machine region =
+  let deadline_expired () =
+    match deadline with None -> false | Some t -> Cs_obs.Clock.now () >= t
+  in
   let try_build label build =
     match Cs_resil.Error.protect build with
     | Error e -> Error e
-    | Ok (sched, quarantined) -> (
+    | Ok (sched, quarantined, timed_out) -> (
       match Cs_sched.Validator.check sched with
-      | Ok () -> Ok (sched, quarantined)
+      | Ok () -> Ok (sched, quarantined, timed_out)
       | Error problems ->
         Error
           (Cs_resil.Error.Invalid_schedule
@@ -151,9 +155,12 @@ let schedule_resilient ?seed ?passes ?(scheduler = Convergent) ~machine region =
         fun () ->
           match scheduler with
           | Convergent ->
-            let sched, result = convergent_with_result ?seed ?passes ~machine region in
-            (sched, quarantines_of result)
-          | _ -> (schedule_raw ?seed ~scheduler ~machine region, []) ) ]
+            let sched, result =
+              convergent_with_result ?seed ?passes ?deadline ?pass_budget_s ~machine
+                region
+            in
+            (sched, quarantines_of result, result.Cs_core.Driver.timed_out)
+          | _ -> (schedule_raw ?seed ~scheduler ~machine region, [], false) ) ]
     @ (* Rung 2 adds nothing when rung 1 already was the default
          convergent sequence. *)
     (if scheduler = Convergent && passes = None then []
@@ -161,13 +168,15 @@ let schedule_resilient ?seed ?passes ?(scheduler = Convergent) ~machine region =
        [ ( Cs_resil.Outcome.Default_sequence,
            "convergent-default",
            fun () ->
-             let sched, result = convergent_with_result ?seed ~machine region in
-             (sched, quarantines_of result) ) ])
+             let sched, result =
+               convergent_with_result ?seed ?deadline ?pass_budget_s ~machine region
+             in
+             (sched, quarantines_of result, result.Cs_core.Driver.timed_out) ) ])
     @ [ ( Cs_resil.Outcome.Single_cluster,
           "single-cluster",
           fun () ->
             match single_cluster ~machine region with
-            | Ok sched -> (sched, [])
+            | Ok sched -> (sched, [], false)
             | Error e -> Cs_resil.Error.error e ) ]
   in
   let rec climb attempts = function
@@ -175,11 +184,24 @@ let schedule_resilient ?seed ?passes ?(scheduler = Convergent) ~machine region =
       match attempts with
       | (_, _, e) :: _ -> Error e
       | [] -> Error (Cs_resil.Error.Infeasible "no fallback rung available"))
+    | _ :: _ when attempts <> [] && deadline_expired () ->
+      (* The deadline expired while earlier rungs burned the budget:
+         refuse with a typed error rather than climbing on. A rung
+         already in flight is never abandoned — the convergent rungs cut
+         themselves short via the driver's anytime exit — so the caller
+         gets either a validated schedule or this refusal, never a
+         hang. The first rung always gets a chance to run. *)
+      Error
+        (Cs_resil.Error.Deadline_exceeded
+           (Printf.sprintf "deadline expired after %d failed rung%s"
+              (List.length attempts)
+              (if List.length attempts = 1 then "" else "s")))
     | (rung, label, build) :: rest -> (
       match try_build label build with
-      | Ok (sched, quarantined) ->
+      | Ok (sched, quarantined, timed_out) ->
         let outcome =
-          { Cs_resil.Outcome.rung; attempts = List.rev attempts; quarantined }
+          { Cs_resil.Outcome.rung; attempts = List.rev attempts; quarantined;
+            timed_out }
         in
         if Cs_obs.Obs.enabled () && rung <> Cs_resil.Outcome.Requested then
           Cs_obs.Obs.instant ~cat:"resil" "fallback"

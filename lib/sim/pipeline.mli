@@ -48,6 +48,8 @@ val default_passes : machine:Cs_machine.Machine.t -> Cs_core.Pass.t list
 val schedule_resilient :
   ?seed:int ->
   ?passes:Cs_core.Pass.t list ->
+  ?deadline:float ->
+  ?pass_budget_s:float ->
   ?scheduler:scheduler ->
   machine:Cs_machine.Machine.t ->
   Cs_ddg.Region.t ->
@@ -69,4 +71,15 @@ val schedule_resilient :
     rungs failing returns the last error. Rung failures and fallbacks
     are emitted as [cat = "resil"] events when the {!Cs_obs.Obs} sink
     is enabled. Never raises on scheduler failures classifiable by
-    {!Cs_resil.Error.of_exn}. *)
+    {!Cs_resil.Error.of_exn}.
+
+    [deadline] (absolute {!Cs_obs.Clock} time) and [pass_budget_s] are
+    threaded into the convergent driver (see {!Cs_core.Driver.run}):
+    the driver stops between passes on expiry and the best-so-far
+    matrix is list-scheduled, so a convergent rung answers even under
+    an expired deadline (the outcome records [timed_out]). Once the
+    deadline has expired, no {e further} rung is started after a
+    failure — the chain refuses with a typed
+    [Cs_resil.Error.Deadline_exceeded] instead. The first rung always
+    runs, so a request with an already-expired deadline still gets the
+    anytime best-effort answer rather than an unconditional refusal. *)

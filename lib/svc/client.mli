@@ -1,0 +1,15 @@
+(** Client side of the batch service protocol — the engine behind
+    [csched submit]. *)
+
+val submit :
+  ?timeout_s:float ->
+  ?on_reply:(Proto.reply -> unit) ->
+  socket_path:string ->
+  Proto.request list ->
+  (Proto.reply list, string) result
+(** Connect, pipeline all requests, half-close, and collect one reply
+    per request (the server closes after answering everything).
+    Replies come back in completion order — match by [reply_id].
+    [on_reply] streams each reply as it lands. [timeout_s] bounds each
+    read so a dead server cannot hang the client. Errors are transport
+    problems; scheduling failures arrive as {!Proto.Refused} replies. *)

@@ -1,0 +1,155 @@
+type request = {
+  id : string;
+  bench : string;
+  machine : string;
+  scheduler : string;
+  scale : int;
+  deadline_ms : float option;
+  passes : string option;
+  seed : int option;
+}
+
+let request ?(id = "") ?(machine = "raw16") ?(scheduler = "convergent") ?(scale = 1)
+    ?deadline_ms ?passes ?seed bench =
+  { id; bench; machine; scheduler; scale; deadline_ms; passes; seed }
+
+type verdict =
+  | Scheduled of {
+      cycles : int;
+      transfers : int;
+      rung : string;
+      timed_out : bool;
+      quarantined : int;
+    }
+  | Refused of { kind : string; message : string }
+
+type reply = {
+  reply_id : string;
+  elapsed_ms : float;
+  verdict : verdict;
+}
+
+let refused ?(elapsed_ms = 0.0) ~id error =
+  { reply_id = id; elapsed_ms;
+    verdict =
+      Refused
+        { kind = Cs_resil.Error.kind error; message = Cs_resil.Error.message error } }
+
+(* --- machine names (mirrors the csched CLI grammar) ---------------- *)
+
+let machine_of_name s =
+  match String.lowercase_ascii s with
+  | "vliw" | "vliw4" -> Ok (Cs_machine.Vliw.create ~n_clusters:4 ())
+  | "vliw1" -> Ok (Cs_machine.Vliw.single_cluster ())
+  | other ->
+    let parse_int prefix =
+      let plen = String.length prefix in
+      if String.length other > plen && String.sub other 0 plen = prefix then
+        int_of_string_opt (String.sub other plen (String.length other - plen))
+      else None
+    in
+    (match (parse_int "raw", parse_int "vliw") with
+    | Some n, _ when n > 0 -> Ok (Cs_machine.Raw.with_tiles n)
+    | _, Some n when n > 0 -> Ok (Cs_machine.Vliw.create ~n_clusters:n ())
+    | _ -> Error (Printf.sprintf "unknown machine %S (try raw16, raw4, vliw4)" s))
+
+(* --- JSON line codec ----------------------------------------------- *)
+
+let opt field v = match v with None -> [] | Some x -> [ (field, x) ]
+
+let request_to_json r =
+  let open Cs_obs.Json in
+  Obj
+    ([ ("id", Str r.id);
+       ("bench", Str r.bench);
+       ("machine", Str r.machine);
+       ("scheduler", Str r.scheduler);
+       ("scale", Num (float_of_int r.scale)) ]
+    @ opt "deadline_ms" (Option.map (fun d -> Num d) r.deadline_ms)
+    @ opt "passes" (Option.map (fun p -> Str p) r.passes)
+    @ opt "seed" (Option.map (fun s -> Num (float_of_int s)) r.seed))
+
+let str_member ?default key json =
+  match (Cs_obs.Json.member key json, default) with
+  | Some (Cs_obs.Json.Str s), _ -> Ok s
+  | None, Some d -> Ok d
+  | _ -> Error (Printf.sprintf "missing string field %S" key)
+
+let num_member key json =
+  match Cs_obs.Json.member key json with
+  | Some (Cs_obs.Json.Num n) -> Some n
+  | _ -> None
+
+let ( let* ) = Result.bind
+
+let request_of_json json =
+  let* bench = str_member "bench" json in
+  let* id = str_member ~default:"" "id" json in
+  let* machine = str_member ~default:"raw16" "machine" json in
+  let* scheduler = str_member ~default:"convergent" "scheduler" json in
+  let scale =
+    match num_member "scale" json with Some n -> max 1 (int_of_float n) | None -> 1
+  in
+  let deadline_ms = num_member "deadline_ms" json in
+  let passes =
+    match Cs_obs.Json.member "passes" json with
+    | Some (Cs_obs.Json.Str p) -> Some p
+    | _ -> None
+  in
+  let seed = Option.map int_of_float (num_member "seed" json) in
+  Ok { id; bench; machine; scheduler; scale; deadline_ms; passes; seed }
+
+let reply_to_json r =
+  let open Cs_obs.Json in
+  let verdict_fields =
+    match r.verdict with
+    | Scheduled s ->
+      [ ("status", Str "ok");
+        ("cycles", Num (float_of_int s.cycles));
+        ("transfers", Num (float_of_int s.transfers));
+        ("rung", Str s.rung);
+        ("timed_out", Bool s.timed_out);
+        ("quarantined", Num (float_of_int s.quarantined)) ]
+    | Refused e -> [ ("status", Str "refused"); ("kind", Str e.kind); ("message", Str e.message) ]
+  in
+  Obj ([ ("id", Str r.reply_id); ("elapsed_ms", Num r.elapsed_ms) ] @ verdict_fields)
+
+let reply_of_json json =
+  let* reply_id = str_member ~default:"" "id" json in
+  let elapsed_ms = Option.value ~default:0.0 (num_member "elapsed_ms" json) in
+  let* status = str_member "status" json in
+  let* verdict =
+    match status with
+    | "ok" ->
+      let get k =
+        match num_member k json with Some n -> int_of_float n | None -> 0
+      in
+      let timed_out =
+        match Cs_obs.Json.member "timed_out" json with
+        | Some (Cs_obs.Json.Bool b) -> b
+        | _ -> false
+      in
+      let* rung = str_member ~default:"requested" "rung" json in
+      Ok
+        (Scheduled
+           { cycles = get "cycles"; transfers = get "transfers"; rung; timed_out;
+             quarantined = get "quarantined" })
+    | "refused" ->
+      let* kind = str_member ~default:"invalid-input" "kind" json in
+      let* message = str_member ~default:"" "message" json in
+      Ok (Refused { kind; message })
+    | other -> Error (Printf.sprintf "unknown reply status %S" other)
+  in
+  Ok { reply_id; elapsed_ms; verdict }
+
+let line_of to_json v = Cs_obs.Json.to_string (to_json v)
+
+let of_line of_json line =
+  match Cs_obs.Json.of_string line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok json -> of_json json
+
+let request_to_line = line_of request_to_json
+let request_of_line = of_line request_of_json
+let reply_to_line = line_of reply_to_json
+let reply_of_line = of_line reply_of_json

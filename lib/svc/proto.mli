@@ -1,0 +1,47 @@
+(** The batch service's JSON-lines wire protocol.
+
+    One request per line, one reply per line, matched by [id]. The codec
+    reuses {!Cs_obs.Json}; unknown request fields are ignored so clients
+    can be newer than servers. *)
+
+type request = {
+  id : string;  (** echoed on the reply; opaque to the server *)
+  bench : string;  (** workload name, looked up in {!Cs_workloads.Suite} *)
+  machine : string;  (** e.g. ["raw16"], ["raw4"], ["vliw4"] *)
+  scheduler : string;  (** {!Cs_sim.Pipeline.scheduler_of_name} name *)
+  scale : int;  (** workload scale factor, [>= 1] *)
+  deadline_ms : float option;
+      (** per-job budget, measured from admission; [None] = no deadline *)
+  passes : string option;  (** comma-separated pass spec overriding the default *)
+  seed : int option;
+}
+
+val request :
+  ?id:string -> ?machine:string -> ?scheduler:string -> ?scale:int ->
+  ?deadline_ms:float -> ?passes:string -> ?seed:int -> string -> request
+(** [request bench] with defaults mirroring the CLI ([raw16],
+    [convergent], scale 1, no deadline). *)
+
+type verdict =
+  | Scheduled of {
+      cycles : int;
+      transfers : int;
+      rung : string;  (** fallback rung that produced the schedule *)
+      timed_out : bool;  (** anytime early exit extracted best-so-far *)
+      quarantined : int;  (** passes rolled back while scheduling *)
+    }
+  | Refused of { kind : string; message : string }
+      (** typed refusal; [kind] is a {!Cs_resil.Error.kind} tag such as
+          ["deadline-exceeded"] or ["overloaded"] *)
+
+type reply = { reply_id : string; elapsed_ms : float; verdict : verdict }
+
+val refused : ?elapsed_ms:float -> id:string -> Cs_resil.Error.t -> reply
+
+val machine_of_name : string -> (Cs_machine.Machine.t, string) result
+(** Same grammar as the [csched] CLI: [rawN], [vliwN], [vliw]. *)
+
+val request_to_line : request -> string
+val request_of_line : string -> (request, string) result
+val reply_to_line : reply -> string
+val reply_of_line : string -> (reply, string) result

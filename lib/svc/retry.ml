@@ -1,0 +1,52 @@
+type policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  multiplier : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  { max_attempts = 3; base_delay_s = 0.01; multiplier = 2.0; jitter = 0.5;
+    seed = 0x5e77 }
+
+(* A pass crash is worth retrying: the driver reseeds nothing between
+   attempts but quarantine state and fallback rungs can differ once a
+   flaky pass is benched. Everything else in the taxonomy is
+   deterministic in the input (bad request, infeasible machine, expired
+   deadline), so retrying would only burn the caller's budget. *)
+let transient = function
+  | Cs_resil.Error.Pass_failure _ | Cs_resil.Error.Pass_timeout _
+  | Cs_resil.Error.Resource_conflict _ -> true
+  | _ -> false
+
+let delays policy =
+  if policy.max_attempts <= 1 then []
+  else begin
+    let rng = Cs_util.Rng.create policy.seed in
+    List.init (policy.max_attempts - 1) (fun i ->
+        let backoff = policy.base_delay_s *. (policy.multiplier ** float_of_int i) in
+        (* jitter in [1-j, 1+j], deterministic in the policy seed *)
+        let factor = 1.0 +. policy.jitter *. (Cs_util.Rng.float rng 2.0 -. 1.0) in
+        Float.max 0.0 (backoff *. factor))
+  end
+
+let run ?(policy = default) ?(sleep = Unix.sleepf) ?(retryable = transient) f =
+  let waits = delays policy in
+  let rec go attempt waits =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+      (match waits with
+      | w :: rest when retryable e ->
+        Cs_obs.Obs.instant ~cat:"svc"
+          ~args:
+            [ ("attempt", Cs_obs.Obs.Int attempt);
+              ("delay_s", Cs_obs.Obs.Float w);
+              ("error", Cs_obs.Obs.Str (Cs_resil.Error.kind e)) ]
+          "retry";
+        sleep w;
+        go (attempt + 1) rest
+      | _ -> err)
+  in
+  go 1 waits

@@ -1,0 +1,38 @@
+(** Bounded retry with exponential backoff and deterministic jitter.
+
+    The jitter sequence is a pure function of the policy (drawn from a
+    {!Cs_util.Rng} seeded by [policy.seed]), so two services configured
+    identically back off identically — and tests can assert the exact
+    sleep schedule instead of mocking time. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_delay_s : float;  (** wait before the second attempt *)
+  multiplier : float;  (** backoff growth per retry *)
+  jitter : float;  (** each wait is scaled by [1 ± jitter] *)
+  seed : int;  (** jitter RNG seed *)
+}
+
+val default : policy
+(** 3 attempts, 10 ms base, doubling, ±50% jitter. *)
+
+val transient : Cs_resil.Error.t -> bool
+(** The default retry predicate: [Pass_failure], [Pass_timeout] and
+    [Resource_conflict] are worth a second try (quarantine may bench the
+    offender); the rest of the taxonomy is deterministic in the input. *)
+
+val delays : policy -> float list
+(** The exact waits (seconds) between attempts, length
+    [max_attempts - 1]. Pure: same policy, same list. *)
+
+val run :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?retryable:(Cs_resil.Error.t -> bool) ->
+  (attempt:int -> ('a, Cs_resil.Error.t) result) ->
+  ('a, Cs_resil.Error.t) result
+(** [run f] calls [f ~attempt:1], retrying on [Error e] while
+    [retryable e] and attempts remain, sleeping the {!delays} schedule
+    in between ([sleep] defaults to [Unix.sleepf]; inject a recorder in
+    tests). Returns the first [Ok] or the last [Error]. Each retry
+    emits a [cat = "svc"] instant. *)

@@ -1,0 +1,253 @@
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  default_deadline_ms : float option;
+  pass_budget_s : float option;
+  chaos_slow_ms : float option;
+  retry : Retry.policy option;
+}
+
+let config ?(workers = 2) ?(queue_capacity = 16) ?default_deadline_ms
+    ?pass_budget_s ?chaos_slow_ms ?retry socket_path =
+  { socket_path; workers; queue_capacity; default_deadline_ms; pass_budget_s;
+    chaos_slow_ms; retry }
+
+type stats = {
+  admitted : int;
+  completed : int;
+  shed : int;
+  refused : int;
+}
+
+(* Replies for one connection may come from several worker domains, so
+   writes go through a per-connection mutex; the connection closes only
+   after its reader has seen EOF *and* every admitted job has replied,
+   whichever happens last. *)
+type conn = {
+  fd : Unix.file_descr;
+  out_mutex : Mutex.t;
+  mutable pending : int;
+  mutable reader_done : bool;
+  mutable conn_closed : bool;
+}
+
+type work = { job : Job.t; on : conn }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  queue : work Squeue.t;
+  stopping : bool Atomic.t;
+  n_admitted : int Atomic.t;
+  n_completed : int Atomic.t;
+  n_shed : int Atomic.t;
+  n_refused : int Atomic.t;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let send_reply conn reply =
+  Mutex.lock conn.out_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.out_mutex)
+    (fun () ->
+      if not conn.conn_closed then
+        try write_all conn.fd (Proto.reply_to_line reply ^ "\n")
+        with Unix.Unix_error _ -> () (* client went away; nothing to tell it *))
+
+(* Called with one of the two completion edges (a job replied / the
+   reader hit EOF); closes the socket on the last edge. *)
+let finish_edge conn ~job_done =
+  Mutex.lock conn.out_mutex;
+  let close_now =
+    if job_done then conn.pending <- conn.pending - 1 else conn.reader_done <- true;
+    conn.reader_done && conn.pending = 0 && not conn.conn_closed
+  in
+  if close_now then conn.conn_closed <- true;
+  Mutex.unlock conn.out_mutex;
+  if close_now then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let create cfg =
+  if cfg.workers <= 0 then invalid_arg "Server.create: workers must be positive";
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind listen_fd (ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  { cfg; listen_fd; queue = Squeue.create ~capacity:cfg.queue_capacity;
+    stopping = Atomic.make false;
+    n_admitted = Atomic.make 0; n_completed = Atomic.make 0;
+    n_shed = Atomic.make 0; n_refused = Atomic.make 0 }
+
+let stats t =
+  { admitted = Atomic.get t.n_admitted;
+    completed = Atomic.get t.n_completed;
+    shed = Atomic.get t.n_shed;
+    refused = Atomic.get t.n_refused }
+
+let worker t () =
+  let extra_passes =
+    Option.map
+      (fun ms -> [ Cs_core.Chaos.slow_pass ~delay_ms:ms () ])
+      t.cfg.chaos_slow_ms
+  in
+  let rec loop () =
+    match Squeue.pop t.queue with
+    | None -> () (* closed and drained *)
+    | Some { job; on } ->
+      let reply =
+        try
+          Job.run ?retry_policy:t.cfg.retry ?extra_passes
+            ?pass_budget_s:t.cfg.pass_budget_s job
+        with e ->
+          (* last-ditch: a bug in the job runner must not kill the
+             worker — the client is owed a reply either way *)
+          Proto.refused ~id:job.Job.request.Proto.id
+            (Cs_resil.Error.Pass_failure (Printexc.to_string e))
+      in
+      (match reply.Proto.verdict with
+      | Proto.Scheduled _ -> Atomic.incr t.n_completed
+      | Proto.Refused _ -> Atomic.incr t.n_refused);
+      send_reply on reply;
+      finish_edge on ~job_done:true;
+      loop ()
+  in
+  loop ()
+
+(* Read newline-terminated requests from one client until EOF. Requests
+   are admitted (or shed) as they arrive; the reader never waits for
+   replies, so a client can pipeline a whole batch. *)
+let serve_conn t conn =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let handle_line line =
+    let line = String.trim line in
+    if line <> "" then begin
+      match Proto.request_of_line line with
+      | Error e ->
+        Atomic.incr t.n_refused;
+        send_reply conn
+          (Proto.refused ~id:"" (Cs_resil.Error.Invalid_input e))
+      | Ok request ->
+        let job = Job.admit ?default_deadline_ms:t.cfg.default_deadline_ms request in
+        Mutex.lock conn.out_mutex;
+        conn.pending <- conn.pending + 1;
+        Mutex.unlock conn.out_mutex;
+        if Atomic.get t.stopping || not (Squeue.try_push t.queue { job; on = conn })
+        then begin
+          Atomic.incr t.n_shed;
+          send_reply conn
+            (Proto.refused ~id:request.Proto.id
+               (Cs_resil.Error.Overloaded
+                  (if Atomic.get t.stopping then "server is draining"
+                   else
+                     Printf.sprintf "admission queue full (%d jobs)"
+                       t.cfg.queue_capacity)));
+          finish_edge conn ~job_done:true
+        end
+        else Atomic.incr t.n_admitted
+    end
+  in
+  let rec drain_lines () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | None -> ()
+    | Some i ->
+      let all = Buffer.contents buf in
+      let line = String.sub all 0 i in
+      Buffer.clear buf;
+      Buffer.add_substring buf all (i + 1) (String.length all - i - 1);
+      handle_line line;
+      drain_lines ()
+  in
+  let rec read_loop () =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain_lines ();
+      read_loop ()
+    | exception Unix.Unix_error (EINTR, _, _) -> read_loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  read_loop ();
+  handle_line (Buffer.contents buf);
+  finish_edge conn ~job_done:false
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Cs_obs.Obs.instant ~cat:"svc" "server:stop";
+    (* The accept loop may be blocked in [accept]; a throwaway
+       connection wakes it so it can observe the flag. Signals also
+       interrupt accept with EINTR, but the self-connect makes [stop]
+       reliable when called from another thread or domain. *)
+    match Unix.socket PF_UNIX SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+      (try Unix.connect fd (ADDR_UNIX t.cfg.socket_path)
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  end
+
+let run t =
+  let workers = List.init t.cfg.workers (fun _ -> Domain.spawn (worker t)) in
+  (* Connection readers are lightweight (parse + enqueue), so plain
+     threads would do; domains keep the implementation to one
+     concurrency primitive. Each reader finishes quickly after client
+     EOF, and the list is pruned as readers complete. *)
+  let readers = ref [] in
+  let prune () =
+    let live, finished =
+      List.partition (fun (done_flag, _) -> not (Atomic.get done_flag)) !readers
+    in
+    List.iter (fun (_, d) -> Domain.join d) finished;
+    readers := live
+  in
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> if not (Atomic.get t.stopping) then accept_loop ()
+      | fd, _ ->
+        if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          let conn =
+            { fd; out_mutex = Mutex.create (); pending = 0; reader_done = false;
+              conn_closed = false }
+          in
+          let done_flag = Atomic.make false in
+          let d =
+            Domain.spawn (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> Atomic.set done_flag true)
+                  (fun () -> serve_conn t conn))
+          in
+          readers := (done_flag, d) :: !readers;
+          prune ();
+          accept_loop ()
+        end
+    end
+  in
+  Cs_obs.Obs.instant ~cat:"svc"
+    ~args:
+      [ ("socket", Cs_obs.Obs.Str t.cfg.socket_path);
+        ("workers", Cs_obs.Obs.Int t.cfg.workers);
+        ("queue", Cs_obs.Obs.Int t.cfg.queue_capacity) ]
+    "server:listen";
+  accept_loop ();
+  (* Graceful drain: no new connections, finish reading the open ones,
+     answer every admitted job, then tear down. *)
+  List.iter (fun (_, d) -> Domain.join d) !readers;
+  Squeue.close t.queue;
+  List.iter Domain.join workers;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  let s = stats t in
+  Cs_obs.Obs.counter ~cat:"svc" "server:drained"
+    [ ("admitted", float_of_int s.admitted);
+      ("completed", float_of_int s.completed);
+      ("shed", float_of_int s.shed);
+      ("refused", float_of_int s.refused) ]

@@ -1,0 +1,59 @@
+(** The batch scheduling service: a Unix-domain-socket server running
+    {!Job}s on a [Domain] worker pool behind a bounded admission queue.
+
+    Robustness contract:
+
+    - every request read from a client gets exactly one reply — a
+      schedule, a typed refusal, or [Overloaded] when the admission
+      queue sheds it; the server never queues unboundedly and never
+      leaves a client hanging;
+    - per-job deadlines are absolute from admission; expired jobs
+      refuse instead of running, live ones thread the deadline into the
+      anytime driver;
+    - {!stop} drains gracefully: no new connections, every admitted job
+      is answered, workers are joined, the socket file is removed. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains executing jobs *)
+  queue_capacity : int;  (** admission queue bound; overflow sheds *)
+  default_deadline_ms : float option;  (** applied when a job carries none *)
+  pass_budget_s : float option;  (** per-pass budget inside the driver *)
+  chaos_slow_ms : float option;
+      (** inject a CHAOS slow pass of this many ms into every convergent
+          job — the latency-SLO drill switch *)
+  retry : Retry.policy option;  (** retry transient job failures *)
+}
+
+val config :
+  ?workers:int -> ?queue_capacity:int -> ?default_deadline_ms:float ->
+  ?pass_budget_s:float -> ?chaos_slow_ms:float -> ?retry:Retry.policy ->
+  string -> config
+(** [config socket_path] with 2 workers, a 16-job queue, no deadlines,
+    no chaos, no retry. *)
+
+type stats = {
+  admitted : int;
+  completed : int;  (** replies carrying a schedule *)
+  shed : int;  (** [Overloaded] refusals from the admission queue *)
+  refused : int;  (** all refusals, including shed and parse errors *)
+}
+
+type t
+
+val create : config -> t
+(** Bind and listen on [socket_path] (an existing socket file is
+    replaced). Raises [Unix.Unix_error] when the path is unusable and
+    [Invalid_argument] on a non-positive worker count. *)
+
+val run : t -> unit
+(** Accept and serve until {!stop}, then drain and tear down. Blocks;
+    run it on the main thread with {!stop} wired to SIGTERM/SIGINT, or
+    in a background thread for in-process tests. *)
+
+val stop : t -> unit
+(** Request graceful shutdown from any thread, domain, or signal
+    handler. Idempotent; wakes a blocked accept via a throwaway
+    self-connection. *)
+
+val stats : t -> stats

@@ -1,0 +1,124 @@
+(* GA checkpoint files: one JSON object, written crash-safely.
+
+   Floats are serialized as hex float literals ("%h") rather than JSON
+   numbers: resume must be bit-identical, and a decimal round-trip
+   through the JSON printer could perturb the carried best fitness.
+   The RNG state is a decimal int64 string for the same reason (JSON
+   numbers are doubles; 64-bit states do not fit). *)
+
+let version = 1
+
+let float_str f = Printf.sprintf "%h" f
+let genome_str g = Genome.to_string g
+
+let to_json (s : Ga.snapshot) =
+  let open Cs_obs.Json in
+  Obj
+    [ ("version", Num (float_of_int version));
+      ("kind", Str "ga");
+      ("gen_done", Num (float_of_int s.Ga.gen_done));
+      ("rng_state", Str (Int64.to_string s.Ga.rng_state));
+      ("population",
+       List (Array.to_list (Array.map (fun g -> Str (genome_str g)) s.Ga.population)));
+      ("best", Str (genome_str s.Ga.snap_best));
+      ("best_fitness", Str (float_str s.Ga.snap_best_fitness));
+      ("default_fitness", Str (float_str s.Ga.snap_default_fitness));
+      ("history",
+       List (Array.to_list (Array.map (fun f -> Str (float_str f)) s.Ga.history_prefix)))
+    ]
+
+let ( let* ) = Result.bind
+
+let str_member key json =
+  match Cs_obs.Json.member key json with
+  | Some (Cs_obs.Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "checkpoint: missing string field %S" key)
+
+let int_member key json =
+  match Cs_obs.Json.member key json with
+  | Some (Cs_obs.Json.Num n) -> Ok (int_of_float n)
+  | _ -> Error (Printf.sprintf "checkpoint: missing numeric field %S" key)
+
+let float_of_hex key s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "checkpoint: bad float in %S: %s" key s)
+
+let genome_of_str s =
+  match Genome.of_string s with
+  | Ok g -> Ok g
+  | Error e -> Error (Printf.sprintf "checkpoint: bad genome %S: %s" s e)
+
+let list_member key json =
+  match Cs_obs.Json.member key json with
+  | Some (Cs_obs.Json.List l) -> Ok l
+  | _ -> Error (Printf.sprintf "checkpoint: missing list field %S" key)
+
+let strings_of key l =
+  List.fold_left
+    (fun acc v ->
+      let* acc = acc in
+      match v with
+      | Cs_obs.Json.Str s -> Ok (s :: acc)
+      | _ -> Error (Printf.sprintf "checkpoint: non-string entry in %S" key))
+    (Ok []) l
+  |> Result.map List.rev
+
+let of_json json =
+  let* v = int_member "version" json in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "checkpoint: unsupported version %d" v)
+  in
+  let* gen_done = int_member "gen_done" json in
+  let* rng_str = str_member "rng_state" json in
+  let* rng_state =
+    match Int64.of_string_opt rng_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "checkpoint: bad rng_state %S" rng_str)
+  in
+  let* pop_json = list_member "population" json in
+  let* pop_strs = strings_of "population" pop_json in
+  let* population =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* g = genome_of_str s in
+        Ok (g :: acc))
+      (Ok []) pop_strs
+    |> Result.map (fun l -> Array.of_list (List.rev l))
+  in
+  let* best_str = str_member "best" json in
+  let* snap_best = genome_of_str best_str in
+  let* bf_str = str_member "best_fitness" json in
+  let* snap_best_fitness = float_of_hex "best_fitness" bf_str in
+  let* df_str = str_member "default_fitness" json in
+  let* snap_default_fitness = float_of_hex "default_fitness" df_str in
+  let* hist_json = list_member "history" json in
+  let* hist_strs = strings_of "history" hist_json in
+  let* history =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* f = float_of_hex "history" s in
+        Ok (f :: acc))
+      (Ok []) hist_strs
+    |> Result.map (fun l -> Array.of_list (List.rev l))
+  in
+  Ok
+    { Ga.gen_done; rng_state; population; snap_best; snap_best_fitness;
+      snap_default_fitness; history_prefix = history }
+
+let save ~path s =
+  Cs_util.Fsio.write_atomic ~path (Cs_obs.Json.to_string (to_json s) ^ "\n")
+
+let load path =
+  match Cs_util.Fsio.read_opt path with
+  | None -> Error (Printf.sprintf "checkpoint: %s does not exist" path)
+  | Some content ->
+    let* json =
+      match Cs_obs.Json.of_string content with
+      | Ok j -> Ok j
+      | Error e -> Error (Printf.sprintf "checkpoint: %s: %s" path e)
+    in
+    of_json json

@@ -1,0 +1,18 @@
+(** Crash-safe serialization of {!Ga.snapshot}.
+
+    [csched tune --checkpoint FILE] saves a snapshot after every
+    generation through {!Cs_util.Fsio.write_atomic}, so a SIGKILL at
+    any moment leaves either the previous complete checkpoint or the
+    new one. [csched tune --resume] reloads it and continues the run
+    bit-identically (see {!Ga.run}).
+
+    Floats round-trip exactly (hex float literals) and the RNG state is
+    carried as a full 64-bit value, which is what makes resumed best
+    genomes and fitnesses equal to an uninterrupted run's, bit for
+    bit. *)
+
+val save : path:string -> Ga.snapshot -> unit
+
+val load : string -> (Ga.snapshot, string) result
+(** Parse errors and missing files are reported as [Error _], never
+    raised. *)

@@ -21,6 +21,16 @@ type progress = {
   cache_hits : int;
 }
 
+type snapshot = {
+  gen_done : int;
+  rng_state : int64;
+  population : Genome.t array;
+  snap_best : Genome.t;
+  snap_best_fitness : float;
+  snap_default_fitness : float;
+  history_prefix : float array;
+}
+
 type outcome = {
   best : Genome.t;
   best_fitness : float;
@@ -29,6 +39,8 @@ type outcome = {
   history : float array;
   evaluations : int;
   cache_hits : int;
+  generations_run : int;
+  completed : bool;
 }
 
 (* Higher fitness first; canonical-string order breaks ties so the
@@ -54,28 +66,60 @@ let tournament_pick rng ~size pop fitness =
   done;
   pop.(!best)
 
-let run ?on_generation p fit =
+let run ?on_generation ?checkpoint ?resume ?deadline (p : params) fit =
   if p.population <= 0 then invalid_arg "Ga.run: population must be positive";
   if p.generations <= 0 then invalid_arg "Ga.run: generations must be positive";
-  let rng = Cs_util.Rng.create p.seed in
+  (match resume with
+  | Some s when Array.length s.population <> p.population ->
+    invalid_arg "Ga.run: snapshot population size does not match params"
+  | _ -> ());
   let default_genome = Genome.of_machine (Fitness.machine fit) in
-  let seed_variant () =
-    let g = ref default_genome in
-    for _ = 1 to 1 + Cs_util.Rng.int rng 3 do
-      g := Genome.mutate rng !g
-    done;
-    !g
+  (* All stochastic state lives in one generator; a snapshot therefore
+     needs only its 64-bit state plus the population to continue
+     bit-identically. *)
+  let rng, pop, best, best_fitness, default_fitness, history, start_gen =
+    match resume with
+    | Some s ->
+      let history = Array.make p.generations 0.0 in
+      Array.blit s.history_prefix 0 history 0
+        (min (Array.length s.history_prefix) p.generations);
+      ( Cs_util.Rng.of_state s.rng_state,
+        Array.copy s.population,
+        ref s.snap_best,
+        ref s.snap_best_fitness,
+        ref s.snap_default_fitness,
+        history,
+        min s.gen_done p.generations )
+    | None ->
+      let rng = Cs_util.Rng.create p.seed in
+      let seed_variant () =
+        let g = ref default_genome in
+        for _ = 1 to 1 + Cs_util.Rng.int rng 3 do
+          g := Genome.mutate rng !g
+        done;
+        !g
+      in
+      let pop =
+        Array.init p.population (fun i ->
+            if i = 0 then default_genome else seed_variant ())
+      in
+      ( rng, pop, ref default_genome, ref neg_infinity, ref nan,
+        Array.make p.generations 0.0, 0 )
   in
-  let pop =
-    Array.init p.population (fun i -> if i = 0 then default_genome else seed_variant ())
+  let gen = ref start_gen in
+  let out_of_time () =
+    (* Budget enforcement between generations: at least one generation
+       beyond the resume point always runs, so a tight budget still
+       makes progress instead of spinning on zero-generation runs. *)
+    match deadline with
+    | None -> false
+    | Some t -> !gen > start_gen && Cs_obs.Clock.now () >= t
   in
-  let history = Array.make p.generations 0.0 in
-  let best = ref default_genome and best_fitness = ref neg_infinity in
-  let default_fitness = ref nan in
-  for gen = 0 to p.generations - 1 do
+  while !gen < p.generations && not (out_of_time ()) do
+    let g = !gen in
     let fitness =
       Cs_obs.Obs.span ~cat:"tune"
-        ~args:[ ("generation", Cs_obs.Obs.Int gen) ]
+        ~args:[ ("generation", Cs_obs.Obs.Int g) ]
         "ga:generation"
         (fun () -> Fitness.eval ~domains:p.domains fit (Array.to_list pop))
     in
@@ -88,13 +132,13 @@ let run ?on_generation p fit =
       best := pop.(top);
       best_fitness := fitness.(top)
     end;
-    history.(gen) <- !best_fitness;
+    history.(g) <- !best_fitness;
     if Cs_obs.Obs.enabled () then begin
       let mean =
         Array.fold_left ( +. ) 0.0 fitness /. float_of_int (Array.length fitness)
       in
       Cs_obs.Obs.counter ~cat:"tune" "ga:fitness"
-        [ ("generation", float_of_int gen);
+        [ ("generation", float_of_int g);
           ("gen_best", fitness.(top));
           ("gen_mean", mean);
           ("best_so_far", !best_fitness);
@@ -104,10 +148,10 @@ let run ?on_generation p fit =
     Option.iter
       (fun f ->
         f
-          { generation = gen; gen_best = pop.(top); gen_best_fitness = fitness.(top);
+          { generation = g; gen_best = pop.(top); gen_best_fitness = fitness.(top);
             evaluations = Fitness.evaluations fit; cache_hits = Fitness.cache_hits fit })
       on_generation;
-    if gen < p.generations - 1 then begin
+    if g < p.generations - 1 then begin
       let next = Array.make p.population default_genome in
       let elite = min p.elite p.population in
       for i = 0 to elite - 1 do
@@ -127,10 +171,26 @@ let run ?on_generation p fit =
         next.(i) <- child
       done;
       Array.blit next 0 pop 0 p.population
-    end
+    end;
+    incr gen;
+    (* The snapshot is taken after breeding, so [population] is the
+       generation the resumed run evaluates first and the RNG state has
+       already consumed this generation's draws — continuation is
+       bit-identical to never having stopped. *)
+    Option.iter
+      (fun f ->
+        f
+          { gen_done = !gen; rng_state = Cs_util.Rng.state rng;
+            population = Array.copy pop; snap_best = !best;
+            snap_best_fitness = !best_fitness;
+            snap_default_fitness = !default_fitness;
+            history_prefix = Array.sub history 0 !gen })
+      checkpoint
   done;
   { best = !best; best_fitness = !best_fitness;
     default_genome; default_fitness = !default_fitness;
-    history;
+    history = Array.sub history 0 !gen;
     evaluations = Fitness.evaluations fit;
-    cache_hits = Fitness.cache_hits fit }
+    cache_hits = Fitness.cache_hits fit;
+    generations_run = !gen;
+    completed = !gen >= p.generations }

@@ -34,16 +34,53 @@ type progress = {
   cache_hits : int;
 }
 
+type snapshot = {
+  gen_done : int; (** generations fully completed (evaluation + breeding) *)
+  rng_state : int64; (** {!Cs_util.Rng.state} after this generation's draws *)
+  population : Genome.t array; (** the population the next generation evaluates *)
+  snap_best : Genome.t;
+  snap_best_fitness : float;
+  snap_default_fitness : float;
+  history_prefix : float array; (** best-so-far after each completed generation *)
+}
+(** Everything needed to continue a run bit-identically: all stochastic
+    state flows through one {!Cs_util.Rng.t}, and fitness evaluation is
+    a pure function of the genome, so state + population + bests fully
+    determine the remainder of the run. Serialized by
+    {!Checkpoint.save}. *)
+
 type outcome = {
   best : Genome.t;
   best_fitness : float;
   default_genome : Genome.t;
   default_fitness : float;
-  history : float array; (** best-so-far fitness after each generation *)
+  history : float array;
+      (** best-so-far fitness after each generation actually run *)
   evaluations : int; (** simulated candidates (cache misses) *)
   cache_hits : int;
+  generations_run : int;
+  completed : bool;
+      (** [false] iff the [deadline] budget expired before
+          [params.generations] generations ran *)
 }
 
-val run : ?on_generation:(progress -> unit) -> params -> Fitness.t -> outcome
+val run :
+  ?on_generation:(progress -> unit) ->
+  ?checkpoint:(snapshot -> unit) ->
+  ?resume:snapshot ->
+  ?deadline:float ->
+  params -> Fitness.t -> outcome
 (** Raises [Invalid_argument] on a non-positive population or
-    generation count. *)
+    generation count, or a [resume] snapshot whose population size
+    disagrees with [params].
+
+    [checkpoint] fires after every completed generation with a snapshot
+    that, passed back as [resume] with the same [params] (and a fitness
+    function over the same suite), continues the run bit-identically —
+    the final best genome and fitness equal those of an uninterrupted
+    run. [deadline] (absolute {!Cs_obs.Clock} time) stops the run
+    between generations once it expires; at least one generation beyond
+    the start/resume point always runs. Resumed runs restart the
+    {!Fitness.evaluations} / {!Fitness.cache_hits} counters (the cache
+    itself is process-local), which affects reporting only, never the
+    search trajectory. *)

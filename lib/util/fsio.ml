@@ -1,0 +1,37 @@
+(* Crash-safe file writes: write to a sibling temp file, fsync it, then
+   rename over the destination. POSIX rename is atomic within a
+   filesystem, so readers — and a process restarted after SIGKILL —
+   observe either the previous complete file or the new complete file,
+   never a truncated mixture. The fsync before the rename closes the
+   window where the rename is durable but the data is not. *)
+
+let temp_path path =
+  Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let write_atomic ~path content =
+  let tmp = temp_path path in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (match
+     let rec write_all pos len =
+       if len > 0 then begin
+         let n = Unix.write_substring fd content pos len in
+         write_all (pos + n) (len - n)
+       end
+     in
+     write_all 0 (String.length content);
+     Unix.fsync fd
+   with
+  | () -> Unix.close fd
+  | exception e ->
+    (try Unix.close fd with _ -> ());
+    (try Sys.remove tmp with _ -> ());
+    raise e);
+  (try Unix.rename tmp path
+   with e ->
+     (try Sys.remove tmp with _ -> ());
+     raise e)
+
+let read_opt path =
+  if Sys.file_exists path then
+    Some (In_channel.with_open_bin path In_channel.input_all)
+  else None

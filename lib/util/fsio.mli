@@ -1,0 +1,16 @@
+(** Crash-safe file writes.
+
+    Every durable artifact in the repository — JSONL exports, fuzz
+    findings and repro files, tuner checkpoints, benchmark reports —
+    goes through {!write_atomic} so a process killed mid-write never
+    leaves a truncated file behind: the content is written to a sibling
+    temp file, fsynced, and renamed over the destination (atomic on
+    POSIX within one filesystem). *)
+
+val write_atomic : path:string -> string -> unit
+(** [write_atomic ~path content] atomically replaces [path] with
+    [content]. On failure the temp file is removed and the previous
+    [path] (if any) is untouched. *)
+
+val read_opt : string -> string option
+(** Whole-file read, [None] if [path] does not exist. *)

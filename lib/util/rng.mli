@@ -11,6 +11,13 @@ type t
 val create : int -> t
 (** [create seed] makes a fresh generator from an integer seed. *)
 
+val state : t -> int64
+(** The raw 64-bit state, for checkpointing. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from {!state} output; the stream continues
+    exactly where the saved generator left off. *)
+
 val split : t -> t
 (** [split t] derives an independent generator; advances [t]. *)
 

@@ -30,6 +30,20 @@ let median = function
     let n = Array.length arr in
     if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
 
+let percentile p = function
+  | [] -> 0.0
+  | xs ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    (* linear interpolation between closest ranks *)
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+
 let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
 let maximum = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
 

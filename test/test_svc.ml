@@ -1,0 +1,560 @@
+(* Time robustness and the batch service: anytime early exit,
+   per-pass budgets, retry/backoff determinism, checkpoint/resume
+   bit-identity, crash-safe writes, and an in-process serve/submit
+   loopback. Everything here is bounded — no test may hang runtest. *)
+
+let raw4 = Cs_machine.Raw.with_tiles 4
+let vliw4 = Cs_machine.Vliw.create ~n_clusters:4 ()
+
+let region_of machine name =
+  match Cs_workloads.Suite.find name with
+  | Some e ->
+    e.Cs_workloads.Suite.generate ~scale:1
+      ~clusters:(Cs_machine.Machine.n_clusters machine) ()
+  | None -> Alcotest.failf "missing benchmark %s" name
+
+let tmp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- anytime driver ------------------------------------------------ *)
+
+let test_expired_deadline_still_answers () =
+  let region = region_of raw4 "jacobi" in
+  let deadline = Cs_obs.Clock.now () -. 1.0 in
+  match Cs_sim.Pipeline.schedule_resilient ~deadline ~machine:raw4 region with
+  | Error e -> Alcotest.failf "expected anytime schedule, got %s" (Cs_resil.Error.to_string e)
+  | Ok (sched, outcome) ->
+    Alcotest.(check bool) "timed_out recorded" true outcome.Cs_resil.Outcome.timed_out;
+    Alcotest.(check bool) "not healthy" false (Cs_resil.Outcome.healthy outcome);
+    Alcotest.(check bool) "non-empty schedule" true
+      (Cs_sched.Schedule.makespan sched > 0)
+
+let test_expired_deadline_matches_first_pass_only () =
+  (* The anytime exit truncates the sequence between passes; with an
+     already-expired deadline exactly one pass runs, so the result must
+     equal the one-pass run's. *)
+  let region = region_of vliw4 "vvmul" in
+  let passes = Cs_sim.Pipeline.default_passes ~machine:vliw4 in
+  let full =
+    Cs_core.Driver.run ~deadline:(Cs_obs.Clock.now () -. 1.0) ~machine:vliw4 region
+      passes
+  in
+  Alcotest.(check bool) "timed_out" true full.Cs_core.Driver.timed_out;
+  let one = Cs_core.Driver.run ~machine:vliw4 region [ List.hd passes ] in
+  Alcotest.(check (array int)) "assignment = one-pass assignment"
+    one.Cs_core.Driver.assignment full.Cs_core.Driver.assignment
+
+let test_no_deadline_never_times_out () =
+  let region = region_of raw4 "life" in
+  let result =
+    Cs_core.Driver.run ~machine:raw4 region (Cs_sim.Pipeline.default_passes ~machine:raw4)
+  in
+  Alcotest.(check bool) "timed_out" false result.Cs_core.Driver.timed_out
+
+let test_pass_timeout_quarantined () =
+  let region = region_of raw4 "sha" in
+  let passes =
+    Cs_sim.Pipeline.default_passes ~machine:raw4
+    @ [ Cs_core.Chaos.slow_pass ~delay_ms:30.0 () ]
+  in
+  let result =
+    Cs_core.Driver.run ~pass_budget_s:0.005 ~machine:raw4 region passes
+  in
+  let timeouts =
+    List.filter
+      (fun q ->
+        q.Cs_core.Driver.pass_name = "CHAOS"
+        && contains q.Cs_core.Driver.reason "pass-timeout")
+      result.Cs_core.Driver.quarantined
+  in
+  Alcotest.(check int) "slow pass quarantined once" 1 (List.length timeouts);
+  Alcotest.(check bool) "a budget overrun is not an anytime exit" false
+    result.Cs_core.Driver.timed_out
+
+let test_pass_timeout_surfaces_in_outcome () =
+  let region = region_of raw4 "sha" in
+  let passes =
+    Cs_sim.Pipeline.default_passes ~machine:raw4
+    @ [ Cs_core.Chaos.slow_pass ~delay_ms:30.0 () ]
+  in
+  match
+    Cs_sim.Pipeline.schedule_resilient ~passes ~pass_budget_s:0.005 ~machine:raw4 region
+  with
+  | Error e -> Alcotest.failf "expected schedule, got %s" (Cs_resil.Error.to_string e)
+  | Ok (_, outcome) ->
+    Alcotest.(check bool) "quarantine visible to caller" true
+      (List.exists
+         (fun (name, reason) ->
+           name = "CHAOS" && contains reason "pass-timeout")
+         outcome.Cs_resil.Outcome.quarantined)
+
+(* --- retry --------------------------------------------------------- *)
+
+let test_retry_delays_deterministic () =
+  let policy = { Cs_svc.Retry.default with max_attempts = 5; seed = 99 } in
+  let a = Cs_svc.Retry.delays policy and b = Cs_svc.Retry.delays policy in
+  Alcotest.(check int) "n delays" 4 (List.length a);
+  Alcotest.(check (list (float 0.0))) "same policy, same schedule" a b;
+  List.iteri
+    (fun i d ->
+      Alcotest.(check bool) (Printf.sprintf "delay %d in jitter band" i) true
+        (let base = policy.base_delay_s *. (policy.multiplier ** float_of_int i) in
+         d >= base *. 0.5 -. 1e-9 && d <= base *. 1.5 +. 1e-9))
+    a
+
+let test_retry_sleeps_recorded_schedule () =
+  let policy = { Cs_svc.Retry.default with max_attempts = 3 } in
+  let slept = ref [] in
+  let calls = ref 0 in
+  let result =
+    Cs_svc.Retry.run ~policy
+      ~sleep:(fun d -> slept := d :: !slept)
+      (fun ~attempt ->
+        incr calls;
+        if attempt < 3 then Error (Cs_resil.Error.Pass_failure "flaky") else Ok attempt)
+  in
+  Alcotest.(check int) "three attempts" 3 !calls;
+  Alcotest.(check (list (float 0.0))) "slept the published schedule"
+    (Cs_svc.Retry.delays policy) (List.rev !slept);
+  match result with
+  | Ok 3 -> ()
+  | _ -> Alcotest.fail "expected Ok on third attempt"
+
+let test_retry_gives_up_and_skips_permanent () =
+  let policy = { Cs_svc.Retry.default with max_attempts = 3 } in
+  let no_sleep _ = () in
+  let calls = ref 0 in
+  (match
+     Cs_svc.Retry.run ~policy ~sleep:no_sleep (fun ~attempt:_ ->
+         incr calls;
+         Error (Cs_resil.Error.Pass_failure "always"))
+   with
+  | Error (Cs_resil.Error.Pass_failure _) -> ()
+  | _ -> Alcotest.fail "expected the last error back");
+  Alcotest.(check int) "transient retried to exhaustion" 3 !calls;
+  calls := 0;
+  (match
+     Cs_svc.Retry.run ~policy ~sleep:no_sleep (fun ~attempt:_ ->
+         incr calls;
+         Error (Cs_resil.Error.Infeasible "permanent"))
+   with
+  | Error (Cs_resil.Error.Infeasible _) -> ()
+  | _ -> Alcotest.fail "expected the permanent error back");
+  Alcotest.(check int) "permanent not retried" 1 !calls
+
+(* --- crash-safe writes --------------------------------------------- *)
+
+let test_fsio_atomic_write_roundtrip () =
+  let path = tmp_path "cs_svc_fsio_test.txt" in
+  Cs_util.Fsio.write_atomic ~path "first\n";
+  Alcotest.(check (option string)) "written" (Some "first\n") (Cs_util.Fsio.read_opt path);
+  Cs_util.Fsio.write_atomic ~path "second\n";
+  Alcotest.(check (option string)) "overwritten" (Some "second\n")
+    (Cs_util.Fsio.read_opt path);
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let leftovers =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> f <> base && contains f base)
+  in
+  Alcotest.(check (list string)) "no temp files left behind" [] leftovers;
+  Sys.remove path;
+  Alcotest.(check (option string)) "missing file reads None" None
+    (Cs_util.Fsio.read_opt path)
+
+(* --- GA checkpoint/resume ------------------------------------------ *)
+
+let small_params =
+  { Cs_tuner.Ga.default_params with population = 6; generations = 4; seed = 11 }
+
+let small_fit () =
+  match Cs_workloads.Suite.find "vvmul" with
+  | Some e -> Cs_tuner.Fitness.make ~scale:1 ~machine:vliw4 [ e ]
+  | None -> Alcotest.fail "vvmul missing"
+
+let test_ga_resume_bit_identical () =
+  let straight = Cs_tuner.Ga.run small_params (small_fit ()) in
+  let snap = ref None in
+  let _interrupted =
+    (* capture the snapshot after generation 2, as a crash would *)
+    Cs_tuner.Ga.run
+      ~checkpoint:(fun s -> if s.Cs_tuner.Ga.gen_done = 2 then snap := Some s)
+      small_params (small_fit ())
+  in
+  match !snap with
+  | None -> Alcotest.fail "checkpoint callback never fired"
+  | Some s ->
+    let resumed = Cs_tuner.Ga.run ~resume:s small_params (small_fit ()) in
+    Alcotest.(check string) "best genome bit-identical"
+      (Cs_tuner.Genome.to_string straight.Cs_tuner.Ga.best)
+      (Cs_tuner.Genome.to_string resumed.Cs_tuner.Ga.best);
+    Alcotest.(check bool) "best fitness bit-identical" true
+      (straight.Cs_tuner.Ga.best_fitness = resumed.Cs_tuner.Ga.best_fitness);
+    Alcotest.(check (array (float 0.0))) "history bit-identical"
+      straight.Cs_tuner.Ga.history resumed.Cs_tuner.Ga.history;
+    Alcotest.(check bool) "resumed run completed" true resumed.Cs_tuner.Ga.completed
+
+let test_ga_checkpoint_file_roundtrip () =
+  let snap = ref None in
+  let _ =
+    Cs_tuner.Ga.run
+      ~checkpoint:(fun s -> if s.Cs_tuner.Ga.gen_done = 2 then snap := Some s)
+      small_params (small_fit ())
+  in
+  let s = Option.get !snap in
+  let path = tmp_path "cs_svc_ga_ck.json" in
+  Cs_tuner.Checkpoint.save ~path s;
+  (match Cs_tuner.Checkpoint.load path with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok s' ->
+    Alcotest.(check int) "gen_done" s.Cs_tuner.Ga.gen_done s'.Cs_tuner.Ga.gen_done;
+    Alcotest.(check bool) "rng state exact" true
+      (Int64.equal s.Cs_tuner.Ga.rng_state s'.Cs_tuner.Ga.rng_state);
+    Alcotest.(check bool) "best fitness exact" true
+      (s.Cs_tuner.Ga.snap_best_fitness = s'.Cs_tuner.Ga.snap_best_fitness);
+    Alcotest.(check (array string)) "population exact"
+      (Array.map Cs_tuner.Genome.to_string s.Cs_tuner.Ga.population)
+      (Array.map Cs_tuner.Genome.to_string s'.Cs_tuner.Ga.population);
+    (* the loaded snapshot must continue exactly like the in-memory one *)
+    let a = Cs_tuner.Ga.run ~resume:s small_params (small_fit ()) in
+    let b = Cs_tuner.Ga.run ~resume:s' small_params (small_fit ()) in
+    Alcotest.(check string) "continuations agree"
+      (Cs_tuner.Genome.to_string a.Cs_tuner.Ga.best)
+      (Cs_tuner.Genome.to_string b.Cs_tuner.Ga.best));
+  Sys.remove path
+
+let test_ga_deadline_reports_budget_exhausted () =
+  let outcome =
+    Cs_tuner.Ga.run ~deadline:(Cs_obs.Clock.now ()) small_params (small_fit ())
+  in
+  Alcotest.(check bool) "stopped early" true
+    (outcome.Cs_tuner.Ga.generations_run < small_params.Cs_tuner.Ga.generations);
+  Alcotest.(check bool) "not completed" false outcome.Cs_tuner.Ga.completed;
+  Alcotest.(check bool) "still made progress" true
+    (outcome.Cs_tuner.Ga.generations_run >= 1)
+
+(* --- fuzz journal resume ------------------------------------------- *)
+
+(* Sabotage every schedule so the oracle reliably produces findings. *)
+let break_schedule s = Cs_sched.Schedule.map_clusters (fun _ -> 0) s
+
+let test_fuzz_journal_resume_identical () =
+  let seeds = (0, 30) in
+  let path = tmp_path "cs_svc_fuzz_journal.json" in
+  let run journal =
+    Cs_check.Fuzz.run ~shrink:false ~transform:break_schedule ?journal ~seeds ()
+  in
+  let stats_fresh, found_fresh = run None in
+  Alcotest.(check bool) "transform produces findings" true (found_fresh <> []);
+  (* First journaled run covers everything; resuming it replays the
+     journal without re-searching and must reproduce the findings. *)
+  let j = Cs_check.Journal.create ~path ~seeds () in
+  let stats_j, found_j = run (Some j) in
+  Alcotest.(check int) "journaled run sees all cases" stats_fresh.Cs_check.Fuzz.cases
+    stats_j.Cs_check.Fuzz.cases;
+  let resumed = Cs_check.Journal.resume ~path ~seeds () in
+  let stats_r, found_r = run (Some resumed) in
+  Alcotest.(check int) "resumed covers all cases" stats_fresh.Cs_check.Fuzz.cases
+    stats_r.Cs_check.Fuzz.cases;
+  Alcotest.(check bool) "resumed run completed" true stats_r.Cs_check.Fuzz.completed;
+  let sig_of f =
+    Printf.sprintf "%d/%s/%s" f.Cs_check.Fuzz.seed f.Cs_check.Fuzz.label
+      f.Cs_check.Fuzz.check
+  in
+  Alcotest.(check (list string)) "journaled findings identical"
+    (List.map sig_of found_fresh) (List.map sig_of found_j);
+  Alcotest.(check (list string)) "resumed findings identical"
+    (List.map sig_of found_fresh) (List.map sig_of found_r);
+  Sys.remove path
+
+let test_fuzz_journal_mismatch_starts_fresh () =
+  let path = tmp_path "cs_svc_fuzz_journal2.json" in
+  let j = Cs_check.Journal.create ~path ~seeds:(0, 10) () in
+  Cs_check.Journal.record j ~chunk:(0, 10) ~violations:[];
+  (* different seed range -> the old journal must not poison the run *)
+  let j' = Cs_check.Journal.resume ~path ~seeds:(0, 20) () in
+  Alcotest.(check bool) "mismatched journal discarded" false
+    (Cs_check.Journal.is_done j' 5);
+  Sys.remove path
+
+(* --- bounded queue ------------------------------------------------- *)
+
+let test_squeue_bounds_and_order () =
+  let q = Cs_svc.Squeue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Cs_svc.Squeue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Cs_svc.Squeue.try_push q 2);
+  Alcotest.(check bool) "push 3 shed" false (Cs_svc.Squeue.try_push q 3);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Cs_svc.Squeue.pop q);
+  Alcotest.(check bool) "slot freed" true (Cs_svc.Squeue.try_push q 4);
+  Cs_svc.Squeue.close q;
+  Alcotest.(check bool) "closed refuses" false (Cs_svc.Squeue.try_push q 5);
+  Alcotest.(check (option int)) "drain 2" (Some 2) (Cs_svc.Squeue.pop q);
+  Alcotest.(check (option int)) "drain 4" (Some 4) (Cs_svc.Squeue.pop q);
+  Alcotest.(check (option int)) "closed+empty ends" None (Cs_svc.Squeue.pop q)
+
+let test_squeue_concurrent_producers_consumers () =
+  let q = Cs_svc.Squeue.create ~capacity:4 in
+  let produced = 200 in
+  let seen = Atomic.make 0 in
+  let consumers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Cs_svc.Squeue.pop q with
+              | Some _ ->
+                Atomic.incr seen;
+                loop ()
+              | None -> ()
+            in
+            loop ()))
+  in
+  let rec push n =
+    if n > 0 then
+      if Cs_svc.Squeue.try_push q n then push (n - 1)
+      else begin
+        Domain.cpu_relax ();
+        push n
+      end
+  in
+  push produced;
+  Cs_svc.Squeue.close q;
+  List.iter Domain.join consumers;
+  Alcotest.(check int) "every item consumed exactly once" produced (Atomic.get seen)
+
+(* --- protocol ------------------------------------------------------ *)
+
+let test_proto_request_roundtrip () =
+  let r =
+    Cs_svc.Proto.request ~id:"j1" ~machine:"vliw4" ~scheduler:"uas" ~scale:2
+      ~deadline_ms:50.0 ~passes:"INITTIME,PLACE" ~seed:7 "mxm"
+  in
+  match Cs_svc.Proto.request_of_line (Cs_svc.Proto.request_to_line r) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check string) "id" r.Cs_svc.Proto.id r'.Cs_svc.Proto.id;
+    Alcotest.(check string) "bench" r.Cs_svc.Proto.bench r'.Cs_svc.Proto.bench;
+    Alcotest.(check string) "machine" r.Cs_svc.Proto.machine r'.Cs_svc.Proto.machine;
+    Alcotest.(check int) "scale" r.Cs_svc.Proto.scale r'.Cs_svc.Proto.scale;
+    Alcotest.(check (option (float 0.0))) "deadline" r.Cs_svc.Proto.deadline_ms
+      r'.Cs_svc.Proto.deadline_ms;
+    Alcotest.(check (option string)) "passes" r.Cs_svc.Proto.passes r'.Cs_svc.Proto.passes;
+    Alcotest.(check (option int)) "seed" r.Cs_svc.Proto.seed r'.Cs_svc.Proto.seed
+
+let test_proto_reply_roundtrip () =
+  let ok =
+    { Cs_svc.Proto.reply_id = "j1"; elapsed_ms = 12.5;
+      verdict =
+        Cs_svc.Proto.Scheduled
+          { cycles = 42; transfers = 7; rung = "requested"; timed_out = true;
+            quarantined = 1 } }
+  in
+  (match Cs_svc.Proto.reply_of_line (Cs_svc.Proto.reply_to_line ok) with
+  | Ok r when r = ok -> ()
+  | Ok _ -> Alcotest.fail "ok reply mutated in roundtrip"
+  | Error e -> Alcotest.failf "ok roundtrip failed: %s" e);
+  let refused =
+    Cs_svc.Proto.refused ~elapsed_ms:1.0 ~id:"j2"
+      (Cs_resil.Error.Deadline_exceeded "too slow")
+  in
+  match Cs_svc.Proto.reply_of_line (Cs_svc.Proto.reply_to_line refused) with
+  | Ok r when r = refused -> ()
+  | Ok _ -> Alcotest.fail "refused reply mutated in roundtrip"
+  | Error e -> Alcotest.failf "refused roundtrip failed: %s" e
+
+let test_proto_malformed_line () =
+  (match Cs_svc.Proto.request_of_line "{not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Cs_svc.Proto.request_of_line "{\"id\":\"x\"}" with
+  | Error _ -> () (* bench missing *)
+  | Ok _ -> Alcotest.fail "bench-less request accepted"
+
+(* --- job runner ---------------------------------------------------- *)
+
+let test_job_refusals_are_typed () =
+  let run req = Cs_svc.Job.run (Cs_svc.Job.admit req) in
+  (match (run (Cs_svc.Proto.request "no-such-bench")).Cs_svc.Proto.verdict with
+  | Cs_svc.Proto.Refused e ->
+    Alcotest.(check string) "unknown bench kind" "invalid-input" e.kind
+  | _ -> Alcotest.fail "unknown bench must refuse");
+  (match
+     (run (Cs_svc.Proto.request ~machine:"raw0" "jacobi")).Cs_svc.Proto.verdict
+   with
+  | Cs_svc.Proto.Refused e ->
+    Alcotest.(check string) "unknown machine kind" "invalid-input" e.kind
+  | _ -> Alcotest.fail "unknown machine must refuse");
+  match
+    (Cs_svc.Job.run (Cs_svc.Job.admit (Cs_svc.Proto.request ~deadline_ms:0.0 "jacobi")))
+      .Cs_svc.Proto.verdict
+  with
+  | Cs_svc.Proto.Refused e ->
+    Alcotest.(check string) "expired-in-queue kind" "deadline-exceeded"
+      e.kind
+  | _ -> Alcotest.fail "expired deadline must refuse"
+
+let test_job_schedules_with_deadline () =
+  let req = Cs_svc.Proto.request ~id:"ok" ~machine:"raw4" ~deadline_ms:10_000.0 "sha" in
+  match (Cs_svc.Job.run (Cs_svc.Job.admit req)).Cs_svc.Proto.verdict with
+  | Cs_svc.Proto.Scheduled s ->
+    Alcotest.(check bool) "cycles positive" true (s.cycles > 0)
+  | Cs_svc.Proto.Refused e ->
+    Alcotest.failf "healthy job refused: %s %s" e.kind e.message
+
+(* --- serve/submit loopback ----------------------------------------- *)
+
+let with_server cfg f =
+  let server = Cs_svc.Server.create cfg in
+  let runner = Domain.spawn (fun () -> Cs_svc.Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Cs_svc.Server.stop server;
+      Domain.join runner)
+    (fun () -> f server)
+
+let test_serve_mixed_batch () =
+  let socket = tmp_path (Printf.sprintf "cs_svc_test_%d.sock" (Unix.getpid ())) in
+  let cfg = Cs_svc.Server.config ~workers:2 ~queue_capacity:8 socket in
+  let replies =
+    with_server cfg (fun _ ->
+        let jobs =
+          [ Cs_svc.Proto.request ~id:"good" ~machine:"raw4" ~deadline_ms:30_000.0 "jacobi";
+            Cs_svc.Proto.request ~id:"late" ~deadline_ms:0.0 "mxm";
+            Cs_svc.Proto.request ~id:"bogus" "no-such-bench" ]
+        in
+        match Cs_svc.Client.submit ~timeout_s:60.0 ~socket_path:socket jobs with
+        | Error e -> Alcotest.failf "submit failed: %s" e
+        | Ok replies -> replies)
+  in
+  Alcotest.(check int) "every job answered" 3 (List.length replies);
+  let find id =
+    List.find (fun r -> r.Cs_svc.Proto.reply_id = id) replies
+  in
+  (match (find "good").Cs_svc.Proto.verdict with
+  | Cs_svc.Proto.Scheduled s ->
+    Alcotest.(check bool) "scheduled" true (s.cycles > 0)
+  | Cs_svc.Proto.Refused e -> Alcotest.failf "good job refused: %s" e.message);
+  (match (find "late").Cs_svc.Proto.verdict with
+  | Cs_svc.Proto.Refused e ->
+    Alcotest.(check string) "typed deadline refusal" "deadline-exceeded"
+      e.kind
+  | _ -> Alcotest.fail "impossible deadline must be refused");
+  match (find "bogus").Cs_svc.Proto.verdict with
+  | Cs_svc.Proto.Refused e ->
+    Alcotest.(check string) "typed invalid-input refusal" "invalid-input"
+      e.kind
+  | _ -> Alcotest.fail "unknown bench must be refused"
+
+let test_serve_sheds_when_overloaded () =
+  let socket = tmp_path (Printf.sprintf "cs_svc_shed_%d.sock" (Unix.getpid ())) in
+  (* one worker stalled 200 ms per job behind a one-slot queue: of six
+     pipelined jobs at most two can be in flight, the rest must shed *)
+  let cfg =
+    Cs_svc.Server.config ~workers:1 ~queue_capacity:1 ~chaos_slow_ms:200.0 socket
+  in
+  let replies, stats =
+    with_server cfg (fun server ->
+        let jobs =
+          List.init 6 (fun i ->
+              Cs_svc.Proto.request ~id:(Printf.sprintf "j%d" i) ~machine:"raw4"
+                ~deadline_ms:30_000.0 "fir")
+        in
+        match Cs_svc.Client.submit ~timeout_s:60.0 ~socket_path:socket jobs with
+        | Error e -> Alcotest.failf "submit failed: %s" e
+        | Ok replies -> (replies, Cs_svc.Server.stats server))
+  in
+  Alcotest.(check int) "every job answered" 6 (List.length replies);
+  let shed =
+    List.filter
+      (fun r ->
+        match r.Cs_svc.Proto.verdict with
+        | Cs_svc.Proto.Refused e -> e.kind = "overloaded"
+        | _ -> false)
+      replies
+  in
+  Alcotest.(check bool) "bounded queue shed typed refusals" true
+    (List.length shed >= 3);
+  Alcotest.(check int) "stats agree with replies" (List.length shed)
+    stats.Cs_svc.Server.shed
+
+let test_serve_stop_is_clean_and_idempotent () =
+  let socket = tmp_path (Printf.sprintf "cs_svc_stop_%d.sock" (Unix.getpid ())) in
+  let cfg = Cs_svc.Server.config ~workers:1 socket in
+  with_server cfg (fun server ->
+      (* submit one job so drain has something to finish *)
+      (match
+         Cs_svc.Client.submit ~timeout_s:60.0 ~socket_path:socket
+           [ Cs_svc.Proto.request ~id:"x" ~machine:"raw4" "life" ]
+       with
+      | Ok [ _ ] -> ()
+      | Ok rs -> Alcotest.failf "expected one reply, got %d" (List.length rs)
+      | Error e -> Alcotest.failf "submit failed: %s" e);
+      Cs_svc.Server.stop server;
+      Cs_svc.Server.stop server);
+  Alcotest.(check bool) "socket file removed on drain" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "svc"
+    [
+      ( "anytime",
+        [
+          Alcotest.test_case "expired deadline answers" `Quick
+            test_expired_deadline_still_answers;
+          Alcotest.test_case "truncates to one pass" `Quick
+            test_expired_deadline_matches_first_pass_only;
+          Alcotest.test_case "no deadline no timeout" `Quick
+            test_no_deadline_never_times_out;
+          Alcotest.test_case "pass budget quarantines" `Quick
+            test_pass_timeout_quarantined;
+          Alcotest.test_case "pass timeout in outcome" `Quick
+            test_pass_timeout_surfaces_in_outcome;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "delays deterministic" `Quick test_retry_delays_deterministic;
+          Alcotest.test_case "sleeps the schedule" `Quick
+            test_retry_sleeps_recorded_schedule;
+          Alcotest.test_case "gives up / skips permanent" `Quick
+            test_retry_gives_up_and_skips_permanent;
+        ] );
+      ( "fsio",
+        [ Alcotest.test_case "atomic write roundtrip" `Quick test_fsio_atomic_write_roundtrip ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "ga resume bit-identical" `Slow test_ga_resume_bit_identical;
+          Alcotest.test_case "ga checkpoint file roundtrip" `Slow
+            test_ga_checkpoint_file_roundtrip;
+          Alcotest.test_case "ga deadline stops early" `Quick
+            test_ga_deadline_reports_budget_exhausted;
+          Alcotest.test_case "fuzz journal resume identical" `Slow
+            test_fuzz_journal_resume_identical;
+          Alcotest.test_case "fuzz journal mismatch fresh" `Quick
+            test_fuzz_journal_mismatch_starts_fresh;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "bounds and order" `Quick test_squeue_bounds_and_order;
+          Alcotest.test_case "concurrent" `Quick test_squeue_concurrent_producers_consumers;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_proto_request_roundtrip;
+          Alcotest.test_case "reply roundtrip" `Quick test_proto_reply_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_proto_malformed_line;
+        ] );
+      ( "job",
+        [
+          Alcotest.test_case "typed refusals" `Quick test_job_refusals_are_typed;
+          Alcotest.test_case "schedules under deadline" `Quick
+            test_job_schedules_with_deadline;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "mixed batch" `Slow test_serve_mixed_batch;
+          Alcotest.test_case "sheds overload" `Slow test_serve_sheds_when_overloaded;
+          Alcotest.test_case "clean idempotent stop" `Slow
+            test_serve_stop_is_clean_and_idempotent;
+        ] );
+    ]
