@@ -28,6 +28,7 @@ let experiments =
     ("fuzz", "differential fuzzing throughput (extension)", Exp_fuzz.fuzz);
     ("faults", "fault injection and graceful degradation (extension)", Exp_resil.faults);
     ("slo", "latency SLO under per-job deadlines (extension)", Exp_slo.slo);
+    ("gateway", "sharded gateway: result cache + failover (extension)", Exp_gateway.gateway);
     ("micro", "bechamel micro-benchmarks", Exp_micro.micro);
   ]
 

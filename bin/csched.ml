@@ -339,7 +339,8 @@ let profile_cmd =
      (preferred-cluster churn, mean confidence, weight-row entropy) for every pass of \
      every round, then the list-scheduler and simulator counters. The per-round series \
      reproduce the paper's Fig. 4/7-style convergence curves; --trace-out dumps the \
-     underlying events for chrome://tracing."
+     underlying events for chrome://tracing. With --connect, profile a live service \
+     instead: one stats round trip against a running serve or gateway."
   in
   let rounds_arg =
     Arg.(
@@ -347,7 +348,57 @@ let profile_cmd =
       & info [ "rounds" ]
           ~doc:"Apply the whole pass sequence this many times (iterative driver).")
   in
-  let run entry machine scale passes_spec rounds trace_out jsonl =
+  let live_connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Print live stats from the serve or gateway at $(docv) (HOST:PORT or Unix \
+             socket path) instead of profiling locally.")
+  in
+  let profile_live spec =
+    let addr =
+      match Cs_svc.Transport.parse spec with
+      | Ok a -> a
+      | Error msg ->
+        Printf.eprintf "profile: %s\n" msg;
+        exit 1
+    in
+    match Cs_svc.Client.fetch_stats ~addr () with
+    | Error e ->
+      Printf.eprintf "profile: %s: %s\n" (Cs_svc.Transport.to_string addr) e;
+      exit 1
+    | Ok s ->
+      Printf.printf "%s:\n" (Cs_svc.Transport.to_string addr);
+      Printf.printf "  queue depth   %d\n" s.Cs_svc.Proto.queue_depth;
+      Printf.printf "  workers       %d (%d busy, %.0f%% utilized)\n"
+        s.Cs_svc.Proto.workers s.Cs_svc.Proto.busy
+        (if s.Cs_svc.Proto.workers = 0 then 0.0
+         else
+           100.0 *. float_of_int s.Cs_svc.Proto.busy
+           /. float_of_int s.Cs_svc.Proto.workers);
+      Printf.printf "  admitted      %d\n" s.Cs_svc.Proto.admitted;
+      Printf.printf "  completed     %d\n" s.Cs_svc.Proto.completed;
+      Printf.printf "  shed          %d\n" s.Cs_svc.Proto.shed;
+      Printf.printf "  refusals      %d\n" s.Cs_svc.Proto.refusals;
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-13s %.0f\n" k v)
+        s.Cs_svc.Proto.extra
+  in
+  let opt_benchmark_arg =
+    Arg.(
+      value
+      & opt (some benchmark_conv) None
+      & info [ "b"; "benchmark" ] ~doc:"Benchmark name (required unless --connect).")
+  in
+  let run connect entry machine scale passes_spec rounds trace_out jsonl =
+    match (connect, entry) with
+    | Some spec, _ -> profile_live spec
+    | None, None ->
+      Printf.eprintf "profile: required option --benchmark is missing\n";
+      exit 1
+    | None, Some entry ->
     if rounds <= 0 then begin
       Printf.eprintf "profile: --rounds must be positive\n";
       exit 1
@@ -444,8 +495,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
-      const run $ benchmark_arg $ machine_arg $ scale_arg $ passes_opt_arg $ rounds_arg
-      $ trace_out_arg $ jsonl_arg)
+      const run $ live_connect_arg $ opt_benchmark_arg $ machine_arg $ scale_arg
+      $ passes_opt_arg $ rounds_arg $ trace_out_arg $ jsonl_arg)
 
 let tune_cmd =
   let doc =
@@ -984,6 +1035,34 @@ let socket_arg =
     & opt string "/tmp/csched.sock"
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
+(* serve/gateway bind here; submit/profile connect here. [--listen] /
+   [--connect] accept either HOST:PORT (TCP) or a Unix socket path and
+   win over the legacy [--socket]. *)
+let addr_of ~flag ~listen socket =
+  let spec = Option.value ~default:socket listen in
+  match Cs_svc.Transport.parse spec with
+  | Ok addr -> addr
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" flag msg;
+    exit 1
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Listen address: HOST:PORT for TCP (e.g. 127.0.0.1:7040, port 0 picks a free \
+           port) or a Unix socket path. Overrides --socket.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Server address: HOST:PORT for TCP or a Unix socket path. Overrides --socket.")
+
 let serve_cmd =
   let doc =
     "Run the batch scheduling service: accept jobs over a Unix-domain socket (one JSON \
@@ -1034,8 +1113,8 @@ let serve_cmd =
             "Retry transient job failures up to this many extra attempts (exponential \
              backoff with deterministic jitter); 0 disables.")
   in
-  let run socket workers queue default_deadline_ms pass_budget_ms chaos_slow_ms retries
-      trace_out jsonl =
+  let run socket listen workers queue default_deadline_ms pass_budget_ms chaos_slow_ms
+      retries trace_out jsonl =
     if workers <= 0 || queue <= 0 then begin
       Printf.eprintf "serve: --workers and --queue must be positive\n";
       exit 1
@@ -1045,22 +1124,26 @@ let serve_cmd =
       if retries <= 0 then None
       else Some { Cs_svc.Retry.default with max_attempts = retries + 1 }
     in
+    let addr = addr_of ~flag:"serve" ~listen socket in
     let cfg =
       Cs_svc.Server.config ~workers ~queue_capacity:queue ?default_deadline_ms
         ?pass_budget_s:(Option.map (fun ms -> ms /. 1000.0) pass_budget_ms)
-        ?chaos_slow_ms ?retry socket
+        ?chaos_slow_ms ?retry
+        (Cs_svc.Transport.to_string addr)
     in
     let server =
       try Cs_svc.Server.create cfg
       with Unix.Unix_error (e, _, _) ->
-        Printf.eprintf "serve: cannot listen on %s: %s\n" socket (Unix.error_message e);
+        Printf.eprintf "serve: cannot listen on %s: %s\n"
+          (Cs_svc.Transport.to_string addr) (Unix.error_message e);
         exit 1
     in
     let stop _ = Cs_svc.Server.stop server in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    Printf.printf "csched serve: listening on %s (%d workers, queue %d)\n%!" socket
+    Printf.printf "csched serve: listening on %s (%d workers, queue %d)\n%!"
+      (Cs_svc.Transport.to_string (Cs_svc.Server.address server))
       workers queue;
     Cs_svc.Server.run server;
     let s = Cs_svc.Server.stats server in
@@ -1071,8 +1154,115 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ socket_arg $ workers_arg $ queue_arg $ default_deadline_arg
+      const run $ socket_arg $ listen_arg $ workers_arg $ queue_arg $ default_deadline_arg
       $ pass_budget_arg $ chaos_slow_arg $ retries_arg $ trace_out_arg $ jsonl_arg)
+
+let gateway_cmd =
+  let doc =
+    "Run the fleet gateway: one front door over N `csched serve' shards, speaking the \
+     same JSON-lines protocol. Jobs are routed by consistent hash of their canonical \
+     scenario (or by a load-aware policy fed by queue-depth gossip), repeat scenarios \
+     are answered from a bounded LRU result cache without a shard hop, and a \
+     health-checked failover replays in-flight jobs from a dead shard on a live one — \
+     every client request is answered exactly once."
+  in
+  let shards_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "shards" ] ~docv:"ADDR1,ADDR2,..."
+          ~doc:"Comma-separated shard addresses (HOST:PORT or Unix socket paths).")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "hash"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Dispatch policy: $(b,hash), $(b,least-loaded) or $(b,wct).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (LRU entries).")
+  in
+  let forwarders_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "forwarders" ] ~doc:"Concurrent forwarding workers.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~doc:"Gateway admission-queue bound; excess jobs are shed.")
+  in
+  let probe_period_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "probe-period-ms" ] ~docv:"MS"
+          ~doc:"Health-probe period: every shard is pinged this often.")
+  in
+  let fail_threshold_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "fail-threshold" ]
+          ~doc:
+            "Consecutive transport failures before a shard is evicted (it re-enters \
+             via backoff probes).")
+  in
+  let run socket listen shards_spec policy_name cache forwarders queue probe_period_ms
+      fail_threshold trace_out jsonl =
+    let policy =
+      match Cs_gateway.Policy.of_string policy_name with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "gateway: %s\n" msg;
+        exit 1
+    in
+    let shards =
+      List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' shards_spec)
+    in
+    with_trace ?jsonl ~trace_out @@ fun () ->
+    let addr = addr_of ~flag:"gateway" ~listen socket in
+    let cfg =
+      try
+        Cs_gateway.Gateway.config ~policy ~cache_capacity:cache ~forwarders
+          ~queue_capacity:queue
+          ~probe_period_s:(probe_period_ms /. 1000.0)
+          ~fail_threshold ~shards
+          (Cs_svc.Transport.to_string addr)
+      with Invalid_argument msg ->
+        Printf.eprintf "gateway: %s\n" msg;
+        exit 1
+    in
+    let gw =
+      try Cs_gateway.Gateway.create cfg
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "gateway: cannot listen on %s: %s\n"
+          (Cs_svc.Transport.to_string addr) (Unix.error_message e);
+        exit 1
+    in
+    let stop _ = Cs_gateway.Gateway.stop gw in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    Printf.printf "csched gateway: listening on %s (%d shards, %s policy, cache %d)\n%!"
+      (Cs_svc.Transport.to_string (Cs_gateway.Gateway.address gw))
+      (List.length shards) (Cs_gateway.Policy.to_string policy) cache;
+    Cs_gateway.Gateway.run gw;
+    let s = Cs_gateway.Gateway.stats gw in
+    Printf.printf
+      "drained: %d admitted, %d completed, %d refused (%d shed); %d forwarded, %d \
+       replayed, cache %d/%d hit\n"
+      s.Cs_gateway.Gateway.admitted s.Cs_gateway.Gateway.completed
+      s.Cs_gateway.Gateway.refused s.Cs_gateway.Gateway.shed
+      s.Cs_gateway.Gateway.forwarded s.Cs_gateway.Gateway.replayed
+      s.Cs_gateway.Gateway.cache_hits
+      (s.Cs_gateway.Gateway.cache_hits + s.Cs_gateway.Gateway.cache_misses)
+  in
+  Cmd.v (Cmd.info "gateway" ~doc)
+    Term.(
+      const run $ socket_arg $ listen_arg $ shards_arg $ policy_arg $ cache_arg
+      $ forwarders_arg $ queue_arg $ probe_period_arg $ fail_threshold_arg
+      $ trace_out_arg $ jsonl_arg)
 
 let submit_cmd =
   let doc =
@@ -1123,8 +1313,8 @@ let submit_cmd =
   let strict_arg =
     Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero if any job was refused.")
   in
-  let run socket bench_spec machine scheduler scale deadline_ms repeat jobs_file timeout
-      strict =
+  let run socket connect bench_spec machine scheduler scale deadline_ms repeat jobs_file
+      timeout strict =
     let from_flags () =
       match bench_spec with
       | None ->
@@ -1165,19 +1355,22 @@ let submit_cmd =
       exit 1
     end;
     let print_reply (r : Cs_svc.Proto.reply) =
+      let cached = if r.Cs_svc.Proto.cached then " [cached]" else "" in
       match r.Cs_svc.Proto.verdict with
       | Cs_svc.Proto.Scheduled s ->
-        Printf.printf "ok      %-16s %5d cycles, %3d transfers, rung %s%s (%.1f ms)\n%!"
+        Printf.printf
+          "ok      %-16s %5d cycles, %3d transfers, rung %s%s%s (%.1f ms)\n%!"
           r.Cs_svc.Proto.reply_id s.cycles s.transfers s.rung
           (if s.timed_out then " [anytime]" else "")
-          r.Cs_svc.Proto.elapsed_ms
+          cached r.Cs_svc.Proto.elapsed_ms
       | Cs_svc.Proto.Refused e ->
-        Printf.printf "refused %-16s %s: %s (%.1f ms)\n%!" r.Cs_svc.Proto.reply_id e.kind
-          e.message r.Cs_svc.Proto.elapsed_ms
+        Printf.printf "refused %-16s %s: %s%s (%.1f ms)\n%!" r.Cs_svc.Proto.reply_id
+          e.kind e.message cached r.Cs_svc.Proto.elapsed_ms
     in
     match
       Cs_svc.Client.submit ~timeout_s:timeout ~on_reply:print_reply
-        ~socket_path:socket requests
+        ~addr:(addr_of ~flag:"submit" ~listen:connect socket)
+        requests
     with
     | Error msg ->
       Printf.eprintf "submit: %s\n" msg;
@@ -1206,8 +1399,9 @@ let submit_cmd =
   in
   Cmd.v (Cmd.info "submit" ~doc)
     Term.(
-      const run $ socket_arg $ bench_list_arg $ machine_name_arg $ scheduler_name_arg
-      $ scale_arg $ deadline_arg $ repeat_arg $ jobs_file_arg $ timeout_arg $ strict_arg)
+      const run $ socket_arg $ connect_arg $ bench_list_arg $ machine_name_arg
+      $ scheduler_name_arg $ scale_arg $ deadline_arg $ repeat_arg $ jobs_file_arg
+      $ timeout_arg $ strict_arg)
 
 let () =
   let doc = "convergent scheduling for spatial architectures (MICRO-35 reproduction)" in
@@ -1216,4 +1410,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; passes_cmd; run_cmd; run_file_cmd; compare_cmd; trace_cmd;
-            profile_cmd; dot_cmd; tune_cmd; faults_cmd; fuzz_cmd; serve_cmd; submit_cmd ]))
+            profile_cmd; dot_cmd; tune_cmd; faults_cmd; fuzz_cmd; serve_cmd; submit_cmd;
+            gateway_cmd ]))

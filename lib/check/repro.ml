@@ -6,6 +6,19 @@ type t = {
 
 let header_line key value = Printf.sprintf "%s %s\n" key value
 
+(* The canonical scenario hash doubles as the repro file's integrity
+   fingerprint: recorded on save, re-derived and compared on load, so a
+   hand-edited or truncated repro is rejected instead of silently
+   replaying a different scenario. *)
+let fingerprint (scenario : Scenario.t) =
+  Cs_core.Scenario.hex
+    (Cs_core.Scenario.canonical_hash ~faults:scenario.Scenario.faults
+       ~spec:
+         (Printf.sprintf "%s seed %d"
+            (Scenario.spec_to_string scenario.Scenario.spec)
+            scenario.Scenario.seed)
+       ~machine:scenario.Scenario.machine scenario.Scenario.region)
+
 let to_string t =
   let b = Buffer.create 512 in
   Buffer.add_string b "cs-check-repro v1\n";
@@ -16,6 +29,7 @@ let to_string t =
     Buffer.add_string b
       (header_line "faults" (Cs_resil.Fault.to_string t.scenario.Scenario.faults));
   Buffer.add_string b (header_line "label" t.scenario.Scenario.label);
+  Buffer.add_string b (header_line "fingerprint" (fingerprint t.scenario));
   Option.iter (fun c -> Buffer.add_string b (header_line "check" c)) t.check;
   Option.iter (fun n -> Buffer.add_string b (header_line "note" n)) t.note;
   Buffer.add_string b "region\n";
@@ -32,11 +46,11 @@ let of_string s =
   let lines = String.split_on_char '\n' s in
   match lines with
   | magic :: rest when String.trim magic = "cs-check-repro v1" ->
-    let rec parse_headers machine spec seed faults label check note = function
+    let rec parse_headers machine spec seed faults label check note fp = function
       | [] -> Error "missing 'region' section"
       | line :: rest ->
         let line = String.trim line in
-        if line = "" then parse_headers machine spec seed faults label check note rest
+        if line = "" then parse_headers machine spec seed faults label check note fp rest
         else if line = "region" then begin
           let region_text = String.concat "\n" rest in
           let ( let* ) = Result.bind in
@@ -61,47 +75,59 @@ let of_string s =
           (match Cs_machine.Machine.validate_region machine region with
           | Error msg -> Error ("region does not fit machine: " ^ msg)
           | Ok () ->
-            Ok
+            let scenario =
               {
-                scenario =
-                  {
-                    Scenario.label = Option.value ~default:"repro" label;
-                    seed = Option.value ~default:0 seed;
-                    machine;
-                    faults;
-                    region;
-                    spec;
-                  };
-                check;
-                note;
-              })
+                Scenario.label = Option.value ~default:"repro" label;
+                seed = Option.value ~default:0 seed;
+                machine;
+                faults;
+                region;
+                spec;
+              }
+            in
+            let* () =
+              match fp with
+              | None -> Ok ()
+              | Some recorded ->
+                let actual = fingerprint scenario in
+                if String.equal recorded actual then Ok ()
+                else
+                  Error
+                    (Printf.sprintf
+                       "fingerprint mismatch: file says %s, content hashes to %s \
+                        (repro edited or corrupt)"
+                       recorded actual)
+            in
+            Ok { scenario; check; note })
         end
         else begin
           let key, value = split_header line in
           match key with
           | "machine" ->
             (match Scenario.machine_of_name value with
-            | Ok m -> parse_headers (Some m) spec seed faults label check note rest
+            | Ok m -> parse_headers (Some m) spec seed faults label check note fp rest
             | Error msg -> Error msg)
           | "scheduler" ->
             (match Scenario.spec_of_string value with
-            | Ok sp -> parse_headers machine (Some sp) seed faults label check note rest
+            | Ok sp -> parse_headers machine (Some sp) seed faults label check note fp rest
             | Error msg -> Error msg)
           | "seed" ->
             (match int_of_string_opt value with
-            | Some n -> parse_headers machine spec (Some n) faults label check note rest
+            | Some n -> parse_headers machine spec (Some n) faults label check note fp rest
             | None -> Error (Printf.sprintf "bad seed %S" value))
           | "faults" ->
             (match Cs_resil.Fault.parse value with
-            | Ok plan -> parse_headers machine spec seed (Some plan) label check note rest
+            | Ok plan -> parse_headers machine spec seed (Some plan) label check note fp rest
             | Error msg -> Error msg)
-          | "label" -> parse_headers machine spec seed faults (Some value) check note rest
-          | "check" -> parse_headers machine spec seed faults label (Some value) note rest
-          | "note" -> parse_headers machine spec seed faults label check (Some value) rest
+          | "label" -> parse_headers machine spec seed faults (Some value) check note fp rest
+          | "check" -> parse_headers machine spec seed faults label (Some value) note fp rest
+          | "note" -> parse_headers machine spec seed faults label check (Some value) fp rest
+          | "fingerprint" ->
+            parse_headers machine spec seed faults label check note (Some value) rest
           | _ -> Error (Printf.sprintf "unknown header %S" key)
         end
     in
-    parse_headers None None None None None None None rest
+    parse_headers None None None None None None None None rest
   | _ -> Error "not a cs-check-repro file (missing magic line)"
 
 let load path =

@@ -3,15 +3,21 @@
     fixed and replayed by [dune runtest] as a permanent regression.
 
     Format: a [cs-check-repro v1] magic line, [key value] headers
-    ([machine], [scheduler], [seed], [label], optional [check]/[note]),
-    then a [region] line followed by the region in
-    {!Cs_ddg.Textual} format. *)
+    ([machine], [scheduler], [seed], [label], optional
+    [check]/[note]/[fingerprint]), then a [region] line followed by the
+    region in {!Cs_ddg.Textual} format. The [fingerprint] header is the
+    {!Cs_core.Scenario.canonical_hash} of the stored scenario; when
+    present it is re-derived on load and a mismatch rejects the file. *)
 
 type t = {
   scenario : Scenario.t;
   check : string option; (** the oracle check that failed when found *)
   note : string option;
 }
+
+val fingerprint : Scenario.t -> string
+(** Hex {!Cs_core.Scenario.canonical_hash} of the scenario, as written
+    to the [fingerprint] header. *)
 
 val to_string : t -> string
 (** Round-trips through {!of_string}. *)

@@ -1,0 +1,88 @@
+(* Hash table over an intrusive doubly-linked recency list; [lru] is the
+   eviction end, [mru] the promotion end. *)
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards mru *)
+  mutable next : 'a node option;  (* towards lru *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable mru : 'a node option;
+  mutable lru : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutex : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (2 * capacity); mru = None; lru = None;
+    hits = 0; misses = 0; evictions = 0; mutex = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_mru t node =
+  node.next <- t.mru;
+  node.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some node | None -> t.lru <- Some node);
+  t.mru <- Some node
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        t.hits <- t.hits + 1;
+        unlink t node;
+        push_mru t node;
+        Some node.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let put t key value =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some node ->
+        node.value <- value;
+        unlink t node;
+        push_mru t node
+      | None ->
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_mru t node);
+      if Hashtbl.length t.table > t.capacity then
+        match t.lru with
+        | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.key;
+          t.evictions <- t.evictions + 1
+        | None -> ())
+
+let stats t =
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions;
+        size = Hashtbl.length t.table; capacity = t.capacity })

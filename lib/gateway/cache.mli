@@ -1,0 +1,30 @@
+(** Bounded LRU result cache, keyed by canonical scenario hash.
+
+    Scheduling is a pure function of the canonical scenario
+    ({!Cs_core.Scenario.canonical_hash} covers machine, faults, pass
+    spec, seed and region), so a cached schedule is exactly as good as a
+    recomputed one — the gateway answers repeat traffic without burning
+    a shard worker. Thread-safe; all operations are O(1). *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit (and promotes the entry to most-recently-used) or a
+    miss. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or refresh; evicts the least-recently-used entry when over
+    capacity. *)
+
+val stats : 'a t -> stats

@@ -1,0 +1,523 @@
+module Transport = Cs_svc.Transport
+module Proto = Cs_svc.Proto
+module Squeue = Cs_svc.Squeue
+
+type config = {
+  listen_addr : Transport.addr;
+  shards : Transport.addr list;
+  policy : Policy.t;
+  cache_capacity : int;
+  vnodes : int;
+  forwarders : int;
+  queue_capacity : int;
+  probe_period_s : float;
+  fail_threshold : int;
+  shard_timeout_s : float;
+}
+
+let config ?(policy = Policy.Hash) ?(cache_capacity = 256) ?(vnodes = 64)
+    ?(forwarders = 4) ?(queue_capacity = 64) ?(probe_period_s = 1.0)
+    ?(fail_threshold = 3) ?(shard_timeout_s = 30.0) ~shards listen =
+  if shards = [] then invalid_arg "Gateway.config: at least one shard required";
+  if forwarders <= 0 then invalid_arg "Gateway.config: forwarders must be positive";
+  { listen_addr = Transport.parse_exn listen;
+    shards = List.map Transport.parse_exn shards;
+    policy; cache_capacity; vnodes; forwarders; queue_capacity; probe_period_s;
+    fail_threshold; shard_timeout_s }
+
+(* One backend shard and the load signals gossiped back from it. *)
+type shard = {
+  sname : string;
+  saddr : Transport.addr;
+  depth : int Atomic.t;  (* last gossiped admission-queue depth *)
+  ewma_bits : int64 Atomic.t;  (* Int64 bits of the service-time EWMA, ms *)
+}
+
+let shard_ewma sh = Int64.float_of_bits (Atomic.get sh.ewma_bits)
+
+let shard_note_reply sh (reply : Proto.reply) =
+  Option.iter (fun d -> Atomic.set sh.depth d) reply.Proto.queue_depth;
+  let prev = shard_ewma sh in
+  let next =
+    if prev <= 0.0 then reply.Proto.elapsed_ms
+    else (0.8 *. prev) +. (0.2 *. reply.Proto.elapsed_ms)
+  in
+  Atomic.set sh.ewma_bits (Int64.bits_of_float next)
+
+(* Same per-connection bookkeeping as {!Cs_svc.Server}: several
+   forwarder domains answer into one socket, so writes serialize on
+   [out_mutex], and the fd closes on the last of (reader EOF, final
+   pending reply). *)
+type conn = {
+  fd : Unix.file_descr;
+  out_mutex : Mutex.t;
+  mutable pending : int;
+  mutable reader_done : bool;
+  mutable conn_closed : bool;
+}
+
+type work = { request : Proto.request; on : conn }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound : Transport.addr;
+  ring : Ring.t;
+  health : Health.t;
+  cache : Proto.reply Cache.t;
+  shards : shard list;
+  queue : work Squeue.t;
+  stopping : bool Atomic.t;
+  n_admitted : int Atomic.t;
+  n_completed : int Atomic.t;
+  n_refused : int Atomic.t;
+  n_shed : int Atomic.t;
+  n_forwarded : int Atomic.t;
+  n_replayed : int Atomic.t;
+  n_rerouted : int Atomic.t;
+  n_busy : int Atomic.t;
+}
+
+let create (cfg : config) =
+  let shards =
+    List.map
+      (fun saddr ->
+        { sname = Transport.to_string saddr; saddr;
+          depth = Atomic.make 0; ewma_bits = Atomic.make (Int64.bits_of_float 0.0) })
+      cfg.shards
+  in
+  let names = List.map (fun s -> s.sname) shards in
+  let listen_fd = Transport.listen cfg.listen_addr in
+  { cfg; listen_fd; bound = Transport.bound_addr listen_fd cfg.listen_addr;
+    ring = Ring.make ~vnodes:cfg.vnodes names;
+    health = Health.create ~fail_threshold:cfg.fail_threshold names;
+    cache = Cache.create ~capacity:cfg.cache_capacity;
+    shards;
+    queue = Squeue.create ~capacity:cfg.queue_capacity;
+    stopping = Atomic.make false;
+    n_admitted = Atomic.make 0; n_completed = Atomic.make 0;
+    n_refused = Atomic.make 0; n_shed = Atomic.make 0;
+    n_forwarded = Atomic.make 0; n_replayed = Atomic.make 0;
+    n_rerouted = Atomic.make 0; n_busy = Atomic.make 0 }
+
+let address t = t.bound
+
+type stats = {
+  admitted : int;
+  completed : int;
+  refused : int;
+  shed : int;
+  forwarded : int;
+  replayed : int;
+  rerouted : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+}
+
+let stats t =
+  let c = Cache.stats t.cache in
+  { admitted = Atomic.get t.n_admitted;
+    completed = Atomic.get t.n_completed;
+    refused = Atomic.get t.n_refused;
+    shed = Atomic.get t.n_shed;
+    forwarded = Atomic.get t.n_forwarded;
+    replayed = Atomic.get t.n_replayed;
+    rerouted = Atomic.get t.n_rerouted;
+    cache_hits = c.Cache.hits;
+    cache_misses = c.Cache.misses;
+    cache_evictions = c.Cache.evictions }
+
+let shard_states t =
+  List.map (fun sh -> (sh.sname, Health.state t.health sh.sname)) t.shards
+
+let server_stats t =
+  let s = stats t in
+  let c = Cache.stats t.cache in
+  let alive =
+    List.length (Health.alive t.health (List.map (fun sh -> sh.sname) t.shards))
+  in
+  { Proto.queue_depth = Squeue.length t.queue;
+    workers = t.cfg.forwarders;
+    busy = Atomic.get t.n_busy;
+    admitted = s.admitted;
+    completed = s.completed;
+    shed = s.shed;
+    refusals = s.refused;
+    extra =
+      [ ("cache_hits", float_of_int s.cache_hits);
+        ("cache_misses", float_of_int s.cache_misses);
+        ("cache_evictions", float_of_int s.cache_evictions);
+        ("cache_size", float_of_int c.Cache.size);
+        ("forwarded", float_of_int s.forwarded);
+        ("replayed", float_of_int s.replayed);
+        ("rerouted", float_of_int s.rerouted);
+        ("shards_alive", float_of_int alive);
+        ("shards_total", float_of_int (List.length t.shards)) ] }
+
+(* --- wire plumbing (mirrors Cs_svc.Server) ------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let send_line conn line =
+  Mutex.lock conn.out_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.out_mutex)
+    (fun () ->
+      if not conn.conn_closed then
+        try write_all conn.fd (line ^ "\n") with Unix.Unix_error _ -> ())
+
+let send_reply conn reply = send_line conn (Proto.reply_to_line reply)
+
+let finish_edge conn ~job_done =
+  Mutex.lock conn.out_mutex;
+  let close_now =
+    if job_done then conn.pending <- conn.pending - 1 else conn.reader_done <- true;
+    conn.reader_done && conn.pending = 0 && not conn.conn_closed
+  in
+  if close_now then conn.conn_closed <- true;
+  Mutex.unlock conn.out_mutex;
+  if close_now then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* --- cache key ----------------------------------------------------- *)
+
+(* The cache key is the canonical scenario identity, not the request
+   text: two requests naming the same machine through different aliases,
+   or carrying different ids/deadlines, resolve to the same key. A
+   request that does not resolve gets a typed local refusal — no shard
+   hop for garbage. *)
+let scenario_key (r : Proto.request) =
+  let ( let* ) = Result.bind in
+  let* machine =
+    Proto.machine_of_name r.Proto.machine
+    |> Result.map_error (fun e -> Cs_resil.Error.Invalid_input e)
+  in
+  let* entry =
+    match Cs_workloads.Suite.find r.Proto.bench with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (Cs_resil.Error.Invalid_input
+           (Printf.sprintf "unknown benchmark %S" r.Proto.bench))
+  in
+  let region =
+    entry.Cs_workloads.Suite.generate ~scale:r.Proto.scale
+      ~clusters:(Cs_machine.Machine.n_clusters machine) ()
+  in
+  let spec =
+    Printf.sprintf "scheduler %s passes %s seed %s" r.Proto.scheduler
+      (Option.value ~default:"default" r.Proto.passes)
+      (match r.Proto.seed with Some s -> string_of_int s | None -> "-")
+  in
+  Ok (Cs_core.Scenario.hex (Cs_core.Scenario.canonical_hash ~spec ~machine region))
+
+(* Only full-quality schedules are cached: an anytime early exit or a
+   refusal is a property of that moment's load, not of the scenario. *)
+let cacheable (reply : Proto.reply) =
+  match reply.Proto.verdict with
+  | Proto.Scheduled s -> not s.timed_out
+  | Proto.Refused _ -> false
+
+(* --- forwarding ---------------------------------------------------- *)
+
+type attempt_outcome =
+  | Answered of Proto.reply
+  | Shard_overloaded of Proto.reply
+  | Transport_failure of string
+
+(* One-shot connection: send the one job, wait for its one reply. EOF
+   before the reply means the shard died (or aborted) with the job in
+   flight — a transport failure, distinct from a shed job, which is a
+   well-formed [overloaded] refusal. *)
+let forward_once t sh (r : Proto.request) =
+  match
+    Cs_svc.Client.submit ~timeout_s:t.cfg.shard_timeout_s ~addr:sh.saddr [ r ]
+  with
+  | Error e -> Transport_failure e
+  | Ok [] -> Transport_failure "shard closed the connection before replying"
+  | Ok (reply :: _) ->
+    shard_note_reply sh reply;
+    (match reply.Proto.verdict with
+    | Proto.Refused { kind; _ } when kind = "overloaded" -> Shard_overloaded reply
+    | _ -> Answered reply)
+
+let views t names =
+  List.filter_map
+    (fun sh ->
+      if List.mem sh.sname names then
+        Some
+          { Policy.name = sh.sname; queue_depth = Atomic.get sh.depth;
+            ewma_ms = shard_ewma sh }
+      else None)
+    t.shards
+
+let shard_by_name t name = List.find (fun sh -> sh.sname = name) t.shards
+
+(* Walk the policy-ordered candidates until one answers. Transport
+   failures feed the health tracker and replay the job on the next
+   candidate; overload refusals reroute without a health penalty (the
+   shard is alive, just full). The last overload refusal is kept as the
+   answer of record in case every live shard is saturated. *)
+let dispatch t (r : Proto.request) ~key =
+  let usable = Health.alive t.health (List.map (fun sh -> sh.sname) t.shards) in
+  let order =
+    Policy.order t.cfg.policy ~ring:t.ring
+      ~key:(Cs_core.Scenario.fnv1a key)
+      ~deadline_ms:r.Proto.deadline_ms (views t usable)
+  in
+  let rec walk ~replaying ~last_overload = function
+    | [] ->
+      (match last_overload with
+      | Some reply -> reply
+      | None ->
+        Proto.refused ~id:r.Proto.id
+          (Cs_resil.Error.Overloaded
+             (if order = [] then "no live shards"
+              else "every live shard failed while handling the job")))
+    | name :: rest ->
+      let sh = shard_by_name t name in
+      if replaying then begin
+        Atomic.incr t.n_replayed;
+        Cs_obs.Obs.instant ~cat:"gateway"
+          ~args:
+            [ ("job", Cs_obs.Obs.Str r.Proto.id); ("shard", Cs_obs.Obs.Str name) ]
+          "gateway:replay"
+      end;
+      (match forward_once t sh r with
+      | Answered reply ->
+        Health.note_ok t.health name;
+        Atomic.incr t.n_forwarded;
+        reply
+      | Shard_overloaded reply ->
+        Health.note_ok t.health name;
+        if rest <> [] then Atomic.incr t.n_rerouted;
+        walk ~replaying:false ~last_overload:(Some reply) rest
+      | Transport_failure why ->
+        Health.note_failure t.health name;
+        Cs_obs.Obs.instant ~cat:"gateway"
+          ~args:
+            [ ("shard", Cs_obs.Obs.Str name); ("error", Cs_obs.Obs.Str why) ]
+          "gateway:shard-failure";
+        walk ~replaying:true ~last_overload rest)
+  in
+  walk ~replaying:false ~last_overload:None order
+
+let handle_job t (r : Proto.request) conn =
+  let t0 = Cs_obs.Clock.now () in
+  let answer reply =
+    (match reply.Proto.verdict with
+    | Proto.Scheduled _ -> Atomic.incr t.n_completed
+    | Proto.Refused _ -> Atomic.incr t.n_refused);
+    (* gateway-level gossip, mirroring what shards do for the gateway *)
+    send_reply conn
+      { reply with
+        Proto.reply_id = r.Proto.id;
+        queue_depth = Some (Squeue.length t.queue) }
+  in
+  match scenario_key r with
+  | Error err -> answer (Proto.refused ~id:r.Proto.id err)
+  | Ok key ->
+    (match Cache.find t.cache key with
+    | Some cached ->
+      answer
+        { cached with
+          Proto.reply_id = r.Proto.id;
+          elapsed_ms = (Cs_obs.Clock.now () -. t0) *. 1000.0;
+          cached = true }
+    | None ->
+      let reply = dispatch t r ~key in
+      if cacheable reply then Cache.put t.cache key reply;
+      answer reply)
+
+let forwarder t () =
+  let rec loop () =
+    match Squeue.pop t.queue with
+    | None -> ()
+    | Some { request; on } ->
+      Atomic.incr t.n_busy;
+      (try handle_job t request on
+       with e ->
+         send_reply on
+           (Proto.refused ~id:request.Proto.id
+              (Cs_resil.Error.Pass_failure (Printexc.to_string e))));
+      Atomic.decr t.n_busy;
+      finish_edge on ~job_done:true;
+      loop ()
+  in
+  loop ()
+
+(* --- health prober ------------------------------------------------- *)
+
+(* Periodic ping against every shard: refreshes queue-depth gossip
+   between jobs, detects silent deaths before a job trips over them, and
+   carries the probation probe that re-admits a dead shard once its
+   backoff expires. *)
+let prober t () =
+  let probe_timeout = Float.min 2.0 (Float.max 0.2 t.cfg.probe_period_s) in
+  let probe sh =
+    match
+      Cs_svc.Client.fetch_stats ~timeout_s:probe_timeout ~addr:sh.saddr ()
+    with
+    | Ok st ->
+      Atomic.set sh.depth st.Proto.queue_depth;
+      Health.note_ok t.health sh.sname
+    | Error _ -> Health.note_failure t.health sh.sname
+  in
+  let rec sleep_ticks remaining =
+    if remaining > 0.0 && not (Atomic.get t.stopping) then begin
+      let tick = Float.min 0.05 remaining in
+      Unix.sleepf tick;
+      sleep_ticks (remaining -. tick)
+    end
+  in
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      List.iter
+        (fun sh ->
+          if not (Atomic.get t.stopping) then
+            if Health.usable t.health sh.sname || Health.probe_due t.health sh.sname
+            then probe sh)
+        t.shards;
+      sleep_ticks t.cfg.probe_period_s;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- accept loop --------------------------------------------------- *)
+
+let serve_conn t conn =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let handle_line line =
+    let line = String.trim line in
+    if line <> "" then begin
+      match Proto.incoming_of_line line with
+      | Error e ->
+        Atomic.incr t.n_refused;
+        send_reply conn (Proto.refused ~id:"" (Cs_resil.Error.Invalid_input e))
+      | Ok (Proto.Control { op; id }) ->
+        let s = server_stats t in
+        (match op with
+        | Proto.Stats_query ->
+          Cs_obs.Obs.counter ~cat:"gateway" "gateway:stats"
+            (("queue_depth", float_of_int s.Proto.queue_depth)
+            :: ("busy", float_of_int s.Proto.busy)
+            :: s.Proto.extra)
+        | Proto.Ping -> ());
+        send_line conn (Proto.pong_to_line ~id s)
+      | Ok (Proto.Job_request request) ->
+        Mutex.lock conn.out_mutex;
+        conn.pending <- conn.pending + 1;
+        Mutex.unlock conn.out_mutex;
+        if Atomic.get t.stopping || not (Squeue.try_push t.queue { request; on = conn })
+        then begin
+          Atomic.incr t.n_shed;
+          send_reply conn
+            (Proto.refused ~id:request.Proto.id
+               (Cs_resil.Error.Overloaded
+                  (if Atomic.get t.stopping then "gateway is draining"
+                   else
+                     Printf.sprintf "gateway admission queue full (%d jobs)"
+                       t.cfg.queue_capacity)));
+          finish_edge conn ~job_done:true
+        end
+        else Atomic.incr t.n_admitted
+    end
+  in
+  let rec drain_lines () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | None -> ()
+    | Some i ->
+      let all = Buffer.contents buf in
+      let line = String.sub all 0 i in
+      Buffer.clear buf;
+      Buffer.add_substring buf all (i + 1) (String.length all - i - 1);
+      handle_line line;
+      drain_lines ()
+  in
+  let rec read_loop () =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain_lines ();
+      read_loop ()
+    | exception Unix.Unix_error (EINTR, _, _) -> read_loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  read_loop ();
+  handle_line (Buffer.contents buf);
+  finish_edge conn ~job_done:false
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Cs_obs.Obs.instant ~cat:"gateway" "gateway:stop";
+    match Transport.connect t.bound with
+    | exception Unix.Unix_error _ -> ()
+    | fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  end
+
+let run t =
+  let forwarders = List.init t.cfg.forwarders (fun _ -> Domain.spawn (forwarder t)) in
+  let prober_d = Domain.spawn (prober t) in
+  let readers = ref [] in
+  let prune () =
+    let live, finished =
+      List.partition (fun (done_flag, _) -> not (Atomic.get done_flag)) !readers
+    in
+    List.iter (fun (_, d) -> Domain.join d) finished;
+    readers := live
+  in
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> if not (Atomic.get t.stopping) then accept_loop ()
+      | fd, _ ->
+        if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          Transport.accepted t.bound fd;
+          let conn =
+            { fd; out_mutex = Mutex.create (); pending = 0; reader_done = false;
+              conn_closed = false }
+          in
+          let done_flag = Atomic.make false in
+          let d =
+            Domain.spawn (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> Atomic.set done_flag true)
+                  (fun () -> serve_conn t conn))
+          in
+          readers := (done_flag, d) :: !readers;
+          prune ();
+          accept_loop ()
+        end
+    end
+  in
+  Cs_obs.Obs.instant ~cat:"gateway"
+    ~args:
+      [ ("addr", Cs_obs.Obs.Str (Transport.to_string t.bound));
+        ("shards", Cs_obs.Obs.Int (List.length t.shards));
+        ("policy", Cs_obs.Obs.Str (Policy.to_string t.cfg.policy)) ]
+    "gateway:listen";
+  accept_loop ();
+  List.iter (fun (_, d) -> Domain.join d) !readers;
+  Squeue.close t.queue;
+  List.iter Domain.join forwarders;
+  Domain.join prober_d;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Transport.cleanup t.bound;
+  let s = stats t in
+  Cs_obs.Obs.counter ~cat:"gateway" "gateway:drained"
+    [ ("admitted", float_of_int s.admitted);
+      ("completed", float_of_int s.completed);
+      ("refused", float_of_int s.refused);
+      ("shed", float_of_int s.shed);
+      ("forwarded", float_of_int s.forwarded);
+      ("replayed", float_of_int s.replayed);
+      ("cache_hits", float_of_int s.cache_hits) ]

@@ -1,0 +1,104 @@
+type state =
+  | Healthy
+  | Suspect of int
+  | Dead of { down_at : float; retry_at : float; attempt : int }
+
+type entry = {
+  mutable st : state;
+  mutable probing : bool;  (* a probation probe is outstanding *)
+}
+
+type t = {
+  fail_threshold : int;
+  delays : float array;  (* backoff schedule, clamped at the last step *)
+  table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let default_backoff =
+  { Cs_svc.Retry.default with
+    base_delay_s = 0.5; multiplier = 2.0; jitter = 0.25; max_attempts = 8 }
+
+let create ?(fail_threshold = 3) ?(backoff = default_backoff) names =
+  if fail_threshold <= 0 then
+    invalid_arg "Health.create: fail_threshold must be positive";
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem table n) then
+        Hashtbl.replace table n { st = Healthy; probing = false })
+    names;
+  { fail_threshold;
+    delays = Array.of_list (Cs_svc.Retry.delays backoff);
+    table; mutex = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let entry t name =
+  match Hashtbl.find_opt t.table name with
+  | Some e -> e
+  | None ->
+    let e = { st = Healthy; probing = false } in
+    Hashtbl.replace t.table name e;
+    e
+
+let state t name = locked t (fun () -> (entry t name).st)
+
+let backoff_delay t attempt =
+  (* attempt 1 = first burial *)
+  let n = Array.length t.delays in
+  if n = 0 then 0.5 else t.delays.(min (attempt - 1) (n - 1))
+
+let bury t e ~down_at ~attempt =
+  let now = Cs_obs.Clock.now () in
+  e.st <- Dead { down_at; retry_at = now +. backoff_delay t attempt; attempt }
+
+let note_ok t name =
+  locked t (fun () ->
+      let e = entry t name in
+      e.probing <- false;
+      (match e.st with
+      | Dead _ ->
+        Cs_obs.Obs.instant ~cat:"gateway"
+          ~args:[ ("shard", Cs_obs.Obs.Str name) ]
+          "health:readmit"
+      | _ -> ());
+      e.st <- Healthy)
+
+let note_failure t name =
+  locked t (fun () ->
+      let e = entry t name in
+      e.probing <- false;
+      match e.st with
+      | Healthy | Suspect _ ->
+        let failures =
+          (match e.st with Suspect n -> n | _ -> 0) + 1
+        in
+        if failures >= t.fail_threshold then begin
+          Cs_obs.Obs.instant ~cat:"gateway"
+            ~args:[ ("shard", Cs_obs.Obs.Str name) ]
+            "health:evict";
+          bury t e ~down_at:(Cs_obs.Clock.now ()) ~attempt:1
+        end
+        else e.st <- Suspect failures
+      | Dead { down_at; attempt; _ } ->
+        (* failed probation probe: next backoff step *)
+        bury t e ~down_at ~attempt:(attempt + 1))
+
+let usable t name =
+  locked t (fun () ->
+      match (entry t name).st with Healthy | Suspect _ -> true | Dead _ -> false)
+
+let probe_due t name =
+  locked t (fun () ->
+      let e = entry t name in
+      match e.st with
+      | Dead { retry_at; _ }
+        when (not e.probing) && Cs_obs.Clock.now () >= retry_at ->
+        e.probing <- true;
+        true
+      | _ -> false)
+
+let alive t names = List.filter (usable t) names

@@ -1,0 +1,43 @@
+(** Per-shard health tracking: consecutive-failure eviction with
+    deterministic-backoff re-admission.
+
+    A shard starts [Healthy]; each transport failure moves it through
+    [Suspect] and, after [fail_threshold] consecutive failures, to
+    [Dead]. A dead shard is skipped by dispatch until its backoff
+    expires, at which point exactly one probe is let through
+    ({!probe_due} hands out the probation slot once per backoff window):
+    success re-admits the shard as [Healthy], failure re-buries it with
+    the next backoff from the {!Cs_svc.Retry.delays} schedule — so two
+    gateways configured identically back off identically.
+
+    Thread-safe: forwarders and the prober share one table. *)
+
+type state =
+  | Healthy
+  | Suspect of int  (** consecutive failures so far, < threshold *)
+  | Dead of { down_at : float; retry_at : float; attempt : int }
+
+type t
+
+val create :
+  ?fail_threshold:int -> ?backoff:Cs_svc.Retry.policy -> string list -> t
+(** [fail_threshold] defaults to 3 consecutive failures; [backoff]
+    defaults to 500 ms base, doubling, ±25% deterministic jitter. *)
+
+val state : t -> string -> state
+(** Unknown shards read as [Healthy]. *)
+
+val note_ok : t -> string -> unit
+val note_failure : t -> string -> unit
+
+val usable : t -> string -> bool
+(** Dispatchable right now: [Healthy] or [Suspect]. Dead shards are
+    never dispatched to directly — they re-enter via {!probe_due}. *)
+
+val probe_due : t -> string -> bool
+(** True at most once per backoff window, for a [Dead] shard whose
+    [retry_at] has passed: the caller owns the probation probe and must
+    follow up with {!note_ok} or {!note_failure}. *)
+
+val alive : t -> string list -> string list
+(** The {!usable} subset of the given names, in the given order. *)

@@ -1,0 +1,54 @@
+type t = Hash | Least_loaded | Weighted_completion_time
+
+let to_string = function
+  | Hash -> "hash"
+  | Least_loaded -> "least-loaded"
+  | Weighted_completion_time -> "wct"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "hash" -> Ok Hash
+  | "least-loaded" | "least_loaded" -> Ok Least_loaded
+  | "wct" | "weighted-completion-time" | "weighted_completion_time" ->
+    Ok Weighted_completion_time
+  | other ->
+    Error
+      (Printf.sprintf "unknown policy %S (expected hash | least-loaded | wct)" other)
+
+type shard_view = { name : string; queue_depth : int; ewma_ms : float }
+
+(* Ring order starting at the key's owner, restricted to the given
+   shards — both the Hash policy itself and every tie-break, so dispatch
+   is deterministic given (ring, key, views). *)
+let ring_order ~ring ~key views =
+  let present = List.map (fun v -> v.name) views in
+  let in_ring =
+    List.filter (fun s -> List.mem s present) (Ring.candidates ring key)
+  in
+  (* shards absent from the ring (never the case in practice) go last *)
+  in_ring @ List.filter (fun s -> not (List.mem s in_ring)) present
+
+(* Stable sort of ring-ordered names by a score; stability makes ring
+   position the tie-break. *)
+let by_score ~ring ~key views score =
+  let scores = List.map (fun v -> (v.name, score v)) views in
+  ring_order ~ring ~key views
+  |> List.map (fun name -> (name, List.assoc name scores))
+  |> List.stable_sort (fun (_, a) (_, b) -> compare (a : float) b)
+  |> List.map fst
+
+let order policy ~ring ~key ~deadline_ms views =
+  match policy with
+  | Hash -> ring_order ~ring ~key views
+  | Least_loaded -> by_score ~ring ~key views (fun v -> float_of_int v.queue_depth)
+  | Weighted_completion_time ->
+    let completion v =
+      float_of_int (v.queue_depth + 1) *. Float.max 1.0 v.ewma_ms
+    in
+    let misses_deadline v =
+      match deadline_ms with Some d -> completion v > d | None -> false
+    in
+    by_score ~ring ~key views (fun v ->
+        (* predicted-to-miss shards sort after every predicted-to-make
+           shard, each group by predicted completion *)
+        (if misses_deadline v then 1.0e12 else 0.0) +. completion v)

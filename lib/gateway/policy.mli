@@ -1,0 +1,42 @@
+(** Pluggable dispatch policy: given the live shards and their gossiped
+    load, produce the failover-ordered candidate list for one job.
+
+    - [Hash] — pure consistent-hash affinity: the ring owner first, then
+      the clockwise successors. Maximizes shard-local warmth (a shard
+      keeps seeing the same scenarios) and is the only policy whose
+      assignment is stable across gateways.
+    - [Least_loaded] — shards ordered by gossiped admission-queue depth
+      (ties broken by ring order, so equal-load dispatch degenerates to
+      hash affinity rather than herding onto one shard).
+    - [Weighted_completion_time] — Smith's-rule flavour: order by
+      predicted completion time [(depth + 1) * ewma_ms]; when the job
+      carries a deadline, shards predicted to meet it sort before shards
+      predicted to miss it. A tight-deadline job therefore prefers a
+      fast shard with a short queue even when a slower shard hashes
+      first.
+
+    All policies only ever return usable shards, in an order the
+    forwarder walks for exactly-once failover. *)
+
+type t = Hash | Least_loaded | Weighted_completion_time
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** ["hash" | "least-loaded" | "wct"] (also accepts
+    ["weighted-completion-time"]). *)
+
+type shard_view = {
+  name : string;
+  queue_depth : int;  (** last gossiped admission-queue depth *)
+  ewma_ms : float;  (** smoothed per-job service time on that shard *)
+}
+
+val order :
+  t ->
+  ring:Ring.t ->
+  key:int64 ->
+  deadline_ms:float option ->
+  shard_view list ->
+  string list
+(** [shard_view list] must already be filtered to usable shards; the
+    result is a permutation of their names. *)

@@ -4,75 +4,106 @@ let write_all fd s =
   let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
   go 0
 
-(* Batch submit: pipeline every request, half-close the write side so
-   the server sees EOF, then read replies until the server closes —
-   which it does only after answering every request. Replies arrive in
-   completion order, not submission order; match them by id. *)
-let submit ?timeout_s ?on_reply ~socket_path requests =
-  match Unix.socket PF_UNIX SOCK_STREAM 0 with
-  | exception Unix.Unix_error (e, _, _) ->
-    Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+(* Connect, run [f fd], always close. *)
+let with_conn ?timeout_s addr f =
+  match Transport.connect addr with
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error
+      (Printf.sprintf "connect %s: %s (%s)" (Transport.to_string addr)
+         (Unix.error_message e) fn)
   | fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
-        match
-          Option.iter (fun t -> Unix.setsockopt_float fd SO_RCVTIMEO t) timeout_s;
-          Unix.connect fd (ADDR_UNIX socket_path)
-        with
-        | exception Unix.Unix_error (e, _, _) ->
-          Error
-            (Printf.sprintf "connect %s: %s" socket_path (Unix.error_message e))
-        | () ->
-          (match
-             List.iter
-               (fun r -> write_all fd (Proto.request_to_line r ^ "\n"))
-               requests;
-             Unix.shutdown fd SHUTDOWN_SEND
-           with
-          | exception Unix.Unix_error (e, _, _) ->
-            Error (Printf.sprintf "send: %s" (Unix.error_message e))
-          | () ->
-            let buf = Buffer.create 256 in
-            let chunk = Bytes.create 4096 in
-            let replies = ref [] in
-            let bad = ref None in
-            let handle_line line =
-              let line = String.trim line in
-              if line <> "" then
-                match Proto.reply_of_line line with
-                | Ok reply ->
-                  Option.iter (fun f -> f reply) on_reply;
-                  replies := reply :: !replies
-                | Error e -> if !bad = None then bad := Some e
-            in
-            let rec drain_lines () =
-              match String.index_opt (Buffer.contents buf) '\n' with
-              | None -> ()
-              | Some i ->
-                let all = Buffer.contents buf in
-                handle_line (String.sub all 0 i);
-                Buffer.clear buf;
-                Buffer.add_substring buf all (i + 1) (String.length all - i - 1);
-                drain_lines ()
-            in
-            let rec read_loop () =
-              match Unix.read fd chunk 0 (Bytes.length chunk) with
-              | 0 -> Ok ()
-              | n ->
-                Buffer.add_subbytes buf chunk 0 n;
-                drain_lines ();
-                read_loop ()
-              | exception Unix.Unix_error (EINTR, _, _) -> read_loop ()
-              | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-                Error "timed out waiting for replies"
-              | exception Unix.Unix_error (e, _, _) ->
-                Error (Printf.sprintf "recv: %s" (Unix.error_message e))
-            in
-            (match read_loop () with
-            | Error _ as e -> e
-            | Ok () ->
-              handle_line (Buffer.contents buf);
-              (match !bad with
-              | Some e -> Error (Printf.sprintf "bad reply line: %s" e)
-              | None -> Ok (List.rev !replies)))))
+        Option.iter (fun t -> Unix.setsockopt_float fd SO_RCVTIMEO t) timeout_s;
+        f fd)
+
+(* Read newline-separated lines until EOF, feeding [handle_line]. *)
+let read_lines fd handle_line =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec drain_lines () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | None -> ()
+    | Some i ->
+      let all = Buffer.contents buf in
+      handle_line (String.sub all 0 i);
+      Buffer.clear buf;
+      Buffer.add_substring buf all (i + 1) (String.length all - i - 1);
+      drain_lines ()
+  in
+  let rec read_loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Ok ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain_lines ();
+      read_loop ()
+    | exception Unix.Unix_error (EINTR, _, _) -> read_loop ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      Error "timed out waiting for replies"
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "recv: %s" (Unix.error_message e))
+  in
+  match read_loop () with
+  | Error _ as e -> e
+  | Ok () ->
+    handle_line (Buffer.contents buf);
+    Ok ()
+
+(* Batch submit: pipeline every request, half-close the write side so
+   the server sees EOF, then read replies until the server closes —
+   which it does only after answering every request. Replies arrive in
+   completion order, not submission order; match them by id. *)
+let submit ?timeout_s ?on_reply ~addr requests =
+  with_conn ?timeout_s addr (fun fd ->
+      match
+        List.iter
+          (fun r -> write_all fd (Proto.request_to_line r ^ "\n"))
+          requests;
+        Unix.shutdown fd SHUTDOWN_SEND
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "send: %s" (Unix.error_message e))
+      | () ->
+        let replies = ref [] in
+        let bad = ref None in
+        let handle_line line =
+          let line = String.trim line in
+          if line <> "" then
+            match Proto.reply_of_line line with
+            | Ok reply ->
+              Option.iter (fun f -> f reply) on_reply;
+              replies := reply :: !replies
+            | Error e -> if !bad = None then bad := Some e
+        in
+        (match read_lines fd handle_line with
+        | Error _ as e -> e
+        | Ok () ->
+          (match !bad with
+          | Some e -> Error (Printf.sprintf "bad reply line: %s" e)
+          | None -> Ok (List.rev !replies))))
+
+(* One control round trip: a ping or stats probe against a serve or
+   gateway socket. One line out, one line back. *)
+let fetch_stats ?(timeout_s = 5.0) ~addr () =
+  with_conn ~timeout_s addr (fun fd ->
+      match
+        write_all fd (Proto.stats_line () ^ "\n");
+        Unix.shutdown fd SHUTDOWN_SEND
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "send: %s" (Unix.error_message e))
+      | () ->
+        let result = ref (Error "no pong before EOF") in
+        let handle_line line =
+          let line = String.trim line in
+          if line <> "" then
+            match (!result, Proto.pong_of_line line) with
+            | Error _, Ok (_, stats) -> result := Ok stats
+            | Error _, Error e -> result := Error e
+            | Ok _, _ -> ()
+        in
+        (match read_lines fd handle_line with
+        | Error e -> Error e
+        | Ok () -> !result))

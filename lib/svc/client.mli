@@ -1,10 +1,11 @@
 (** Client side of the batch service protocol — the engine behind
-    [csched submit]. *)
+    [csched submit], and the building block the gateway dispatches
+    with. Works over any {!Transport.addr} (Unix socket or TCP). *)
 
 val submit :
   ?timeout_s:float ->
   ?on_reply:(Proto.reply -> unit) ->
-  socket_path:string ->
+  addr:Transport.addr ->
   Proto.request list ->
   (Proto.reply list, string) result
 (** Connect, pipeline all requests, half-close, and collect one reply
@@ -13,3 +14,9 @@ val submit :
     [on_reply] streams each reply as it lands. [timeout_s] bounds each
     read so a dead server cannot hang the client. Errors are transport
     problems; scheduling failures arrive as {!Proto.Refused} replies. *)
+
+val fetch_stats :
+  ?timeout_s:float -> addr:Transport.addr -> unit -> (Proto.server_stats, string) result
+(** One stats round trip against a serve or gateway socket ([timeout_s]
+    defaults to 5 s). Errors are transport problems or a non-pong
+    reply. *)

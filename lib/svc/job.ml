@@ -99,11 +99,10 @@ let run ?retry_policy ?extra_passes ?pass_budget_s job =
       (match result with
       | Error err -> refuse err
       | Ok (sched, outcome) ->
-        { Proto.reply_id = r.id; elapsed_ms = elapsed_ms ();
-          verdict =
-            Proto.Scheduled
-              { cycles = Cs_sched.Schedule.makespan sched;
-                transfers = Cs_sched.Schedule.n_comms sched;
-                rung = Cs_resil.Outcome.rung_to_string outcome.Cs_resil.Outcome.rung;
-                timed_out = outcome.Cs_resil.Outcome.timed_out;
-                quarantined = List.length outcome.Cs_resil.Outcome.quarantined } })
+        Proto.reply ~id:r.id ~elapsed_ms:(elapsed_ms ())
+          (Proto.Scheduled
+             { cycles = Cs_sched.Schedule.makespan sched;
+               transfers = Cs_sched.Schedule.n_comms sched;
+               rung = Cs_resil.Outcome.rung_to_string outcome.Cs_resil.Outcome.rung;
+               timed_out = outcome.Cs_resil.Outcome.timed_out;
+               quarantined = List.length outcome.Cs_resil.Outcome.quarantined }))

@@ -27,13 +27,19 @@ type reply = {
   reply_id : string;
   elapsed_ms : float;
   verdict : verdict;
+  queue_depth : int option;
+  cached : bool;
 }
+
+let reply ?queue_depth ?(cached = false) ~id ~elapsed_ms verdict =
+  { reply_id = id; elapsed_ms; verdict; queue_depth; cached }
 
 let refused ?(elapsed_ms = 0.0) ~id error =
   { reply_id = id; elapsed_ms;
     verdict =
       Refused
-        { kind = Cs_resil.Error.kind error; message = Cs_resil.Error.message error } }
+        { kind = Cs_resil.Error.kind error; message = Cs_resil.Error.message error };
+    queue_depth = None; cached = false }
 
 (* --- machine names (mirrors the csched CLI grammar) ---------------- *)
 
@@ -112,7 +118,12 @@ let reply_to_json r =
         ("quarantined", Num (float_of_int s.quarantined)) ]
     | Refused e -> [ ("status", Str "refused"); ("kind", Str e.kind); ("message", Str e.message) ]
   in
-  Obj ([ ("id", Str r.reply_id); ("elapsed_ms", Num r.elapsed_ms) ] @ verdict_fields)
+  Obj
+    ([ ("id", Str r.reply_id); ("elapsed_ms", Num r.elapsed_ms) ]
+    @ opt "queue_depth"
+        (Option.map (fun d -> Num (float_of_int d)) r.queue_depth)
+    @ (if r.cached then [ ("cached", Bool true) ] else [])
+    @ verdict_fields)
 
 let reply_of_json json =
   let* reply_id = str_member ~default:"" "id" json in
@@ -140,7 +151,91 @@ let reply_of_json json =
       Ok (Refused { kind; message })
     | other -> Error (Printf.sprintf "unknown reply status %S" other)
   in
-  Ok { reply_id; elapsed_ms; verdict }
+  let queue_depth = Option.map int_of_float (num_member "queue_depth" json) in
+  let cached =
+    match Cs_obs.Json.member "cached" json with
+    | Some (Cs_obs.Json.Bool b) -> b
+    | _ -> false
+  in
+  Ok { reply_id; elapsed_ms; verdict; queue_depth; cached }
+
+(* --- control verbs (ping / stats) ---------------------------------- *)
+
+type control = Ping | Stats_query
+
+type incoming = Job_request of request | Control of { op : control; id : string }
+
+let control_line ~op ?(id = "") () =
+  Cs_obs.Json.to_string
+    (Cs_obs.Json.Obj [ ("op", Cs_obs.Json.Str op); ("id", Cs_obs.Json.Str id) ])
+
+let ping_line = control_line ~op:"ping"
+let stats_line = control_line ~op:"stats"
+
+let incoming_of_json json =
+  match Cs_obs.Json.member "op" json with
+  | Some (Cs_obs.Json.Str op) ->
+    let* id = str_member ~default:"" "id" json in
+    (match op with
+    | "ping" -> Ok (Control { op = Ping; id })
+    | "stats" -> Ok (Control { op = Stats_query; id })
+    | other -> Error (Printf.sprintf "unknown op %S" other))
+  | Some _ -> Error "op must be a string"
+  | None -> Result.map (fun r -> Job_request r) (request_of_json json)
+
+type server_stats = {
+  queue_depth : int;
+  workers : int;
+  busy : int;
+  admitted : int;
+  completed : int;
+  shed : int;
+  refusals : int;
+  extra : (string * float) list;
+      (** layer-specific series, e.g. the gateway's cache counters;
+          round-trip verbatim so consumers can evolve independently *)
+}
+
+let stats_known_keys =
+  [ "queue_depth"; "workers"; "busy"; "admitted"; "completed"; "shed"; "refusals" ]
+
+let pong_to_json ~id s =
+  let open Cs_obs.Json in
+  Obj
+    ([ ("id", Str id); ("status", Str "pong");
+       ("queue_depth", Num (float_of_int s.queue_depth));
+       ("workers", Num (float_of_int s.workers));
+       ("busy", Num (float_of_int s.busy));
+       ("admitted", Num (float_of_int s.admitted));
+       ("completed", Num (float_of_int s.completed));
+       ("shed", Num (float_of_int s.shed));
+       ("refusals", Num (float_of_int s.refusals)) ]
+    @ List.map (fun (k, v) -> (k, Num v)) s.extra)
+
+let pong_of_json json =
+  let* status = str_member "status" json in
+  if status <> "pong" then Error (Printf.sprintf "expected a pong, got status %S" status)
+  else
+    let* id = str_member ~default:"" "id" json in
+    let get k = match num_member k json with Some n -> int_of_float n | None -> 0 in
+    let extra =
+      match json with
+      | Cs_obs.Json.Obj fields ->
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            | Cs_obs.Json.Num n
+              when (not (List.mem k stats_known_keys)) && k <> "id" ->
+              Some (k, n)
+            | _ -> None)
+          fields
+      | _ -> []
+    in
+    Ok
+      ( id,
+        { queue_depth = get "queue_depth"; workers = get "workers"; busy = get "busy";
+          admitted = get "admitted"; completed = get "completed"; shed = get "shed";
+          refusals = get "refusals"; extra } )
 
 let line_of to_json v = Cs_obs.Json.to_string (to_json v)
 
@@ -153,3 +248,6 @@ let request_to_line = line_of request_to_json
 let request_of_line = of_line request_of_json
 let reply_to_line = line_of reply_to_json
 let reply_of_line = of_line reply_of_json
+let incoming_of_line = of_line incoming_of_json
+let pong_to_line ~id s = Cs_obs.Json.to_string (pong_to_json ~id s)
+let pong_of_line = of_line pong_of_json

@@ -34,7 +34,19 @@ type verdict =
       (** typed refusal; [kind] is a {!Cs_resil.Error.kind} tag such as
           ["deadline-exceeded"] or ["overloaded"] *)
 
-type reply = { reply_id : string; elapsed_ms : float; verdict : verdict }
+type reply = {
+  reply_id : string;
+  elapsed_ms : float;
+  verdict : verdict;
+  queue_depth : int option;
+      (** load gossip: the answering shard's admission-queue depth at
+          reply time; the gateway's least-loaded and
+          weighted-completion-time policies feed on it *)
+  cached : bool;  (** served from the gateway's result cache *)
+}
+
+val reply :
+  ?queue_depth:int -> ?cached:bool -> id:string -> elapsed_ms:float -> verdict -> reply
 
 val refused : ?elapsed_ms:float -> id:string -> Cs_resil.Error.t -> reply
 
@@ -45,3 +57,40 @@ val request_to_line : request -> string
 val request_of_line : string -> (request, string) result
 val reply_to_line : reply -> string
 val reply_of_line : string -> (reply, string) result
+
+(** {2 Control verbs}
+
+    Besides job requests, a service socket answers two control lines:
+    [{"op":"ping"}] (liveness probe) and [{"op":"stats"}] (live
+    counters). Both are answered inline — never queued — with a
+    [status = "pong"] line carrying the current {!server_stats}, so a
+    health checker's probe cannot be starved by a full admission
+    queue. *)
+
+type control = Ping | Stats_query
+
+type incoming = Job_request of request | Control of { op : control; id : string }
+
+val ping_line : ?id:string -> unit -> string
+val stats_line : ?id:string -> unit -> string
+
+val incoming_of_line : string -> (incoming, string) result
+(** Classify one wire line: a control line (has an ["op"] member) or a
+    job request. *)
+
+type server_stats = {
+  queue_depth : int;  (** jobs waiting in the admission queue *)
+  workers : int;
+  busy : int;  (** workers currently executing a job *)
+  admitted : int;
+  completed : int;
+  shed : int;
+  refusals : int;
+  extra : (string * float) list;
+      (** layer-specific series (e.g. gateway cache counters),
+          round-tripped verbatim *)
+}
+
+val pong_to_line : id:string -> server_stats -> string
+val pong_of_line : string -> (string * server_stats, string) result
+(** [(id, stats)]; errors on anything that is not a pong. *)

@@ -1,5 +1,5 @@
 type config = {
-  socket_path : string;
+  listen_addr : Transport.addr;
   workers : int;
   queue_capacity : int;
   default_deadline_ms : float option;
@@ -9,9 +9,9 @@ type config = {
 }
 
 let config ?(workers = 2) ?(queue_capacity = 16) ?default_deadline_ms
-    ?pass_budget_s ?chaos_slow_ms ?retry socket_path =
-  { socket_path; workers; queue_capacity; default_deadline_ms; pass_budget_s;
-    chaos_slow_ms; retry }
+    ?pass_budget_s ?chaos_slow_ms ?retry addr =
+  { listen_addr = Transport.parse_exn addr; workers; queue_capacity;
+    default_deadline_ms; pass_budget_s; chaos_slow_ms; retry }
 
 type stats = {
   admitted : int;
@@ -37,12 +37,17 @@ type work = { job : Job.t; on : conn }
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
+  bound : Transport.addr;
   queue : work Squeue.t;
   stopping : bool Atomic.t;
+  aborted : bool Atomic.t;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
   n_admitted : int Atomic.t;
   n_completed : int Atomic.t;
   n_shed : int Atomic.t;
   n_refused : int Atomic.t;
+  n_busy : int Atomic.t;
 }
 
 let write_all fd s =
@@ -51,14 +56,16 @@ let write_all fd s =
   let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
   go 0
 
-let send_reply conn reply =
+let send_line conn line =
   Mutex.lock conn.out_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.out_mutex)
     (fun () ->
       if not conn.conn_closed then
-        try write_all conn.fd (Proto.reply_to_line reply ^ "\n")
+        try write_all conn.fd (line ^ "\n")
         with Unix.Unix_error _ -> () (* client went away; nothing to tell it *))
+
+let send_reply conn reply = send_line conn (Proto.reply_to_line reply)
 
 (* Called with one of the two completion edges (a job replied / the
    reader hit EOF); closes the socket on the last edge. *)
@@ -74,20 +81,31 @@ let finish_edge conn ~job_done =
 
 let create cfg =
   if cfg.workers <= 0 then invalid_arg "Server.create: workers must be positive";
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
-  Unix.bind listen_fd (ADDR_UNIX cfg.socket_path);
-  Unix.listen listen_fd 64;
-  { cfg; listen_fd; queue = Squeue.create ~capacity:cfg.queue_capacity;
-    stopping = Atomic.make false;
+  let listen_fd = Transport.listen cfg.listen_addr in
+  { cfg; listen_fd; bound = Transport.bound_addr listen_fd cfg.listen_addr;
+    queue = Squeue.create ~capacity:cfg.queue_capacity;
+    stopping = Atomic.make false; aborted = Atomic.make false;
+    conns_mutex = Mutex.create (); conns = [];
     n_admitted = Atomic.make 0; n_completed = Atomic.make 0;
-    n_shed = Atomic.make 0; n_refused = Atomic.make 0 }
+    n_shed = Atomic.make 0; n_refused = Atomic.make 0; n_busy = Atomic.make 0 }
+
+let address t = t.bound
 
 let stats t =
   { admitted = Atomic.get t.n_admitted;
     completed = Atomic.get t.n_completed;
     shed = Atomic.get t.n_shed;
     refused = Atomic.get t.n_refused }
+
+let server_stats t =
+  { Proto.queue_depth = Squeue.length t.queue;
+    workers = t.cfg.workers;
+    busy = Atomic.get t.n_busy;
+    admitted = Atomic.get t.n_admitted;
+    completed = Atomic.get t.n_completed;
+    shed = Atomic.get t.n_shed;
+    refusals = Atomic.get t.n_refused;
+    extra = [] }
 
 let worker t () =
   let extra_passes =
@@ -99,40 +117,68 @@ let worker t () =
     match Squeue.pop t.queue with
     | None -> () (* closed and drained *)
     | Some { job; on } ->
-      let reply =
-        try
-          Job.run ?retry_policy:t.cfg.retry ?extra_passes
-            ?pass_budget_s:t.cfg.pass_budget_s job
-        with e ->
-          (* last-ditch: a bug in the job runner must not kill the
-             worker — the client is owed a reply either way *)
-          Proto.refused ~id:job.Job.request.Proto.id
-            (Cs_resil.Error.Pass_failure (Printexc.to_string e))
-      in
-      (match reply.Proto.verdict with
-      | Proto.Scheduled _ -> Atomic.incr t.n_completed
-      | Proto.Refused _ -> Atomic.incr t.n_refused);
-      send_reply on reply;
-      finish_edge on ~job_done:true;
-      loop ()
+      (* After an abort the connections are gone; burning worker time on
+         jobs whose replies nobody can receive would only delay
+         teardown. *)
+      if Atomic.get t.aborted then begin
+        finish_edge on ~job_done:true;
+        loop ()
+      end
+      else begin
+        Atomic.incr t.n_busy;
+        let reply =
+          try
+            Job.run ?retry_policy:t.cfg.retry ?extra_passes
+              ?pass_budget_s:t.cfg.pass_budget_s job
+          with e ->
+            (* last-ditch: a bug in the job runner must not kill the
+               worker — the client is owed a reply either way *)
+            Proto.refused ~id:job.Job.request.Proto.id
+              (Cs_resil.Error.Pass_failure (Printexc.to_string e))
+        in
+        Atomic.decr t.n_busy;
+        (match reply.Proto.verdict with
+        | Proto.Scheduled _ -> Atomic.incr t.n_completed
+        | Proto.Refused _ -> Atomic.incr t.n_refused);
+        (* Piggyback the current queue depth so dispatchers upstream can
+           run load-aware policies without extra round trips. *)
+        send_reply on { reply with Proto.queue_depth = Some (Squeue.length t.queue) };
+        finish_edge on ~job_done:true;
+        loop ()
+      end
   in
   loop ()
 
 (* Read newline-terminated requests from one client until EOF. Requests
    are admitted (or shed) as they arrive; the reader never waits for
-   replies, so a client can pipeline a whole batch. *)
+   replies, so a client can pipeline a whole batch. Control lines (ping
+   and stats) are answered inline, bypassing the queue: a health probe
+   must get through even when the admission queue is full. *)
 let serve_conn t conn =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 4096 in
   let handle_line line =
     let line = String.trim line in
     if line <> "" then begin
-      match Proto.request_of_line line with
+      match Proto.incoming_of_line line with
       | Error e ->
         Atomic.incr t.n_refused;
         send_reply conn
           (Proto.refused ~id:"" (Cs_resil.Error.Invalid_input e))
-      | Ok request ->
+      | Ok (Proto.Control { op; id }) ->
+        let s = server_stats t in
+        (match op with
+        | Proto.Stats_query ->
+          Cs_obs.Obs.counter ~cat:"svc" "server:stats"
+            [ ("queue_depth", float_of_int s.Proto.queue_depth);
+              ("busy", float_of_int s.Proto.busy);
+              ("admitted", float_of_int s.Proto.admitted);
+              ("completed", float_of_int s.Proto.completed);
+              ("shed", float_of_int s.Proto.shed);
+              ("refusals", float_of_int s.Proto.refusals) ]
+        | Proto.Ping -> ());
+        send_line conn (Proto.pong_to_line ~id s)
+      | Ok (Proto.Job_request request) ->
         let job = Job.admit ?default_deadline_ms:t.cfg.default_deadline_ms request in
         Mutex.lock conn.out_mutex;
         conn.pending <- conn.pending + 1;
@@ -184,12 +230,31 @@ let stop t =
        connection wakes it so it can observe the flag. Signals also
        interrupt accept with EINTR, but the self-connect makes [stop]
        reliable when called from another thread or domain. *)
-    match Unix.socket PF_UNIX SOCK_STREAM 0 with
+    match Transport.connect t.bound with
     | exception Unix.Unix_error _ -> ()
-    | fd ->
-      (try Unix.connect fd (ADDR_UNIX t.cfg.socket_path)
-       with Unix.Unix_error _ -> ());
-      (try Unix.close fd with Unix.Unix_error _ -> ())
+    | fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+  end
+
+let abort t =
+  if not (Atomic.exchange t.aborted true) then begin
+    Cs_obs.Obs.instant ~cat:"svc" "server:abort";
+    (* Crash simulation for chaos drills: sever every open connection
+       without replying (in-flight jobs vanish from the clients' point
+       of view, exactly like a SIGKILL), discard queued work, and tear
+       down. [shutdown], not [close]: reader domains blocked in [read]
+       wake immediately, and the fd is closed exactly once by the
+       connection's normal last-edge path. *)
+    Mutex.lock t.conns_mutex;
+    let conns = t.conns in
+    Mutex.unlock t.conns_mutex;
+    List.iter
+      (fun conn ->
+        Mutex.lock conn.out_mutex;
+        (if not conn.conn_closed then
+           try Unix.shutdown conn.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        Mutex.unlock conn.out_mutex)
+      conns;
+    stop t
   end
 
 let run t =
@@ -214,10 +279,14 @@ let run t =
       | fd, _ ->
         if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
         else begin
+          Transport.accepted t.bound fd;
           let conn =
             { fd; out_mutex = Mutex.create (); pending = 0; reader_done = false;
               conn_closed = false }
           in
+          Mutex.lock t.conns_mutex;
+          t.conns <- conn :: t.conns;
+          Mutex.unlock t.conns_mutex;
           let done_flag = Atomic.make false in
           let d =
             Domain.spawn (fun () ->
@@ -233,18 +302,20 @@ let run t =
   in
   Cs_obs.Obs.instant ~cat:"svc"
     ~args:
-      [ ("socket", Cs_obs.Obs.Str t.cfg.socket_path);
+      [ ("addr", Cs_obs.Obs.Str (Transport.to_string t.bound));
         ("workers", Cs_obs.Obs.Int t.cfg.workers);
         ("queue", Cs_obs.Obs.Int t.cfg.queue_capacity) ]
     "server:listen";
   accept_loop ();
   (* Graceful drain: no new connections, finish reading the open ones,
-     answer every admitted job, then tear down. *)
+     answer every admitted job, then tear down. (After [abort] the
+     readers exit on their severed sockets and queued jobs are
+     discarded unanswered instead.) *)
   List.iter (fun (_, d) -> Domain.join d) !readers;
   Squeue.close t.queue;
   List.iter Domain.join workers;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  Transport.cleanup t.bound;
   let s = stats t in
   Cs_obs.Obs.counter ~cat:"svc" "server:drained"
     [ ("admitted", float_of_int s.admitted);

@@ -1,5 +1,6 @@
-(** The batch scheduling service: a Unix-domain-socket server running
-    {!Job}s on a [Domain] worker pool behind a bounded admission queue.
+(** The batch scheduling service: a socket server (Unix-domain or TCP,
+    see {!Transport}) running {!Job}s on a [Domain] worker pool behind a
+    bounded admission queue.
 
     Robustness contract:
 
@@ -7,14 +8,20 @@
       schedule, a typed refusal, or [Overloaded] when the admission
       queue sheds it; the server never queues unboundedly and never
       leaves a client hanging;
+    - control lines (ping / stats, see {!Proto.incoming}) are answered
+      inline, bypassing the queue, so health probes get through even
+      under overload; job replies piggyback the live queue depth for
+      load-aware dispatchers;
     - per-job deadlines are absolute from admission; expired jobs
       refuse instead of running, live ones thread the deadline into the
       anytime driver;
     - {!stop} drains gracefully: no new connections, every admitted job
-      is answered, workers are joined, the socket file is removed. *)
+      is answered, workers are joined, a Unix socket file is removed;
+    - {!abort} simulates a crash for chaos drills: connections are
+      severed without replies and queued work is discarded. *)
 
 type config = {
-  socket_path : string;
+  listen_addr : Transport.addr;
   workers : int;  (** worker domains executing jobs *)
   queue_capacity : int;  (** admission queue bound; overflow sheds *)
   default_deadline_ms : float option;  (** applied when a job carries none *)
@@ -29,8 +36,10 @@ val config :
   ?workers:int -> ?queue_capacity:int -> ?default_deadline_ms:float ->
   ?pass_budget_s:float -> ?chaos_slow_ms:float -> ?retry:Retry.policy ->
   string -> config
-(** [config socket_path] with 2 workers, a 16-job queue, no deadlines,
-    no chaos, no retry. *)
+(** [config addr] with 2 workers, a 16-job queue, no deadlines, no
+    chaos, no retry. [addr] uses the {!Transport} grammar ([host:port]
+    for TCP, otherwise a Unix socket path); raises [Invalid_argument]
+    when it parses to neither. *)
 
 type stats = {
   admitted : int;
@@ -42,9 +51,15 @@ type stats = {
 type t
 
 val create : config -> t
-(** Bind and listen on [socket_path] (an existing socket file is
-    replaced). Raises [Unix.Unix_error] when the path is unusable and
-    [Invalid_argument] on a non-positive worker count. *)
+(** Bind and listen (an existing Unix socket file is replaced; TCP
+    listeners set [SO_REUSEADDR]). Raises [Unix.Unix_error] when the
+    address is unusable and [Invalid_argument] on a non-positive worker
+    count. *)
+
+val address : t -> Transport.addr
+(** The concrete listening address — for TCP port 0, the actual
+    kernel-assigned port, so in-process tests can serve on an ephemeral
+    port. *)
 
 val run : t -> unit
 (** Accept and serve until {!stop}, then drain and tear down. Blocks;
@@ -56,4 +71,14 @@ val stop : t -> unit
     handler. Idempotent; wakes a blocked accept via a throwaway
     self-connection. *)
 
+val abort : t -> unit
+(** Crash the server from the clients' point of view: sever every open
+    connection without replying (like a SIGKILL would), discard queued
+    jobs, and tear down. In-flight requests are lost — which is the
+    point: failover layers above must detect and replay them. The
+    chaos-drill counterpart of {!stop}. Idempotent. *)
+
 val stats : t -> stats
+
+val server_stats : t -> Proto.server_stats
+(** The live counters served by the stats control verb. *)

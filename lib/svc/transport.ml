@@ -1,0 +1,90 @@
+type addr =
+  | Unix_path of string
+  | Tcp of { host : string; port : int }
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Error "empty address"
+  else
+    match String.rindex_opt s ':' with
+    | None -> Ok (Unix_path s)
+    | Some i ->
+      let host = String.sub s 0 i in
+      let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt port_s with
+      | Some port when 0 <= port && port <= 65535 -> Ok (Tcp { host; port })
+      | Some port -> Error (Printf.sprintf "port %d out of range in %S" port s)
+      | None ->
+        (* a colon without a numeric port is not TCP; it is also not a
+           sane socket path, so reject instead of guessing *)
+        Error (Printf.sprintf "bad address %S (want host:port or a socket path)" s))
+
+let parse_exn s =
+  match parse s with Ok a -> a | Error msg -> invalid_arg ("Transport.parse: " ^ msg)
+
+let to_string = function
+  | Unix_path p -> p
+  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+
+let inet_addr_of_host ~for_listen host =
+  if host = "" then if for_listen then Unix.inet_addr_any else Unix.inet_addr_loopback
+  else
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ ->
+      (match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> raise (Unix.Unix_error (EHOSTUNREACH, "gethostbyname", host))
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found -> raise (Unix.Unix_error (EHOSTUNREACH, "gethostbyname", host)))
+
+let listen ?(backlog = 64) addr =
+  match addr with
+  | Unix_path path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (ADDR_UNIX path);
+       Unix.listen fd backlog
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    fd
+  | Tcp { host; port } ->
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd SO_REUSEADDR true;
+       Unix.bind fd (ADDR_INET (inet_addr_of_host ~for_listen:true host, port));
+       Unix.listen fd backlog
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    fd
+
+let bound_addr fd addr =
+  match addr with
+  | Unix_path _ -> addr
+  | Tcp { host; _ } ->
+    (match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) ->
+      Tcp { host = (if host = "" then "127.0.0.1" else host); port }
+    | _ -> addr)
+
+let connect addr =
+  match addr with
+  | Unix_path path ->
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    (try Unix.connect fd (ADDR_UNIX path)
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    fd
+  | Tcp { host; port } ->
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (ADDR_INET (inet_addr_of_host ~for_listen:false host, port));
+       Unix.setsockopt fd TCP_NODELAY true
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    fd
+
+let accepted addr fd =
+  match addr with
+  | Unix_path _ -> ()
+  | Tcp _ -> (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ())
+
+let cleanup = function
+  | Unix_path path -> (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ()

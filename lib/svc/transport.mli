@@ -1,0 +1,52 @@
+(** Stream transports for the batch service and the gateway fleet.
+
+    One address grammar is shared by [csched serve], [csched submit],
+    and [csched gateway]:
+
+    {v
+      host:port      TCP (e.g. 127.0.0.1:7100, :7100 = all interfaces)
+      anything else  Unix-domain socket path (e.g. /tmp/csched.sock)
+    v}
+
+    TCP listeners set [SO_REUSEADDR] so a restarted shard can rebind
+    immediately; TCP streams set [TCP_NODELAY] so one-line requests and
+    replies are not Nagle-delayed — the protocol is strictly
+    line-per-message and latency-bound, never throughput-bound. *)
+
+type addr =
+  | Unix_path of string
+  | Tcp of { host : string; port : int }
+
+val parse : string -> (addr, string) result
+(** [host:port] (port in 0..65535; empty host means all interfaces for
+    listeners and loopback for connectors) is TCP, anything else is a
+    Unix socket path. The empty string is an error. *)
+
+val parse_exn : string -> addr
+(** Like {!parse} but raises [Invalid_argument]. *)
+
+val to_string : addr -> string
+(** Round-trips through {!parse}. *)
+
+val listen : ?backlog:int -> addr -> Unix.file_descr
+(** Bind and listen. An existing Unix socket file is replaced; TCP
+    sockets get [SO_REUSEADDR]. Raises [Unix.Unix_error] when the
+    address is unusable. *)
+
+val bound_addr : Unix.file_descr -> addr -> addr
+(** The concrete address of a listening socket: resolves TCP port 0 to
+    the kernel-assigned port so tests and benches can listen on an
+    ephemeral port and learn where to connect. *)
+
+val connect : addr -> Unix.file_descr
+(** Connect a stream socket ([TCP_NODELAY] on TCP). Raises
+    [Unix.Unix_error] when the peer is unreachable — a dead shard fails
+    fast instead of hanging. *)
+
+val accepted : addr -> Unix.file_descr -> unit
+(** Per-connection socket options for a freshly accepted fd
+    ([TCP_NODELAY] on TCP listeners; no-op on Unix sockets). *)
+
+val cleanup : addr -> unit
+(** Remove a Unix socket file after the listener is closed; no-op for
+    TCP. Never raises. *)

@@ -1,0 +1,475 @@
+(* Gateway fleet tests: consistent-hash rebalance bounds, LRU cache
+   accounting, health eviction/re-admission, dispatch policies, canonical
+   scenario hashing (collision sweep + round-trip stability + repro
+   fingerprint), and an in-process gateway + 2 shards over loopback TCP
+   with a mid-batch shard kill — zero lost, zero duplicated jobs. *)
+
+module Ring = Cs_gateway.Ring
+module Cache = Cs_gateway.Cache
+module Health = Cs_gateway.Health
+module Policy = Cs_gateway.Policy
+module Gateway = Cs_gateway.Gateway
+module Proto = Cs_svc.Proto
+module Transport = Cs_svc.Transport
+
+(* --- consistent-hash ring ------------------------------------------ *)
+
+let key_of i = Cs_core.Scenario.fnv1a (Printf.sprintf "key-%d" i)
+
+let test_ring_route_stable () =
+  let ring = Ring.make [ "a"; "b"; "c"; "d" ] in
+  Alcotest.(check (list string)) "shards" [ "a"; "b"; "c"; "d" ] (Ring.shards ring);
+  for i = 0 to 99 do
+    let k = key_of i in
+    (match Ring.candidates ring k with
+    | first :: rest ->
+      Alcotest.(check (option string)) "route = first candidate" (Some first)
+        (Ring.route ring k);
+      Alcotest.(check int) "candidates cover every shard" 3 (List.length rest)
+    | [] -> Alcotest.fail "no candidates");
+    Alcotest.(check (option string)) "routing is deterministic"
+      (Ring.route ring k) (Ring.route ring k)
+  done
+
+let test_ring_rebalance_bound () =
+  let n_keys = 2000 in
+  let shards = [ "a"; "b"; "c"; "d" ] in
+  let ring = Ring.make shards in
+  let before = Array.init n_keys (fun i -> Option.get (Ring.route ring (key_of i))) in
+  let removed = "c" in
+  let ring' = Ring.remove ring removed in
+  let moved = ref 0 and owned = ref 0 in
+  Array.iteri
+    (fun i owner ->
+      let owner' = Option.get (Ring.route ring' (key_of i)) in
+      if owner = removed then begin
+        incr owned;
+        Alcotest.(check bool) "moved key lands on a survivor" true (owner' <> removed)
+      end
+      else
+        (* the defining property: only the dead shard's keys move *)
+        Alcotest.(check string) "surviving keys keep their shard" owner owner';
+      if owner' <> owner then incr moved)
+    before;
+  Alcotest.(check int) "exactly the dead shard's keys move" !owned !moved;
+  let share = float_of_int !moved /. float_of_int n_keys in
+  Alcotest.(check bool)
+    (Printf.sprintf "moved share %.3f within 2x of K/N" share)
+    true
+    (share > 0.05 && share < 2.0 /. float_of_int (List.length shards))
+
+(* --- LRU cache ----------------------------------------------------- *)
+
+let test_cache_lru_accounting () =
+  let c = Cache.create ~capacity:2 in
+  Cache.put c "a" 1;
+  Cache.put c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Cache.find c "a");
+  Cache.put c "c" 3;
+  (* "b" was least recently used ("a" was promoted by the hit) *)
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Cache.find c "c");
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 3 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check int) "size" 2 s.Cache.size
+
+(* --- health -------------------------------------------------------- *)
+
+let test_health_evict_and_readmit () =
+  let backoff =
+    { Cs_svc.Retry.default with base_delay_s = 0.05; multiplier = 2.0; jitter = 0.0 }
+  in
+  let h = Health.create ~fail_threshold:2 ~backoff [ "s1"; "s2" ] in
+  Alcotest.(check bool) "starts usable" true (Health.usable h "s1");
+  Health.note_failure h "s1";
+  (match Health.state h "s1" with
+  | Health.Suspect 1 -> ()
+  | _ -> Alcotest.fail "one failure should be Suspect 1");
+  Alcotest.(check bool) "suspect still usable" true (Health.usable h "s1");
+  Health.note_failure h "s1";
+  (match Health.state h "s1" with
+  | Health.Dead _ -> ()
+  | _ -> Alcotest.fail "threshold failures should bury the shard");
+  Alcotest.(check bool) "dead not usable" false (Health.usable h "s1");
+  Alcotest.(check bool) "no probe before backoff" false (Health.probe_due h "s1");
+  Unix.sleepf 0.06;
+  Alcotest.(check bool) "probe due after backoff" true (Health.probe_due h "s1");
+  Alcotest.(check bool) "probation slot handed out once" false (Health.probe_due h "s1");
+  Health.note_failure h "s1";
+  (match Health.state h "s1" with
+  | Health.Dead { attempt = 2; _ } -> ()
+  | _ -> Alcotest.fail "failed probe should take the next backoff step");
+  Unix.sleepf 0.11;
+  Alcotest.(check bool) "second probe due" true (Health.probe_due h "s1");
+  Health.note_ok h "s1";
+  Alcotest.(check bool) "re-admitted" true (Health.usable h "s1");
+  Alcotest.(check (list string)) "alive filters" [ "s1"; "s2" ]
+    (Health.alive h [ "s1"; "s2" ]);
+  Alcotest.(check bool) "unknown shards read healthy" true (Health.usable h "s3")
+
+(* --- dispatch policy ----------------------------------------------- *)
+
+let test_policy_orderings () =
+  let ring = Ring.make [ "a"; "b"; "c" ] in
+  let key = key_of 7 in
+  let views depths_ewmas =
+    List.map
+      (fun (name, queue_depth, ewma_ms) -> { Policy.name; queue_depth; ewma_ms })
+      depths_ewmas
+  in
+  let all = views [ ("a", 5, 100.0); ("b", 0, 100.0); ("c", 2, 100.0) ] in
+  Alcotest.(check (list string)) "hash = ring order"
+    (Ring.candidates ring key)
+    (Policy.order Policy.Hash ~ring ~key ~deadline_ms:None all);
+  (match Policy.order Policy.Least_loaded ~ring ~key ~deadline_ms:None all with
+  | first :: _ -> Alcotest.(check string) "least-loaded picks empty queue" "b" first
+  | [] -> Alcotest.fail "no candidates");
+  (* WCT: a fast shard with a short queue beats a slow shard, and a
+     deadline deprioritizes shards predicted to miss it. *)
+  let skewed = views [ ("a", 0, 1000.0); ("b", 2, 10.0); ("c", 9, 10.0) ] in
+  (match Policy.order Policy.Weighted_completion_time ~ring ~key ~deadline_ms:(Some 50.0) skewed with
+  | first :: _ -> Alcotest.(check string) "wct prefers predicted-to-make shard" "b" first
+  | [] -> Alcotest.fail "no candidates");
+  Alcotest.(check int) "policies permute, never drop" 3
+    (List.length (Policy.order Policy.Weighted_completion_time ~ring ~key ~deadline_ms:None all))
+
+(* --- canonical scenario hash --------------------------------------- *)
+
+let scenario_hash (sc : Cs_check.Scenario.t) =
+  Cs_core.Scenario.canonical_hash ~faults:sc.Cs_check.Scenario.faults
+    ~spec:(Cs_check.Scenario.spec_to_string sc.Cs_check.Scenario.spec)
+    ~machine:sc.Cs_check.Scenario.machine sc.Cs_check.Scenario.region
+
+let scenario_form (sc : Cs_check.Scenario.t) =
+  Cs_core.Scenario.canonical_form ~faults:sc.Cs_check.Scenario.faults
+    ~spec:(Cs_check.Scenario.spec_to_string sc.Cs_check.Scenario.spec)
+    ~machine:sc.Cs_check.Scenario.machine sc.Cs_check.Scenario.region
+
+let test_hash_collision_sweep () =
+  (* Sweep the fuzz generator's seed space: distinct canonical forms must
+     hash distinctly. (Equal forms — the generator's space is finite —
+     are legitimately equal scenarios, not collisions.) *)
+  let seen = Hashtbl.create 256 in
+  let distinct = ref 0 in
+  for seed = 0 to 149 do
+    let sc = Cs_check.Gen.case ~seed in
+    let form = scenario_form sc in
+    let h = scenario_hash sc in
+    match Hashtbl.find_opt seen h with
+    | None ->
+      Hashtbl.replace seen h form;
+      incr distinct
+    | Some prior ->
+      if not (String.equal prior form) then
+        Alcotest.failf "hash collision at seed %d: %Lx" seed h
+  done;
+  Alcotest.(check bool) "sweep exercised many distinct scenarios" true (!distinct > 100)
+
+let test_hash_roundtrip_stable () =
+  (* The hash must survive serialize/parse: Textual.of_string renumbers
+     registers, so this exercises the renaming-invariant canonical
+     form. *)
+  for seed = 0 to 19 do
+    let sc = Cs_check.Gen.case ~seed in
+    let region = sc.Cs_check.Scenario.region in
+    match Cs_ddg.Textual.of_string (Cs_ddg.Textual.to_string region) with
+    | Error e -> Alcotest.failf "seed %d: reparse failed: %s" seed e
+    | Ok region' ->
+      let machine = sc.Cs_check.Scenario.machine in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d hash stable across round trip" seed)
+        (Cs_core.Scenario.hex (Cs_core.Scenario.canonical_hash ~machine region))
+        (Cs_core.Scenario.hex (Cs_core.Scenario.canonical_hash ~machine region'))
+  done
+
+let test_repro_fingerprint () =
+  let sc = Cs_check.Gen.case ~seed:5 in
+  let t = { Cs_check.Repro.scenario = sc; check = Some "validator"; note = None } in
+  let text = Cs_check.Repro.to_string t in
+  Alcotest.(check bool) "fingerprint header present" true
+    (List.exists
+       (fun l -> String.length l > 12 && String.sub l 0 12 = "fingerprint ")
+       (String.split_on_char '\n' text));
+  (match Cs_check.Repro.of_string text with
+  | Ok t' ->
+    Alcotest.(check string) "round-trips with fingerprint"
+      (Cs_check.Repro.fingerprint sc)
+      (Cs_check.Repro.fingerprint t'.Cs_check.Repro.scenario)
+  | Error e -> Alcotest.failf "round trip failed: %s" e);
+  (* Tamper with a hashed field: the load must be rejected. *)
+  let tampered =
+    String.concat "\n"
+      (List.map
+         (fun l ->
+           if String.length l > 5 && String.sub l 0 5 = "seed " then "seed 424242"
+           else l)
+         (String.split_on_char '\n' text))
+  in
+  match Cs_check.Repro.of_string tampered with
+  | Error e ->
+    Alcotest.(check bool) "error names the fingerprint" true
+      (String.length e >= 11 && String.sub e 0 11 = "fingerprint")
+  | Ok _ -> Alcotest.fail "tampered repro must be rejected"
+
+(* --- transport + pong codecs --------------------------------------- *)
+
+let test_transport_parse () =
+  (match Transport.parse "127.0.0.1:7100" with
+  | Ok (Transport.Tcp { host = "127.0.0.1"; port = 7100 }) -> ()
+  | _ -> Alcotest.fail "host:port should parse as TCP");
+  (match Transport.parse ":7100" with
+  | Ok (Transport.Tcp { host = ""; port = 7100 }) -> ()
+  | _ -> Alcotest.fail ":port should parse as TCP on all interfaces");
+  (match Transport.parse "/tmp/x.sock" with
+  | Ok (Transport.Unix_path "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "path should parse as Unix socket");
+  (match Transport.parse "host:notaport" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric port must error");
+  (match Transport.parse "host:70000" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range port must error");
+  (match Transport.parse "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty address must error");
+  List.iter
+    (fun s ->
+      match Transport.parse s with
+      | Ok addr -> Alcotest.(check string) "to_string round trip" s (Transport.to_string addr)
+      | Error e -> Alcotest.failf "parse %S: %s" s e)
+    [ "127.0.0.1:7100"; "/tmp/csched.sock" ]
+
+let test_pong_roundtrip () =
+  let s =
+    { Proto.queue_depth = 4; workers = 2; busy = 1; admitted = 10; completed = 7;
+      shed = 2; refusals = 1;
+      extra = [ ("cache_hits", 5.0); ("shards_alive", 2.0) ] }
+  in
+  match Proto.pong_of_line (Proto.pong_to_line ~id:"probe" s) with
+  | Error e -> Alcotest.failf "pong round trip failed: %s" e
+  | Ok (id, s') ->
+    Alcotest.(check string) "id" "probe" id;
+    Alcotest.(check int) "queue_depth" s.Proto.queue_depth s'.Proto.queue_depth;
+    Alcotest.(check int) "busy" s.Proto.busy s'.Proto.busy;
+    let sorted l = List.sort compare l in
+    Alcotest.(check (list (pair string (float 0.0)))) "extra round-trips"
+      (sorted s.Proto.extra) (sorted s'.Proto.extra)
+
+(* --- in-process fleet ---------------------------------------------- *)
+
+let with_server ?chaos_slow_ms ?(workers = 2) spec f =
+  let cfg = Cs_svc.Server.config ~workers ?chaos_slow_ms spec in
+  let server = Cs_svc.Server.create cfg in
+  let d = Domain.spawn (fun () -> Cs_svc.Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Cs_svc.Server.stop server;
+      Domain.join d)
+    (fun () -> f server)
+
+let with_gateway cfg f =
+  let gw = Gateway.create cfg in
+  let d = Domain.spawn (fun () -> Gateway.run gw) in
+  Fun.protect
+    ~finally:(fun () ->
+      Gateway.stop gw;
+      Domain.join d)
+    (fun () -> f gw)
+
+let shard_spec server = Transport.to_string (Cs_svc.Server.address server)
+
+let test_gateway_cache_accounting () =
+  with_server "127.0.0.1:0" @@ fun s1 ->
+  let cfg =
+    Gateway.config ~cache_capacity:16 ~forwarders:2 ~probe_period_s:0.2
+      ~shards:[ shard_spec s1 ] "127.0.0.1:0"
+  in
+  with_gateway cfg @@ fun gw ->
+  let addr = Gateway.address gw in
+  let jobs =
+    List.init 3 (fun i ->
+        Proto.request ~id:(Printf.sprintf "w%d" i) ~machine:"raw4" ~seed:i "fir")
+  in
+  (match Cs_svc.Client.submit ~timeout_s:60.0 ~addr jobs with
+  | Error e -> Alcotest.failf "warm wave failed: %s" e
+  | Ok replies ->
+    Alcotest.(check int) "warm wave answered" 3 (List.length replies);
+    List.iter
+      (fun r -> Alcotest.(check bool) "warm wave not cached" false r.Proto.cached)
+      replies);
+  (match Cs_svc.Client.submit ~timeout_s:60.0 ~addr jobs with
+  | Error e -> Alcotest.failf "repeat wave failed: %s" e
+  | Ok replies ->
+    Alcotest.(check int) "repeat wave answered" 3 (List.length replies);
+    List.iter
+      (fun r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s served from cache" r.Proto.reply_id)
+          true r.Proto.cached;
+        match r.Proto.verdict with
+        | Proto.Scheduled s -> Alcotest.(check bool) "real schedule" true (s.cycles > 0)
+        | Proto.Refused e -> Alcotest.failf "cached job refused: %s" e.message)
+      replies);
+  let st = Gateway.stats gw in
+  Alcotest.(check int) "3 hits" 3 st.Gateway.cache_hits;
+  Alcotest.(check int) "3 misses" 3 st.Gateway.cache_misses;
+  Alcotest.(check int) "only the misses hit a shard" 3 st.Gateway.forwarded;
+  (* refusals are never cached: an impossible deadline on a fresh
+     scenario misses twice and leaves the cache untouched *)
+  let doomed i =
+    [ Proto.request ~id:(Printf.sprintf "d%d" i) ~machine:"raw4" ~seed:77
+        ~deadline_ms:0.0 "fir" ]
+  in
+  (match Cs_svc.Client.submit ~timeout_s:60.0 ~addr (doomed 0) with
+  | Ok [ r ] -> (
+    match r.Proto.verdict with
+    | Proto.Refused e -> Alcotest.(check string) "typed refusal" "deadline-exceeded" e.kind
+    | _ -> Alcotest.fail "impossible deadline must refuse")
+  | Ok _ | Error _ -> Alcotest.fail "doomed job must get one reply");
+  (match Cs_svc.Client.submit ~timeout_s:60.0 ~addr (doomed 1) with
+  | Ok [ r ] -> Alcotest.(check bool) "refusal was not cached" false r.Proto.cached
+  | Ok _ | Error _ -> Alcotest.fail "doomed job must get one reply");
+  let st = Gateway.stats gw in
+  Alcotest.(check int) "refusal wave added two misses" 5 st.Gateway.cache_misses;
+  Alcotest.(check int) "refusal wave added no hits" 3 st.Gateway.cache_hits
+
+let test_gateway_failover_exactly_once () =
+  (* 2 shards on loopback TCP, every job slowed so the batch is still in
+     flight when one shard is SIGKILL-equivalently severed mid-batch:
+     every job must be answered exactly once, the in-flight jobs of the
+     dead shard replayed on the survivor. *)
+  with_server ~chaos_slow_ms:250.0 "127.0.0.1:0" @@ fun s1 ->
+  with_server ~chaos_slow_ms:250.0 "127.0.0.1:0" @@ fun s2 ->
+  let cfg =
+    Gateway.config ~forwarders:4 ~probe_period_s:0.15
+      ~shards:[ shard_spec s1; shard_spec s2 ]
+      "127.0.0.1:0"
+  in
+  with_gateway cfg @@ fun gw ->
+  let n_jobs = 8 in
+  let jobs =
+    List.init n_jobs (fun i ->
+        Proto.request ~id:(Printf.sprintf "job%d" i) ~machine:"raw4" ~seed:i "fir")
+  in
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.12;
+        (* kill whichever shard actually holds jobs *)
+        let victim =
+          if (Cs_svc.Server.stats s1).Cs_svc.Server.admitted > 0 then s1 else s2
+        in
+        Cs_svc.Server.abort victim;
+        Transport.to_string (Cs_svc.Server.address victim))
+  in
+  let replies =
+    match Cs_svc.Client.submit ~timeout_s:120.0 ~addr:(Gateway.address gw) jobs with
+    | Error e -> Alcotest.failf "submit through gateway failed: %s" e
+    | Ok replies -> replies
+  in
+  let victim_name = Domain.join killer in
+  Alcotest.(check int) "zero lost jobs" n_jobs (List.length replies);
+  List.iter
+    (fun (job : Proto.request) ->
+      let matching =
+        List.filter (fun r -> r.Proto.reply_id = job.Proto.id) replies
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s answered exactly once" job.Proto.id)
+        1 (List.length matching);
+      match (List.hd matching).Proto.verdict with
+      | Proto.Scheduled s ->
+        Alcotest.(check bool) "replayed job got a real schedule" true (s.cycles > 0)
+      | Proto.Refused e ->
+        Alcotest.failf "%s refused after failover: %s %s" job.Proto.id e.kind e.message)
+    jobs;
+  let st = Gateway.stats gw in
+  Alcotest.(check bool)
+    (Printf.sprintf "in-flight jobs were replayed (%d)" st.Gateway.replayed)
+    true (st.Gateway.replayed >= 1);
+  (match List.assoc_opt victim_name (Gateway.shard_states gw) with
+  | Some Health.Healthy -> Alcotest.fail "dead shard still marked healthy"
+  | Some _ -> ()
+  | None -> Alcotest.fail "victim missing from health table");
+  (* the fleet keeps serving on the survivor *)
+  match
+    Cs_svc.Client.submit ~timeout_s:60.0 ~addr:(Gateway.address gw)
+      [ Proto.request ~id:"after" ~machine:"raw4" ~seed:99 "fir" ]
+  with
+  | Ok [ r ] -> (
+    match r.Proto.verdict with
+    | Proto.Scheduled _ -> ()
+    | Proto.Refused e -> Alcotest.failf "post-failover job refused: %s" e.message)
+  | Ok rs -> Alcotest.failf "expected one reply, got %d" (List.length rs)
+  | Error e -> Alcotest.failf "post-failover submit failed: %s" e
+
+let test_gateway_stats_verb () =
+  with_server "127.0.0.1:0" @@ fun s1 ->
+  let cfg = Gateway.config ~shards:[ shard_spec s1 ] "127.0.0.1:0" in
+  with_gateway cfg @@ fun gw ->
+  (* shard-level stats verb *)
+  (match Cs_svc.Client.fetch_stats ~addr:(Cs_svc.Server.address s1) () with
+  | Error e -> Alcotest.failf "shard stats failed: %s" e
+  | Ok s ->
+    Alcotest.(check int) "shard workers" 2 s.Proto.workers;
+    Alcotest.(check int) "shard queue empty" 0 s.Proto.queue_depth);
+  (* gateway-level stats verb carries fleet counters *)
+  (match
+     Cs_svc.Client.submit ~timeout_s:60.0 ~addr:(Gateway.address gw)
+       [ Proto.request ~id:"one" ~machine:"raw4" "fir" ]
+   with
+  | Ok [ _ ] -> ()
+  | Ok rs -> Alcotest.failf "expected one reply, got %d" (List.length rs)
+  | Error e -> Alcotest.failf "submit failed: %s" e);
+  match Cs_svc.Client.fetch_stats ~addr:(Gateway.address gw) () with
+  | Error e -> Alcotest.failf "gateway stats failed: %s" e
+  | Ok s ->
+    Alcotest.(check int) "gateway completed" 1 s.Proto.completed;
+    let extra k = List.assoc_opt k s.Proto.extra in
+    Alcotest.(check (option (float 0.0))) "shards_total" (Some 1.0) (extra "shards_total");
+    Alcotest.(check (option (float 0.0))) "shards_alive" (Some 1.0) (extra "shards_alive");
+    Alcotest.(check (option (float 0.0))) "forwarded" (Some 1.0) (extra "forwarded");
+    Alcotest.(check bool) "cache counters present" true
+      (extra "cache_hits" <> None && extra "cache_misses" <> None)
+
+let () =
+  (* aborted shards close sockets mid-write; surface that as EPIPE, not
+     a process kill *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Alcotest.run "gateway"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "route stable + candidates" `Quick test_ring_route_stable;
+          Alcotest.test_case "rebalance bound on shard loss" `Quick
+            test_ring_rebalance_bound;
+        ] );
+      ("cache", [ Alcotest.test_case "lru accounting" `Quick test_cache_lru_accounting ]);
+      ( "health",
+        [ Alcotest.test_case "evict + backoff readmit" `Quick test_health_evict_and_readmit ]
+      );
+      ("policy", [ Alcotest.test_case "orderings" `Quick test_policy_orderings ]);
+      ( "scenario-hash",
+        [
+          Alcotest.test_case "collision sweep over fuzz seeds" `Slow
+            test_hash_collision_sweep;
+          Alcotest.test_case "stable across textual round trip" `Quick
+            test_hash_roundtrip_stable;
+          Alcotest.test_case "repro fingerprint" `Quick test_repro_fingerprint;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "transport parse" `Quick test_transport_parse;
+          Alcotest.test_case "pong roundtrip" `Quick test_pong_roundtrip;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "cache hit/miss accounting" `Slow
+            test_gateway_cache_accounting;
+          Alcotest.test_case "mid-batch shard kill: exactly once" `Slow
+            test_gateway_failover_exactly_once;
+          Alcotest.test_case "stats verb" `Slow test_gateway_stats_verb;
+        ] );
+    ]

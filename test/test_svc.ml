@@ -349,7 +349,8 @@ let test_proto_reply_roundtrip () =
       verdict =
         Cs_svc.Proto.Scheduled
           { cycles = 42; transfers = 7; rung = "requested"; timed_out = true;
-            quarantined = 1 } }
+            quarantined = 1 };
+      queue_depth = Some 3; cached = true }
   in
   (match Cs_svc.Proto.reply_of_line (Cs_svc.Proto.reply_to_line ok) with
   | Ok r when r = ok -> ()
@@ -424,7 +425,10 @@ let test_serve_mixed_batch () =
             Cs_svc.Proto.request ~id:"late" ~deadline_ms:0.0 "mxm";
             Cs_svc.Proto.request ~id:"bogus" "no-such-bench" ]
         in
-        match Cs_svc.Client.submit ~timeout_s:60.0 ~socket_path:socket jobs with
+        match
+          Cs_svc.Client.submit ~timeout_s:60.0
+            ~addr:(Cs_svc.Transport.parse_exn socket) jobs
+        with
         | Error e -> Alcotest.failf "submit failed: %s" e
         | Ok replies -> replies)
   in
@@ -461,7 +465,10 @@ let test_serve_sheds_when_overloaded () =
               Cs_svc.Proto.request ~id:(Printf.sprintf "j%d" i) ~machine:"raw4"
                 ~deadline_ms:30_000.0 "fir")
         in
-        match Cs_svc.Client.submit ~timeout_s:60.0 ~socket_path:socket jobs with
+        match
+          Cs_svc.Client.submit ~timeout_s:60.0
+            ~addr:(Cs_svc.Transport.parse_exn socket) jobs
+        with
         | Error e -> Alcotest.failf "submit failed: %s" e
         | Ok replies -> (replies, Cs_svc.Server.stats server))
   in
@@ -485,7 +492,7 @@ let test_serve_stop_is_clean_and_idempotent () =
   with_server cfg (fun server ->
       (* submit one job so drain has something to finish *)
       (match
-         Cs_svc.Client.submit ~timeout_s:60.0 ~socket_path:socket
+         Cs_svc.Client.submit ~timeout_s:60.0 ~addr:(Cs_svc.Transport.parse_exn socket)
            [ Cs_svc.Proto.request ~id:"x" ~machine:"raw4" "life" ]
        with
       | Ok [ _ ] -> ()
