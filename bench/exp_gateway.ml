@@ -24,9 +24,8 @@ type class_stats = { n : int; p50 : float; p99 : float }
 
 let class_stats replies =
   let lat = List.map (fun r -> r.Cs_svc.Proto.elapsed_ms) replies in
-  { n = List.length replies;
-    p50 = Cs_util.Stats.percentile 50.0 lat;
-    p99 = Cs_util.Stats.percentile 99.0 lat }
+  let q = Report.latency_quantiles lat in
+  { n = List.length replies; p50 = q 50.0; p99 = q 99.0 }
 
 let with_server ?chaos_slow_ms () =
   let cfg = Cs_svc.Server.config ~workers:2 ?chaos_slow_ms "127.0.0.1:0" in

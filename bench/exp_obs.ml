@@ -1,0 +1,179 @@
+(* Observability overhead experiment (extension): what does fleet
+   telemetry cost? Three measurements:
+
+   1. Sink throughput — events/second the domain-sharded Obs sink
+      sustains for a representative instant/counter/span mix, drained
+      periodically the way a serving process drains on export.
+   2. Metrics hot path — counter-increment + histogram-observe ops/sec
+      on one domain, and an exactness check under multi-domain
+      contention (the registry must not lose counts).
+   3. End-to-end overhead — real scheduling jobs run through the
+      service Job runner bare, then wrapped in the exact telemetry the
+      server hot path adds (trace context, queue/run spans, latency and
+      wait histograms, counters, deadline SLO). Reported as % slowdown,
+      median of [trials]; the acceptance guard is <= 3%.
+
+   Machine-readable output lands in BENCH_obs.json (written atomically;
+   CI parses it). *)
+
+module Metrics = Cs_obs.Metrics
+
+let trials = 5
+let sink_events = 120_000
+let metric_ops = 1_000_000
+let overhead_jobs = 12
+let guard_pct = 3.0
+
+let median xs =
+  let a = List.sort compare xs in
+  List.nth a (List.length a / 2)
+
+(* --- 1. sink throughput --- *)
+
+let sink_throughput () =
+  Cs_obs.Obs.reset ();
+  Cs_obs.Obs.enable ();
+  let t0 = Cs_obs.Clock.now () in
+  let drained = ref 0 in
+  for i = 1 to sink_events / 3 do
+    Cs_obs.Obs.instant ~cat:"bench" "tick";
+    Cs_obs.Obs.counter ~cat:"bench" "load" [ ("depth", float_of_int (i land 63)) ];
+    Cs_obs.Obs.span ~cat:"bench" "work" (fun () -> ());
+    (* Drain the way a server does on export, staying under capacity. *)
+    if i mod 20_000 = 0 then drained := !drained + List.length (Cs_obs.Obs.events ())
+  done;
+  drained := !drained + List.length (Cs_obs.Obs.events ());
+  let dt = Cs_obs.Clock.now () -. t0 in
+  let dropped = Cs_obs.Obs.dropped () in
+  Cs_obs.Obs.disable ();
+  Cs_obs.Obs.reset ();
+  let rate = float_of_int !drained /. dt in
+  Printf.printf "sink: %d events in %.3f s = %.0f events/s (%d dropped)\n"
+    !drained dt rate dropped;
+  (rate, dropped)
+
+(* --- 2. metrics hot path --- *)
+
+let metrics_throughput () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "bench_ops_total" in
+  let h = Metrics.histogram reg "bench_latency_ms" in
+  let t0 = Cs_obs.Clock.now () in
+  for i = 1 to metric_ops / 2 do
+    Metrics.incr c;
+    Metrics.observe h (float_of_int (i land 1023))
+  done;
+  let dt = Cs_obs.Clock.now () -. t0 in
+  let rate = float_of_int metric_ops /. dt in
+  Printf.printf "metrics: %d ops in %.3f s = %.0f ops/s\n" metric_ops dt rate;
+  (* Exactness under contention: four domains hammer one counter. *)
+  let reg2 = Metrics.create () in
+  let c2 = Metrics.counter reg2 "bench_contended_total" in
+  let per_domain = 100_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr c2
+            done))
+  in
+  List.iter Domain.join domains;
+  let exact = Metrics.counter_value c2 = 4 * per_domain in
+  Printf.printf "contended counter: %d (exact: %b)\n" (Metrics.counter_value c2) exact;
+  (rate, exact)
+
+(* --- 3. end-to-end overhead --- *)
+
+let make_requests () =
+  List.init overhead_jobs (fun i ->
+      Cs_svc.Proto.request
+        ~id:(Printf.sprintf "obs-%d" i)
+        ~machine:"raw4" ~seed:i "fir")
+
+let run_plain reqs =
+  let t0 = Cs_obs.Clock.now () in
+  List.iter (fun r -> ignore (Cs_svc.Job.run (Cs_svc.Job.admit r))) reqs;
+  1000.0 *. (Cs_obs.Clock.now () -. t0)
+
+(* Mirror the server worker's telemetry around each job: trace context
+   from the request, queue + run spans, wait/latency observations,
+   counters, and the deadline SLO window. *)
+let run_instrumented meters reqs =
+  let m : Cs_svc.Meters.t = meters in
+  Cs_obs.Obs.reset ();
+  Cs_obs.Obs.enable ();
+  let t0 = Cs_obs.Clock.now () in
+  List.iter
+    (fun r ->
+      let r = Cs_svc.Proto.with_trace ~ctx:(Cs_obs.Tracectx.root ()) r in
+      let job = Cs_svc.Job.admit r in
+      Metrics.incr m.Cs_svc.Meters.admitted;
+      let ctx_args =
+        match Cs_svc.Proto.trace_of_request r with
+        | Some ctx -> Cs_obs.Tracectx.args ctx
+        | None -> []
+      in
+      let job_args = ("id", Cs_obs.Obs.Str r.Cs_svc.Proto.id) :: ctx_args in
+      let start = Cs_obs.Clock.now () in
+      Metrics.observe m.Cs_svc.Meters.queue_wait_ms 0.01;
+      Cs_obs.Obs.complete ~cat:"svc" ~args:job_args "job:queue" ~ts:start ~dur:0.0;
+      let reply =
+        Cs_obs.Obs.span ~cat:"svc" ~args:job_args "job:run" (fun () ->
+            Cs_svc.Job.run job)
+      in
+      Metrics.observe m.Cs_svc.Meters.latency_ms
+        (1000.0 *. (Cs_obs.Clock.now () -. start));
+      Metrics.incr m.Cs_svc.Meters.completed;
+      Metrics.record_deadline m.Cs_svc.Meters.deadline
+        ~hit:
+          (match reply.Cs_svc.Proto.verdict with
+          | Cs_svc.Proto.Scheduled _ -> true
+          | Cs_svc.Proto.Refused _ -> false))
+    reqs;
+  let dt = 1000.0 *. (Cs_obs.Clock.now () -. t0) in
+  Cs_obs.Obs.disable ();
+  ignore (Cs_obs.Obs.events ());
+  dt
+
+let overhead () =
+  Report.subsection "end-to-end overhead, telemetry on vs off";
+  let reqs = make_requests () in
+  (* one unmeasured warmup of each flavor *)
+  ignore (run_plain reqs);
+  let meters = Cs_svc.Meters.create () in
+  ignore (run_instrumented meters reqs);
+  let plain = List.init trials (fun _ -> run_plain reqs) in
+  let instr = List.init trials (fun _ -> run_instrumented meters reqs) in
+  let p = median plain and i = median instr in
+  let pct = if p > 0.0 then 100.0 *. (i -. p) /. p else 0.0 in
+  Printf.printf
+    "%d jobs x %d trials: plain %.1f ms, instrumented %.1f ms, overhead %.2f%%%s\n"
+    overhead_jobs trials p i pct
+    (if pct <= guard_pct then "" else "  WARNING: above the 3% guard");
+  (p, i, pct)
+
+let obs () =
+  Report.section "Observability: sink, metrics hot path, telemetry overhead (extension)";
+  let sink_rate, sink_dropped = sink_throughput () in
+  let ops_rate, exact = metrics_throughput () in
+  let plain_ms, instr_ms, pct = overhead () in
+  let open Cs_obs.Json in
+  let json =
+    Obj
+      [ ("experiment", Str "obs");
+        ("sink_events_per_s", Num sink_rate);
+        ("sink_dropped", Num (float_of_int sink_dropped));
+        ("metrics_ops_per_s", Num ops_rate);
+        ("multi_domain_exact", Bool exact);
+        ( "overhead",
+          Obj
+            [ ("jobs", Num (float_of_int overhead_jobs));
+              ("trials", Num (float_of_int trials));
+              ("plain_ms_median", Num plain_ms);
+              ("instrumented_ms_median", Num instr_ms);
+              ("overhead_pct", Num pct);
+              ("guard_pct", Num guard_pct);
+              ("pass", Bool (pct <= guard_pct)) ] ) ]
+  in
+  Cs_util.Fsio.write_atomic ~path:"BENCH_obs.json" (to_string json ^ "\n");
+  Printf.printf "\nwrote BENCH_obs.json\n"

@@ -59,11 +59,12 @@ let run_machine ~machine_name ~suite =
             (0, 0) replies
         in
         let jobs = List.length replies in
+        let q = Report.latency_quantiles latencies in
         let cell =
           { slo_ms = slo;
-            p50 = Cs_util.Stats.percentile 50.0 latencies;
-            p95 = Cs_util.Stats.percentile 95.0 latencies;
-            p99 = Cs_util.Stats.percentile 99.0 latencies;
+            p50 = q 50.0;
+            p95 = q 95.0;
+            p99 = q 99.0;
             hit_rate = float_of_int scheduled_in_time /. float_of_int jobs;
             anytime_exits; jobs }
         in

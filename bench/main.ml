@@ -29,6 +29,7 @@ let experiments =
     ("faults", "fault injection and graceful degradation (extension)", Exp_resil.faults);
     ("slo", "latency SLO under per-job deadlines (extension)", Exp_slo.slo);
     ("gateway", "sharded gateway: result cache + failover (extension)", Exp_gateway.gateway);
+    ("obs", "observability: sink + metrics throughput, telemetry overhead (extension)", Exp_obs.obs);
     ("micro", "bechamel micro-benchmarks", Exp_micro.micro);
   ]
 

@@ -20,3 +20,14 @@ let vliw_suite_names () =
 let average_improvement pairs =
   let ratios = List.map (fun (a, b) -> a /. b) pairs in
   (Cs_util.Stats.geomean ratios -. 1.0) *. 100.0
+
+(* Latency quantiles through the mergeable log-bucket histogram — the
+   same estimator the fleet's `metrics` verb and `csched top` report,
+   so bench tables and live dashboards agree on methodology. *)
+let latency_quantiles samples =
+  let reg = Cs_obs.Metrics.create () in
+  let h = Cs_obs.Metrics.histogram reg "latency_ms" in
+  List.iter (Cs_obs.Metrics.observe h) samples;
+  match Cs_obs.Metrics.find (Cs_obs.Metrics.snapshot reg) "latency_ms" with
+  | Some (Cs_obs.Metrics.Histo_v histo) -> fun p -> Cs_obs.Metrics.quantile histo p
+  | _ -> fun _ -> 0.0

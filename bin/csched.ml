@@ -83,8 +83,23 @@ let jsonl_arg =
     & info [ "jsonl" ] ~docv:"FILE"
         ~doc:"Also write the collected events as JSON Lines (one event per line).")
 
+let write_exports ?jsonl ~trace_out events =
+  Option.iter
+    (fun path ->
+      Cs_obs.Export.write_chrome path events;
+      Printf.printf "wrote %s (%d events, Chrome Trace Event Format)\n" path
+        (List.length events))
+    trace_out;
+  Option.iter
+    (fun path ->
+      Cs_obs.Export.write_jsonl path events;
+      Printf.printf "wrote %s (%d events, JSON Lines)\n" path (List.length events))
+    jsonl
+
 (* Enable the sink around [f]; write the requested export files when it
-   returns (or raises), so partial traces survive scheduler crashes. *)
+   returns (or raises), so partial traces survive scheduler crashes.
+   [events ()] drains the sink, so callers that read events themselves
+   must not also use this wrapper. *)
 let with_trace ?jsonl ~trace_out f =
   let active = trace_out <> None || jsonl <> None in
   if active then begin
@@ -95,18 +110,7 @@ let with_trace ?jsonl ~trace_out f =
     ~finally:(fun () ->
       if active then begin
         Cs_obs.Obs.disable ();
-        let events = Cs_obs.Obs.events () in
-        Option.iter
-          (fun path ->
-            Cs_obs.Export.write_chrome path events;
-            Printf.printf "wrote %s (%d events, Chrome Trace Event Format)\n" path
-              (List.length events))
-          trace_out;
-        Option.iter
-          (fun path ->
-            Cs_obs.Export.write_jsonl path events;
-            Printf.printf "wrote %s (%d events, JSON Lines)\n" path (List.length events))
-          jsonl
+        write_exports ?jsonl ~trace_out (Cs_obs.Obs.events ())
       end)
     f
 
@@ -310,13 +314,67 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ benchmark_arg $ machine_arg $ scale_arg)
 
 let trace_cmd =
-  let doc = "Show the convergent scheduler's per-pass convergence trace." in
-  let run entry machine scale =
-    let region = region_of entry machine scale in
-    let _sched, trace = Cs_sim.Pipeline.convergent ~machine region in
-    Format.printf "%a@." Cs_core.Trace.pp trace
+  let doc =
+    "Show the convergent scheduler's per-pass convergence trace; or, with --merge, \
+     assemble the JSONL traces dumped by several fleet processes (gateway, shards, \
+     clients) into one Chrome Trace file with a lane per process."
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ benchmark_arg $ machine_arg $ scale_arg)
+  let merge_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "merge" ] ~docv:"FILE1,FILE2,..."
+          ~doc:
+            "Merge these JSONL trace files (written by --jsonl) into a single Chrome \
+             Trace document, one pid lane per recording process.")
+  in
+  let output_arg =
+    Arg.(
+      value & opt string "trace-merged.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path for the merged trace.")
+  in
+  let merge_traces spec out =
+    let files =
+      List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' spec)
+    in
+    if files = [] then begin
+      Printf.eprintf "trace: --merge needs at least one file\n";
+      exit 1
+    end;
+    let tagged =
+      List.concat_map
+        (fun path ->
+          match Cs_obs.Export.load_jsonl path with
+          | Ok events -> events
+          | Error e ->
+            Printf.eprintf "trace: %s\n" e;
+            exit 1)
+        files
+    in
+    Cs_util.Fsio.write_atomic ~path:out (Cs_obs.Export.chrome_merged tagged);
+    let pids = List.sort_uniq compare (List.map fst tagged) in
+    Printf.printf "wrote %s (%d events from %d files, %d process lanes)\n" out
+      (List.length tagged) (List.length files) (List.length pids)
+  in
+  let opt_benchmark_arg =
+    Arg.(
+      value
+      & opt (some benchmark_conv) None
+      & info [ "b"; "benchmark" ] ~doc:"Benchmark name (required unless --merge).")
+  in
+  let run merge out entry machine scale =
+    match (merge, entry) with
+    | Some spec, _ -> merge_traces spec out
+    | None, None ->
+      Printf.eprintf "trace: required option --benchmark is missing\n";
+      exit 1
+    | None, Some entry ->
+      let region = region_of entry machine scale in
+      let _sched, trace = Cs_sim.Pipeline.convergent ~machine region in
+      Format.printf "%a@." Cs_core.Trace.pp trace
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ merge_arg $ output_arg $ opt_benchmark_arg $ machine_arg $ scale_arg)
 
 let dot_cmd =
   let doc = "Export a benchmark's dependence graph (colored by assignment) to Graphviz." in
@@ -340,7 +398,8 @@ let profile_cmd =
      every round, then the list-scheduler and simulator counters. The per-round series \
      reproduce the paper's Fig. 4/7-style convergence curves; --trace-out dumps the \
      underlying events for chrome://tracing. With --connect, profile a live service \
-     instead: one stats round trip against a running serve or gateway."
+     instead: one stats round trip against a running serve or gateway, or a periodic \
+     re-poll with delta rates under --watch."
   in
   let rounds_arg =
     Arg.(
@@ -357,7 +416,23 @@ let profile_cmd =
             "Print live stats from the serve or gateway at $(docv) (HOST:PORT or Unix \
              socket path) instead of profiling locally.")
   in
-  let profile_live spec =
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECS"
+          ~doc:
+            "With --connect: re-poll every $(docv) seconds and print delta rates \
+             (jobs/s admitted, completed, refused) between polls. Runs until \
+             interrupted, or for --iterations polls.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"With --watch: stop after $(docv) polls (0 = run until interrupted).")
+  in
+  let profile_live ~watch ~iterations spec =
     let addr =
       match Cs_svc.Transport.parse spec with
       | Ok a -> a
@@ -365,11 +440,14 @@ let profile_cmd =
         Printf.eprintf "profile: %s\n" msg;
         exit 1
     in
-    match Cs_svc.Client.fetch_stats ~addr () with
-    | Error e ->
-      Printf.eprintf "profile: %s: %s\n" (Cs_svc.Transport.to_string addr) e;
-      exit 1
-    | Ok s ->
+    let fetch () =
+      match Cs_svc.Client.fetch_stats ~addr () with
+      | Ok s -> s
+      | Error e ->
+        Printf.eprintf "profile: %s: %s\n" (Cs_svc.Transport.to_string addr) e;
+        exit 1
+    in
+    let print_stats ?prev ?dt (s : Cs_svc.Proto.server_stats) =
       Printf.printf "%s:\n" (Cs_svc.Transport.to_string addr);
       Printf.printf "  queue depth   %d\n" s.Cs_svc.Proto.queue_depth;
       Printf.printf "  workers       %d (%d busy, %.0f%% utilized)\n"
@@ -384,7 +462,32 @@ let profile_cmd =
       Printf.printf "  refusals      %d\n" s.Cs_svc.Proto.refusals;
       List.iter
         (fun (k, v) -> Printf.printf "  %-13s %.0f\n" k v)
-        s.Cs_svc.Proto.extra
+        s.Cs_svc.Proto.extra;
+      (match (prev, dt) with
+      | Some (p : Cs_svc.Proto.server_stats), Some dt when dt > 0.0 ->
+        let rate cur prev = float_of_int (cur - prev) /. dt in
+        Printf.printf "  rate          %+.1f/s admitted, %+.1f/s completed, %+.1f/s refused\n"
+          (rate s.Cs_svc.Proto.admitted p.Cs_svc.Proto.admitted)
+          (rate s.Cs_svc.Proto.completed p.Cs_svc.Proto.completed)
+          (rate s.Cs_svc.Proto.refusals p.Cs_svc.Proto.refusals)
+      | _ -> ());
+      Printf.printf "%!"
+    in
+    match watch with
+    | None -> print_stats (fetch ())
+    | Some period ->
+      let period = Float.max 0.05 period in
+      let rec loop i prev prev_t =
+        let s = fetch () in
+        let now = Cs_obs.Clock.now () in
+        if i > 0 then Printf.printf "\n";
+        print_stats ?prev ?dt:(Option.map (fun t -> now -. t) prev_t) s;
+        if iterations <= 0 || i + 1 < iterations then begin
+          Unix.sleepf period;
+          loop (i + 1) (Some s) (Some now)
+        end
+      in
+      loop 0 None None
   in
   let opt_benchmark_arg =
     Arg.(
@@ -392,9 +495,9 @@ let profile_cmd =
       & opt (some benchmark_conv) None
       & info [ "b"; "benchmark" ] ~doc:"Benchmark name (required unless --connect).")
   in
-  let run connect entry machine scale passes_spec rounds trace_out jsonl =
+  let run connect watch iterations entry machine scale passes_spec rounds trace_out jsonl =
     match (connect, entry) with
-    | Some spec, _ -> profile_live spec
+    | Some spec, _ -> profile_live ~watch ~iterations spec
     | None, None ->
       Printf.eprintf "profile: required option --benchmark is missing\n";
       exit 1
@@ -409,10 +512,11 @@ let profile_cmd =
       | Some spec -> parse_passes spec
       | None -> Cs_sim.Pipeline.default_passes ~machine
     in
-    (* The sink is always on for profiling; export files are optional. *)
+    (* The sink is always on for profiling; export files are optional.
+       [events ()] drains the sink, so capture the list exactly once
+       below and write the exports from it — not via [with_trace]. *)
     Cs_obs.Obs.reset ();
     Cs_obs.Obs.enable ();
-    with_trace ?jsonl ~trace_out @@ fun () ->
     let result, rounds_run =
       (* epsilon 0 never triggers early exit, so exactly [rounds] rounds run
          and every round's telemetry is comparable. *)
@@ -427,7 +531,9 @@ let profile_cmd =
       Cs_sched.List_scheduler.run ~machine ~assignment:result.Cs_core.Driver.assignment
         ~priority ~analysis region
     in
+    Cs_obs.Obs.disable ();
     let events = Cs_obs.Obs.events () in
+    write_exports ?jsonl ~trace_out events;
     let float_arg key ev =
       List.fold_left
         (fun acc (k, v) ->
@@ -495,8 +601,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
-      const run $ live_connect_arg $ opt_benchmark_arg $ machine_arg $ scale_arg
-      $ passes_opt_arg $ rounds_arg $ trace_out_arg $ jsonl_arg)
+      const run $ live_connect_arg $ watch_arg $ iterations_arg $ opt_benchmark_arg
+      $ machine_arg $ scale_arg $ passes_opt_arg $ rounds_arg $ trace_out_arg $ jsonl_arg)
 
 let tune_cmd =
   let doc =
@@ -1354,6 +1460,16 @@ let submit_cmd =
       Printf.eprintf "submit: nothing to submit\n";
       exit 1
     end;
+    (* Each job gets its own trace unless the jobs file carried one, so a
+       merged `csched trace --merge` can follow it gateway -> shard. *)
+    let requests =
+      List.map
+        (fun (r : Cs_svc.Proto.request) ->
+          if r.Cs_svc.Proto.trace_id = None then
+            Cs_svc.Proto.with_trace ~ctx:(Cs_obs.Tracectx.root ()) r
+          else r)
+        requests
+    in
     let print_reply (r : Cs_svc.Proto.reply) =
       let cached = if r.Cs_svc.Proto.cached then " [cached]" else "" in
       match r.Cs_svc.Proto.verdict with
@@ -1403,6 +1519,189 @@ let submit_cmd =
       $ scheduler_name_arg $ scale_arg $ deadline_arg $ repeat_arg $ jobs_file_arg
       $ timeout_arg $ strict_arg)
 
+let metrics_cmd =
+  let doc =
+    "Dump the metrics registry of a running serve or gateway: Prometheus text \
+     exposition by default, or the mergeable JSON snapshot (the same document the \
+     [metrics] control verb carries on the wire) with --format json."
+  in
+  let format_conv =
+    Arg.enum
+      [ ("prometheus", Cs_svc.Proto.Metrics_prometheus);
+        ("prom", Cs_svc.Proto.Metrics_prometheus);
+        ("json", Cs_svc.Proto.Metrics_json) ]
+  in
+  let format_arg =
+    Arg.(
+      value & opt format_conv Cs_svc.Proto.Metrics_prometheus
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,prometheus) (text exposition) or $(b,json) (mergeable \
+             snapshot).")
+  in
+  let run socket connect format =
+    let addr = addr_of ~flag:"metrics" ~listen:connect socket in
+    match Cs_svc.Client.fetch_metrics ~format ~addr () with
+    | Error e ->
+      Printf.eprintf "metrics: %s: %s\n" (Cs_svc.Transport.to_string addr) e;
+      exit 1
+    | Ok (Cs_svc.Proto.Prom_text text) -> print_string text
+    | Ok (Cs_svc.Proto.Snapshot snap) ->
+      print_endline (Cs_obs.Json.to_string (Cs_obs.Metrics.snapshot_to_json snap))
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ socket_arg $ connect_arg $ format_arg)
+
+let top_cmd =
+  let doc =
+    "Live fleet dashboard: poll the [metrics] verb of a gateway and/or its shards, \
+     merge the snapshots into fleet totals, and render per-process queue depth, \
+     throughput, latency quantiles (p50/p95/p99 from merged histogram buckets), cache \
+     hit rate, and deadline-SLO burn over the rolling 60 s / 300 s windows."
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shards" ] ~docv:"ADDR1,ADDR2,..."
+          ~doc:"Shard addresses to poll alongside (or instead of) --connect.")
+  in
+  let period_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "period-ms" ] ~docv:"MS" ~doc:"Polling period.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after $(docv) polls (0 = run until interrupted).")
+  in
+  let module M = Cs_obs.Metrics in
+  let counter_of snap name =
+    M.fold_name snap name ~init:0 ~f:(fun acc _ e ->
+        match e with M.Counter_v n -> acc + n | _ -> acc)
+  in
+  let gauge_of ?labels snap name =
+    match M.find snap ?labels name with Some (M.Gauge_v v) -> v | _ -> 0.0
+  in
+  let histo_of snap name =
+    match M.find snap name with Some (M.Histo_v h) -> Some h | _ -> None
+  in
+  let quantiles snap name =
+    match histo_of snap name with
+    | None -> "-"
+    | Some h when M.total h = 0 -> "-"
+    | Some h ->
+      Printf.sprintf "%.1f/%.1f/%.1f ms" (M.quantile h 50.0) (M.quantile h 95.0)
+        (M.quantile h 99.0)
+  in
+  let run socket connect shards_spec period_ms iterations =
+    let targets =
+      let named flag spec =
+        match Cs_svc.Transport.parse spec with
+        | Ok a -> (spec, a)
+        | Error msg ->
+          Printf.eprintf "top: %s: %s\n" flag msg;
+          exit 1
+      in
+      let shard_targets =
+        match shards_spec with
+        | None -> []
+        | Some spec ->
+          String.split_on_char ',' spec
+          |> List.filter (fun s -> String.trim s <> "")
+          |> List.map (named "--shards")
+      in
+      match (connect, shard_targets) with
+      | None, [] -> [ named "--socket" socket ]
+      | None, shards -> shards
+      | Some spec, shards -> named "--connect" spec :: shards
+    in
+    let period_s = Float.max 0.05 (period_ms /. 1000.0) in
+    let clear = Unix.isatty Unix.stdout && iterations <> 1 in
+    (* (completed, ts) per target at the previous poll, for jobs/s. *)
+    let prev = Hashtbl.create 8 in
+    let poll_one (label, addr) =
+      match Cs_svc.Client.fetch_metrics ~addr () with
+      | Ok (Cs_svc.Proto.Snapshot snap) -> (label, Some snap)
+      | Ok (Cs_svc.Proto.Prom_text _) | Error _ -> (label, None)
+    in
+    let render polled =
+      if clear then print_string "\027[2J\027[H";
+      let now = Cs_obs.Clock.now () in
+      let table =
+        Cs_util.Table.create
+          ~header:
+            [ "process"; "queue"; "busy"; "admitted"; "done"; "jobs/s";
+              "p50/p95/p99"; "cache%" ]
+      in
+      let live = List.filter_map (fun (_, s) -> s) polled in
+      let row label snap =
+        let completed = counter_of snap "csched_jobs_completed_total" in
+        let rate =
+          match Hashtbl.find_opt prev label with
+          | Some (c0, t0) when now > t0 ->
+            Printf.sprintf "%.1f" (float_of_int (completed - c0) /. (now -. t0))
+          | _ -> "-"
+        in
+        Hashtbl.replace prev label (completed, now);
+        let hits = counter_of snap "csched_cache_hits_total" in
+        let misses = counter_of snap "csched_cache_misses_total" in
+        let cache =
+          if hits + misses = 0 then "-"
+          else Printf.sprintf "%.0f" (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+        in
+        Cs_util.Table.add_row table
+          [ label;
+            Printf.sprintf "%.0f" (gauge_of snap "csched_queue_depth");
+            Printf.sprintf "%.0f/%.0f"
+              (gauge_of snap "csched_workers_busy")
+              (gauge_of snap "csched_workers");
+            string_of_int (counter_of snap "csched_jobs_admitted_total");
+            string_of_int completed; rate;
+            quantiles snap "csched_job_latency_ms"; cache ]
+      in
+      List.iter (fun (label, snap) ->
+          match snap with
+          | Some snap -> row label snap
+          | None ->
+            Cs_util.Table.add_row table
+              [ label; "down"; "-"; "-"; "-"; "-"; "-"; "-" ])
+        polled;
+      if List.length polled > 1 then begin
+        match live with
+        | [] -> ()
+        | _ -> row "FLEET" (M.merge_all live)
+      end;
+      Cs_util.Table.print table;
+      (* SLO burn: windowed deadline hit/miss gauges from the merged view. *)
+      let fleet = M.merge_all live in
+      let burn window =
+        let labels = [ ("window", window) ] in
+        let h = gauge_of ~labels fleet "csched_deadline_hits" in
+        let m = gauge_of ~labels fleet "csched_deadline_misses" in
+        if h +. m <= 0.0 then "-"
+        else Printf.sprintf "%.1f%%" (100.0 *. m /. (h +. m))
+      in
+      let dh = counter_of fleet "csched_deadline_hits_total" in
+      let dm = counter_of fleet "csched_deadline_misses_total" in
+      if dh + dm > 0 then
+        Printf.printf "slo: %d/%d deadlines met; burn %s (60s) %s (300s)\n"
+          dh (dh + dm) (burn "60s") (burn "300s");
+      Printf.printf "%!"
+    in
+    let rec loop i =
+      render (List.map poll_one targets);
+      if iterations <= 0 || i + 1 < iterations then begin
+        Unix.sleepf period_s;
+        loop (i + 1)
+      end
+    in
+    loop 0
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ socket_arg $ connect_arg $ shards_arg $ period_arg $ iterations_arg)
+
 let () =
   let doc = "convergent scheduling for spatial architectures (MICRO-35 reproduction)" in
   let info = Cmd.info "csched" ~version:"1.0.0" ~doc in
@@ -1411,4 +1710,4 @@ let () =
        (Cmd.group info
           [ list_cmd; passes_cmd; run_cmd; run_file_cmd; compare_cmd; trace_cmd;
             profile_cmd; dot_cmd; tune_cmd; faults_cmd; fuzz_cmd; serve_cmd; submit_cmd;
-            gateway_cmd ]))
+            gateway_cmd; metrics_cmd; top_cmd ]))

@@ -1,6 +1,8 @@
 module Transport = Cs_svc.Transport
 module Proto = Cs_svc.Proto
 module Squeue = Cs_svc.Squeue
+module Meters = Cs_svc.Meters
+module Metrics = Cs_obs.Metrics
 
 type config = {
   listen_addr : Transport.addr;
@@ -56,7 +58,7 @@ type conn = {
   mutable conn_closed : bool;
 }
 
-type work = { request : Proto.request; on : conn }
+type work = { request : Proto.request; on : conn; arrival : float }
 
 type t = {
   cfg : config;
@@ -68,15 +70,36 @@ type t = {
   shards : shard list;
   queue : work Squeue.t;
   stopping : bool Atomic.t;
-  n_admitted : int Atomic.t;
-  n_completed : int Atomic.t;
-  n_refused : int Atomic.t;
-  n_shed : int Atomic.t;
-  n_forwarded : int Atomic.t;
-  n_replayed : int Atomic.t;
-  n_rerouted : int Atomic.t;
+  meters : Meters.t;
+  m_replayed : Metrics.counter;
+  m_rerouted : Metrics.counter;
+  m_cache_hits : Metrics.counter;
+  m_cache_misses : Metrics.counter;
+  m_cache_evictions : Metrics.counter;
+  m_cache_size : Metrics.gauge;
+  m_shards_alive : Metrics.gauge;
   n_busy : int Atomic.t;
+  last_evictions : int Atomic.t; (* Cache.stats watermark already counted *)
 }
+
+(* Per-shard labeled families; registration is idempotent, so fetching
+   the handle at use sites is a hashtable lookup. *)
+let fwd_counter t shard =
+  Metrics.counter t.meters.Meters.registry ~labels:[ ("shard", shard) ]
+    ~help:"Jobs forwarded to a shard" "csched_gateway_forwarded_total"
+
+let shard_fail_counter t shard =
+  Metrics.counter t.meters.Meters.registry ~labels:[ ("shard", shard) ]
+    ~help:"Transport failures talking to a shard"
+    "csched_gateway_shard_failures_total"
+
+let shard_depth_gauge t shard =
+  Metrics.gauge t.meters.Meters.registry ~labels:[ ("shard", shard) ]
+    ~help:"Last gossiped shard admission-queue depth" "csched_shard_queue_depth"
+
+let shard_ewma_gauge t shard =
+  Metrics.gauge t.meters.Meters.registry ~labels:[ ("shard", shard) ]
+    ~help:"Shard service-time EWMA (ms)" "csched_shard_ewma_ms"
 
 let create (cfg : config) =
   let shards =
@@ -88,19 +111,65 @@ let create (cfg : config) =
   in
   let names = List.map (fun s -> s.sname) shards in
   let listen_fd = Transport.listen cfg.listen_addr in
+  let meters = Meters.create () in
+  Metrics.set meters.Meters.workers (float_of_int cfg.forwarders);
+  let counter = Metrics.counter meters.Meters.registry in
+  let gauge = Metrics.gauge meters.Meters.registry in
+  let on_transition ~shard ~to_ =
+    Metrics.incr
+      (counter ~labels:[ ("shard", shard); ("to", to_) ]
+         ~help:"Shard health-state transitions" "csched_health_transitions_total")
+  in
   { cfg; listen_fd; bound = Transport.bound_addr listen_fd cfg.listen_addr;
     ring = Ring.make ~vnodes:cfg.vnodes names;
-    health = Health.create ~fail_threshold:cfg.fail_threshold names;
+    health = Health.create ~fail_threshold:cfg.fail_threshold ~on_transition names;
     cache = Cache.create ~capacity:cfg.cache_capacity;
     shards;
     queue = Squeue.create ~capacity:cfg.queue_capacity;
     stopping = Atomic.make false;
-    n_admitted = Atomic.make 0; n_completed = Atomic.make 0;
-    n_refused = Atomic.make 0; n_shed = Atomic.make 0;
-    n_forwarded = Atomic.make 0; n_replayed = Atomic.make 0;
-    n_rerouted = Atomic.make 0; n_busy = Atomic.make 0 }
+    meters;
+    m_replayed = counter ~help:"Jobs replayed on another shard after a transport failure"
+        "csched_gateway_replayed_total";
+    m_rerouted = counter ~help:"Jobs rerouted after an overload refusal"
+        "csched_gateway_rerouted_total";
+    m_cache_hits = counter ~help:"Result-cache hits" "csched_cache_hits_total";
+    m_cache_misses = counter ~help:"Result-cache misses" "csched_cache_misses_total";
+    m_cache_evictions = counter ~help:"Result-cache LRU evictions"
+        "csched_cache_evictions_total";
+    m_cache_size = gauge ~help:"Result-cache resident entries" "csched_cache_size";
+    m_shards_alive = gauge ~help:"Shards currently dispatchable" "csched_shards_alive";
+    n_busy = Atomic.make 0; last_evictions = Atomic.make 0 }
 
 let address t = t.bound
+let meters t = t.meters
+
+let alive_count t =
+  List.length (Health.alive t.health (List.map (fun sh -> sh.sname) t.shards))
+
+(* Mirror live values into registry gauges so snapshots carry them. *)
+let sync_gauges t =
+  Metrics.set t.meters.Meters.queue_depth (float_of_int (Squeue.length t.queue));
+  Metrics.set t.meters.Meters.busy (float_of_int (Atomic.get t.n_busy));
+  Metrics.set t.m_shards_alive (float_of_int (alive_count t));
+  Metrics.set t.m_cache_size (float_of_int (Cache.stats t.cache).Cache.size);
+  List.iter
+    (fun sh ->
+      Metrics.set (shard_depth_gauge t sh.sname) (float_of_int (Atomic.get sh.depth));
+      Metrics.set (shard_ewma_gauge t sh.sname) (shard_ewma sh))
+    t.shards
+
+(* The cache counts evictions internally; fold the delta into the
+   monotone registry counter exactly once even with racing forwarders. *)
+let note_evictions t =
+  let total = (Cache.stats t.cache).Cache.evictions in
+  let rec claim () =
+    let seen = Atomic.get t.last_evictions in
+    if total > seen then
+      if Atomic.compare_and_set t.last_evictions seen total then
+        Metrics.incr ~by:(total - seen) t.m_cache_evictions
+      else claim ()
+  in
+  claim ()
 
 type stats = {
   admitted : int;
@@ -117,13 +186,16 @@ type stats = {
 
 let stats t =
   let c = Cache.stats t.cache in
-  { admitted = Atomic.get t.n_admitted;
-    completed = Atomic.get t.n_completed;
-    refused = Atomic.get t.n_refused;
-    shed = Atomic.get t.n_shed;
-    forwarded = Atomic.get t.n_forwarded;
-    replayed = Atomic.get t.n_replayed;
-    rerouted = Atomic.get t.n_rerouted;
+  { admitted = Metrics.counter_value t.meters.Meters.admitted;
+    completed = Metrics.counter_value t.meters.Meters.completed;
+    refused = Metrics.counter_value t.meters.Meters.refused;
+    shed = Metrics.counter_value t.meters.Meters.shed;
+    forwarded =
+      List.fold_left
+        (fun acc sh -> acc + Metrics.counter_value (fwd_counter t sh.sname))
+        0 t.shards;
+    replayed = Metrics.counter_value t.m_replayed;
+    rerouted = Metrics.counter_value t.m_rerouted;
     cache_hits = c.Cache.hits;
     cache_misses = c.Cache.misses;
     cache_evictions = c.Cache.evictions }
@@ -134,9 +206,7 @@ let shard_states t =
 let server_stats t =
   let s = stats t in
   let c = Cache.stats t.cache in
-  let alive =
-    List.length (Health.alive t.health (List.map (fun sh -> sh.sname) t.shards))
-  in
+  let alive = alive_count t in
   { Proto.queue_depth = Squeue.length t.queue;
     workers = t.cfg.forwarders;
     busy = Atomic.get t.n_busy;
@@ -281,7 +351,7 @@ let dispatch t (r : Proto.request) ~key =
     | name :: rest ->
       let sh = shard_by_name t name in
       if replaying then begin
-        Atomic.incr t.n_replayed;
+        Metrics.incr t.m_replayed;
         Cs_obs.Obs.instant ~cat:"gateway"
           ~args:
             [ ("job", Cs_obs.Obs.Str r.Proto.id); ("shard", Cs_obs.Obs.Str name) ]
@@ -290,14 +360,15 @@ let dispatch t (r : Proto.request) ~key =
       (match forward_once t sh r with
       | Answered reply ->
         Health.note_ok t.health name;
-        Atomic.incr t.n_forwarded;
+        Metrics.incr (fwd_counter t name);
         reply
       | Shard_overloaded reply ->
         Health.note_ok t.health name;
-        if rest <> [] then Atomic.incr t.n_rerouted;
+        if rest <> [] then Metrics.incr t.m_rerouted;
         walk ~replaying:false ~last_overload:(Some reply) rest
       | Transport_failure why ->
         Health.note_failure t.health name;
+        Metrics.incr (shard_fail_counter t name);
         Cs_obs.Obs.instant ~cat:"gateway"
           ~args:
             [ ("shard", Cs_obs.Obs.Str name); ("error", Cs_obs.Obs.Str why) ]
@@ -306,12 +377,29 @@ let dispatch t (r : Proto.request) ~key =
   in
   walk ~replaying:false ~last_overload:None order
 
-let handle_job t (r : Proto.request) conn =
+let handle_job t (r : Proto.request) conn ~arrival =
   let t0 = Cs_obs.Clock.now () in
+  (* This gateway hop's trace context: adopt the client's trace when
+     the request carries one, otherwise start the trace here — either
+     way the shard sees this hop as its parent span. *)
+  let ctx =
+    match Proto.trace_of_request r with
+    | Some c -> c
+    | None -> Cs_obs.Tracectx.root ()
+  in
+  let job_args = ("id", Cs_obs.Obs.Str r.Proto.id) :: Cs_obs.Tracectx.args ctx in
   let answer reply =
     (match reply.Proto.verdict with
-    | Proto.Scheduled _ -> Atomic.incr t.n_completed
-    | Proto.Refused _ -> Atomic.incr t.n_refused);
+    | Proto.Scheduled _ ->
+      Metrics.incr t.meters.Meters.completed;
+      if r.Proto.deadline_ms <> None then
+        Metrics.record_deadline t.meters.Meters.deadline ~hit:true
+    | Proto.Refused e ->
+      Metrics.incr t.meters.Meters.refused;
+      if e.kind = "deadline-exceeded" then
+        Metrics.record_deadline t.meters.Meters.deadline ~hit:false);
+    Metrics.observe t.meters.Meters.latency_ms
+      ((Cs_obs.Clock.now () -. arrival) *. 1000.0);
     (* gateway-level gossip, mirroring what shards do for the gateway *)
     send_reply conn
       { reply with
@@ -323,28 +411,43 @@ let handle_job t (r : Proto.request) conn =
   | Ok key ->
     (match Cache.find t.cache key with
     | Some cached ->
+      Metrics.incr t.m_cache_hits;
+      Cs_obs.Obs.instant ~cat:"gateway" ~args:job_args "gateway:cache-hit";
       answer
         { cached with
           Proto.reply_id = r.Proto.id;
           elapsed_ms = (Cs_obs.Clock.now () -. t0) *. 1000.0;
           cached = true }
     | None ->
-      let reply = dispatch t r ~key in
-      if cacheable reply then Cache.put t.cache key reply;
+      Metrics.incr t.m_cache_misses;
+      let reply =
+        Cs_obs.Obs.span ~cat:"gateway" ~args:job_args "job:dispatch" (fun () ->
+            dispatch t (Proto.with_trace ~ctx r) ~key)
+      in
+      if cacheable reply then begin
+        Cache.put t.cache key reply;
+        note_evictions t
+      end;
       answer reply)
 
 let forwarder t () =
   let rec loop () =
     match Squeue.pop t.queue with
     | None -> ()
-    | Some { request; on } ->
+    | Some { request; on; arrival } ->
       Atomic.incr t.n_busy;
-      (try handle_job t request on
+      let wait_s = Cs_obs.Clock.now () -. arrival in
+      Metrics.observe t.meters.Meters.queue_wait_ms (wait_s *. 1000.0);
+      Cs_obs.Obs.complete ~cat:"gateway"
+        ~args:[ ("id", Cs_obs.Obs.Str request.Proto.id) ]
+        "job:queue" ~ts:arrival ~dur:wait_s;
+      (try handle_job t request on ~arrival
        with e ->
          send_reply on
            (Proto.refused ~id:request.Proto.id
               (Cs_resil.Error.Pass_failure (Printexc.to_string e))));
       Atomic.decr t.n_busy;
+      sync_gauges t;
       finish_edge on ~job_done:true;
       loop ()
   in
@@ -398,8 +501,12 @@ let serve_conn t conn =
     if line <> "" then begin
       match Proto.incoming_of_line line with
       | Error e ->
-        Atomic.incr t.n_refused;
+        Metrics.incr t.meters.Meters.refused;
         send_reply conn (Proto.refused ~id:"" (Cs_resil.Error.Invalid_input e))
+      | Ok (Proto.Control { op = Proto.Metrics_query format; id }) ->
+        sync_gauges t;
+        send_line conn
+          (Proto.metrics_reply_to_line ~id (Meters.metrics_payload t.meters format))
       | Ok (Proto.Control { op; id }) ->
         let s = server_stats t in
         (match op with
@@ -408,15 +515,19 @@ let serve_conn t conn =
             (("queue_depth", float_of_int s.Proto.queue_depth)
             :: ("busy", float_of_int s.Proto.busy)
             :: s.Proto.extra)
-        | Proto.Ping -> ());
+        | Proto.Ping | Proto.Metrics_query _ -> ());
         send_line conn (Proto.pong_to_line ~id s)
       | Ok (Proto.Job_request request) ->
         Mutex.lock conn.out_mutex;
         conn.pending <- conn.pending + 1;
         Mutex.unlock conn.out_mutex;
-        if Atomic.get t.stopping || not (Squeue.try_push t.queue { request; on = conn })
+        if
+          Atomic.get t.stopping
+          || not
+               (Squeue.try_push t.queue
+                  { request; on = conn; arrival = Cs_obs.Clock.now () })
         then begin
-          Atomic.incr t.n_shed;
+          Metrics.incr t.meters.Meters.shed;
           send_reply conn
             (Proto.refused ~id:request.Proto.id
                (Cs_resil.Error.Overloaded
@@ -426,7 +537,7 @@ let serve_conn t conn =
                        t.cfg.queue_capacity)));
           finish_edge conn ~job_done:true
         end
-        else Atomic.incr t.n_admitted
+        else Metrics.incr t.meters.Meters.admitted
     end
   in
   let rec drain_lines () =
@@ -505,6 +616,11 @@ let run t =
         ("shards", Cs_obs.Obs.Int (List.length t.shards));
         ("policy", Cs_obs.Obs.Str (Policy.to_string t.cfg.policy)) ]
     "gateway:listen";
+  Cs_obs.Obs.instant ~cat:"meta"
+    ~args:
+      [ ("role", Cs_obs.Obs.Str "gateway");
+        ("addr", Cs_obs.Obs.Str (Transport.to_string t.bound)) ]
+    "process";
   accept_loop ();
   List.iter (fun (_, d) -> Domain.join d) !readers;
   Squeue.close t.queue;

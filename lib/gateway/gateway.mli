@@ -93,3 +93,11 @@ val shard_states : t -> (string * Health.state) list
 val server_stats : t -> Cs_svc.Proto.server_stats
 (** The stats pong the gateway answers on the wire; fleet counters ride
     in [extra]. *)
+
+val meters : t -> Cs_svc.Meters.t
+(** The gateway's metrics registry (served by the [metrics] control
+    verb): the shared job/latency families plus gateway-specific ones —
+    per-shard [csched_gateway_forwarded_total] /
+    [csched_gateway_shard_failures_total], replay/reroute counters,
+    cache hit/miss/eviction counters, per-shard depth and EWMA gauges,
+    and [csched_health_transitions_total{shard,to}]. *)

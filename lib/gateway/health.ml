@@ -13,13 +13,15 @@ type t = {
   delays : float array;  (* backoff schedule, clamped at the last step *)
   table : (string, entry) Hashtbl.t;
   mutex : Mutex.t;
+  on_transition : shard:string -> to_:string -> unit;
 }
 
 let default_backoff =
   { Cs_svc.Retry.default with
     base_delay_s = 0.5; multiplier = 2.0; jitter = 0.25; max_attempts = 8 }
 
-let create ?(fail_threshold = 3) ?(backoff = default_backoff) names =
+let create ?(fail_threshold = 3) ?(backoff = default_backoff)
+    ?(on_transition = fun ~shard:_ ~to_:_ -> ()) names =
   if fail_threshold <= 0 then
     invalid_arg "Health.create: fail_threshold must be positive";
   let table = Hashtbl.create 8 in
@@ -30,7 +32,7 @@ let create ?(fail_threshold = 3) ?(backoff = default_backoff) names =
     names;
   { fail_threshold;
     delays = Array.of_list (Cs_svc.Retry.delays backoff);
-    table; mutex = Mutex.create () }
+    table; mutex = Mutex.create (); on_transition }
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -63,7 +65,8 @@ let note_ok t name =
       | Dead _ ->
         Cs_obs.Obs.instant ~cat:"gateway"
           ~args:[ ("shard", Cs_obs.Obs.Str name) ]
-          "health:readmit"
+          "health:readmit";
+        t.on_transition ~shard:name ~to_:"healthy"
       | _ -> ());
       e.st <- Healthy)
 
@@ -80,6 +83,7 @@ let note_failure t name =
           Cs_obs.Obs.instant ~cat:"gateway"
             ~args:[ ("shard", Cs_obs.Obs.Str name) ]
             "health:evict";
+          t.on_transition ~shard:name ~to_:"dead";
           bury t e ~down_at:(Cs_obs.Clock.now ()) ~attempt:1
         end
         else e.st <- Suspect failures

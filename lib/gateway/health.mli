@@ -20,9 +20,14 @@ type state =
 type t
 
 val create :
-  ?fail_threshold:int -> ?backoff:Cs_svc.Retry.policy -> string list -> t
+  ?fail_threshold:int -> ?backoff:Cs_svc.Retry.policy ->
+  ?on_transition:(shard:string -> to_:string -> unit) -> string list -> t
 (** [fail_threshold] defaults to 3 consecutive failures; [backoff]
-    defaults to 500 ms base, doubling, ±25% deterministic jitter. *)
+    defaults to 500 ms base, doubling, ±25% deterministic jitter.
+    [on_transition] fires on eviction ([to_ = "dead"]) and
+    re-admission ([to_ = "healthy"]) — the gateway counts these on its
+    metrics registry. Called with the health lock held: the callback
+    must not call back into this module. *)
 
 val state : t -> string -> state
 (** Unknown shards read as [Healthy]. *)

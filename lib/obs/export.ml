@@ -13,17 +13,72 @@ let phase_letter = function
 
 let args_json args = Json.Obj (List.map (fun (k, v) -> (k, value_json v)) args)
 
-let event_json (e : Obs.event) =
+let event_json ?pid (e : Obs.event) =
+  let pid = match pid with Some p -> p | None -> Unix.getpid () in
   let base =
     [ ("name", Json.Str e.name);
       ("cat", Json.Str e.cat);
       ("ph", Json.Str (phase_letter e.ph));
       ("ts", Json.Num e.ts);
+      ("pid", Json.Num (float_of_int pid));
       ("tid", Json.Num (float_of_int e.tid)) ]
   in
   let dur = match e.ph with Obs.Complete d -> [ ("dur", Json.Num d) ] | _ -> [] in
   let args = if e.args = [] then [] else [ ("args", args_json e.args) ] in
   Json.Obj (base @ dur @ args)
+
+let ( let* ) = Result.bind
+
+let value_of_json = function
+  | Json.Num n -> Obs.Float n
+  | Json.Str s -> Obs.Str s
+  | Json.Bool b -> Obs.Bool b
+  | j -> Obs.Str (Json.to_string j)
+
+let event_of_json json =
+  let str k = match Json.member k json with Some (Json.Str s) -> Some s | _ -> None in
+  let num k = match Json.member k json with Some (Json.Num n) -> Some n | _ -> None in
+  let* name = Option.to_result ~none:"event missing name" (str "name") in
+  let cat = Option.value ~default:"" (str "cat") in
+  let* ph_letter = Option.to_result ~none:"event missing ph" (str "ph") in
+  let* ph =
+    match ph_letter with
+    | "B" -> Ok Obs.Begin
+    | "E" -> Ok Obs.End
+    | "X" -> Ok (Obs.Complete (Option.value ~default:0.0 (num "dur")))
+    | "i" -> Ok Obs.Instant
+    | "C" -> Ok Obs.Counter
+    | s -> Error ("unknown event phase " ^ s)
+  in
+  let* ts = Option.to_result ~none:"event missing ts" (num "ts") in
+  let pid = int_of_float (Option.value ~default:0.0 (num "pid")) in
+  let tid = int_of_float (Option.value ~default:0.0 (num "tid")) in
+  let args =
+    match Json.member "args" json with
+    | Some (Json.Obj fields) ->
+      List.map (fun (k, v) -> (k, value_of_json v)) fields
+    | _ -> []
+  in
+  Ok (pid, { Obs.name; cat; ph; ts; tid; args })
+
+let load_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc lineno =
+        match In_channel.input_line ic with
+        | None -> Ok (List.rev acc)
+        | Some "" -> loop acc (lineno + 1)
+        | Some line -> (
+          match Json.of_string line with
+          | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e)
+          | Ok j ->
+            (match event_of_json j with
+            | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e)
+            | Ok ev -> loop (ev :: acc) (lineno + 1)))
+      in
+      loop [] 1)
 
 let us seconds = seconds *. 1e6
 
@@ -46,24 +101,69 @@ let chrome_event_json ~t0 ~pid (e : Obs.event) =
   Json.Obj (base @ extra @ args)
 
 let jsonl events =
+  let pid = Unix.getpid () in
   let buf = Buffer.create 4096 in
   List.iter
     (fun e ->
-      Json.to_buffer buf (event_json e);
+      Json.to_buffer buf (event_json ~pid e);
       Buffer.add_char buf '\n')
     events;
   Buffer.contents buf
 
-let chrome events =
+let process_name_meta ~pid name =
+  Json.Obj
+    [ ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num 0.0);
+      ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+
+(* Processes announce themselves with an [instant ~cat:"meta" "process"]
+   carrying role/addr args (serve and gateway emit one at listen time);
+   the merged trace turns it into the lane's display name. *)
+let lane_name ~pid events =
+  let described =
+    List.find_opt
+      (fun (e : Obs.event) -> e.cat = "meta" && e.name = "process")
+      events
+  in
+  match described with
+  | None -> Printf.sprintf "pid %d" pid
+  | Some e ->
+    let s k =
+      match List.assoc_opt k e.args with Some (Obs.Str s) -> Some s | _ -> None
+    in
+    (match (s "role", s "addr") with
+    | Some r, Some a -> Printf.sprintf "%s %s" r a
+    | Some r, None -> r
+    | None, _ -> Printf.sprintf "pid %d" pid)
+
+let chrome_merged tagged =
   let t0 =
-    List.fold_left (fun acc (e : Obs.event) -> Float.min acc e.ts) infinity events
+    List.fold_left (fun acc (_, (e : Obs.event)) -> Float.min acc e.ts) infinity tagged
   in
   let t0 = if Float.is_finite t0 then t0 else 0.0 in
-  let pid = Unix.getpid () in
+  let pids =
+    List.sort_uniq compare (List.map fst tagged)
+  in
+  let metas =
+    List.map
+      (fun pid ->
+        let evs = List.filter_map (fun (p, e) -> if p = pid then Some e else None) tagged in
+        process_name_meta ~pid (lane_name ~pid evs))
+      pids
+  in
   Json.to_string
     (Json.Obj
-       [ ("traceEvents", Json.List (List.map (chrome_event_json ~t0 ~pid) events));
+       [ ( "traceEvents",
+           Json.List
+             (metas
+             @ List.map (fun (pid, e) -> chrome_event_json ~t0 ~pid e) tagged) );
          ("displayTimeUnit", Json.Str "ms") ])
+
+let chrome events =
+  let pid = Unix.getpid () in
+  chrome_merged (List.map (fun e -> (pid, e)) events)
 
 (* Crash-safe: a killed process leaves either the previous export or
    the new one, never a truncated JSON document. *)

@@ -1,0 +1,475 @@
+(* Domain-sharded metrics registry. Hot-path writes touch one atomic
+   cell picked by the recording domain's id; the registry mutex guards
+   only registration and snapshotting. All histograms share one fixed
+   log-bucket layout so snapshots merge by pointwise sum. *)
+
+let n_shards = 8 (* power of two; domain id is masked into a cell index *)
+let shard () = (Domain.self () :> int) land (n_shards - 1)
+
+(* --- histogram layout ---------------------------------------------- *)
+
+let buckets_per_octave = 4.0
+let bucket_lo = 1e-3 (* 1 ns when samples are milliseconds *)
+let n_buckets = (4 * 32) + 2 (* underflow + 128 log buckets + overflow *)
+
+let bucket_bound i =
+  if i >= n_buckets - 1 then infinity
+  else bucket_lo *. (2.0 ** (float_of_int i /. buckets_per_octave))
+
+let bucket_index v =
+  if not (Float.is_finite v) || v <= bucket_lo then
+    if v > bucket_lo then n_buckets - 1 (* +inf *) else 0
+  else
+    let x = buckets_per_octave *. Float.log2 (v /. bucket_lo) in
+    let i = int_of_float (Float.ceil x) in
+    if i < 1 then 1 else if i > n_buckets - 1 then n_buckets - 1 else i
+
+(* --- cells --------------------------------------------------------- *)
+
+type cells = int Atomic.t array (* one per shard *)
+
+let cells_make () = Array.init n_shards (fun _ -> Atomic.make 0)
+let cells_add cs by = ignore (Atomic.fetch_and_add cs.(shard ()) by)
+let cells_total cs = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 cs
+
+type counter = cells
+type gauge = int64 Atomic.t (* float bits *)
+
+type histogram = {
+  hcells : cells array; (* bucket -> per-shard counts *)
+  hsums : int64 Atomic.t array; (* per-shard float-bits sums, CAS-updated *)
+}
+
+(* Rolling 1-second buckets covering the long burn window; the mutex is
+   uncontended in practice (one short critical section per deadline
+   job). Monotonic totals live in sharded cells outside the lock. *)
+let short_window_s = 60.0
+let long_window_s = 300.0
+let ring_slots = 360
+
+type slo_window = {
+  w_hits : cells;
+  w_misses : cells;
+  w_mutex : Mutex.t;
+  w_sec : int array; (* absolute second stamped into each slot *)
+  w_slot_hits : int array;
+  w_slot_misses : int array;
+}
+
+type registered =
+  | RC of counter
+  | RG of gauge
+  | RH of histogram
+  | RW of slo_window
+
+type key = { name : string; labels : (string * string) list }
+
+type t = {
+  mutex : Mutex.t;
+  table : (key, registered) Hashtbl.t;
+  mutable order : key list; (* reverse registration order *)
+  help : (string, string) Hashtbl.t;
+}
+
+let create () =
+  { mutex = Mutex.create (); table = Hashtbl.create 64; order = [];
+    help = Hashtbl.create 64 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let canonical_key name labels =
+  { name; labels = List.sort compare labels }
+
+let kind_name = function
+  | RC _ -> "counter"
+  | RG _ -> "gauge"
+  | RH _ -> "histogram"
+  | RW _ -> "slo-window"
+
+let register t ?help ?(labels = []) name fresh unpack =
+  let key = canonical_key name labels in
+  locked t (fun () ->
+      Option.iter
+        (fun h -> if not (Hashtbl.mem t.help name) then Hashtbl.replace t.help name h)
+        help;
+      match Hashtbl.find_opt t.table key with
+      | Some existing ->
+        (match unpack existing with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as a %s" name
+               (kind_name existing)))
+      | None ->
+        let r = fresh () in
+        Hashtbl.replace t.table key r;
+        t.order <- key :: t.order;
+        match unpack r with Some v -> v | None -> assert false)
+
+let counter t ?help ?labels name =
+  register t ?help ?labels name
+    (fun () -> RC (cells_make ()))
+    (function RC c -> Some c | _ -> None)
+
+let gauge t ?help ?labels name =
+  register t ?help ?labels name
+    (fun () -> RG (Atomic.make (Int64.bits_of_float 0.0)))
+    (function RG g -> Some g | _ -> None)
+
+let histogram t ?help ?labels name =
+  register t ?help ?labels name
+    (fun () ->
+      RH { hcells = Array.init n_buckets (fun _ -> cells_make ());
+           hsums = Array.init n_shards (fun _ -> Atomic.make (Int64.bits_of_float 0.0)) })
+    (function RH h -> Some h | _ -> None)
+
+let slo_window t ?help ?labels name =
+  register t ?help ?labels name
+    (fun () ->
+      RW { w_hits = cells_make (); w_misses = cells_make ();
+           w_mutex = Mutex.create ();
+           w_sec = Array.make ring_slots (-1);
+           w_slot_hits = Array.make ring_slots 0;
+           w_slot_misses = Array.make ring_slots 0 })
+    (function RW w -> Some w | _ -> None)
+
+(* --- hot-path updates ---------------------------------------------- *)
+
+let incr ?(by = 1) c = cells_add c by
+let counter_value = cells_total
+
+let set g v = Atomic.set g (Int64.bits_of_float v)
+let gauge_value g = Int64.float_of_bits (Atomic.get g)
+
+let rec atomic_float_add cell v =
+  let old = Atomic.get cell in
+  let next = Int64.bits_of_float (Int64.float_of_bits old +. v) in
+  if not (Atomic.compare_and_set cell old next) then atomic_float_add cell v
+
+let observe h v =
+  cells_add h.hcells.(bucket_index v) 1;
+  atomic_float_add h.hsums.(shard ()) (if Float.is_finite v then v else 0.0)
+
+let record_deadline w ~hit =
+  cells_add (if hit then w.w_hits else w.w_misses) 1;
+  let s = int_of_float (Clock.now ()) in
+  let slot = s mod ring_slots in
+  Mutex.lock w.w_mutex;
+  if w.w_sec.(slot) <> s then begin
+    w.w_sec.(slot) <- s;
+    w.w_slot_hits.(slot) <- 0;
+    w.w_slot_misses.(slot) <- 0
+  end;
+  if hit then w.w_slot_hits.(slot) <- w.w_slot_hits.(slot) + 1
+  else w.w_slot_misses.(slot) <- w.w_slot_misses.(slot) + 1;
+  Mutex.unlock w.w_mutex
+
+let window_counts w ~window_s =
+  let now_s = int_of_float (Clock.now ()) in
+  let lo = now_s - int_of_float window_s in
+  Mutex.lock w.w_mutex;
+  let hits = ref 0 and misses = ref 0 in
+  for i = 0 to ring_slots - 1 do
+    if w.w_sec.(i) > lo && w.w_sec.(i) <= now_s then begin
+      hits := !hits + w.w_slot_hits.(i);
+      misses := !misses + w.w_slot_misses.(i)
+    end
+  done;
+  Mutex.unlock w.w_mutex;
+  (!hits, !misses)
+
+(* --- snapshots ----------------------------------------------------- *)
+
+type histo = { counts : int array; sum : float }
+
+type entry = Counter_v of int | Gauge_v of float | Histo_v of histo
+
+type snapshot = (key * entry) list
+
+let window_label s = ("window", Printf.sprintf "%.0fs" s)
+
+let snapshot_one key = function
+  | RC c -> [ (key, Counter_v (cells_total c)) ]
+  | RG g -> [ (key, Gauge_v (gauge_value g)) ]
+  | RH h ->
+    let counts = Array.map cells_total h.hcells in
+    let sum =
+      Array.fold_left (fun acc s -> acc +. Int64.float_of_bits (Atomic.get s)) 0.0 h.hsums
+    in
+    [ (key, Histo_v { counts; sum }) ]
+  | RW w ->
+    let sh, sm = window_counts w ~window_s:short_window_s in
+    let lh, lm = window_counts w ~window_s:long_window_s in
+    let sub suffix labels entry =
+      ({ name = key.name ^ suffix; labels = key.labels @ labels }, entry)
+    in
+    [ sub "_hits_total" [] (Counter_v (cells_total w.w_hits));
+      sub "_misses_total" [] (Counter_v (cells_total w.w_misses));
+      sub "_hits" [ window_label short_window_s ] (Gauge_v (float_of_int sh));
+      sub "_misses" [ window_label short_window_s ] (Gauge_v (float_of_int sm));
+      sub "_hits" [ window_label long_window_s ] (Gauge_v (float_of_int lh));
+      sub "_misses" [ window_label long_window_s ] (Gauge_v (float_of_int lm)) ]
+
+let snapshot t =
+  locked t (fun () ->
+      List.concat_map
+        (fun key -> snapshot_one key (Hashtbl.find t.table key))
+        (List.rev t.order))
+
+let help_of t name = locked t (fun () -> Hashtbl.find_opt t.help name)
+
+(* --- merge --------------------------------------------------------- *)
+
+let combine a b =
+  match (a, b) with
+  | Counter_v x, Counter_v y -> Counter_v (x + y)
+  | Gauge_v x, Gauge_v y -> Gauge_v (x +. y)
+  | Histo_v x, Histo_v y ->
+    Histo_v
+      { counts = Array.init n_buckets (fun i -> x.counts.(i) + y.counts.(i));
+        sum = x.sum +. y.sum }
+  | x, _ -> x (* kind clash across processes: keep the left reading *)
+
+let merge a b =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, e) -> Hashtbl.replace tbl k e) a;
+  let appended =
+    List.filter_map
+      (fun (k, e) ->
+        match Hashtbl.find_opt tbl k with
+        | None ->
+          Hashtbl.replace tbl k e;
+          Some k
+        | Some e0 ->
+          Hashtbl.replace tbl k (combine e0 e);
+          None)
+      b
+  in
+  List.map (fun (k, _) -> (k, Hashtbl.find tbl k)) a
+  @ List.map (fun k -> (k, Hashtbl.find tbl k)) appended
+
+let merge_all = function [] -> [] | s :: rest -> List.fold_left merge s rest
+
+(* --- histogram quantiles ------------------------------------------- *)
+
+let total h = Array.fold_left ( + ) 0 h.counts
+
+let quantile h p =
+  let n = total h in
+  if n = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int n in
+    let rec walk i cum =
+      if i >= n_buckets then n_buckets - 1
+      else
+        let cum' = cum + h.counts.(i) in
+        if float_of_int cum' >= rank && h.counts.(i) > 0 then i
+        else if cum' >= n then i
+        else walk (i + 1) cum'
+    in
+    let b = walk 0 0 in
+    let before =
+      let s = ref 0 in
+      for i = 0 to b - 1 do
+        s := !s + h.counts.(i)
+      done;
+      !s
+    in
+    let lo = if b = 0 then 0.0 else bucket_bound (b - 1) in
+    let hi =
+      if b >= n_buckets - 1 then bucket_bound (n_buckets - 2) (* clamp +inf *)
+      else bucket_bound b
+    in
+    let in_bucket = h.counts.(b) in
+    if in_bucket = 0 then hi
+    else
+      let frac = (rank -. float_of_int before) /. float_of_int in_bucket in
+      let frac = Float.max 0.0 (Float.min 1.0 frac) in
+      lo +. (frac *. (hi -. lo))
+  end
+
+(* --- lookup -------------------------------------------------------- *)
+
+let find snap ?labels name =
+  let matches (k, _) =
+    k.name = name
+    && match labels with
+       | None -> true
+       | Some l -> k.labels = (List.sort compare l)
+  in
+  Option.map snd (List.find_opt matches snap)
+
+let fold_name snap name ~init ~f =
+  List.fold_left
+    (fun acc (k, e) -> if k.name = name then f acc k e else acc)
+    init snap
+
+(* --- JSON wire format ---------------------------------------------- *)
+
+let entry_fields = function
+  | Counter_v v -> [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int v)) ]
+  | Gauge_v v -> [ ("type", Json.Str "gauge"); ("value", Json.Num v) ]
+  | Histo_v h ->
+    (* sparse [index, count] pairs: histograms ride a line protocol *)
+    let pairs = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) <> 0 then
+        pairs :=
+          Json.List [ Json.Num (float_of_int i); Json.Num (float_of_int h.counts.(i)) ]
+          :: !pairs
+    done;
+    [ ("type", Json.Str "histogram"); ("counts", Json.List !pairs);
+      ("sum", Json.Num h.sum) ]
+
+let snapshot_to_json snap =
+  Json.Obj
+    [ ( "metrics",
+        Json.List
+          (List.map
+             (fun (k, e) ->
+               Json.Obj
+                 (("name", Json.Str k.name)
+                 :: (if k.labels = [] then []
+                     else
+                       [ ( "labels",
+                           Json.Obj
+                             (List.map (fun (a, b) -> (a, Json.Str b)) k.labels) ) ])
+                 @ entry_fields e))
+             snap) ) ]
+
+let ( let* ) = Result.bind
+
+let entry_of_json json =
+  let num k =
+    match Json.member k json with Some (Json.Num n) -> Some n | _ -> None
+  in
+  match Json.member "type" json with
+  | Some (Json.Str "counter") ->
+    Ok (Counter_v (int_of_float (Option.value ~default:0.0 (num "value"))))
+  | Some (Json.Str "gauge") ->
+    Ok (Gauge_v (Option.value ~default:0.0 (num "value")))
+  | Some (Json.Str "histogram") ->
+    let counts = Array.make n_buckets 0 in
+    let* () =
+      match Json.member "counts" json with
+      | Some (Json.List pairs) ->
+        List.fold_left
+          (fun acc p ->
+            let* () = acc in
+            match p with
+            | Json.List [ Json.Num i; Json.Num n ] ->
+              let i = int_of_float i in
+              if i < 0 || i >= n_buckets then Error "histogram bucket out of range"
+              else begin
+                counts.(i) <- counts.(i) + int_of_float n;
+                Ok ()
+              end
+            | _ -> Error "histogram counts must be [index, count] pairs")
+          (Ok ()) pairs
+      | _ -> Error "histogram missing counts"
+    in
+    Ok (Histo_v { counts; sum = Option.value ~default:0.0 (num "sum") })
+  | _ -> Error "metric missing type"
+
+let snapshot_of_json json =
+  match Json.member "metrics" json with
+  | Some (Json.List items) ->
+    List.fold_left
+      (fun acc item ->
+        let* snap = acc in
+        let* name =
+          match Json.member "name" item with
+          | Some (Json.Str s) -> Ok s
+          | _ -> Error "metric missing name"
+        in
+        let labels =
+          match Json.member "labels" item with
+          | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (k, v) -> match v with Json.Str s -> Some (k, s) | _ -> None)
+              fields
+          | _ -> []
+        in
+        let* entry = entry_of_json item in
+        Ok ((canonical_key name labels, entry) :: snap))
+      (Ok []) items
+    |> Result.map List.rev
+  | _ -> Error "snapshot missing metrics list"
+
+(* --- Prometheus text exposition ------------------------------------ *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v)) labels)
+    ^ "}"
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let to_prometheus ?(help = fun _ -> None) snap =
+  let buf = Buffer.create 4096 in
+  let typed = Hashtbl.create 16 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      (match help name with
+      | Some h -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name h)
+      | None -> ());
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (k, e) ->
+      match e with
+      | Counter_v v ->
+        type_line k.name "counter";
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" k.name (render_labels k.labels) v)
+      | Gauge_v v ->
+        type_line k.name "gauge";
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" k.name (render_labels k.labels) (fmt_float v))
+      | Histo_v h ->
+        type_line k.name "histogram";
+        let cum = ref 0 in
+        for i = 0 to n_buckets - 1 do
+          let c = h.counts.(i) in
+          cum := !cum + c;
+          (* only emit populated bounds (plus +Inf below): cumulative
+             semantics survive the omission and the text stays small *)
+          if c <> 0 && i < n_buckets - 1 then
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" k.name
+                 (render_labels (k.labels @ [ ("le", fmt_float (bucket_bound i)) ]))
+                 !cum)
+        done;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" k.name
+             (render_labels (k.labels @ [ ("le", "+Inf") ]))
+             !cum);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" k.name (render_labels k.labels)
+             (fmt_float h.sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" k.name (render_labels k.labels) !cum))
+    snap;
+  Buffer.contents buf

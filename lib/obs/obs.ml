@@ -17,32 +17,71 @@ type event = {
 }
 
 (* The single flag every instrumentation site checks before doing any
-   work; the buffer mutex is only ever taken when the flag is set. *)
+   work; slot mutexes are only ever taken when the flag is set. *)
 let on = Atomic.make false
-let lock = Mutex.create ()
-let buffer = ref [] (* newest first *)
+
+(* Per-domain buffer slots: a recording domain locks only its own
+   slot's mutex, so worker domains never contend with each other. A
+   global sequence number stamped under no lock (fetch_and_add)
+   recovers the exact global recording order at drain time. *)
+let n_slots = 64
+
+type slot = { m : Mutex.t; mutable buf : (int * event) list (* newest first *) }
+
+let slots = Array.init n_slots (fun _ -> { m = Mutex.create (); buf = [] })
+let slot () = slots.((Domain.self () :> int) land (n_slots - 1))
+let seq = Atomic.make 0
+let size = Atomic.make 0 (* approximate total buffered events *)
+let default_capacity = 262_144
+let cap = Atomic.make default_capacity
+let dropped_n = Atomic.make 0
 
 let enable () = Atomic.set on true
 let disable () = Atomic.set on false
 let enabled () = Atomic.get on
 
+let set_capacity n = Atomic.set cap (max 1 n)
+let capacity () = Atomic.get cap
+let dropped () = Atomic.get dropped_n
+
+let drain () =
+  let parts =
+    Array.map
+      (fun s ->
+        Mutex.lock s.m;
+        let b = s.buf in
+        s.buf <- [];
+        Mutex.unlock s.m;
+        b)
+      slots
+  in
+  let n = Array.fold_left (fun acc b -> acc + List.length b) 0 parts in
+  ignore (Atomic.fetch_and_add size (-n));
+  parts
+
 let reset () =
-  Mutex.lock lock;
-  buffer := [];
-  Mutex.unlock lock
+  ignore (drain ());
+  Atomic.set dropped_n 0
 
 let events () =
-  Mutex.lock lock;
-  let evs = List.rev !buffer in
-  Mutex.unlock lock;
-  evs
+  let parts = drain () in
+  let all = Array.fold_left (fun acc b -> List.rev_append b acc) [] parts in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) all)
 
 let tid () = (Domain.self () :> int)
 
 let record ev =
-  Mutex.lock lock;
-  buffer := ev :: !buffer;
-  Mutex.unlock lock
+  if Atomic.fetch_and_add size 1 >= Atomic.get cap then begin
+    ignore (Atomic.fetch_and_add size (-1));
+    ignore (Atomic.fetch_and_add dropped_n 1)
+  end
+  else begin
+    let n = Atomic.fetch_and_add seq 1 in
+    let s = slot () in
+    Mutex.lock s.m;
+    s.buf <- (n, ev) :: s.buf;
+    Mutex.unlock s.m
+  end
 
 let span ?(cat = "") ?(args = []) name f =
   if not (Atomic.get on) then f ()
@@ -54,6 +93,10 @@ let span ?(cat = "") ?(args = []) name f =
         record { name; cat; ph = Complete dur; ts = t0; tid = tid (); args })
       f
   end
+
+let complete ?(cat = "") ?(args = []) name ~ts ~dur =
+  if Atomic.get on then
+    record { name; cat; ph = Complete dur; ts; tid = tid (); args }
 
 let begin_span ?(cat = "") ?(args = []) name =
   if Atomic.get on then

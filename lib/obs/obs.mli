@@ -11,9 +11,14 @@
     The sink is disabled by default and every entry point checks a
     single atomic flag first, so instrumented hot paths pay one load
     and a branch when tracing is off (< 2% on the compile-time sweep).
-    Recording is domain-safe: a mutex guards the buffer, and
-    timestamps come from {!Clock}, so events from tuner worker domains
-    interleave correctly. *)
+    Recording is domain-safe {e and} domain-sharded: each domain
+    appends to its own buffer slot under its own mutex (no cross-domain
+    contention), a global atomic sequence number recovers total
+    recording order at drain time, and timestamps come from {!Clock},
+    so events from tuner worker domains interleave correctly. The
+    buffer is bounded ({!set_capacity}); once full, new events are
+    counted in {!dropped} instead of accumulating without limit, so a
+    long-running [csched serve] cannot leak memory through tracing. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -38,17 +43,36 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Drop all collected events (does not change the enabled flag). *)
+(** Drop all collected events and zero the {!dropped} counter (does
+    not change the enabled flag). *)
 
 val events : unit -> event list
-(** Collected events in recording order. A [Complete] span is recorded
-    when it finishes, so nested spans appear innermost-first; sort by
-    [ts] for start order. *)
+(** Drain: return all buffered events in global recording order and
+    clear the buffers. Call once per capture window and keep the
+    result — a second call returns only events recorded since. A
+    [Complete] span is recorded when it finishes, so nested spans
+    appear innermost-first; sort by [ts] for start order. *)
+
+val set_capacity : int -> unit
+(** Bound the total buffered event count (default 262144). Events
+    recorded while the buffer is full are dropped and counted. *)
+
+val capacity : unit -> int
+
+val dropped : unit -> int
+(** Events dropped since the last {!reset} because the buffer was
+    full. *)
 
 val span : ?cat:string -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] and records a [Complete] event with its
     wall-clock duration; the event is recorded even when [f] raises.
     When the sink is disabled this is exactly [f ()]. *)
+
+val complete :
+  ?cat:string -> ?args:(string * value) list -> string -> ts:float -> dur:float -> unit
+(** Record a finished span with an explicit start and duration (both
+    in {!Clock} seconds) — for intervals measured outside the sink,
+    e.g. a job's queue wait reconstructed from its admission stamp. *)
 
 val begin_span : ?cat:string -> ?args:(string * value) list -> string -> unit
 val end_span : ?cat:string -> ?args:(string * value) list -> string -> unit

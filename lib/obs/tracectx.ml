@@ -1,0 +1,42 @@
+type t = {
+  trace_id : string;
+  span_id : string;
+  parent_span : string option;
+}
+
+(* splitmix64: tiny, stateless-per-step, and good enough for ids that
+   only need to be unique across a fleet's worth of spans. *)
+let splitmix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (z, logxor z (shift_right_logical z 31))
+
+let state =
+  let seed =
+    Int64.logxor
+      (Int64.of_int (Unix.getpid () * 0x1000193))
+      (Int64.bits_of_float (Clock.now ()))
+  in
+  Atomic.make seed
+
+let rec next_raw () =
+  let old = Atomic.get state in
+  let next, out = splitmix64 old in
+  if Atomic.compare_and_set state old next then out else next_raw ()
+
+let fresh_id () = Printf.sprintf "%016Lx" (next_raw ())
+
+let root () = { trace_id = fresh_id (); span_id = fresh_id (); parent_span = None }
+
+let child t =
+  { trace_id = t.trace_id; span_id = fresh_id (); parent_span = Some t.span_id }
+
+let make ~trace_id ?parent_span () = { trace_id; span_id = fresh_id (); parent_span }
+
+let args t =
+  [ ("trace_id", Obs.Str t.trace_id); ("span_id", Obs.Str t.span_id) ]
+  @ match t.parent_span with
+    | None -> []
+    | Some p -> [ ("parent_span", Obs.Str p) ]

@@ -107,3 +107,27 @@ let fetch_stats ?(timeout_s = 5.0) ~addr () =
         (match read_lines fd handle_line with
         | Error e -> Error e
         | Ok () -> !result))
+
+(* One metrics round trip: the registry snapshot (or Prometheus text)
+   of a serve or gateway socket. *)
+let fetch_metrics ?(timeout_s = 5.0) ?(format = Proto.Metrics_json) ~addr () =
+  with_conn ~timeout_s addr (fun fd ->
+      match
+        write_all fd (Proto.metrics_line ~format () ^ "\n");
+        Unix.shutdown fd SHUTDOWN_SEND
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "send: %s" (Unix.error_message e))
+      | () ->
+        let result = ref (Error "no metrics reply before EOF") in
+        let handle_line line =
+          let line = String.trim line in
+          if line <> "" then
+            match (!result, Proto.metrics_reply_of_line line) with
+            | Error _, Ok (_, payload) -> result := Ok payload
+            | Error _, Error e -> result := Error e
+            | Ok _, _ -> ()
+        in
+        (match read_lines fd handle_line with
+        | Error e -> Error e
+        | Ok () -> !result))

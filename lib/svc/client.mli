@@ -20,3 +20,10 @@ val fetch_stats :
 (** One stats round trip against a serve or gateway socket ([timeout_s]
     defaults to 5 s). Errors are transport problems or a non-pong
     reply. *)
+
+val fetch_metrics :
+  ?timeout_s:float -> ?format:Proto.metrics_format -> addr:Transport.addr -> unit ->
+  (Proto.metrics_payload, string) result
+(** One metrics round trip ([format] defaults to the mergeable JSON
+    snapshot; ask for {!Proto.Metrics_prometheus} to get the rendered
+    text exposition instead). *)

@@ -1,0 +1,47 @@
+type t = {
+  registry : Cs_obs.Metrics.t;
+  admitted : Cs_obs.Metrics.counter;
+  completed : Cs_obs.Metrics.counter;
+  refused : Cs_obs.Metrics.counter;
+  shed : Cs_obs.Metrics.counter;
+  queue_depth : Cs_obs.Metrics.gauge;
+  busy : Cs_obs.Metrics.gauge;
+  workers : Cs_obs.Metrics.gauge;
+  latency_ms : Cs_obs.Metrics.histogram;
+  queue_wait_ms : Cs_obs.Metrics.histogram;
+  deadline : Cs_obs.Metrics.slo_window;
+}
+
+let create () =
+  let registry = Cs_obs.Metrics.create () in
+  let counter = Cs_obs.Metrics.counter registry in
+  let gauge = Cs_obs.Metrics.gauge registry in
+  let histogram = Cs_obs.Metrics.histogram registry in
+  { registry;
+    admitted = counter ~help:"Jobs accepted into the admission queue"
+        "csched_jobs_admitted_total";
+    completed = counter ~help:"Jobs answered with a schedule"
+        "csched_jobs_completed_total";
+    refused = counter ~help:"Jobs answered with a typed refusal"
+        "csched_jobs_refused_total";
+    shed = counter ~help:"Jobs shed by the admission queue" "csched_jobs_shed_total";
+    queue_depth = gauge ~help:"Jobs waiting in the admission queue"
+        "csched_queue_depth";
+    busy = gauge ~help:"Workers currently executing a job" "csched_workers_busy";
+    workers = gauge ~help:"Worker pool size" "csched_workers";
+    latency_ms = histogram ~help:"Admission-to-reply latency (ms)"
+        "csched_job_latency_ms";
+    queue_wait_ms = histogram ~help:"Admission-to-dequeue wait (ms)"
+        "csched_queue_wait_ms";
+    deadline = Cs_obs.Metrics.slo_window registry
+        ~help:"Deadline outcomes of deadline-carrying jobs" "csched_deadline" }
+
+let snapshot t = Cs_obs.Metrics.snapshot t.registry
+
+let metrics_payload t format =
+  match format with
+  | Proto.Metrics_json -> Proto.Snapshot (snapshot t)
+  | Proto.Metrics_prometheus ->
+    Proto.Prom_text
+      (Cs_obs.Metrics.to_prometheus ~help:(Cs_obs.Metrics.help_of t.registry)
+         (snapshot t))

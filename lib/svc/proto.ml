@@ -7,11 +7,22 @@ type request = {
   deadline_ms : float option;
   passes : string option;
   seed : int option;
+  trace_id : string option;
+  parent_span : string option;
 }
 
 let request ?(id = "") ?(machine = "raw16") ?(scheduler = "convergent") ?(scale = 1)
-    ?deadline_ms ?passes ?seed bench =
-  { id; bench; machine; scheduler; scale; deadline_ms; passes; seed }
+    ?deadline_ms ?passes ?seed ?trace_id ?parent_span bench =
+  { id; bench; machine; scheduler; scale; deadline_ms; passes; seed; trace_id;
+    parent_span }
+
+let with_trace ~(ctx : Cs_obs.Tracectx.t) r =
+  { r with trace_id = Some ctx.trace_id; parent_span = Some ctx.span_id }
+
+let trace_of_request r =
+  match r.trace_id with
+  | None -> None
+  | Some trace_id -> Some (Cs_obs.Tracectx.make ~trace_id ?parent_span:r.parent_span ())
 
 type verdict =
   | Scheduled of {
@@ -73,7 +84,9 @@ let request_to_json r =
        ("scale", Num (float_of_int r.scale)) ]
     @ opt "deadline_ms" (Option.map (fun d -> Num d) r.deadline_ms)
     @ opt "passes" (Option.map (fun p -> Str p) r.passes)
-    @ opt "seed" (Option.map (fun s -> Num (float_of_int s)) r.seed))
+    @ opt "seed" (Option.map (fun s -> Num (float_of_int s)) r.seed)
+    @ opt "trace_id" (Option.map (fun t -> Str t) r.trace_id)
+    @ opt "parent_span" (Option.map (fun p -> Str p) r.parent_span))
 
 let str_member ?default key json =
   match (Cs_obs.Json.member key json, default) with
@@ -103,7 +116,14 @@ let request_of_json json =
     | _ -> None
   in
   let seed = Option.map int_of_float (num_member "seed" json) in
-  Ok { id; bench; machine; scheduler; scale; deadline_ms; passes; seed }
+  let opt_str k =
+    match Cs_obs.Json.member k json with
+    | Some (Cs_obs.Json.Str s) -> Some s
+    | _ -> None
+  in
+  Ok
+    { id; bench; machine; scheduler; scale; deadline_ms; passes; seed;
+      trace_id = opt_str "trace_id"; parent_span = opt_str "parent_span" }
 
 let reply_to_json r =
   let open Cs_obs.Json in
@@ -159,9 +179,11 @@ let reply_of_json json =
   in
   Ok { reply_id; elapsed_ms; verdict; queue_depth; cached }
 
-(* --- control verbs (ping / stats) ---------------------------------- *)
+(* --- control verbs (ping / stats / metrics) ------------------------ *)
 
-type control = Ping | Stats_query
+type metrics_format = Metrics_json | Metrics_prometheus
+
+type control = Ping | Stats_query | Metrics_query of metrics_format
 
 type incoming = Job_request of request | Control of { op : control; id : string }
 
@@ -172,6 +194,17 @@ let control_line ~op ?(id = "") () =
 let ping_line = control_line ~op:"ping"
 let stats_line = control_line ~op:"stats"
 
+let metrics_line ?(format = Metrics_json) ?(id = "") () =
+  Cs_obs.Json.to_string
+    (Cs_obs.Json.Obj
+       [ ("op", Cs_obs.Json.Str "metrics");
+         ( "format",
+           Cs_obs.Json.Str
+             (match format with
+             | Metrics_json -> "json"
+             | Metrics_prometheus -> "prometheus") );
+         ("id", Cs_obs.Json.Str id) ])
+
 let incoming_of_json json =
   match Cs_obs.Json.member "op" json with
   | Some (Cs_obs.Json.Str op) ->
@@ -179,9 +212,54 @@ let incoming_of_json json =
     (match op with
     | "ping" -> Ok (Control { op = Ping; id })
     | "stats" -> Ok (Control { op = Stats_query; id })
+    | "metrics" ->
+      let* format =
+        match Cs_obs.Json.member "format" json with
+        | Some (Cs_obs.Json.Str "prometheus") -> Ok Metrics_prometheus
+        | Some (Cs_obs.Json.Str "json") | None -> Ok Metrics_json
+        | _ -> Error "metrics format must be \"json\" or \"prometheus\""
+      in
+      Ok (Control { op = Metrics_query format; id })
     | other -> Error (Printf.sprintf "unknown op %S" other))
   | Some _ -> Error "op must be a string"
   | None -> Result.map (fun r -> Job_request r) (request_of_json json)
+
+(* A metrics answer line: either the mergeable JSON snapshot or the
+   rendered Prometheus text (as one JSON string field), so both ride
+   the same one-line-per-reply framing as everything else. *)
+type metrics_payload =
+  | Snapshot of Cs_obs.Metrics.snapshot
+  | Prom_text of string
+
+let metrics_reply_to_line ~id payload =
+  let open Cs_obs.Json in
+  let fields =
+    match payload with
+    | Snapshot snap ->
+      [ ("format", Str "json");
+        ("snapshot", Cs_obs.Metrics.snapshot_to_json snap) ]
+    | Prom_text text -> [ ("format", Str "prometheus"); ("text", Str text) ]
+  in
+  to_string (Obj ([ ("id", Str id); ("status", Str "metrics") ] @ fields))
+
+let metrics_reply_of_json json =
+  let* status = str_member "status" json in
+  if status <> "metrics" then
+    Error (Printf.sprintf "expected a metrics reply, got status %S" status)
+  else
+    let* id = str_member ~default:"" "id" json in
+    let* format = str_member ~default:"json" "format" json in
+    match format with
+    | "json" ->
+      (match Cs_obs.Json.member "snapshot" json with
+      | Some snap_json ->
+        let* snap = Cs_obs.Metrics.snapshot_of_json snap_json in
+        Ok (id, Snapshot snap)
+      | None -> Error "metrics reply missing snapshot")
+    | "prometheus" ->
+      let* text = str_member ~default:"" "text" json in
+      Ok (id, Prom_text text)
+    | other -> Error (Printf.sprintf "unknown metrics format %S" other)
 
 type server_stats = {
   queue_depth : int;
@@ -251,3 +329,4 @@ let reply_of_line = of_line reply_of_json
 let incoming_of_line = of_line incoming_of_json
 let pong_to_line ~id s = Cs_obs.Json.to_string (pong_to_json ~id s)
 let pong_of_line = of_line pong_of_json
+let metrics_reply_of_line = of_line metrics_reply_of_json

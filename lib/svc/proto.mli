@@ -14,13 +14,28 @@ type request = {
       (** per-job budget, measured from admission; [None] = no deadline *)
   passes : string option;  (** comma-separated pass spec overriding the default *)
   seed : int option;
+  trace_id : string option;
+      (** cross-process trace context (see {!Cs_obs.Tracectx}): the
+          causal chain's id, stamped by the submitting client or the
+          gateway and echoed into every span the job produces *)
+  parent_span : string option;
+      (** span id of the hop that forwarded this request *)
 }
 
 val request :
   ?id:string -> ?machine:string -> ?scheduler:string -> ?scale:int ->
-  ?deadline_ms:float -> ?passes:string -> ?seed:int -> string -> request
+  ?deadline_ms:float -> ?passes:string -> ?seed:int -> ?trace_id:string ->
+  ?parent_span:string -> string -> request
 (** [request bench] with defaults mirroring the CLI ([raw16],
-    [convergent], scale 1, no deadline). *)
+    [convergent], scale 1, no deadline, no trace context). *)
+
+val with_trace : ctx:Cs_obs.Tracectx.t -> request -> request
+(** Stamp [ctx] onto a request: the wire carries [ctx.trace_id] and
+    [ctx.span_id] as the receiving hop's parent. *)
+
+val trace_of_request : request -> Cs_obs.Tracectx.t option
+(** Rebuild the receiving hop's context (fresh span id, parented on
+    the sender's span); [None] when the request carries no trace. *)
 
 type verdict =
   | Scheduled of {
@@ -60,19 +75,32 @@ val reply_of_line : string -> (reply, string) result
 
 (** {2 Control verbs}
 
-    Besides job requests, a service socket answers two control lines:
-    [{"op":"ping"}] (liveness probe) and [{"op":"stats"}] (live
-    counters). Both are answered inline — never queued — with a
-    [status = "pong"] line carrying the current {!server_stats}, so a
-    health checker's probe cannot be starved by a full admission
-    queue. *)
+    Besides job requests, a service socket answers three control
+    lines: [{"op":"ping"}] (liveness probe), [{"op":"stats"}] (live
+    counters), and [{"op":"metrics","format":"json"|"prometheus"}]
+    (the full metrics registry). All are answered inline — never
+    queued — so a health checker's probe cannot be starved by a full
+    admission queue. *)
 
-type control = Ping | Stats_query
+type metrics_format = Metrics_json | Metrics_prometheus
+
+type control = Ping | Stats_query | Metrics_query of metrics_format
 
 type incoming = Job_request of request | Control of { op : control; id : string }
 
 val ping_line : ?id:string -> unit -> string
 val stats_line : ?id:string -> unit -> string
+val metrics_line : ?format:metrics_format -> ?id:string -> unit -> string
+
+type metrics_payload =
+  | Snapshot of Cs_obs.Metrics.snapshot
+      (** mergeable registry snapshot; fold shard answers with
+          {!Cs_obs.Metrics.merge_all} for fleet totals *)
+  | Prom_text of string  (** Prometheus text exposition, pre-rendered *)
+
+val metrics_reply_to_line : id:string -> metrics_payload -> string
+val metrics_reply_of_line : string -> (string * metrics_payload, string) result
+(** [(id, payload)]; errors on anything that is not a metrics reply. *)
 
 val incoming_of_line : string -> (incoming, string) result
 (** Classify one wire line: a control line (has an ["op"] member) or a

@@ -43,10 +43,7 @@ type t = {
   aborted : bool Atomic.t;
   conns_mutex : Mutex.t;
   mutable conns : conn list;
-  n_admitted : int Atomic.t;
-  n_completed : int Atomic.t;
-  n_shed : int Atomic.t;
-  n_refused : int Atomic.t;
+  meters : Meters.t;
   n_busy : int Atomic.t;
 }
 
@@ -82,29 +79,37 @@ let finish_edge conn ~job_done =
 let create cfg =
   if cfg.workers <= 0 then invalid_arg "Server.create: workers must be positive";
   let listen_fd = Transport.listen cfg.listen_addr in
+  let meters = Meters.create () in
+  Cs_obs.Metrics.set meters.Meters.workers (float_of_int cfg.workers);
   { cfg; listen_fd; bound = Transport.bound_addr listen_fd cfg.listen_addr;
     queue = Squeue.create ~capacity:cfg.queue_capacity;
     stopping = Atomic.make false; aborted = Atomic.make false;
-    conns_mutex = Mutex.create (); conns = [];
-    n_admitted = Atomic.make 0; n_completed = Atomic.make 0;
-    n_shed = Atomic.make 0; n_refused = Atomic.make 0; n_busy = Atomic.make 0 }
+    conns_mutex = Mutex.create (); conns = []; meters; n_busy = Atomic.make 0 }
 
 let address t = t.bound
+let meters t = t.meters
+
+(* Live values mirror into registry gauges at the moments they change
+   (or are read), so metrics snapshots and the stats verb agree. *)
+let sync_gauges t =
+  Cs_obs.Metrics.set t.meters.Meters.queue_depth
+    (float_of_int (Squeue.length t.queue));
+  Cs_obs.Metrics.set t.meters.Meters.busy (float_of_int (Atomic.get t.n_busy))
 
 let stats t =
-  { admitted = Atomic.get t.n_admitted;
-    completed = Atomic.get t.n_completed;
-    shed = Atomic.get t.n_shed;
-    refused = Atomic.get t.n_refused }
+  { admitted = Cs_obs.Metrics.counter_value t.meters.Meters.admitted;
+    completed = Cs_obs.Metrics.counter_value t.meters.Meters.completed;
+    shed = Cs_obs.Metrics.counter_value t.meters.Meters.shed;
+    refused = Cs_obs.Metrics.counter_value t.meters.Meters.refused }
 
 let server_stats t =
   { Proto.queue_depth = Squeue.length t.queue;
     workers = t.cfg.workers;
     busy = Atomic.get t.n_busy;
-    admitted = Atomic.get t.n_admitted;
-    completed = Atomic.get t.n_completed;
-    shed = Atomic.get t.n_shed;
-    refusals = Atomic.get t.n_refused;
+    admitted = Cs_obs.Metrics.counter_value t.meters.Meters.admitted;
+    completed = Cs_obs.Metrics.counter_value t.meters.Meters.completed;
+    shed = Cs_obs.Metrics.counter_value t.meters.Meters.shed;
+    refusals = Cs_obs.Metrics.counter_value t.meters.Meters.refused;
     extra = [] }
 
 let worker t () =
@@ -126,23 +131,46 @@ let worker t () =
       end
       else begin
         Atomic.incr t.n_busy;
+        sync_gauges t;
+        let r = job.Job.request in
+        (* The receiving hop of the request's trace: a fresh span id
+           parented on whoever forwarded the job (gateway or client). *)
+        let ctx = Proto.trace_of_request r in
+        let ctx_args =
+          match ctx with None -> [] | Some c -> Cs_obs.Tracectx.args c
+        in
+        let job_args = ("id", Cs_obs.Obs.Str r.Proto.id) :: ctx_args in
+        let wait_s = Cs_obs.Clock.now () -. job.Job.arrival in
+        Cs_obs.Metrics.observe t.meters.Meters.queue_wait_ms (wait_s *. 1000.0);
+        Cs_obs.Obs.complete ~cat:"svc" ~args:job_args "job:queue"
+          ~ts:job.Job.arrival ~dur:wait_s;
         let reply =
-          try
-            Job.run ?retry_policy:t.cfg.retry ?extra_passes
-              ?pass_budget_s:t.cfg.pass_budget_s job
-          with e ->
-            (* last-ditch: a bug in the job runner must not kill the
-               worker — the client is owed a reply either way *)
-            Proto.refused ~id:job.Job.request.Proto.id
-              (Cs_resil.Error.Pass_failure (Printexc.to_string e))
+          Cs_obs.Obs.span ~cat:"svc" ~args:job_args "job:run" (fun () ->
+              try
+                Job.run ?retry_policy:t.cfg.retry ?extra_passes
+                  ?pass_budget_s:t.cfg.pass_budget_s job
+              with e ->
+                (* last-ditch: a bug in the job runner must not kill the
+                   worker — the client is owed a reply either way *)
+                Proto.refused ~id:r.Proto.id
+                  (Cs_resil.Error.Pass_failure (Printexc.to_string e)))
         in
         Atomic.decr t.n_busy;
+        Cs_obs.Metrics.observe t.meters.Meters.latency_ms
+          ((Cs_obs.Clock.now () -. job.Job.arrival) *. 1000.0);
         (match reply.Proto.verdict with
-        | Proto.Scheduled _ -> Atomic.incr t.n_completed
-        | Proto.Refused _ -> Atomic.incr t.n_refused);
+        | Proto.Scheduled _ ->
+          Cs_obs.Metrics.incr t.meters.Meters.completed;
+          if job.Job.deadline <> None then
+            Cs_obs.Metrics.record_deadline t.meters.Meters.deadline ~hit:true
+        | Proto.Refused e ->
+          Cs_obs.Metrics.incr t.meters.Meters.refused;
+          if e.kind = "deadline-exceeded" then
+            Cs_obs.Metrics.record_deadline t.meters.Meters.deadline ~hit:false);
         (* Piggyback the current queue depth so dispatchers upstream can
            run load-aware policies without extra round trips. *)
         send_reply on { reply with Proto.queue_depth = Some (Squeue.length t.queue) };
+        sync_gauges t;
         finish_edge on ~job_done:true;
         loop ()
       end
@@ -162,9 +190,13 @@ let serve_conn t conn =
     if line <> "" then begin
       match Proto.incoming_of_line line with
       | Error e ->
-        Atomic.incr t.n_refused;
+        Cs_obs.Metrics.incr t.meters.Meters.refused;
         send_reply conn
           (Proto.refused ~id:"" (Cs_resil.Error.Invalid_input e))
+      | Ok (Proto.Control { op = Proto.Metrics_query format; id }) ->
+        sync_gauges t;
+        send_line conn
+          (Proto.metrics_reply_to_line ~id (Meters.metrics_payload t.meters format))
       | Ok (Proto.Control { op; id }) ->
         let s = server_stats t in
         (match op with
@@ -176,7 +208,7 @@ let serve_conn t conn =
               ("completed", float_of_int s.Proto.completed);
               ("shed", float_of_int s.Proto.shed);
               ("refusals", float_of_int s.Proto.refusals) ]
-        | Proto.Ping -> ());
+        | Proto.Ping | Proto.Metrics_query _ -> ());
         send_line conn (Proto.pong_to_line ~id s)
       | Ok (Proto.Job_request request) ->
         let job = Job.admit ?default_deadline_ms:t.cfg.default_deadline_ms request in
@@ -185,7 +217,7 @@ let serve_conn t conn =
         Mutex.unlock conn.out_mutex;
         if Atomic.get t.stopping || not (Squeue.try_push t.queue { job; on = conn })
         then begin
-          Atomic.incr t.n_shed;
+          Cs_obs.Metrics.incr t.meters.Meters.shed;
           send_reply conn
             (Proto.refused ~id:request.Proto.id
                (Cs_resil.Error.Overloaded
@@ -195,7 +227,10 @@ let serve_conn t conn =
                        t.cfg.queue_capacity)));
           finish_edge conn ~job_done:true
         end
-        else Atomic.incr t.n_admitted
+        else begin
+          Cs_obs.Metrics.incr t.meters.Meters.admitted;
+          sync_gauges t
+        end
     end
   in
   let rec drain_lines () =
@@ -306,6 +341,13 @@ let run t =
         ("workers", Cs_obs.Obs.Int t.cfg.workers);
         ("queue", Cs_obs.Obs.Int t.cfg.queue_capacity) ]
     "server:listen";
+  (* Self-announcement for merged traces: Export.chrome_merged names
+     this process's lane from it. *)
+  Cs_obs.Obs.instant ~cat:"meta"
+    ~args:
+      [ ("role", Cs_obs.Obs.Str "shard");
+        ("addr", Cs_obs.Obs.Str (Transport.to_string t.bound)) ]
+    "process";
   accept_loop ();
   (* Graceful drain: no new connections, finish reading the open ones,
      answer every admitted job, then tear down. (After [abort] the

@@ -82,3 +82,8 @@ val stats : t -> stats
 
 val server_stats : t -> Proto.server_stats
 (** The live counters served by the stats control verb. *)
+
+val meters : t -> Meters.t
+(** This instance's metrics registry (also served by the [metrics]
+    control verb): job counters, latency/queue-wait histograms, and
+    the [csched_deadline] SLO window. *)

@@ -434,6 +434,124 @@ let test_gateway_stats_verb () =
     Alcotest.(check bool) "cache counters present" true
       (extra "cache_hits" <> None && extra "cache_misses" <> None)
 
+let test_gateway_metrics_verb_accounts_every_job () =
+  let module M = Cs_obs.Metrics in
+  with_server "127.0.0.1:0" @@ fun s1 ->
+  with_server "127.0.0.1:0" @@ fun s2 ->
+  let cfg =
+    Gateway.config ~forwarders:2 ~probe_period_s:0.2
+      ~shards:[ shard_spec s1; shard_spec s2 ]
+      "127.0.0.1:0"
+  in
+  with_gateway cfg @@ fun gw ->
+  let n = 6 in
+  let jobs =
+    List.init n (fun i ->
+        Proto.request ~id:(Printf.sprintf "m%d" i) ~machine:"raw4" ~seed:i "fir")
+  in
+  (match Cs_svc.Client.submit ~timeout_s:60.0 ~addr:(Gateway.address gw) jobs with
+  | Ok rs -> Alcotest.(check int) "all answered" n (List.length rs)
+  | Error e -> Alcotest.failf "submit failed: %s" e);
+  let snap_of addr =
+    match Cs_svc.Client.fetch_metrics ~addr () with
+    | Ok (Proto.Snapshot snap) -> snap
+    | Ok (Proto.Prom_text _) -> Alcotest.fail "asked for json, got prometheus"
+    | Error e -> Alcotest.failf "metrics verb failed: %s" e
+  in
+  let counter snap name =
+    match M.find snap name with Some (M.Counter_v v) -> v | _ -> 0
+  in
+  let gw_snap = snap_of (Gateway.address gw) in
+  let s1_snap = snap_of (Cs_svc.Server.address s1) in
+  let s2_snap = snap_of (Cs_svc.Server.address s2) in
+  Alcotest.(check int) "gateway admitted every client job" n
+    (counter gw_snap "csched_jobs_admitted_total");
+  Alcotest.(check int) "shard admissions account for every forwarded job" n
+    (counter s1_snap "csched_jobs_admitted_total"
+    + counter s2_snap "csched_jobs_admitted_total"
+    + counter gw_snap "csched_cache_hits_total");
+  let forwarded_by_label =
+    M.fold_name gw_snap "csched_gateway_forwarded_total" ~init:0 ~f:(fun acc _ e ->
+        match e with M.Counter_v v -> acc + v | _ -> acc)
+  in
+  Alcotest.(check int) "per-shard forwarded counters sum to the batch" n
+    forwarded_by_label;
+  (* merged fleet snapshot: job latency histogram holds every observation *)
+  let merged = M.merge_all [ gw_snap; s1_snap; s2_snap ] in
+  (match M.find merged "csched_job_latency_ms" with
+  | Some (M.Histo_v h) ->
+    Alcotest.(check int) "merged latency histogram sees gateway + shard samples"
+      (2 * n) (M.total h)
+  | _ -> Alcotest.fail "merged latency histogram missing");
+  (* the Prometheus rendering of the same registry parses line by line *)
+  match Cs_svc.Client.fetch_metrics ~format:Proto.Metrics_prometheus
+          ~addr:(Gateway.address gw) ()
+  with
+  | Ok (Proto.Prom_text text) ->
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+           if line <> "" && line.[0] <> '#' then
+             match String.rindex_opt line ' ' with
+             | None -> Alcotest.failf "unparseable sample: %s" line
+             | Some i ->
+               if
+                 float_of_string_opt
+                   (String.sub line (i + 1) (String.length line - i - 1))
+                 = None
+               then Alcotest.failf "non-numeric value: %s" line)
+  | Ok (Proto.Snapshot _) -> Alcotest.fail "asked for prometheus, got json"
+  | Error e -> Alcotest.failf "prometheus fetch failed: %s" e
+
+let test_gateway_trace_propagation () =
+  (* In-process gateway + shard share one Obs sink, so one traced job
+     leaves both halves of the cross-process story in a single capture:
+     the gateway's dispatch span parented on the client's root span, and
+     the shard's run span parented on the gateway's dispatch span, all
+     under one trace id. *)
+  let module Obs = Cs_obs.Obs in
+  with_server "127.0.0.1:0" @@ fun s1 ->
+  let cfg = Gateway.config ~shards:[ shard_spec s1 ] "127.0.0.1:0" in
+  with_gateway cfg @@ fun gw ->
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ())
+  @@ fun () ->
+  let ctx = Cs_obs.Tracectx.root () in
+  let r =
+    Proto.with_trace ~ctx (Proto.request ~id:"traced" ~machine:"raw4" "fir")
+  in
+  (match Cs_svc.Client.submit ~timeout_s:60.0 ~addr:(Gateway.address gw) [ r ] with
+  | Ok [ _ ] -> ()
+  | Ok rs -> Alcotest.failf "expected one reply, got %d" (List.length rs)
+  | Error e -> Alcotest.failf "submit failed: %s" e);
+  Obs.disable ();
+  let evs = Obs.events () in
+  let arg_str key e =
+    List.fold_left
+      (fun acc (k, v) ->
+        match v with Obs.Str s when k = key -> Some s | _ -> acc)
+      None e.Obs.args
+  in
+  let find_span name =
+    match
+      List.find_opt
+        (fun e -> e.Obs.name = name && arg_str "trace_id" e = Some ctx.Cs_obs.Tracectx.trace_id)
+        evs
+    with
+    | Some e -> e
+    | None -> Alcotest.failf "no %s span carrying the trace id" name
+  in
+  let dispatch = find_span "job:dispatch" in
+  let run = find_span "job:run" in
+  Alcotest.(check (option string)) "dispatch parented on the client root span"
+    (Some ctx.Cs_obs.Tracectx.span_id)
+    (arg_str "parent_span" dispatch);
+  Alcotest.(check (option string)) "shard run parented on the dispatch span"
+    (arg_str "span_id" dispatch)
+    (arg_str "parent_span" run);
+  Alcotest.(check bool) "hops mint distinct span ids" false
+    (arg_str "span_id" dispatch = arg_str "span_id" run)
+
 let () =
   (* aborted shards close sockets mid-write; surface that as EPIPE, not
      a process kill *)
@@ -471,5 +589,9 @@ let () =
           Alcotest.test_case "mid-batch shard kill: exactly once" `Slow
             test_gateway_failover_exactly_once;
           Alcotest.test_case "stats verb" `Slow test_gateway_stats_verb;
+          Alcotest.test_case "metrics verb accounts every job" `Slow
+            test_gateway_metrics_verb_accounts_every_job;
+          Alcotest.test_case "trace propagation gateway -> shard" `Slow
+            test_gateway_trace_propagation;
         ] );
     ]

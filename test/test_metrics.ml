@@ -1,0 +1,227 @@
+(* Tests for the mergeable metrics registry: registration identity,
+   multi-domain exactness on the lock-free hot path, merge algebra,
+   bucketed quantile accuracy against the exact estimator, SLO windows,
+   and the two expositions (Prometheus text, JSON round trip). *)
+
+module M = Cs_obs.Metrics
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- registration --- *)
+
+let test_registration_identity () =
+  let reg = M.create () in
+  let a = M.counter reg "x_total" in
+  let b = M.counter reg "x_total" in
+  M.incr a;
+  M.incr ~by:2 b;
+  check_int "same underlying cell" 3 (M.counter_value a);
+  let la = M.counter reg ~labels:[ ("shard", "a") ] "labeled_total" in
+  let lb = M.counter reg ~labels:[ ("shard", "b") ] "labeled_total" in
+  M.incr la;
+  check_int "distinct label sets are distinct metrics" 0 (M.counter_value lb);
+  check_bool "kind mismatch rejected" true
+    (try
+       ignore (M.gauge reg "x_total");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- multi-domain exactness --- *)
+
+let test_multi_domain_exact () =
+  let reg = M.create () in
+  let c = M.counter reg "hits_total" in
+  let h = M.histogram reg "lat_ms" in
+  let per_domain = 50_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              M.incr c;
+              M.observe h (float_of_int (((d * per_domain) + i) land 255))
+            done))
+  in
+  List.iter Domain.join domains;
+  check_int "no lost increments" (4 * per_domain) (M.counter_value c);
+  match M.find (M.snapshot reg) "lat_ms" with
+  | Some (M.Histo_v histo) ->
+    check_int "no lost observations" (4 * per_domain) (M.total histo)
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+(* --- merge algebra --- *)
+
+let snap_of specs =
+  (* specs: (counter name, int) + every registry also observes integer
+     latencies so float sums stay exact and merge stays associative *)
+  let reg = M.create () in
+  List.iter
+    (fun (name, n, samples) ->
+      let c = M.counter reg name in
+      M.incr ~by:n c;
+      let h = M.histogram reg (name ^ "_ms") in
+      List.iter (fun s -> M.observe h (float_of_int s)) samples)
+    specs;
+  M.snapshot reg
+
+let canonical snap = List.sort compare snap
+
+let test_merge_associative_commutative () =
+  let a = snap_of [ ("jobs_total", 3, [ 1; 5; 9 ]); ("shed_total", 1, []) ] in
+  let b = snap_of [ ("jobs_total", 4, [ 2; 5 ]); ("extra_total", 7, [ 100 ]) ] in
+  let c = snap_of [ ("shed_total", 2, [ 1 ]); ("jobs_total", 1, []) ] in
+  let l = M.merge (M.merge a b) c in
+  let r = M.merge a (M.merge b c) in
+  check_bool "associative" true (canonical l = canonical r);
+  check_bool "commutative" true (canonical (M.merge a b) = canonical (M.merge b a));
+  (match M.find l "jobs_total" with
+  | Some (M.Counter_v n) -> check_int "counters sum" 8 n
+  | _ -> Alcotest.fail "merged counter missing");
+  match M.find l "jobs_total_ms" with
+  | Some (M.Histo_v h) ->
+    check_int "histogram counts sum" 5 (M.total h);
+    check_bool "histogram sums add" true (h.M.sum = 22.0)
+  | _ -> Alcotest.fail "merged histogram missing"
+
+let test_merge_identity () =
+  let a = snap_of [ ("jobs_total", 5, [ 3; 4 ]) ] in
+  check_bool "empty right identity" true (canonical (M.merge a []) = canonical a);
+  check_bool "empty left identity" true (canonical (M.merge [] a) = canonical a)
+
+(* --- quantiles --- *)
+
+let test_quantile_accuracy_vs_exact () =
+  let samples = List.init 500 (fun i -> float_of_int (i + 1)) in
+  let reg = M.create () in
+  let h = M.histogram reg "lat_ms" in
+  List.iter (M.observe h) samples;
+  let histo =
+    match M.find (M.snapshot reg) "lat_ms" with
+    | Some (M.Histo_v h) -> h
+    | _ -> Alcotest.fail "histogram missing"
+  in
+  List.iter
+    (fun p ->
+      let exact = Cs_util.Stats.percentile p samples in
+      let est = M.quantile histo p in
+      let rel = Float.abs (est -. exact) /. exact in
+      check_bool
+        (Printf.sprintf "p%.0f within bucket error (exact %.1f, est %.1f)" p exact est)
+        true (rel <= 0.20))
+    [ 50.0; 90.0; 95.0; 99.0 ];
+  let empty =
+    match M.find (snap_of [ ("none_total", 0, []) ]) "none_total_ms" with
+    | Some (M.Histo_v h) -> h
+    | _ -> Alcotest.fail "empty histogram missing"
+  in
+  check_bool "empty histogram quantile is 0" true (M.quantile empty 99.0 = 0.0)
+
+(* --- SLO windows --- *)
+
+let test_slo_window_expansion () =
+  let reg = M.create () in
+  let w = M.slo_window reg "csched_deadline" in
+  for _ = 1 to 7 do
+    M.record_deadline w ~hit:true
+  done;
+  for _ = 1 to 3 do
+    M.record_deadline w ~hit:false
+  done;
+  let snap = M.snapshot reg in
+  (match M.find snap "csched_deadline_hits_total" with
+  | Some (M.Counter_v n) -> check_int "hits total" 7 n
+  | _ -> Alcotest.fail "hits_total missing");
+  (match M.find snap "csched_deadline_misses_total" with
+  | Some (M.Counter_v n) -> check_int "misses total" 3 n
+  | _ -> Alcotest.fail "misses_total missing");
+  match M.find snap ~labels:[ ("window", "60s") ] "csched_deadline_misses" with
+  | Some (M.Gauge_v v) -> check_bool "recent misses in short window" true (v = 3.0)
+  | _ -> Alcotest.fail "windowed miss gauge missing"
+
+(* --- expositions --- *)
+
+let sample_snapshot () =
+  let reg = M.create () in
+  M.incr ~by:41 (M.counter reg ~help:"total jobs" "csched_jobs_admitted_total");
+  M.incr ~by:2 (M.counter reg ~labels:[ ("shard", "s\"1\n") ] "csched_fwd_total");
+  M.set (M.gauge reg "csched_queue_depth") 5.0;
+  let h = M.histogram reg ~help:"latency" "csched_job_latency_ms" in
+  List.iter (M.observe h) [ 0.5; 3.0; 3.1; 250.0 ];
+  (reg, M.snapshot reg)
+
+let test_prometheus_text_parses () =
+  let reg, snap = sample_snapshot () in
+  let text = M.to_prometheus ~help:(M.help_of reg) snap in
+  check_bool "ends with newline" true (String.length text > 0 && text.[String.length text - 1] = '\n');
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  let metric_lines = List.filter (fun l -> l.[0] <> '#') lines in
+  check_bool "has samples" true (metric_lines <> []);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "unparseable sample line: %s" line
+      | Some i ->
+        let v = String.sub line (i + 1) (String.length line - i - 1) in
+        (match float_of_string_opt v with
+        | Some _ -> ()
+        | None -> Alcotest.failf "non-numeric value in: %s" line))
+    metric_lines;
+  check_bool "help emitted" true
+    (List.exists (fun l -> l = "# HELP csched_jobs_admitted_total total jobs") lines);
+  (* cumulative buckets end at +Inf = _count *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if String.length l > 30
+           && String.sub l 0 30 = "csched_job_latency_ms_bucket{l"
+        then String.rindex_opt l ' ' |> Option.map (fun i ->
+                 int_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      metric_lines
+  in
+  check_bool "buckets cumulative" true
+    (bucket_counts = List.sort compare bucket_counts);
+  check_int "+Inf bucket is the count" 4 (List.nth bucket_counts (List.length bucket_counts - 1))
+
+let test_json_roundtrip () =
+  let _, snap = sample_snapshot () in
+  match M.snapshot_of_json (M.snapshot_to_json snap) with
+  | Ok snap' -> check_bool "round-trips exactly" true (snap = snap')
+  | Error e -> Alcotest.failf "snapshot_of_json: %s" e
+
+let test_fold_name_sums_label_sets () =
+  let reg = M.create () in
+  List.iter
+    (fun (s, n) -> M.incr ~by:n (M.counter reg ~labels:[ ("shard", s) ] "fwd_total"))
+    [ ("a", 2); ("b", 3); ("c", 5) ];
+  let total =
+    M.fold_name (M.snapshot reg) "fwd_total" ~init:0 ~f:(fun acc _ e ->
+        match e with M.Counter_v n -> acc + n | _ -> acc)
+  in
+  check_int "fold over label sets" 10 total
+
+let () =
+  Alcotest.run "cs_metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "registration identity" `Quick test_registration_identity;
+          Alcotest.test_case "multi-domain exact" `Quick test_multi_domain_exact;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "associative + commutative" `Quick
+            test_merge_associative_commutative;
+          Alcotest.test_case "empty identity" `Quick test_merge_identity;
+        ] );
+      ( "quantile",
+        [ Alcotest.test_case "accuracy vs exact percentile" `Quick
+            test_quantile_accuracy_vs_exact ] );
+      ("slo", [ Alcotest.test_case "window expansion" `Quick test_slo_window_expansion ]);
+      ( "exposition",
+        [
+          Alcotest.test_case "prometheus text parses" `Quick test_prometheus_text_parses;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "fold_name" `Quick test_fold_name_sums_label_sets;
+        ] );
+    ]

@@ -63,6 +63,68 @@ let test_span_records_on_exception () =
       (try Obs.span "boom" (fun () -> failwith "no") with Failure _ -> ());
       check_int "span recorded despite raise" 1 (List.length (Obs.events ())))
 
+let test_events_drains () =
+  with_sink (fun () ->
+      Obs.instant "a";
+      Obs.instant "b";
+      check_int "first drain sees both" 2 (List.length (Obs.events ()));
+      check_int "second drain is empty" 0 (List.length (Obs.events ()));
+      Obs.instant "c";
+      check_int "recording resumes after drain" 1 (List.length (Obs.events ())))
+
+let test_events_preserve_recording_order () =
+  with_sink (fun () ->
+      for i = 1 to 100 do
+        Obs.instant (string_of_int i)
+      done;
+      let names = List.map (fun e -> e.Obs.name) (Obs.events ()) in
+      check_bool "drained in recording order" true
+        (names = List.init 100 (fun i -> string_of_int (i + 1))))
+
+let test_bounded_capacity_counts_drops () =
+  let saved = Obs.capacity () in
+  Obs.reset ();
+  Obs.set_capacity 100;
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Obs.set_capacity saved)
+    (fun () ->
+      for _ = 1 to 250 do
+        Obs.instant "tick"
+      done;
+      check_int "kept at most capacity" 100 (List.length (Obs.events ()));
+      check_int "excess counted as dropped" 150 (Obs.dropped ());
+      Obs.reset ();
+      check_int "reset clears the drop counter" 0 (Obs.dropped ()))
+
+let test_multi_domain_recording_loses_nothing () =
+  with_sink (fun () ->
+      let per_domain = 2_000 in
+      let domains =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to per_domain do
+                  Obs.instant ~args:[ ("i", Obs.Int i) ] (Printf.sprintf "d%d" d)
+                done))
+      in
+      List.iter Domain.join domains;
+      let evs = Obs.events () in
+      check_int "every domain's events captured" (4 * per_domain) (List.length evs);
+      (* within one domain, recording order is preserved by the merge *)
+      let d0 =
+        List.filter_map
+          (fun e ->
+            if e.Obs.name = "d0" then
+              match e.Obs.args with [ ("i", Obs.Int i) ] -> Some i | _ -> None
+            else None)
+          evs
+      in
+      check_bool "per-domain order intact" true
+        (d0 = List.init per_domain (fun i -> i + 1)))
+
 (* --- export --- *)
 
 let sample_events () =
@@ -95,7 +157,11 @@ let test_chrome_well_formed () =
   | Ok doc ->
     (match Json.member "traceEvents" doc with
     | Some (Json.List items) ->
-      check_int "every event exported" (List.length evs) (List.length items);
+      let metas, events =
+        List.partition (fun i -> Json.member "ph" i = Some (Json.Str "M")) items
+      in
+      check_int "every event exported" (List.length evs) (List.length events);
+      check_int "one process_name lane record" 1 (List.length metas);
       List.iter
         (fun item ->
           List.iter
@@ -105,7 +171,7 @@ let test_chrome_well_formed () =
           | Some (Json.Str "X") ->
             check_bool "X has dur" true (Json.member "dur" item <> None)
           | _ -> ())
-        items
+        events
     | _ -> Alcotest.fail "traceEvents missing")
 
 let test_json_roundtrip_escapes () =
@@ -196,6 +262,13 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
           Alcotest.test_case "span nesting balances" `Quick test_span_nesting_balances;
           Alcotest.test_case "span survives exceptions" `Quick test_span_records_on_exception;
+          Alcotest.test_case "events() drains" `Quick test_events_drains;
+          Alcotest.test_case "drain preserves order" `Quick
+            test_events_preserve_recording_order;
+          Alcotest.test_case "bounded capacity counts drops" `Quick
+            test_bounded_capacity_counts_drops;
+          Alcotest.test_case "multi-domain loses nothing" `Quick
+            test_multi_domain_recording_loses_nothing;
         ] );
       ( "export",
         [

@@ -486,6 +486,47 @@ let test_serve_sheds_when_overloaded () =
   Alcotest.(check int) "stats agree with replies" (List.length shed)
     stats.Cs_svc.Server.shed
 
+let test_serve_metrics_verb () =
+  let module M = Cs_obs.Metrics in
+  let socket = tmp_path (Printf.sprintf "cs_svc_metrics_%d.sock" (Unix.getpid ())) in
+  let cfg = Cs_svc.Server.config ~workers:2 socket in
+  with_server cfg (fun _ ->
+      let addr = Cs_svc.Transport.parse_exn socket in
+      let jobs =
+        List.init 3 (fun i ->
+            Cs_svc.Proto.request ~id:(Printf.sprintf "m%d" i) ~machine:"raw4" ~seed:i
+              "fir")
+      in
+      (match Cs_svc.Client.submit ~timeout_s:60.0 ~addr jobs with
+      | Ok rs -> Alcotest.(check int) "all answered" 3 (List.length rs)
+      | Error e -> Alcotest.failf "submit failed: %s" e);
+      (match Cs_svc.Client.fetch_metrics ~addr () with
+      | Error e -> Alcotest.failf "metrics verb failed: %s" e
+      | Ok (Cs_svc.Proto.Prom_text _) -> Alcotest.fail "asked for json, got prometheus"
+      | Ok (Cs_svc.Proto.Snapshot snap) ->
+        let counter name =
+          match M.find snap name with Some (M.Counter_v v) -> v | _ -> -1
+        in
+        Alcotest.(check int) "admitted counter" 3 (counter "csched_jobs_admitted_total");
+        Alcotest.(check int) "completed counter" 3
+          (counter "csched_jobs_completed_total");
+        Alcotest.(check int) "no refusals" 0 (counter "csched_jobs_refused_total");
+        (match M.find snap "csched_workers" with
+        | Some (M.Gauge_v v) -> Alcotest.(check bool) "workers gauge" true (v = 2.0)
+        | _ -> Alcotest.fail "workers gauge missing");
+        match M.find snap "csched_job_latency_ms" with
+        | Some (M.Histo_v h) ->
+          Alcotest.(check int) "one latency sample per job" 3 (M.total h);
+          Alcotest.(check bool) "p99 estimate positive" true (M.quantile h 99.0 > 0.0)
+        | _ -> Alcotest.fail "latency histogram missing");
+      match Cs_svc.Client.fetch_metrics ~format:Cs_svc.Proto.Metrics_prometheus ~addr ()
+      with
+      | Ok (Cs_svc.Proto.Prom_text text) ->
+        Alcotest.(check bool) "prometheus rendering carries the counter" true
+          (List.mem "csched_jobs_admitted_total 3" (String.split_on_char '\n' text))
+      | Ok (Cs_svc.Proto.Snapshot _) -> Alcotest.fail "asked for prometheus, got json"
+      | Error e -> Alcotest.failf "prometheus fetch failed: %s" e)
+
 let test_serve_stop_is_clean_and_idempotent () =
   let socket = tmp_path (Printf.sprintf "cs_svc_stop_%d.sock" (Unix.getpid ())) in
   let cfg = Cs_svc.Server.config ~workers:1 socket in
@@ -561,6 +602,7 @@ let () =
         [
           Alcotest.test_case "mixed batch" `Slow test_serve_mixed_batch;
           Alcotest.test_case "sheds overload" `Slow test_serve_sheds_when_overloaded;
+          Alcotest.test_case "metrics verb" `Slow test_serve_metrics_verb;
           Alcotest.test_case "clean idempotent stop" `Slow
             test_serve_stop_is_clean_and_idempotent;
         ] );
