@@ -1,0 +1,131 @@
+(* Weight-matrix kernel micro-benchmark: rows/sec per convergent pass,
+   legacy (boxed float array, per-element chain, full-blit snapshot +
+   normalize_all per pass) vs flat (contiguous Bigarray, fused kernels,
+   dirty-row normalize + row-sync snapshot).
+
+   Each side is measured doing the *whole* per-pass protocol its driver
+   generation used, so the numbers reflect end-to-end pass cost, not
+   just the inner loop:
+
+     legacy:  blit w->snapshot; apply; normalize_all; validate
+     flat:    clear_touched; apply; normalize_touched;
+              validate_touched; sync_rows touched w->snapshot
+
+   Machine-readable output lands in BENCH_kernels.json; CI runs this
+   experiment and fails the build if the aggregate (geomean) speedup is
+   not > 1, i.e. if the flat kernels ever stop being faster than the
+   legacy path they replace. *)
+
+open Cs_core
+
+let target_speedup = 5.0
+let min_sample_s = 0.05
+
+let time_reps f =
+  (* Calibrate once, then take the best of three samples of [reps]
+     calls each — the minimum is the usual low-noise estimator on a
+     shared machine. *)
+  let t0 = Cs_obs.Clock.now () in
+  f ();
+  let once = Cs_obs.Clock.since t0 in
+  let reps =
+    if once <= 0.0 then 400 else max 1 (min 400 (int_of_float (min_sample_s /. once)))
+  in
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t1 = Cs_obs.Clock.now () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Cs_obs.Clock.since t1 in
+    if dt < !best then best := dt
+  done;
+  (reps, !best)
+
+(* Rows/sec for one pass under one implementation, doing that driver
+   generation's whole per-pass protocol. *)
+let bench_pass impl ctx passes pass =
+  let n = Context.n_instrs ctx in
+  let w =
+    Weights.create_with ~impl ~n ~nc:(Context.n_clusters ctx) ~nt:ctx.Context.nt
+  in
+  let snapshot = Weights.copy w in
+  (* Settle into a realistic mid-convergence matrix: one full sequence
+     application, normalized. *)
+  List.iter
+    (fun p ->
+      p.Pass.apply ctx w;
+      Weights.normalize_all w)
+    passes;
+  Weights.clear_touched w;
+  Weights.blit ~src:w ~dst:snapshot;
+  let step =
+    match impl with
+    | Weights.Legacy ->
+      fun () ->
+        Weights.blit ~src:w ~dst:snapshot;
+        pass.Pass.apply ctx w;
+        Weights.normalize_all w;
+        ignore (Weights.validate w)
+    | Weights.Flat ->
+      fun () ->
+        Weights.clear_touched w;
+        pass.Pass.apply ctx w;
+        Weights.normalize_touched w;
+        ignore (Weights.validate_touched w);
+        Weights.sync_rows ~rows:(Weights.touched_rows w) ~src:w ~dst:snapshot
+  in
+  let reps, elapsed = time_reps step in
+  if elapsed > 0.0 then float_of_int (n * reps) /. elapsed else 0.0
+
+let kernels () =
+  Report.section "Kernels: flat Bigarray weight matrix vs legacy (extension)";
+  let machine = Cs_machine.Vliw.create ~n_clusters:4 () in
+  let region = Cs_workloads.Sha.generate ~scale:4 ~clusters:4 () in
+  let ctx = Context.make ~nt_cap:64 ~machine region in
+  let passes = Sequence.vliw_default () in
+  Printf.printf "workload sha (scale 4), machine vliw-4c: n=%d nc=%d nt=%d\n%!"
+    (Context.n_instrs ctx) (Context.n_clusters ctx) ctx.Context.nt;
+  Printf.printf "\n%-10s %15s %15s %9s\n" "pass" "legacy rows/s" "flat rows/s" "speedup";
+  let rows =
+    (* Legacy and flat measured back to back per pass, so slow drift in
+       machine load cancels out of the ratio. *)
+    List.map
+      (fun pass ->
+        let l = bench_pass Weights.Legacy ctx passes pass in
+        let f = bench_pass Weights.Flat ctx passes pass in
+        let s = if l > 0.0 then f /. l else 0.0 in
+        Printf.printf "%-10s %15.0f %15.0f %8.2fx\n%!" pass.Pass.name l f s;
+        (pass.Pass.name, l, f, s))
+      passes
+  in
+  let agg = Cs_util.Stats.geomean (List.map (fun (_, _, _, s) -> s) rows) in
+  Printf.printf "\naggregate speedup (geomean): %.2fx (target >= %.1fx)%s\n" agg
+    target_speedup
+    (if agg >= target_speedup then "" else "  WARNING: below target");
+  let open Cs_obs.Json in
+  let json =
+    Obj
+      [ ("experiment", Str "kernels");
+        ("workload", Str "sha-scale4");
+        ("machine", Str "vliw-4c");
+        ("n", Num (float_of_int (Context.n_instrs ctx)));
+        ("nc", Num (float_of_int (Context.n_clusters ctx)));
+        ("nt", Num (float_of_int ctx.Context.nt));
+        ( "passes",
+          List
+            (List.map
+               (fun (name, l, f, s) ->
+                 Obj
+                   [ ("pass", Str name);
+                     ("legacy_rows_per_s", Num l);
+                     ("flat_rows_per_s", Num f);
+                     ("speedup", Num s) ])
+               rows) );
+        ("aggregate_speedup_geomean", Num agg);
+        ("target_speedup", Num target_speedup);
+        ("meets_target", Bool (agg >= target_speedup));
+        ("faster_than_legacy", Bool (agg > 1.0)) ]
+  in
+  Cs_util.Fsio.write_atomic ~path:"BENCH_kernels.json" (to_string json ^ "\n");
+  Printf.printf "\nwrote BENCH_kernels.json\n"

@@ -44,11 +44,11 @@ let build_groups ctx =
 let groups ctx = build_groups ctx
 
 let apply ~boost ctx w =
+  let nc = Weights.nc w in
   List.iter
     (fun members ->
       (* Consensus: the cluster carrying the group's summed marginal
          preference; every member is pulled there. *)
-      let nc = Weights.nc w in
       let best = ref 0 and best_weight = ref neg_infinity in
       for c = 0 to nc - 1 do
         let total =

@@ -19,6 +19,7 @@ let two_hop graph i =
 let apply ~eps ~grand ~grand_weight ~per_slot ~strengthen_preferred ctx w =
   let graph = Context.graph ctx in
   let snap = Weights.copy w in
+  let factors = Array.make (Weights.nc w) 0.0 in
   for i = 0 to Weights.n w - 1 do
     let direct, grands =
       if grand then two_hop graph i else (Cs_ddg.Graph.neighbors graph i, [])
@@ -39,15 +40,23 @@ let apply ~eps ~grand ~grand_weight ~per_slot ~strengthen_preferred ctx w =
       else
         (* Space-marginal coupling: dependent instructions execute at
            *different* times, so the spatial pull is the neighbors' whole
-           cluster marginal, applied uniformly across feasible slots. *)
-        for c = 0 to Weights.nc w - 1 do
-          let pull = ref 0.0 in
-          List.iter (fun j -> pull := !pull +. Weights.cluster_weight snap j c) direct;
-          List.iter
-            (fun j -> pull := !pull +. (grand_weight *. Weights.cluster_weight snap j c))
-            grands;
-          Weights.scale_cluster w i c (eps +. !pull)
-        done
+           cluster marginal, applied uniformly across feasible slots.
+           The per-cluster pulls are gathered first (O(1) each off the
+           marginal cache), then applied in one fused row sweep. *)
+        begin
+          for c = 0 to Weights.nc w - 1 do
+            let pull = ref 0.0 in
+            List.iter
+              (fun j -> pull := !pull +. Weights.cluster_weight snap j c)
+              direct;
+            List.iter
+              (fun j ->
+                pull := !pull +. (grand_weight *. Weights.cluster_weight snap j c))
+              grands;
+            factors.(c) <- eps +. !pull
+          done;
+          Weights.scale_clusters w i factors
+        end
   done;
   if strengthen_preferred > 1.0 then
     for i = 0 to Weights.n w - 1 do

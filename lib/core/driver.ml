@@ -18,7 +18,8 @@ let assignment_of_weights ?(cap_factor = 1.1) ctx w =
   let load = Array.make nc 0 in
   (* Hard constraints first: preplaced instructions go home and count
      toward their cluster's load. *)
-  let movable = ref [] in
+  let movable = Array.make n false in
+  let n_movable = ref 0 in
   for i = n - 1 downto 0 do
     let ins = Cs_ddg.Graph.instr graph i in
     match ins.Cs_ddg.Instr.preplace with
@@ -33,8 +34,11 @@ let assignment_of_weights ?(cap_factor = 1.1) ctx w =
       (* Home cluster lost the FUs for this memory op but the machine
          supports remote access: let it claim a surviving cluster like
          a movable instruction (the scheduler charges the penalty). *)
-      movable := i :: !movable
-    | None -> movable := i :: !movable
+      movable.(i) <- true;
+      incr n_movable
+    | None ->
+      movable.(i) <- true;
+      incr n_movable
   done;
   (* Balanced extraction: most-confident instructions claim their
      preferred cluster first; once a cluster is at capacity the next
@@ -58,46 +62,58 @@ let assignment_of_weights ?(cap_factor = 1.1) ctx w =
       (float_of_int (Cs_ddg.Analysis.cpl ctx.Context.analysis))
   in
   let cap = max 1 (int_of_float (ceil (cap_factor *. floor_bound))) in
-  let by_confidence =
-    List.sort
-      (fun a b -> Float.compare (Weights.confidence w b) (Weights.confidence w a))
-      !movable
-  in
-  List.iter
+  (* Flat extraction: confidences are computed once per instruction (the
+     list-based path re-derived the O(nc) top-two ratio inside every
+     sort comparison and allocated a fresh candidate list per
+     instruction). Order is descending confidence with instruction id
+     as the tie-break — the same order the stable list sort produced. *)
+  let conf = Array.make n 0.0 in
+  let order = Array.make !n_movable 0 in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if movable.(i) then begin
+      conf.(i) <- Weights.confidence w i;
+      order.(!next) <- i;
+      incr next
+    end
+  done;
+  Array.sort
+    (fun a b ->
+      let c = Float.compare conf.(b) conf.(a) in
+      if c <> 0 then c else compare a b)
+    order;
+  Array.iter
     (fun i ->
       let op = (Cs_ddg.Graph.instr graph i).Cs_ddg.Instr.op in
       (* Feasibility is a hard constraint: a cluster whose surviving FUs
          cannot execute the opcode is never a candidate, however strong
-         its weights. *)
-      let feasible =
-        List.filter
-          (fun c -> Cs_machine.Machine.can_execute machine ~cluster:c op)
-          (List.init nc (fun c -> c))
-      in
-      (match feasible with
-      | [] ->
+         its weights. One ascending sweep keeps the old ranked-list
+         semantics: among clusters with spare capacity the strongest
+         cluster-marginal wins with ties to the smallest id; if all are
+         saturated, spill onto the least-loaded feasible cluster. *)
+      let chosen = ref (-1) in
+      let chosen_w = ref neg_infinity in
+      let least = ref (-1) in
+      for c = 0 to nc - 1 do
+        if Cs_machine.Machine.can_execute machine ~cluster:c op then begin
+          if !least < 0 || load.(c) < load.(!least) then least := c;
+          if load.(c) < cap then begin
+            let cw = Weights.cluster_weight w i c in
+            if cw > !chosen_w then begin
+              chosen := c;
+              chosen_w := cw
+            end
+          end
+        end
+      done;
+      if !least < 0 then
         Cs_resil.Error.infeasible
           (Printf.sprintf "instr %d (%s): no cluster can execute it" i
-             (Cs_ddg.Opcode.to_string op))
-      | _ -> ());
-      let ranked =
-        List.sort
-          (fun a b -> Float.compare (Weights.cluster_weight w i b) (Weights.cluster_weight w i a))
-          feasible
-      in
-      let chosen =
-        match List.find_opt (fun c -> load.(c) < cap) ranked with
-        | Some c -> c
-        | None ->
-          (* Every feasible cluster is saturated; spill onto the least
-             loaded one rather than an infeasible favourite. *)
-          List.fold_left
-            (fun best c -> if load.(c) < load.(best) then c else best)
-            (List.hd feasible) feasible
-      in
-      assignment.(i) <- chosen;
-      load.(chosen) <- load.(chosen) + 1)
-    by_confidence;
+             (Cs_ddg.Opcode.to_string op));
+      let target = if !chosen >= 0 then !chosen else !least in
+      assignment.(i) <- target;
+      load.(target) <- load.(target) + 1)
+    order;
   assignment
 
 (* Quarantine gate, run after a pass and its renormalization: the matrix
@@ -105,8 +121,11 @@ let assignment_of_weights ?(cap_factor = 1.1) ctx w =
    keep non-zero mass on their home cluster (extraction forces them home,
    but a pass erasing that mass has destroyed the hard constraint and is
    misbehaving). *)
+(* The gate only inspects rows the pass actually wrote: untouched rows
+   passed the previous gate and have not changed since (dirty-row
+   tracking makes that an invariant, not an assumption). *)
 let weights_violation ctx w =
-  match Weights.validate w with
+  match Weights.validate_touched w with
   | Error e -> Some e
   | Ok () ->
     let bad = ref None in
@@ -115,7 +134,10 @@ let weights_violation ctx w =
         if !bad = None then
           List.iter
             (fun i ->
-              if !bad = None && Weights.cluster_weight w i home <= 0.0 then
+              if
+                !bad = None && Weights.is_touched w i
+                && Weights.cluster_weight w i home <= 0.0
+              then
                 bad :=
                   Some
                     (Printf.sprintf
@@ -156,7 +178,13 @@ let apply_round ?(round = 1) ?observe ?deadline ?pass_budget_s ctx w passes =
         Cs_obs.Obs.instant ~cat:"resil" "deadline"
           ~args:[ ("round", Cs_obs.Obs.Int round) ]
     | pass :: rest ->
-      Weights.blit ~src:w ~dst:snapshot;
+      (* Dirty-row protocol: [snapshot] already mirrors [w] (copied once
+         above, then resynced after every pass), so instead of a full
+         matrix blit per pass we clear the touched set, let the pass
+         write, and afterwards move only the touched rows — snapshot→w
+         on rollback, w→snapshot on commit. A pass writing k rows costs
+         O(k) bookkeeping, not O(n). *)
+      Weights.clear_touched w;
       let t0 = Cs_obs.Clock.now () in
       let outcome =
         Cs_obs.Obs.span ~cat:"pass"
@@ -166,7 +194,7 @@ let apply_round ?(round = 1) ?observe ?deadline ?pass_budget_s ctx w passes =
             match
               Cs_resil.Error.protect (fun () ->
                   pass.Pass.apply ctx w;
-                  Weights.normalize_all w)
+                  Weights.normalize_touched w)
             with
             | Error e -> Some (Cs_resil.Error.to_string e)
             | Ok () -> weights_violation ctx w)
@@ -188,9 +216,10 @@ let apply_round ?(round = 1) ?observe ?deadline ?pass_budget_s ctx w passes =
                      (1000.0 *. elapsed) (1000.0 *. budget))))
         | None, Some _ -> None
       in
+      let touched = Weights.touched_rows w in
       (match outcome with
       | Some reason ->
-        Weights.blit ~src:snapshot ~dst:w;
+        Weights.sync_rows ~rows:touched ~src:snapshot ~dst:w;
         quarantined := { pass_name = pass.Pass.name; round; reason } :: !quarantined;
         if Cs_obs.Obs.enabled () then begin
           Cs_obs.Obs.instant ~cat:"resil" "quarantine"
@@ -201,7 +230,7 @@ let apply_round ?(round = 1) ?observe ?deadline ?pass_budget_s ctx w passes =
           Cs_obs.Obs.counter ~cat:"resil" "quarantine"
             [ ("quarantined", 1.0) ]
         end
-      | None -> ());
+      | None -> Weights.sync_rows ~rows:touched ~src:w ~dst:snapshot);
       let after = Weights.preferred_clusters w in
       let changed = ref 0 in
       Array.iteri (fun i c -> if c <> !before.(i) then incr changed) after;

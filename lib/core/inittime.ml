@@ -1,11 +1,12 @@
 let apply ctx w =
   let a = ctx.Context.analysis in
+  let nt = Weights.nt w in
   for i = 0 to Weights.n w - 1 do
     let lo = Context.clamp_slot ctx (Cs_ddg.Analysis.earliest a i) in
     let hi = Context.clamp_slot ctx (Cs_ddg.Analysis.latest a i) in
-    for tt = 0 to Weights.nt w - 1 do
-      if tt < lo || tt > hi then Weights.scale_time w i tt 0.0
-    done
+    (* Rows whose mobility window already spans every slot are left
+       untouched (and undirtied). *)
+    if lo > 0 || hi < nt - 1 then Weights.mask_time_window w i ~lo ~hi
   done
 
 let pass () = Pass.make ~name:"INITTIME" ~kind:Pass.Time apply

@@ -6,10 +6,14 @@ let apply (_ : Context.t) w =
       load.(c) <- load.(c) +. Weights.cluster_weight w i c
     done
   done;
+  let factors = Array.make nc 1.0 in
+  for c = 0 to nc - 1 do
+    if load.(c) > 0.0 then factors.(c) <- 1.0 /. load.(c)
+  done;
+  (* One fused sweep per row; unloaded clusters keep factor 1.0, which
+     the kernel treats as a no-op exactly like the old skipped write. *)
   for i = 0 to Weights.n w - 1 do
-    for c = 0 to nc - 1 do
-      if load.(c) > 0.0 then Weights.scale_cluster w i c (1.0 /. load.(c))
-    done
+    Weights.scale_clusters w i factors
   done
 
 let pass () = Pass.make ~name:"LOAD" ~kind:Pass.Space apply

@@ -1,15 +1,13 @@
 let apply ~amplitude ctx w =
   let mean = 1.0 /. float_of_int (Weights.nc w * Weights.nt w) in
   let bound = amplitude *. mean in
+  let rng = ctx.Context.rng in
   for i = 0 to Weights.n w - 1 do
-    for c = 0 to Weights.nc w - 1 do
-      for tt = 0 to Weights.nt w - 1 do
-        (* Only perturb feasible slots: zeroed slots stay zero so NOISE
-           cannot undo INITTIME. *)
-        if Weights.get w i c tt > 0.0 then
-          Weights.add w i c tt (Cs_util.Rng.float ctx.Context.rng bound)
-      done
-    done
+    (* Only perturb feasible slots: zeroed slots stay zero so NOISE
+       cannot undo INITTIME. The guard also keeps the RNG draw order
+       identical to the per-element loop this kernel replaced. *)
+    Weights.map_row w i (fun _ _ v ->
+        if v > 0.0 then v +. Cs_util.Rng.float rng bound else v)
   done
 
 let pass ?(amplitude = 1.0) () =

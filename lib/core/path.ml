@@ -1,14 +1,18 @@
 let least_loaded_cluster w =
-  let best = ref 0 and best_load = ref infinity in
-  for c = 0 to Weights.nc w - 1 do
-    let load = ref 0.0 in
-    for i = 0 to Weights.n w - 1 do
-      load := !load +. Weights.cluster_weight w i c
-    done;
-    if !load < !best_load then begin
-      best := c;
-      best_load := !load
-    end
+  let nc = Weights.nc w in
+  (* One row-major sweep over the cluster-marginal cache (it is stored
+     instr-major, so the old cluster-outer loop walked it with stride
+     [nc]); per-cluster partial sums still accumulate in ascending
+     instruction order, so the totals are bit-identical. *)
+  let load = Array.make nc 0.0 in
+  for i = 0 to Weights.n w - 1 do
+    for c = 0 to nc - 1 do
+      load.(c) <- load.(c) +. Weights.cluster_weight w i c
+    done
+  done;
+  let best = ref 0 in
+  for c = 1 to nc - 1 do
+    if load.(c) < load.(!best) then best := c
   done;
   !best
 

@@ -21,13 +21,17 @@ let walk ctx w ~blend_keep ~source ~conf_source ~step_targets =
   go source
 
 let apply ~confidence_threshold ~blend_keep ctx w =
-  (* Visit confident instructions from most to least confident. *)
+  (* Visit confident instructions from most to least confident.
+     Rows with no runner-up report [confidence_sentinel] (the old code
+     saw [infinity] and dropped them via [Float.is_finite]); excluding
+     the sentinel keeps them out of the walk exactly as before. *)
+  let conf = Array.init (Weights.n w) (Weights.confidence w) in
   let order =
     List.init (Weights.n w) (fun i -> i)
     |> List.filter (fun i ->
-           let c = Weights.confidence w i in
-           Float.is_finite c && c >= confidence_threshold)
-    |> List.sort (fun a b -> Float.compare (Weights.confidence w b) (Weights.confidence w a))
+           conf.(i) >= confidence_threshold
+           && conf.(i) < Weights.confidence_sentinel)
+    |> List.sort (fun a b -> Float.compare conf.(b) conf.(a))
   in
   List.iter
     (fun ih ->

@@ -25,6 +25,7 @@ let peak_pressure ctx w =
 
 let apply ~registers_per_cluster ~confidence_threshold ctx w =
   let peaks = peak_pressure ctx w in
+  let graph = Context.graph ctx in
   let cap = float_of_int registers_per_cluster in
   Array.iteri
     (fun c peak ->
@@ -33,7 +34,7 @@ let apply ~registers_per_cluster ~confidence_threshold ctx w =
         let relief = cap /. peak in
         for i = 0 to Weights.n w - 1 do
           let movable =
-            (not (Cs_ddg.Instr.is_preplaced (Cs_ddg.Graph.instr (Context.graph ctx) i)))
+            (not (Cs_ddg.Instr.is_preplaced (Cs_ddg.Graph.instr graph i)))
             && Weights.confidence w i < confidence_threshold
           in
           if movable && Weights.preferred_cluster w i = c then

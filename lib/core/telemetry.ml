@@ -10,6 +10,10 @@ type metrics = {
 let churn_fraction m =
   if m.total = 0 then 0.0 else float_of_int m.churn /. float_of_int m.total
 
+(* [Weights.confidence] is always finite (no-competition rows report
+   [Weights.confidence_sentinel] = 1e9, not [infinity]); the cap below
+   still bounds them to 1000 so one unanimous row cannot drown the
+   mean. *)
 let mean_confidence w =
   let n = Weights.n w in
   if n = 0 then 0.0
@@ -21,11 +25,14 @@ let mean_confidence w =
     !sum /. float_of_int n
   end
 
+(* Both marginals come from the O(1) per-row caches, so a full entropy
+   sweep is O(n * nc) with no per-element matrix reads. *)
 let mean_row_entropy w =
   let n = Weights.n w and nc = Weights.nc w in
   if n = 0 then 0.0
   else begin
-    let log2 x = log x /. log 2.0 in
+    let log2d = log 2.0 in
+    let log2 x = log x /. log2d in
     let sum = ref 0.0 in
     for i = 0 to n - 1 do
       let total = Weights.row_total w i in

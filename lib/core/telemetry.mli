@@ -22,8 +22,10 @@ type metrics = {
 }
 
 val confidence_cap : float
-(** Clamp applied to per-instruction confidence (1000.0): [infinity]
-    means "no runner-up", which JSON cannot carry. *)
+(** Clamp applied to per-instruction confidence (1000.0). A row with no
+    runner-up reports {!Weights.confidence_sentinel} (1e9, already
+    finite); the cap bounds it further so one unanimous row cannot
+    drown the mean. *)
 
 val churn_fraction : metrics -> float
 

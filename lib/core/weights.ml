@@ -1,119 +1,512 @@
+(* The preference matrix lives in one contiguous instr-major float64
+   block:
+
+     index(i, c, t) = ((i * nc) + c) * nt + t
+
+   so one instruction's whole row is a contiguous slice of
+   nc * nt doubles, a (i, c) cluster lane is a contiguous run of nt
+   doubles inside it, and a (i, t) time lane is an nt-strided walk.
+   The convergent passes are dense sweeps over rows, so every kernel
+   below is written as a single fused loop over that layout.
+
+   Two storages implement the same contract:
+
+   - [Flat]: a Bigarray.Array1 of float64 driven by unsafe fused
+     kernels — the production path.
+   - [Legacy]: the original OCaml float array walked through the
+     original bounds-checked per-element get/set chain — kept for one
+     PR as the differential oracle and the benchmark baseline, behind
+     the [--weights-impl] flag / CSCHED_WEIGHTS_IMPL.
+
+   Both storages perform the *same floating-point operations in the
+   same order* (fused kernels accumulate the same per-element deltas
+   the per-element path does), so replaying any pass sequence through
+   either implementation yields bit-identical matrices — that property
+   is what test/test_differential.ml pins over the fuzz seed space.
+
+   Marginal caches (cluster sums, time sums, row totals) are
+   maintained incrementally by every write and rebuilt exactly by
+   [normalize]; a per-row dirty bit records which rows changed since
+   the last [clear_touched], so renormalization, the driver's
+   quarantine gate, and snapshot/rollback all touch only the rows a
+   pass actually wrote. *)
+
+type impl = Flat | Legacy
+
+let impl_name = function Flat -> "flat" | Legacy -> "legacy"
+
+let impl_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "flat" | "bigarray" -> Ok Flat
+  | "legacy" | "array" -> Ok Legacy
+  | other -> Error (Printf.sprintf "unknown weights implementation %S (want flat|legacy)" other)
+
+let default =
+  ref
+    (match Sys.getenv_opt "CSCHED_WEIGHTS_IMPL" with
+    | Some s -> (match impl_of_string s with Ok i -> i | Error _ -> Flat)
+    | None -> Flat)
+
+let default_impl () = !default
+let set_default_impl i = default := i
+
+type ba1 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type storage =
+  | Flat_s of ba1
+  | Legacy_s of float array
+
 type t = {
   n : int;
   nc : int;
   nt : int;
-  w : float array; (* index: ((i * nc) + c) * nt + t *)
+  storage : storage;
   cluster_sum : float array; (* n * nc *)
   time_sum : float array; (* n * nt *)
+  row_total : float array; (* n *)
+  dirty : Bytes.t; (* n bytes: rows written since clear_touched *)
+  mutable n_dirty : int;
 }
 
 let n t = t.n
 let nc t = t.nc
 let nt t = t.nt
+let impl t = match t.storage with Flat_s _ -> Flat | Legacy_s _ -> Legacy
 
 let idx t i c tt = (((i * t.nc) + c) * t.nt) + tt
 
-let create ~n ~nc ~nt =
+let create_with ~impl ~n ~nc ~nt =
   if n < 0 || nc <= 0 || nt <= 0 then invalid_arg "Weights.create: bad dimensions";
   let v = 1.0 /. float_of_int (nc * nt) in
+  let storage =
+    match impl with
+    | Legacy -> Legacy_s (Array.make (n * nc * nt) v)
+    | Flat ->
+      let ba = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (n * nc * nt) in
+      Bigarray.Array1.fill ba v;
+      Flat_s ba
+  in
   {
     n;
     nc;
     nt;
-    w = Array.make (n * nc * nt) v;
+    storage;
     cluster_sum = Array.make (n * nc) (v *. float_of_int nt);
     time_sum = Array.make (n * nt) (v *. float_of_int nc);
+    row_total = Array.make n (v *. float_of_int (nc * nt));
+    dirty = Bytes.make (max n 1) '\000';
+    n_dirty = 0;
   }
+
+let create ~n ~nc ~nt = create_with ~impl:!default ~n ~nc ~nt
 
 let check_index t i c tt =
   if i < 0 || i >= t.n || c < 0 || c >= t.nc || tt < 0 || tt >= t.nt then
     invalid_arg "Weights: index out of range"
 
+let check_row t i = if i < 0 || i >= t.n then invalid_arg "Weights: index out of range"
+
+let bad_value v = not (Float.is_finite v) || v < 0.0
+let reject_value () = invalid_arg "Weights.set: weight must be finite and >= 0"
+
+(* --- dirty-row tracking ------------------------------------------- *)
+
+let mark_touched t i =
+  if Bytes.unsafe_get t.dirty i = '\000' then begin
+    Bytes.unsafe_set t.dirty i '\001';
+    t.n_dirty <- t.n_dirty + 1
+  end
+
+let is_touched t i =
+  check_row t i;
+  Bytes.unsafe_get t.dirty i <> '\000'
+
+let touched_count t = t.n_dirty
+
+let touched_rows t =
+  let rows = ref [] in
+  for i = t.n - 1 downto 0 do
+    if Bytes.unsafe_get t.dirty i <> '\000' then rows := i :: !rows
+  done;
+  !rows
+
+let clear_touched t =
+  if t.n_dirty > 0 then begin
+    Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+    t.n_dirty <- 0
+  end
+
+(* --- element access ------------------------------------------------ *)
+
+let raw_get t k =
+  match t.storage with
+  | Flat_s ba -> Bigarray.Array1.unsafe_get ba k
+  | Legacy_s a -> Array.unsafe_get a k
+
 let get t i c tt =
   check_index t i c tt;
-  t.w.(idx t i c tt)
+  match t.storage with
+  | Legacy_s a -> a.(idx t i c tt)
+  | Flat_s ba -> Bigarray.Array1.unsafe_get ba (idx t i c tt)
+
+(* Every write funnels its delta into all three marginal caches; fused
+   kernels below replicate exactly this update sequence. A delta of 0
+   (value unchanged) leaves the row clean, so no-op writes — e.g.
+   FEASIBLE multiplying feasible lanes by 1.0 — do not dirty rows. *)
+let apply_delta t i c tt delta =
+  if delta <> 0.0 then begin
+    let ci = (i * t.nc) + c and ti = (i * t.nt) + tt in
+    t.cluster_sum.(ci) <- t.cluster_sum.(ci) +. delta;
+    t.time_sum.(ti) <- t.time_sum.(ti) +. delta;
+    t.row_total.(i) <- t.row_total.(i) +. delta;
+    mark_touched t i
+  end
 
 let set t i c tt v =
   check_index t i c tt;
-  if not (Float.is_finite v) || v < 0.0 then invalid_arg "Weights.set: weight must be finite and >= 0";
+  if bad_value v then reject_value ();
   let k = idx t i c tt in
-  let delta = v -. t.w.(k) in
-  t.w.(k) <- v;
-  t.cluster_sum.((i * t.nc) + c) <- t.cluster_sum.((i * t.nc) + c) +. delta;
-  t.time_sum.((i * t.nt) + tt) <- t.time_sum.((i * t.nt) + tt) +. delta
+  match t.storage with
+  | Legacy_s a ->
+    (* Bounds-checked, as the original chain was — this cost is part of
+       what the Legacy baseline preserves. *)
+    let old = a.(k) in
+    a.(k) <- v;
+    apply_delta t i c tt (v -. old)
+  | Flat_s ba ->
+    let old = Bigarray.Array1.unsafe_get ba k in
+    Bigarray.Array1.unsafe_set ba k v;
+    apply_delta t i c tt (v -. old)
 
 let add t i c tt v = set t i c tt (get t i c tt +. v)
 let scale t i c tt f = set t i c tt (get t i c tt *. f)
 
+(* --- fused row kernels ---------------------------------------------
+   Each kernel dispatches on the storage once and then runs a flat
+   loop. The Legacy branch deliberately goes through the per-element
+   [set]/[get] chain — that *is* the legacy path being preserved as
+   oracle and baseline; the Flat branch performs the identical
+   arithmetic unboxed and unchecked. *)
+
 let scale_cluster t i c f =
-  for tt = 0 to t.nt - 1 do
-    scale t i c tt f
-  done
+  if i < 0 || i >= t.n || c < 0 || c >= t.nc then invalid_arg "Weights: index out of range";
+  match t.storage with
+  | Legacy_s _ ->
+    for tt = 0 to t.nt - 1 do
+      scale t i c tt f
+    done
+  | Flat_s ba ->
+    let nt = t.nt in
+    let base = ((i * t.nc) + c) * nt in
+    let ci = (i * t.nc) + c and ti = i * nt in
+    let cs = t.cluster_sum and ts = t.time_sum and rt = t.row_total in
+    for tt = 0 to nt - 1 do
+      let k = base + tt in
+      let old = Bigarray.Array1.unsafe_get ba k in
+      let v = old *. f in
+      if bad_value v then reject_value ();
+      let delta = v -. old in
+      if delta <> 0.0 then begin
+        Bigarray.Array1.unsafe_set ba k v;
+        Array.unsafe_set cs ci (Array.unsafe_get cs ci +. delta);
+        Array.unsafe_set ts (ti + tt) (Array.unsafe_get ts (ti + tt) +. delta);
+        Array.unsafe_set rt i (Array.unsafe_get rt i +. delta);
+        mark_touched t i
+      end
+    done
 
 let scale_time t i tt f =
-  for c = 0 to t.nc - 1 do
-    scale t i c tt f
-  done
-
-let cluster_weight t i c = t.cluster_sum.((i * t.nc) + c)
-let time_weight t i tt = t.time_sum.((i * t.nt) + tt)
-
-let recompute_sums t i =
-  for c = 0 to t.nc - 1 do
-    let s = ref 0.0 in
-    for tt = 0 to t.nt - 1 do
-      s := !s +. t.w.(idx t i c tt)
-    done;
-    t.cluster_sum.((i * t.nc) + c) <- !s
-  done;
-  for tt = 0 to t.nt - 1 do
-    let s = ref 0.0 in
+  if i < 0 || i >= t.n || tt < 0 || tt >= t.nt then invalid_arg "Weights: index out of range";
+  match t.storage with
+  | Legacy_s _ ->
     for c = 0 to t.nc - 1 do
-      s := !s +. t.w.(idx t i c tt)
-    done;
-    t.time_sum.((i * t.nt) + tt) <- !s
-  done
+      scale t i c tt f
+    done
+  | Flat_s ba ->
+    let nt = t.nt in
+    let ti = (i * nt) + tt in
+    let cs0 = i * t.nc in
+    let cs = t.cluster_sum and ts = t.time_sum and rt = t.row_total in
+    for c = 0 to t.nc - 1 do
+      let k = (((i * t.nc) + c) * nt) + tt in
+      let old = Bigarray.Array1.unsafe_get ba k in
+      let v = old *. f in
+      if bad_value v then reject_value ();
+      let delta = v -. old in
+      if delta <> 0.0 then begin
+        Bigarray.Array1.unsafe_set ba k v;
+        Array.unsafe_set cs (cs0 + c) (Array.unsafe_get cs (cs0 + c) +. delta);
+        Array.unsafe_set ts ti (Array.unsafe_get ts ti +. delta);
+        Array.unsafe_set rt i (Array.unsafe_get rt i +. delta);
+        mark_touched t i
+      end
+    done
+
+(* One factor per cluster applied to a whole row in a single sweep —
+   the shape LOAD / COMM / FEASIBLE / PLACEPROP reduce to. Equivalent
+   to [scale_cluster t i c factors.(c)] for every [c] in order. *)
+let scale_clusters t i factors =
+  check_row t i;
+  if Array.length factors <> t.nc then
+    invalid_arg "Weights.scale_clusters: factor count must equal nc";
+  match t.storage with
+  | Legacy_s _ ->
+    for c = 0 to t.nc - 1 do
+      scale_cluster t i c factors.(c)
+    done
+  | Flat_s ba ->
+    let nt = t.nt in
+    let cs = t.cluster_sum and ts = t.time_sum and rt = t.row_total in
+    for c = 0 to t.nc - 1 do
+      let f = Array.unsafe_get factors c in
+      let base = ((i * t.nc) + c) * nt in
+      let ci = (i * t.nc) + c and ti = i * nt in
+      for tt = 0 to nt - 1 do
+        let k = base + tt in
+        let old = Bigarray.Array1.unsafe_get ba k in
+        let v = old *. f in
+        if bad_value v then reject_value ();
+        let delta = v -. old in
+        if delta <> 0.0 then begin
+          Bigarray.Array1.unsafe_set ba k v;
+          Array.unsafe_set cs ci (Array.unsafe_get cs ci +. delta);
+          Array.unsafe_set ts (ti + tt) (Array.unsafe_get ts (ti + tt) +. delta);
+          Array.unsafe_set rt i (Array.unsafe_get rt i +. delta);
+          mark_touched t i
+        end
+      done
+    done
+
+(* Rewrite one row through [f c tt v], in flat (c-major) order. *)
+let map_row t i f =
+  check_row t i;
+  match t.storage with
+  | Legacy_s _ ->
+    for c = 0 to t.nc - 1 do
+      for tt = 0 to t.nt - 1 do
+        set t i c tt (f c tt (get t i c tt))
+      done
+    done
+  | Flat_s ba ->
+    let nt = t.nt in
+    let cs = t.cluster_sum and ts = t.time_sum and rt = t.row_total in
+    for c = 0 to t.nc - 1 do
+      let base = ((i * t.nc) + c) * nt in
+      let ci = (i * t.nc) + c and ti = i * nt in
+      for tt = 0 to nt - 1 do
+        let k = base + tt in
+        let old = Bigarray.Array1.unsafe_get ba k in
+        let v = f c tt old in
+        if bad_value v then reject_value ();
+        let delta = v -. old in
+        if delta <> 0.0 then begin
+          Bigarray.Array1.unsafe_set ba k v;
+          Array.unsafe_set cs ci (Array.unsafe_get cs ci +. delta);
+          Array.unsafe_set ts (ti + tt) (Array.unsafe_get ts (ti + tt) +. delta);
+          Array.unsafe_set rt i (Array.unsafe_get rt i +. delta);
+          mark_touched t i
+        end
+      done
+    done
+
+(* Zero every slot outside [lo..hi] in row [i] — INITTIME's shape.
+   Exactly [map_row t i (fun _ tt v -> if tt < lo || tt > hi then 0.0
+   else v)]: in-window elements have delta 0 and are skipped there too,
+   so only the two out-of-window stretches are visited, in the same
+   ascending order map_row would reach them. *)
+let mask_time_window t i ~lo ~hi =
+  check_row t i;
+  match t.storage with
+  | Legacy_s _ -> map_row t i (fun _ tt v -> if tt < lo || tt > hi then 0.0 else v)
+  | Flat_s ba ->
+    let nt = t.nt in
+    let cs = t.cluster_sum and ts = t.time_sum and rt = t.row_total in
+    for c = 0 to t.nc - 1 do
+      let base = ((i * t.nc) + c) * nt in
+      let ci = (i * t.nc) + c and ti = i * nt in
+      let zero tt =
+        let k = base + tt in
+        let old = Bigarray.Array1.unsafe_get ba k in
+        let delta = 0.0 -. old in
+        if delta <> 0.0 then begin
+          Bigarray.Array1.unsafe_set ba k 0.0;
+          Array.unsafe_set cs ci (Array.unsafe_get cs ci +. delta);
+          Array.unsafe_set ts (ti + tt) (Array.unsafe_get ts (ti + tt) +. delta);
+          Array.unsafe_set rt i (Array.unsafe_get rt i +. delta);
+          mark_touched t i
+        end
+      in
+      for tt = 0 to min lo nt - 1 do
+        zero tt
+      done;
+      for tt = max (hi + 1) 0 to nt - 1 do
+        zero tt
+      done
+    done
+
+(* --- marginals ------------------------------------------------------ *)
+
+let cluster_weight t i c =
+  if i < 0 || i >= t.n || c < 0 || c >= t.nc then invalid_arg "Weights: index out of range";
+  t.cluster_sum.((i * t.nc) + c)
+
+let time_weight t i tt =
+  if i < 0 || i >= t.n || tt < 0 || tt >= t.nt then invalid_arg "Weights: index out of range";
+  t.time_sum.((i * t.nt) + tt)
 
 let row_total t i =
-  let s = ref 0.0 in
-  for c = 0 to t.nc - 1 do
-    s := !s +. cluster_weight t i c
-  done;
-  !s
+  check_row t i;
+  t.row_total.(i)
 
-let normalize t i =
-  (* Total from the entries themselves, not the incrementally maintained
-     caches: floating-point drift can leave a cached total tiny-positive
-     while the row has decayed to all zeros, and dividing by that would
-     produce a row that still sums to ~0 (or worse, NaN). *)
+(* Rebuild row [i]'s marginal caches exactly from its entries: cluster
+   sums in c-major order, then time sums, then the row total as the sum
+   of cluster sums (the order the legacy recompute used). *)
+let recompute_row t i =
+  let nt = t.nt and nc = t.nc in
+  (match t.storage with
+  | Legacy_s a ->
+    (* Seed-faithful: index recomputed per element, bounds-checked. *)
+    for c = 0 to nc - 1 do
+      let s = ref 0.0 in
+      for tt = 0 to nt - 1 do
+        s := !s +. a.(idx t i c tt)
+      done;
+      t.cluster_sum.((i * nc) + c) <- !s
+    done;
+    for tt = 0 to nt - 1 do
+      let s = ref 0.0 in
+      for c = 0 to nc - 1 do
+        s := !s +. a.(idx t i c tt)
+      done;
+      t.time_sum.((i * nt) + tt) <- !s
+    done
+  | Flat_s ba ->
+    for c = 0 to nc - 1 do
+      let s = ref 0.0 in
+      let base = ((i * nc) + c) * nt in
+      for tt = 0 to nt - 1 do
+        s := !s +. Bigarray.Array1.unsafe_get ba (base + tt)
+      done;
+      t.cluster_sum.((i * nc) + c) <- !s
+    done;
+    for tt = 0 to nt - 1 do
+      let s = ref 0.0 in
+      for c = 0 to nc - 1 do
+        s := !s +. Bigarray.Array1.unsafe_get ba ((((i * nc) + c) * nt) + tt)
+      done;
+      t.time_sum.((i * nt) + tt) <- !s
+    done);
   let total = ref 0.0 in
-  for c = 0 to t.nc - 1 do
-    for tt = 0 to t.nt - 1 do
-      total := !total +. t.w.(idx t i c tt)
-    done
+  for c = 0 to nc - 1 do
+    total := !total +. t.cluster_sum.((i * nc) + c)
   done;
-  let total = !total in
-  if total <= 0.0 || not (Float.is_finite total) then begin
-    let v = 1.0 /. float_of_int (t.nc * t.nt) in
-    for c = 0 to t.nc - 1 do
-      for tt = 0 to t.nt - 1 do
-        t.w.(idx t i c tt) <- v
-      done
-    done
-  end
-  else
-    for c = 0 to t.nc - 1 do
-      for tt = 0 to t.nt - 1 do
-        let k = idx t i c tt in
-        t.w.(k) <- t.w.(k) /. total
+  t.row_total.(i) <- !total
+
+(* --- normalization -------------------------------------------------- *)
+
+(* Total from the entries themselves, not the incrementally maintained
+   caches: floating-point drift can leave a cached total tiny-positive
+   while the row has decayed to all zeros, and dividing by that would
+   produce a row that still sums to ~0 (or worse, NaN). The fused
+   divide is the kernel half of the driver's "apply then renormalize"
+   cycle; marginals are rebuilt exactly afterwards. *)
+let normalize t i =
+  check_row t i;
+  let nt = t.nt and nc = t.nc in
+  let len = nc * nt in
+  let base = i * len in
+  let changed = ref false in
+  match t.storage with
+  | Legacy_s a ->
+    (* Seed-faithful nested sweeps: index recomputed per element,
+       bounds-checked reads/writes, then a full marginal recompute —
+       the cost profile the flat fused path is benchmarked against. *)
+    let total = ref 0.0 in
+    for c = 0 to nc - 1 do
+      for tt = 0 to nt - 1 do
+        total := !total +. a.(idx t i c tt)
       done
     done;
-  recompute_sums t i
+    let total = !total in
+    if total <= 0.0 || not (Float.is_finite total) then begin
+      let v = 1.0 /. float_of_int (nc * nt) in
+      for c = 0 to nc - 1 do
+        for tt = 0 to nt - 1 do
+          let k = idx t i c tt in
+          if a.(k) <> v then changed := true;
+          a.(k) <- v
+        done
+      done
+    end
+    else
+      for c = 0 to nc - 1 do
+        for tt = 0 to nt - 1 do
+          let k = idx t i c tt in
+          let v = a.(k) /. total in
+          if v <> a.(k) then changed := true;
+          a.(k) <- v
+        done
+      done;
+    if !changed then mark_touched t i;
+    recompute_row t i
+  | Flat_s ba ->
+    (* Fully fused: one sweep for the total, then a single divide sweep
+       that simultaneously rebuilds all three marginal caches. The
+       cache arithmetic accumulates element-by-element in exactly the
+       order [recompute_row] uses (lane sums left to right, time sums
+       in ascending cluster order, row total as the sum of lane sums),
+       so the rebuilt caches are bit-identical to the unfused path. *)
+    let nc = t.nc and nt = t.nt in
+    let total = ref 0.0 in
+    for k = base to base + len - 1 do
+      total := !total +. Bigarray.Array1.unsafe_get ba k
+    done;
+    let total = !total in
+    let uniform = total <= 0.0 || not (Float.is_finite total) in
+    let u = 1.0 /. float_of_int len in
+    let cs = t.cluster_sum and ts = t.time_sum in
+    let ti = i * nt in
+    for tt = 0 to nt - 1 do
+      Array.unsafe_set ts (ti + tt) 0.0
+    done;
+    let row = ref 0.0 in
+    for c = 0 to nc - 1 do
+      let lane = ((i * nc) + c) * nt in
+      let s = ref 0.0 in
+      for tt = 0 to nt - 1 do
+        let k = lane + tt in
+        let old = Bigarray.Array1.unsafe_get ba k in
+        let v = if uniform then u else old /. total in
+        if v <> old then begin
+          changed := true;
+          Bigarray.Array1.unsafe_set ba k v
+        end;
+        s := !s +. v;
+        Array.unsafe_set ts (ti + tt) (Array.unsafe_get ts (ti + tt) +. v)
+      done;
+      Array.unsafe_set cs ((i * nc) + c) !s;
+      row := !row +. !s
+    done;
+    t.row_total.(i) <- !row;
+    if !changed then mark_touched t i
 
 let normalize_all t =
   for i = 0 to t.n - 1 do
     normalize t i
   done
+
+(* The driver's fused renormalize: only rows written since the last
+   [clear_touched] can have drifted off sum 1, so only they are swept.
+   Rows a pass never wrote keep their exact bits (the legacy driver
+   re-divided every row by a total within one ulp of 1.0 each pass,
+   churning the low bits of untouched rows for nothing). *)
+let normalize_touched t =
+  if t.n_dirty > 0 then
+    for i = 0 to t.n - 1 do
+      if Bytes.unsafe_get t.dirty i <> '\000' then normalize t i
+    done
+
+(* --- preferences ---------------------------------------------------- *)
 
 let argmax_range count value =
   let best = ref 0 and best_v = ref (value 0) in
@@ -140,71 +533,201 @@ let runnerup_cluster t i =
     Some !best
   end
 
+(* A fully converged row has no runner-up mass, which used to make
+   [confidence] return [infinity] — a value that poisons any telemetry
+   mean/percentile it is averaged into (inf + x = inf, inf - inf = nan).
+   It is now clamped to this documented finite sentinel; every caller
+   comparing against a threshold behaves the same, and "no runner-up"
+   is exactly [confidence = confidence_sentinel]. *)
+let confidence_sentinel = 1e9
+
 let confidence t i =
   match runnerup_cluster t i with
-  | None -> infinity
+  | None -> confidence_sentinel
   | Some r ->
     let top = cluster_weight t i (preferred_cluster t i) in
     let second = cluster_weight t i r in
-    if second <= 0.0 then infinity else top /. second
+    if second <= 0.0 then confidence_sentinel
+    else Float.min (top /. second) confidence_sentinel
 
 let blend t ~dst ~src ~keep =
   if keep < 0.0 || keep > 1.0 then invalid_arg "Weights.blend: keep must be in [0,1]";
+  check_row t dst;
+  check_row t src;
   if dst = src then ()
   else begin
-    for c = 0 to t.nc - 1 do
-      for tt = 0 to t.nt - 1 do
-        let kd = idx t dst c tt and ks = idx t src c tt in
-        t.w.(kd) <- (keep *. t.w.(kd)) +. ((1.0 -. keep) *. t.w.(ks))
+    let len = t.nc * t.nt in
+    let bd = dst * len and bs = src * len in
+    (match t.storage with
+    | Legacy_s a ->
+      for c = 0 to t.nc - 1 do
+        for tt = 0 to t.nt - 1 do
+          let kd = idx t dst c tt and ks = idx t src c tt in
+          a.(kd) <- (keep *. a.(kd)) +. ((1.0 -. keep) *. a.(ks))
+        done
       done
-    done;
-    recompute_sums t dst
+    | Flat_s ba ->
+      for k = 0 to len - 1 do
+        Bigarray.Array1.unsafe_set ba (bd + k)
+          ((keep *. Bigarray.Array1.unsafe_get ba (bd + k))
+          +. ((1.0 -. keep) *. Bigarray.Array1.unsafe_get ba (bs + k)))
+      done);
+    mark_touched t dst;
+    recompute_row t dst
   end
 
 let preferred_clusters t = Array.init t.n (fun i -> preferred_cluster t i)
 
+(* --- copy / restore ------------------------------------------------- *)
+
 let copy t =
   {
     t with
-    w = Array.copy t.w;
+    storage =
+      (match t.storage with
+      | Legacy_s a -> Legacy_s (Array.copy a)
+      | Flat_s ba ->
+        let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (Bigarray.Array1.dim ba) in
+        Bigarray.Array1.blit ba b;
+        Flat_s b);
     cluster_sum = Array.copy t.cluster_sum;
     time_sum = Array.copy t.time_sum;
+    row_total = Array.copy t.row_total;
+    dirty = Bytes.copy t.dirty;
   }
 
-let blit ~src ~dst =
+let check_compatible ~ctx src dst =
   if src.n <> dst.n || src.nc <> dst.nc || src.nt <> dst.nt then
-    invalid_arg "Weights.blit: dimension mismatch";
-  Array.blit src.w 0 dst.w 0 (Array.length src.w);
+    invalid_arg (ctx ^ ": dimension mismatch");
+  match (src.storage, dst.storage) with
+  | Legacy_s _, Legacy_s _ | Flat_s _, Flat_s _ -> ()
+  | _ -> invalid_arg (ctx ^ ": implementation mismatch")
+
+let blit ~src ~dst =
+  check_compatible ~ctx:"Weights.blit" src dst;
+  (match (src.storage, dst.storage) with
+  | Legacy_s a, Legacy_s b -> Array.blit a 0 b 0 (Array.length a)
+  | Flat_s a, Flat_s b -> Bigarray.Array1.blit a b
+  | _ -> assert false);
   Array.blit src.cluster_sum 0 dst.cluster_sum 0 (Array.length src.cluster_sum);
-  Array.blit src.time_sum 0 dst.time_sum 0 (Array.length src.time_sum)
+  Array.blit src.time_sum 0 dst.time_sum 0 (Array.length src.time_sum);
+  Array.blit src.row_total 0 dst.row_total 0 (Array.length src.row_total);
+  Bytes.blit src.dirty 0 dst.dirty 0 (Bytes.length src.dirty);
+  dst.n_dirty <- src.n_dirty
+
+(* Copy only the listed rows — entries and cached marginals — from
+   [src] into [dst]. With [rows = touched_rows w] this is the O(dirty)
+   half of the driver's quarantine protocol: rollback restores exactly
+   the rows a misbehaving pass wrote, and a successful pass refreshes
+   only those rows in its snapshot. Leaves [dst]'s dirty flags alone. *)
+let sync_rows ~rows ~src ~dst =
+  check_compatible ~ctx:"Weights.sync_rows" src dst;
+  let len = src.nc * src.nt in
+  (* Consecutive rows coalesce into one block copy per run: a dense
+     pass touches every row, and there a single memcpy-backed blit
+     beats both a per-row loop and per-row [Array1.sub] descriptor
+     allocation. [touched_rows] yields rows ascending, so dense dirty
+     sets arrive as one run; short runs keep the plain loop, which is
+     cheaper than two descriptor allocations. *)
+  let sync_run lo hi =
+    let rows_n = hi - lo + 1 in
+    let base = lo * len and count = (hi - lo + 1) * len in
+    (match (src.storage, dst.storage) with
+    | Legacy_s a, Legacy_s b -> Array.blit a base b base count
+    | Flat_s a, Flat_s b ->
+      if count <= 512 then
+        for k = base to base + count - 1 do
+          Bigarray.Array1.unsafe_set b k (Bigarray.Array1.unsafe_get a k)
+        done
+      else
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub a base count)
+          (Bigarray.Array1.sub b base count)
+    | _ -> assert false);
+    Array.blit src.cluster_sum (lo * src.nc) dst.cluster_sum (lo * src.nc)
+      (rows_n * src.nc);
+    Array.blit src.time_sum (lo * src.nt) dst.time_sum (lo * src.nt) (rows_n * src.nt);
+    Array.blit src.row_total lo dst.row_total lo rows_n
+  in
+  let rec runs = function
+    | [] -> ()
+    | i :: rest ->
+      check_row src i;
+      let lo = i in
+      let rec extend hi = function
+        | j :: rest when j = hi + 1 ->
+          check_row src j;
+          extend j rest
+        | rest -> (hi, rest)
+      in
+      let hi, rest = extend i rest in
+      sync_run lo hi;
+      runs rest
+  in
+  runs rows
+
+(* --- validation ----------------------------------------------------- *)
+
+(* Monomorphic per-storage sweeps: this runs inside the per-pass
+   quarantine gate, so the per-element storage dispatch [raw_get] would
+   pay for matters here. The Legacy arm keeps the seed's bounds-checked
+   reads. *)
+let validate_row t i err =
+  let total = ref 0.0 in
+  let len = t.nc * t.nt in
+  let base = i * len in
+  let bad v =
+    if not (Float.is_finite v) then begin
+      err := Some (Printf.sprintf "row %d has non-finite weight %g" i v);
+      true
+    end
+    else if v < -.1e-9 then begin
+      err := Some (Printf.sprintf "row %d has negative weight %g" i v);
+      true
+    end
+    else false
+  in
+  (try
+     (match t.storage with
+     | Legacy_s a ->
+       for k = base to base + len - 1 do
+         let v = a.(k) in
+         if Float.is_finite v && v >= -.1e-9 then total := !total +. v
+         else if bad v then raise Exit
+       done
+     | Flat_s ba ->
+       for k = base to base + len - 1 do
+         let v = Bigarray.Array1.unsafe_get ba k in
+         if Float.is_finite v && v >= -.1e-9 then total := !total +. v
+         else if bad v then raise Exit
+       done);
+     if Float.abs (!total -. 1.0) > 1e-6 then begin
+       err := Some (Printf.sprintf "row %d sums to %g, expected 1" i !total);
+       raise Exit
+     end
+   with Exit -> ())
 
 let validate t =
   (* Single sweep over the raw entries; cheap enough to run after every
      pass (quarantine gate), unlike the triple-pass [check_invariants]. *)
   let err = ref None in
-  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
-  (try
-     for i = 0 to t.n - 1 do
-       let total = ref 0.0 in
-       let base = i * t.nc * t.nt in
-       for k = base to base + (t.nc * t.nt) - 1 do
-         let v = t.w.(k) in
-         if not (Float.is_finite v) then begin
-           fail "row %d has non-finite weight %g" i v;
-           raise Exit
-         end;
-         if v < -.1e-9 then begin
-           fail "row %d has negative weight %g" i v;
-           raise Exit
-         end;
-         total := !total +. v
-       done;
-       if Float.abs (!total -. 1.0) > 1e-6 then begin
-         fail "row %d sums to %g, expected 1" i !total;
-         raise Exit
-       end
-     done
-   with Exit -> ());
+  let i = ref 0 in
+  while !err = None && !i < t.n do
+    validate_row t !i err;
+    incr i
+  done;
+  match !err with None -> Ok () | Some e -> Error e
+
+(* Quarantine-gate variant: rows untouched since [clear_touched] were
+   valid when the previous gate passed and have not changed since, so
+   only dirty rows need sweeping. *)
+let validate_touched t =
+  let err = ref None in
+  let i = ref 0 in
+  while !err = None && !i < t.n do
+    if Bytes.unsafe_get t.dirty !i <> '\000' then validate_row t !i err;
+    incr i
+  done;
   match !err with None -> Ok () | Some e -> Error e
 
 let check_invariants t =
@@ -214,7 +737,7 @@ let check_invariants t =
     let total = ref 0.0 in
     for c = 0 to t.nc - 1 do
       for tt = 0 to t.nt - 1 do
-        let v = t.w.(idx t i c tt) in
+        let v = raw_get t (idx t i c tt) in
         if v < -.1e-9 || v > 1.0 +. 1e-9 then fail "W(%d,%d,%d)=%g out of [0,1]" i c tt v;
         total := !total +. v
       done
@@ -223,7 +746,7 @@ let check_invariants t =
     for c = 0 to t.nc - 1 do
       let s = ref 0.0 in
       for tt = 0 to t.nt - 1 do
-        s := !s +. t.w.(idx t i c tt)
+        s := !s +. raw_get t (idx t i c tt)
       done;
       if Float.abs (!s -. cluster_weight t i c) > 1e-6 then
         fail "stale cluster sum at (%d,%d)" i c
@@ -231,10 +754,12 @@ let check_invariants t =
     for tt = 0 to t.nt - 1 do
       let s = ref 0.0 in
       for c = 0 to t.nc - 1 do
-        s := !s +. t.w.(idx t i c tt)
+        s := !s +. raw_get t (idx t i c tt)
       done;
       if Float.abs (!s -. time_weight t i tt) > 1e-6 then fail "stale time sum at (%d,%d)" i tt
-    done
+    done;
+    if Float.abs (!total -. row_total t i) > 1e-6 then
+      fail "stale row total at %d (%g cached vs %g)" i (row_total t i) !total
   done;
   match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
 

@@ -1,5 +1,7 @@
 (** The convergent-scheduling preference matrix [W(i, c, t)] (paper
-    Sec. 3).
+    Sec. 3), stored as one contiguous instr-major float64 block:
+
+    {v index(i, c, t) = ((i * nc) + c) * nt + t v}
 
     For every instruction [i], cluster [c] and time slot [t], [W(i,c,t)]
     is the scheduler's current preference for executing [i] on [c] at
@@ -8,18 +10,60 @@
     - [0 <= W(i,c,t) <= 1]
     - for each [i], the entries sum to 1.
 
-    Marginal sums over time (per cluster) and over clusters (per time)
-    are cached incrementally so preferred slots and confidences are
-    O(clusters + slots), as the paper requires. *)
+    Marginal sums over time (per cluster), over clusters (per time) and
+    over the whole row are cached incrementally so preferred slots and
+    confidences are O(clusters + slots), as the paper requires.
+
+    Every write also marks its row {e touched}, so renormalization, the
+    driver's quarantine gate and snapshot maintenance run in time
+    proportional to the rows a pass actually wrote (see the
+    [touched_*], [normalize_touched], [validate_touched] and
+    [sync_rows] group below).
+
+    Two implementations back the same interface and perform the same
+    floating-point operations in the same order, so any pass sequence
+    replayed through both yields bit-identical matrices:
+
+    - {!Flat}: a [Bigarray] float64 block swept by fused unsafe
+      kernels — the production path;
+    - {!Legacy}: the original boxed [float array] walked through the
+      original bounds-checked per-element chain — retained for one PR
+      as the differential oracle and benchmark baseline. *)
 
 type t
 
+(** {1 Implementation selection (one-PR feature flag)} *)
+
+type impl =
+  | Flat  (** contiguous Bigarray + fused kernels (default) *)
+  | Legacy  (** pre-kernel float-array representation, kept as oracle *)
+
+val impl_name : impl -> string
+val impl_of_string : string -> (impl, string) result
+
+val default_impl : unit -> impl
+(** Initial value: [Flat], or the [CSCHED_WEIGHTS_IMPL] environment
+    variable ([flat] / [legacy]) when set and valid. *)
+
+val set_default_impl : impl -> unit
+(** Used by the [--weights-impl] CLI flag; affects subsequent
+    {!create} calls that don't pass [?impl]. *)
+
 val create : n:int -> nc:int -> nt:int -> t
-(** Uniform distribution [1 / (nc * nt)] everywhere. *)
+(** Uniform distribution [1 / (nc * nt)] everywhere, backed by
+    {!default_impl}. *)
+
+val create_with : impl:impl -> n:int -> nc:int -> nt:int -> t
+(** {!create} with an explicit implementation — used by the
+    differential tests and the kernel benchmark. *)
+
+val impl : t -> impl
 
 val n : t -> int
 val nc : t -> int
 val nt : t -> int
+
+(** {1 Element access} *)
 
 val get : t -> int -> int -> int -> float
 (** [get w i c t]. *)
@@ -27,25 +71,88 @@ val get : t -> int -> int -> int -> float
 val set : t -> int -> int -> int -> float -> unit
 val add : t -> int -> int -> int -> float -> unit
 val scale : t -> int -> int -> int -> float -> unit
+
+(** {1 Fused row kernels}
+
+    Each is a single sweep over contiguous storage; all of them reject
+    a produced value that is non-finite or negative exactly as {!set}
+    does, and leave a row's touched flag unset when nothing actually
+    changed (e.g. scaling by 1.0). *)
+
 val scale_cluster : t -> int -> int -> float -> unit
-(** Scale all time slots of one (instruction, cluster). *)
+(** Scale all time slots of one (instruction, cluster) — one
+    contiguous lane of [nt] doubles. *)
 
 val scale_time : t -> int -> int -> float -> unit
-(** Scale all clusters of one (instruction, slot). *)
+(** Scale all clusters of one (instruction, slot) — an [nt]-strided
+    walk. *)
+
+val scale_clusters : t -> int -> float array -> unit
+(** [scale_clusters w i factors] multiplies every entry [W(i,c,t)] by
+    [factors.(c)] in one row sweep; [factors] must have length [nc].
+    Equivalent to [scale_cluster w i c factors.(c)] for each [c] in
+    order — the shape the LOAD / COMM / FEASIBLE / PLACEPROP kernels
+    reduce to. *)
+
+val map_row : t -> int -> (int -> int -> float -> float) -> unit
+(** [map_row w i f] rewrites row [i] as [W(i,c,t) <- f c t W(i,c,t)],
+    visiting entries in flat (cluster-major) order. *)
+
+val mask_time_window : t -> int -> lo:int -> hi:int -> unit
+(** [mask_time_window w i ~lo ~hi] zeroes every slot of row [i]
+    outside the inclusive window [lo..hi] — INITTIME's shape.
+    Equivalent to
+    [map_row w i (fun _ t v -> if t < lo || t > hi then 0.0 else v)]
+    without the per-element closure call. *)
+
+(** {1 Cached marginals} *)
 
 val cluster_weight : t -> int -> int -> float
-(** Marginal [sum_t W(i,c,t)]. *)
+(** Marginal [sum_t W(i,c,t)]; O(1) from the cache. *)
 
 val time_weight : t -> int -> int -> float
-(** Marginal [sum_c W(i,c,t)]. *)
+(** Marginal [sum_c W(i,c,t)]; O(1) from the cache. *)
 
 val row_total : t -> int -> float
+(** Cached [sum_{c,t} W(i,c,t)]; O(1). *)
 
 val normalize : t -> int -> unit
-(** Rescale instruction [i]'s entries to sum to 1; a row that has been
-    squashed to all zeros is reset to uniform. *)
+(** Rescale instruction [i]'s entries to sum to 1 and rebuild its
+    marginal caches exactly; a row that has been squashed to all zeros
+    is reset to uniform. *)
 
 val normalize_all : t -> unit
+
+val normalize_touched : t -> unit
+(** {!normalize} only the rows written since the last
+    {!clear_touched} — the driver's fused per-pass renormalize. Rows a
+    pass never wrote keep their exact bits. *)
+
+(** {1 Dirty-row tracking}
+
+    A row is {e touched} once any write changes one of its entries;
+    the flag set accumulates until {!clear_touched}. The driver clears
+    at the start of each pass, so after the pass the touched set is
+    exactly the rows that pass wrote. *)
+
+val is_touched : t -> int -> bool
+val touched_count : t -> int
+
+val touched_rows : t -> int list
+(** Ascending row ids. *)
+
+val clear_touched : t -> unit
+
+val sync_rows : rows:int list -> src:t -> dst:t -> unit
+(** Copy the listed rows — entries and cached marginals — from [src]
+    into [dst] (same dimensions and implementation required). With
+    [rows = touched_rows w] this is the O(touched) half of the
+    quarantine protocol: rollback restores exactly the rows a
+    misbehaving pass wrote ([src] = snapshot, [dst] = w), and a clean
+    pass refreshes only those rows in its snapshot ([src] = w,
+    [dst] = snapshot). [dst]'s touched flags are left alone. *)
+
+(** {1 Preferences and confidence} *)
 
 val preferred_cluster : t -> int -> int
 (** Cluster maximizing the time-marginal; smallest id wins ties. *)
@@ -55,9 +162,16 @@ val preferred_time : t -> int -> int
 val runnerup_cluster : t -> int -> int option
 (** Second-best cluster; [None] on single-cluster machines. *)
 
+val confidence_sentinel : float
+(** [1e9]. Finite stand-in for "no competition": returned (and used as
+    a clamp) by {!confidence} where the ratio used to be [infinity],
+    so telemetry means/percentiles over confidences never propagate
+    [inf]/[nan]. *)
+
 val confidence : t -> int -> float
-(** Ratio of the top two cluster marginals (paper Sec. 3). [infinity]
-    when there is no runner-up or its weight is zero. *)
+(** Ratio of the top two cluster marginals (paper Sec. 3), clamped to
+    [confidence_sentinel]; exactly [confidence_sentinel] when there is
+    no runner-up or its weight is zero. Always finite. *)
 
 val blend : t -> dst:int -> src:int -> keep:float -> unit
 (** [blend w ~dst ~src ~keep] sets [W(dst) <- keep * W(dst) +
@@ -67,23 +181,33 @@ val blend : t -> dst:int -> src:int -> keep:float -> unit
 val preferred_clusters : t -> int array
 (** Snapshot of every instruction's preferred cluster. *)
 
+(** {1 Copy / restore} *)
+
 val copy : t -> t
 
 val blit : src:t -> dst:t -> unit
-(** Overwrite [dst] in place with [src]'s contents (entries and cached
-    marginals). Dimensions must match. Used to roll back a quarantined
-    pass without reallocating. *)
+(** Overwrite [dst] in place with [src]'s contents (entries, cached
+    marginals and touched flags). Dimensions and implementation must
+    match. *)
+
+(** {1 Validation} *)
 
 val validate : t -> (unit, string) result
-(** Fast single-sweep check used as the pass-quarantine gate: every
-    entry finite and non-negative, every row summing to 1 (i.e. the
-    matrix is post-normalization sane). Returns the first problem
-    found. See {!check_invariants} for the exhaustive variant that also
-    audits the marginal caches. *)
+(** Fast single-sweep check over every row: every entry finite and
+    non-negative, every row summing to 1 (i.e. the matrix is
+    post-normalization sane). Returns the first problem found. See
+    {!check_invariants} for the exhaustive variant that also audits
+    the marginal caches. *)
+
+val validate_touched : t -> (unit, string) result
+(** {!validate} restricted to rows written since {!clear_touched} —
+    the pass-quarantine gate. Sound because untouched rows passed the
+    previous gate and have not changed since. *)
 
 val check_invariants : t -> (unit, string) result
-(** Verifies range, row sums (post-normalization), and cache
-    consistency; used by tests and assertions. *)
+(** Verifies range, row sums (post-normalization), and consistency of
+    all three marginal caches against freshly recomputed sums; used by
+    tests and assertions. *)
 
 val pp_cluster_map : Format.formatter -> t -> unit
 (** ASCII rendering of the cluster-preference map in the style of the

@@ -158,6 +158,53 @@ let test_quarantine_per_round () =
     (fun k (q : Driver.quarantine) -> check_int "round recorded" (k + 1) q.Driver.round)
     result.Driver.quarantined
 
+let test_rollback_restores_exact_bits () =
+  (* The dirty-row rollback must leave the matrix *bit*-identical to a
+     run where the quarantined pass never existed — across every CHAOS
+     flavor: raise-before-write (4), raise-mid-write (0, 1), and
+     return-normally-but-corrupt (3). *)
+  let clean = Driver.run ~seed:3 ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
+  let wc = clean.Driver.weights in
+  List.iter
+    (fun mode ->
+      let result =
+        Driver.run ~seed:3 ~machine:vliw4 jacobi4
+          (Sequence.vliw_default () @ [ Chaos.pass ~mode () ])
+      in
+      check_int (Printf.sprintf "mode %d quarantined" mode) 1
+        (List.length result.Driver.quarantined);
+      let wr = result.Driver.weights in
+      for i = 0 to Weights.n wc - 1 do
+        for c = 0 to Weights.nc wc - 1 do
+          for t = 0 to Weights.nt wc - 1 do
+            check_bool
+              (Printf.sprintf "mode %d entry (%d,%d,%d) bit-identical" mode i c t)
+              true
+              (Weights.get wr i c t = Weights.get wc i c t)
+          done
+        done
+      done)
+    [ 0; 1; 3; 4 ]
+
+let test_pass_dirties_exactly_written_rows () =
+  let ctx = Context.make ~machine:vliw4 jacobi4 in
+  let n = Context.n_instrs ctx in
+  let w = Weights.create ~n ~nc:(Context.n_clusters ctx) ~nt:ctx.Context.nt in
+  (* FIRST scales cluster 0 of every row: n rows written, n rows dirty. *)
+  (First.pass ()).Pass.apply ctx w;
+  check_int "FIRST dirties every row" n (Weights.touched_count w);
+  Weights.clear_touched w;
+  (* ... but a factor of 1.0 writes nothing, so nothing is dirty. *)
+  (First.pass ~factor:1.0 ()).Pass.apply ctx w;
+  check_int "no-op FIRST dirties none" 0 (Weights.touched_count w);
+  (* PLACE writes exactly the preplaced + live-in-home rows. *)
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if Context.home_of ctx i <> None then incr k
+  done;
+  (Place.pass ()).Pass.apply ctx w;
+  check_int "PLACE dirties exactly the anchored rows" !k (Weights.touched_count w)
+
 let test_no_quarantines_on_default_sequences () =
   let r1 = Driver.run ~machine:vliw4 jacobi4 (Sequence.vliw_default ()) in
   let r2 = Driver.run ~machine:raw16 (Cs_workloads.Life.generate ~clusters:16 ())
@@ -248,6 +295,9 @@ let () =
           Alcotest.test_case "soft corruption recovers" `Quick
             test_quarantine_soft_corruption_recovers;
           Alcotest.test_case "quarantine per round" `Quick test_quarantine_per_round;
+          Alcotest.test_case "rollback bit-exact" `Quick test_rollback_restores_exact_bits;
+          Alcotest.test_case "pass dirties written rows" `Quick
+            test_pass_dirties_exactly_written_rows;
           Alcotest.test_case "defaults never quarantined" `Quick
             test_no_quarantines_on_default_sequences;
         ] );

@@ -96,7 +96,28 @@ let test_confidence () =
   Weights.set w 0 1 0 0.2;
   check_float "ratio 4" 4.0 (Weights.confidence w 0);
   Weights.set w 0 1 0 0.0;
-  check_bool "infinite when runner-up zero" true (Weights.confidence w 0 = infinity)
+  check_float "sentinel when runner-up zero" Weights.confidence_sentinel
+    (Weights.confidence w 0)
+
+(* Regression for the old behavior where a zero runner-up returned
+   [infinity] and poisoned telemetry means downstream. *)
+let test_confidence_sentinel () =
+  check_bool "sentinel is finite" true (Float.is_finite Weights.confidence_sentinel);
+  let w = Weights.create ~n:1 ~nc:2 ~nt:1 in
+  Weights.set w 0 1 0 0.0;
+  check_bool "always finite" true (Float.is_finite (Weights.confidence w 0));
+  (* Single-cluster machines have no runner-up at all. *)
+  let solo = Weights.create ~n:1 ~nc:1 ~nt:3 in
+  check_float "no runner-up" Weights.confidence_sentinel (Weights.confidence solo 0);
+  (* A huge-but-finite ratio is clamped to the sentinel, so the sentinel
+     is a true upper bound, not just a replacement for inf. *)
+  let skew = Weights.create ~n:1 ~nc:2 ~nt:1 in
+  Weights.set skew 0 0 0 1.0;
+  Weights.set skew 0 1 0 1e-12;
+  check_float "clamped" Weights.confidence_sentinel (Weights.confidence skew 0);
+  (* And telemetry aggregation over such rows stays finite. *)
+  check_bool "mean confidence finite" true
+    (Float.is_finite (Telemetry.mean_confidence w))
 
 let test_blend () =
   let w = Weights.create ~n:2 ~nc:2 ~nt:1 in
@@ -164,6 +185,238 @@ let test_pp_cluster_map () =
   let w = Weights.create ~n:2 ~nc:2 ~nt:1 in
   let s = Format.asprintf "%a" Weights.pp_cluster_map w in
   check_bool "non-empty" true (String.length s > 10)
+
+(* --- Dirty-row tracking ------------------------------------------- *)
+
+let test_fresh_matrix_untouched () =
+  let w = Weights.create ~n:5 ~nc:2 ~nt:2 in
+  check_int "nothing touched" 0 (Weights.touched_count w);
+  check_bool "row 0 clean" false (Weights.is_touched w 0)
+
+let test_touched_marks_exactly_written_rows () =
+  let w = Weights.create ~n:6 ~nc:2 ~nt:2 in
+  Weights.set w 1 0 0 0.9;
+  Weights.set w 4 1 1 0.9;
+  Weights.set w 1 0 1 0.1;
+  (* second write to row 1 *)
+  check_int "two rows dirty" 2 (Weights.touched_count w);
+  Alcotest.(check (list int)) "ascending ids" [ 1; 4 ] (Weights.touched_rows w);
+  check_bool "row 0 clean" false (Weights.is_touched w 0);
+  check_bool "row 1 dirty" true (Weights.is_touched w 1);
+  Weights.clear_touched w;
+  check_int "cleared" 0 (Weights.touched_count w);
+  Alcotest.(check (list int)) "empty" [] (Weights.touched_rows w)
+
+let test_noop_writes_do_not_dirty () =
+  let w = Weights.create ~n:3 ~nc:2 ~nt:2 in
+  (* Writing the value already there, scaling by 1.0 and adding 0.0 are
+     all no-ops and must not dirty the row — this is what lets FEASIBLE
+     / LOAD leave the touched set empty on healthy machines. *)
+  Weights.set w 0 0 0 (Weights.get w 0 0 0);
+  Weights.scale w 1 0 0 1.0;
+  Weights.scale_cluster w 1 1 1.0;
+  Weights.scale_clusters w 2 [| 1.0; 1.0 |];
+  Weights.add w 2 1 1 0.0;
+  Weights.map_row w 2 (fun _ _ v -> v);
+  check_int "no dirty rows" 0 (Weights.touched_count w)
+
+let test_normalize_touched_only_touched () =
+  let w = Weights.create ~n:3 ~nc:2 ~nt:2 in
+  Weights.scale w 1 0 0 3.0;
+  Weights.normalize_touched w;
+  check_float "touched row renormalized" 1.0 (Weights.row_total w 1);
+  check_bool "invariants" true (ok_invariants w)
+
+let test_sync_rows_restores_exact_rows () =
+  let w = Weights.create ~n:4 ~nc:2 ~nt:2 in
+  Weights.scale_cluster w 0 1 4.0;
+  Weights.scale_cluster w 2 0 7.0;
+  Weights.normalize_all w;
+  let snapshot = Weights.copy w in
+  Weights.clear_touched w;
+  Weights.scale_cluster w 1 0 9.0;
+  Weights.scale_cluster w 3 1 5.0;
+  Weights.normalize_touched w;
+  Alcotest.(check (list int)) "pass wrote rows 1,3" [ 1; 3 ] (Weights.touched_rows w);
+  (* Rollback: only the touched rows come back from the snapshot. *)
+  Weights.sync_rows ~rows:(Weights.touched_rows w) ~src:snapshot ~dst:w;
+  for i = 0 to 3 do
+    for c = 0 to 1 do
+      for t = 0 to 1 do
+        check_bool "entry bit-identical" true
+          (Weights.get w i c t = Weights.get snapshot i c t)
+      done;
+      check_bool "marginal bit-identical" true
+        (Weights.cluster_weight w i c = Weights.cluster_weight snapshot i c)
+    done
+  done;
+  check_bool "caches consistent" true (ok_invariants w)
+
+(* --- Property suites, run against both implementations ------------- *)
+
+(* One generated op per kernel in the public API; every produced value
+   stays finite and non-negative so the sequence is always legal. *)
+type op =
+  | Set of int * int * int * float
+  | Add of int * int * int * float
+  | Scale of int * int * int * float
+  | Scale_cluster of int * int * float
+  | Scale_time of int * int * float
+  | Scale_clusters of int * float array
+  | Map_row of int * float
+  | Blend of int * int * float
+  | Normalize of int
+  | Normalize_all
+
+let pn = 4
+let pnc = 3
+let pnt = 5
+
+let op_gen =
+  QCheck.Gen.(
+    let i = int_bound (pn - 1) and c = int_bound (pnc - 1) and t = int_bound (pnt - 1) in
+    let v = float_bound_inclusive 5.0 in
+    frequency
+      [
+        (3, map (fun (i, c, t, v) -> Set (i, c, t, v)) (tup4 i c t v));
+        (3, map (fun (i, c, t, v) -> Add (i, c, t, v)) (tup4 i c t v));
+        (3, map (fun (i, c, t, v) -> Scale (i, c, t, v)) (tup4 i c t v));
+        (2, map (fun (i, c, v) -> Scale_cluster (i, c, v)) (tup3 i c v));
+        (2, map (fun (i, t, v) -> Scale_time (i, t, v)) (tup3 i t v));
+        ( 2,
+          map
+            (fun (i, fs) -> Scale_clusters (i, Array.of_list fs))
+            (tup2 i (list_repeat pnc v)) );
+        (2, map (fun (i, f) -> Map_row (i, f)) (tup2 i v));
+        ( 2,
+          map (fun (d, s, k) -> Blend (d, s, k)) (tup3 i i (float_bound_inclusive 1.0))
+        );
+        (1, map (fun i -> Normalize i) i);
+        (1, return Normalize_all);
+      ])
+
+let ops_gen = QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+let apply_op w = function
+  | Set (i, c, t, v) -> Weights.set w i c t v
+  | Add (i, c, t, v) -> Weights.add w i c t v
+  | Scale (i, c, t, v) -> Weights.scale w i c t v
+  | Scale_cluster (i, c, v) -> Weights.scale_cluster w i c v
+  | Scale_time (i, t, v) -> Weights.scale_time w i t v
+  | Scale_clusters (i, fs) -> Weights.scale_clusters w i fs
+  | Map_row (i, f) -> Weights.map_row w i (fun _ _ v -> v *. f)
+  | Blend (d, s, k) -> Weights.blend w ~dst:d ~src:s ~keep:k
+  | Normalize i -> Weights.normalize w i
+  | Normalize_all -> Weights.normalize_all w
+
+let run_ops impl ops =
+  let w = Weights.create_with ~impl ~n:pn ~nc:pnc ~nt:pnt in
+  List.iter (apply_op w) ops;
+  w
+
+(* ISSUE invariants, checked directly (not only via check_invariants):
+   rows sum to 1 within 1e-9, entries in [0,1], and each cached
+   marginal equals its freshly recomputed sum. *)
+let holds_invariants w =
+  let ok = ref true in
+  for i = 0 to pn - 1 do
+    let row_sum = ref 0.0 in
+    for c = 0 to pnc - 1 do
+      let csum = ref 0.0 in
+      for t = 0 to pnt - 1 do
+        let v = Weights.get w i c t in
+        if not (v >= 0.0 && v <= 1.0 +. 1e-9) then ok := false;
+        csum := !csum +. v;
+        row_sum := !row_sum +. v
+      done;
+      if Float.abs (!csum -. Weights.cluster_weight w i c) > 1e-9 then ok := false
+    done;
+    for t = 0 to pnt - 1 do
+      let tsum = ref 0.0 in
+      for c = 0 to pnc - 1 do
+        tsum := !tsum +. Weights.get w i c t
+      done;
+      if Float.abs (!tsum -. Weights.time_weight w i t) > 1e-9 then ok := false
+    done;
+    if Float.abs (!row_sum -. 1.0) > 1e-9 then ok := false;
+    if Float.abs (!row_sum -. Weights.row_total w i) > 1e-9 then ok := false
+  done;
+  !ok && ok_invariants w
+
+let test_ops_invariants_qcheck impl =
+  let prop =
+    QCheck.Test.make ~count:300
+      ~name:
+        (Printf.sprintf "op sequences keep invariants (%s)" (Weights.impl_name impl))
+      (QCheck.make ops_gen)
+      (fun ops ->
+        let w = run_ops impl ops in
+        Weights.normalize_all w;
+        holds_invariants w)
+  in
+  to_alcotest prop
+
+(* The bit-compatibility contract at the unit level: both storages
+   perform the same FP ops in the same order, so every entry, marginal
+   and dirty flag must be *bit*-identical after any op sequence (no
+   epsilon anywhere). *)
+let test_ops_bit_compat_qcheck =
+  let prop =
+    QCheck.Test.make ~count:300 ~name:"flat = legacy, bit for bit"
+      (QCheck.make ops_gen)
+      (fun ops ->
+        let wf = run_ops Weights.Flat ops in
+        let wl = run_ops Weights.Legacy ops in
+        let ok = ref true in
+        for i = 0 to pn - 1 do
+          if Weights.is_touched wf i <> Weights.is_touched wl i then ok := false;
+          if Weights.row_total wf i <> Weights.row_total wl i then ok := false;
+          if Weights.confidence wf i <> Weights.confidence wl i then ok := false;
+          if Weights.preferred_cluster wf i <> Weights.preferred_cluster wl i then
+            ok := false;
+          if Weights.preferred_time wf i <> Weights.preferred_time wl i then
+            ok := false;
+          for c = 0 to pnc - 1 do
+            if Weights.cluster_weight wf i c <> Weights.cluster_weight wl i c then
+              ok := false;
+            for t = 0 to pnt - 1 do
+              if Weights.get wf i c t <> Weights.get wl i c t then ok := false
+            done
+          done;
+          for t = 0 to pnt - 1 do
+            if Weights.time_weight wf i t <> Weights.time_weight wl i t then
+              ok := false
+          done
+        done;
+        !ok)
+  in
+  to_alcotest prop
+
+let test_ops_dirty_exact_qcheck =
+  let prop =
+    QCheck.Test.make ~count:300 ~name:"touched set = exactly the written rows"
+      (QCheck.make ops_gen)
+      (fun ops ->
+        let w = Weights.create_with ~impl:Weights.Flat ~n:pn ~nc:pnc ~nt:pnt in
+        let before = Weights.copy w in
+        List.iter (apply_op w) ops;
+        (* Every changed row must be flagged: an unflagged row must hold
+           exactly its original bits (flagged-but-unchanged is fine — a
+           write can overwrite a value with itself, e.g. add x then
+           subtract nothing; the flag records intent-to-write that
+           changed the row at some point). *)
+        let ok = ref true in
+        for i = 0 to pn - 1 do
+          if not (Weights.is_touched w i) then
+            for c = 0 to pnc - 1 do
+              for t = 0 to pnt - 1 do
+                if Weights.get w i c t <> Weights.get before i c t then ok := false
+              done
+            done
+        done;
+        !ok)
+  in
+  to_alcotest prop
 
 (* qcheck: random edit sequences + normalize preserve invariants. *)
 let edit_gen =
@@ -237,6 +490,7 @@ let () =
           Alcotest.test_case "tie break" `Quick test_preferred_tie_break;
           Alcotest.test_case "runner-up" `Quick test_runnerup;
           Alcotest.test_case "confidence" `Quick test_confidence;
+          Alcotest.test_case "confidence sentinel" `Quick test_confidence_sentinel;
           Alcotest.test_case "blend" `Quick test_blend;
           Alcotest.test_case "blend self noop" `Quick test_blend_self_noop;
           Alcotest.test_case "blend bad keep" `Quick test_blend_rejects_bad_keep;
@@ -246,6 +500,24 @@ let () =
           Alcotest.test_case "snapshot" `Quick test_preferred_clusters_snapshot;
           Alcotest.test_case "cluster map render" `Quick test_pp_cluster_map;
         ] );
+      ( "dirty",
+        [
+          Alcotest.test_case "fresh matrix untouched" `Quick test_fresh_matrix_untouched;
+          Alcotest.test_case "marks written rows" `Quick
+            test_touched_marks_exactly_written_rows;
+          Alcotest.test_case "no-op writes stay clean" `Quick
+            test_noop_writes_do_not_dirty;
+          Alcotest.test_case "normalize touched" `Quick
+            test_normalize_touched_only_touched;
+          Alcotest.test_case "sync_rows restores" `Quick
+            test_sync_rows_restores_exact_rows;
+        ] );
       ( "properties",
-        [ test_random_edits_qcheck; test_random_blends_qcheck; test_marginal_consistency_qcheck ] );
+        [
+          test_random_edits_qcheck; test_random_blends_qcheck;
+          test_marginal_consistency_qcheck;
+          test_ops_invariants_qcheck Weights.Flat;
+          test_ops_invariants_qcheck Weights.Legacy;
+          test_ops_bit_compat_qcheck; test_ops_dirty_exact_qcheck;
+        ] );
     ]
