@@ -1,0 +1,483 @@
+(* csched chaos: a multi-process fleet drill.
+
+   Unlike the in-process chaos experiments in bench/, this spawns a
+   REAL fleet — N `csched serve` shards and one `csched gateway`, each
+   its own OS process on loopback TCP — drives open-loop traffic at the
+   gateway, and injects faults from a deterministic seeded schedule:
+
+   - SIGKILL the gateway mid-batch, then restart it with
+     `--journal DIR --recover` and re-submit whatever the client never
+     heard back about, under the same idempotency keys;
+   - SIGSTOP a shard for a whole wave (a hung-but-alive process: TCP
+     accepts, nothing answers), then SIGCONT it;
+   - clock-skewed deadlines: a slice of each wave carries a deadline
+     that has already expired by the time the shard sees it.
+
+   Invariants checked at the end, over every reply collected:
+
+   - zero lost: every submitted key is eventually answered;
+   - zero duplicated: no key ever yields two different schedules
+     (replays and journal dedup must be verdict-stable);
+   - validator-clean: every reply parses and every schedule carries
+     positive cycle counts;
+   - fleet metrics consistent: the journal drains to zero pending and
+     push heartbeats actually flowed.
+
+   Machine-readable output lands in BENCH_chaos.json (written
+   atomically; CI parses it). Exit status 0 iff all invariants hold. *)
+
+module Proto = Cs_svc.Proto
+module Client = Cs_svc.Client
+module Transport = Cs_svc.Transport
+module Json = Cs_obs.Json
+open Cmdliner
+
+(* --- child processes ----------------------------------------------- *)
+
+type child = { cname : string; mutable pid : int }
+
+let children : child list ref = ref []
+
+let kill_quiet pid signal = try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let reap pid =
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+(* Last-resort cleanup so an exception never strands server processes. *)
+let () =
+  at_exit (fun () ->
+      List.iter
+        (fun c ->
+          if c.pid > 0 then begin
+            kill_quiet c.pid Sys.sigkill;
+            (try ignore (Unix.waitpid [ Unix.WNOHANG ] c.pid)
+             with Unix.Unix_error _ -> ())
+          end)
+        !children)
+
+let spawn ~name args =
+  let argv = Array.of_list (Sys.executable_name :: args) in
+  let pid =
+    Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout Unix.stderr
+  in
+  let c = { cname = name; pid } in
+  children := c :: !children;
+  c
+
+let terminate c =
+  if c.pid > 0 then begin
+    kill_quiet c.pid Sys.sigterm;
+    (* graceful drain first; SIGKILL stragglers after a grace period *)
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    let rec wait () =
+      match Unix.waitpid [ Unix.WNOHANG ] c.pid with
+      | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          kill_quiet c.pid Sys.sigkill;
+          reap c.pid
+        end
+        else begin
+          Unix.sleepf 0.05;
+          wait ()
+        end
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    wait ();
+    c.pid <- 0
+  end
+
+(* --- plumbing ------------------------------------------------------ *)
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> port
+      | _ -> failwith "chaos: loopback bind did not yield a port")
+
+let wait_ready ~what addr =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    match Client.fetch_stats ~timeout_s:1.0 ~addr () with
+    | Ok _ -> ()
+    | Error _ ->
+      if Unix.gettimeofday () > deadline then
+        failwith (Printf.sprintf "chaos: %s not ready within 15s" what)
+      else begin
+        Unix.sleepf 0.1;
+        go ()
+      end
+  in
+  go ()
+
+let extra_stat stats key =
+  match List.assoc_opt key stats.Proto.extra with Some v -> v | None -> 0.0
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* --- the drill ----------------------------------------------------- *)
+
+type results = {
+  requests : (string, Proto.request) Hashtbl.t;
+  replies : (string, Proto.reply list) Hashtbl.t;  (* key -> all replies seen *)
+  mutable events : string list;  (* newest first *)
+}
+
+let event r fmt =
+  Printf.ksprintf
+    (fun msg ->
+      r.events <- msg :: r.events;
+      Printf.printf "chaos: %s\n%!" msg)
+    fmt
+
+let record_reply r reply =
+  let key = reply.Proto.reply_id in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt r.replies key) in
+  Hashtbl.replace r.replies key (reply :: prev)
+
+(* Submit a batch and harvest whatever replies land before the
+   connection dies; a SIGKILLed gateway surfaces here as a transport
+   error with a partial harvest, which is exactly what a real client
+   sees. *)
+let submit_harvest r ~addr jobs =
+  match Client.submit ~timeout_s:60.0 ~on_reply:(record_reply r) ~addr jobs with
+  | Ok _ -> true
+  | Error msg ->
+    event r "submit interrupted: %s" msg;
+    false
+
+let unanswered r keys =
+  List.filter (fun k -> not (Hashtbl.mem r.replies k)) keys
+
+let scheduled_signature reply =
+  match reply.Proto.verdict with
+  | Proto.Scheduled { cycles; transfers; _ } ->
+    Some (Printf.sprintf "scheduled:%d:%d" cycles transfers)
+  | Proto.Refused _ -> None
+
+let benches = [| "fir"; "jacobi"; "sha"; "life" |]
+
+let make_wave rng ~wave ~jobs ~slow =
+  List.init jobs (fun i ->
+      let id = Printf.sprintf "w%d-%d" wave i in
+      let bench = Cs_util.Rng.choose rng benches in
+      let seed = (wave * 10_000) + i in
+      (* clock-skew slice: ~10% of jobs carry a deadline that expired
+         before the request even hit the wire *)
+      let deadline_ms =
+        if Cs_util.Rng.int rng 10 = 0 then Some 0.01 else None
+      in
+      let scale = if slow && i mod 2 = 0 then 2 else 1 in
+      Proto.request ~id ~idem_key:id ~machine:"raw4" ~scale ?deadline_ms ~seed bench)
+
+let run_drill ~shards:nshards ~waves ~jobs ~seed ~workers ~journal_dir ~out
+    ~no_gateway_kill ~no_shard_stop =
+  let rng = Cs_util.Rng.create seed in
+  let r =
+    { requests = Hashtbl.create 256; replies = Hashtbl.create 256; events = [] }
+  in
+  mkdir_p journal_dir;
+  (* fleet topology: fixed ports picked up front so the gateway can be
+     restarted at the same address the clients and shards already use *)
+  let gw_port = free_port () in
+  let gw_spec = Printf.sprintf "127.0.0.1:%d" gw_port in
+  let gw_addr =
+    match Transport.parse gw_spec with
+    | Ok a -> a
+    | Error m -> failwith ("chaos: " ^ m)
+  in
+  let shard_specs =
+    List.init nshards (fun _ -> Printf.sprintf "127.0.0.1:%d" (free_port ()))
+  in
+  let shard_children =
+    List.map
+      (fun spec ->
+        spawn ~name:("serve " ^ spec)
+          [ "serve"; "--listen"; spec; "--workers"; string_of_int workers;
+            "--queue"; "32"; "--heartbeat"; gw_spec; "--heartbeat-period-ms";
+            "200"; "--advertise"; spec ])
+      shard_specs
+  in
+  List.iter
+    (fun spec ->
+      match Transport.parse spec with
+      | Ok a -> wait_ready ~what:("shard " ^ spec) a
+      | Error m -> failwith ("chaos: " ^ m))
+    shard_specs;
+  let gateway_args recover =
+    [ "gateway"; "--listen"; gw_spec; "--shards"; String.concat "," shard_specs;
+      "--journal"; journal_dir; "--probe-period-ms"; "200";
+      "--shard-timeout-ms"; "2000" ]
+    @ (if recover then [ "--recover" ] else [])
+  in
+  let gw = ref (spawn ~name:"gateway" (gateway_args false)) in
+  wait_ready ~what:"gateway" gw_addr;
+  event r "fleet up: %d shards behind %s (journal %s, seed %d)" nshards gw_spec
+    journal_dir seed;
+  (* seeded fault schedule; the gateway kill is the headline drill and
+     is always placed on a wave with traffic behind it *)
+  let kill_wave =
+    if no_gateway_kill || waves < 2 then -1 else 1 + Cs_util.Rng.int rng (waves - 1)
+  in
+  let stop_wave =
+    if no_shard_stop || waves < 2 then -2
+    else begin
+      let rec pick () =
+        let w = Cs_util.Rng.int rng waves in
+        if w = kill_wave then pick () else w
+      in
+      pick ()
+    end
+  in
+  let stop_shard =
+    if nshards > 0 then Cs_util.Rng.int rng nshards else 0
+  in
+  let gateway_killed = ref false in
+  for wave = 0 to waves - 1 do
+    let batch = make_wave rng ~wave ~jobs ~slow:(wave = kill_wave) in
+    List.iter (fun j -> Hashtbl.replace r.requests j.Proto.id j) batch;
+    if wave = kill_wave then begin
+      (* submit from a domain so the kill lands mid-flight *)
+      let submitter =
+        Domain.spawn (fun () -> submit_harvest r ~addr:gw_addr batch)
+      in
+      Unix.sleepf 0.08;
+      event r "wave %d: SIGKILL gateway (pid %d) mid-batch" wave !gw.pid;
+      kill_quiet !gw.pid Sys.sigkill;
+      reap !gw.pid;
+      !gw.pid <- 0;
+      gateway_killed := true;
+      ignore (Domain.join submitter);
+      gw := spawn ~name:"gateway" (gateway_args true);
+      wait_ready ~what:"recovered gateway" gw_addr;
+      event r "wave %d: gateway restarted with --recover" wave
+    end
+    else if wave = stop_wave then begin
+      let victim = List.nth shard_children stop_shard in
+      event r "wave %d: SIGSTOP %s for the whole wave" wave victim.cname;
+      kill_quiet victim.pid Sys.sigstop;
+      ignore (submit_harvest r ~addr:gw_addr batch);
+      kill_quiet victim.pid Sys.sigcont;
+      event r "wave %d: SIGCONT %s" wave victim.cname
+    end
+    else ignore (submit_harvest r ~addr:gw_addr batch)
+  done;
+  (* close the loop: re-submit anything the client never heard about,
+     same idempotency keys, until the ledger has no holes *)
+  let all_keys = Hashtbl.fold (fun k _ acc -> k :: acc) r.requests [] in
+  let rec settle_unanswered round =
+    let missing = unanswered r all_keys in
+    if missing <> [] && round < 5 then begin
+      event r "retry round %d: %d unanswered keys" round (List.length missing);
+      let jobs = List.filter_map (Hashtbl.find_opt r.requests) missing in
+      ignore (submit_harvest r ~addr:gw_addr jobs);
+      settle_unanswered (round + 1)
+    end
+  in
+  settle_unanswered 0;
+  (* dedup probe: re-submit scheduled keys verbatim; the journal (or
+     cache) must answer with the identical verdict *)
+  let scheduled_keys =
+    List.filter
+      (fun k ->
+        match Hashtbl.find_opt r.replies k with
+        | Some replies -> List.exists (fun x -> scheduled_signature x <> None) replies
+        | None -> false)
+      all_keys
+  in
+  let probe =
+    List.filteri (fun i _ -> i < 8) scheduled_keys
+    |> List.filter_map (Hashtbl.find_opt r.requests)
+  in
+  if probe <> [] then begin
+    event r "dedup probe: re-submitting %d completed keys" (List.length probe);
+    ignore (submit_harvest r ~addr:gw_addr probe)
+  end;
+  (* let replays drain and heartbeats tick, then read the fleet's view *)
+  Unix.sleepf 0.6;
+  let rec final_stats tries =
+    match Client.fetch_stats ~timeout_s:2.0 ~addr:gw_addr () with
+    | Ok st when extra_stat st "journal_pending" > 0.0 && tries > 0 ->
+      Unix.sleepf 0.2;
+      final_stats (tries - 1)
+    | Ok st -> st
+    | Error m -> failwith ("chaos: final stats fetch failed: " ^ m)
+  in
+  let st = final_stats 25 in
+  terminate !gw;
+  List.iter terminate shard_children;
+  (* --- invariants -------------------------------------------------- *)
+  let lost = unanswered r all_keys in
+  let conflicts =
+    List.filter
+      (fun k ->
+        match Hashtbl.find_opt r.replies k with
+        | None -> false
+        | Some replies ->
+          let sigs =
+            List.sort_uniq compare (List.filter_map scheduled_signature replies)
+          in
+          List.length sigs > 1)
+      all_keys
+  in
+  let malformed =
+    Hashtbl.fold
+      (fun _ replies acc ->
+        acc
+        + List.length
+            (List.filter
+               (fun x ->
+                 match x.Proto.verdict with
+                 | Proto.Scheduled { cycles; _ } -> cycles <= 0
+                 | Proto.Refused { kind; _ } -> kind = "")
+               replies))
+      r.replies 0
+  in
+  let count pred =
+    Hashtbl.fold
+      (fun _ replies acc ->
+        acc + List.length (List.filter pred replies))
+      r.replies 0
+  in
+  let n_replies = count (fun _ -> true) in
+  let n_refused =
+    count (fun x -> match x.Proto.verdict with Proto.Refused _ -> true | _ -> false)
+  in
+  let n_deadline =
+    count (fun x ->
+        match x.Proto.verdict with
+        | Proto.Refused { kind; _ } -> kind = "deadline-exceeded"
+        | _ -> false)
+  in
+  let journal_pending = extra_stat st "journal_pending" in
+  let heartbeats = extra_stat st "heartbeats" in
+  let journal_replays = extra_stat st "journal_replays" in
+  let journal_hits = extra_stat st "journal_hits" in
+  let checks =
+    [ ("zero_lost", lost = []);
+      ("zero_duplicated", conflicts = []);
+      ("validator_clean", malformed = 0);
+      ("journal_drained", journal_pending = 0.0);
+      ("heartbeats_flowed", heartbeats > 0.0) ]
+  in
+  let pass = List.for_all snd checks in
+  let num n = Json.Num (float_of_int n) in
+  let json =
+    Json.Obj
+      [ ("experiment", Json.Str "chaos");
+        ("seed", num seed);
+        ("shards", num nshards);
+        ("waves", num waves);
+        ("jobs_per_wave", num jobs);
+        ("jobs_total", num (Hashtbl.length r.requests));
+        ("replies", num n_replies);
+        ("refused", num n_refused);
+        ("deadline_refused", num n_deadline);
+        ("gateway_killed", Json.Bool !gateway_killed);
+        ("lost", num (List.length lost));
+        ("duplicated", num (List.length conflicts));
+        ("malformed", num malformed);
+        ("journal_replays", Json.Num journal_replays);
+        ("journal_hits", Json.Num journal_hits);
+        ("journal_pending_final", Json.Num journal_pending);
+        ("heartbeats", Json.Num heartbeats);
+        ("checks",
+         Json.Obj (List.map (fun (k, ok) -> (k, Json.Bool ok)) checks));
+        ("events", Json.List (List.rev_map (fun e -> Json.Str e) r.events));
+        ("pass", Json.Bool pass) ]
+  in
+  Cs_util.Fsio.write_atomic ~path:out (Json.to_string json ^ "\n");
+  Printf.printf
+    "chaos: %d jobs, %d replies (%d refused, %d past-deadline), %d lost, %d \
+     duplicated, %d malformed; journal: %.0f replays / %.0f dedup hits / %.0f \
+     pending; %.0f heartbeats\n"
+    (Hashtbl.length r.requests)
+    n_replies n_refused n_deadline (List.length lost) (List.length conflicts)
+    malformed journal_replays journal_hits journal_pending heartbeats;
+  List.iter
+    (fun (k, ok) -> Printf.printf "  %-18s %s\n" k (if ok then "ok" else "FAIL"))
+    checks;
+  Printf.printf "wrote %s\n%!" out;
+  if not pass then exit 1
+
+(* --- CLI ----------------------------------------------------------- *)
+
+let cmd =
+  let doc =
+    "Run a multi-process fleet chaos drill: spawn N real `csched serve' shards and a \
+     `csched gateway' (loopback TCP, each its own process), drive seeded traffic, \
+     SIGKILL the gateway mid-batch and recover it from its durable journal, \
+     SIGSTOP/SIGCONT a shard, and skew deadlines — then assert that no job was lost, \
+     no job yielded two different schedules, and the journal drained. Writes \
+     BENCH_chaos.json; exits non-zero when any invariant fails."
+  in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Shard server processes to spawn.")
+  in
+  let waves_arg =
+    Arg.(value & opt int 4 & info [ "waves" ] ~doc:"Traffic waves to submit.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 24 & info [ "jobs" ] ~doc:"Jobs per wave.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Fault-schedule and workload seed (deterministic).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~doc:"Worker domains per shard.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Gateway journal directory (default: a fresh directory under the system \
+             temp dir).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_chaos.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Machine-readable results file.")
+  in
+  let no_kill_arg =
+    Arg.(
+      value & flag
+      & info [ "no-gateway-kill" ] ~doc:"Skip the gateway SIGKILL/recover drill.")
+  in
+  let no_stop_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shard-stop" ] ~doc:"Skip the shard SIGSTOP/SIGCONT drill.")
+  in
+  let run nshards waves jobs seed workers journal out no_kill no_stop =
+    if nshards <= 0 || waves <= 0 || jobs <= 0 || workers <= 0 then begin
+      Printf.eprintf "chaos: --shards, --waves, --jobs and --workers must be positive\n";
+      exit 1
+    end;
+    let journal_dir =
+      match journal with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "csched-chaos-%d" (Unix.getpid ()))
+    in
+    run_drill ~shards:nshards ~waves ~jobs ~seed ~workers ~journal_dir ~out
+      ~no_gateway_kill:no_kill ~no_shard_stop:no_stop
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ shards_arg $ waves_arg $ jobs_arg $ seed_arg $ workers_arg
+      $ journal_arg $ out_arg $ no_kill_arg $ no_stop_arg)

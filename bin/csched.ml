@@ -1246,8 +1246,31 @@ let serve_cmd =
             "Retry transient job failures up to this many extra attempts (exponential \
              backoff with deterministic jitter); 0 disables.")
   in
+  let heartbeat_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "heartbeat" ] ~docv:"ADDR"
+          ~doc:
+            "Push a load heartbeat to the gateway at $(docv) every heartbeat period, \
+             over a persistent connection.")
+  in
+  let heartbeat_period_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "heartbeat-period-ms" ] ~docv:"MS" ~doc:"Heartbeat push period.")
+  in
+  let advertise_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "advertise" ] ~docv:"NAME"
+          ~doc:
+            "Shard name carried on heartbeats — must match the address the gateway was \
+             configured with for this shard; defaults to the bound address.")
+  in
   let run socket listen workers queue default_deadline_ms pass_budget_ms chaos_slow_ms
-      retries trace_out jsonl =
+      retries heartbeat heartbeat_period_ms advertise trace_out jsonl =
     if workers <= 0 || queue <= 0 then begin
       Printf.eprintf "serve: --workers and --queue must be positive\n";
       exit 1
@@ -1259,10 +1282,16 @@ let serve_cmd =
     in
     let addr = addr_of ~flag:"serve" ~listen socket in
     let cfg =
-      Cs_svc.Server.config ~workers ~queue_capacity:queue ?default_deadline_ms
-        ?pass_budget_s:(Option.map (fun ms -> ms /. 1000.0) pass_budget_ms)
-        ?chaos_slow_ms ?retry
-        (Cs_svc.Transport.to_string addr)
+      try
+        Cs_svc.Server.config ~workers ~queue_capacity:queue ?default_deadline_ms
+          ?pass_budget_s:(Option.map (fun ms -> ms /. 1000.0) pass_budget_ms)
+          ?chaos_slow_ms ?retry ?heartbeat
+          ~heartbeat_period_s:(heartbeat_period_ms /. 1000.0)
+          ?advertise
+          (Cs_svc.Transport.to_string addr)
+      with Invalid_argument msg ->
+        Printf.eprintf "serve: %s\n" msg;
+        exit 1
     in
     let server =
       try Cs_svc.Server.create cfg
@@ -1274,7 +1303,6 @@ let serve_cmd =
     let stop _ = Cs_svc.Server.stop server in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     Printf.printf "csched serve: listening on %s (%d workers, queue %d)\n%!"
       (Cs_svc.Transport.to_string (Cs_svc.Server.address server))
       workers queue;
@@ -1288,7 +1316,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ listen_arg $ workers_arg $ queue_arg $ default_deadline_arg
-      $ pass_budget_arg $ chaos_slow_arg $ retries_arg $ trace_out_arg $ jsonl_arg)
+      $ pass_budget_arg $ chaos_slow_arg $ retries_arg $ heartbeat_arg
+      $ heartbeat_period_arg $ advertise_arg $ trace_out_arg $ jsonl_arg)
 
 let gateway_cmd =
   let doc =
@@ -1341,8 +1370,35 @@ let gateway_cmd =
             "Consecutive transport failures before a shard is evicted (it re-enters \
              via backoff probes).")
   in
+  let shard_timeout_arg =
+    Arg.(
+      value & opt float 30000.0
+      & info [ "shard-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-read timeout on shard connections; a shard silent this long counts \
+             as a transport failure (the job is replayed elsewhere).")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Durable job journal directory: every admitted job is fsynced to a \
+             write-ahead log before dispatch and marked done on reply, making \
+             idempotency-keyed retries exactly-once across gateway restarts.")
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Recover from an existing journal at startup: re-dispatch unacked jobs \
+             and restore the dedup map. Without this flag an existing journal is \
+             discarded.")
+  in
   let run socket listen shards_spec policy_name cache forwarders queue probe_period_ms
-      fail_threshold trace_out jsonl =
+      fail_threshold shard_timeout_ms journal_dir recover trace_out jsonl =
     let policy =
       match Cs_gateway.Policy.of_string policy_name with
       | Ok p -> p
@@ -1360,7 +1416,9 @@ let gateway_cmd =
         Cs_gateway.Gateway.config ~policy ~cache_capacity:cache ~forwarders
           ~queue_capacity:queue
           ~probe_period_s:(probe_period_ms /. 1000.0)
-          ~fail_threshold ~shards
+          ~fail_threshold
+          ~shard_timeout_s:(shard_timeout_ms /. 1000.0)
+          ?journal_dir ~recover ~shards
           (Cs_svc.Transport.to_string addr)
       with Invalid_argument msg ->
         Printf.eprintf "gateway: %s\n" msg;
@@ -1376,7 +1434,6 @@ let gateway_cmd =
     let stop _ = Cs_gateway.Gateway.stop gw in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     Printf.printf "csched gateway: listening on %s (%d shards, %s policy, cache %d)\n%!"
       (Cs_svc.Transport.to_string (Cs_gateway.Gateway.address gw))
       (List.length shards) (Cs_gateway.Policy.to_string policy) cache;
@@ -1395,7 +1452,7 @@ let gateway_cmd =
     Term.(
       const run $ socket_arg $ listen_arg $ shards_arg $ policy_arg $ cache_arg
       $ forwarders_arg $ queue_arg $ probe_period_arg $ fail_threshold_arg
-      $ trace_out_arg $ jsonl_arg)
+      $ shard_timeout_arg $ journal_arg $ recover_arg $ trace_out_arg $ jsonl_arg)
 
 let submit_cmd =
   let doc =
@@ -1729,7 +1786,12 @@ let top_cmd =
   Cmd.v (Cmd.info "top" ~doc)
     Term.(const run $ socket_arg $ connect_arg $ shards_arg $ period_arg $ iterations_arg)
 
+let chaos_cmd = Chaos.cmd
+
 let () =
+  (* Every networked subcommand writes to sockets whose peer may vanish
+     mid-write; set once here instead of per-command. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let doc = "convergent scheduling for spatial architectures (MICRO-35 reproduction)" in
   let info = Cmd.info "csched" ~version:"1.0.0" ~doc in
   exit
@@ -1737,4 +1799,4 @@ let () =
        (Cmd.group info
           [ list_cmd; passes_cmd; run_cmd; run_file_cmd; compare_cmd; trace_cmd;
             profile_cmd; dot_cmd; tune_cmd; faults_cmd; fuzz_cmd; serve_cmd; submit_cmd;
-            gateway_cmd; metrics_cmd; top_cmd ]))
+            gateway_cmd; chaos_cmd; metrics_cmd; top_cmd ]))

@@ -1,0 +1,168 @@
+(* Sliding-window circuit breaker. Health handles consecutive
+   transport failures; this module trips on the failure *rate* —
+   including slow calls — so a shard that answers just often enough to
+   dodge eviction still gets benched, cools down, and must pass its
+   half-open probes before taking full traffic again. *)
+
+type settings = {
+  window : int;
+  min_calls : int;
+  failure_rate : float;
+  slow_ms : float;
+  cooldown_s : float;
+  half_open_probes : int;
+}
+
+let default_settings =
+  { window = 32; min_calls = 8; failure_rate = 0.5; slow_ms = 30_000.0;
+    cooldown_s = 5.0; half_open_probes = 1 }
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type phase =
+  | P_closed
+  | P_open of { until : float }
+  | P_half of { granted : int; successes : int }
+
+type entry = {
+  outcomes : bool array;  (* ring buffer: true = failure *)
+  mutable widx : int;
+  mutable count : int;  (* outcomes recorded, saturates at window *)
+  mutable phase : phase;
+}
+
+type t = {
+  s : settings;
+  table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+  on_transition : shard:string -> to_:string -> unit;
+}
+
+let create ?(settings = default_settings)
+    ?(on_transition = fun ~shard:_ ~to_:_ -> ()) names =
+  if settings.window <= 0 then invalid_arg "Breaker.create: window must be positive";
+  if settings.min_calls <= 0 || settings.min_calls > settings.window then
+    invalid_arg "Breaker.create: min_calls must be in 1..window";
+  if not (settings.failure_rate > 0.0 && settings.failure_rate <= 1.0) then
+    invalid_arg "Breaker.create: failure_rate must be in (0..1]";
+  if settings.half_open_probes <= 0 then
+    invalid_arg "Breaker.create: half_open_probes must be positive";
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem table n) then
+        Hashtbl.replace table n
+          { outcomes = Array.make settings.window false; widx = 0; count = 0;
+            phase = P_closed })
+    names;
+  { s = settings; table; mutex = Mutex.create (); on_transition }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let entry t name =
+  match Hashtbl.find_opt t.table name with
+  | Some e -> e
+  | None ->
+    let e =
+      { outcomes = Array.make t.s.window false; widx = 0; count = 0;
+        phase = P_closed }
+    in
+    Hashtbl.replace t.table name e;
+    e
+
+let reset_window e =
+  Array.fill e.outcomes 0 (Array.length e.outcomes) false;
+  e.widx <- 0;
+  e.count <- 0
+
+let transition t name e phase =
+  e.phase <- phase;
+  let to_ =
+    state_name
+      (match phase with P_closed -> Closed | P_open _ -> Open | P_half _ -> Half_open)
+  in
+  Cs_obs.Obs.instant ~cat:"gateway"
+    ~args:[ ("shard", Cs_obs.Obs.Str name); ("to", Cs_obs.Obs.Str to_) ]
+    "breaker:transition";
+  t.on_transition ~shard:name ~to_
+
+let failure_fraction e =
+  let fails = ref 0 in
+  for i = 0 to e.count - 1 do
+    if e.outcomes.(i) then incr fails
+  done;
+  float_of_int !fails /. float_of_int (max 1 e.count)
+
+let allow t name =
+  locked t (fun () ->
+      let e = entry t name in
+      match e.phase with
+      | P_closed -> true
+      | P_open { until } ->
+        if Cs_obs.Clock.now () >= until then begin
+          (* cooldown over: half-open, and this caller takes probe #1 *)
+          transition t name e (P_half { granted = 1; successes = 0 });
+          true
+        end
+        else false
+      | P_half { granted; successes } ->
+        if granted < t.s.half_open_probes then begin
+          e.phase <- P_half { granted = granted + 1; successes };
+          true
+        end
+        else false)
+
+let record t name ~ok ~elapsed_ms =
+  locked t (fun () ->
+      let e = entry t name in
+      let failed = (not ok) || elapsed_ms > t.s.slow_ms in
+      match e.phase with
+      | P_half { granted; successes } ->
+        if failed then begin
+          (* one bad probe re-opens for a full cooldown *)
+          reset_window e;
+          transition t name e
+            (P_open { until = Cs_obs.Clock.now () +. t.s.cooldown_s })
+        end
+        else begin
+          let successes = successes + 1 in
+          if successes >= t.s.half_open_probes then begin
+            reset_window e;
+            transition t name e P_closed
+          end
+          else e.phase <- P_half { granted; successes }
+        end
+      | P_open _ ->
+        (* a straggler from before the trip; the window restarts when
+           the breaker closes, so discard it *)
+        ()
+      | P_closed ->
+        e.outcomes.(e.widx) <- failed;
+        e.widx <- (e.widx + 1) mod t.s.window;
+        e.count <- min t.s.window (e.count + 1);
+        if e.count >= t.s.min_calls && failure_fraction e >= t.s.failure_rate
+        then begin
+          reset_window e;
+          transition t name e
+            (P_open { until = Cs_obs.Clock.now () +. t.s.cooldown_s })
+        end)
+
+let state t name =
+  locked t (fun () ->
+      match (entry t name).phase with
+      | P_closed -> Closed
+      | P_open _ -> Open
+      | P_half _ -> Half_open)
+
+let open_count t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ e acc -> match e.phase with P_closed -> acc | _ -> acc + 1)
+        t.table 0)

@@ -1,0 +1,63 @@
+(** Per-shard circuit breakers: Closed / Open / Half-open, driven by
+    the failure rate over a sliding outcome window plus a slow-call
+    (timeout) criterion.
+
+    {!Health} evicts a shard after {e consecutive} transport failures;
+    the breaker catches the complementary failure mode — a shard that
+    keeps answering often enough to reset the consecutive-failure
+    counter but is failing or timing out a large {e fraction} of its
+    calls. Every dispatch outcome lands in a per-shard sliding window;
+    once the window holds at least [min_calls] outcomes and the
+    failure fraction (transport failures plus calls slower than
+    [slow_ms]) reaches [failure_rate], the breaker opens and the shard
+    is skipped by dispatch. After [cooldown_s] it half-opens:
+    [half_open_probes] trial calls are let through, and the breaker
+    closes again only when all of them succeed — one failure re-opens
+    it for another cooldown.
+
+    Thread-safe; forwarder domains share one table. *)
+
+type settings = {
+  window : int;  (** sliding window size, in outcomes *)
+  min_calls : int;  (** minimum outcomes before the rate is judged *)
+  failure_rate : float;  (** trip threshold in [0..1] *)
+  slow_ms : float;  (** calls slower than this count as failures *)
+  cooldown_s : float;  (** open duration before half-open *)
+  half_open_probes : int;  (** trial calls allowed while half-open *)
+}
+
+val default_settings : settings
+(** window 32, min_calls 8, failure_rate 0.5, slow_ms 30 000,
+    cooldown 5 s, 1 half-open probe. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+(** ["closed" | "open" | "half-open"] — label values for metrics. *)
+
+type t
+
+val create :
+  ?settings:settings ->
+  ?on_transition:(shard:string -> to_:string -> unit) ->
+  string list -> t
+(** [on_transition] fires on every state change with the
+    {!state_name} of the new state; called outside the internal lock's
+    critical path requirements — it must not call back into this
+    module. Raises [Invalid_argument] on nonsensical settings. *)
+
+val allow : t -> string -> bool
+(** May this shard receive a call right now? [Closed] and unknown
+    shards: yes. [Open]: no, until the cooldown expires — at which
+    point the breaker half-opens and this call takes a probe slot.
+    [Half_open]: yes while probe slots remain. A granted probe {e must}
+    be followed by {!record}. *)
+
+val record : t -> string -> ok:bool -> elapsed_ms:float -> unit
+(** One dispatch outcome. [ok = false], or [ok = true] with
+    [elapsed_ms > slow_ms], counts toward the failure rate. *)
+
+val state : t -> string -> state
+
+val open_count : t -> int
+(** Shards currently [Open] or [Half_open] — the "tripped" gauge. *)

@@ -15,17 +15,27 @@ type config = {
   probe_period_s : float;
   fail_threshold : int;
   shard_timeout_s : float;
+  journal_dir : string option;
+  recover : bool;
+  shed_watermark : float;
+  journal_lag_limit : int;
+  breaker : Breaker.settings;
 }
 
 let config ?(policy = Policy.Hash) ?(cache_capacity = 256) ?(vnodes = 64)
     ?(forwarders = 4) ?(queue_capacity = 64) ?(probe_period_s = 1.0)
-    ?(fail_threshold = 3) ?(shard_timeout_s = 30.0) ~shards listen =
+    ?(fail_threshold = 3) ?(shard_timeout_s = 30.0) ?journal_dir
+    ?(recover = false) ?(shed_watermark = 0.85) ?(journal_lag_limit = 512)
+    ?(breaker = Breaker.default_settings) ~shards listen =
   if shards = [] then invalid_arg "Gateway.config: at least one shard required";
   if forwarders <= 0 then invalid_arg "Gateway.config: forwarders must be positive";
+  if not (shed_watermark > 0.0 && shed_watermark <= 1.0) then
+    invalid_arg "Gateway.config: shed_watermark must be in (0..1]";
   { listen_addr = Transport.parse_exn listen;
     shards = List.map Transport.parse_exn shards;
     policy; cache_capacity; vnodes; forwarders; queue_capacity; probe_period_s;
-    fail_threshold; shard_timeout_s }
+    fail_threshold; shard_timeout_s; journal_dir; recover; shed_watermark;
+    journal_lag_limit; breaker }
 
 (* One backend shard and the load signals gossiped back from it. *)
 type shard = {
@@ -33,7 +43,10 @@ type shard = {
   saddr : Transport.addr;
   depth : int Atomic.t;  (* last gossiped admission-queue depth *)
   ewma_bits : int64 Atomic.t;  (* Int64 bits of the service-time EWMA, ms *)
+  last_hb_bits : int64 Atomic.t;  (* Clock.now of the last push heartbeat *)
 }
+
+let shard_last_hb sh = Int64.float_of_bits (Atomic.get sh.last_hb_bits)
 
 let shard_ewma sh = Int64.float_of_bits (Atomic.get sh.ewma_bits)
 
@@ -56,6 +69,9 @@ type conn = {
   mutable pending : int;
   mutable reader_done : bool;
   mutable conn_closed : bool;
+  mutable is_hb : bool;
+      (* a shard's persistent heartbeat connection: severed on stop so
+         its reader domain can be joined *)
 }
 
 type work = { request : Proto.request; on : conn; arrival : float }
@@ -66,10 +82,14 @@ type t = {
   bound : Transport.addr;
   ring : Ring.t;
   health : Health.t;
+  breaker : Breaker.t;
   cache : Proto.reply Cache.t;
+  journal : Journal.t option;
   shards : shard list;
   queue : work Squeue.t;
   stopping : bool Atomic.t;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
   meters : Meters.t;
   m_replayed : Metrics.counter;
   m_rerouted : Metrics.counter;
@@ -78,6 +98,12 @@ type t = {
   m_cache_evictions : Metrics.counter;
   m_cache_size : Metrics.gauge;
   m_shards_alive : Metrics.gauge;
+  m_journal_hits : Metrics.counter;
+  m_journal_replays : Metrics.counter;
+  m_journal_pending : Metrics.gauge;
+  m_admission_shed : Metrics.counter;
+  m_heartbeats : Metrics.counter;
+  m_breaker_open : Metrics.gauge;
   n_busy : int Atomic.t;
   last_evictions : int Atomic.t; (* Cache.stats watermark already counted *)
 }
@@ -101,12 +127,19 @@ let shard_ewma_gauge t shard =
   Metrics.gauge t.meters.Meters.registry ~labels:[ ("shard", shard) ]
     ~help:"Shard service-time EWMA (ms)" "csched_shard_ewma_ms"
 
+(* 0 = closed, 1 = half-open, 2 = open *)
+let breaker_state_gauge t shard =
+  Metrics.gauge t.meters.Meters.registry ~labels:[ ("shard", shard) ]
+    ~help:"Circuit-breaker state (0 closed, 1 half-open, 2 open)"
+    "csched_breaker_state"
+
 let create (cfg : config) =
   let shards =
     List.map
       (fun saddr ->
         { sname = Transport.to_string saddr; saddr;
-          depth = Atomic.make 0; ewma_bits = Atomic.make (Int64.bits_of_float 0.0) })
+          depth = Atomic.make 0; ewma_bits = Atomic.make (Int64.bits_of_float 0.0);
+          last_hb_bits = Atomic.make (Int64.bits_of_float 0.0) })
       cfg.shards
   in
   let names = List.map (fun s -> s.sname) shards in
@@ -120,13 +153,30 @@ let create (cfg : config) =
       (counter ~labels:[ ("shard", shard); ("to", to_) ]
          ~help:"Shard health-state transitions" "csched_health_transitions_total")
   in
+  let on_breaker_transition ~shard ~to_ =
+    Metrics.incr
+      (counter ~labels:[ ("shard", shard); ("to", to_) ]
+         ~help:"Circuit-breaker state transitions"
+         "csched_breaker_transitions_total")
+  in
+  let journal =
+    Option.map
+      (fun dir -> Journal.open_dir ~dir ~recover:cfg.recover ())
+      cfg.journal_dir
+  in
   { cfg; listen_fd; bound = Transport.bound_addr listen_fd cfg.listen_addr;
     ring = Ring.make ~vnodes:cfg.vnodes names;
     health = Health.create ~fail_threshold:cfg.fail_threshold ~on_transition names;
+    breaker =
+      Breaker.create ~settings:cfg.breaker ~on_transition:on_breaker_transition
+        names;
     cache = Cache.create ~capacity:cfg.cache_capacity;
+    journal;
     shards;
     queue = Squeue.create ~capacity:cfg.queue_capacity;
     stopping = Atomic.make false;
+    conns_mutex = Mutex.create ();
+    conns = [];
     meters;
     m_replayed = counter ~help:"Jobs replayed on another shard after a transport failure"
         "csched_gateway_replayed_total";
@@ -138,6 +188,20 @@ let create (cfg : config) =
         "csched_cache_evictions_total";
     m_cache_size = gauge ~help:"Result-cache resident entries" "csched_cache_size";
     m_shards_alive = gauge ~help:"Shards currently dispatchable" "csched_shards_alive";
+    m_journal_hits = counter ~help:"Retries answered from the durable journal"
+        "csched_journal_hits_total";
+    m_journal_replays = counter
+        ~help:"Unacked journaled jobs re-dispatched after recovery"
+        "csched_journal_replays_total";
+    m_journal_pending = gauge ~help:"Journaled jobs admitted but not yet answered"
+        "csched_journal_pending";
+    m_admission_shed = counter
+        ~help:"Jobs shed by the adaptive admission watermark"
+        "csched_gateway_admission_shed_total";
+    m_heartbeats = counter ~help:"Push heartbeats received from shards"
+        "csched_heartbeats_total";
+    m_breaker_open = gauge ~help:"Shards with a tripped circuit breaker"
+        "csched_breaker_open";
     n_busy = Atomic.make 0; last_evictions = Atomic.make 0 }
 
 let address t = t.bound
@@ -152,10 +216,18 @@ let sync_gauges t =
   Metrics.set t.meters.Meters.busy (float_of_int (Atomic.get t.n_busy));
   Metrics.set t.m_shards_alive (float_of_int (alive_count t));
   Metrics.set t.m_cache_size (float_of_int (Cache.stats t.cache).Cache.size);
+  Metrics.set t.m_journal_pending
+    (float_of_int (match t.journal with Some j -> Journal.lag j | None -> 0));
+  Metrics.set t.m_breaker_open (float_of_int (Breaker.open_count t.breaker));
   List.iter
     (fun sh ->
       Metrics.set (shard_depth_gauge t sh.sname) (float_of_int (Atomic.get sh.depth));
-      Metrics.set (shard_ewma_gauge t sh.sname) (shard_ewma sh))
+      Metrics.set (shard_ewma_gauge t sh.sname) (shard_ewma sh);
+      Metrics.set (breaker_state_gauge t sh.sname)
+        (match Breaker.state t.breaker sh.sname with
+        | Breaker.Closed -> 0.0
+        | Breaker.Half_open -> 1.0
+        | Breaker.Open -> 2.0))
     t.shards
 
 (* The cache counts evictions internally; fold the delta into the
@@ -182,6 +254,12 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  journal_hits : int;
+  journal_replays : int;
+  journal_pending : int;
+  admission_shed : int;
+  heartbeats : int;
+  breaker_open : int;
 }
 
 let stats t =
@@ -198,7 +276,13 @@ let stats t =
     rerouted = Metrics.counter_value t.m_rerouted;
     cache_hits = c.Cache.hits;
     cache_misses = c.Cache.misses;
-    cache_evictions = c.Cache.evictions }
+    cache_evictions = c.Cache.evictions;
+    journal_hits = Metrics.counter_value t.m_journal_hits;
+    journal_replays = Metrics.counter_value t.m_journal_replays;
+    journal_pending = (match t.journal with Some j -> Journal.lag j | None -> 0);
+    admission_shed = Metrics.counter_value t.m_admission_shed;
+    heartbeats = Metrics.counter_value t.m_heartbeats;
+    breaker_open = Breaker.open_count t.breaker }
 
 let shard_states t =
   List.map (fun sh -> (sh.sname, Health.state t.health sh.sname)) t.shards
@@ -223,7 +307,13 @@ let server_stats t =
         ("replayed", float_of_int s.replayed);
         ("rerouted", float_of_int s.rerouted);
         ("shards_alive", float_of_int alive);
-        ("shards_total", float_of_int (List.length t.shards)) ] }
+        ("shards_total", float_of_int (List.length t.shards));
+        ("journal_hits", float_of_int s.journal_hits);
+        ("journal_replays", float_of_int s.journal_replays);
+        ("journal_pending", float_of_int s.journal_pending);
+        ("admission_shed", float_of_int s.admission_shed);
+        ("heartbeats", float_of_int s.heartbeats);
+        ("breaker_open", float_of_int s.breaker_open) ] }
 
 (* --- wire plumbing (mirrors Cs_svc.Server) ------------------------- *)
 
@@ -331,7 +421,15 @@ let shard_by_name t name = List.find (fun sh -> sh.sname = name) t.shards
    failures feed the health tracker and replay the job on the next
    candidate; overload refusals reroute without a health penalty (the
    shard is alive, just full). The last overload refusal is kept as the
-   answer of record in case every live shard is saturated. *)
+   answer of record in case every live shard is saturated.
+
+   The circuit breaker gates each attempt: an open breaker skips the
+   shard without a connection attempt, and every granted attempt —
+   including half-open probes — reports its outcome back so the breaker
+   state machine advances. Health and the breaker are complementary:
+   health evicts on consecutive transport failures, the breaker on a
+   bad failure *rate* (a shard can keep resetting the consecutive
+   counter while failing half its calls). *)
 let dispatch t (r : Proto.request) ~key =
   let usable = Health.alive t.health (List.map (fun sh -> sh.sname) t.shards) in
   let order =
@@ -339,6 +437,7 @@ let dispatch t (r : Proto.request) ~key =
       ~key:(Cs_core.Scenario.fnv1a key)
       ~deadline_ms:r.Proto.deadline_ms (views t usable)
   in
+  let breaker_skips = ref 0 in
   let rec walk ~replaying ~last_overload = function
     | [] ->
       (match last_overload with
@@ -347,37 +446,59 @@ let dispatch t (r : Proto.request) ~key =
         Proto.refused ~id:r.Proto.id
           (Cs_resil.Error.Overloaded
              (if order = [] then "no live shards"
+              else if !breaker_skips = List.length order then
+                "every live shard's circuit breaker is open"
               else "every live shard failed while handling the job")))
     | name :: rest ->
-      let sh = shard_by_name t name in
-      if replaying then begin
-        Metrics.incr t.m_replayed;
-        Cs_obs.Obs.instant ~cat:"gateway"
-          ~args:
-            [ ("job", Cs_obs.Obs.Str r.Proto.id); ("shard", Cs_obs.Obs.Str name) ]
-          "gateway:replay"
-      end;
-      (match forward_once t sh r with
-      | Answered reply ->
-        Health.note_ok t.health name;
-        Metrics.incr (fwd_counter t name);
-        reply
-      | Shard_overloaded reply ->
-        Health.note_ok t.health name;
-        if rest <> [] then Metrics.incr t.m_rerouted;
-        walk ~replaying:false ~last_overload:(Some reply) rest
-      | Transport_failure why ->
-        Health.note_failure t.health name;
-        Metrics.incr (shard_fail_counter t name);
-        Cs_obs.Obs.instant ~cat:"gateway"
-          ~args:
-            [ ("shard", Cs_obs.Obs.Str name); ("error", Cs_obs.Obs.Str why) ]
-          "gateway:shard-failure";
-        walk ~replaying:true ~last_overload rest)
+      if not (Breaker.allow t.breaker name) then begin
+        incr breaker_skips;
+        walk ~replaying ~last_overload rest
+      end
+      else begin
+        let sh = shard_by_name t name in
+        if replaying then begin
+          Metrics.incr t.m_replayed;
+          Cs_obs.Obs.instant ~cat:"gateway"
+            ~args:
+              [ ("job", Cs_obs.Obs.Str r.Proto.id); ("shard", Cs_obs.Obs.Str name) ]
+            "gateway:replay"
+        end;
+        match forward_once t sh r with
+        | Answered reply ->
+          Health.note_ok t.health name;
+          Breaker.record t.breaker name ~ok:true ~elapsed_ms:reply.Proto.elapsed_ms;
+          Metrics.incr (fwd_counter t name);
+          reply
+        | Shard_overloaded reply ->
+          Health.note_ok t.health name;
+          Breaker.record t.breaker name ~ok:true ~elapsed_ms:0.0;
+          if rest <> [] then Metrics.incr t.m_rerouted;
+          walk ~replaying:false ~last_overload:(Some reply) rest
+        | Transport_failure why ->
+          Health.note_failure t.health name;
+          Breaker.record t.breaker name ~ok:false ~elapsed_ms:0.0;
+          Metrics.incr (shard_fail_counter t name);
+          Cs_obs.Obs.instant ~cat:"gateway"
+            ~args:
+              [ ("shard", Cs_obs.Obs.Str name); ("error", Cs_obs.Obs.Str why) ]
+            "gateway:shard-failure";
+          walk ~replaying:true ~last_overload rest
+      end
   in
   walk ~replaying:false ~last_overload:None order
 
-let handle_job t (r : Proto.request) conn ~arrival =
+(* The journal key: canonical scenario identity joined with the
+   client's idempotency key. Without an idempotency key the request id
+   stands in — enough to pair this journal's admit/done records for
+   replay, but dedup across retries is only promised to keyed jobs
+   (two distinct keyless submissions may legitimately share an id). *)
+let journal_key ~key (r : Proto.request) =
+  key ^ "#"
+  ^ (match r.Proto.idem_key with
+    | Some k -> "i:" ^ k
+    | None -> "r:" ^ r.Proto.id)
+
+let handle_job t (r : Proto.request) ~arrival ~send =
   let t0 = Cs_obs.Clock.now () in
   (* This gateway hop's trace context: adopt the client's trace when
      the request carries one, otherwise start the trace here — either
@@ -401,7 +522,7 @@ let handle_job t (r : Proto.request) conn ~arrival =
     Metrics.observe t.meters.Meters.latency_ms
       ((Cs_obs.Clock.now () -. arrival) *. 1000.0);
     (* gateway-level gossip, mirroring what shards do for the gateway *)
-    send_reply conn
+    send
       { reply with
         Proto.reply_id = r.Proto.id;
         queue_depth = Some (Squeue.length t.queue) }
@@ -409,26 +530,48 @@ let handle_job t (r : Proto.request) conn ~arrival =
   match scenario_key r with
   | Error err -> answer (Proto.refused ~id:r.Proto.id err)
   | Ok key ->
-    (match Cache.find t.cache key with
-    | Some cached ->
-      Metrics.incr t.m_cache_hits;
-      Cs_obs.Obs.instant ~cat:"gateway" ~args:job_args "gateway:cache-hit";
+    let jkey = journal_key ~key r in
+    let journal_hit =
+      match t.journal with
+      | Some j when r.Proto.idem_key <> None -> Journal.completed j jkey
+      | _ -> None
+    in
+    (match journal_hit with
+    | Some reply ->
+      (* a retry of a job this gateway (or its predecessor) already
+         answered: serve the journaled verdict, no re-execution *)
+      Metrics.incr t.m_journal_hits;
+      Cs_obs.Obs.instant ~cat:"gateway" ~args:job_args "gateway:journal-hit";
       answer
-        { cached with
+        { reply with
           Proto.reply_id = r.Proto.id;
           elapsed_ms = (Cs_obs.Clock.now () -. t0) *. 1000.0;
           cached = true }
     | None ->
-      Metrics.incr t.m_cache_misses;
-      let reply =
-        Cs_obs.Obs.span ~cat:"gateway" ~args:job_args "job:dispatch" (fun () ->
-            dispatch t (Proto.with_trace ~ctx r) ~key)
-      in
-      if cacheable reply then begin
-        Cache.put t.cache key reply;
-        note_evictions t
-      end;
-      answer reply)
+      (match Cache.find t.cache key with
+      | Some cached ->
+        Metrics.incr t.m_cache_hits;
+        Cs_obs.Obs.instant ~cat:"gateway" ~args:job_args "gateway:cache-hit";
+        answer
+          { cached with
+            Proto.reply_id = r.Proto.id;
+            elapsed_ms = (Cs_obs.Clock.now () -. t0) *. 1000.0;
+            cached = true }
+      | None ->
+        Metrics.incr t.m_cache_misses;
+        (* durable admit *before* the shard can see the job: a gateway
+           death from here on leaves a replayable record *)
+        Option.iter (fun j -> Journal.admit j ~key:jkey r) t.journal;
+        let reply =
+          Cs_obs.Obs.span ~cat:"gateway" ~args:job_args "job:dispatch" (fun () ->
+              dispatch t (Proto.with_trace ~ctx r) ~key)
+        in
+        Option.iter (fun j -> Journal.mark_done j ~key:jkey reply) t.journal;
+        if cacheable reply then begin
+          Cache.put t.cache key reply;
+          note_evictions t
+        end;
+        answer reply))
 
 let forwarder t () =
   let rec loop () =
@@ -441,7 +584,7 @@ let forwarder t () =
       Cs_obs.Obs.complete ~cat:"gateway"
         ~args:[ ("id", Cs_obs.Obs.Str request.Proto.id) ]
         "job:queue" ~ts:arrival ~dur:wait_s;
-      (try handle_job t request on ~arrival
+      (try handle_job t request ~arrival ~send:(fun reply -> send_reply on reply)
        with e ->
          send_reply on
            (Proto.refused ~id:request.Proto.id
@@ -453,14 +596,44 @@ let forwarder t () =
   in
   loop ()
 
+(* Recovery replay: the jobs a dead gateway admitted but never
+   answered. Their clients are gone, so replies go nowhere — the point
+   is to finish the work, journal the verdicts, and warm the dedup map
+   and cache so client retries carrying the same idempotency keys get
+   the journaled answer instead of a second execution. *)
+let replay_pending t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    List.iter
+      (fun (jkey, request) ->
+        if not (Atomic.get t.stopping) then begin
+          Metrics.incr t.m_journal_replays;
+          Cs_obs.Obs.instant ~cat:"gateway"
+            ~args:
+              [ ("key", Cs_obs.Obs.Str jkey);
+                ("id", Cs_obs.Obs.Str request.Proto.id) ]
+            "journal:replay";
+          try handle_job t request ~arrival:(Cs_obs.Clock.now ()) ~send:ignore
+          with _ -> ()
+        end)
+      (Journal.pending j)
+
 (* --- health prober ------------------------------------------------- *)
 
 (* Periodic ping against every shard: refreshes queue-depth gossip
    between jobs, detects silent deaths before a job trips over them, and
    carries the probation probe that re-admits a dead shard once its
-   backoff expires. *)
+   backoff expires. A shard whose push heartbeat arrived within the
+   last two periods is skipped — its load vector is already fresher
+   than a probe would make it, so heartbeating fleets idle without
+   polling round trips. *)
 let prober t () =
   let probe_timeout = Float.min 2.0 (Float.max 0.2 t.cfg.probe_period_s) in
+  let hb_fresh sh =
+    let last = shard_last_hb sh in
+    last > 0.0 && Cs_obs.Clock.now () -. last < 2.0 *. t.cfg.probe_period_s
+  in
   let probe sh =
     match
       Cs_svc.Client.fetch_stats ~timeout_s:probe_timeout ~addr:sh.saddr ()
@@ -482,14 +655,50 @@ let prober t () =
       List.iter
         (fun sh ->
           if not (Atomic.get t.stopping) then
-            if Health.usable t.health sh.sname || Health.probe_due t.health sh.sname
-            then probe sh)
+            if Health.usable t.health sh.sname then begin
+              if not (hb_fresh sh) then probe sh
+            end
+            else if Health.probe_due t.health sh.sname then probe sh)
         t.shards;
       sleep_ticks t.cfg.probe_period_s;
       loop ()
     end
   in
   loop ()
+
+(* --- adaptive admission -------------------------------------------- *)
+
+(* Shed before queueing when the fleet can't plausibly absorb the
+   backlog. The watermark scales with the live fraction of the fleet:
+   with every shard up it sits at [shed_watermark * queue_capacity];
+   when shards die it drops proportionally, so the gateway starts
+   refusing early instead of letting jobs time out in its own queue.
+   Journal lag (journaled admits not yet answered) sheds for the same
+   reason on the durability axis: an unbounded pending set is a
+   recovery-time bomb. *)
+let admission_shed_reason t =
+  let depth = Squeue.length t.queue in
+  let total = List.length t.shards in
+  let alive = alive_count t in
+  let watermark =
+    max 1
+      (int_of_float
+         (float_of_int t.cfg.queue_capacity *. t.cfg.shed_watermark
+         *. float_of_int (max 1 alive) /. float_of_int total))
+  in
+  if depth >= watermark then
+    Some
+      (Printf.sprintf
+         "gateway admission watermark: queue depth %d >= %d (%d/%d shards \
+          alive)"
+         depth watermark alive total)
+  else
+    match t.journal with
+    | Some j when Journal.lag j >= t.cfg.journal_lag_limit ->
+      Some
+        (Printf.sprintf "gateway journal lag %d >= %d" (Journal.lag j)
+           t.cfg.journal_lag_limit)
+    | _ -> None
 
 (* --- accept loop --------------------------------------------------- *)
 
@@ -517,27 +726,50 @@ let serve_conn t conn =
             :: s.Proto.extra)
         | Proto.Ping | Proto.Metrics_query _ -> ());
         send_line conn (Proto.pong_to_line ~id s)
+      | Ok (Proto.Heartbeat hb) ->
+        conn.is_hb <- true;
+        (match
+           List.find_opt (fun sh -> sh.sname = hb.Proto.hb_shard) t.shards
+         with
+        | Some sh ->
+          Atomic.set sh.depth hb.Proto.hb_depth;
+          Atomic.set sh.last_hb_bits (Int64.bits_of_float (Cs_obs.Clock.now ()));
+          Metrics.incr t.m_heartbeats;
+          (* a heartbeat is proof of life: it re-admits a buried shard
+             without waiting for the prober's probation slot *)
+          Health.note_ok t.health sh.sname
+        | None ->
+          (* unknown shard name: not ours to track, and no reply to
+             send — heartbeats are one-way *)
+          ())
       | Ok (Proto.Job_request request) ->
         Mutex.lock conn.out_mutex;
         conn.pending <- conn.pending + 1;
         Mutex.unlock conn.out_mutex;
-        if
-          Atomic.get t.stopping
-          || not
-               (Squeue.try_push t.queue
-                  { request; on = conn; arrival = Cs_obs.Clock.now () })
-        then begin
+        let shed_reason =
+          if Atomic.get t.stopping then Some "gateway is draining"
+          else
+            match admission_shed_reason t with
+            | Some reason ->
+              Metrics.incr t.m_admission_shed;
+              Some reason
+            | None ->
+              if
+                Squeue.try_push t.queue
+                  { request; on = conn; arrival = Cs_obs.Clock.now () }
+              then None
+              else
+                Some
+                  (Printf.sprintf "gateway admission queue full (%d jobs)"
+                     t.cfg.queue_capacity)
+        in
+        (match shed_reason with
+        | Some reason ->
           Metrics.incr t.meters.Meters.shed;
           send_reply conn
-            (Proto.refused ~id:request.Proto.id
-               (Cs_resil.Error.Overloaded
-                  (if Atomic.get t.stopping then "gateway is draining"
-                   else
-                     Printf.sprintf "gateway admission queue full (%d jobs)"
-                       t.cfg.queue_capacity)));
+            (Proto.refused ~id:request.Proto.id (Cs_resil.Error.Overloaded reason));
           finish_edge conn ~job_done:true
-        end
-        else Metrics.incr t.meters.Meters.admitted
+        | None -> Metrics.incr t.meters.Meters.admitted)
     end
   in
   let rec drain_lines () =
@@ -568,6 +800,22 @@ let serve_conn t conn =
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
     Cs_obs.Obs.instant ~cat:"gateway" "gateway:stop";
+    (* Sever shard heartbeat connections: they are persistent by
+       design, so their reader domains would otherwise block the
+       drain's join forever. Client connections are left alone — the
+       graceful drain finishes answering them. *)
+    Mutex.lock t.conns_mutex;
+    let conns = t.conns in
+    Mutex.unlock t.conns_mutex;
+    List.iter
+      (fun conn ->
+        if conn.is_hb then begin
+          Mutex.lock conn.out_mutex;
+          (if not conn.conn_closed then
+             try Unix.shutdown conn.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+          Mutex.unlock conn.out_mutex
+        end)
+      conns;
     match Transport.connect t.bound with
     | exception Unix.Unix_error _ -> ()
     | fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
@@ -576,6 +824,7 @@ let stop t =
 let run t =
   let forwarders = List.init t.cfg.forwarders (fun _ -> Domain.spawn (forwarder t)) in
   let prober_d = Domain.spawn (prober t) in
+  let replayer_d = Domain.spawn (fun () -> replay_pending t) in
   let readers = ref [] in
   let prune () =
     let live, finished =
@@ -595,8 +844,11 @@ let run t =
           Transport.accepted t.bound fd;
           let conn =
             { fd; out_mutex = Mutex.create (); pending = 0; reader_done = false;
-              conn_closed = false }
+              conn_closed = false; is_hb = false }
           in
+          Mutex.lock t.conns_mutex;
+          t.conns <- conn :: t.conns;
+          Mutex.unlock t.conns_mutex;
           let done_flag = Atomic.make false in
           let d =
             Domain.spawn (fun () ->
@@ -626,6 +878,8 @@ let run t =
   Squeue.close t.queue;
   List.iter Domain.join forwarders;
   Domain.join prober_d;
+  Domain.join replayer_d;
+  Option.iter Journal.close t.journal;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Transport.cleanup t.bound;
   let s = stats t in

@@ -36,6 +36,18 @@ type config = {
   probe_period_s : float;
   fail_threshold : int;  (** consecutive failures before eviction *)
   shard_timeout_s : float;  (** per-read timeout on shard connections *)
+  journal_dir : string option;
+      (** durable job journal directory; [None] = no journaling *)
+  recover : bool;
+      (** load an existing journal at startup: replay unacked jobs and
+          restore the dedup map. Without it an existing journal is
+          discarded. *)
+  shed_watermark : float;
+      (** adaptive admission: shed when the queue depth exceeds
+          [shed_watermark * queue_capacity * alive/total] *)
+  journal_lag_limit : int;
+      (** shed when this many journaled jobs are in flight *)
+  breaker : Breaker.settings;  (** per-shard circuit breakers *)
 }
 
 val config :
@@ -47,14 +59,20 @@ val config :
   ?probe_period_s:float ->
   ?fail_threshold:int ->
   ?shard_timeout_s:float ->
+  ?journal_dir:string ->
+  ?recover:bool ->
+  ?shed_watermark:float ->
+  ?journal_lag_limit:int ->
+  ?breaker:Breaker.settings ->
   shards:string list ->
   string ->
   config
 (** [config ~shards listen]: addresses in {!Cs_svc.Transport.parse}
     grammar. Defaults: hash policy, 256-entry cache, 64 vnodes,
     4 forwarders, queue 64, 1 s probe period, threshold 3, 30 s shard
-    timeout. Raises [Invalid_argument] on a bad address or an empty
-    shard list. *)
+    timeout, no journal, watermark 0.85, lag limit 512, default
+    breaker settings. Raises [Invalid_argument] on a bad address or an
+    empty shard list. *)
 
 type t
 
@@ -83,6 +101,12 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  journal_hits : int;  (** retries answered from the durable journal *)
+  journal_replays : int;  (** unacked jobs re-dispatched after recovery *)
+  journal_pending : int;  (** journaled jobs currently in flight *)
+  admission_shed : int;  (** sheds by the adaptive admission watermark *)
+  heartbeats : int;  (** push heartbeats received from shards *)
+  breaker_open : int;  (** shards with a tripped circuit breaker *)
 }
 
 val stats : t -> stats

@@ -20,10 +20,19 @@ let default_backoff =
   { Cs_svc.Retry.default with
     base_delay_s = 0.5; multiplier = 2.0; jitter = 0.25; max_attempts = 8 }
 
+(* Without a cap the doubling schedule parks a long-dead shard behind
+   a probe interval of a minute or more, so a shard that comes back is
+   invisible for that long. The cap bounds the re-detection window:
+   however deep the burial, a probe fires within [max_delay_s]. *)
+let default_max_delay_s = 10.0
+
 let create ?(fail_threshold = 3) ?(backoff = default_backoff)
+    ?(max_delay_s = default_max_delay_s)
     ?(on_transition = fun ~shard:_ ~to_:_ -> ()) names =
   if fail_threshold <= 0 then
     invalid_arg "Health.create: fail_threshold must be positive";
+  if max_delay_s <= 0.0 then
+    invalid_arg "Health.create: max_delay_s must be positive";
   let table = Hashtbl.create 8 in
   List.iter
     (fun n ->
@@ -31,7 +40,9 @@ let create ?(fail_threshold = 3) ?(backoff = default_backoff)
         Hashtbl.replace table n { st = Healthy; probing = false })
     names;
   { fail_threshold;
-    delays = Array.of_list (Cs_svc.Retry.delays backoff);
+    delays =
+      Array.of_list
+        (List.map (Float.min max_delay_s) (Cs_svc.Retry.delays backoff));
     table; mutex = Mutex.create (); on_transition }
 
 let locked t f =

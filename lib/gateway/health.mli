@@ -20,10 +20,13 @@ type state =
 type t
 
 val create :
-  ?fail_threshold:int -> ?backoff:Cs_svc.Retry.policy ->
+  ?fail_threshold:int -> ?backoff:Cs_svc.Retry.policy -> ?max_delay_s:float ->
   ?on_transition:(shard:string -> to_:string -> unit) -> string list -> t
 (** [fail_threshold] defaults to 3 consecutive failures; [backoff]
     defaults to 500 ms base, doubling, ±25% deterministic jitter.
+    [max_delay_s] (default 10 s) caps every step of the schedule, so no
+    matter how long a shard has been dead, a returning shard is
+    re-probed — and hence re-detected — within that bound.
     [on_transition] fires on eviction ([to_ = "dead"]) and
     re-admission ([to_ = "healthy"]) — the gateway counts these on its
     metrics registry. Called with the health lock held: the callback

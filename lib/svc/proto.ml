@@ -7,14 +7,15 @@ type request = {
   deadline_ms : float option;
   passes : string option;
   seed : int option;
+  idem_key : string option;
   trace_id : string option;
   parent_span : string option;
 }
 
 let request ?(id = "") ?(machine = "raw16") ?(scheduler = "convergent") ?(scale = 1)
-    ?deadline_ms ?passes ?seed ?trace_id ?parent_span bench =
-  { id; bench; machine; scheduler; scale; deadline_ms; passes; seed; trace_id;
-    parent_span }
+    ?deadline_ms ?passes ?seed ?idem_key ?trace_id ?parent_span bench =
+  { id; bench; machine; scheduler; scale; deadline_ms; passes; seed; idem_key;
+    trace_id; parent_span }
 
 let with_trace ~(ctx : Cs_obs.Tracectx.t) r =
   { r with trace_id = Some ctx.trace_id; parent_span = Some ctx.span_id }
@@ -85,6 +86,7 @@ let request_to_json r =
     @ opt "deadline_ms" (Option.map (fun d -> Num d) r.deadline_ms)
     @ opt "passes" (Option.map (fun p -> Str p) r.passes)
     @ opt "seed" (Option.map (fun s -> Num (float_of_int s)) r.seed)
+    @ opt "idem_key" (Option.map (fun k -> Str k) r.idem_key)
     @ opt "trace_id" (Option.map (fun t -> Str t) r.trace_id)
     @ opt "parent_span" (Option.map (fun p -> Str p) r.parent_span))
 
@@ -123,6 +125,7 @@ let request_of_json json =
   in
   Ok
     { id; bench; machine; scheduler; scale; deadline_ms; passes; seed;
+      idem_key = opt_str "idem_key";
       trace_id = opt_str "trace_id"; parent_span = opt_str "parent_span" }
 
 let reply_to_json r =
@@ -185,7 +188,21 @@ type metrics_format = Metrics_json | Metrics_prometheus
 
 type control = Ping | Stats_query | Metrics_query of metrics_format
 
-type incoming = Job_request of request | Control of { op : control; id : string }
+(* Push heartbeat: a shard announces itself and its load vector to the
+   gateway on a persistent connection. Fire-and-forget — no reply line,
+   so an idle fleet costs one small line per shard per period. *)
+type heartbeat = {
+  hb_shard : string;  (* the address the gateway knows the shard by *)
+  hb_depth : int;
+  hb_busy : int;
+  hb_workers : int;
+  hb_completed : int;
+}
+
+type incoming =
+  | Job_request of request
+  | Control of { op : control; id : string }
+  | Heartbeat of heartbeat
 
 let control_line ~op ?(id = "") () =
   Cs_obs.Json.to_string
@@ -193,6 +210,16 @@ let control_line ~op ?(id = "") () =
 
 let ping_line = control_line ~op:"ping"
 let stats_line = control_line ~op:"stats"
+
+let heartbeat_line hb =
+  Cs_obs.Json.to_string
+    (Cs_obs.Json.Obj
+       [ ("op", Cs_obs.Json.Str "heartbeat");
+         ("shard", Cs_obs.Json.Str hb.hb_shard);
+         ("queue_depth", Cs_obs.Json.Num (float_of_int hb.hb_depth));
+         ("busy", Cs_obs.Json.Num (float_of_int hb.hb_busy));
+         ("workers", Cs_obs.Json.Num (float_of_int hb.hb_workers));
+         ("completed", Cs_obs.Json.Num (float_of_int hb.hb_completed)) ])
 
 let metrics_line ?(format = Metrics_json) ?(id = "") () =
   Cs_obs.Json.to_string
@@ -220,6 +247,15 @@ let incoming_of_json json =
         | _ -> Error "metrics format must be \"json\" or \"prometheus\""
       in
       Ok (Control { op = Metrics_query format; id })
+    | "heartbeat" ->
+      let* hb_shard = str_member "shard" json in
+      let get k =
+        match num_member k json with Some n -> int_of_float n | None -> 0
+      in
+      Ok
+        (Heartbeat
+           { hb_shard; hb_depth = get "queue_depth"; hb_busy = get "busy";
+             hb_workers = get "workers"; hb_completed = get "completed" })
     | other -> Error (Printf.sprintf "unknown op %S" other))
   | Some _ -> Error "op must be a string"
   | None -> Result.map (fun r -> Job_request r) (request_of_json json)

@@ -14,6 +14,11 @@ type request = {
       (** per-job budget, measured from admission; [None] = no deadline *)
   passes : string option;  (** comma-separated pass spec overriding the default *)
   seed : int option;
+  idem_key : string option;
+      (** client-chosen idempotency key: a gateway running a durable
+          journal answers a retry carrying the same key from the
+          journal instead of re-executing — the client-visible half of
+          the exactly-once contract across gateway restarts *)
   trace_id : string option;
       (** cross-process trace context (see {!Cs_obs.Tracectx}): the
           causal chain's id, stamped by the submitting client or the
@@ -24,8 +29,8 @@ type request = {
 
 val request :
   ?id:string -> ?machine:string -> ?scheduler:string -> ?scale:int ->
-  ?deadline_ms:float -> ?passes:string -> ?seed:int -> ?trace_id:string ->
-  ?parent_span:string -> string -> request
+  ?deadline_ms:float -> ?passes:string -> ?seed:int -> ?idem_key:string ->
+  ?trace_id:string -> ?parent_span:string -> string -> request
 (** [request bench] with defaults mirroring the CLI ([raw16],
     [convergent], scale 1, no deadline, no trace context). *)
 
@@ -73,6 +78,15 @@ val request_of_line : string -> (request, string) result
 val reply_to_line : reply -> string
 val reply_of_line : string -> (reply, string) result
 
+(** JSON-value forms of the same codecs, for embedding requests and
+    replies inside larger documents (e.g. the gateway's journal
+    records) without double-encoding. *)
+
+val request_to_json : request -> Cs_obs.Json.t
+val request_of_json : Cs_obs.Json.t -> (request, string) result
+val reply_to_json : reply -> Cs_obs.Json.t
+val reply_of_json : Cs_obs.Json.t -> (reply, string) result
+
 (** {2 Control verbs}
 
     Besides job requests, a service socket answers three control
@@ -86,11 +100,30 @@ type metrics_format = Metrics_json | Metrics_prometheus
 
 type control = Ping | Stats_query | Metrics_query of metrics_format
 
-type incoming = Job_request of request | Control of { op : control; id : string }
+type heartbeat = {
+  hb_shard : string;
+      (** the address the gateway was configured with for this shard —
+          the shard's [--advertise] name, not whatever the kernel says
+          about the connection *)
+  hb_depth : int;  (** admission-queue depth *)
+  hb_busy : int;
+  hb_workers : int;
+  hb_completed : int;
+}
+(** Push heartbeat: one line per period from shard to gateway on a
+    persistent connection, carrying the shard's load vector. One-way —
+    the gateway sends no reply — so idle-fleet load signals no longer
+    depend on reply-piggybacked gossip or prober round trips. *)
+
+type incoming =
+  | Job_request of request
+  | Control of { op : control; id : string }
+  | Heartbeat of heartbeat
 
 val ping_line : ?id:string -> unit -> string
 val stats_line : ?id:string -> unit -> string
 val metrics_line : ?format:metrics_format -> ?id:string -> unit -> string
+val heartbeat_line : heartbeat -> string
 
 type metrics_payload =
   | Snapshot of Cs_obs.Metrics.snapshot

@@ -6,12 +6,18 @@ type config = {
   pass_budget_s : float option;
   chaos_slow_ms : float option;
   retry : Retry.policy option;
+  heartbeat_addr : Transport.addr option;
+  heartbeat_period_s : float;
+  advertise : string option;
 }
 
 let config ?(workers = 2) ?(queue_capacity = 16) ?default_deadline_ms
-    ?pass_budget_s ?chaos_slow_ms ?retry addr =
+    ?pass_budget_s ?chaos_slow_ms ?retry ?heartbeat ?(heartbeat_period_s = 1.0)
+    ?advertise addr =
   { listen_addr = Transport.parse_exn addr; workers; queue_capacity;
-    default_deadline_ms; pass_budget_s; chaos_slow_ms; retry }
+    default_deadline_ms; pass_budget_s; chaos_slow_ms; retry;
+    heartbeat_addr = Option.map Transport.parse_exn heartbeat;
+    heartbeat_period_s; advertise }
 
 type stats = {
   admitted : int;
@@ -210,6 +216,10 @@ let serve_conn t conn =
               ("refusals", float_of_int s.Proto.refusals) ]
         | Proto.Ping | Proto.Metrics_query _ -> ());
         send_line conn (Proto.pong_to_line ~id s)
+      | Ok (Proto.Heartbeat _) ->
+        (* shards push heartbeats, they don't receive them; tolerate
+           and ignore so a misdirected sender can't wedge the reader *)
+        ()
       | Ok (Proto.Job_request request) ->
         let job = Job.admit ?default_deadline_ms:t.cfg.default_deadline_ms request in
         Mutex.lock conn.out_mutex;
@@ -292,8 +302,62 @@ let abort t =
     stop t
   end
 
+(* Push heartbeats: a persistent connection to the gateway carrying
+   this shard's load vector once per period. The line names the shard
+   by its advertised address (what the gateway was configured with),
+   not the connection's source address. Fire-and-forget: no replies to
+   read, and a dead gateway just means reconnect attempts once per
+   period until it returns. *)
+let heartbeat_loop t addr =
+  let name =
+    match t.cfg.advertise with
+    | Some n -> n
+    | None -> Transport.to_string t.bound
+  in
+  let period = Float.max 0.05 t.cfg.heartbeat_period_s in
+  let rec sleep_ticks remaining =
+    if remaining > 0.0 && not (Atomic.get t.stopping) then begin
+      let tick = Float.min 0.05 remaining in
+      Unix.sleepf tick;
+      sleep_ticks (remaining -. tick)
+    end
+  in
+  let line () =
+    Proto.heartbeat_line
+      { Proto.hb_shard = name;
+        hb_depth = Squeue.length t.queue;
+        hb_busy = Atomic.get t.n_busy;
+        hb_workers = t.cfg.workers;
+        hb_completed = Cs_obs.Metrics.counter_value t.meters.Meters.completed }
+  in
+  let rec connected fd =
+    if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+    else
+      match write_all fd (line () ^ "\n") with
+      | () ->
+        sleep_ticks period;
+        connected fd
+      | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        sleep_ticks period;
+        reconnect ()
+  and reconnect () =
+    if not (Atomic.get t.stopping) then
+      match Transport.connect addr with
+      | fd -> connected fd
+      | exception Unix.Unix_error _ ->
+        sleep_ticks period;
+        reconnect ()
+  in
+  reconnect ()
+
 let run t =
   let workers = List.init t.cfg.workers (fun _ -> Domain.spawn (worker t)) in
+  let heartbeater =
+    Option.map
+      (fun addr -> Domain.spawn (fun () -> heartbeat_loop t addr))
+      t.cfg.heartbeat_addr
+  in
   (* Connection readers are lightweight (parse + enqueue), so plain
      threads would do; domains keep the implementation to one
      concurrency primitive. Each reader finishes quickly after client
@@ -356,6 +420,7 @@ let run t =
   List.iter (fun (_, d) -> Domain.join d) !readers;
   Squeue.close t.queue;
   List.iter Domain.join workers;
+  Option.iter Domain.join heartbeater;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Transport.cleanup t.bound;
   let s = stats t in

@@ -30,16 +30,24 @@ type config = {
       (** inject a CHAOS slow pass of this many ms into every convergent
           job — the latency-SLO drill switch *)
   retry : Retry.policy option;  (** retry transient job failures *)
+  heartbeat_addr : Transport.addr option;
+      (** push {!Proto.heartbeat} lines to this gateway address *)
+  heartbeat_period_s : float;
+  advertise : string option;
+      (** shard name carried on heartbeats — must match the address the
+          gateway was configured with; defaults to the bound address *)
 }
 
 val config :
   ?workers:int -> ?queue_capacity:int -> ?default_deadline_ms:float ->
   ?pass_budget_s:float -> ?chaos_slow_ms:float -> ?retry:Retry.policy ->
+  ?heartbeat:string -> ?heartbeat_period_s:float -> ?advertise:string ->
   string -> config
 (** [config addr] with 2 workers, a 16-job queue, no deadlines, no
-    chaos, no retry. [addr] uses the {!Transport} grammar ([host:port]
-    for TCP, otherwise a Unix socket path); raises [Invalid_argument]
-    when it parses to neither. *)
+    chaos, no retry, no heartbeats ([heartbeat_period_s] defaults to
+    1 s). [addr] uses the {!Transport} grammar ([host:port] for TCP,
+    otherwise a Unix socket path); raises [Invalid_argument] when it
+    parses to neither. *)
 
 type stats = {
   admitted : int;

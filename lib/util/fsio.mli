@@ -10,7 +10,10 @@
 val write_atomic : path:string -> string -> unit
 (** [write_atomic ~path content] atomically replaces [path] with
     [content]. On failure the temp file is removed and the previous
-    [path] (if any) is untouched. *)
+    [path] (if any) is untouched. Before writing, orphaned
+    [path.tmp.<pid>] files left by writers that crashed between create
+    and rename are swept; after the rename the containing directory is
+    fsynced so the new name itself is durable. *)
 
 val read_opt : string -> string option
 (** Whole-file read, [None] if [path] does not exist. *)

@@ -1,0 +1,299 @@
+(* Append-only write-ahead log. Records are framed
+   [magic | u32 length | u32 crc32 | payload] inside numbered segment
+   files; a crash mid-append leaves a torn record only at the tail, and
+   the recovery scan truncates it away. fsyncs are group-committed:
+   every append buffers, and one flusher at a time writes the whole
+   batch and fsyncs once for everyone waiting. *)
+
+let magic = "CSW1"
+let header_bytes = 12
+
+(* --- CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven ------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* --- segment files -------------------------------------------------- *)
+
+let seg_name i = Printf.sprintf "wal-%06d.log" i
+let seg_path dir i = Filename.concat dir (seg_name i)
+
+let seg_index_of_name name =
+  if
+    String.length name = 14
+    && String.sub name 0 4 = "wal-"
+    && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name 4 6)
+  else None
+
+let list_segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun n ->
+         Option.map (fun i -> (i, n)) (seg_index_of_name n))
+  |> List.sort compare
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* --- framing -------------------------------------------------------- *)
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_int32_le b 4 (Int32.of_int n);
+  Bytes.set_int32_le b 8 (Int32.of_int (crc32 payload));
+  Bytes.blit_string payload 0 b header_bytes n;
+  Bytes.unsafe_to_string b
+
+(* Parse records out of one segment's bytes. Returns the intact
+   payloads and the offset of the first tear ([None] when the whole
+   file parses). *)
+let scan_segment data =
+  let len = String.length data in
+  let records = ref [] in
+  let rec go off =
+    if off = len then None
+    else if len - off < header_bytes then Some off
+    else if String.sub data off 4 <> magic then Some off
+    else
+      let reclen =
+        Int32.to_int (Bytes.get_int32_le (Bytes.unsafe_of_string data) (off + 4))
+      in
+      let crc =
+        Int32.to_int (Bytes.get_int32_le (Bytes.unsafe_of_string data) (off + 8))
+        land 0xFFFFFFFF
+      in
+      if reclen < 0 || off + header_bytes + reclen > len then Some off
+      else
+        let payload = String.sub data (off + header_bytes) reclen in
+        if crc32 payload <> crc then Some off
+        else begin
+          records := payload :: !records;
+          go (off + header_bytes + reclen)
+        end
+  in
+  let tear = go 0 in
+  (List.rev !records, tear)
+
+(* --- log handle ----------------------------------------------------- *)
+
+type t = {
+  dir : string;
+  segment_bytes : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  buf : Buffer.t;  (* encoded records awaiting flush *)
+  mutable appended : int;  (* generation of the last buffered record *)
+  mutable synced : int;  (* generation made durable *)
+  mutable flushing : bool;
+  mutable fd : Unix.file_descr;  (* current segment, O_APPEND *)
+  mutable seg_index : int;
+  mutable seg_size : int;
+  mutable total_size : int;  (* durable bytes across live segments *)
+  mutable closed : bool;
+}
+
+type recovery = {
+  records : string list;
+  truncated_bytes : int;
+  segments : int;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let open_segment dir i =
+  Unix.openfile (seg_path dir i)
+    [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+    0o644
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let truncate_file path off =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> Unix.ftruncate fd off; Unix.fsync fd)
+
+let open_dir ?(segment_bytes = 1 lsl 20) ~dir () =
+  if segment_bytes <= header_bytes then
+    invalid_arg "Wal.open_dir: segment_bytes too small";
+  mkdir_p dir;
+  let segments = list_segments dir in
+  let n_segments = List.length segments in
+  let records = ref [] in
+  let truncated = ref 0 in
+  (* Scan in order; the first tear truncates its segment there and
+     discards every later segment — the log is only trustworthy up to
+     its first bad record. *)
+  let rec scan = function
+    | [] -> ()
+    | (i, name) :: rest ->
+      let path = Filename.concat dir name in
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      let recs, tear = scan_segment data in
+      records := List.rev_append recs !records;
+      ignore i;
+      (match tear with
+      | None -> scan rest
+      | Some off ->
+        truncated := String.length data - off;
+        truncate_file path off;
+        List.iter
+          (fun (_, n) ->
+            let p = Filename.concat dir n in
+            truncated := !truncated + file_size p;
+            Sys.remove p)
+          rest;
+        fsync_dir dir)
+  in
+  scan segments;
+  let live = list_segments dir in
+  let seg_index =
+    match List.rev live with (i, _) :: _ -> i | [] -> 0
+  in
+  let fresh = live = [] in
+  let fd = open_segment dir seg_index in
+  if fresh then fsync_dir dir;
+  let seg_size = file_size (seg_path dir seg_index) in
+  let total_size =
+    List.fold_left
+      (fun acc (_, n) -> acc + file_size (Filename.concat dir n))
+      0 (list_segments dir)
+  in
+  let t =
+    { dir; segment_bytes; mutex = Mutex.create (); cond = Condition.create ();
+      buf = Buffer.create 4096; appended = 0; synced = 0; flushing = false;
+      fd; seg_index; seg_size; total_size; closed = false }
+  in
+  ( t,
+    { records = List.rev !records;
+      truncated_bytes = !truncated;
+      segments = n_segments } )
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let rotate_locked t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  t.seg_index <- t.seg_index + 1;
+  t.fd <- open_segment t.dir t.seg_index;
+  t.seg_size <- 0;
+  fsync_dir t.dir
+
+let append t payload =
+  locked t (fun () ->
+      if t.closed then invalid_arg "Wal.append: log is closed";
+      Buffer.add_string t.buf (encode payload);
+      t.appended <- t.appended + 1)
+
+let sync t =
+  Mutex.lock t.mutex;
+  let target = t.appended in
+  let rec wait () =
+    if t.synced >= target then Mutex.unlock t.mutex
+    else if t.flushing then begin
+      (* someone else's flush will cover us, or wake us to take over *)
+      Condition.wait t.cond t.mutex;
+      wait ()
+    end
+    else begin
+      t.flushing <- true;
+      let data = Buffer.contents t.buf in
+      Buffer.clear t.buf;
+      let gen = t.appended in
+      let fd = t.fd in
+      Mutex.unlock t.mutex;
+      (* the batched write + single fsync, outside the lock *)
+      (match
+         write_all fd data;
+         Unix.fsync fd
+       with
+      | () ->
+        (* re-enter [wait] with the lock held — it owns the unlock *)
+        Mutex.lock t.mutex;
+        t.seg_size <- t.seg_size + String.length data;
+        t.total_size <- t.total_size + String.length data;
+        t.synced <- gen;
+        if t.seg_size >= t.segment_bytes then rotate_locked t;
+        t.flushing <- false;
+        Condition.broadcast t.cond
+      | exception e ->
+        Mutex.lock t.mutex;
+        t.flushing <- false;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        raise e);
+      wait ()
+    end
+  in
+  wait ()
+
+let append_sync t payload =
+  append t payload;
+  sync t
+
+let size_bytes t = locked t (fun () -> t.total_size)
+
+let reset t =
+  Mutex.lock t.mutex;
+  while t.flushing do
+    Condition.wait t.cond t.mutex
+  done;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if t.closed then invalid_arg "Wal.reset: log is closed";
+      (try Unix.close t.fd with Unix.Unix_error _ -> ());
+      List.iter
+        (fun (_, n) -> try Sys.remove (Filename.concat t.dir n) with Sys_error _ -> ())
+        (list_segments t.dir);
+      Buffer.clear t.buf;
+      t.synced <- t.appended;
+      t.seg_index <- 0;
+      t.fd <- open_segment t.dir 0;
+      t.seg_size <- 0;
+      t.total_size <- 0;
+      fsync_dir t.dir)
+
+let close t =
+  sync t;
+  Mutex.lock t.mutex;
+  while t.flushing do
+    Condition.wait t.cond t.mutex
+  done;
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock t.mutex

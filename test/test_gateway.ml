@@ -8,6 +8,8 @@ module Ring = Cs_gateway.Ring
 module Cache = Cs_gateway.Cache
 module Health = Cs_gateway.Health
 module Policy = Cs_gateway.Policy
+module Breaker = Cs_gateway.Breaker
+module Journal = Cs_gateway.Journal
 module Gateway = Cs_gateway.Gateway
 module Proto = Cs_svc.Proto
 module Transport = Cs_svc.Transport
@@ -109,6 +111,137 @@ let test_health_evict_and_readmit () =
   Alcotest.(check (list string)) "alive filters" [ "s1"; "s2" ]
     (Health.alive h [ "s1"; "s2" ]);
   Alcotest.(check bool) "unknown shards read healthy" true (Health.usable h "s3")
+
+let test_health_backoff_capped () =
+  (* an aggressive multiplier would park attempt 4 at 0.05 * 8^3 =
+     25.6 s; the cap must clamp every step so a returning shard is
+     re-probed within max_delay_s no matter how deep the burial *)
+  let backoff =
+    { Cs_svc.Retry.default with
+      base_delay_s = 0.05; multiplier = 8.0; jitter = 0.0; max_attempts = 8 }
+  in
+  let cap = 0.1 in
+  let h = Health.create ~fail_threshold:1 ~backoff ~max_delay_s:cap [ "s1" ] in
+  Health.note_failure h "s1";
+  for burial = 1 to 5 do
+    (match Health.state h "s1" with
+    | Health.Dead { retry_at; attempt; _ } ->
+      Alcotest.(check int) "attempt advances" burial attempt;
+      let delay = retry_at -. Cs_obs.Clock.now () in
+      Alcotest.(check bool)
+        (Printf.sprintf "burial %d delay %.3fs within cap" burial delay)
+        true
+        (delay <= cap +. 0.02)
+    | _ -> Alcotest.fail "shard should be dead");
+    Unix.sleepf (cap +. 0.03);
+    Alcotest.(check bool)
+      (Printf.sprintf "probe due within the cap after burial %d" burial)
+      true (Health.probe_due h "s1");
+    (* failed probe: next (deeper) backoff step, still capped *)
+    Health.note_failure h "s1"
+  done
+
+(* --- circuit breaker ----------------------------------------------- *)
+
+let breaker_settings =
+  { Breaker.window = 8; min_calls = 4; failure_rate = 0.5; slow_ms = 10.0;
+    cooldown_s = 0.05; half_open_probes = 1 }
+
+let test_breaker_trips_on_failure_rate () =
+  let transitions = ref [] in
+  let b =
+    Breaker.create ~settings:breaker_settings
+      ~on_transition:(fun ~shard:_ ~to_ -> transitions := to_ :: !transitions)
+      [ "s1"; "s2" ]
+  in
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b "s1");
+  for _ = 1 to 3 do
+    Breaker.record b "s1" ~ok:false ~elapsed_ms:0.0
+  done;
+  (* 3 failures but min_calls is 4: the rate is not judged yet *)
+  Alcotest.(check bool) "below min_calls stays closed" true
+    (Breaker.state b "s1" = Breaker.Closed);
+  Breaker.record b "s1" ~ok:false ~elapsed_ms:0.0;
+  Alcotest.(check bool) "trips at min_calls + rate" true
+    (Breaker.state b "s1" = Breaker.Open);
+  Alcotest.(check bool) "open refuses" false (Breaker.allow b "s1");
+  Alcotest.(check bool) "other shard unaffected" true (Breaker.allow b "s2");
+  Alcotest.(check int) "tripped gauge" 1 (Breaker.open_count b);
+  (* cooldown -> half-open: exactly one probe slot *)
+  Unix.sleepf 0.06;
+  Alcotest.(check bool) "cooldown grants a probe" true (Breaker.allow b "s1");
+  Alcotest.(check bool) "half-open" true (Breaker.state b "s1" = Breaker.Half_open);
+  Alcotest.(check bool) "no second probe" false (Breaker.allow b "s1");
+  Breaker.record b "s1" ~ok:true ~elapsed_ms:1.0;
+  Alcotest.(check bool) "good probe closes" true
+    (Breaker.state b "s1" = Breaker.Closed);
+  Alcotest.(check bool) "closed again allows" true (Breaker.allow b "s1");
+  Alcotest.(check (list string)) "transition trail"
+    [ "closed"; "half-open"; "open" ] !transitions
+
+let test_breaker_slow_calls_and_failed_probe () =
+  let b = Breaker.create ~settings:breaker_settings [ "s1" ] in
+  (* nominally-successful calls above slow_ms count toward the rate *)
+  for _ = 1 to 4 do
+    Breaker.record b "s1" ~ok:true ~elapsed_ms:50.0
+  done;
+  Alcotest.(check bool) "slow calls trip the breaker" true
+    (Breaker.state b "s1" = Breaker.Open);
+  Unix.sleepf 0.06;
+  Alcotest.(check bool) "probe granted" true (Breaker.allow b "s1");
+  Breaker.record b "s1" ~ok:false ~elapsed_ms:0.0;
+  Alcotest.(check bool) "failed probe re-opens" true
+    (Breaker.state b "s1" = Breaker.Open);
+  Alcotest.(check bool) "re-opened refuses" false (Breaker.allow b "s1")
+
+(* --- durable journal ----------------------------------------------- *)
+
+let journal_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cs_journal_%s_%d_%d" name (Unix.getpid ()) !n)
+
+let test_journal_recovery_and_dedup () =
+  let dir = journal_dir "unit" in
+  let req = Proto.request ~id:"a" ~idem_key:"retry-a" ~machine:"raw4" "fir" in
+  let j = Journal.open_dir ~dir ~recover:false () in
+  Journal.admit j ~key:"K1" req;
+  Alcotest.(check int) "admit counts as lag" 1 (Journal.lag j);
+  Alcotest.(check bool) "not completed yet" true (Journal.completed j "K1" = None);
+  Journal.close j;
+  (* crash before the done record: recovery must replay the admit *)
+  let j2 = Journal.open_dir ~dir ~recover:true () in
+  (match Journal.pending j2 with
+  | [ (key, req') ] ->
+    Alcotest.(check string) "pending key" "K1" key;
+    Alcotest.(check string) "request survives the log" req.Proto.id req'.Proto.id;
+    Alcotest.(check (option string)) "idem key survives the log"
+      req.Proto.idem_key req'.Proto.idem_key
+  | l -> Alcotest.failf "expected one pending job, got %d" (List.length l));
+  let reply =
+    Proto.reply ~id:"a" ~elapsed_ms:2.0
+      (Proto.Scheduled
+         { cycles = 17; transfers = 3; rung = "requested"; timed_out = false;
+           quarantined = 0 })
+  in
+  Journal.mark_done j2 ~key:"K1" reply;
+  Alcotest.(check int) "done clears lag" 0 (Journal.lag j2);
+  Journal.close j2;
+  (* after the done record, recovery feeds the dedup map instead *)
+  let j3 = Journal.open_dir ~dir ~recover:true () in
+  Alcotest.(check int) "nothing pending" 0 (List.length (Journal.pending j3));
+  (match Journal.completed j3 "K1" with
+  | Some r -> Alcotest.(check bool) "verdict preserved" true (r.Proto.verdict = reply.Proto.verdict)
+  | None -> Alcotest.fail "done key must be in the dedup map");
+  Journal.close j3;
+  (* recover:false is an explicit fresh start *)
+  let j4 = Journal.open_dir ~dir ~recover:false () in
+  Alcotest.(check bool) "journal discarded without recover" true
+    (Journal.completed j4 "K1" = None);
+  Journal.close j4
 
 (* --- dispatch policy ----------------------------------------------- *)
 
@@ -280,6 +413,56 @@ let with_gateway cfg f =
     (fun () -> f gw)
 
 let shard_spec server = Transport.to_string (Cs_svc.Server.address server)
+
+let test_gateway_journal_exactly_once_across_restart () =
+  with_server "127.0.0.1:0" @@ fun s1 ->
+  let dir = journal_dir "e2e" in
+  let cfg recover =
+    Gateway.config ~forwarders:2 ~probe_period_s:0.2 ~journal_dir:dir ~recover
+      ~shards:[ shard_spec s1 ] "127.0.0.1:0"
+  in
+  let jobs =
+    List.init 4 (fun i ->
+        Proto.request
+          ~id:(Printf.sprintf "job-%d" i)
+          ~idem_key:(Printf.sprintf "key-%d" i)
+          ~machine:"raw4" ~seed:i "fir")
+  in
+  let cycles_of replies =
+    List.map
+      (fun r ->
+        match r.Proto.verdict with
+        | Proto.Scheduled { cycles; _ } -> (r.Proto.reply_id, cycles)
+        | Proto.Refused e ->
+          Alcotest.failf "job %s refused: %s" r.Proto.reply_id e.message)
+      (List.sort (fun a b -> compare a.Proto.reply_id b.Proto.reply_id) replies)
+  in
+  let first =
+    with_gateway (cfg false) @@ fun gw ->
+    match Cs_svc.Client.submit ~timeout_s:60.0 ~addr:(Gateway.address gw) jobs with
+    | Error e -> Alcotest.failf "first submit failed: %s" e
+    | Ok replies -> cycles_of replies
+  in
+  (* a new gateway over the same journal dir = restart with --recover;
+     the same idempotency keys must be answered from the journal with
+     the identical verdicts, no shard hop *)
+  with_gateway (cfg true) @@ fun gw2 ->
+  match Cs_svc.Client.submit ~timeout_s:60.0 ~addr:(Gateway.address gw2) jobs with
+  | Error e -> Alcotest.failf "post-recovery submit failed: %s" e
+  | Ok replies ->
+    Alcotest.(check (list (pair string int))) "verdicts identical across restart"
+      first (cycles_of replies);
+    List.iter
+      (fun r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s served from the journal" r.Proto.reply_id)
+          true r.Proto.cached)
+      replies;
+    let st = Gateway.stats gw2 in
+    Alcotest.(check int) "every retry was a journal hit" (List.length jobs)
+      st.Gateway.journal_hits;
+    Alcotest.(check int) "no job re-dispatched to a shard" 0 st.Gateway.forwarded;
+    Alcotest.(check int) "journal fully drained" 0 st.Gateway.journal_pending
 
 let test_gateway_cache_accounting () =
   with_server "127.0.0.1:0" @@ fun s1 ->
@@ -566,8 +749,22 @@ let () =
         ] );
       ("cache", [ Alcotest.test_case "lru accounting" `Quick test_cache_lru_accounting ]);
       ( "health",
-        [ Alcotest.test_case "evict + backoff readmit" `Quick test_health_evict_and_readmit ]
-      );
+        [
+          Alcotest.test_case "evict + backoff readmit" `Quick test_health_evict_and_readmit;
+          Alcotest.test_case "backoff capped at max interval" `Quick
+            test_health_backoff_capped;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips on failure rate" `Quick
+            test_breaker_trips_on_failure_rate;
+          Alcotest.test_case "slow calls + failed probe" `Quick
+            test_breaker_slow_calls_and_failed_probe;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "recovery + dedup" `Quick test_journal_recovery_and_dedup;
+        ] );
       ("policy", [ Alcotest.test_case "orderings" `Quick test_policy_orderings ]);
       ( "scenario-hash",
         [
@@ -588,6 +785,8 @@ let () =
             test_gateway_cache_accounting;
           Alcotest.test_case "mid-batch shard kill: exactly once" `Slow
             test_gateway_failover_exactly_once;
+          Alcotest.test_case "journal: exactly once across restart" `Slow
+            test_gateway_journal_exactly_once_across_restart;
           Alcotest.test_case "stats verb" `Slow test_gateway_stats_verb;
           Alcotest.test_case "metrics verb accounts every job" `Slow
             test_gateway_metrics_verb_accounts_every_job;

@@ -324,6 +324,77 @@ let test_squeue_concurrent_producers_consumers () =
   List.iter Domain.join consumers;
   Alcotest.(check int) "every item consumed exactly once" produced (Atomic.get seen)
 
+(* The shed bound must hold exactly under racing producers: with no
+   consumer, precisely [capacity] of the competing pushes may win, no
+   matter how the domains interleave. *)
+let test_squeue_sheds_at_exact_capacity_concurrently () =
+  let capacity = 8 in
+  let producers = 4 and per_producer = 50 in
+  let q = Cs_svc.Squeue.create ~capacity in
+  let accepted = Atomic.make 0 in
+  let go = Atomic.make false in
+  let domains =
+    List.init producers (fun d ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            for i = 0 to per_producer - 1 do
+              if Cs_svc.Squeue.try_push q ((d * per_producer) + i) then
+                Atomic.incr accepted
+            done))
+  in
+  Atomic.set go true;
+  List.iter Domain.join domains;
+  Alcotest.(check int) "exactly capacity pushes won" capacity (Atomic.get accepted);
+  Alcotest.(check int) "queue holds exactly capacity" capacity (Cs_svc.Squeue.length q);
+  Cs_svc.Squeue.close q;
+  let drained = ref 0 in
+  let rec drain () =
+    match Cs_svc.Squeue.pop q with
+    | Some _ ->
+      incr drained;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "winners all drain back out" capacity !drained
+
+(* --- transport addresses ------------------------------------------- *)
+
+let test_transport_parse_edge_cases () =
+  (* a colon without a numeric port is neither TCP nor a sane path *)
+  (match Cs_svc.Transport.parse "host:" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing colon with no port must error");
+  (match Cs_svc.Transport.parse "host:-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative port must error");
+  (* the LAST colon splits host from port, so colon-bearing hosts work *)
+  (match Cs_svc.Transport.parse "::1:7100" with
+  | Ok (Cs_svc.Transport.Tcp { host = "::1"; port = 7100 }) -> ()
+  | _ -> Alcotest.fail "IPv6-ish host should split on the last colon");
+  (* surrounding whitespace is operator noise, not address *)
+  (match Cs_svc.Transport.parse "  127.0.0.1:7100  " with
+  | Ok (Cs_svc.Transport.Tcp { host = "127.0.0.1"; port = 7100 }) -> ()
+  | _ -> Alcotest.fail "whitespace should be trimmed");
+  (match Cs_svc.Transport.parse "   " with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "all-whitespace address must error")
+
+let test_transport_port_zero_resolves () =
+  (* port 0 asks the kernel for an ephemeral port; bound_addr must
+     report the real one so clients can actually connect *)
+  let addr = Cs_svc.Transport.parse_exn "127.0.0.1:0" in
+  let fd = Cs_svc.Transport.listen addr in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      match Cs_svc.Transport.bound_addr fd addr with
+      | Cs_svc.Transport.Tcp { port; _ } ->
+        Alcotest.(check bool) "kernel-assigned port" true (port > 0)
+      | Cs_svc.Transport.Unix_path _ -> Alcotest.fail "TCP bind stayed TCP")
+
 (* --- protocol ------------------------------------------------------ *)
 
 let test_proto_request_roundtrip () =
@@ -364,6 +435,49 @@ let test_proto_reply_roundtrip () =
   | Ok r when r = refused -> ()
   | Ok _ -> Alcotest.fail "refused reply mutated in roundtrip"
   | Error e -> Alcotest.failf "refused roundtrip failed: %s" e
+
+let test_proto_idem_key_roundtrip () =
+  let r = Cs_svc.Proto.request ~id:"j1" ~idem_key:"retry-abc" "fir" in
+  (match Cs_svc.Proto.request_of_line (Cs_svc.Proto.request_to_line r) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check (option string)) "idem_key survives the wire"
+      (Some "retry-abc") r'.Cs_svc.Proto.idem_key);
+  match
+    Cs_svc.Proto.request_of_line
+      (Cs_svc.Proto.request_to_line (Cs_svc.Proto.request ~id:"j2" "fir"))
+  with
+  | Error e -> Alcotest.failf "keyless roundtrip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check (option string)) "absent key stays absent" None
+      r'.Cs_svc.Proto.idem_key
+
+let test_proto_heartbeat_roundtrip () =
+  let hb =
+    { Cs_svc.Proto.hb_shard = "127.0.0.1:7040"; hb_depth = 3; hb_busy = 2;
+      hb_workers = 4; hb_completed = 99 }
+  in
+  (match Cs_svc.Proto.incoming_of_line (Cs_svc.Proto.heartbeat_line hb) with
+  | Ok (Cs_svc.Proto.Heartbeat hb') ->
+    Alcotest.(check string) "shard" hb.Cs_svc.Proto.hb_shard hb'.Cs_svc.Proto.hb_shard;
+    Alcotest.(check int) "depth" hb.Cs_svc.Proto.hb_depth hb'.Cs_svc.Proto.hb_depth;
+    Alcotest.(check int) "busy" hb.Cs_svc.Proto.hb_busy hb'.Cs_svc.Proto.hb_busy;
+    Alcotest.(check int) "workers" hb.Cs_svc.Proto.hb_workers
+      hb'.Cs_svc.Proto.hb_workers;
+    Alcotest.(check int) "completed" hb.Cs_svc.Proto.hb_completed
+      hb'.Cs_svc.Proto.hb_completed
+  | Ok _ -> Alcotest.fail "heartbeat line classified as something else"
+  | Error e -> Alcotest.failf "heartbeat roundtrip failed: %s" e);
+  (* forward compat: load-vector fields are optional, the shard name is not *)
+  (match
+     Cs_svc.Proto.incoming_of_line "{\"op\":\"heartbeat\",\"shard\":\"s1\"}"
+   with
+  | Ok (Cs_svc.Proto.Heartbeat hb') ->
+    Alcotest.(check int) "missing depth defaults to 0" 0 hb'.Cs_svc.Proto.hb_depth
+  | _ -> Alcotest.fail "minimal heartbeat should parse");
+  match Cs_svc.Proto.incoming_of_line "{\"op\":\"heartbeat\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "heartbeat without a shard name must be rejected"
 
 let test_proto_malformed_line () =
   (match Cs_svc.Proto.request_of_line "{not json" with
@@ -585,11 +699,20 @@ let () =
         [
           Alcotest.test_case "bounds and order" `Quick test_squeue_bounds_and_order;
           Alcotest.test_case "concurrent" `Quick test_squeue_concurrent_producers_consumers;
+          Alcotest.test_case "exact-capacity shed under racing producers" `Quick
+            test_squeue_sheds_at_exact_capacity_concurrently;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "parse edge cases" `Quick test_transport_parse_edge_cases;
+          Alcotest.test_case "port 0 resolves" `Quick test_transport_port_zero_resolves;
         ] );
       ( "proto",
         [
           Alcotest.test_case "request roundtrip" `Quick test_proto_request_roundtrip;
           Alcotest.test_case "reply roundtrip" `Quick test_proto_reply_roundtrip;
+          Alcotest.test_case "idem key roundtrip" `Quick test_proto_idem_key_roundtrip;
+          Alcotest.test_case "heartbeat roundtrip" `Quick test_proto_heartbeat_roundtrip;
           Alcotest.test_case "malformed rejected" `Quick test_proto_malformed_line;
         ] );
       ( "job",

@@ -244,6 +244,175 @@ let test_bitset_clear () =
   Cs_util.Bitset.clear s;
   check_int "cleared" 0 (Cs_util.Bitset.cardinal s)
 
+(* --- Wal --- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "cs_wal_%s_%d_%d" name (Unix.getpid ()) !n)
+    in
+    (* a stale dir from a killed earlier run must not leak records in *)
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    dir
+
+let last_segment dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".log")
+  |> List.sort compare |> List.rev |> List.hd |> Filename.concat dir
+
+let test_wal_roundtrip () =
+  let dir = fresh_dir "roundtrip" in
+  let wal, rec0 = Cs_util.Wal.open_dir ~dir () in
+  check_int "fresh log has no records" 0 (List.length rec0.Cs_util.Wal.records);
+  let payloads = [ "alpha"; ""; "with\nnewline"; String.make 4096 'x' ] in
+  List.iter (Cs_util.Wal.append wal) payloads;
+  Cs_util.Wal.sync wal;
+  Cs_util.Wal.append_sync wal "tail";
+  Cs_util.Wal.close wal;
+  let wal2, rec1 = Cs_util.Wal.open_dir ~dir () in
+  Alcotest.(check (list string))
+    "records recovered in append order" (payloads @ [ "tail" ])
+    rec1.Cs_util.Wal.records;
+  check_int "clean log truncates nothing" 0 rec1.Cs_util.Wal.truncated_bytes;
+  Cs_util.Wal.close wal2
+
+let test_wal_torn_tail_truncated () =
+  let dir = fresh_dir "torn" in
+  let wal, _ = Cs_util.Wal.open_dir ~dir () in
+  Cs_util.Wal.append_sync wal "keep-1";
+  Cs_util.Wal.append_sync wal "keep-2";
+  Cs_util.Wal.close wal;
+  (* simulate a crash mid-append: garbage after the last whole record *)
+  let seg = last_segment dir in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 seg in
+  output_string oc "CSW1\x40\x00\x00\x00torn";
+  close_out oc;
+  let wal2, recov = Cs_util.Wal.open_dir ~dir () in
+  Alcotest.(check (list string))
+    "whole records survive" [ "keep-1"; "keep-2" ] recov.Cs_util.Wal.records;
+  check_bool "tear measured" true (recov.Cs_util.Wal.truncated_bytes > 0);
+  (* the log must be writable again, and the truncation durable *)
+  Cs_util.Wal.append_sync wal2 "after-recovery";
+  Cs_util.Wal.close wal2;
+  let wal3, recov2 = Cs_util.Wal.open_dir ~dir () in
+  Alcotest.(check (list string))
+    "recovered log appends cleanly"
+    [ "keep-1"; "keep-2"; "after-recovery" ]
+    recov2.Cs_util.Wal.records;
+  check_int "second scan is clean" 0 recov2.Cs_util.Wal.truncated_bytes;
+  Cs_util.Wal.close wal3
+
+let test_wal_corrupt_record_cuts_suffix () =
+  let dir = fresh_dir "corrupt" in
+  let wal, _ = Cs_util.Wal.open_dir ~dir () in
+  Cs_util.Wal.append_sync wal "good";
+  Cs_util.Wal.append_sync wal "to-be-damaged";
+  Cs_util.Wal.append_sync wal "doomed-suffix";
+  Cs_util.Wal.close wal;
+  (* flip one payload byte inside the middle record: its CRC fails, and
+     everything after the first bad record is untrustworthy *)
+  let seg = last_segment dir in
+  let fd = Unix.openfile seg [ Unix.O_WRONLY ] 0o644 in
+  let off = 12 + 4 + 12 + 2 (* rec1 frame+payload, rec2 header, 2 into payload *) in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "X") 0 1);
+  Unix.close fd;
+  let wal2, recov = Cs_util.Wal.open_dir ~dir () in
+  Alcotest.(check (list string))
+    "prefix up to the first bad record" [ "good" ] recov.Cs_util.Wal.records;
+  check_bool "bad suffix counted" true (recov.Cs_util.Wal.truncated_bytes > 0);
+  Cs_util.Wal.close wal2
+
+let test_wal_rotation_and_reset () =
+  let dir = fresh_dir "rotate" in
+  let wal, _ = Cs_util.Wal.open_dir ~segment_bytes:64 ~dir () in
+  for i = 1 to 12 do
+    Cs_util.Wal.append_sync wal (Printf.sprintf "record-%02d" i)
+  done;
+  Cs_util.Wal.close wal;
+  let n_segments =
+    Array.length
+      (Array.of_list
+         (List.filter
+            (fun n -> Filename.check_suffix n ".log")
+            (Array.to_list (Sys.readdir dir))))
+  in
+  check_bool "rotated into multiple segments" true (n_segments > 1);
+  let wal2, recov = Cs_util.Wal.open_dir ~segment_bytes:64 ~dir () in
+  check_int "all records span segments" 12 (List.length recov.Cs_util.Wal.records);
+  check_int "segments reported" n_segments recov.Cs_util.Wal.segments;
+  Cs_util.Wal.reset wal2;
+  check_int "reset empties the log" 0 (Cs_util.Wal.size_bytes wal2);
+  Cs_util.Wal.close wal2;
+  let wal3, recov3 = Cs_util.Wal.open_dir ~dir () in
+  check_int "nothing to recover after reset" 0
+    (List.length recov3.Cs_util.Wal.records);
+  Cs_util.Wal.close wal3
+
+let test_wal_group_commit_concurrent () =
+  let dir = fresh_dir "group" in
+  let wal, _ = Cs_util.Wal.open_dir ~dir () in
+  let per_domain = 50 in
+  let writers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Cs_util.Wal.append_sync wal (Printf.sprintf "d%d-%03d" d i)
+            done))
+  in
+  List.iter Domain.join writers;
+  Cs_util.Wal.close wal;
+  let wal2, recov = Cs_util.Wal.open_dir ~dir () in
+  check_int "every concurrent append durable" (4 * per_domain)
+    (List.length recov.Cs_util.Wal.records);
+  (* per-writer record order must be preserved even across batches *)
+  List.iteri
+    (fun d _ ->
+      let prefix = Printf.sprintf "d%d-" d in
+      let mine =
+        List.filter
+          (fun r -> String.length r > 3 && String.sub r 0 3 = prefix)
+          recov.Cs_util.Wal.records
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "writer %d in order" d)
+        (List.init per_domain (fun i -> Printf.sprintf "%s%03d" prefix i))
+        mine)
+    [ 0; 1; 2; 3 ];
+  Cs_util.Wal.close wal2
+
+(* --- Fsio --- *)
+
+let test_fsio_sweeps_orphan_temps () =
+  let dir = fresh_dir "fsio" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir "artifact.json" in
+  (* orphans from writers that crashed between create and rename *)
+  let orphan1 = path ^ ".tmp.999999" and orphan2 = path ^ ".tmp.4242" in
+  List.iter
+    (fun p ->
+      let oc = open_out p in
+      output_string oc "half-written";
+      close_out oc)
+    [ orphan1; orphan2 ];
+  Cs_util.Fsio.write_atomic ~path "fresh contents";
+  Alcotest.(check (option string))
+    "write lands" (Some "fresh contents") (Cs_util.Fsio.read_opt path);
+  check_bool "orphan 1 swept" false (Sys.file_exists orphan1);
+  check_bool "orphan 2 swept" false (Sys.file_exists orphan2);
+  (* non-temp siblings must survive the sweep *)
+  let sibling = Filename.concat dir "artifact.json.bak" in
+  let oc = open_out sibling in
+  output_string oc "keep";
+  close_out oc;
+  Cs_util.Fsio.write_atomic ~path "again";
+  check_bool "unrelated sibling untouched" true (Sys.file_exists sibling)
+
 let () =
   Alcotest.run "cs_util"
     [
@@ -305,4 +474,16 @@ let () =
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
           Alcotest.test_case "clear" `Quick test_bitset_clear;
         ] );
+      ( "wal",
+        [
+          Alcotest.test_case "append/recover roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn tail truncated" `Quick test_wal_torn_tail_truncated;
+          Alcotest.test_case "corrupt record cuts suffix" `Quick
+            test_wal_corrupt_record_cuts_suffix;
+          Alcotest.test_case "rotation + reset" `Quick test_wal_rotation_and_reset;
+          Alcotest.test_case "concurrent group commit" `Quick
+            test_wal_group_commit_concurrent;
+        ] );
+      ( "fsio",
+        [ Alcotest.test_case "orphan temp sweep" `Quick test_fsio_sweeps_orphan_temps ] );
     ]
