@@ -32,6 +32,7 @@ let experiments =
     ("obs", "observability: sink + metrics throughput, telemetry overhead (extension)", Exp_obs.obs);
     ("micro", "bechamel micro-benchmarks", Exp_micro.micro);
     ("kernels", "flat vs legacy weight-matrix kernels, rows/sec per pass (extension)", Exp_kernels.kernels);
+    ("serve", "overload: work-stealing lanes, fair admission, brownout (extension)", Exp_serve.serve);
   ]
 
 let print_sequences () =

@@ -1269,8 +1269,51 @@ let serve_cmd =
             "Shard name carried on heartbeats — must match the address the gateway was \
              configured with for this shard; defaults to the bound address.")
   in
+  let no_lanes_arg =
+    Arg.(
+      value & flag
+      & info [ "no-lanes" ]
+          ~doc:
+            "Use the legacy single-queue engine instead of fair admission + \
+             work-stealing lanes (the benchmark baseline).")
+  in
+  let split_threshold_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "split-threshold" ] ~docv:"SCALE"
+          ~doc:
+            "Split jobs whose scale exceeds $(docv) into stealable parts (lanes \
+             engine only); 0 disables splitting.")
+  in
+  let tenant_quota_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "tenant-quota" ] ~docv:"N"
+          ~doc:
+            "Max queued jobs per tenant; a tenant over its quota gets a typed \
+             quota-exceeded refusal while others are unaffected. 0 = no bound \
+             tighter than --queue.")
+  in
+  let batch_share_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "batch-share" ] ~docv:"N"
+          ~doc:
+            "Guarantee the batch lane one admission pull in every $(docv) even under \
+             interactive pressure.")
+  in
+  let brownout_flag_arg =
+    Arg.(
+      value & flag
+      & info [ "brownout" ]
+          ~doc:
+            "Enable brownout degradation: when queue-wait burn crosses the watermark, \
+             progressively tighten effective pass budgets (anytime best-so-far) \
+             before shedding, recovering hysteretically.")
+  in
   let run socket listen workers queue default_deadline_ms pass_budget_ms chaos_slow_ms
-      retries heartbeat heartbeat_period_ms advertise trace_out jsonl =
+      retries heartbeat heartbeat_period_ms advertise no_lanes split_threshold
+      tenant_quota batch_share brownout trace_out jsonl =
     if workers <= 0 || queue <= 0 then begin
       Printf.eprintf "serve: --workers and --queue must be positive\n";
       exit 1
@@ -1288,6 +1331,10 @@ let serve_cmd =
           ?chaos_slow_ms ?retry ?heartbeat
           ~heartbeat_period_s:(heartbeat_period_ms /. 1000.0)
           ?advertise
+          ~engine:
+            (if no_lanes then Cs_svc.Server.Single_queue else Cs_svc.Server.Lanes)
+          ~split_threshold ~tenant_quota ~batch_share
+          ?brownout:(if brownout then Some Cs_svc.Brownout.default else None)
           (Cs_svc.Transport.to_string addr)
       with Invalid_argument msg ->
         Printf.eprintf "serve: %s\n" msg;
@@ -1317,7 +1364,9 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ listen_arg $ workers_arg $ queue_arg $ default_deadline_arg
       $ pass_budget_arg $ chaos_slow_arg $ retries_arg $ heartbeat_arg
-      $ heartbeat_period_arg $ advertise_arg $ trace_out_arg $ jsonl_arg)
+      $ heartbeat_period_arg $ advertise_arg $ no_lanes_arg $ split_threshold_arg
+      $ tenant_quota_arg $ batch_share_arg $ brownout_flag_arg $ trace_out_arg
+      $ jsonl_arg)
 
 let gateway_cmd =
   let doc =
@@ -1501,10 +1550,31 @@ let submit_cmd =
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-read socket timeout.")
   in
   let strict_arg =
-    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero if any job was refused.")
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit non-zero if any job in the batch was shed or refused, not only on \
+             transport errors.")
+  in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Tenant name sent with each job (fair-admission accounting).")
+  in
+  let class_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "class" ] ~docv:"CLASS"
+          ~doc:
+            "Priority class sent with each job: $(b,interactive) or $(b,batch) \
+             (default: derived from the deadline).")
   in
   let run socket connect bench_spec machine scheduler scale deadline_ms repeat jobs_file
-      timeout strict =
+      timeout strict tenant job_class =
     let from_flags () =
       match bench_spec with
       | None ->
@@ -1519,7 +1589,7 @@ let submit_cmd =
             List.init (max 1 repeat) (fun i ->
                 Cs_svc.Proto.request
                   ~id:(Printf.sprintf "%s-%d" bench i)
-                  ~machine ~scheduler ~scale ?deadline_ms bench))
+                  ~machine ~scheduler ~scale ?deadline_ms ?tenant ?job_class bench))
           benches
     in
     let requests =
@@ -1576,32 +1646,42 @@ let submit_cmd =
       Printf.eprintf "submit: %s\n" msg;
       exit 1
     | Ok replies ->
-      let refused =
-        List.length
-          (List.filter
-             (fun r ->
-               match r.Cs_svc.Proto.verdict with
-               | Cs_svc.Proto.Refused _ -> true
-               | _ -> false)
-             replies)
+      (* Sheds are refusals too ([overloaded] / [quota-exceeded]); count
+         them out separately so a --strict failure is attributable at a
+         glance, and so the exit code provably covers both. *)
+      let refused, shed =
+        List.fold_left
+          (fun (refused, shed) (r : Cs_svc.Proto.reply) ->
+            match r.Cs_svc.Proto.verdict with
+            | Cs_svc.Proto.Refused { kind; _ }
+              when kind = "overloaded" || kind = "quota-exceeded" ->
+              (refused + 1, shed + 1)
+            | Cs_svc.Proto.Refused _ -> (refused + 1, shed)
+            | Cs_svc.Proto.Scheduled _ -> (refused, shed))
+          (0, 0) replies
       in
-      Printf.printf "%d job%s: %d scheduled, %d refused\n" (List.length replies)
+      Printf.printf "%d job%s: %d scheduled, %d refused (%d shed)\n"
+        (List.length replies)
         (if List.length replies = 1 then "" else "s")
         (List.length replies - refused)
-        refused;
+        refused shed;
       if List.length replies <> List.length requests then begin
         Printf.eprintf "submit: %d request%s went unanswered\n"
           (List.length requests - List.length replies)
           (if List.length requests - List.length replies = 1 then "" else "s");
         exit 1
       end;
-      if strict && refused > 0 then exit 1
+      if strict && refused > 0 then begin
+        Printf.eprintf "submit: --strict: %d of %d jobs shed or refused\n" refused
+          (List.length replies);
+        exit 1
+      end
   in
   Cmd.v (Cmd.info "submit" ~doc)
     Term.(
       const run $ socket_arg $ connect_arg $ bench_list_arg $ machine_name_arg
       $ scheduler_name_arg $ scale_arg $ deadline_arg $ repeat_arg $ jobs_file_arg
-      $ timeout_arg $ strict_arg)
+      $ timeout_arg $ strict_arg $ tenant_arg $ class_arg)
 
 let metrics_cmd =
   let doc =
@@ -1772,6 +1852,40 @@ let top_cmd =
       if dh + dm > 0 then
         Printf.printf "slo: %d/%d deadlines met; burn %s (60s) %s (300s)\n"
           dh (dh + dm) (burn "60s") (burn "300s");
+      (* Per-tenant fairness view: fold csched_tenant_jobs_total by its
+         tenant/outcome labels into one row per tenant. *)
+      let tenants = Hashtbl.create 8 in
+      ignore
+        (M.fold_name fleet "csched_tenant_jobs_total" ~init:()
+           ~f:(fun () key e ->
+             match e with
+             | M.Counter_v n ->
+               let label k = Option.value ~default:"?" (List.assoc_opt k key.M.labels) in
+               let tenant = label "tenant" in
+               let adm, don, shd, quo =
+                 Option.value ~default:(0, 0, 0, 0) (Hashtbl.find_opt tenants tenant)
+               in
+               Hashtbl.replace tenants tenant
+                 (match label "outcome" with
+                 | "admitted" -> (adm + n, don, shd, quo)
+                 | "completed" -> (adm, don + n, shd, quo)
+                 | "shed" -> (adm, don, shd + n, quo)
+                 | "quota" -> (adm, don, shd, quo + n)
+                 | _ -> (adm, don, shd, quo))
+             | _ -> ()));
+      if Hashtbl.length tenants > 0 then begin
+        let ttable =
+          Cs_util.Table.create
+            ~header:[ "tenant"; "admitted"; "done"; "shed"; "quota" ]
+        in
+        Hashtbl.fold (fun tenant row acc -> (tenant, row) :: acc) tenants []
+        |> List.sort compare
+        |> List.iter (fun (tenant, (adm, don, shd, quo)) ->
+               Cs_util.Table.add_row ttable
+                 [ tenant; string_of_int adm; string_of_int don;
+                   string_of_int shd; string_of_int quo ]);
+        Cs_util.Table.print ttable
+      end;
       Printf.printf "%!"
     in
     let rec loop i =

@@ -86,3 +86,22 @@ let stats t =
   locked t (fun () ->
       { hits = t.hits; misses = t.misses; evictions = t.evictions;
         size = Hashtbl.length t.table; capacity = t.capacity })
+
+(* Walk from the MRU end so the hottest entries come first — the
+   slice worth replaying to a cold shard or shipping to a peer
+   gateway. *)
+let export t ~n =
+  locked t (fun () ->
+      let rec go acc k node =
+        if k = 0 then acc
+        else
+          match node with
+          | None -> acc
+          | Some nd -> go ((nd.key, nd.value) :: acc) (k - 1) nd.next
+      in
+      List.rev (go [] (max 0 n) t.mru))
+
+(* Insert coldest-first so the list's head ends up most-recently-used,
+   preserving the exporter's recency order. *)
+let import t entries =
+  List.iter (fun (key, value) -> put t key value) (List.rev entries)

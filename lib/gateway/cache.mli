@@ -28,3 +28,13 @@ val put : 'a t -> string -> 'a -> unit
     capacity. *)
 
 val stats : 'a t -> stats
+
+val export : 'a t -> n:int -> (string * 'a) list
+(** The [n] most-recently-used entries, hottest first — the working
+    set worth replaying to a re-admitted shard (warm-up) or shipping
+    to a peer gateway. Does not perturb recency or hit counters. *)
+
+val import : 'a t -> (string * 'a) list -> unit
+(** Install an {!export}ed slice, preserving its recency order (the
+    list's head ends most-recently-used). Existing keys are
+    refreshed; normal eviction applies. *)

@@ -20,13 +20,16 @@ type config = {
   shed_watermark : float;
   journal_lag_limit : int;
   breaker : Breaker.settings;
+  warmup_s : float;
+  warm_entries : int;
 }
 
 let config ?(policy = Policy.Hash) ?(cache_capacity = 256) ?(vnodes = 64)
     ?(forwarders = 4) ?(queue_capacity = 64) ?(probe_period_s = 1.0)
     ?(fail_threshold = 3) ?(shard_timeout_s = 30.0) ?journal_dir
     ?(recover = false) ?(shed_watermark = 0.85) ?(journal_lag_limit = 512)
-    ?(breaker = Breaker.default_settings) ~shards listen =
+    ?(breaker = Breaker.default_settings) ?(warmup_s = 5.0)
+    ?(warm_entries = 16) ~shards listen =
   if shards = [] then invalid_arg "Gateway.config: at least one shard required";
   if forwarders <= 0 then invalid_arg "Gateway.config: forwarders must be positive";
   if not (shed_watermark > 0.0 && shed_watermark <= 1.0) then
@@ -35,7 +38,7 @@ let config ?(policy = Policy.Hash) ?(cache_capacity = 256) ?(vnodes = 64)
     shards = List.map Transport.parse_exn shards;
     policy; cache_capacity; vnodes; forwarders; queue_capacity; probe_period_s;
     fail_threshold; shard_timeout_s; journal_dir; recover; shed_watermark;
-    journal_lag_limit; breaker }
+    journal_lag_limit; breaker; warmup_s; warm_entries }
 
 (* One backend shard and the load signals gossiped back from it. *)
 type shard = {
@@ -44,6 +47,11 @@ type shard = {
   depth : int Atomic.t;  (* last gossiped admission-queue depth *)
   ewma_bits : int64 Atomic.t;  (* Int64 bits of the service-time EWMA, ms *)
   last_hb_bits : int64 Atomic.t;  (* Clock.now of the last push heartbeat *)
+  needs_warm : bool Atomic.t;
+      (* set on a health transition back to healthy; the prober performs
+         the warm-up replay and clears it *)
+  warm_start_bits : int64 Atomic.t;
+      (* Clock.now when the admission ramp started; 0 = not warming *)
 }
 
 let shard_last_hb sh = Int64.float_of_bits (Atomic.get sh.last_hb_bits)
@@ -76,6 +84,12 @@ type conn = {
 
 type work = { request : Proto.request; on : conn; arrival : float }
 
+(* Cache entries carry the request alongside the reply: the reply
+   answers repeat traffic, the request is what gets replayed to a
+   re-admitted shard so it warms up on the live working set instead of
+   taking full traffic on a cold start. *)
+type centry = { creq : Proto.request; crep : Proto.reply }
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
@@ -83,7 +97,7 @@ type t = {
   ring : Ring.t;
   health : Health.t;
   breaker : Breaker.t;
-  cache : Proto.reply Cache.t;
+  cache : centry Cache.t;
   journal : Journal.t option;
   shards : shard list;
   queue : work Squeue.t;
@@ -104,6 +118,8 @@ type t = {
   m_admission_shed : Metrics.counter;
   m_heartbeats : Metrics.counter;
   m_breaker_open : Metrics.gauge;
+  m_warm_replays : Metrics.counter;
+  m_warming : Metrics.gauge;
   n_busy : int Atomic.t;
   last_evictions : int Atomic.t; (* Cache.stats watermark already counted *)
 }
@@ -139,7 +155,9 @@ let create (cfg : config) =
       (fun saddr ->
         { sname = Transport.to_string saddr; saddr;
           depth = Atomic.make 0; ewma_bits = Atomic.make (Int64.bits_of_float 0.0);
-          last_hb_bits = Atomic.make (Int64.bits_of_float 0.0) })
+          last_hb_bits = Atomic.make (Int64.bits_of_float 0.0);
+          needs_warm = Atomic.make false;
+          warm_start_bits = Atomic.make 0L })
       cfg.shards
   in
   let names = List.map (fun s -> s.sname) shards in
@@ -151,7 +169,14 @@ let create (cfg : config) =
   let on_transition ~shard ~to_ =
     Metrics.incr
       (counter ~labels:[ ("shard", shard); ("to", to_) ]
-         ~help:"Shard health-state transitions" "csched_health_transitions_total")
+         ~help:"Shard health-state transitions" "csched_health_transitions_total");
+    (* A shard coming back is cache-cold: flag it for the warm-up
+       replay + admission ramp. Flag only — this callback runs with the
+       health lock held, so the prober does the actual work. *)
+    if to_ = "healthy" then
+      List.iter
+        (fun sh -> if sh.sname = shard then Atomic.set sh.needs_warm true)
+        shards
   in
   let on_breaker_transition ~shard ~to_ =
     Metrics.incr
@@ -202,6 +227,11 @@ let create (cfg : config) =
         "csched_heartbeats_total";
     m_breaker_open = gauge ~help:"Shards with a tripped circuit breaker"
         "csched_breaker_open";
+    m_warm_replays = counter
+        ~help:"Cache entries replayed to re-admitted shards for warm-up"
+        "csched_gateway_warm_replays_total";
+    m_warming = gauge ~help:"Shards currently inside their admission ramp"
+        "csched_gateway_warming_shards";
     n_busy = Atomic.make 0; last_evictions = Atomic.make 0 }
 
 let address t = t.bound
@@ -209,6 +239,27 @@ let meters t = t.meters
 
 let alive_count t =
   List.length (Health.alive t.health (List.map (fun sh -> sh.sname) t.shards))
+
+(* Admission-ramp position for a warming shard: 0 just re-admitted,
+   1 fully ramped. Lazily clears the warming flag once the ramp
+   completes, so the hot path stays lock-free. *)
+let warm_frac t sh =
+  let bits = Atomic.get sh.warm_start_bits in
+  if bits = 0L then 1.0
+  else begin
+    let frac =
+      (Cs_obs.Clock.now () -. Int64.float_of_bits bits)
+      /. Float.max 1e-9 t.cfg.warmup_s
+    in
+    if frac >= 1.0 then begin
+      ignore (Atomic.compare_and_set sh.warm_start_bits bits 0L);
+      1.0
+    end
+    else Float.max 0.0 frac
+  end
+
+let warming_count t =
+  List.length (List.filter (fun sh -> warm_frac t sh < 1.0) t.shards)
 
 (* Mirror live values into registry gauges so snapshots carry them. *)
 let sync_gauges t =
@@ -219,6 +270,7 @@ let sync_gauges t =
   Metrics.set t.m_journal_pending
     (float_of_int (match t.journal with Some j -> Journal.lag j | None -> 0));
   Metrics.set t.m_breaker_open (float_of_int (Breaker.open_count t.breaker));
+  Metrics.set t.m_warming (float_of_int (warming_count t));
   List.iter
     (fun sh ->
       Metrics.set (shard_depth_gauge t sh.sname) (float_of_int (Atomic.get sh.depth));
@@ -260,6 +312,7 @@ type stats = {
   admission_shed : int;
   heartbeats : int;
   breaker_open : int;
+  warm_replays : int;
 }
 
 let stats t =
@@ -282,7 +335,8 @@ let stats t =
     journal_pending = (match t.journal with Some j -> Journal.lag j | None -> 0);
     admission_shed = Metrics.counter_value t.m_admission_shed;
     heartbeats = Metrics.counter_value t.m_heartbeats;
-    breaker_open = Breaker.open_count t.breaker }
+    breaker_open = Breaker.open_count t.breaker;
+    warm_replays = Metrics.counter_value t.m_warm_replays }
 
 let shard_states t =
   List.map (fun sh -> (sh.sname, Health.state t.health sh.sname)) t.shards
@@ -313,7 +367,9 @@ let server_stats t =
         ("journal_pending", float_of_int s.journal_pending);
         ("admission_shed", float_of_int s.admission_shed);
         ("heartbeats", float_of_int s.heartbeats);
-        ("breaker_open", float_of_int s.breaker_open) ] }
+        ("breaker_open", float_of_int s.breaker_open);
+        ("warm_replays", float_of_int s.warm_replays);
+        ("warming_shards", float_of_int (warming_count t)) ] }
 
 (* --- wire plumbing (mirrors Cs_svc.Server) ------------------------- *)
 
@@ -432,10 +488,26 @@ let shard_by_name t name = List.find (fun sh -> sh.sname = name) t.shards
    counter while failing half its calls). *)
 let dispatch t (r : Proto.request) ~key =
   let usable = Health.alive t.health (List.map (fun sh -> sh.sname) t.shards) in
+  let khash = Cs_core.Scenario.fnv1a key in
   let order =
-    Policy.order t.cfg.policy ~ring:t.ring
-      ~key:(Cs_core.Scenario.fnv1a key)
+    Policy.order t.cfg.policy ~ring:t.ring ~key:khash
       ~deadline_ms:r.Proto.deadline_ms (views t usable)
+  in
+  (* Admission ramp: a warming shard serves only a deterministic,
+     growing slice of the keyspace — demoted (not removed) for the
+     rest, so it still catches jobs no other shard can take. The slice
+     is keyed on the scenario hash, so a given scenario flips from
+     "elsewhere" to "warming shard" exactly once during the ramp. *)
+  let order =
+    let full, ramped =
+      List.partition
+        (fun name ->
+          let frac = warm_frac t (shard_by_name t name) in
+          frac >= 1.0
+          || Int64.to_int khash land 1023 < int_of_float (frac *. 1024.0))
+        order
+    in
+    full @ ramped
   in
   let breaker_skips = ref 0 in
   let rec walk ~replaying ~last_overload = function
@@ -549,7 +621,7 @@ let handle_job t (r : Proto.request) ~arrival ~send =
           cached = true }
     | None ->
       (match Cache.find t.cache key with
-      | Some cached ->
+      | Some { crep = cached; _ } ->
         Metrics.incr t.m_cache_hits;
         Cs_obs.Obs.instant ~cat:"gateway" ~args:job_args "gateway:cache-hit";
         answer
@@ -568,7 +640,7 @@ let handle_job t (r : Proto.request) ~arrival ~send =
         in
         Option.iter (fun j -> Journal.mark_done j ~key:jkey reply) t.journal;
         if cacheable reply then begin
-          Cache.put t.cache key reply;
+          Cache.put t.cache key { creq = r; crep = reply };
           note_evictions t
         end;
         answer reply))
@@ -643,6 +715,40 @@ let prober t () =
       Health.note_ok t.health sh.sname
     | Error _ -> Health.note_failure t.health sh.sname
   in
+  (* Warm-up replay for a shard just re-admitted by health: start its
+     admission ramp, then feed it the hottest cached scenarios as
+     batch-class jobs (no deadline, no idempotency key — these are
+     throwaway warmers, not client traffic). Runs inline on the prober
+     domain; the ramp in [dispatch] keeps real traffic mostly elsewhere
+     while this drains. *)
+  let warm sh =
+    if Atomic.exchange sh.needs_warm false then begin
+      Atomic.set sh.warm_start_bits (Int64.bits_of_float (Cs_obs.Clock.now ()));
+      let entries = Cache.export t.cache ~n:t.cfg.warm_entries in
+      Cs_obs.Obs.instant ~cat:"gateway"
+        ~args:
+          [ ("shard", Cs_obs.Obs.Str sh.sname);
+            ("entries", Cs_obs.Obs.Int (List.length entries)) ]
+        "gateway:warm-replay";
+      List.iter
+        (fun (_, e) ->
+          if not (Atomic.get t.stopping) then
+            let r =
+              { e.creq with
+                Proto.id = e.creq.Proto.id ^ "#warm";
+                deadline_ms = None;
+                idem_key = None;
+                job_class = Some "batch" }
+            in
+            match
+              Cs_svc.Client.submit ~timeout_s:t.cfg.shard_timeout_s
+                ~addr:sh.saddr [ r ]
+            with
+            | Ok _ -> Metrics.incr t.m_warm_replays
+            | Error _ -> ())
+        entries
+    end
+  in
   let rec sleep_ticks remaining =
     if remaining > 0.0 && not (Atomic.get t.stopping) then begin
       let tick = Float.min 0.05 remaining in
@@ -656,7 +762,8 @@ let prober t () =
         (fun sh ->
           if not (Atomic.get t.stopping) then
             if Health.usable t.health sh.sname then begin
-              if not (hb_fresh sh) then probe sh
+              if not (hb_fresh sh) then probe sh;
+              warm sh
             end
             else if Health.probe_due t.health sh.sname then probe sh)
         t.shards;

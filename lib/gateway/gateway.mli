@@ -19,7 +19,12 @@
     + feeds the load-aware policies from queue-depth gossip piggybacked
       on every shard reply, refreshed between jobs by a background
       prober that pings every shard each [probe_period_s] (the same
-      probe re-admits dead shards after their {!Health} backoff).
+      probe re-admits dead shards after their {!Health} backoff);
+    + warms re-admitted shards instead of dropping them straight into
+      full traffic: the hottest [warm_entries] cached scenarios are
+      replayed to the shard as batch-class jobs, and for [warmup_s]
+      seconds the shard serves only a linearly growing slice of the
+      keyspace (it remains the fallback of last resort throughout).
 
     Control verbs ([ping] / [stats]) are answered inline by the gateway
     itself; the stats pong carries fleet-level counters (cache hits,
@@ -48,6 +53,13 @@ type config = {
   journal_lag_limit : int;
       (** shed when this many journaled jobs are in flight *)
   breaker : Breaker.settings;  (** per-shard circuit breakers *)
+  warmup_s : float;
+      (** admission-ramp length for a re-admitted shard: it serves a
+          linearly growing slice of the keyspace over this many seconds
+          instead of full traffic on a cold cache *)
+  warm_entries : int;
+      (** hottest cache entries replayed (as batch-class jobs) to a
+          re-admitted shard before the ramp fills *)
 }
 
 val config :
@@ -64,6 +76,8 @@ val config :
   ?shed_watermark:float ->
   ?journal_lag_limit:int ->
   ?breaker:Breaker.settings ->
+  ?warmup_s:float ->
+  ?warm_entries:int ->
   shards:string list ->
   string ->
   config
@@ -71,8 +85,9 @@ val config :
     grammar. Defaults: hash policy, 256-entry cache, 64 vnodes,
     4 forwarders, queue 64, 1 s probe period, threshold 3, 30 s shard
     timeout, no journal, watermark 0.85, lag limit 512, default
-    breaker settings. Raises [Invalid_argument] on a bad address or an
-    empty shard list. *)
+    breaker settings, 5 s warm-up ramp replaying 16 cache entries.
+    Raises [Invalid_argument] on a bad address or an empty shard
+    list. *)
 
 type t
 
@@ -107,6 +122,8 @@ type stats = {
   admission_shed : int;  (** sheds by the adaptive admission watermark *)
   heartbeats : int;  (** push heartbeats received from shards *)
   breaker_open : int;  (** shards with a tripped circuit breaker *)
+  warm_replays : int;
+      (** cache entries replayed to re-admitted shards for warm-up *)
 }
 
 val stats : t -> stats

@@ -8,6 +8,7 @@ type t =
   | Pass_timeout of string
   | Deadline_exceeded of string
   | Overloaded of string
+  | Quota_exceeded of string
 
 exception Error of t
 
@@ -18,6 +19,7 @@ let resource_conflict msg = error (Resource_conflict msg)
 let unreachable ~src ~dst = error (Unreachable { src; dst })
 let deadline_exceeded msg = error (Deadline_exceeded msg)
 let overloaded msg = error (Overloaded msg)
+let quota_exceeded msg = error (Quota_exceeded msg)
 
 let kind = function
   | Invalid_input _ -> "invalid-input"
@@ -29,11 +31,12 @@ let kind = function
   | Pass_timeout _ -> "pass-timeout"
   | Deadline_exceeded _ -> "deadline-exceeded"
   | Overloaded _ -> "overloaded"
+  | Quota_exceeded _ -> "quota-exceeded"
 
 let message = function
   | Invalid_input m | Infeasible m | Resource_conflict m
   | Invalid_schedule m | Pass_failure m | Pass_timeout m
-  | Deadline_exceeded m | Overloaded m ->
+  | Deadline_exceeded m | Overloaded m | Quota_exceeded m ->
     m
   | Unreachable { src; dst } -> Printf.sprintf "no route from %d to %d" src dst
 

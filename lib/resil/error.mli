@@ -33,6 +33,10 @@ type t =
   | Overloaded of string
       (** The batch service's bounded admission queue was full and the
           job was shed instead of being queued unboundedly. *)
+  | Quota_exceeded of string
+      (** One tenant exhausted its fair-admission quota while the
+          service as a whole still had headroom — the hot tenant is
+          refused, everyone else keeps flowing. *)
 
 exception Error of t
 (** The single exception carrying typed scheduling errors. *)
@@ -46,6 +50,7 @@ val resource_conflict : string -> 'a
 val unreachable : src:int -> dst:int -> 'a
 val deadline_exceeded : string -> 'a
 val overloaded : string -> 'a
+val quota_exceeded : string -> 'a
 
 val kind : t -> string
 (** Short stable tag, e.g. ["infeasible"]; used in telemetry/JSONL. *)

@@ -1,0 +1,86 @@
+(* Brownout degradation controller.
+
+   Tracks an EWMA of per-job queue wait — the burn-rate signal for
+   "work is arriving faster than it drains" — and maps it onto a small
+   ladder of degradation levels. Each level halves the effective pass
+   budget handed to the anytime scheduler, so under overload the
+   server first trades schedule quality for throughput (best-so-far
+   extraction still returns a valid schedule) and only sheds once even
+   degraded service can't keep up.
+
+   Transitions are hysteretic: escalation is immediate when the EWMA
+   crosses the high watermark, but recovery requires the EWMA below
+   the low watermark for a dwell period — otherwise a draining queue
+   would flap the level on every burst. *)
+
+type settings = {
+  high_ms : float;  (* escalate when wait EWMA crosses this *)
+  low_ms : float;  (* recover when below this for dwell_s *)
+  alpha : float;  (* EWMA smoothing per observation *)
+  dwell_s : float;  (* minimum time at a level before stepping down *)
+  cap_ms : float;  (* level-1 synthetic job budget; halves per level *)
+  max_level : int;
+}
+
+let default =
+  { high_ms = 50.0; low_ms = 10.0; alpha = 0.2; dwell_s = 1.0;
+    cap_ms = 250.0; max_level = 3 }
+
+type t = {
+  settings : settings;
+  mutex : Mutex.t;
+  mutable lvl : int;
+  mutable wait_ewma : float;
+  mutable changed_at : float;
+  mutable escalations : int;
+}
+
+let create settings =
+  { settings;
+    mutex = Mutex.create ();
+    lvl = 0;
+    wait_ewma = 0.0;
+    changed_at = Unix.gettimeofday ();
+    escalations = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let observe ?now t ~wait_ms =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  with_lock t (fun () ->
+      let s = t.settings in
+      t.wait_ewma <-
+        ((1.0 -. s.alpha) *. t.wait_ewma) +. (s.alpha *. wait_ms);
+      if t.wait_ewma > s.high_ms && t.lvl < s.max_level then begin
+        t.lvl <- t.lvl + 1;
+        t.escalations <- t.escalations + 1;
+        t.changed_at <- now;
+        (* escalating resets the signal midway so one hot sample
+           doesn't ratchet straight to max_level *)
+        t.wait_ewma <- (s.high_ms +. s.low_ms) /. 2.0
+      end
+      else if
+        t.wait_ewma < s.low_ms && t.lvl > 0
+        && now -. t.changed_at >= s.dwell_s
+      then begin
+        t.lvl <- t.lvl - 1;
+        t.changed_at <- now
+      end)
+
+let level t = with_lock t (fun () -> t.lvl)
+let ewma_ms t = with_lock t (fun () -> t.wait_ewma)
+let escalations t = with_lock t (fun () -> t.escalations)
+
+let scale_of_level lvl = 1.0 /. float_of_int (1 lsl lvl)
+
+let scale t = with_lock t (fun () -> scale_of_level t.lvl)
+
+(* At level L > 0, jobs without their own budget get a synthetic one:
+   cap_ms at level 1, halving per further level. Jobs that already
+   carry a pass budget get it multiplied by [scale] instead. *)
+let budget_ms t =
+  with_lock t (fun () ->
+      if t.lvl = 0 then None
+      else Some (t.settings.cap_ms *. scale_of_level (t.lvl - 1)))

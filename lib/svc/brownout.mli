@@ -1,0 +1,43 @@
+(** Hysteretic brownout controller for the service tier.
+
+    Feeds on per-job queue-wait samples (the overload burn-rate
+    signal) and exposes a degradation level [0 .. max_level]. Level 0
+    is normal service; each higher level halves the effective pass
+    budget handed to the anytime scheduler, trading schedule quality
+    for drain rate {e before} any load is shed. Escalation is
+    immediate on crossing [high_ms]; recovery needs the EWMA below
+    [low_ms] {e and} [dwell_s] elapsed since the last transition, so
+    the level doesn't flap on bursts. Thread-safe. *)
+
+type settings = {
+  high_ms : float;  (** escalate when the wait EWMA crosses this *)
+  low_ms : float;  (** recover when below this for [dwell_s] *)
+  alpha : float;  (** EWMA smoothing factor per observation *)
+  dwell_s : float;  (** minimum seconds at a level before stepping down *)
+  cap_ms : float;  (** synthetic job budget at level 1; halves per level *)
+  max_level : int;
+}
+
+val default : settings
+(** 50 ms high / 10 ms low watermarks, alpha 0.2, 1 s dwell, 250 ms
+    level-1 budget cap, 3 levels. *)
+
+type t
+
+val create : settings -> t
+
+val observe : ?now:float -> t -> wait_ms:float -> unit
+(** Fold one queue-wait sample (ms) into the EWMA and apply the
+    transition rules. [?now] injects a clock for tests. *)
+
+val level : t -> int
+val ewma_ms : t -> float
+val escalations : t -> int
+(** Total upward transitions since creation. *)
+
+val scale : t -> float
+(** Pass-budget multiplier: [2 ** -level] — [1.0] at level 0. *)
+
+val budget_ms : t -> float option
+(** Synthetic per-job budget for jobs that carry none of their own:
+    [None] at level 0 (no cap), [Some (cap_ms / 2^(level-1))] above. *)

@@ -1,0 +1,80 @@
+(* Bounded single-owner work-stealing deque (Chase–Lev shape).
+
+   The owner pushes and pops at the bottom (LIFO, cache-hot splits run
+   first); thieves steal from the top (FIFO, the oldest — usually
+   biggest — item migrates). Capacity is fixed: a full deque refuses
+   the push and the caller overflows to the global queue, which keeps
+   the memory bound explicit instead of hiding it in a resize.
+
+   Slots are [Atomic.t]s rather than plain array cells: OCaml's memory
+   model makes racy plain reads return stale values (not crashes), and
+   a stale slot read would hand a thief the wrong job. Atomic slots
+   cost a little on the owner's fast path and buy exactly-once
+   delivery under contention. *)
+
+type 'a t = {
+  buf : 'a option Atomic.t array;
+  mask : int;
+  top : int Atomic.t;  (* next index thieves steal from *)
+  bottom : int Atomic.t;  (* next index the owner pushes to *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Deque.create: capacity must be positive";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { buf = Array.init !cap (fun _ -> Atomic.make None);
+    mask = !cap - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+let length t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+(* Owner only. *)
+let push t x =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  if b - tp >= capacity t then false
+  else begin
+    Atomic.set t.buf.(b land t.mask) (Some x);
+    Atomic.set t.bottom (b + 1);
+    true
+  end
+
+(* Owner only: LIFO. On the last element the owner races thieves with
+   a CAS on [top]; whoever wins takes it, the loser sees empty. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then Atomic.get t.buf.(b land t.mask)
+  else begin
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Atomic.get t.buf.(b land t.mask) else None
+  end
+
+(* Any domain: FIFO. The slot is read before the CAS; the CAS
+   succeeding proves [top] had not moved, and the bounded-capacity
+   push refuses to overwrite a slot whose index [top] has not passed,
+   so the read value is the committed one. *)
+let steal t =
+  let rec go () =
+    let tp = Atomic.get t.top in
+    let b = Atomic.get t.bottom in
+    if tp >= b then None
+    else begin
+      let x = Atomic.get t.buf.(tp land t.mask) in
+      if Atomic.compare_and_set t.top tp (tp + 1) then x else go ()
+    end
+  in
+  go ()

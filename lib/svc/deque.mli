@@ -1,0 +1,34 @@
+(** Bounded single-owner work-stealing deque (Chase–Lev shape).
+
+    One domain — the owner — pushes and pops at the bottom in LIFO
+    order, keeping freshly split work cache-hot; any other domain
+    steals from the top in FIFO order, migrating the oldest item.
+    Capacity is fixed (rounded up to a power of two): a full deque
+    refuses the push so the caller can overflow to a global queue
+    instead of growing unboundedly.
+
+    Safety contract: exactly one of [push]/[pop] runs at a time (the
+    owner); [steal] may run concurrently from any number of domains.
+    Every pushed item is returned by exactly one [pop] or [steal]. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+(** Actual capacity (power of two [>= capacity] requested). *)
+
+val push : 'a t -> 'a -> bool
+(** Owner only. [false] when full — overflow to the global queue. *)
+
+val pop : 'a t -> 'a option
+(** Owner only. Most recently pushed item (LIFO), or [None] when
+    empty or a thief won the race for the last item. *)
+
+val steal : 'a t -> 'a option
+(** Any domain. Oldest item (FIFO), or [None] when empty or the race
+    was lost. *)
+
+val length : 'a t -> int
+(** Racy snapshot of the current size; exact when quiescent. *)

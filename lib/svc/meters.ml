@@ -10,6 +10,11 @@ type t = {
   latency_ms : Cs_obs.Metrics.histogram;
   queue_wait_ms : Cs_obs.Metrics.histogram;
   deadline : Cs_obs.Metrics.slo_window;
+  queue_depth_peak : Cs_obs.Metrics.gauge;
+  brownout_level : Cs_obs.Metrics.gauge;
+  steals : Cs_obs.Metrics.counter;
+  splits : Cs_obs.Metrics.counter;
+  overflowed : Cs_obs.Metrics.counter;
 }
 
 let create () =
@@ -34,7 +39,35 @@ let create () =
     queue_wait_ms = histogram ~help:"Admission-to-dequeue wait (ms)"
         "csched_queue_wait_ms";
     deadline = Cs_obs.Metrics.slo_window registry
-        ~help:"Deadline outcomes of deadline-carrying jobs" "csched_deadline" }
+        ~help:"Deadline outcomes of deadline-carrying jobs" "csched_deadline";
+    queue_depth_peak = gauge
+        ~help:"High-watermark admission-queue depth since start"
+        "csched_queue_depth_peak";
+    brownout_level = gauge
+        ~help:"Brownout degradation level (0 = normal service)"
+        "csched_brownout_level";
+    steals = counter ~help:"Work items stolen between worker deques"
+        "csched_steals_total";
+    splits = counter ~help:"Oversized jobs split into stealable parts"
+        "csched_splits_total";
+    overflowed = counter
+        ~help:"Split parts that overflowed a full deque to the global queue"
+        "csched_overflow_total" }
+
+(* Per-tenant admission outcomes, labelled by tenant and outcome so
+   `csched top` can fold one family into a fairness table.
+   Registration is idempotent: (name, labels) identity means repeated
+   calls return the same underlying series. *)
+let tenant_counter t ~tenant ~outcome =
+  Cs_obs.Metrics.counter t.registry
+    ~labels:[ ("tenant", tenant); ("outcome", outcome) ]
+    ~help:"Per-tenant admission outcomes" "csched_tenant_jobs_total"
+
+(* Per-lane admissions: interactive vs batch traffic mix. *)
+let lane_counter t ~lane =
+  Cs_obs.Metrics.counter t.registry
+    ~labels:[ ("lane", lane) ]
+    ~help:"Jobs admitted per priority lane" "csched_lane_admitted_total"
 
 let snapshot t = Cs_obs.Metrics.snapshot t.registry
 

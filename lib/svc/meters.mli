@@ -20,9 +20,25 @@ type t = {
   latency_ms : Cs_obs.Metrics.histogram;  (** [csched_job_latency_ms] *)
   queue_wait_ms : Cs_obs.Metrics.histogram;  (** [csched_queue_wait_ms] *)
   deadline : Cs_obs.Metrics.slo_window;  (** [csched_deadline] *)
+  queue_depth_peak : Cs_obs.Metrics.gauge;
+      (** [csched_queue_depth_peak] — high-watermark queue depth, for
+          post-hoc overload forensics without live polling *)
+  brownout_level : Cs_obs.Metrics.gauge;  (** [csched_brownout_level] *)
+  steals : Cs_obs.Metrics.counter;  (** [csched_steals_total] *)
+  splits : Cs_obs.Metrics.counter;  (** [csched_splits_total] *)
+  overflowed : Cs_obs.Metrics.counter;  (** [csched_overflow_total] *)
 }
 
 val create : unit -> t
+
+val tenant_counter :
+  t -> tenant:string -> outcome:string -> Cs_obs.Metrics.counter
+(** The [csched_tenant_jobs_total{tenant,outcome}] family ([outcome]
+    in [admitted]/[completed]/[shed]/[quota]). Idempotent per label
+    set — safe to call on the hot path. *)
+
+val lane_counter : t -> lane:string -> Cs_obs.Metrics.counter
+(** The [csched_lane_admitted_total{lane}] family. *)
 
 val snapshot : t -> Cs_obs.Metrics.snapshot
 

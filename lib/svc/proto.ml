@@ -10,12 +10,15 @@ type request = {
   idem_key : string option;
   trace_id : string option;
   parent_span : string option;
+  tenant : string option;
+  job_class : string option;  (* wire field "class": interactive | batch *)
 }
 
 let request ?(id = "") ?(machine = "raw16") ?(scheduler = "convergent") ?(scale = 1)
-    ?deadline_ms ?passes ?seed ?idem_key ?trace_id ?parent_span bench =
+    ?deadline_ms ?passes ?seed ?idem_key ?trace_id ?parent_span ?tenant
+    ?job_class bench =
   { id; bench; machine; scheduler; scale; deadline_ms; passes; seed; idem_key;
-    trace_id; parent_span }
+    trace_id; parent_span; tenant; job_class }
 
 let with_trace ~(ctx : Cs_obs.Tracectx.t) r =
   { r with trace_id = Some ctx.trace_id; parent_span = Some ctx.span_id }
@@ -88,7 +91,9 @@ let request_to_json r =
     @ opt "seed" (Option.map (fun s -> Num (float_of_int s)) r.seed)
     @ opt "idem_key" (Option.map (fun k -> Str k) r.idem_key)
     @ opt "trace_id" (Option.map (fun t -> Str t) r.trace_id)
-    @ opt "parent_span" (Option.map (fun p -> Str p) r.parent_span))
+    @ opt "parent_span" (Option.map (fun p -> Str p) r.parent_span)
+    @ opt "tenant" (Option.map (fun t -> Str t) r.tenant)
+    @ opt "class" (Option.map (fun c -> Str c) r.job_class))
 
 let str_member ?default key json =
   match (Cs_obs.Json.member key json, default) with
@@ -126,7 +131,8 @@ let request_of_json json =
   Ok
     { id; bench; machine; scheduler; scale; deadline_ms; passes; seed;
       idem_key = opt_str "idem_key";
-      trace_id = opt_str "trace_id"; parent_span = opt_str "parent_span" }
+      trace_id = opt_str "trace_id"; parent_span = opt_str "parent_span";
+      tenant = opt_str "tenant"; job_class = opt_str "class" }
 
 let reply_to_json r =
   let open Cs_obs.Json in

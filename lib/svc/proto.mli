@@ -25,12 +25,21 @@ type request = {
           gateway and echoed into every span the job produces *)
   parent_span : string option;
       (** span id of the hop that forwarded this request *)
+  tenant : string option;
+      (** fair-admission identity: jobs are queued and quota'd per
+          tenant, so one hot tenant degrades only itself; [None] maps
+          to the ["default"] tenant *)
+  job_class : string option;
+      (** wire field ["class"]: ["interactive"] or ["batch"] pins the
+          priority lane; [None] infers it — a deadline marks the job
+          interactive, no deadline means batch *)
 }
 
 val request :
   ?id:string -> ?machine:string -> ?scheduler:string -> ?scale:int ->
   ?deadline_ms:float -> ?passes:string -> ?seed:int -> ?idem_key:string ->
-  ?trace_id:string -> ?parent_span:string -> string -> request
+  ?trace_id:string -> ?parent_span:string -> ?tenant:string ->
+  ?job_class:string -> string -> request
 (** [request bench] with defaults mirroring the CLI ([raw16],
     [convergent], scale 1, no deadline, no trace context). *)
 

@@ -3,12 +3,13 @@ type policy = {
   base_delay_s : float;
   multiplier : float;
   jitter : float;
+  max_delay_s : float;
   seed : int;
 }
 
 let default =
   { max_attempts = 3; base_delay_s = 0.01; multiplier = 2.0; jitter = 0.5;
-    seed = 0x5e77 }
+    max_delay_s = 30.0; seed = 0x5e77 }
 
 (* A pass crash is worth retrying: the driver reseeds nothing between
    attempts but quarantine state and fallback rungs can differ once a
@@ -24,11 +25,23 @@ let delays policy =
   if policy.max_attempts <= 1 then []
   else begin
     let rng = Cs_util.Rng.create policy.seed in
+    let cap = Float.max 0.0 policy.max_delay_s in
+    (* Grow the backoff by repeated multiplication, saturating at the
+       cap: [multiplier ** i] overflows to [infinity] (or collapses to
+       [nan] in edge cases) for large attempt counts, which used to
+       produce non-monotone or unusable schedules. Once the running
+       backoff saturates it stays saturated, so the unjittered schedule
+       is monotone by construction. *)
+    let backoff = ref (Float.min cap policy.base_delay_s) in
     List.init (policy.max_attempts - 1) (fun i ->
-        let backoff = policy.base_delay_s *. (policy.multiplier ** float_of_int i) in
+        if i > 0 then begin
+          let next = !backoff *. policy.multiplier in
+          backoff :=
+            if Float.is_nan next then cap else Float.min cap next
+        end;
         (* jitter in [1-j, 1+j], deterministic in the policy seed *)
         let factor = 1.0 +. policy.jitter *. (Cs_util.Rng.float rng 2.0 -. 1.0) in
-        Float.max 0.0 (backoff *. factor))
+        Float.max 0.0 (!backoff *. factor))
   end
 
 let run ?(policy = default) ?(sleep = Unix.sleepf) ?(retryable = transient) f =

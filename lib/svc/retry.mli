@@ -10,11 +10,14 @@ type policy = {
   base_delay_s : float;  (** wait before the second attempt *)
   multiplier : float;  (** backoff growth per retry *)
   jitter : float;  (** each wait is scaled by [1 ± jitter] *)
+  max_delay_s : float;
+  (** pre-jitter backoff ceiling — the exponential saturates here
+      instead of overflowing at high attempt counts *)
   seed : int;  (** jitter RNG seed *)
 }
 
 val default : policy
-(** 3 attempts, 10 ms base, doubling, ±50% jitter. *)
+(** 3 attempts, 10 ms base, doubling, ±50% jitter, 30 s ceiling. *)
 
 val transient : Cs_resil.Error.t -> bool
 (** The default retry predicate: [Pass_failure], [Pass_timeout] and
@@ -23,7 +26,9 @@ val transient : Cs_resil.Error.t -> bool
 
 val delays : policy -> float list
 (** The exact waits (seconds) between attempts, length
-    [max_attempts - 1]. Pure: same policy, same list. *)
+    [max_attempts - 1]. Pure: same policy, same list. Each wait is at
+    most [max_delay_s *. (1. +. jitter)]; the unjittered backoff is
+    monotone non-decreasing and saturates at [max_delay_s]. *)
 
 val run :
   ?policy:policy ->

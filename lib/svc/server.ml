@@ -1,3 +1,5 @@
+type engine = Single_queue | Lanes
+
 type config = {
   listen_addr : Transport.addr;
   workers : int;
@@ -9,21 +11,30 @@ type config = {
   heartbeat_addr : Transport.addr option;
   heartbeat_period_s : float;
   advertise : string option;
+  engine : engine;
+  split_threshold : int;
+  tenant_quota : int;
+  tenant_weights : (string * int) list;
+  batch_share : int;
+  brownout : Brownout.settings option;
 }
 
 let config ?(workers = 2) ?(queue_capacity = 16) ?default_deadline_ms
     ?pass_budget_s ?chaos_slow_ms ?retry ?heartbeat ?(heartbeat_period_s = 1.0)
-    ?advertise addr =
+    ?advertise ?(engine = Lanes) ?(split_threshold = 16) ?(tenant_quota = 0)
+    ?(tenant_weights = []) ?(batch_share = 4) ?brownout addr =
   { listen_addr = Transport.parse_exn addr; workers; queue_capacity;
     default_deadline_ms; pass_budget_s; chaos_slow_ms; retry;
     heartbeat_addr = Option.map Transport.parse_exn heartbeat;
-    heartbeat_period_s; advertise }
+    heartbeat_period_s; advertise; engine; split_threshold; tenant_quota;
+    tenant_weights; batch_share; brownout }
 
 type stats = {
   admitted : int;
   completed : int;
   shed : int;
   refused : int;
+  quota_refused : int;
 }
 
 (* Replies for one connection may come from several worker domains, so
@@ -38,18 +49,50 @@ type conn = {
   mutable conn_closed : bool;
 }
 
-type work = { job : Job.t; on : conn }
+(* Fan-in state for a job split into stealable parts: each part folds
+   its verdict in under the mutex; whoever folds the last part builds
+   and sends the aggregate reply. Sequential-composition semantics:
+   cycles and transfers sum, the worst fallback rung wins, timed_out
+   is sticky, and the first refusal (if any) refuses the whole job. *)
+type agg = {
+  a_mutex : Mutex.t;
+  orig : Job.t;  (* the whole job, for ids/deadline/latency accounting *)
+  mutable a_left : int;
+  mutable a_cycles : int;
+  mutable a_transfers : int;
+  mutable a_rung_rank : int;
+  mutable a_timed_out : bool;
+  mutable a_quarantined : int;
+  mutable a_elapsed_ms : float;
+  mutable a_refusal : (string * string) option;
+}
+
+type work = {
+  job : Job.t;  (* for a split part, [request.scale] is the part's share *)
+  on : conn;
+  agg : agg option;  (* [None] = whole, unsplit job *)
+}
+
+type queueing =
+  | Q_single of work Squeue.t
+  | Q_lanes of {
+      fairq : work Fairq.t;
+      deques : work Deque.t array;  (* one per worker domain *)
+      overflow : work Squeue.t;  (* split parts that found their deque full *)
+    }
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound : Transport.addr;
-  queue : work Squeue.t;
+  queueing : queueing;
+  brownout : Brownout.t option;
   stopping : bool Atomic.t;
   aborted : bool Atomic.t;
   conns_mutex : Mutex.t;
   mutable conns : conn list;
   meters : Meters.t;
+  quota_meter : Cs_obs.Metrics.counter;
   n_busy : int Atomic.t;
 }
 
@@ -87,97 +130,358 @@ let create cfg =
   let listen_fd = Transport.listen cfg.listen_addr in
   let meters = Meters.create () in
   Cs_obs.Metrics.set meters.Meters.workers (float_of_int cfg.workers);
+  let queueing =
+    match cfg.engine with
+    | Single_queue -> Q_single (Squeue.create ~capacity:cfg.queue_capacity)
+    | Lanes ->
+      Q_lanes
+        { fairq =
+            Fairq.create ~tenant_quota:cfg.tenant_quota
+              ~weights:cfg.tenant_weights ~batch_share:cfg.batch_share
+              ~capacity:cfg.queue_capacity ();
+          (* Per-worker deques hold split parts; size them to a few
+             splits' worth so overflow-to-global stays the exception. *)
+          deques =
+            Array.init cfg.workers (fun _ -> Deque.create ~capacity:32);
+          overflow =
+            Squeue.create ~capacity:(max 64 (4 * cfg.queue_capacity)) }
+  in
   { cfg; listen_fd; bound = Transport.bound_addr listen_fd cfg.listen_addr;
-    queue = Squeue.create ~capacity:cfg.queue_capacity;
+    queueing;
+    brownout = Option.map Brownout.create cfg.brownout;
     stopping = Atomic.make false; aborted = Atomic.make false;
-    conns_mutex = Mutex.create (); conns = []; meters; n_busy = Atomic.make 0 }
+    conns_mutex = Mutex.create (); conns = []; meters;
+    quota_meter =
+      Cs_obs.Metrics.counter meters.Meters.registry
+        ~help:"Jobs refused because their tenant was over quota"
+        "csched_jobs_quota_refused_total";
+    n_busy = Atomic.make 0 }
 
 let address t = t.bound
 let meters t = t.meters
 
+(* Waiting work across every structure: the admission queue plus (for
+   lanes) split parts parked on worker deques or the overflow queue. *)
+let queue_depth t =
+  match t.queueing with
+  | Q_single q -> Squeue.length q
+  | Q_lanes { fairq; deques; overflow } ->
+    Fairq.length fairq + Squeue.length overflow
+    + Array.fold_left (fun acc d -> acc + Deque.length d) 0 deques
+
+let queue_peak t =
+  match t.queueing with
+  | Q_single q -> Squeue.peak q
+  | Q_lanes { fairq; _ } -> Fairq.peak fairq
+
 (* Live values mirror into registry gauges at the moments they change
    (or are read), so metrics snapshots and the stats verb agree. *)
 let sync_gauges t =
-  Cs_obs.Metrics.set t.meters.Meters.queue_depth
-    (float_of_int (Squeue.length t.queue));
-  Cs_obs.Metrics.set t.meters.Meters.busy (float_of_int (Atomic.get t.n_busy))
+  Cs_obs.Metrics.set t.meters.Meters.queue_depth (float_of_int (queue_depth t));
+  Cs_obs.Metrics.set t.meters.Meters.queue_depth_peak
+    (float_of_int (queue_peak t));
+  Cs_obs.Metrics.set t.meters.Meters.busy (float_of_int (Atomic.get t.n_busy));
+  match t.brownout with
+  | None -> ()
+  | Some bo ->
+    Cs_obs.Metrics.set t.meters.Meters.brownout_level
+      (float_of_int (Brownout.level bo))
 
 let stats t =
   { admitted = Cs_obs.Metrics.counter_value t.meters.Meters.admitted;
     completed = Cs_obs.Metrics.counter_value t.meters.Meters.completed;
     shed = Cs_obs.Metrics.counter_value t.meters.Meters.shed;
-    refused = Cs_obs.Metrics.counter_value t.meters.Meters.refused }
+    refused = Cs_obs.Metrics.counter_value t.meters.Meters.refused;
+    quota_refused = Cs_obs.Metrics.counter_value t.quota_meter }
 
 let server_stats t =
-  { Proto.queue_depth = Squeue.length t.queue;
+  let extra =
+    [ ("quota_refused",
+       float_of_int (Cs_obs.Metrics.counter_value t.quota_meter));
+      ("queue_depth_peak", float_of_int (queue_peak t));
+      ("steals",
+       float_of_int (Cs_obs.Metrics.counter_value t.meters.Meters.steals));
+      ("splits",
+       float_of_int (Cs_obs.Metrics.counter_value t.meters.Meters.splits)) ]
+    @
+    match t.brownout with
+    | None -> []
+    | Some bo -> [ ("brownout_level", float_of_int (Brownout.level bo)) ]
+  in
+  { Proto.queue_depth = queue_depth t;
     workers = t.cfg.workers;
     busy = Atomic.get t.n_busy;
     admitted = Cs_obs.Metrics.counter_value t.meters.Meters.admitted;
     completed = Cs_obs.Metrics.counter_value t.meters.Meters.completed;
     shed = Cs_obs.Metrics.counter_value t.meters.Meters.shed;
     refusals = Cs_obs.Metrics.counter_value t.meters.Meters.refused;
-    extra = [] }
+    extra }
 
-let worker t () =
+(* --- job classification -------------------------------------------- *)
+
+let tenant_of (r : Proto.request) =
+  match r.Proto.tenant with Some s when s <> "" -> s | _ -> "default"
+
+(* Explicit class wins; otherwise a deadline marks the job interactive
+   (someone is waiting on it) and no deadline means batch. *)
+let lane_of (job : Job.t) =
+  match job.Job.request.Proto.job_class with
+  | Some "interactive" -> Fairq.Interactive
+  | Some "batch" -> Fairq.Batch
+  | _ -> if job.Job.deadline <> None then Fairq.Interactive else Fairq.Batch
+
+let rung_rank = function
+  | "requested" -> 0
+  | "default-sequence" -> 1
+  | "single-cluster" -> 2
+  | _ -> 3
+
+let rung_of_rank = function
+  | 0 -> "requested"
+  | 1 -> "default-sequence"
+  | 2 -> "single-cluster"
+  | _ -> "unknown"
+
+(* --- execution ----------------------------------------------------- *)
+
+(* Run one (part of a) job under the current brownout level: each
+   degradation level halves the effective pass budget, and levels > 0
+   impose a synthetic budget on jobs that carry none — quality traded
+   for drain rate before anything is shed. *)
+let run_job t job =
   let extra_passes =
     Option.map
       (fun ms -> [ Cs_core.Chaos.slow_pass ~delay_ms:ms () ])
       t.cfg.chaos_slow_ms
   in
-  let rec loop () =
-    match Squeue.pop t.queue with
-    | None -> () (* closed and drained *)
-    | Some { job; on } ->
-      (* After an abort the connections are gone; burning worker time on
-         jobs whose replies nobody can receive would only delay
-         teardown. *)
-      if Atomic.get t.aborted then begin
-        finish_edge on ~job_done:true;
-        loop ()
+  let pass_budget_s =
+    match t.brownout with
+    | None -> t.cfg.pass_budget_s
+    | Some bo ->
+      (match t.cfg.pass_budget_s with
+      | Some b -> Some (b *. Brownout.scale bo)
+      | None -> Option.map (fun ms -> ms /. 1000.0) (Brownout.budget_ms bo))
+  in
+  let r = job.Job.request in
+  let ctx = Proto.trace_of_request r in
+  let ctx_args = match ctx with None -> [] | Some c -> Cs_obs.Tracectx.args c in
+  let job_args = ("id", Cs_obs.Obs.Str r.Proto.id) :: ctx_args in
+  Cs_obs.Obs.span ~cat:"svc" ~args:job_args "job:run" (fun () ->
+      try Job.run ?retry_policy:t.cfg.retry ?extra_passes ?pass_budget_s job
+      with e ->
+        (* last-ditch: a bug in the job runner must not kill the
+           worker — the client is owed a reply either way *)
+        Proto.refused ~id:r.Proto.id
+          (Cs_resil.Error.Pass_failure (Printexc.to_string e)))
+
+(* The tail every job shares, whole or reassembled from parts: final
+   counters, SLO accounting, the reply (with queue-depth gossip
+   piggybacked), and the connection's job-done edge. After an abort
+   the connections are severed and nobody can receive the reply, so
+   only the edge bookkeeping runs. *)
+let finalize t on (job : Job.t) (reply : Proto.reply) =
+  if not (Atomic.get t.aborted) then begin
+    Cs_obs.Metrics.observe t.meters.Meters.latency_ms
+      ((Cs_obs.Clock.now () -. job.Job.arrival) *. 1000.0);
+    (match reply.Proto.verdict with
+    | Proto.Scheduled _ ->
+      Cs_obs.Metrics.incr t.meters.Meters.completed;
+      Cs_obs.Metrics.incr
+        (Meters.tenant_counter t.meters ~tenant:(tenant_of job.Job.request)
+           ~outcome:"completed");
+      if job.Job.deadline <> None then
+        Cs_obs.Metrics.record_deadline t.meters.Meters.deadline ~hit:true
+    | Proto.Refused e ->
+      Cs_obs.Metrics.incr t.meters.Meters.refused;
+      if e.kind = "deadline-exceeded" then
+        Cs_obs.Metrics.record_deadline t.meters.Meters.deadline ~hit:false);
+    (* Piggyback the current queue depth so dispatchers upstream can
+       run load-aware policies without extra round trips. *)
+    send_reply on { reply with Proto.queue_depth = Some (queue_depth t) };
+    sync_gauges t
+  end;
+  finish_edge on ~job_done:true
+
+(* Fold one part's verdict into the fan-in record; the last part
+   reassembles and sends the whole job's reply. *)
+let complete_part t w (reply : Proto.reply) =
+  match w.agg with
+  | None -> finalize t w.on w.job reply
+  | Some a ->
+    Mutex.lock a.a_mutex;
+    (match reply.Proto.verdict with
+    | Proto.Scheduled s ->
+      a.a_cycles <- a.a_cycles + s.cycles;
+      a.a_transfers <- a.a_transfers + s.transfers;
+      a.a_rung_rank <- max a.a_rung_rank (rung_rank s.rung);
+      a.a_timed_out <- a.a_timed_out || s.timed_out;
+      a.a_quarantined <- a.a_quarantined + s.quarantined
+    | Proto.Refused e ->
+      if a.a_refusal = None then a.a_refusal <- Some (e.kind, e.message));
+    a.a_elapsed_ms <- a.a_elapsed_ms +. reply.Proto.elapsed_ms;
+    a.a_left <- a.a_left - 1;
+    let last = a.a_left = 0 in
+    Mutex.unlock a.a_mutex;
+    if last then begin
+      let id = a.orig.Job.request.Proto.id in
+      let whole =
+        match a.a_refusal with
+        | Some (kind, message) ->
+          { Proto.reply_id = id; elapsed_ms = a.a_elapsed_ms;
+            verdict = Proto.Refused { kind; message };
+            queue_depth = None; cached = false }
+        | None ->
+          Proto.reply ~id ~elapsed_ms:a.a_elapsed_ms
+            (Proto.Scheduled
+               { cycles = a.a_cycles;
+                 transfers = a.a_transfers;
+                 rung = rung_of_rank a.a_rung_rank;
+                 timed_out = a.a_timed_out;
+                 quarantined = a.a_quarantined })
+      in
+      finalize t w.on a.orig whole
+    end
+
+(* First dequeue of a whole job: queue-wait accounting (feeds the
+   brownout signal) and the trace's queue span. Parts skip this — the
+   wait was already charged to the whole job. *)
+let observe_dequeue t (job : Job.t) =
+  let r = job.Job.request in
+  let ctx = Proto.trace_of_request r in
+  let ctx_args = match ctx with None -> [] | Some c -> Cs_obs.Tracectx.args c in
+  let job_args = ("id", Cs_obs.Obs.Str r.Proto.id) :: ctx_args in
+  let wait_s = Cs_obs.Clock.now () -. job.Job.arrival in
+  let wait_ms = wait_s *. 1000.0 in
+  Cs_obs.Metrics.observe t.meters.Meters.queue_wait_ms wait_ms;
+  Option.iter (fun bo -> Brownout.observe bo ~wait_ms) t.brownout;
+  Cs_obs.Obs.complete ~cat:"svc" ~args:job_args "job:queue" ~ts:job.Job.arrival
+    ~dur:wait_s
+
+(* Oversized jobs become k stealable parts (scale splits as evenly as
+   possible) so one huge DDG occupies one worker per part instead of
+   head-of-line-blocking the pool. All but the first part go to the
+   owner's deque — thieves migrate them — with the bounded global
+   queue as overflow; anything even that refuses runs inline. *)
+let maybe_split t ~deque ~kick w =
+  let scale = w.job.Job.request.Proto.scale in
+  let thr = t.cfg.split_threshold in
+  match deque with
+  | Some dq when w.agg = None && thr > 0 && scale > thr ->
+    let k = (scale + thr - 1) / thr in
+    let q = scale / k and rem = scale mod k in
+    let a =
+      { a_mutex = Mutex.create (); orig = w.job; a_left = k; a_cycles = 0;
+        a_transfers = 0; a_rung_rank = 0; a_timed_out = false;
+        a_quarantined = 0; a_elapsed_ms = 0.0; a_refusal = None }
+    in
+    let part i =
+      let part_scale = if i < rem then q + 1 else q in
+      { job =
+          { w.job with
+            Job.request = { w.job.Job.request with Proto.scale = part_scale } };
+        on = w.on;
+        agg = Some a }
+    in
+    Cs_obs.Metrics.incr t.meters.Meters.splits;
+    let inline = ref [ part 0 ] in
+    for i = k - 1 downto 1 do
+      let p = part i in
+      if not (Deque.push dq p) then begin
+        Cs_obs.Metrics.incr t.meters.Meters.overflowed;
+        match t.queueing with
+        | Q_lanes { overflow; _ } when Squeue.try_push overflow p ->
+          ()
+        | _ -> inline := p :: !inline
       end
+    done;
+    kick ();
+    !inline
+  | _ -> [ w ]
+
+let execute t ~deque ~kick w =
+  (* burning worker time on jobs whose replies nobody can receive
+     would only delay teardown *)
+  let discard w =
+    complete_part t w
+      (Proto.refused ~id:w.job.Job.request.Proto.id
+         (Cs_resil.Error.Overloaded "server aborted"))
+  in
+  if Atomic.get t.aborted then discard w
+  else begin
+    let parts =
+      if w.agg = None then begin
+        observe_dequeue t w.job;
+        maybe_split t ~deque ~kick w
+      end
+      else [ w ]
+    in
+    List.iter
+      (fun w ->
+        if Atomic.get t.aborted then discard w
+        else begin
+          Atomic.incr t.n_busy;
+          sync_gauges t;
+          let reply = run_job t w.job in
+          Atomic.decr t.n_busy;
+          complete_part t w reply
+        end)
+      parts
+  end
+
+(* --- worker loops -------------------------------------------------- *)
+
+let worker_single t q () =
+  let rec loop () =
+    match Squeue.pop q with
+    | None -> () (* closed and drained *)
+    | Some w ->
+      execute t ~deque:None ~kick:(fun () -> ()) w;
+      loop ()
+  in
+  loop ()
+
+(* Lanes worker: own deque first (cache-hot split parts, LIFO), then
+   the overflow queue, then fair admission, then stealing from
+   siblings. Finding nothing, it parks on the fair queue's stamp —
+   re-scanning whenever anything arrives anywhere — and exits once the
+   queue is closed and a full scan comes up empty. *)
+let worker_lanes t ~fairq ~deques ~overflow wid () =
+  let mine = deques.(wid) in
+  let kick () = Fairq.kick fairq in
+  let n = Array.length deques in
+  let steal_round () =
+    let rec go i =
+      if i >= n - 1 then None
+      else
+        match Deque.steal deques.((wid + 1 + i) mod n) with
+        | Some w ->
+          Cs_obs.Metrics.incr t.meters.Meters.steals;
+          Some w
+        | None -> go (i + 1)
+    in
+    go 0
+  in
+  let next () =
+    match Deque.pop mine with
+    | Some w -> Some w
+    | None ->
+      (match Squeue.try_pop overflow with
+      | Some w -> Some w
+      | None ->
+        (match Fairq.try_pull fairq with
+        | Some w -> Some w
+        | None -> steal_round ()))
+  in
+  let rec loop () =
+    let seen = Fairq.stamp fairq in
+    match next () with
+    | Some w ->
+      execute t ~deque:(Some mine) ~kick w;
+      loop ()
+    | None ->
+      if Fairq.closed fairq then ()
       else begin
-        Atomic.incr t.n_busy;
-        sync_gauges t;
-        let r = job.Job.request in
-        (* The receiving hop of the request's trace: a fresh span id
-           parented on whoever forwarded the job (gateway or client). *)
-        let ctx = Proto.trace_of_request r in
-        let ctx_args =
-          match ctx with None -> [] | Some c -> Cs_obs.Tracectx.args c
-        in
-        let job_args = ("id", Cs_obs.Obs.Str r.Proto.id) :: ctx_args in
-        let wait_s = Cs_obs.Clock.now () -. job.Job.arrival in
-        Cs_obs.Metrics.observe t.meters.Meters.queue_wait_ms (wait_s *. 1000.0);
-        Cs_obs.Obs.complete ~cat:"svc" ~args:job_args "job:queue"
-          ~ts:job.Job.arrival ~dur:wait_s;
-        let reply =
-          Cs_obs.Obs.span ~cat:"svc" ~args:job_args "job:run" (fun () ->
-              try
-                Job.run ?retry_policy:t.cfg.retry ?extra_passes
-                  ?pass_budget_s:t.cfg.pass_budget_s job
-              with e ->
-                (* last-ditch: a bug in the job runner must not kill the
-                   worker — the client is owed a reply either way *)
-                Proto.refused ~id:r.Proto.id
-                  (Cs_resil.Error.Pass_failure (Printexc.to_string e)))
-        in
-        Atomic.decr t.n_busy;
-        Cs_obs.Metrics.observe t.meters.Meters.latency_ms
-          ((Cs_obs.Clock.now () -. job.Job.arrival) *. 1000.0);
-        (match reply.Proto.verdict with
-        | Proto.Scheduled _ ->
-          Cs_obs.Metrics.incr t.meters.Meters.completed;
-          if job.Job.deadline <> None then
-            Cs_obs.Metrics.record_deadline t.meters.Meters.deadline ~hit:true
-        | Proto.Refused e ->
-          Cs_obs.Metrics.incr t.meters.Meters.refused;
-          if e.kind = "deadline-exceeded" then
-            Cs_obs.Metrics.record_deadline t.meters.Meters.deadline ~hit:false);
-        (* Piggyback the current queue depth so dispatchers upstream can
-           run load-aware policies without extra round trips. *)
-        send_reply on { reply with Proto.queue_depth = Some (Squeue.length t.queue) };
-        sync_gauges t;
-        finish_edge on ~job_done:true;
+        Fairq.wait fairq ~seen;
         loop ()
       end
   in
@@ -191,6 +495,24 @@ let worker t () =
 let serve_conn t conn =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 4096 in
+  let shed_reply conn (request : Proto.request) reason =
+    Cs_obs.Metrics.incr t.meters.Meters.shed;
+    Cs_obs.Metrics.incr
+      (Meters.tenant_counter t.meters ~tenant:(tenant_of request)
+         ~outcome:"shed");
+    send_reply conn
+      (Proto.refused ~id:request.Proto.id (Cs_resil.Error.Overloaded reason));
+    finish_edge conn ~job_done:true
+  in
+  let admit_ok (request : Proto.request) lane =
+    Cs_obs.Metrics.incr t.meters.Meters.admitted;
+    Cs_obs.Metrics.incr
+      (Meters.tenant_counter t.meters ~tenant:(tenant_of request)
+         ~outcome:"admitted");
+    Cs_obs.Metrics.incr
+      (Meters.lane_counter t.meters ~lane:(Fairq.lane_name lane));
+    sync_gauges t
+  in
   let handle_line line =
     let line = String.trim line in
     if line <> "" then begin
@@ -225,21 +547,39 @@ let serve_conn t conn =
         Mutex.lock conn.out_mutex;
         conn.pending <- conn.pending + 1;
         Mutex.unlock conn.out_mutex;
-        if Atomic.get t.stopping || not (Squeue.try_push t.queue { job; on = conn })
-        then begin
-          Cs_obs.Metrics.incr t.meters.Meters.shed;
-          send_reply conn
-            (Proto.refused ~id:request.Proto.id
-               (Cs_resil.Error.Overloaded
-                  (if Atomic.get t.stopping then "server is draining"
-                   else
-                     Printf.sprintf "admission queue full (%d jobs)"
-                       t.cfg.queue_capacity)));
-          finish_edge conn ~job_done:true
-        end
+        let w = { job; on = conn; agg = None } in
+        if Atomic.get t.stopping then
+          shed_reply conn request "server is draining"
         else begin
-          Cs_obs.Metrics.incr t.meters.Meters.admitted;
-          sync_gauges t
+          match t.queueing with
+          | Q_single q ->
+            if Squeue.try_push q w then admit_ok request (lane_of job)
+            else
+              shed_reply conn request
+                (Printf.sprintf "admission queue full (%d jobs)"
+                   t.cfg.queue_capacity)
+          | Q_lanes { fairq; _ } ->
+            let tenant = tenant_of request and lane = lane_of job in
+            (match Fairq.admit fairq ~tenant ~lane w with
+            | Fairq.Admitted -> admit_ok request lane
+            | Fairq.Queue_full ->
+              shed_reply conn request
+                (Printf.sprintf "admission queue full (%d jobs)"
+                   t.cfg.queue_capacity)
+            | Fairq.Over_quota ->
+              Cs_obs.Metrics.incr t.quota_meter;
+              Cs_obs.Metrics.incr t.meters.Meters.refused;
+              Cs_obs.Metrics.incr
+                (Meters.tenant_counter t.meters ~tenant ~outcome:"quota");
+              send_reply conn
+                (Proto.refused ~id:request.Proto.id
+                   (Cs_resil.Error.Quota_exceeded
+                      (Printf.sprintf
+                         "tenant %S is over its admission quota (%d queued jobs)"
+                         tenant
+                         (if t.cfg.tenant_quota > 0 then t.cfg.tenant_quota
+                          else t.cfg.queue_capacity))));
+              finish_edge conn ~job_done:true)
         end
     end
   in
@@ -325,7 +665,7 @@ let heartbeat_loop t addr =
   let line () =
     Proto.heartbeat_line
       { Proto.hb_shard = name;
-        hb_depth = Squeue.length t.queue;
+        hb_depth = queue_depth t;
         hb_busy = Atomic.get t.n_busy;
         hb_workers = t.cfg.workers;
         hb_completed = Cs_obs.Metrics.counter_value t.meters.Meters.completed }
@@ -352,7 +692,14 @@ let heartbeat_loop t addr =
   reconnect ()
 
 let run t =
-  let workers = List.init t.cfg.workers (fun _ -> Domain.spawn (worker t)) in
+  let workers =
+    match t.queueing with
+    | Q_single q ->
+      List.init t.cfg.workers (fun _ -> Domain.spawn (worker_single t q))
+    | Q_lanes { fairq; deques; overflow } ->
+      List.init t.cfg.workers (fun wid ->
+          Domain.spawn (worker_lanes t ~fairq ~deques ~overflow wid))
+  in
   let heartbeater =
     Option.map
       (fun addr -> Domain.spawn (fun () -> heartbeat_loop t addr))
@@ -403,7 +750,12 @@ let run t =
     ~args:
       [ ("addr", Cs_obs.Obs.Str (Transport.to_string t.bound));
         ("workers", Cs_obs.Obs.Int t.cfg.workers);
-        ("queue", Cs_obs.Obs.Int t.cfg.queue_capacity) ]
+        ("queue", Cs_obs.Obs.Int t.cfg.queue_capacity);
+        ( "engine",
+          Cs_obs.Obs.Str
+            (match t.cfg.engine with
+            | Single_queue -> "single-queue"
+            | Lanes -> "lanes") ) ]
     "server:listen";
   (* Self-announcement for merged traces: Export.chrome_merged names
      this process's lane from it. *)
@@ -418,7 +770,11 @@ let run t =
      readers exit on their severed sockets and queued jobs are
      discarded unanswered instead.) *)
   List.iter (fun (_, d) -> Domain.join d) !readers;
-  Squeue.close t.queue;
+  (match t.queueing with
+  | Q_single q -> Squeue.close q
+  | Q_lanes { fairq; overflow; _ } ->
+    Squeue.close overflow;
+    Fairq.close fairq);
   List.iter Domain.join workers;
   Option.iter Domain.join heartbeater;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());

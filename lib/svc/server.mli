@@ -1,13 +1,14 @@
 (** The batch scheduling service: a socket server (Unix-domain or TCP,
     see {!Transport}) running {!Job}s on a [Domain] worker pool behind a
-    bounded admission queue.
+    fair, bounded admission stage.
 
     Robustness contract:
 
     - every request read from a client gets exactly one reply — a
-      schedule, a typed refusal, or [Overloaded] when the admission
-      queue sheds it; the server never queues unboundedly and never
-      leaves a client hanging;
+      schedule, a typed refusal, [Overloaded] when admission sheds it,
+      or [Quota_exceeded] when only its tenant is over budget; the
+      server never queues unboundedly and never leaves a client
+      hanging;
     - control lines (ping / stats, see {!Proto.incoming}) are answered
       inline, bypassing the queue, so health probes get through even
       under overload; job replies piggyback the live queue depth for
@@ -15,10 +16,26 @@
     - per-job deadlines are absolute from admission; expired jobs
       refuse instead of running, live ones thread the deadline into the
       anytime driver;
+    - under the {!Lanes} engine, admitted jobs flow through per-tenant
+      deficit-weighted round-robin queues in two priority lanes
+      (interactive ahead of batch, batch guaranteed a share), workers
+      run per-domain work-stealing deques, and oversized jobs split
+      into stealable parts so one huge DDG cannot head-of-line-block
+      the pool;
+    - when configured with a {!Brownout} controller, rising queue-wait
+      burn progressively tightens effective pass budgets (anytime
+      best-so-far) before anything is shed, and recovers hysteretically;
     - {!stop} drains gracefully: no new connections, every admitted job
       is answered, workers are joined, a Unix socket file is removed;
     - {!abort} simulates a crash for chaos drills: connections are
       severed without replies and queued work is discarded. *)
+
+type engine =
+  | Single_queue
+      (** the legacy core: one bounded MPMC queue feeding all workers —
+          kept selectable as the benchmark baseline *)
+  | Lanes
+      (** fair admission + per-domain work-stealing deques (default) *)
 
 type config = {
   listen_addr : Transport.addr;
@@ -36,24 +53,41 @@ type config = {
   advertise : string option;
       (** shard name carried on heartbeats — must match the address the
           gateway was configured with; defaults to the bound address *)
+  engine : engine;
+  split_threshold : int;
+      (** split jobs whose [scale] exceeds this into stealable parts
+          of at most this scale ({!Lanes} only); [0] disables *)
+  tenant_quota : int;
+      (** max queued jobs per tenant; [<= 0] means no bound tighter
+          than [queue_capacity] *)
+  tenant_weights : (string * int) list;
+      (** DRR weights for named tenants (default weight 1) *)
+  batch_share : int;
+      (** the batch lane is guaranteed one admission pull in this many
+          (default 4); [0] starves batch under interactive pressure *)
+  brownout : Brownout.settings option;  (** [None] = no degradation *)
 }
 
 val config :
   ?workers:int -> ?queue_capacity:int -> ?default_deadline_ms:float ->
   ?pass_budget_s:float -> ?chaos_slow_ms:float -> ?retry:Retry.policy ->
   ?heartbeat:string -> ?heartbeat_period_s:float -> ?advertise:string ->
-  string -> config
+  ?engine:engine -> ?split_threshold:int -> ?tenant_quota:int ->
+  ?tenant_weights:(string * int) list -> ?batch_share:int ->
+  ?brownout:Brownout.settings -> string -> config
 (** [config addr] with 2 workers, a 16-job queue, no deadlines, no
     chaos, no retry, no heartbeats ([heartbeat_period_s] defaults to
-    1 s). [addr] uses the {!Transport} grammar ([host:port] for TCP,
-    otherwise a Unix socket path); raises [Invalid_argument] when it
-    parses to neither. *)
+    1 s), the {!Lanes} engine, split threshold 16, no tenant quota and
+    no brownout. [addr] uses the {!Transport} grammar ([host:port] for
+    TCP, otherwise a Unix socket path); raises [Invalid_argument] when
+    it parses to neither. *)
 
 type stats = {
   admitted : int;
   completed : int;  (** replies carrying a schedule *)
   shed : int;  (** [Overloaded] refusals from the admission queue *)
-  refused : int;  (** all refusals, including shed and parse errors *)
+  refused : int;  (** worker-side refusals, parse errors and quota *)
+  quota_refused : int;  (** [Quota_exceeded] refusals at admission *)
 }
 
 type t
@@ -89,7 +123,10 @@ val abort : t -> unit
 val stats : t -> stats
 
 val server_stats : t -> Proto.server_stats
-(** The live counters served by the stats control verb. *)
+(** The live counters served by the stats control verb. [extra]
+    carries the lanes-engine series: [quota_refused],
+    [queue_depth_peak], [steals], [splits] and (when configured)
+    [brownout_level]. *)
 
 val meters : t -> Meters.t
 (** This instance's metrics registry (also served by the [metrics]

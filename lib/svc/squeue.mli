@@ -19,7 +19,15 @@ val pop : 'a t -> 'a option
 (** Blocks for the next item. [None] once the queue is closed {e and}
     empty, so a worker loop drains every admitted item before exiting. *)
 
+val try_pop : 'a t -> 'a option
+(** Non-blocking pop: [None] when currently empty. Keeps draining
+    after [close] until empty, like {!pop}. *)
+
 val close : 'a t -> unit
 (** Refuse further pushes and wake all blocked poppers. Idempotent. *)
 
 val length : 'a t -> int
+
+val peak : 'a t -> int
+(** High-watermark depth since creation — how close admission came to
+    shedding, without having to poll [length] live. *)

@@ -657,6 +657,342 @@ let test_serve_stop_is_clean_and_idempotent () =
       Cs_svc.Server.stop server);
   Alcotest.(check bool) "socket file removed on drain" false (Sys.file_exists socket)
 
+(* --- retry backoff saturation (property) --------------------------- *)
+
+let to_alcotest test =
+  let rng = Cs_util.Rng.create 0x5E12_EED in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make (Array.init 8 (fun _ -> Cs_util.Rng.int rng 0x3FFFFFFF)))
+    test
+
+(* The bug this guards against: the naive [base *. mult ** attempt]
+   overflows to infinity (or goes non-monotone through NaN) at high
+   attempt counts. The fixed schedule must stay finite, saturate at
+   [max_delay_s], and without jitter be monotone non-decreasing. *)
+let retry_backoff_prop =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun attempts mult seed -> (attempts, mult, seed))
+        (int_range 2 400)
+        (map (fun m -> 1.0 +. (float_of_int m /. 10.0)) (int_bound 90))
+        (int_bound 10_000))
+  in
+  let print (attempts, mult, seed) =
+    Printf.sprintf "attempts=%d mult=%.1f seed=%d" attempts mult seed
+  in
+  QCheck.Test.make ~count:60 ~name:"backoff saturates at max_delay, stays monotone"
+    (QCheck.make ~print gen)
+    (fun (attempts, mult, seed) ->
+      let policy =
+        { Cs_svc.Retry.default with
+          max_attempts = attempts; multiplier = mult; seed; jitter = 0.5 }
+      in
+      let delays = Cs_svc.Retry.delays policy in
+      let cap = policy.Cs_svc.Retry.max_delay_s *. (1.0 +. policy.Cs_svc.Retry.jitter) in
+      List.iter
+        (fun d ->
+          if not (Float.is_finite d) then
+            QCheck.Test.fail_reportf "non-finite delay %f" d;
+          if d < 0.0 || d > cap +. 1e-9 then
+            QCheck.Test.fail_reportf "delay %f outside [0, %f]" d cap)
+        delays;
+      (* without jitter the raw exponential must be monotone *)
+      let bare = Cs_svc.Retry.delays { policy with jitter = 0.0 } in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+        | _ -> true
+      in
+      if not (monotone bare) then
+        QCheck.Test.fail_reportf "unjittered schedule non-monotone";
+      List.length delays = attempts - 1)
+
+(* --- proto tenant / class ------------------------------------------ *)
+
+let test_proto_tenant_class_roundtrip () =
+  let r =
+    Cs_svc.Proto.request ~id:"t1" ~tenant:"team-a" ~job_class:"interactive" "fir"
+  in
+  (match Cs_svc.Proto.request_of_line (Cs_svc.Proto.request_to_line r) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check (option string)) "tenant survives the wire" (Some "team-a")
+      r'.Cs_svc.Proto.tenant;
+    Alcotest.(check (option string)) "class survives the wire" (Some "interactive")
+      r'.Cs_svc.Proto.job_class);
+  match
+    Cs_svc.Proto.request_of_line
+      (Cs_svc.Proto.request_to_line (Cs_svc.Proto.request ~id:"t2" "fir"))
+  with
+  | Error e -> Alcotest.failf "bare roundtrip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check (option string)) "absent tenant stays absent" None
+      r'.Cs_svc.Proto.tenant;
+    Alcotest.(check (option string)) "absent class stays absent" None
+      r'.Cs_svc.Proto.job_class
+
+(* --- fair admission queue ------------------------------------------ *)
+
+let test_fairq_quota_binds_per_tenant () =
+  let q = Cs_svc.Fairq.create ~tenant_quota:2 ~capacity:10 () in
+  let admit tenant x = Cs_svc.Fairq.admit q ~tenant ~lane:Cs_svc.Fairq.Batch x in
+  Alcotest.(check bool) "hog 1" true (admit "hog" 1 = Cs_svc.Fairq.Admitted);
+  Alcotest.(check bool) "hog 2" true (admit "hog" 2 = Cs_svc.Fairq.Admitted);
+  Alcotest.(check bool) "hog over quota" true (admit "hog" 3 = Cs_svc.Fairq.Over_quota);
+  Alcotest.(check bool) "other tenant unaffected" true
+    (admit "quiet" 4 = Cs_svc.Fairq.Admitted);
+  (* draining the hog frees its quota *)
+  ignore (Cs_svc.Fairq.try_pull q);
+  Alcotest.(check bool) "quota freed by drain" true
+    (admit "hog" 5 = Cs_svc.Fairq.Admitted)
+
+let test_fairq_capacity_sheds () =
+  let q = Cs_svc.Fairq.create ~capacity:2 () in
+  let admit tenant x = Cs_svc.Fairq.admit q ~tenant ~lane:Cs_svc.Fairq.Batch x in
+  Alcotest.(check bool) "1" true (admit "a" 1 = Cs_svc.Fairq.Admitted);
+  Alcotest.(check bool) "2" true (admit "b" 2 = Cs_svc.Fairq.Admitted);
+  Alcotest.(check bool) "full sheds, not quota" true
+    (admit "c" 3 = Cs_svc.Fairq.Queue_full);
+  Cs_svc.Fairq.close q;
+  Alcotest.(check bool) "closed sheds" true (admit "a" 4 = Cs_svc.Fairq.Queue_full)
+
+let test_fairq_drr_interleaves_tenants () =
+  let q = Cs_svc.Fairq.create ~capacity:16 () in
+  (* tenant a floods first; b trickles in after — DRR must still
+     alternate instead of draining a's backlog first *)
+  for i = 0 to 3 do
+    ignore (Cs_svc.Fairq.admit q ~tenant:"a" ~lane:Cs_svc.Fairq.Batch ("a", i))
+  done;
+  for i = 0 to 3 do
+    ignore (Cs_svc.Fairq.admit q ~tenant:"b" ~lane:Cs_svc.Fairq.Batch ("b", i))
+  done;
+  let order = List.init 8 (fun _ -> Option.get (Cs_svc.Fairq.try_pull q)) in
+  let firsts = List.filteri (fun i _ -> i < 4) order in
+  Alcotest.(check int) "first four pulls: two from each tenant" 2
+    (List.length (List.filter (fun (t, _) -> t = "a") firsts));
+  (* per-tenant FIFO preserved *)
+  Alcotest.(check (list int)) "tenant a in FIFO order" [ 0; 1; 2; 3 ]
+    (List.filter_map (fun (t, i) -> if t = "a" then Some i else None) order)
+
+let test_fairq_weights_bias_service () =
+  let q = Cs_svc.Fairq.create ~weights:[ ("heavy", 2) ] ~capacity:16 () in
+  for i = 0 to 5 do
+    ignore (Cs_svc.Fairq.admit q ~tenant:"heavy" ~lane:Cs_svc.Fairq.Batch ("heavy", i));
+    ignore (Cs_svc.Fairq.admit q ~tenant:"light" ~lane:Cs_svc.Fairq.Batch ("light", i))
+  done;
+  let order = List.init 6 (fun _ -> Option.get (Cs_svc.Fairq.try_pull q)) in
+  Alcotest.(check int) "weight-2 tenant gets 2/3 of early service" 4
+    (List.length (List.filter (fun (t, _) -> t = "heavy") order))
+
+let test_fairq_lane_priority_and_batch_share () =
+  let q = Cs_svc.Fairq.create ~batch_share:2 ~capacity:16 () in
+  for i = 0 to 3 do
+    ignore (Cs_svc.Fairq.admit q ~tenant:"t" ~lane:Cs_svc.Fairq.Batch ("B", i))
+  done;
+  for i = 0 to 1 do
+    ignore (Cs_svc.Fairq.admit q ~tenant:"t" ~lane:Cs_svc.Fairq.Interactive ("I", i))
+  done;
+  let order = List.init 6 (fun _ -> fst (Option.get (Cs_svc.Fairq.try_pull q))) in
+  (* interactive first, but batch guaranteed every 2nd pull; batch
+     drains the tail once interactive is empty *)
+  Alcotest.(check (list string)) "lane interleaving"
+    [ "I"; "B"; "I"; "B"; "B"; "B" ] order;
+  Alcotest.(check int) "drained" 0 (Cs_svc.Fairq.length q)
+
+let test_fairq_peak_watermark () =
+  let q = Cs_svc.Fairq.create ~capacity:8 () in
+  for i = 0 to 4 do
+    ignore (Cs_svc.Fairq.admit q ~tenant:"t" ~lane:Cs_svc.Fairq.Batch i)
+  done;
+  for _ = 0 to 4 do
+    ignore (Cs_svc.Fairq.try_pull q)
+  done;
+  Alcotest.(check int) "empty now" 0 (Cs_svc.Fairq.length q);
+  Alcotest.(check int) "peak remembers the high-water mark" 5 (Cs_svc.Fairq.peak q)
+
+(* --- brownout controller ------------------------------------------- *)
+
+let test_brownout_escalates_and_recovers_hysteretically () =
+  let settings =
+    { Cs_svc.Brownout.default with
+      high_ms = 50.0; low_ms = 10.0; alpha = 1.0; dwell_s = 1.0; max_level = 2 }
+  in
+  let b = Cs_svc.Brownout.create settings in
+  Alcotest.(check int) "starts at level 0" 0 (Cs_svc.Brownout.level b);
+  Alcotest.(check (option (float 0.0))) "no synthetic budget at level 0" None
+    (Cs_svc.Brownout.budget_ms b);
+  Cs_svc.Brownout.observe ~now:0.0 b ~wait_ms:100.0;
+  Alcotest.(check int) "escalates immediately" 1 (Cs_svc.Brownout.level b);
+  Cs_svc.Brownout.observe ~now:0.1 b ~wait_ms:100.0;
+  Alcotest.(check int) "escalates again under sustained burn" 2
+    (Cs_svc.Brownout.level b);
+  Alcotest.(check int) "capped at max_level" 2
+    (Cs_svc.Brownout.observe ~now:0.2 b ~wait_ms:500.0;
+     Cs_svc.Brownout.level b);
+  Alcotest.(check (float 1e-9)) "scale halves per level" 0.25 (Cs_svc.Brownout.scale b);
+  (match Cs_svc.Brownout.budget_ms b with
+  | Some ms ->
+    Alcotest.(check (float 1e-9)) "synthetic budget halves above level 1"
+      (settings.Cs_svc.Brownout.cap_ms /. 2.0) ms
+  | None -> Alcotest.fail "expected a synthetic budget above level 0");
+  (* quiet signal, but inside the dwell: no recovery yet *)
+  Cs_svc.Brownout.observe ~now:0.5 b ~wait_ms:0.0;
+  Alcotest.(check int) "dwell blocks immediate recovery" 2 (Cs_svc.Brownout.level b);
+  (* past the dwell the level steps down one at a time *)
+  Cs_svc.Brownout.observe ~now:2.0 b ~wait_ms:0.0;
+  Alcotest.(check int) "recovers one level after dwell" 1 (Cs_svc.Brownout.level b);
+  Cs_svc.Brownout.observe ~now:4.0 b ~wait_ms:0.0;
+  Alcotest.(check int) "back to normal" 0 (Cs_svc.Brownout.level b);
+  Alcotest.(check int) "upward transitions counted" 2
+    (Cs_svc.Brownout.escalations b)
+
+(* --- lanes engine end-to-end --------------------------------------- *)
+
+let test_serve_splits_oversized_job () =
+  let socket = tmp_path (Printf.sprintf "cs_svc_split_%d.sock" (Unix.getpid ())) in
+  let cfg =
+    Cs_svc.Server.config ~workers:2 ~queue_capacity:8 ~split_threshold:2 socket
+  in
+  let reply, extra =
+    with_server cfg (fun server ->
+        match
+          Cs_svc.Client.submit ~timeout_s:120.0
+            ~addr:(Cs_svc.Transport.parse_exn socket)
+            [ Cs_svc.Proto.request ~id:"big" ~machine:"raw4" ~scale:8 "fir" ]
+        with
+        | Ok [ reply ] ->
+          (reply, (Cs_svc.Server.server_stats server).Cs_svc.Proto.extra)
+        | Ok rs -> Alcotest.failf "expected one reply, got %d" (List.length rs)
+        | Error e -> Alcotest.failf "submit failed: %s" e)
+  in
+  (match reply.Cs_svc.Proto.verdict with
+  | Cs_svc.Proto.Scheduled s ->
+    Alcotest.(check bool) "aggregated cycles positive" true (s.cycles > 0)
+  | Cs_svc.Proto.Refused e -> Alcotest.failf "split job refused: %s" e.message);
+  let get k = try List.assoc k extra with Not_found -> -1.0 in
+  Alcotest.(check bool) "splits counted" true (get "splits" >= 1.0)
+
+let test_serve_quota_refusal_is_typed () =
+  let socket = tmp_path (Printf.sprintf "cs_svc_quota_%d.sock" (Unix.getpid ())) in
+  (* one slow worker, roomy global queue, but a one-job tenant quota:
+     the pipelined burst must draw quota-exceeded (not overloaded) *)
+  let cfg =
+    Cs_svc.Server.config ~workers:1 ~queue_capacity:8 ~tenant_quota:1
+      ~chaos_slow_ms:300.0 socket
+  in
+  let replies, stats =
+    with_server cfg (fun server ->
+        let jobs =
+          List.init 6 (fun i ->
+              Cs_svc.Proto.request ~id:(Printf.sprintf "q%d" i) ~machine:"raw4"
+                ~tenant:"hog" "fir")
+        in
+        match
+          Cs_svc.Client.submit ~timeout_s:60.0
+            ~addr:(Cs_svc.Transport.parse_exn socket) jobs
+        with
+        | Error e -> Alcotest.failf "submit failed: %s" e
+        | Ok replies -> (replies, Cs_svc.Server.stats server))
+  in
+  Alcotest.(check int) "every job answered" 6 (List.length replies);
+  let quota_refused =
+    List.filter
+      (fun r ->
+        match r.Cs_svc.Proto.verdict with
+        | Cs_svc.Proto.Refused e -> e.kind = "quota-exceeded"
+        | _ -> false)
+      replies
+  in
+  Alcotest.(check bool) "typed quota refusals" true (List.length quota_refused >= 1);
+  Alcotest.(check int) "stats agree with replies" (List.length quota_refused)
+    stats.Cs_svc.Server.quota_refused;
+  Alcotest.(check int) "quota is not a shed (capacity never reached)" 0
+    stats.Cs_svc.Server.shed
+
+let test_serve_mixed_verdict_strict_accounting () =
+  let socket = tmp_path (Printf.sprintf "cs_svc_strict_%d.sock" (Unix.getpid ())) in
+  let cfg =
+    Cs_svc.Server.config ~workers:1 ~queue_capacity:1 ~chaos_slow_ms:150.0 socket
+  in
+  let replies =
+    with_server cfg (fun _ ->
+        let jobs =
+          List.init 6 (fun i ->
+              Cs_svc.Proto.request ~id:(Printf.sprintf "s%d" i) ~machine:"raw4" "fir")
+        in
+        match
+          Cs_svc.Client.submit ~timeout_s:60.0
+            ~addr:(Cs_svc.Transport.parse_exn socket) jobs
+        with
+        | Error e -> Alcotest.failf "submit failed: %s" e
+        | Ok replies -> replies)
+  in
+  (* the exact classification `csched submit --strict` exits on:
+     every reply is either scheduled or refused, sheds count as both
+     refused and shed, and a mixed batch must trip the strict gate *)
+  let scheduled, refused, shed =
+    List.fold_left
+      (fun (ok, refused, shed) (r : Cs_svc.Proto.reply) ->
+        match r.Cs_svc.Proto.verdict with
+        | Cs_svc.Proto.Scheduled _ -> (ok + 1, refused, shed)
+        | Cs_svc.Proto.Refused { kind; _ }
+          when kind = "overloaded" || kind = "quota-exceeded" ->
+          (ok, refused + 1, shed + 1)
+        | Cs_svc.Proto.Refused _ -> (ok, refused + 1, shed))
+      (0, 0, 0) replies
+  in
+  Alcotest.(check int) "partition covers the batch" 6 (scheduled + refused);
+  Alcotest.(check bool) "mixed verdicts: some scheduled" true (scheduled >= 1);
+  Alcotest.(check bool) "mixed verdicts: some shed" true (shed >= 1);
+  Alcotest.(check bool) "strict gate would trip" true (refused > 0)
+
+let test_serve_queue_depth_peak_gauge () =
+  let module M = Cs_obs.Metrics in
+  let socket = tmp_path (Printf.sprintf "cs_svc_peak_%d.sock" (Unix.getpid ())) in
+  let cfg =
+    Cs_svc.Server.config ~workers:1 ~queue_capacity:4 ~chaos_slow_ms:150.0 socket
+  in
+  with_server cfg (fun _ ->
+      let addr = Cs_svc.Transport.parse_exn socket in
+      let jobs =
+        List.init 4 (fun i ->
+            Cs_svc.Proto.request ~id:(Printf.sprintf "p%d" i) ~machine:"raw4" "fir")
+      in
+      (match Cs_svc.Client.submit ~timeout_s:60.0 ~addr jobs with
+      | Ok rs -> Alcotest.(check int) "all answered" 4 (List.length rs)
+      | Error e -> Alcotest.failf "submit failed: %s" e);
+      match Cs_svc.Client.fetch_metrics ~addr () with
+      | Error e -> Alcotest.failf "metrics verb failed: %s" e
+      | Ok (Cs_svc.Proto.Prom_text _) -> Alcotest.fail "asked for json"
+      | Ok (Cs_svc.Proto.Snapshot snap) ->
+        (match M.find snap "csched_queue_depth_peak" with
+        | Some (M.Gauge_v v) ->
+          Alcotest.(check bool) "peak gauge recorded a backlog" true (v >= 1.0)
+        | _ -> Alcotest.fail "csched_queue_depth_peak missing"))
+
+let test_serve_single_queue_engine_still_works () =
+  let socket = tmp_path (Printf.sprintf "cs_svc_sq_%d.sock" (Unix.getpid ())) in
+  let cfg =
+    Cs_svc.Server.config ~workers:2 ~engine:Cs_svc.Server.Single_queue socket
+  in
+  with_server cfg (fun server ->
+      match
+        Cs_svc.Client.submit ~timeout_s:60.0
+          ~addr:(Cs_svc.Transport.parse_exn socket)
+          (List.init 3 (fun i ->
+               Cs_svc.Proto.request ~id:(Printf.sprintf "b%d" i) ~machine:"raw4" "fir"))
+      with
+      | Error e -> Alcotest.failf "submit failed: %s" e
+      | Ok rs ->
+        Alcotest.(check int) "all answered" 3 (List.length rs);
+        List.iter
+          (fun (r : Cs_svc.Proto.reply) ->
+            match r.Cs_svc.Proto.verdict with
+            | Cs_svc.Proto.Scheduled _ -> ()
+            | Cs_svc.Proto.Refused e -> Alcotest.failf "baseline refused: %s" e.message)
+          rs;
+        Alcotest.(check int) "completed" 3 (Cs_svc.Server.stats server).Cs_svc.Server.completed)
+
 let () =
   Alcotest.run "svc"
     [
@@ -728,5 +1064,39 @@ let () =
           Alcotest.test_case "metrics verb" `Slow test_serve_metrics_verb;
           Alcotest.test_case "clean idempotent stop" `Slow
             test_serve_stop_is_clean_and_idempotent;
+        ] );
+      ("backoff", [ to_alcotest retry_backoff_prop ]);
+      ( "tenancy",
+        [
+          Alcotest.test_case "proto tenant/class roundtrip" `Quick
+            test_proto_tenant_class_roundtrip;
+          Alcotest.test_case "quota binds per tenant" `Quick
+            test_fairq_quota_binds_per_tenant;
+          Alcotest.test_case "capacity sheds" `Quick test_fairq_capacity_sheds;
+          Alcotest.test_case "DRR interleaves tenants" `Quick
+            test_fairq_drr_interleaves_tenants;
+          Alcotest.test_case "weights bias service" `Quick
+            test_fairq_weights_bias_service;
+          Alcotest.test_case "lane priority + batch share" `Quick
+            test_fairq_lane_priority_and_batch_share;
+          Alcotest.test_case "peak watermark" `Quick test_fairq_peak_watermark;
+        ] );
+      ( "brownout",
+        [
+          Alcotest.test_case "hysteretic escalate/recover" `Quick
+            test_brownout_escalates_and_recovers_hysteretically;
+        ] );
+      ( "lanes",
+        [
+          Alcotest.test_case "splits oversized job" `Slow
+            test_serve_splits_oversized_job;
+          Alcotest.test_case "typed quota refusal" `Slow
+            test_serve_quota_refusal_is_typed;
+          Alcotest.test_case "mixed-verdict strict accounting" `Slow
+            test_serve_mixed_verdict_strict_accounting;
+          Alcotest.test_case "queue depth peak gauge" `Slow
+            test_serve_queue_depth_peak_gauge;
+          Alcotest.test_case "single-queue engine baseline" `Slow
+            test_serve_single_queue_engine_still_works;
         ] );
     ]
